@@ -1,0 +1,116 @@
+//! The baseline systems the accelerator is compared against.
+//!
+//! Three things live here:
+//!
+//! * [`CpuSpec`] / [`GpuSpec`] — the Table III baseline hardware
+//!   (a 14-core Xeon E5-2680 v4 system and an NVIDIA Titan XP).
+//! * [`table7`] — the paper's *measured* reference-implementation
+//!   inference latencies (Table VII). Like the paper, the speedup figures
+//!   (Fig 8) compare simulated accelerator latencies against these
+//!   measured numbers.
+//! * [`model`] — analytic roofline-style models of the baselines that
+//!   re-derive Table VII's regime from the workload summaries in
+//!   [`gnna_models::workload`]. These exist to show the measured numbers
+//!   are *explainable* (framework per-sparse-op overhead dominates the
+//!   CPU; kernel-launch overhead dominates the GPU on many small graphs),
+//!   and to power what-if sweeps in the benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod table7;
+
+/// The CPU of the baseline system (Table III).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Physical cores (14).
+    pub cores: usize,
+    /// Clock in Hz (2.4 GHz).
+    pub clock_hz: f64,
+    /// Peak f32 FLOPs per core per cycle (2 × 8-wide AVX2 FMA = 32).
+    pub flops_per_cycle: f64,
+    /// Memory bandwidth in bytes/s (4 × DDR4-2133 ≈ 68 GB/s).
+    pub mem_bandwidth: f64,
+    /// Last-level cache in bytes (35 MB).
+    pub cache_bytes: u64,
+}
+
+/// The Table III CPU: a 14-core Intel Xeon E5-2680 v4 at 2.4 GHz with
+/// 128 GB of 4-channel DDR4-2133.
+pub const CPU_BASELINE: CpuSpec = CpuSpec {
+    name: "Intel Xeon E5-2680 v4",
+    cores: 14,
+    clock_hz: 2.4e9,
+    flops_per_cycle: 32.0,
+    mem_bandwidth: 68e9,
+    cache_bytes: 35 * 1024 * 1024,
+};
+
+impl CpuSpec {
+    /// Peak f32 throughput in FLOP/s.
+    pub fn peak_flops(&self) -> f64 {
+        self.cores as f64 * self.clock_hz * self.flops_per_cycle
+    }
+}
+
+/// The GPU of the baseline system (Table III).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// CUDA cores (3840).
+    pub cuda_cores: usize,
+    /// Boost clock in Hz (1582 MHz).
+    pub clock_hz: f64,
+    /// Memory bandwidth in bytes/s (547.7 GB/s GDDR5X).
+    pub mem_bandwidth: f64,
+    /// Minimum efficient memory transaction in bytes (128) — the "wide
+    /// accesses" §VI-B says small graphs use inefficiently.
+    pub transaction_bytes: u64,
+    /// Per-kernel launch/dispatch overhead in seconds.
+    pub kernel_overhead_s: f64,
+}
+
+/// The Table III GPU: an NVIDIA Titan XP at 1582 MHz with 12 GB of
+/// GDDR5X at 547.7 GB/s.
+pub const GPU_BASELINE: GpuSpec = GpuSpec {
+    name: "NVIDIA Titan XP",
+    cuda_cores: 3840,
+    clock_hz: 1.582e9,
+    mem_bandwidth: 547.7e9,
+    transaction_bytes: 128,
+    kernel_overhead_s: 5e-6,
+};
+
+impl GpuSpec {
+    /// Peak f32 throughput in FLOP/s (2 FLOPs per core-cycle via FMA).
+    pub fn peak_flops(&self) -> f64 {
+        self.cuda_cores as f64 * self.clock_hz * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_spec_matches_table_iii() {
+        assert_eq!(CPU_BASELINE.cores, 14);
+        assert_eq!(CPU_BASELINE.clock_hz, 2.4e9);
+        assert_eq!(CPU_BASELINE.mem_bandwidth, 68e9);
+        // ~1.07 TFLOP/s peak.
+        assert!((CPU_BASELINE.peak_flops() - 1.0752e12).abs() < 1e9);
+    }
+
+    #[test]
+    fn gpu_spec_matches_table_iii() {
+        assert_eq!(GPU_BASELINE.cuda_cores, 3840);
+        assert_eq!(GPU_BASELINE.clock_hz, 1.582e9);
+        assert!((GPU_BASELINE.mem_bandwidth - 547.7e9).abs() < 1e6);
+        // ~12.1 TFLOP/s peak.
+        assert!((GPU_BASELINE.peak_flops() - 12.15e12).abs() < 0.2e12);
+    }
+}

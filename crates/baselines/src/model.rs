@@ -1,0 +1,243 @@
+//! Analytic roofline models of the baseline systems.
+//!
+//! The models decompose a workload summary ([`InferenceWork`]) into the
+//! four effects that dominate GNN reference implementations:
+//!
+//! 1. **Dense compute** at a sustained fraction of peak (framework GEMMs
+//!    reach nowhere near peak on these small shapes).
+//! 2. **Memory streaming** at a sustained fraction of bandwidth, with the
+//!    working set served from cache when it fits (the effect §VI-A
+//!    credits for PGNN's good CPU performance).
+//! 3. **Per-sparse-element framework overhead** — scatter/gather sparse
+//!    ops in TensorFlow/PyTorch cost on the order of 100 ns per stored
+//!    element on a CPU; this, not FLOPs, dominates the measured GCN
+//!    Pubmed CPU latency.
+//! 4. **Per-kernel dispatch overhead** — dominant for the GPU on the
+//!    1000 small QM9 graphs (§VI-B: small graphs use the GPU's wide
+//!    accesses and launch machinery inefficiently).
+//!
+//! The sustained-efficiency constants below are calibrated once against
+//! Table VII (see `EXPERIMENTS.md` for the resulting per-row comparison)
+//! and are **not** per-benchmark fudge factors.
+
+use crate::{CpuSpec, GpuSpec};
+use gnna_models::workload::InferenceWork;
+
+/// Calibration constants for the CPU model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuModelParams {
+    /// Sustained fraction of peak FLOPs for framework dense ops.
+    pub dense_efficiency: f64,
+    /// Sustained fraction of memory bandwidth for streaming.
+    pub stream_efficiency: f64,
+    /// Seconds of framework overhead per sparse stored element touched.
+    pub sparse_op_overhead_s: f64,
+    /// Seconds of fixed overhead per launched framework kernel.
+    pub kernel_overhead_s: f64,
+    /// Framework kernels launched per graph per inference (session and
+    /// op-dispatch costs; dominated by per-graph models like MPNN —
+    /// the reference implementations process graphs *sequentially*).
+    pub kernels_per_graph: f64,
+}
+
+impl Default for CpuModelParams {
+    fn default() -> Self {
+        CpuModelParams {
+            dense_efficiency: 0.08,
+            stream_efficiency: 0.50,
+            sparse_op_overhead_s: 100e-9,
+            kernel_overhead_s: 120e-6,
+            kernels_per_graph: 20.0,
+        }
+    }
+}
+
+/// Calibration constants for the GPU model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuModelParams {
+    /// Sustained fraction of peak FLOPs for framework dense ops.
+    pub dense_efficiency: f64,
+    /// Sustained fraction of memory bandwidth.
+    pub stream_efficiency: f64,
+    /// Seconds per sparse stored element (GPU scatter/gather kernels).
+    pub sparse_op_overhead_s: f64,
+    /// Kernels launched per graph per inference.
+    pub kernels_per_graph: f64,
+    /// Seconds per kernel: launch + synchronisation + framework
+    /// dispatch (dominates the hardware launch cost for the tiny QM9
+    /// kernels).
+    pub kernel_overhead_s: f64,
+}
+
+impl Default for GpuModelParams {
+    fn default() -> Self {
+        GpuModelParams {
+            dense_efficiency: 0.05,
+            stream_efficiency: 0.60,
+            sparse_op_overhead_s: 2e-9,
+            kernels_per_graph: 20.0,
+            kernel_overhead_s: 20e-6,
+        }
+    }
+}
+
+/// Estimated CPU inference latency in seconds for a workload summary.
+///
+/// `time = kernels·t_k + dense/(peak·η_d) + max(stream, sparse)` where
+/// streaming is served from cache when the working set fits.
+pub fn cpu_latency(cpu: &CpuSpec, p: &CpuModelParams, w: &InferenceWork) -> f64 {
+    let dense = 2.0 * w.dense_macs as f64 / (cpu.peak_flops() * p.dense_efficiency);
+    let bytes = effective_stream_bytes(w, cpu.cache_bytes);
+    let stream = bytes / (cpu.mem_bandwidth * p.stream_efficiency);
+    // Sparse gather/scatter framework cost: one touch per irregular MAC
+    // group (per stored element per feature-block, amortised to the
+    // element level by the per-element constant).
+    let sparse_elems = w.irregular_macs as f64 / width_amortisation(w);
+    let sparse = sparse_elems * p.sparse_op_overhead_s + w.traversal_steps as f64 * 2e-9;
+    let dispatch = w.graphs as f64 * p.kernels_per_graph * p.kernel_overhead_s;
+    dense + stream.max(sparse) + dispatch
+}
+
+/// Estimated GPU inference latency in seconds (kernel time only, like
+/// Table VII's GPU column).
+pub fn gpu_latency(gpu: &GpuSpec, p: &GpuModelParams, w: &InferenceWork) -> f64 {
+    let dense = 2.0 * w.dense_macs as f64 / (gpu.peak_flops() * p.dense_efficiency);
+    // GPUs have no LLC big enough to matter here, but every access is a
+    // wide transaction: narrow rows round up.
+    let bytes = w.streamed_bytes as f64 * wide_access_expansion(w, gpu.transaction_bytes);
+    let stream = bytes / (gpu.mem_bandwidth * p.stream_efficiency);
+    let sparse = w.irregular_macs as f64 / width_amortisation(w) * p.sparse_op_overhead_s;
+    let dispatch = w.graphs as f64 * p.kernels_per_graph * p.kernel_overhead_s;
+    dense.max(stream).max(sparse) + dispatch
+}
+
+/// Streamed bytes after cache capture: when the working set fits in the
+/// LLC, only compulsory traffic (one pass of the working set) hits DRAM.
+fn effective_stream_bytes(w: &InferenceWork, cache_bytes: u64) -> f64 {
+    if w.working_set_bytes <= cache_bytes {
+        w.working_set_bytes as f64
+    } else {
+        w.streamed_bytes as f64
+    }
+}
+
+/// Irregular MACs per sparse element ≈ the feature width the gather
+/// amortises over (bounded below to keep the division meaningful).
+fn width_amortisation(w: &InferenceWork) -> f64 {
+    if w.traversal_steps == 0 {
+        16.0
+    } else {
+        (w.irregular_macs as f64 / w.traversal_steps as f64).clamp(1.0, 64.0)
+    }
+}
+
+/// Expansion factor for sub-transaction accesses (small rows on wide
+/// GDDR5X transactions).
+fn wide_access_expansion(w: &InferenceWork, transaction: u64) -> f64 {
+    // Approximate a typical access as streamed_bytes spread over the
+    // irregular accesses; small graphs (QM9, DBLP) produce small rows.
+    let accesses = (w.traversal_steps + w.graphs).max(1);
+    let typical = (w.streamed_bytes / accesses).max(4);
+    if typical >= transaction {
+        1.0
+    } else {
+        (transaction as f64 / typical as f64).min(8.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CPU_BASELINE, GPU_BASELINE};
+    use gnna_graph::datasets;
+    use gnna_models::workload::{gcn_work, mpnn_work};
+    use gnna_models::{Gcn, Mpnn};
+
+    #[test]
+    fn cpu_latency_positive_and_scales() {
+        let small = InferenceWork {
+            dense_macs: 1_000_000,
+            irregular_macs: 10_000,
+            streamed_bytes: 1_000_000,
+            working_set_bytes: 500_000,
+            traversal_steps: 1_000,
+            graphs: 1,
+        };
+        let mut big = small;
+        big.dense_macs *= 100;
+        big.streamed_bytes *= 100;
+        big.working_set_bytes *= 100;
+        let p = CpuModelParams::default();
+        let ts = cpu_latency(&CPU_BASELINE, &p, &small);
+        let tb = cpu_latency(&CPU_BASELINE, &p, &big);
+        assert!(ts > 0.0);
+        assert!(tb > ts);
+    }
+
+    #[test]
+    fn cache_capture_reduces_latency() {
+        let mut w = InferenceWork {
+            dense_macs: 0,
+            irregular_macs: 0,
+            streamed_bytes: 10_000_000_000,
+            working_set_bytes: 1_000_000, // fits in LLC
+            traversal_steps: 0,
+            graphs: 1,
+        };
+        let p = CpuModelParams::default();
+        let cached = cpu_latency(&CPU_BASELINE, &p, &w);
+        w.working_set_bytes = 10_000_000_000; // spills
+        let spilled = cpu_latency(&CPU_BASELINE, &p, &w);
+        assert!(spilled > 10.0 * cached);
+    }
+
+    #[test]
+    fn gcn_cora_cpu_model_in_measured_regime() {
+        // Paper: 3.50 ms measured. The analytic model should land within
+        // ~3x — it is an explanation, not a curve fit.
+        let d = datasets::cora(1).unwrap();
+        let gcn = Gcn::for_dataset(1433, 16, 7, 1).unwrap();
+        let w = gcn_work(&gcn, &d.instances[0].graph);
+        let t = cpu_latency(&CPU_BASELINE, &CpuModelParams::default(), &w);
+        assert!((1.0e-3..=11.0e-3).contains(&t), "modeled {t}");
+    }
+
+    #[test]
+    fn gcn_pubmed_cpu_dominated_by_sparse_overhead() {
+        // Paper: 30.11 ms — far beyond roofline; the sparse-op term must
+        // dominate and land in the regime.
+        let d = datasets::pubmed(1).unwrap();
+        let gcn = Gcn::for_dataset(500, 16, 3, 1).unwrap();
+        let w = gcn_work(&gcn, &d.instances[0].graph);
+        let p = CpuModelParams::default();
+        let t = cpu_latency(&CPU_BASELINE, &p, &w);
+        assert!((8.0e-3..=90.0e-3).contains(&t), "modeled {t}");
+    }
+
+    #[test]
+    fn mpnn_gpu_dominated_by_dispatch() {
+        // Paper: 443 ms GPU for 1000 molecules — launch overhead bound.
+        let d = datasets::qm9_scaled(50, 1).unwrap();
+        let m = Mpnn::for_dataset(13, 5, 64, 73, 3, 1).unwrap();
+        let w = mpnn_work(&m, &d.instances);
+        let p = GpuModelParams::default();
+        let t = gpu_latency(&GPU_BASELINE, &p, &w);
+        let dispatch = 50.0 * p.kernels_per_graph * p.kernel_overhead_s;
+        assert!(t >= dispatch, "dispatch should dominate: {t} vs {dispatch}");
+    }
+
+    #[test]
+    fn gpu_faster_than_cpu_on_dense_heavy_work() {
+        let w = InferenceWork {
+            dense_macs: 500_000_000,
+            irregular_macs: 1_000_000,
+            streamed_bytes: 50_000_000,
+            working_set_bytes: 60_000_000,
+            traversal_steps: 100_000,
+            graphs: 1,
+        };
+        let tc = cpu_latency(&CPU_BASELINE, &CpuModelParams::default(), &w);
+        let tg = gpu_latency(&GPU_BASELINE, &GpuModelParams::default(), &w);
+        assert!(tg < tc);
+    }
+}

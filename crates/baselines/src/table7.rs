@@ -1,0 +1,98 @@
+//! Table VII: measured inference latencies of the reference
+//! implementations on the Table III baseline systems.
+//!
+//! These are the paper's measurements (tkipf/gcn, PetarV-/GAT,
+//! ifding/graph-neural-networks, afansi/multiscalegnn), reproduced
+//! verbatim. GPU numbers count kernel time only. The Fig 8 speedups
+//! normalise simulated accelerator latencies against these values,
+//! exactly as the paper does.
+
+use gnna_models::ModelKind;
+
+/// One Table VII row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasuredLatency {
+    /// The benchmark model.
+    pub model: ModelKind,
+    /// The input graph name (Table V).
+    pub input: &'static str,
+    /// CPU-system inference latency in seconds.
+    pub cpu_s: f64,
+    /// GPU-system inference latency in seconds (kernel time only).
+    pub gpu_s: f64,
+}
+
+/// Table VII of the paper, verbatim (milliseconds converted to seconds).
+pub const PAPER_TABLE_VII: [MeasuredLatency; 6] = [
+    MeasuredLatency {
+        model: ModelKind::Gcn,
+        input: "Cora",
+        cpu_s: 3.50e-3,
+        gpu_s: 0.366e-3,
+    },
+    MeasuredLatency {
+        model: ModelKind::Gcn,
+        input: "Citeseer",
+        cpu_s: 3.97e-3,
+        gpu_s: 0.391e-3,
+    },
+    MeasuredLatency {
+        model: ModelKind::Gcn,
+        input: "Pubmed",
+        cpu_s: 30.11e-3,
+        gpu_s: 0.893e-3,
+    },
+    MeasuredLatency {
+        model: ModelKind::Gat,
+        input: "Cora",
+        cpu_s: 13.60e-3,
+        gpu_s: 0.801e-3,
+    },
+    MeasuredLatency {
+        model: ModelKind::Mpnn,
+        input: "QM9_1000",
+        cpu_s: 2716.0e-3,
+        gpu_s: 443.3e-3,
+    },
+    MeasuredLatency {
+        model: ModelKind::Pgnn,
+        input: "DBLP_1",
+        cpu_s: 15.70e-3,
+        gpu_s: 7.50e-3,
+    },
+];
+
+/// Looks up a Table VII row by model and input.
+pub fn measured(model: ModelKind, input: &str) -> Option<&'static MeasuredLatency> {
+    PAPER_TABLE_VII
+        .iter()
+        .find(|m| m.model == model && m.input.eq_ignore_ascii_case(input))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_by_pair() {
+        let m = measured(ModelKind::Gcn, "pubmed").unwrap();
+        assert!((m.cpu_s - 30.11e-3).abs() < 1e-9);
+        assert!(measured(ModelKind::Gat, "Pubmed").is_none());
+    }
+
+    #[test]
+    fn gpu_always_faster_than_cpu_in_table_vii() {
+        for row in &PAPER_TABLE_VII {
+            assert!(row.gpu_s < row.cpu_s, "{:?} {}", row.model, row.input);
+        }
+    }
+
+    #[test]
+    fn six_rows_matching_benchmark_pairs() {
+        assert_eq!(PAPER_TABLE_VII.len(), gnna_models::BENCHMARK_PAIRS.len());
+        for ((m, i), row) in gnna_models::BENCHMARK_PAIRS.iter().zip(&PAPER_TABLE_VII) {
+            assert_eq!(*m, row.model);
+            assert_eq!(*i, row.input);
+        }
+    }
+}

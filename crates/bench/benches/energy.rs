@@ -1,0 +1,50 @@
+//! Energy estimates for the six benchmarks (CPU iso-BW, 2.4 GHz) using
+//! the first-order per-event energy model — the quantitative follow-up
+//! to §II's "energy wasted on unnecessary memory accesses" motivation.
+//!
+//! Run with `cargo bench -p gnna-bench --bench energy`
+//! (`GNNA_SCALE=smoke` for a fast pass).
+
+use gnna_bench::{build_case, simulate, Scale};
+use gnna_core::config::AcceleratorConfig;
+use gnna_core::energy::EnergyModel;
+use gnna_models::BENCHMARK_PAIRS;
+
+fn main() {
+    let scale = if std::env::var("GNNA_SCALE").as_deref() == Ok("smoke") {
+        Scale::Smoke
+    } else {
+        Scale::Paper
+    };
+    let model = EnergyModel::default();
+    println!("# Energy per inference — CPU iso-BW, 2.4 GHz (scale {scale:?})\n");
+    println!(
+        "| Benchmark | Input | total (uJ) | data movement (%) | mean power (W) | uJ per MMAC |"
+    );
+    let cfg = AcceleratorConfig::cpu_iso_bandwidth();
+    for (kind, input) in BENCHMARK_PAIRS {
+        let case = match build_case(kind, input, scale) {
+            Ok(c) => c,
+            Err(e) => {
+                println!("| {kind} | {input} | build failed: {e} |");
+                continue;
+            }
+        };
+        match simulate(&case, &cfg) {
+            Ok(r) => {
+                let e = model.estimate(&r);
+                println!(
+                    "| {kind} | {input} | {:.1} | {:.0} | {:.2} | {:.3} |",
+                    e.total_j() * 1e6,
+                    e.data_movement_fraction() * 100.0,
+                    e.mean_power_w(r.latency_s()),
+                    e.total_j() * 1e6 / (r.dna_macs.max(1) as f64 / 1e6),
+                );
+                println!("    {e}");
+            }
+            Err(e) => println!("| {kind} | {input} | simulation failed: {e} |"),
+        }
+    }
+    println!("\n(per-event costs follow Horowitz ISSCC'14-style estimates; relative");
+    println!(" comparisons between benchmarks and dataflows are the meaningful output)");
+}

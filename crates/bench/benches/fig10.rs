@@ -1,0 +1,46 @@
+//! Regenerates Figure 10: observed mean memory bandwidth and DNA
+//! utilisation of all benchmarks in the CPU iso-bandwidth configuration
+//! (2.4 GHz core clock), plus the §VI-A bandwidth-utilisation claims.
+//!
+//! Run with `cargo bench -p gnna-bench --bench fig10`
+//! (`GNNA_SCALE=smoke` for a fast shape-only run).
+
+use gnna_bench::{build_case, simulate, Scale};
+use gnna_core::config::AcceleratorConfig;
+use gnna_models::BENCHMARK_PAIRS;
+
+fn main() {
+    let scale = if std::env::var("GNNA_SCALE").as_deref() == Ok("smoke") {
+        Scale::Smoke
+    } else {
+        Scale::Paper
+    };
+    println!("# Figure 10 — CPU iso-BW configuration, 2.4 GHz core (scale {scale:?})\n");
+    println!(
+        "| Benchmark | Input | mean BW (GB/s) | BW util (%) | DNA util (%) | GPE util (%) | mem efficiency (%) |"
+    );
+    let cfg = AcceleratorConfig::cpu_iso_bandwidth();
+    for (model, input) in BENCHMARK_PAIRS {
+        let case = match build_case(model, input, scale) {
+            Ok(c) => c,
+            Err(e) => {
+                println!("| {model} | {input} | build failed: {e} |");
+                continue;
+            }
+        };
+        match simulate(&case, &cfg) {
+            Ok(r) => println!(
+                "| {model} | {input} | {:.2} | {:.1} | {:.1} | {:.1} | {:.1} |",
+                r.mean_bandwidth() / 1e9,
+                r.bandwidth_utilization() * 100.0,
+                r.dna_utilization() * 100.0,
+                r.gpe_utilization() * 100.0,
+                r.mem_efficiency() * 100.0,
+            ),
+            Err(e) => println!("| {model} | {input} | simulation failed: {e} |"),
+        }
+    }
+    println!("\n(paper §VI-A: GCN bandwidth utilisation 79% / 70% / 54% for Cora /");
+    println!(" Citeseer / Pubmed; GAT and MPNN have the highest DNA utilisation;");
+    println!(" PGNN shows very little DNA utilisation — the GPE is the bottleneck)");
+}

@@ -1,0 +1,158 @@
+//! Criterion micro-benchmarks of the substrates: NoC router throughput,
+//! sparse × dense propagation, the dataflow mapper, the aggregator, the
+//! memory controller, and a functional GCN forward pass.
+//!
+//! Run with `cargo bench -p gnna-bench --bench micro`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gnna_core::agg::{AggFinalize, AggOp, Aggregator};
+use gnna_core::config::AggParams;
+use gnna_core::msg::Dest;
+use gnna_dnn::{mapper, EyerissConfig, MatmulShape};
+use gnna_graph::datasets;
+use gnna_mem::{MemConfig, MemImage, MemRequest, MemoryController};
+use gnna_models::{Gcn, GcnNorm};
+use gnna_noc::{Address, Network, NocConfig, Packet};
+use gnna_tensor::ops::Activation;
+use gnna_tensor::{CsrMatrix, Matrix};
+use std::hint::black_box;
+
+fn bench_noc(c: &mut Criterion) {
+    c.bench_function("noc_4x4_uniform_1k_packets", |b| {
+        b.iter(|| {
+            let mut net: Network<u32> = Network::new(NocConfig::default(), 4, 4, |_, _| 1);
+            let mut delivered = 0u64;
+            let mut next = 0u32;
+            while delivered < 1000 {
+                for i in 0..4 {
+                    let src = Address::new(i, (next as usize) % 4, 0);
+                    let dst = Address::new((i + 2) % 4, (next as usize + 1) % 4, 0);
+                    let _ = net.try_inject(Packet::new(src, dst, 128, next));
+                    next = next.wrapping_add(1);
+                }
+                net.step();
+                for y in 0..4 {
+                    for x in 0..4 {
+                        while let Some(f) = net.eject(Address::new(x, y, 0)) {
+                            if f.is_tail() {
+                                delivered += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            black_box(net.stats().flit_hops)
+        })
+    });
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let d = datasets::cora_scaled(1000, 64, 7, 1).expect("dataset");
+    let a = d.instances[0].graph.mean_adjacency().expect("operator");
+    let x = d.instances[0].x.clone();
+    c.bench_function("spmm_1000v_64f", |b| {
+        b.iter(|| black_box(a.spmm(&x).expect("shapes")))
+    });
+    let dense = Matrix::from_fn(256, 256, |i, j| ((i * j) % 7) as f32);
+    let sparse = CsrMatrix::from_dense(&dense.map(|v| if v > 4.0 { v } else { 0.0 }), 0.0)
+        .expect("csr");
+    c.bench_function("csr_transpose_256", |b| {
+        b.iter(|| black_box(sparse.transpose()))
+    });
+}
+
+fn bench_mapper(c: &mut Criterion) {
+    let cfg = EyerissConfig::default();
+    c.bench_function("mapper_pubmed_adjacency_layer", |b| {
+        b.iter(|| {
+            black_box(mapper::map_matmul(
+                &cfg,
+                MatmulShape { m: 19717, k: 19717, n: 16 },
+            ))
+        })
+    });
+}
+
+fn bench_aggregator(c: &mut Criterion) {
+    c.bench_function("agg_1k_contributions_16w", |b| {
+        b.iter(|| {
+            let mut a = Aggregator::new(AggParams::default());
+            a.configure(16);
+            let mut done = 0;
+            let mut cycle = 0u64;
+            for batch in 0..10 {
+                let slot = a
+                    .try_alloc(
+                        100,
+                        16,
+                        16,
+                        AggOp::Sum,
+                        AggFinalize::DivideByCount,
+                        Activation::Relu,
+                        Dest::Mem { addr: batch * 64 },
+                    )
+                    .expect("slot");
+                for _ in 0..100 {
+                    while !a.can_ingest() {
+                        if a.tick(cycle).is_some() {
+                            done += 1;
+                        }
+                        cycle += 1;
+                    }
+                    a.deliver(slot, 0, 1.0, vec![1.0; 16]);
+                }
+            }
+            while done < 10 {
+                if a.tick(cycle).is_some() {
+                    done += 1;
+                }
+                cycle += 1;
+            }
+            black_box(cycle)
+        })
+    });
+}
+
+fn bench_memory(c: &mut Criterion) {
+    c.bench_function("mem_controller_1k_reads", |b| {
+        let mut img = MemImage::new();
+        let base = img.alloc(16 * 1024);
+        b.iter(|| {
+            let mut ctrl = MemoryController::new(MemConfig::default());
+            let mut retired = 0;
+            let mut i = 0u64;
+            while retired < 1000 {
+                if ctrl
+                    .try_push(MemRequest::read(base + (i % 1000) * 64, 64, i), 0)
+                    .is_ok()
+                {
+                    i += 1;
+                }
+                if let Some(now) = ctrl.next_ready_cycle() {
+                    if ctrl.pop_ready(now, &mut img).is_some() {
+                        retired += 1;
+                    }
+                }
+            }
+            black_box(retired)
+        })
+    });
+}
+
+fn bench_gcn_forward(c: &mut Criterion) {
+    let d = datasets::cora_scaled(1000, 128, 7, 1).expect("dataset");
+    let inst = &d.instances[0];
+    let gcn = Gcn::for_dataset(128, 16, 7, 1)
+        .expect("model")
+        .with_norm(GcnNorm::Mean);
+    c.bench_function("gcn_forward_1000v_128f", |b| {
+        b.iter(|| black_box(gcn.forward(&inst.graph, &inst.x).expect("forward")))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_noc, bench_spmm, bench_mapper, bench_aggregator, bench_memory, bench_gcn_forward
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Regenerates Table VII: baseline CPU/GPU inference latencies.
+//!
+//! The paper *measures* these on real hardware; we reproduce the table
+//! two ways: (a) the measured values verbatim (the comparison target the
+//! Fig 8 speedups normalise against, exactly as the paper does), and
+//! (b) our analytic roofline models of the Table III systems, to show
+//! the measurements are explainable from first principles.
+//!
+//! Run with `cargo bench -p gnna-bench --bench table7`.
+
+use gnna_baselines::model::{cpu_latency, gpu_latency, CpuModelParams, GpuModelParams};
+use gnna_baselines::table7::PAPER_TABLE_VII;
+use gnna_baselines::{CPU_BASELINE, GPU_BASELINE};
+use gnna_graph::datasets;
+use gnna_models::workload::{gat_work, gcn_work, mpnn_work, pgnn_work};
+use gnna_models::{Gat, Gcn, ModelKind, Mpnn, Pgnn};
+
+fn main() {
+    let seed = 42;
+    let cpu_p = CpuModelParams::default();
+    let gpu_p = GpuModelParams::default();
+
+    println!("# Table VII — baseline inference latencies (ms)\n");
+    println!("| Benchmark | Input | CPU measured | CPU modeled | GPU measured | GPU modeled |");
+    for row in &PAPER_TABLE_VII {
+        let work = match (row.model, row.input) {
+            (ModelKind::Gcn, input) => {
+                let d = match input {
+                    "Cora" => datasets::cora(seed),
+                    "Citeseer" => datasets::citeseer(seed),
+                    _ => datasets::pubmed(seed),
+                }
+                .expect("dataset");
+                let m = Gcn::for_dataset(d.vertex_features(), 16, d.output_features, 1)
+                    .expect("model");
+                gcn_work(&m, &d.instances[0].graph)
+            }
+            (ModelKind::Gat, _) => {
+                let d = datasets::cora(seed).expect("dataset");
+                let m = Gat::for_dataset(d.vertex_features(), d.output_features, 1).expect("model");
+                gat_work(&m, &d.instances[0].graph)
+            }
+            (ModelKind::Mpnn, _) => {
+                let d = datasets::qm9_1000(seed).expect("dataset");
+                let m = Mpnn::for_dataset_gilmer(13, 5, 64, 73, 3, 1).expect("model");
+                mpnn_work(&m, &d.instances)
+            }
+            (ModelKind::Pgnn, _) => {
+                let d = datasets::dblp_1(seed).expect("dataset");
+                let m = Pgnn::deep(&[0, 1, 2, 4], 1, 16, d.output_features, 9, 1).expect("model");
+                pgnn_work(&m, &d.instances[0].graph)
+            }
+        };
+        let cpu_model = cpu_latency(&CPU_BASELINE, &cpu_p, &work);
+        let gpu_model = gpu_latency(&GPU_BASELINE, &gpu_p, &work);
+        println!(
+            "| {} | {} | {:.2} | {:.2} | {:.3} | {:.3} |",
+            row.model,
+            row.input,
+            row.cpu_s * 1e3,
+            cpu_model * 1e3,
+            row.gpu_s * 1e3,
+            gpu_model * 1e3,
+        );
+    }
+    println!("\n(measured values are the paper's Table VII; modeled values come from the");
+    println!(" analytic roofline models in gnna-baselines with one global calibration)");
+}

@@ -1,0 +1,101 @@
+//! Regenerates the configuration tables: Table I (DNN accelerator),
+//! Table III (baseline systems), Table IV (NoC parameters), Table V
+//! (dataset statistics — generated and re-measured), Table VI
+//! (accelerator configurations) and the Figure 9 topologies.
+//!
+//! Run with `cargo bench -p gnna-bench --bench tables`.
+
+use gnna_baselines::{CPU_BASELINE, GPU_BASELINE};
+use gnna_core::config::AcceleratorConfig;
+use gnna_dnn::EyerissConfig;
+use gnna_graph::datasets::{all_table_v, TABLE_V};
+use gnna_graph::stats::DatasetStats;
+use gnna_noc::NocConfig;
+
+fn main() {
+    println!("# Table I — spatial-architecture DNN accelerator configuration\n");
+    let dna = EyerissConfig::default();
+    println!("{dna}");
+    println!(
+        "| Number of PEs | {} |\n| PE configuration | {} x {} |\n| Register File Size | {}B |\n| Global Buffer Size | {}kB |\n| Precision | {}-bit fixed point |\n",
+        dna.num_pes,
+        dna.pe_rows,
+        dna.pe_cols,
+        dna.register_file_bytes,
+        dna.global_buffer_bytes / 1024,
+        dna.word_bytes * 8
+    );
+
+    println!("# Table III — baseline system architecture\n");
+    println!(
+        "| CPU | {} ({} cores @ {:.1} GHz) |\n| Memory | {:.0} GB/s (4x DDR4-2133) |\n| GPU | {} @ {:.0} MHz |\n| GPU Memory | {:.1} GB/s GDDR5X |\n",
+        CPU_BASELINE.name,
+        CPU_BASELINE.cores,
+        CPU_BASELINE.clock_hz / 1e9,
+        CPU_BASELINE.mem_bandwidth / 1e9,
+        GPU_BASELINE.name,
+        GPU_BASELINE.clock_hz / 1e6,
+        GPU_BASELINE.mem_bandwidth / 1e9
+    );
+
+    println!("# Table IV — Booksim NoC model parameters\n");
+    let noc = NocConfig::default();
+    println!(
+        "| Link Delay | {} cycle |\n| Routing Delay | {} cycle |\n| Input buffers | {} flits, {}B |\n| Routing algorithm | min-routing (XY) |\n",
+        noc.link_delay,
+        noc.routing_delay,
+        noc.input_buffer_flits,
+        noc.input_buffer_bytes()
+    );
+
+    println!("# Table V — input dataset statistics (generated stand-ins, re-measured)\n");
+    println!("| Dataset | Graphs | Nodes | Edges | VFeat | EFeat | OutFeat | matches spec |");
+    let generated = all_table_v(42).expect("dataset generation");
+    for (dataset, spec) in generated.iter().zip(&TABLE_V) {
+        let stats = DatasetStats::measure(dataset);
+        let diffs = stats.diff_spec(spec);
+        println!(
+            "| {} | {} | {} | {} | {} | {} | {} | {} |",
+            stats.name,
+            stats.graphs,
+            stats.total_nodes,
+            stats.total_edges,
+            stats.vertex_features,
+            stats.edge_features,
+            stats.output_features,
+            if diffs.is_empty() {
+                "yes".to_string()
+            } else {
+                format!("NO: {diffs:?}")
+            }
+        );
+    }
+    println!();
+
+    println!("# Table VI — GNN accelerator configurations\n");
+    println!("| Configuration | Tiles | Mem. Nodes | ALUs | Mem. BW (GBps) |");
+    for cfg in [
+        AcceleratorConfig::cpu_iso_bandwidth(),
+        AcceleratorConfig::gpu_iso_bandwidth(),
+        AcceleratorConfig::gpu_iso_flops(),
+    ] {
+        println!(
+            "| {} | {} | {} | {} | {:.0} |",
+            cfg.name,
+            cfg.num_tiles(),
+            cfg.num_mem_nodes(),
+            cfg.total_alus(),
+            cfg.total_mem_bandwidth() / 1e9
+        );
+    }
+    println!();
+
+    println!("# Figure 9 — topologies ( [T] tile, [M] memory node )\n");
+    for cfg in [
+        AcceleratorConfig::cpu_iso_bandwidth(),
+        AcceleratorConfig::gpu_iso_bandwidth(),
+        AcceleratorConfig::gpu_iso_flops(),
+    ] {
+        println!("{}:\n{}", cfg.name, cfg.topology.render());
+    }
+}

@@ -1,0 +1,193 @@
+//! `gnna-sim` — simulate one benchmark/configuration pair from the
+//! command line.
+//!
+//! ```console
+//! $ gnna-sim --model gcn --input cora --config gpu-iso-bw --clock 2.4
+//! $ gnna-sim --model mpnn --input qm9_1000 --smoke --energy --layers
+//! ```
+//!
+//! Prints the simulation report, the Fig-8-style speedups against the
+//! measured Table VII baselines, and optionally a per-layer timing
+//! breakdown and an energy estimate.
+
+use gnna_bench::{build_case, simulate, Scale};
+use gnna_core::config::AcceleratorConfig;
+use gnna_core::energy::EnergyModel;
+use gnna_models::ModelKind;
+use std::process::ExitCode;
+
+struct Args {
+    model: ModelKind,
+    input: &'static str,
+    config: AcceleratorConfig,
+    clock_ghz: f64,
+    threads: Option<usize>,
+    scale: Scale,
+    show_layers: bool,
+    show_energy: bool,
+}
+
+const USAGE: &str = "\
+usage: gnna-sim [options]
+  --model  gcn|gat|mpnn|pgnn     benchmark model (default gcn)
+  --input  cora|citeseer|pubmed|qm9_1000|dblp_1
+                                 input dataset (default: the model's
+                                 Table VII pairing)
+  --config cpu-iso-bw|gpu-iso-bw|gpu-iso-flops
+                                 Table VI configuration (default cpu-iso-bw)
+  --clock  GHZ                   core clock in GHz: 0.6, 1.2 or 2.4
+                                 (default 2.4)
+  --threads N                    GPE software threads (default 16)
+  --smoke                        scaled-down dataset for a fast run
+  --layers                       print the per-layer timing breakdown
+  --energy                       print the energy estimate
+  --help                         this message";
+
+fn parse_args() -> Result<Args, String> {
+    let mut model = ModelKind::Gcn;
+    let mut input: Option<&'static str> = None;
+    let mut config = AcceleratorConfig::cpu_iso_bandwidth();
+    let mut clock_ghz = 2.4;
+    let mut threads = None;
+    let mut scale = Scale::Paper;
+    let mut show_layers = false;
+    let mut show_energy = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--model" => {
+                model = match value("--model")?.to_ascii_lowercase().as_str() {
+                    "gcn" => ModelKind::Gcn,
+                    "gat" => ModelKind::Gat,
+                    "mpnn" => ModelKind::Mpnn,
+                    "pgnn" => ModelKind::Pgnn,
+                    other => return Err(format!("unknown model {other}")),
+                }
+            }
+            "--input" => {
+                input = Some(match value("--input")?.to_ascii_lowercase().as_str() {
+                    "cora" => "Cora",
+                    "citeseer" => "Citeseer",
+                    "pubmed" => "Pubmed",
+                    "qm9_1000" | "qm9" => "QM9_1000",
+                    "dblp_1" | "dblp" => "DBLP_1",
+                    other => return Err(format!("unknown input {other}")),
+                })
+            }
+            "--config" => {
+                config = match value("--config")?.to_ascii_lowercase().as_str() {
+                    "cpu-iso-bw" => AcceleratorConfig::cpu_iso_bandwidth(),
+                    "gpu-iso-bw" => AcceleratorConfig::gpu_iso_bandwidth(),
+                    "gpu-iso-flops" => AcceleratorConfig::gpu_iso_flops(),
+                    other => return Err(format!("unknown config {other}")),
+                }
+            }
+            "--clock" => {
+                clock_ghz = value("--clock")?
+                    .parse()
+                    .map_err(|e| format!("bad clock: {e}"))?
+            }
+            "--threads" => {
+                threads = Some(
+                    value("--threads")?
+                        .parse()
+                        .map_err(|e| format!("bad thread count: {e}"))?,
+                )
+            }
+            "--smoke" => scale = Scale::Smoke,
+            "--layers" => show_layers = true,
+            "--energy" => show_energy = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    let input = input.unwrap_or(match model {
+        ModelKind::Gcn | ModelKind::Gat => "Cora",
+        ModelKind::Mpnn => "QM9_1000",
+        ModelKind::Pgnn => "DBLP_1",
+    });
+    Ok(Args {
+        model,
+        input,
+        config,
+        clock_ghz,
+        threads,
+        scale,
+        show_layers,
+        show_energy,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!("{USAGE}");
+            return if msg.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+        }
+    };
+    let case = match build_case(args.model, args.input, args.scale) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: cannot build {} on {}: {e}", args.model, args.input);
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut config = args.config.with_core_clock(args.clock_ghz * 1e9);
+    if let Some(t) = args.threads {
+        config.gpe_threads = t;
+    }
+    println!(
+        "{} on {} ({} vertices, {} MMACs), {} @ {:.1} GHz, {} GPE threads",
+        args.model,
+        args.input,
+        case.dataset.total_nodes(),
+        case.macs / 1_000_000,
+        config.name,
+        args.clock_ghz,
+        config.gpe_threads
+    );
+    let wall = std::time::Instant::now();
+    let report = match simulate(&case, &config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: simulation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{report}");
+    println!("(simulated in {:.1?})", wall.elapsed());
+    if args.scale == Scale::Paper {
+        if let Some(m) = gnna_baselines::table7::measured(args.model, args.input) {
+            println!(
+                "speedup vs measured baselines: {:.2}x CPU, {:.2}x GPU",
+                m.cpu_s / report.latency_s(),
+                m.gpu_s / report.latency_s()
+            );
+        }
+    }
+    if args.show_layers {
+        println!("\nper-layer timing:");
+        for l in &report.layers {
+            println!(
+                "  {:<18} {:>12} cycles ({:>8} config)  {:.3} ms",
+                l.name,
+                l.cycles,
+                l.config_cycles,
+                l.cycles as f64 / report.noc_clock_hz * 1e3
+            );
+        }
+    }
+    if args.show_energy {
+        let e = EnergyModel::default().estimate(&report);
+        println!("\nenergy: {e}");
+        println!("mean power: {:.2} W", e.mean_power_w(report.latency_s()));
+    }
+    ExitCode::SUCCESS
+}

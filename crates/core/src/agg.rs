@@ -1,0 +1,524 @@
+//! The Aggregator (AGG) module — §III, Figure 7.
+//!
+//! The AGG manages a pool of in-progress aggregations in a 62 kB data
+//! scratchpad, with per-aggregation metadata (remaining count,
+//! destination) in a 2 kB control scratchpad. A bank of 16 32-bit ALUs
+//! combines each arriving contribution with the stored partial; when the
+//! remaining count reaches zero the result is sent to the destination
+//! configured at allocation time. Only associative operations are
+//! supported, so contributions may arrive in any order. The output flit
+//! buffer (2 kB) is drained one message per cycle into the NoC.
+//!
+//! Two mild generalisations over the paper's prose, both used by the
+//! benchmark mappings and documented in `DESIGN.md` §2:
+//!
+//! * a per-contribution scalar *scale* (carried in the incoming tag),
+//!   which implements GAT's attention weighting on the memory-to-AGG
+//!   path, and
+//! * per-slot finalisation (divide-by-count for mean aggregation, an
+//!   output activation), which implements GCN's normalisation and lets
+//!   aggregation results go straight to memory.
+
+use crate::config::AggParams;
+use crate::msg::Dest;
+use gnna_tensor::ops::Activation;
+use std::collections::VecDeque;
+
+/// The associative combine operation of a slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggOp {
+    /// Element-wise sum.
+    Sum,
+    /// Element-wise maximum.
+    Max,
+}
+
+/// Finalisation applied when a slot completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFinalize {
+    /// Emit the combined value as-is.
+    None,
+    /// Divide by the contribution count (mean aggregation — the GCN
+    /// mapping's normalisation).
+    DivideByCount,
+}
+
+/// Per-slot metadata (the control-scratchpad entry). 16 bytes in
+/// hardware; its size bounds the number of live aggregations.
+#[derive(Debug, Clone)]
+struct Slot {
+    data: Vec<f32>,
+    words: u32,
+    count: u32,
+    remaining_words: u64,
+    op: AggOp,
+    finalize: AggFinalize,
+    activation: Activation,
+    dest: Dest,
+}
+
+/// Bytes of control scratchpad one live aggregation occupies.
+const CONTROL_ENTRY_BYTES: usize = 16;
+
+#[derive(Debug)]
+enum Job {
+    /// Combine `data` into `slot` at `offset`, scaled by `scale`.
+    Accumulate {
+        slot: u32,
+        offset: u32,
+        scale: f32,
+        data: Vec<f32>,
+    },
+    /// Finalise and emit `slot`.
+    Finalize { slot: u32 },
+}
+
+/// The Aggregator module.
+#[derive(Debug)]
+pub struct Aggregator {
+    params: AggParams,
+    entry_words: usize,
+    max_slots: usize,
+    slots: Vec<Option<Slot>>,
+    free: Vec<u32>,
+    jobs: VecDeque<Job>,
+    job_budget: usize,
+    busy_until: u64,
+    finishing: Option<(Dest, Vec<f32>)>,
+    outbox: VecDeque<(Dest, Vec<f32>)>,
+    outbox_bytes: usize,
+    // stats
+    contributions: u64,
+    words_combined: u64,
+    completed: u64,
+    busy_cycles: u64,
+    alloc_failures: u64,
+}
+
+impl Aggregator {
+    /// Creates an AGG with the given hardware parameters; call
+    /// [`Aggregator::configure`] before the first layer.
+    pub fn new(params: AggParams) -> Self {
+        Aggregator {
+            params,
+            entry_words: 0,
+            max_slots: 0,
+            slots: Vec::new(),
+            free: Vec::new(),
+            jobs: VecDeque::new(),
+            job_budget: 16,
+            busy_until: 0,
+            finishing: None,
+            outbox: VecDeque::new(),
+            outbox_bytes: 0,
+            contributions: 0,
+            words_combined: 0,
+            completed: 0,
+            busy_cycles: 0,
+            alloc_failures: 0,
+        }
+    }
+
+    /// Configures the per-layer entry size. The scratchpad is divided into
+    /// evenly-sized entries (§III); the slot count is bounded by both the
+    /// data scratchpad and the control scratchpad.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while aggregations are live, or with zero words.
+    pub fn configure(&mut self, entry_words: usize) {
+        assert!(entry_words > 0, "entry size must be non-zero");
+        assert!(self.is_idle(), "reconfigured while busy");
+        let data_slots = self.params.data_scratchpad_bytes / 4 / entry_words;
+        let control_slots = self.params.control_scratchpad_bytes / CONTROL_ENTRY_BYTES;
+        self.entry_words = entry_words;
+        self.max_slots = data_slots.min(control_slots).max(1);
+        self.slots = (0..self.max_slots).map(|_| None).collect();
+        self.free = (0..self.max_slots as u32).rev().collect();
+    }
+
+    /// The configured entry size in words.
+    pub fn entry_words(&self) -> usize {
+        self.entry_words
+    }
+
+    /// Maximum simultaneously-live aggregations.
+    pub fn max_slots(&self) -> usize {
+        self.max_slots
+    }
+
+    /// Live aggregation count.
+    pub fn live_slots(&self) -> usize {
+        self.max_slots - self.free.len()
+    }
+
+    /// Attempts to allocate an aggregation of `count` contributions of
+    /// `contrib_words` words each, into a slot `words` wide (one-cycle
+    /// allocation-bus operation from the GPE). For whole-row
+    /// aggregations `contrib_words == words`; GAT's per-head attention
+    /// contributions cover `head_dim` words of a `heads × head_dim`
+    /// slot.
+    ///
+    /// A zero-`count` aggregation completes immediately with zeros.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(())` when no slot is free (the GPE retries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` exceeds the configured entry size or
+    /// `contrib_words` exceeds `words`.
+    #[allow(clippy::result_unit_err, clippy::too_many_arguments)]
+    pub fn try_alloc(
+        &mut self,
+        count: u32,
+        words: u32,
+        contrib_words: u32,
+        op: AggOp,
+        finalize: AggFinalize,
+        activation: Activation,
+        dest: Dest,
+    ) -> Result<u32, ()> {
+        assert!(
+            words as usize <= self.entry_words,
+            "slot width {words} exceeds configured entry size {}",
+            self.entry_words
+        );
+        assert!(
+            contrib_words <= words,
+            "contribution width {contrib_words} exceeds slot width {words}"
+        );
+        let Some(slot) = self.free.pop() else {
+            self.alloc_failures += 1;
+            return Err(());
+        };
+        let init = match op {
+            AggOp::Sum => 0.0,
+            AggOp::Max => f32::NEG_INFINITY,
+        };
+        self.slots[slot as usize] = Some(Slot {
+            data: vec![init; words as usize],
+            words,
+            count,
+            remaining_words: count as u64 * contrib_words as u64,
+            op,
+            finalize,
+            activation,
+            dest,
+        });
+        if count == 0 {
+            // Nothing will arrive: finalise immediately (with zeroed data
+            // for Sum; Max of nothing is defined as zero too).
+            if let Some(s) = self.slots[slot as usize].as_mut() {
+                s.data.iter_mut().for_each(|v| *v = 0.0);
+            }
+            self.jobs.push_back(Job::Finalize { slot });
+        }
+        Ok(slot)
+    }
+
+    /// Whether the module can ingest another contribution message (the
+    /// job queue models the control logic's pending-work FIFO; when it is
+    /// full the NoC ejection stalls, giving backpressure).
+    pub fn can_ingest(&self) -> bool {
+        self.jobs.len() < self.job_budget
+    }
+
+    /// Delivers one complete contribution message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is not live (a routing bug) or the contribution
+    /// overruns the slot width.
+    pub fn deliver(&mut self, slot: u32, offset: u32, scale: f32, data: Vec<f32>) {
+        let s = self.slots[slot as usize]
+            .as_ref()
+            .unwrap_or_else(|| panic!("contribution to dead slot {slot}"));
+        assert!(
+            (offset as usize + data.len()) <= s.words as usize,
+            "contribution overruns slot {slot}"
+        );
+        self.contributions += 1;
+        self.jobs.push_back(Job::Accumulate {
+            slot,
+            offset,
+            scale,
+            data,
+        });
+    }
+
+    /// Whether the module is fully drained.
+    pub fn is_idle(&self) -> bool {
+        self.jobs.is_empty()
+            && self.outbox.is_empty()
+            && self.finishing.is_none()
+            && self.live_slots() == 0
+    }
+
+    /// Whether no live aggregations exist but output may still be queued.
+    pub fn no_live_aggregations(&self) -> bool {
+        self.live_slots() == 0
+    }
+
+    /// Advances one core cycle; returns at most one result message ready
+    /// for NoC injection (the flit buffer drains one message per cycle).
+    pub fn tick(&mut self, now: u64) -> Option<(Dest, Vec<f32>)> {
+        if now >= self.busy_until {
+            // Release a finalised result whose ALU pass just completed.
+            if let Some((dest, data)) = self.finishing.take() {
+                self.completed += 1;
+                self.outbox_bytes += 8 + 4 * data.len();
+                self.outbox.push_back((dest, data));
+            }
+        }
+        if now < self.busy_until {
+            self.busy_cycles += 1;
+        } else if let Some(job) = self.jobs.pop_front() {
+            self.busy_cycles += 1;
+            match job {
+                Job::Accumulate {
+                    slot,
+                    offset,
+                    scale,
+                    data,
+                } => {
+                    let alus = self.params.num_alus as u64;
+                    let cycles = (data.len() as u64).div_ceil(alus).max(1);
+                    self.busy_until = now + cycles;
+                    self.words_combined += data.len() as u64;
+                    let s = self.slots[slot as usize]
+                        .as_mut()
+                        .expect("live slot");
+                    for (i, v) in data.iter().enumerate() {
+                        let cell = &mut s.data[offset as usize + i];
+                        match s.op {
+                            AggOp::Sum => *cell += scale * v,
+                            AggOp::Max => *cell = cell.max(scale * v),
+                        }
+                    }
+                    s.remaining_words = s
+                        .remaining_words
+                        .checked_sub(data.len() as u64)
+                        .expect("more contribution words than allocated");
+                    if s.remaining_words == 0 {
+                        self.jobs.push_front(Job::Finalize { slot });
+                    }
+                }
+                Job::Finalize { slot } => {
+                    let alus = self.params.num_alus as u64;
+                    let s = self.slots[slot as usize].take().expect("live slot");
+                    self.free.push(slot);
+                    let cycles = (s.words as u64).div_ceil(alus).max(1);
+                    self.busy_until = now + cycles;
+                    let mut data = s.data;
+                    if s.finalize == AggFinalize::DivideByCount && s.count > 0 {
+                        let inv = 1.0 / s.count as f32;
+                        data.iter_mut().for_each(|v| *v *= inv);
+                    }
+                    if s.activation != Activation::None {
+                        data.iter_mut().for_each(|v| *v = s.activation.apply(*v));
+                    }
+                    self.finishing = Some((s.dest, data));
+                }
+            }
+        }
+        // Drain one result per cycle, respecting the 2 kB flit buffer.
+        if let Some((dest, data)) = self.outbox.pop_front() {
+            self.outbox_bytes -= 8 + 4 * data.len();
+            return Some((dest, data));
+        }
+        None
+    }
+
+    /// Whether the output flit buffer has room for another result of
+    /// `words` words (finalisation stalls otherwise — modelled by the
+    /// caller checking before ticking heavy loads; the module itself also
+    /// tolerates transient overshoot).
+    pub fn outbox_has_room(&self, words: usize) -> bool {
+        self.outbox_bytes + 8 + 4 * words <= self.params.flit_buffer_bytes
+    }
+
+    /// Re-stages a result the caller could not inject this cycle.
+    pub fn stall_output(&mut self, dest: Dest, data: Vec<f32>) {
+        self.outbox_bytes += 8 + 4 * data.len();
+        self.outbox.push_front((dest, data));
+    }
+
+    /// (contributions, words combined, aggregations completed, busy
+    /// cycles, allocation failures)
+    pub fn stats(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.contributions,
+            self.words_combined,
+            self.completed,
+            self.busy_cycles,
+            self.alloc_failures,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn agg(entry_words: usize) -> Aggregator {
+        let mut a = Aggregator::new(AggParams::default());
+        a.configure(entry_words);
+        a
+    }
+
+    fn run_until_output(a: &mut Aggregator, start: u64, max: u64) -> (u64, Dest, Vec<f32>) {
+        for c in start..start + max {
+            if let Some((d, v)) = a.tick(c) {
+                return (c, d, v);
+            }
+        }
+        panic!("no output within {max} cycles");
+    }
+
+    #[test]
+    fn capacity_bounded_by_control_scratchpad() {
+        let a = agg(4);
+        // data bound: 62k/4/4 ≈ 3968; control bound: 2048/16 = 128.
+        assert_eq!(a.max_slots(), 128);
+        // Very wide entries: data bound dominates.
+        let a = agg(8192);
+        assert_eq!(a.max_slots(), 62 * 1024 / 4 / 8192);
+    }
+
+    #[test]
+    fn sum_aggregation_completes() {
+        let mut a = agg(4);
+        let slot = a
+            .try_alloc(2, 4, 4, AggOp::Sum, AggFinalize::None, Activation::None, Dest::Mem { addr: 0 })
+            .unwrap();
+        a.deliver(slot, 0, 1.0, vec![1.0, 2.0, 3.0, 4.0]);
+        a.deliver(slot, 0, 1.0, vec![10.0, 20.0, 30.0, 40.0]);
+        let (_, dest, data) = run_until_output(&mut a, 0, 64);
+        assert_eq!(dest, Dest::Mem { addr: 0 });
+        assert_eq!(data, vec![11.0, 22.0, 33.0, 44.0]);
+        assert!(a.is_idle());
+    }
+
+    #[test]
+    fn mean_finalize_divides_by_count() {
+        let mut a = agg(2);
+        let slot = a
+            .try_alloc(4, 2, 2, AggOp::Sum, AggFinalize::DivideByCount, Activation::None, Dest::Mem { addr: 64 })
+            .unwrap();
+        for _ in 0..4 {
+            a.deliver(slot, 0, 1.0, vec![2.0, 6.0]);
+        }
+        let (_, _, data) = run_until_output(&mut a, 0, 64);
+        assert_eq!(data, vec![2.0, 6.0]);
+    }
+
+    #[test]
+    fn scale_applied_per_contribution() {
+        let mut a = agg(2);
+        let slot = a
+            .try_alloc(2, 2, 2, AggOp::Sum, AggFinalize::None, Activation::None, Dest::Mem { addr: 0 })
+            .unwrap();
+        a.deliver(slot, 0, 0.5, vec![4.0, 8.0]);
+        a.deliver(slot, 0, 2.0, vec![1.0, 1.0]);
+        let (_, _, data) = run_until_output(&mut a, 0, 64);
+        assert_eq!(data, vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn max_aggregation() {
+        let mut a = agg(2);
+        let slot = a
+            .try_alloc(3, 2, 2, AggOp::Max, AggFinalize::None, Activation::None, Dest::Mem { addr: 0 })
+            .unwrap();
+        a.deliver(slot, 0, 1.0, vec![1.0, 9.0]);
+        a.deliver(slot, 0, 1.0, vec![5.0, -2.0]);
+        a.deliver(slot, 0, 1.0, vec![3.0, 4.0]);
+        let (_, _, data) = run_until_output(&mut a, 0, 64);
+        assert_eq!(data, vec![5.0, 9.0]);
+    }
+
+    #[test]
+    fn chunked_contribution_with_offsets() {
+        // One logical contribution of 4 words arriving as two 2-word
+        // chunks (interleave split) with count = 1.
+        let mut a = agg(4);
+        let slot = a
+            .try_alloc(1, 4, 4, AggOp::Sum, AggFinalize::None, Activation::None, Dest::Mem { addr: 0 })
+            .unwrap();
+        a.deliver(slot, 0, 1.0, vec![1.0, 2.0]);
+        a.deliver(slot, 2, 1.0, vec![3.0, 4.0]);
+        let (_, _, data) = run_until_output(&mut a, 0, 64);
+        assert_eq!(data, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn activation_applied_at_finalize() {
+        let mut a = agg(2);
+        let slot = a
+            .try_alloc(1, 2, 2, AggOp::Sum, AggFinalize::None, Activation::Relu, Dest::Mem { addr: 0 })
+            .unwrap();
+        a.deliver(slot, 0, 1.0, vec![-5.0, 5.0]);
+        let (_, _, data) = run_until_output(&mut a, 0, 64);
+        assert_eq!(data, vec![0.0, 5.0]);
+    }
+
+    #[test]
+    fn zero_count_completes_with_zeros() {
+        let mut a = agg(3);
+        a.try_alloc(0, 3, 3, AggOp::Sum, AggFinalize::None, Activation::None, Dest::Mem { addr: 0 })
+            .unwrap();
+        let (_, _, data) = run_until_output(&mut a, 0, 64);
+        assert_eq!(data, vec![0.0, 0.0, 0.0]);
+        assert!(a.is_idle());
+    }
+
+    #[test]
+    fn alloc_exhaustion_and_reuse() {
+        let mut a = agg(62 * 1024 / 4 / 2); // 2 slots
+        assert_eq!(a.max_slots(), 2);
+        let d = Dest::Mem { addr: 0 };
+        let s0 = a.try_alloc(1, 1, 1, AggOp::Sum, AggFinalize::None, Activation::None, d).unwrap();
+        let _s1 = a.try_alloc(1, 1, 1, AggOp::Sum, AggFinalize::None, Activation::None, d).unwrap();
+        assert!(a.try_alloc(1, 1, 1, AggOp::Sum, AggFinalize::None, Activation::None, d).is_err());
+        assert_eq!(a.stats().4, 1); // one alloc failure
+        // Complete s0, freeing a slot.
+        a.deliver(s0, 0, 1.0, vec![1.0]);
+        let _ = run_until_output(&mut a, 0, 64);
+        assert!(a.try_alloc(1, 1, 1, AggOp::Sum, AggFinalize::None, Activation::None, d).is_ok());
+    }
+
+    #[test]
+    fn throughput_sixteen_words_per_cycle() {
+        // A 64-word contribution takes 4 accumulate cycles on 16 ALUs.
+        let mut a = agg(64);
+        let slot = a
+            .try_alloc(1, 64, 64, AggOp::Sum, AggFinalize::None, Activation::None, Dest::Mem { addr: 0 })
+            .unwrap();
+        a.deliver(slot, 0, 1.0, vec![1.0; 64]);
+        let (done, _, _) = run_until_output(&mut a, 0, 64);
+        // 4 cycles accumulate + 4 cycles finalize + drain.
+        assert!((6..=12).contains(&done), "completed at {done}");
+    }
+
+    #[test]
+    #[should_panic(expected = "dead slot")]
+    fn contribution_to_dead_slot_panics() {
+        let mut a = agg(2);
+        a.deliver(5, 0, 1.0, vec![1.0]);
+    }
+
+    #[test]
+    fn stall_output_requeues() {
+        let mut a = agg(2);
+        let slot = a
+            .try_alloc(1, 2, 2, AggOp::Sum, AggFinalize::None, Activation::None, Dest::Mem { addr: 0 })
+            .unwrap();
+        a.deliver(slot, 0, 1.0, vec![7.0, 8.0]);
+        let (c, dest, data) = run_until_output(&mut a, 0, 64);
+        a.stall_output(dest, data.clone());
+        let (_, _, again) = run_until_output(&mut a, c + 1, 8);
+        assert_eq!(again, data);
+    }
+}

@@ -1,0 +1,210 @@
+//! A first-order energy model over simulation reports.
+//!
+//! §II motivates the accelerator with *energy*: "a significant amount of
+//! energy being wasted on unnecessary memory accesses" when GNNs run on
+//! dense DNN accelerators. This module closes that loop: it converts the
+//! event counts a [`SimReport`] accumulates (MACs, scratchpad words, NoC
+//! flit-hops, DRAM bytes, GPE operations) into energy using per-event
+//! costs in the style of Horowitz's ISSCC'14 survey (as Eyeriss and its
+//! successors do), so configurations and dataflows can be compared on
+//! energy as well as latency.
+//!
+//! The defaults approximate a 45 nm-class node: a 32-bit fixed-point MAC
+//! at ~3 pJ, small-scratchpad accesses at ~6 pJ/word, on-chip link+switch
+//! traversal at ~0.6 pJ/byte per hop, and DRAM at ~20 pJ/byte. Absolute
+//! joules are indicative; *relative* comparisons between dataflows and
+//! configurations are the point.
+
+use crate::stats::SimReport;
+use std::fmt;
+
+/// Per-event energy costs in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// One 32-bit multiply–accumulate (DNA PE or AGG ALU).
+    pub mac_pj: f64,
+    /// One 32-bit scratchpad access (DNQ fills, AGG partials).
+    pub sram_word_pj: f64,
+    /// One byte crossing one router + link.
+    pub noc_byte_hop_pj: f64,
+    /// One byte of DRAM traffic (including alignment waste).
+    pub dram_byte_pj: f64,
+    /// One GPE operation (simple in-order core cycle of useful work).
+    pub gpe_op_pj: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            mac_pj: 3.1,
+            sram_word_pj: 6.0,
+            noc_byte_hop_pj: 0.6,
+            dram_byte_pj: 20.0,
+            gpe_op_pj: 8.0,
+        }
+    }
+}
+
+/// An energy breakdown for one simulated inference, in joules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyReport {
+    /// DNA MAC energy.
+    pub compute_j: f64,
+    /// AGG ALU energy (one MAC-equivalent per combined word).
+    pub aggregation_j: f64,
+    /// Scratchpad access energy (DNQ fills + AGG partial read/write).
+    pub scratchpad_j: f64,
+    /// NoC transport energy.
+    pub noc_j: f64,
+    /// DRAM energy.
+    pub dram_j: f64,
+    /// GPE control energy.
+    pub gpe_j: f64,
+}
+
+impl EnergyReport {
+    /// Total energy in joules.
+    pub fn total_j(&self) -> f64 {
+        self.compute_j
+            + self.aggregation_j
+            + self.scratchpad_j
+            + self.noc_j
+            + self.dram_j
+            + self.gpe_j
+    }
+
+    /// Fraction of the total spent moving data (NoC + DRAM), the paper's
+    /// §II concern.
+    pub fn data_movement_fraction(&self) -> f64 {
+        let t = self.total_j();
+        if t == 0.0 {
+            0.0
+        } else {
+            (self.noc_j + self.dram_j) / t
+        }
+    }
+
+    /// Mean power in watts over an inference of `latency_s` seconds.
+    pub fn mean_power_w(&self, latency_s: f64) -> f64 {
+        if latency_s <= 0.0 {
+            0.0
+        } else {
+            self.total_j() / latency_s
+        }
+    }
+}
+
+impl fmt::Display for EnergyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.1} uJ total (compute {:.1}, agg {:.1}, sram {:.1}, noc {:.1}, dram {:.1}, gpe {:.1}; {:.0}% data movement)",
+            self.total_j() * 1e6,
+            self.compute_j * 1e6,
+            self.aggregation_j * 1e6,
+            self.scratchpad_j * 1e6,
+            self.noc_j * 1e6,
+            self.dram_j * 1e6,
+            self.gpe_j * 1e6,
+            self.data_movement_fraction() * 100.0
+        )
+    }
+}
+
+impl EnergyModel {
+    /// Estimates the energy of a simulated inference from its report.
+    pub fn estimate(&self, report: &SimReport) -> EnergyReport {
+        let pj = 1e-12;
+        // Each AGG combined word is one ALU op plus a partial read and
+        // write; each DNQ fill word is one write plus one dequeue read.
+        let sram_words = 3.0 * report.agg_words_combined as f64 + 2.0 * report.dnq_fill_words as f64;
+        EnergyReport {
+            compute_j: report.dna_macs as f64 * self.mac_pj * pj,
+            aggregation_j: report.agg_words_combined as f64 * self.mac_pj * pj,
+            scratchpad_j: sram_words * self.sram_word_pj * pj,
+            noc_j: report.noc_flit_hops as f64 * 64.0 * self.noc_byte_hop_pj * pj,
+            dram_j: report.dram_bytes as f64 * self.dram_byte_pj * pj,
+            gpe_j: report.gpe_op_cycles as f64 * self.gpe_op_pj * pj,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::SimReport;
+
+    fn report() -> SimReport {
+        SimReport {
+            config_name: "test".into(),
+            core_clock_hz: 2.4e9,
+            noc_clock_hz: 2.4e9,
+            total_cycles: 2_400_000,
+            config_cycles: 0,
+            layers: vec![],
+            dram_bytes: 1_000_000,
+            useful_mem_bytes: 900_000,
+            peak_mem_bandwidth: 68e9,
+            dna_busy_cycles: 10_000,
+            dna_entries: 100,
+            dna_macs: 10_000_000,
+            gpe_op_cycles: 100_000,
+            gpe_idle_cycles: 0,
+            agg_busy_cycles: 100,
+            agg_completed: 10,
+            agg_words_combined: 50_000,
+            dnq_fill_words: 60_000,
+            noc_flit_hops: 200_000,
+            num_tiles: 1,
+        }
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let e = EnergyModel::default().estimate(&report());
+        let sum = e.compute_j + e.aggregation_j + e.scratchpad_j + e.noc_j + e.dram_j + e.gpe_j;
+        assert!((e.total_j() - sum).abs() < 1e-18);
+        assert!(e.total_j() > 0.0);
+    }
+
+    #[test]
+    fn component_formulas() {
+        let m = EnergyModel::default();
+        let e = m.estimate(&report());
+        assert!((e.compute_j - 10_000_000.0 * 3.1e-12).abs() < 1e-12);
+        assert!((e.dram_j - 1_000_000.0 * 20.0e-12).abs() < 1e-12);
+        assert!((e.noc_j - 200_000.0 * 64.0 * 0.6e-12).abs() < 1e-12);
+    }
+
+    #[test]
+    fn data_movement_fraction_in_range() {
+        let e = EnergyModel::default().estimate(&report());
+        assert!((0.0..=1.0).contains(&e.data_movement_fraction()));
+        // DRAM at 20 pJ/B dominates this profile.
+        assert!(e.dram_j > e.compute_j * 0.5);
+    }
+
+    #[test]
+    fn mean_power_is_energy_over_time() {
+        let e = EnergyModel::default().estimate(&report());
+        let p = e.mean_power_w(1e-3);
+        assert!((p - e.total_j() / 1e-3).abs() < 1e-12);
+        assert_eq!(e.mean_power_w(0.0), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_total() {
+        let e = EnergyModel::default().estimate(&report());
+        assert!(e.to_string().contains("uJ total"));
+    }
+
+    #[test]
+    fn custom_costs_scale_linearly() {
+        let base = EnergyModel::default();
+        let double = EnergyModel { dram_byte_pj: base.dram_byte_pj * 2.0, ..base };
+        let r = report();
+        assert!(
+            (double.estimate(&r).dram_j - 2.0 * base.estimate(&r).dram_j).abs() < 1e-15
+        );
+    }
+}

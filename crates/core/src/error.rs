@@ -1,0 +1,87 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for accelerator configuration, compilation and simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// An accelerator configuration was internally inconsistent.
+    InvalidConfig {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// A model could not be compiled into accelerator layers.
+    CompileError {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// The simulation made no forward progress for a long interval
+    /// (a deadlock or a resource sized too small for the workload).
+    Stalled {
+        /// Master cycle at which the stall was detected.
+        cycle: u64,
+        /// What the system was waiting on.
+        detail: String,
+    },
+    /// An underlying model error.
+    Model(gnna_models::ModelError),
+    /// An underlying tensor error.
+    Tensor(gnna_tensor::TensorError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig { reason } => write!(f, "invalid accelerator config: {reason}"),
+            CoreError::CompileError { reason } => write!(f, "model compilation failed: {reason}"),
+            CoreError::Stalled { cycle, detail } => {
+                write!(f, "simulation stalled at cycle {cycle}: {detail}")
+            }
+            CoreError::Model(e) => write!(f, "model error: {e}"),
+            CoreError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Model(e) => Some(e),
+            CoreError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<gnna_models::ModelError> for CoreError {
+    fn from(e: gnna_models::ModelError) -> Self {
+        CoreError::Model(e)
+    }
+}
+
+impl From<gnna_tensor::TensorError> for CoreError {
+    fn from(e: gnna_tensor::TensorError) -> Self {
+        CoreError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CoreError::InvalidConfig { reason: "x".into() }
+            .to_string()
+            .contains("invalid"));
+        assert!(CoreError::Stalled { cycle: 5, detail: "agg full".into() }
+            .to_string()
+            .contains("cycle 5"));
+    }
+
+    #[test]
+    fn source_chains() {
+        let e: CoreError = gnna_tensor::TensorError::InvalidCsr { reason: "r".into() }.into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,1360 @@
+//! The Graph Processing Element (GPE) — §III, Figure 4, and the §IV
+//! runtime's vertex-program execution.
+//!
+//! The GPE is a single-threaded control core with a scratchpad, a
+//! specialised memory interface for *indirect asynchronous* reads, and an
+//! allocation bus to the tile's DNQ and AGG. A lightweight runtime
+//! multiplexes a pool of software threads over it: whenever a thread
+//! issues a load it needs to wait on, the GPE context-switches (one
+//! cycle, since all state lives in the scratchpad) and runs another
+//! thread. Every ALU operation, memory command, or IO operation costs one
+//! core cycle.
+//!
+//! Each software thread executes the current layer's
+//! [`VertexProgram`] for one vertex, as a
+//! small state machine: a structure-fetch prologue (row pointers, then
+//! the neighbor list) followed by the program body. Feature loads are
+//! *fire-and-forget*: the GPE issues a read whose response is routed by
+//! the NoC directly to the AGG or DNQ — the defining dataflow of the
+//! architecture — so the thread never touches the feature data itself.
+
+use crate::agg::{AggFinalize, AggOp, Aggregator};
+use crate::dnq::Dnq;
+use crate::layers::{Layer, VertexProgram};
+use crate::layout::{BufferRegion, Layout, UnionGraph};
+use crate::msg::{AddressMap, Dest, Message, Tag};
+use gnna_noc::Address;
+use gnna_tensor::ops::leaky_relu;
+use std::collections::{HashSet, VecDeque};
+use std::rc::Rc;
+
+/// The tile-local NoC endpoints a GPE needs to address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TilePorts {
+    /// The GPE's own port (reply address for blocking reads).
+    pub gpe: Address,
+    /// The tile's AGG port.
+    pub agg: Address,
+    /// The tile's DNQ port.
+    pub dnq: Address,
+}
+
+/// Everything outside the GPE that a tick may touch: the tile's AGG and
+/// DNQ (allocation bus), the workload layout and metadata, the address
+/// map, and the cross-tile readout mailbox.
+#[derive(Debug)]
+pub struct GpeCtx<'a> {
+    /// The tile's aggregator (allocation bus).
+    pub agg: &'a mut Aggregator,
+    /// The tile's DNN queue (allocation bus).
+    pub dnq: &'a mut Dnq,
+    /// The workload's memory layout.
+    pub layout: &'a Layout,
+    /// Union-graph metadata (graph membership — scratchpad-resident).
+    pub union: &'a UnionGraph,
+    /// Physical address interleaving.
+    pub map: &'a AddressMap,
+    /// Per-graph readout slots: `(agg port, slot)` once the owning vertex
+    /// has allocated (a software mailbox shared across tiles).
+    pub board: &'a mut [Option<(Address, u32)>],
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StepResult {
+    /// Made progress; thread remains runnable.
+    Progress,
+    /// A resource was full; retry later (another thread should run).
+    Stall,
+    /// Waiting on memory data.
+    Blocked,
+    /// Vertex finished.
+    Done,
+}
+
+#[derive(Debug)]
+enum Phase {
+    FetchRowPtr { issued: bool },
+    FetchNeighbors { issued: bool },
+    Body(Body),
+}
+
+#[derive(Debug)]
+enum Body {
+    Project {
+        st: u8,
+        entry: u32,
+    },
+    Aggregate {
+        st: u8,
+        slot: u32,
+        idx: usize,
+    },
+    Attention {
+        st: u8,
+        slot: u32,
+        idx: usize,
+        head: usize,
+        self_st: Vec<f32>,
+        cur_t: Vec<f32>,
+    },
+    Mpnn {
+        st: u8,
+        e1: u32,
+        slot: u32,
+        idx: usize,
+        e0: u32,
+    },
+    Readout {
+        st: u8,
+        entry: u32,
+    },
+    Power {
+        st: u8,
+        pi: usize,
+        out_slot: u32,
+        frontier: Vec<u32>,
+        next: Vec<u32>,
+        seen: HashSet<u32>,
+        fi: usize,
+        wi: usize,
+        hop: u8,
+        set: Vec<u32>,
+        entry: u32,
+        gather_slot: u32,
+        idx: usize,
+        u_deg: u32,
+        u_base: u32,
+    },
+}
+
+#[derive(Debug)]
+struct Task {
+    v: u32,
+    deg: u32,
+    edge_base: u32,
+    neighbors: Vec<u32>,
+    phase: Phase,
+    recv: Vec<u32>,
+    recv_expect: usize,
+    recv_got: usize,
+    issue_queue: VecDeque<(Address, Message)>,
+}
+
+#[derive(Debug)]
+enum TState {
+    Idle,
+    Ready(Task),
+    Blocked(Task),
+}
+
+/// Counters accumulated by a GPE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GpeStats {
+    /// Cycles that executed a thread operation.
+    pub op_cycles: u64,
+    /// Cycles lost to context switches.
+    pub switch_cycles: u64,
+    /// Cycles with no runnable thread (all blocked on memory or done).
+    pub idle_cycles: u64,
+    /// Cycles a runnable thread could not progress (resource full).
+    pub stall_cycles: u64,
+    /// Vertices completed.
+    pub vertices_done: u64,
+    /// Memory read commands issued.
+    pub reads_issued: u64,
+}
+
+/// The GPE module.
+#[derive(Debug)]
+pub struct Gpe {
+    ports: TilePorts,
+    threads: Vec<TState>,
+    last_executed: Option<usize>,
+    rr: usize,
+    work: VecDeque<u32>,
+    layer: Option<Rc<Layer>>,
+    outbox: VecDeque<(Address, Message)>,
+    outbox_cap: usize,
+    stats: GpeStats,
+}
+
+impl Gpe {
+    /// Creates a GPE with `num_threads` software threads.
+    pub fn new(ports: TilePorts, num_threads: usize) -> Self {
+        Gpe {
+            ports,
+            threads: (0..num_threads).map(|_| TState::Idle).collect(),
+            last_executed: None,
+            rr: 0,
+            work: VecDeque::new(),
+            layer: None,
+            outbox: VecDeque::new(),
+            outbox_cap: 8,
+            stats: GpeStats::default(),
+        }
+    }
+
+    /// Begins a layer over this tile's vertex partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the previous layer has not fully drained.
+    pub fn start_layer(&mut self, layer: Rc<Layer>, work: impl IntoIterator<Item = u32>) {
+        assert!(self.is_idle(), "layer started while GPE busy");
+        self.layer = Some(layer);
+        self.work = work.into_iter().collect();
+        self.last_executed = None;
+    }
+
+    /// Whether all threads are idle, the work queue is drained, and no
+    /// outgoing messages are pending.
+    pub fn is_idle(&self) -> bool {
+        self.work.is_empty()
+            && self.outbox.is_empty()
+            && self.threads.iter().all(|t| matches!(t, TState::Idle))
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &GpeStats {
+        &self.stats
+    }
+
+    /// Number of staged outgoing messages.
+    pub fn pending_outgoing(&self) -> usize {
+        self.outbox.len()
+    }
+
+    /// Removes the next outgoing message if the NoC can take it.
+    pub fn pop_outgoing(&mut self) -> Option<(Address, Message)> {
+        self.outbox.pop_front()
+    }
+
+    /// Re-stages an outgoing message the caller could not inject.
+    pub fn push_back_outgoing(&mut self, dst: Address, msg: Message) {
+        self.outbox.push_front((dst, msg));
+    }
+
+    /// Delivers data for a blocking read issued by `thread`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread is not blocked (a routing bug).
+    pub fn deliver(&mut self, thread: u16, offset: u32, data: &[u32]) {
+        let t = &mut self.threads[thread as usize];
+        // A chunked read's early chunks can arrive while the thread is
+        // still issuing the later ones (Ready); only a completed
+        // `recv_expect` unblocks a Blocked thread.
+        let task = match t {
+            TState::Blocked(task) | TState::Ready(task) => task,
+            TState::Idle => panic!("data delivered to idle GPE thread {thread}"),
+        };
+        let off = offset as usize;
+        assert!(
+            off + data.len() <= task.recv.len(),
+            "GPE receive overrun (thread {thread})"
+        );
+        task.recv[off..off + data.len()].copy_from_slice(data);
+        task.recv_got += data.len();
+        if task.recv_got >= task.recv_expect && matches!(t, TState::Blocked(_)) {
+            let TState::Blocked(task) = std::mem::replace(t, TState::Idle) else {
+                unreachable!()
+            };
+            *t = TState::Ready(task);
+        }
+    }
+
+    /// Advances one core cycle.
+    pub fn tick(&mut self, ctx: &mut GpeCtx<'_>) {
+        // Find a runnable thread, round-robin from `rr`.
+        let n = self.threads.len();
+        let mut chosen = None;
+        for k in 0..n {
+            let i = (self.rr + k) % n;
+            if matches!(self.threads[i], TState::Ready(_)) {
+                chosen = Some(i);
+                break;
+            }
+        }
+        let Some(i) = chosen else {
+            // No runnable thread: start a new vertex if possible.
+            if let Some(v) = self.work.front().copied() {
+                if let Some(slot) = self
+                    .threads
+                    .iter()
+                    .position(|t| matches!(t, TState::Idle))
+                {
+                    self.work.pop_front();
+                    let layer = self.layer.as_ref().expect("layer set").clone();
+                    self.threads[slot] = TState::Ready(new_task(v, &layer));
+                    self.stats.op_cycles += 1;
+                    return;
+                }
+            }
+            self.stats.idle_cycles += 1;
+            return;
+        };
+        // One-cycle context switch when changing threads.
+        if self.last_executed != Some(i) && self.last_executed.is_some() {
+            self.last_executed = Some(i);
+            self.stats.switch_cycles += 1;
+            return;
+        }
+        self.last_executed = Some(i);
+        let layer = self.layer.as_ref().expect("layer set").clone();
+        let TState::Ready(mut task) = std::mem::replace(&mut self.threads[i], TState::Idle)
+        else {
+            unreachable!()
+        };
+        let result = self.step(&mut task, i as u16, &layer, ctx);
+        match result {
+            StepResult::Progress => {
+                self.stats.op_cycles += 1;
+                self.threads[i] = TState::Ready(task);
+            }
+            StepResult::Stall => {
+                self.stats.stall_cycles += 1;
+                self.threads[i] = TState::Ready(task);
+                // Let another thread run next cycle.
+                self.rr = (i + 1) % n;
+            }
+            StepResult::Blocked => {
+                self.stats.op_cycles += 1;
+                self.threads[i] = TState::Blocked(task);
+                self.rr = (i + 1) % n;
+            }
+            StepResult::Done => {
+                self.stats.op_cycles += 1;
+                self.stats.vertices_done += 1;
+                self.threads[i] = TState::Idle;
+                self.rr = (i + 1) % n;
+            }
+        }
+    }
+
+    /// Enqueues the chunked memory reads for `(addr, bytes)`, tagging each
+    /// chunk with a word offset via `mk_tag`.
+    fn enqueue_read(
+        task: &mut Task,
+        ctx: &GpeCtx<'_>,
+        reply_to: Address,
+        addr: u64,
+        bytes: u64,
+        mk_tag: impl Fn(u32) -> Tag,
+    ) {
+        let mut word_off = 0u32;
+        for (owner, a, b) in ctx.map.split(addr, bytes) {
+            task.issue_queue.push_back((
+                owner,
+                Message::MemRead {
+                    addr: a,
+                    bytes: b as u32,
+                    reply_to,
+                    tag: mk_tag(word_off),
+                },
+            ));
+            word_off += (b / 4) as u32;
+        }
+    }
+
+    /// Prepares the task to await `words` words into its receive buffer.
+    fn await_words(task: &mut Task, words: usize) {
+        task.recv = vec![0; words];
+        task.recv_expect = words;
+        task.recv_got = 0;
+    }
+
+    /// Executes one single-cycle operation of `task`. Returns what the
+    /// cycle accomplished.
+    fn step(
+        &mut self,
+        task: &mut Task,
+        thread: u16,
+        layer: &Layer,
+        ctx: &mut GpeCtx<'_>,
+    ) -> StepResult {
+        // Draining the issue queue is itself one IO op per cycle.
+        if let Some((dst, msg)) = task.issue_queue.pop_front() {
+            if self.outbox.len() >= self.outbox_cap {
+                task.issue_queue.push_front((dst, msg));
+                return StepResult::Stall;
+            }
+            let blocking = matches!(
+                (&msg, task.issue_queue.is_empty()),
+                (Message::MemRead { tag: Tag::Gpe { .. }, .. }, true)
+            );
+            self.stats.reads_issued += 1;
+            self.outbox.push_back((dst, msg));
+            if blocking && task.recv_expect > task.recv_got {
+                return StepResult::Blocked;
+            }
+            return StepResult::Progress;
+        }
+
+        let gpe_port = self.ports.gpe;
+        let v = task.v as usize;
+        let _ = v;
+
+        // Structure-fetch prologue.
+        match &mut task.phase {
+            Phase::FetchRowPtr { issued } => {
+                if !*issued {
+                    *issued = true;
+                    Self::await_words(task, 2);
+                    Self::enqueue_read(
+                        task,
+                        ctx,
+                        gpe_port,
+                        ctx.layout.row_ptr_entry(v),
+                        8,
+                        |off| Tag::Gpe { thread, offset: off },
+                    );
+                    return StepResult::Progress;
+                }
+                // Woken: decode.
+                task.edge_base = task.recv[0];
+                task.deg = task.recv[1] - task.recv[0];
+                if layer.program.needs_structure() && task.deg > 0 {
+                    task.phase = Phase::FetchNeighbors { issued: false };
+                } else {
+                    task.phase = Phase::Body(new_body(&layer.program));
+                }
+                StepResult::Progress
+            }
+            Phase::FetchNeighbors { issued } => {
+                if !*issued {
+                    *issued = true;
+                    Self::await_words(task, task.deg as usize);
+                    Self::enqueue_read(
+                        task,
+                        ctx,
+                        gpe_port,
+                        ctx.layout.col_idx_entry(task.edge_base as usize),
+                        task.deg as u64 * 4,
+                        |off| Tag::Gpe { thread, offset: off },
+                    );
+                    return StepResult::Progress;
+                }
+                task.neighbors = task.recv.clone();
+                task.phase = Phase::Body(new_body(&layer.program));
+                StepResult::Progress
+            }
+            Phase::Body(_) => self.step_body(task, thread, layer, ctx),
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn step_body(
+        &mut self,
+        task: &mut Task,
+        thread: u16,
+        layer: &Layer,
+        ctx: &mut GpeCtx<'_>,
+    ) -> StepResult {
+        let gpe_port = self.ports.gpe;
+        let agg_port = self.ports.agg;
+        let dnq_port = self.ports.dnq;
+        let v = task.v as usize;
+        let buf = |id: usize| -> BufferRegion { ctx.layout.buffers[id] };
+        // Move the body state out so the task can be borrowed for reads.
+        let Phase::Body(mut body) = std::mem::replace(
+            &mut task.phase,
+            Phase::FetchRowPtr { issued: true },
+        ) else {
+            unreachable!()
+        };
+        let body_ref = &mut body;
+        let result = (|| -> StepResult { match (body_ref, &layer.program) {
+            (Body::Project { st, entry }, VertexProgram::Project { src, dst }) => match *st {
+                0 => {
+                    let dest = Dest::Mem { addr: buf(*dst).row_addr(v) };
+                    match ctx.dnq.try_alloc(0, 0, dest) {
+                        Ok(e) => {
+                            *entry = e;
+                            *st = 1;
+                            StepResult::Progress
+                        }
+                        Err(()) => StepResult::Stall,
+                    }
+                }
+                1 => {
+                    let region = buf(*src);
+                    let e = *entry;
+                    Self::enqueue_read(
+                        task,
+                        ctx,
+                        dnq_port,
+                        region.row_addr(v),
+                        region.row_bytes(),
+                        |off| Tag::Dnq { queue: 0, entry: e, offset: off },
+                    );
+                    *st = 2;
+                    StepResult::Progress
+                }
+                // The issue queue drains one command per cycle at the top
+                // of `step`; once empty the vertex is finished.
+                _ => StepResult::Done,
+            },
+            (Body::Aggregate { st, slot, idx }, VertexProgram::Aggregate {
+                src,
+                dst,
+                include_self,
+                op,
+                finalize,
+                activation,
+            }) => match *st {
+                0 => {
+                    let count = task.deg + u32::from(*include_self);
+                    let region = buf(*src);
+                    let dest = Dest::Mem { addr: buf(*dst).row_addr(v) };
+                    match ctx.agg.try_alloc(
+                        count,
+                        region.row_words as u32,
+                        region.row_words as u32,
+                        *op,
+                        *finalize,
+                        *activation,
+                        dest,
+                    ) {
+                        Ok(s) => {
+                            *slot = s;
+                            *st = 1;
+                            if *include_self {
+                                let sl = s;
+                                Self::enqueue_read(
+                                    task,
+                                    ctx,
+                                    agg_port,
+                                    region.row_addr(v),
+                                    region.row_bytes(),
+                                    |off| Tag::Agg { slot: sl, scale: 1.0, offset: off },
+                                );
+                            }
+                            StepResult::Progress
+                        }
+                        Err(()) => StepResult::Stall,
+                    }
+                }
+                _ => {
+                    if *idx < task.deg as usize {
+                        let u = task.neighbors[*idx] as usize;
+                        *idx += 1;
+                        let region = buf(*src);
+                        let sl = *slot;
+                        Self::enqueue_read(
+                            task,
+                            ctx,
+                            agg_port,
+                            region.row_addr(u),
+                            region.row_bytes(),
+                            |off| Tag::Agg { slot: sl, scale: 1.0, offset: off },
+                        );
+                        StepResult::Progress
+                    } else {
+                        StepResult::Done
+                    }
+                }
+            },
+            (
+                Body::Attention { st, slot, idx, head, self_st, cur_t },
+                VertexProgram::AttentionAggregate { z, heads, head_dim, dst, activation },
+            ) => {
+                let zr = buf(*z);
+                let h = *heads;
+                let d = *head_dim;
+                let st_off = (h * d * 4) as u64; // byte offset of [s|t] block
+                match *st {
+                    0 => {
+                        Self::await_words(task, 2 * h);
+                        Self::enqueue_read(
+                            task,
+                            ctx,
+                            gpe_port,
+                            zr.row_addr(v) + st_off,
+                            (2 * h * 4) as u64,
+                            |off| Tag::Gpe { thread, offset: off },
+                        );
+                        *st = 1;
+                        StepResult::Progress
+                    }
+                    1 => {
+                        // Woken with [s | t] of v.
+                        *self_st = task.recv.iter().map(|&w| f32::from_bits(w)).collect();
+                        let count = (task.deg + 1) * h as u32;
+                        let dest = Dest::Mem { addr: buf(*dst).row_addr(v) };
+                        match ctx.agg.try_alloc(
+                            count,
+                            (h * d) as u32,
+                            d as u32,
+                            AggOp::Sum,
+                            AggFinalize::None,
+                            *activation,
+                            dest,
+                        ) {
+                            Ok(s) => {
+                                *slot = s;
+                                *head = 0;
+                                *st = 2;
+                                StepResult::Progress
+                            }
+                            Err(()) => StepResult::Stall,
+                        }
+                    }
+                    2 => {
+                        // Self contributions, one head per cycle.
+                        let hh = *head;
+                        let scale = leaky_relu(self_st[hh] + self_st[h + hh]);
+                        let sl = *slot;
+                        Self::enqueue_read(
+                            task,
+                            ctx,
+                            agg_port,
+                            zr.row_addr(v) + (hh * d * 4) as u64,
+                            (d * 4) as u64,
+                            |off| Tag::Agg { slot: sl, scale, offset: (hh * d) as u32 + off },
+                        );
+                        *head += 1;
+                        if *head == h {
+                            *idx = 0;
+                            *st = 3;
+                        }
+                        StepResult::Progress
+                    }
+                    3 => {
+                        if *idx >= task.deg as usize {
+                            return StepResult::Done;
+                        }
+                        let u = task.neighbors[*idx] as usize;
+                        Self::await_words(task, h);
+                        Self::enqueue_read(
+                            task,
+                            ctx,
+                            gpe_port,
+                            zr.row_addr(u) + st_off + (h * 4) as u64, // t block
+                            (h * 4) as u64,
+                            |off| Tag::Gpe { thread, offset: off },
+                        );
+                        *head = 0;
+                        *st = 4;
+                        StepResult::Progress
+                    }
+                    _ => {
+                        if *head == 0 {
+                            *cur_t = task.recv.iter().map(|&w| f32::from_bits(w)).collect();
+                        }
+                        let u = task.neighbors[*idx] as usize;
+                        let hh = *head;
+                        let scale = leaky_relu(self_st[hh] + cur_t[hh]);
+                        let sl = *slot;
+                        Self::enqueue_read(
+                            task,
+                            ctx,
+                            agg_port,
+                            zr.row_addr(u) + (hh * d * 4) as u64,
+                            (d * 4) as u64,
+                            |off| Tag::Agg { slot: sl, scale, offset: (hh * d) as u32 + off },
+                        );
+                        *head += 1;
+                        if *head == h {
+                            *idx += 1;
+                            *st = 3;
+                        }
+                        StepResult::Progress
+                    }
+                }
+            }
+            (Body::Mpnn { st, e1, slot, idx, e0 }, VertexProgram::MpnnStep { h, edge, dst }) => {
+                let hr = buf(*h);
+                let hidden = hr.row_words;
+                match *st {
+                    0 => match ctx.dnq.try_alloc(1, 1, Dest::Mem { addr: buf(*dst).row_addr(v) }) {
+                        Ok(e) => {
+                            *e1 = e;
+                            *st = 1;
+                            StepResult::Progress
+                        }
+                        Err(()) => StepResult::Stall,
+                    },
+                    1 => {
+                        let dest = Dest::Port {
+                            addr: dnq_port,
+                            tag: Tag::Dnq { queue: 1, entry: *e1, offset: 0 },
+                        };
+                        match ctx.agg.try_alloc(
+                            task.deg,
+                            hidden as u32,
+                            hidden as u32,
+                            AggOp::Sum,
+                            AggFinalize::None,
+                            gnna_tensor::ops::Activation::None,
+                            dest,
+                        ) {
+                            Ok(s) => {
+                                *slot = s;
+                                *st = 2;
+                                StepResult::Progress
+                            }
+                            Err(()) => StepResult::Stall,
+                        }
+                    }
+                    2 => {
+                        // h_v fills the second half of the GRU entry.
+                        let e = *e1;
+                        let base = hidden as u32;
+                        Self::enqueue_read(task, ctx, dnq_port, hr.row_addr(v), hr.row_bytes(), |off| {
+                            Tag::Dnq { queue: 1, entry: e, offset: base + off }
+                        });
+                        *idx = 0;
+                        *st = 3;
+                        StepResult::Progress
+                    }
+                    3 => {
+                        if *idx >= task.deg as usize {
+                            return StepResult::Done;
+                        }
+                        let dest = Dest::Port {
+                            addr: agg_port,
+                            tag: Tag::Agg { slot: *slot, scale: 1.0, offset: 0 },
+                        };
+                        match ctx.dnq.try_alloc(0, 0, dest) {
+                            Ok(e) => {
+                                *e0 = e;
+                                *st = 4;
+                                StepResult::Progress
+                            }
+                            Err(()) => StepResult::Stall,
+                        }
+                    }
+                    4 => {
+                        let u = task.neighbors[*idx] as usize;
+                        let e = *e0;
+                        Self::enqueue_read(task, ctx, dnq_port, hr.row_addr(u), hr.row_bytes(), |off| {
+                            Tag::Dnq { queue: 0, entry: e, offset: off }
+                        });
+                        if let Some(eb) = edge {
+                            let er = buf(*eb);
+                            let eid = task.edge_base as usize + *idx;
+                            let base = hidden as u32;
+                            Self::enqueue_read(
+                                task,
+                                ctx,
+                                dnq_port,
+                                er.row_addr(eid),
+                                er.row_bytes(),
+                                |off| Tag::Dnq { queue: 0, entry: e, offset: base + off },
+                            );
+                        }
+                        *idx += 1;
+                        *st = 3;
+                        StepResult::Progress
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            (Body::Readout { st, entry }, VertexProgram::Readout { h, dst }) => {
+                let g = ctx.union.graph_of_vertex[v] as usize;
+                let hr = buf(*h);
+                match *st {
+                    0 => {
+                        if ctx.board[g].is_some() {
+                            *st = 3;
+                            return StepResult::Progress;
+                        }
+                        if ctx.union.graph_base[g] as usize == v {
+                            *st = 1;
+                            StepResult::Progress
+                        } else {
+                            // Owner has not allocated yet; spin.
+                            StepResult::Stall
+                        }
+                    }
+                    1 => match ctx.dnq.try_alloc(0, 0, Dest::Mem { addr: buf(*dst).row_addr(g) }) {
+                        Ok(e) => {
+                            *entry = e;
+                            *st = 2;
+                            StepResult::Progress
+                        }
+                        Err(()) => StepResult::Stall,
+                    },
+                    2 => {
+                        let dest = Dest::Port {
+                            addr: dnq_port,
+                            tag: Tag::Dnq { queue: 0, entry: *entry, offset: 0 },
+                        };
+                        match ctx.agg.try_alloc(
+                            ctx.union.graph_sizes[g],
+                            hr.row_words as u32,
+                            hr.row_words as u32,
+                            AggOp::Sum,
+                            AggFinalize::None,
+                            gnna_tensor::ops::Activation::None,
+                            dest,
+                        ) {
+                            Ok(s) => {
+                                ctx.board[g] = Some((agg_port, s));
+                                *st = 3;
+                                StepResult::Progress
+                            }
+                            Err(()) => StepResult::Stall,
+                        }
+                    }
+                    3 => {
+                        let (agg_at, slot) = ctx.board[g].expect("board set");
+                        Self::enqueue_read(task, ctx, agg_at, hr.row_addr(v), hr.row_bytes(), |off| {
+                            Tag::Agg { slot, scale: 1.0, offset: off }
+                        });
+                        *st = 4;
+                        StepResult::Progress
+                    }
+                    _ => StepResult::Done,
+                }
+            }
+            (
+                Body::Power {
+                    st,
+                    pi,
+                    out_slot,
+                    frontier,
+                    next,
+                    seen,
+                    fi,
+                    wi,
+                    hop,
+                    set,
+                    entry,
+                    gather_slot,
+                    idx,
+                    u_deg,
+                    u_base,
+                },
+                VertexProgram::PowerGather { src, dst, powers, activation },
+            ) => {
+                let sr = buf(*src);
+                let out_words = buf(*dst).row_words as u32;
+                match *st {
+                    0 => {
+                        let dest = Dest::Mem { addr: buf(*dst).row_addr(v) };
+                        match ctx.agg.try_alloc(
+                            powers.len() as u32,
+                            out_words,
+                            out_words,
+                            AggOp::Sum,
+                            AggFinalize::None,
+                            *activation,
+                            dest,
+                        ) {
+                            Ok(s) => {
+                                *out_slot = s;
+                                *pi = 0;
+                                *st = 1;
+                                StepResult::Progress
+                            }
+                            Err(()) => StepResult::Stall,
+                        }
+                    }
+                    1 => {
+                        // Begin power `powers[*pi]`.
+                        let k = powers[*pi];
+                        match k {
+                            0 => {
+                                *set = vec![task.v];
+                                *st = 5;
+                            }
+                            1 => {
+                                *set = task.neighbors.clone();
+                                *st = 5;
+                            }
+                            _ => {
+                                *frontier = task.neighbors.clone();
+                                next.clear();
+                                seen.clear();
+                                *fi = 0;
+                                *hop = 1;
+                                *st = 2;
+                            }
+                        }
+                        StepResult::Progress
+                    }
+                    2 => {
+                        let k = powers[*pi];
+                        if *hop as usize == k as usize {
+                            *set = frontier.clone();
+                            *st = 5;
+                            return StepResult::Progress;
+                        }
+                        if *fi < frontier.len() {
+                            // Fetch row_ptr of the next frontier vertex.
+                            let u = frontier[*fi] as usize;
+                            Self::await_words(task, 2);
+                            Self::enqueue_read(
+                                task,
+                                ctx,
+                                gpe_port,
+                                ctx.layout.row_ptr_entry(u),
+                                8,
+                                |off| Tag::Gpe { thread, offset: off },
+                            );
+                            *st = 3;
+                            StepResult::Progress
+                        } else {
+                            // Advance a hop.
+                            next.sort_unstable();
+                            *frontier = std::mem::take(next);
+                            seen.clear();
+                            *fi = 0;
+                            *hop += 1;
+                            StepResult::Progress
+                        }
+                    }
+                    3 => {
+                        // Woken with row pointers of frontier[*fi].
+                        *u_base = task.recv[0];
+                        *u_deg = task.recv[1] - task.recv[0];
+                        if *u_deg == 0 {
+                            *fi += 1;
+                            *st = 2;
+                            return StepResult::Progress;
+                        }
+                        Self::await_words(task, *u_deg as usize);
+                        let base = *u_base as usize;
+                        let bytes = *u_deg as u64 * 4;
+                        Self::enqueue_read(
+                            task,
+                            ctx,
+                            gpe_port,
+                            ctx.layout.col_idx_entry(base),
+                            bytes,
+                            |off| Tag::Gpe { thread, offset: off },
+                        );
+                        *wi = 0;
+                        *st = 4;
+                        StepResult::Progress
+                    }
+                    4 => {
+                        // Dedup-insert one candidate per cycle (ALU work).
+                        if *wi < task.recv.len() {
+                            let w = task.recv[*wi];
+                            *wi += 1;
+                            if seen.insert(w) {
+                                next.push(w);
+                            }
+                            StepResult::Progress
+                        } else {
+                            *fi += 1;
+                            *st = 2;
+                            StepResult::Progress
+                        }
+                    }
+                    5 => {
+                        // Allocate the DNQ entry for this power's kernel.
+                        let dest = Dest::Port {
+                            addr: agg_port,
+                            tag: Tag::Agg { slot: *out_slot, scale: 1.0, offset: 0 },
+                        };
+                        match ctx.dnq.try_alloc(0, *pi as u8, dest) {
+                            Ok(e) => {
+                                *entry = e;
+                                *st = 6;
+                                StepResult::Progress
+                            }
+                            Err(()) => StepResult::Stall,
+                        }
+                    }
+                    6 => {
+                        let dest = Dest::Port {
+                            addr: dnq_port,
+                            tag: Tag::Dnq { queue: 0, entry: *entry, offset: 0 },
+                        };
+                        match ctx.agg.try_alloc(
+                            set.len() as u32,
+                            sr.row_words as u32,
+                            sr.row_words as u32,
+                            AggOp::Sum,
+                            AggFinalize::None,
+                            gnna_tensor::ops::Activation::None,
+                            dest,
+                        ) {
+                            Ok(s) => {
+                                *gather_slot = s;
+                                *idx = 0;
+                                *st = 7;
+                                StepResult::Progress
+                            }
+                            Err(()) => StepResult::Stall,
+                        }
+                    }
+                    _ => {
+                        if *idx < set.len() {
+                            let w = set[*idx] as usize;
+                            *idx += 1;
+                            let sl = *gather_slot;
+                            Self::enqueue_read(
+                                task,
+                                ctx,
+                                agg_port,
+                                sr.row_addr(w),
+                                sr.row_bytes(),
+                                |off| Tag::Agg { slot: sl, scale: 1.0, offset: off },
+                            );
+                            StepResult::Progress
+                        } else {
+                            *pi += 1;
+                            if *pi < powers.len() {
+                                *st = 1;
+                                StepResult::Progress
+                            } else {
+                                StepResult::Done
+                            }
+                        }
+                    }
+                }
+            }
+            (body, program) => unreachable!(
+                "body/program mismatch: {body:?} vs {program:?} — compiler bug"
+            ),
+        } })();
+        task.phase = Phase::Body(body);
+        result
+    }
+}
+
+fn new_task(v: u32, layer: &Layer) -> Task {
+    let phase = if layer.program.needs_structure()
+        || matches!(layer.program, VertexProgram::MpnnStep { .. })
+    {
+        Phase::FetchRowPtr { issued: false }
+    } else {
+        match &layer.program {
+            VertexProgram::Project { .. } | VertexProgram::Readout { .. } => {
+                Phase::Body(new_body(&layer.program))
+            }
+            _ => Phase::FetchRowPtr { issued: false },
+        }
+    };
+    Task {
+        v,
+        deg: 0,
+        edge_base: 0,
+        neighbors: Vec::new(),
+        phase,
+        recv: Vec::new(),
+        recv_expect: 0,
+        recv_got: 0,
+        issue_queue: VecDeque::new(),
+    }
+}
+
+fn new_body(program: &VertexProgram) -> Body {
+    match program {
+        VertexProgram::Project { .. } => Body::Project { st: 0, entry: 0 },
+        VertexProgram::Aggregate { .. } => Body::Aggregate { st: 0, slot: 0, idx: 0 },
+        VertexProgram::AttentionAggregate { .. } => Body::Attention {
+            st: 0,
+            slot: 0,
+            idx: 0,
+            head: 0,
+            self_st: Vec::new(),
+            cur_t: Vec::new(),
+        },
+        VertexProgram::MpnnStep { .. } => Body::Mpnn { st: 0, e1: 0, slot: 0, idx: 0, e0: 0 },
+        VertexProgram::Readout { .. } => Body::Readout { st: 0, entry: 0 },
+        VertexProgram::PowerGather { .. } => Body::Power {
+            st: 0,
+            pi: 0,
+            out_slot: 0,
+            frontier: Vec::new(),
+            next: Vec::new(),
+            seen: HashSet::new(),
+            fi: 0,
+            wi: 0,
+            hop: 0,
+            set: Vec::new(),
+            entry: 0,
+            gather_slot: 0,
+            idx: 0,
+            u_deg: 0,
+            u_base: 0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::{AggFinalize, AggOp};
+    use crate::config::{AggParams, DnqParams};
+    use crate::dna::DnaKernel;
+    use crate::layout::{BufferSpec, Layout, Rows, UnionGraph};
+    use gnna_graph::GraphInstance;
+    use gnna_mem::MemImage;
+    use gnna_models::init::glorot;
+    use gnna_tensor::Matrix;
+
+    /// A self-contained GPE harness: one tile's AGG/DNQ, a 2-node layout
+    /// (one tile at (1,0), one memory node at (0,0)) and a 6-vertex path
+    /// graph with 4-wide features.
+    struct Harness {
+        gpe: Gpe,
+        agg: Aggregator,
+        dnq: Dnq,
+        layout: Layout,
+        union: UnionGraph,
+        map: AddressMap,
+        board: Vec<Option<(Address, u32)>>,
+    }
+
+    fn ports() -> TilePorts {
+        TilePorts {
+            gpe: Address::new(1, 0, 0),
+            agg: Address::new(1, 0, 1),
+            dnq: Address::new(1, 0, 2),
+        }
+    }
+
+    fn harness(threads: usize, buffers: &[BufferSpec]) -> Harness {
+        let graph = gnna_graph::CsrGraph::from_undirected_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)],
+        )
+        .unwrap();
+        let x = Matrix::from_fn(6, 4, |i, j| (i * 4 + j) as f32);
+        let inst = GraphInstance { graph, x, edge_features: None };
+        let union = UnionGraph::build(std::slice::from_ref(&inst));
+        let mut image = MemImage::new();
+        let layout = Layout::build(&mut image, &union, buffers);
+        let map = AddressMap::new(vec![Address::new(0, 0, 0)], 4096);
+        Harness {
+            gpe: Gpe::new(ports(), threads),
+            agg: Aggregator::new(AggParams::default()),
+            dnq: Dnq::new(DnqParams::default()),
+            layout,
+            union,
+            map,
+            board: vec![None],
+        }
+    }
+
+    fn tick(h: &mut Harness) {
+        let mut ctx = GpeCtx {
+            agg: &mut h.agg,
+            dnq: &mut h.dnq,
+            layout: &h.layout,
+            union: &h.union,
+            map: &h.map,
+            board: &mut h.board,
+        };
+        h.gpe.tick(&mut ctx);
+    }
+
+    fn project_layer() -> Rc<Layer> {
+        Rc::new(Layer {
+            name: "test.project".into(),
+            program: VertexProgram::Project { src: 0, dst: 1 },
+            kernels: vec![DnaKernel::Linear {
+                w: glorot(4, 2, 1),
+                bias: None,
+                act: gnna_tensor::ops::Activation::None,
+            }],
+            dnq_entry_words: [4, 0],
+            agg_entry_words: 0,
+        })
+    }
+
+    fn aggregate_layer() -> Rc<Layer> {
+        Rc::new(Layer {
+            name: "test.aggregate".into(),
+            program: VertexProgram::Aggregate {
+                src: 0,
+                dst: 1,
+                include_self: true,
+                op: AggOp::Sum,
+                finalize: AggFinalize::DivideByCount,
+                activation: gnna_tensor::ops::Activation::None,
+            },
+            kernels: vec![],
+            dnq_entry_words: [0, 0],
+            agg_entry_words: 4,
+        })
+    }
+
+    #[test]
+    fn idle_gpe_counts_idle_cycles() {
+        let mut h = harness(2, &[BufferSpec { rows: Rows::PerVertex, row_words: 4 }]);
+        h.gpe.start_layer(project_layer(), []);
+        for _ in 0..5 {
+            tick(&mut h);
+        }
+        assert!(h.gpe.is_idle());
+        assert_eq!(h.gpe.stats().idle_cycles, 5);
+    }
+
+    #[test]
+    fn project_issues_dnq_tagged_reads() {
+        let buffers = [
+            BufferSpec { rows: Rows::PerVertex, row_words: 4 },
+            BufferSpec { rows: Rows::PerVertex, row_words: 2 },
+        ];
+        let mut h = harness(1, &buffers);
+        h.dnq.configure([4, 0]);
+        h.gpe.start_layer(project_layer(), [3u32]);
+        for _ in 0..16 {
+            tick(&mut h);
+        }
+        // The GPE must have allocated one DNQ entry and issued one read
+        // of the 16-byte feature row, tagged for queue 0.
+        assert_eq!(h.dnq.len(0), 1);
+        let mut reads = Vec::new();
+        while let Some((dst, msg)) = h.gpe.pop_outgoing() {
+            reads.push((dst, msg));
+        }
+        assert_eq!(reads.len(), 1);
+        let (dst, msg) = &reads[0];
+        assert_eq!(*dst, Address::new(0, 0, 0), "read goes to the memory node");
+        match msg {
+            Message::MemRead { bytes, reply_to, tag, .. } => {
+                assert_eq!(*bytes, 16);
+                assert_eq!(*reply_to, ports().dnq, "response routed to the DNQ");
+                assert!(matches!(tag, Tag::Dnq { queue: 0, offset: 0, .. }));
+            }
+            other => panic!("expected MemRead, got {other:?}"),
+        }
+        assert!(h.gpe.is_idle());
+        assert_eq!(h.gpe.stats().vertices_done, 1);
+    }
+
+    #[test]
+    fn aggregate_fetches_structure_then_issues_neighbor_reads() {
+        let buffers = [
+            BufferSpec { rows: Rows::PerVertex, row_words: 4 },
+            BufferSpec { rows: Rows::PerVertex, row_words: 4 },
+        ];
+        let mut h = harness(1, &buffers);
+        h.agg.configure(4);
+        h.gpe.start_layer(aggregate_layer(), [2u32]); // vertex 2 has deg 2
+        // Run until the row-pointer read is issued.
+        for _ in 0..4 {
+            tick(&mut h);
+        }
+        let (_, msg) = h.gpe.pop_outgoing().expect("row-pointer read");
+        let Message::MemRead { addr, bytes, tag, .. } = msg else {
+            panic!("expected MemRead");
+        };
+        assert_eq!(addr, h.layout.row_ptr_entry(2));
+        assert_eq!(bytes, 8);
+        let Tag::Gpe { thread, .. } = tag else {
+            panic!("prologue read must come back to the GPE")
+        };
+        // Thread is blocked until we deliver row pointers [base, base+deg].
+        for _ in 0..3 {
+            tick(&mut h);
+        }
+        assert_eq!(h.gpe.stats().vertices_done, 0);
+        let base = h.union.row_ptr[2];
+        let end = h.union.row_ptr[3];
+        h.gpe.deliver(thread, 0, &[base, end]);
+        // Now it fetches the neighbor list.
+        for _ in 0..4 {
+            tick(&mut h);
+        }
+        let (_, msg) = h.gpe.pop_outgoing().expect("neighbor-list read");
+        let Message::MemRead { addr, bytes, tag: Tag::Gpe { thread, .. }, .. } = msg else {
+            panic!("expected GPE-tagged MemRead");
+        };
+        assert_eq!(addr, h.layout.col_idx_entry(base as usize));
+        assert_eq!(bytes, 8); // two neighbors
+        h.gpe.deliver(thread, 0, &[1, 3]);
+        // Body: one AGG slot and three feature reads (self + 2 neighbors).
+        for _ in 0..24 {
+            tick(&mut h);
+        }
+        assert_eq!(h.agg.live_slots(), 1);
+        let mut agg_reads = 0;
+        while let Some((_, msg)) = h.gpe.pop_outgoing() {
+            if let Message::MemRead { reply_to, tag, .. } = msg {
+                assert_eq!(reply_to, ports().agg);
+                assert!(matches!(tag, Tag::Agg { .. }));
+                agg_reads += 1;
+            }
+        }
+        assert_eq!(agg_reads, 3);
+        assert_eq!(h.gpe.stats().vertices_done, 1);
+    }
+
+    #[test]
+    fn thread_pool_overlaps_vertices() {
+        // With 4 threads, four vertices should all reach their blocking
+        // row-pointer read without any response arriving.
+        let buffers = [
+            BufferSpec { rows: Rows::PerVertex, row_words: 4 },
+            BufferSpec { rows: Rows::PerVertex, row_words: 4 },
+        ];
+        let mut h = harness(4, &buffers);
+        h.agg.configure(4);
+        h.gpe.start_layer(aggregate_layer(), [0u32, 1, 2, 3]);
+        for _ in 0..40 {
+            tick(&mut h);
+        }
+        let mut rowptr_reads = 0;
+        while let Some((_, msg)) = h.gpe.pop_outgoing() {
+            if matches!(msg, Message::MemRead { tag: Tag::Gpe { .. }, .. }) {
+                rowptr_reads += 1;
+            }
+        }
+        assert_eq!(rowptr_reads, 4, "all four threads issued their reads");
+        assert!(h.gpe.stats().switch_cycles > 0, "context switches charged");
+    }
+
+    #[test]
+    fn stall_when_dnq_full_then_recover() {
+        let buffers = [
+            BufferSpec { rows: Rows::PerVertex, row_words: 4 },
+            BufferSpec { rows: Rows::PerVertex, row_words: 2 },
+        ];
+        let mut h = harness(2, &buffers);
+        // A DNQ sized for exactly one in-flight entry.
+        h.dnq = Dnq::new(DnqParams {
+            scratchpad_bytes: 16,
+            dest_buffer_bytes: 8,
+            idle_switch_cycles: 16,
+        });
+        h.dnq.configure([4, 0]);
+        assert_eq!(h.dnq.capacity(0), 1);
+        h.gpe.start_layer(project_layer(), [0u32, 1]);
+        for _ in 0..40 {
+            tick(&mut h);
+        }
+        // Vertex 0 allocated the only entry; vertex 1 must be stalling.
+        assert_eq!(h.gpe.stats().vertices_done, 1);
+        assert!(h.gpe.stats().stall_cycles > 0);
+        // Drain the entry as the DNA would; the GPE then finishes.
+        h.dnq.fill(0, 0, 0, &[0.0; 4]);
+        let _ = h.dnq.dequeue_for_dna(true).expect("entry ready");
+        for _ in 0..40 {
+            tick(&mut h);
+        }
+        assert_eq!(h.gpe.stats().vertices_done, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "layer started while GPE busy")]
+    fn start_layer_while_busy_panics() {
+        let buffers = [
+            BufferSpec { rows: Rows::PerVertex, row_words: 4 },
+            BufferSpec { rows: Rows::PerVertex, row_words: 2 },
+        ];
+        let mut h = harness(1, &buffers);
+        h.dnq.configure([4, 0]);
+        h.gpe.start_layer(project_layer(), [0u32]);
+        tick(&mut h);
+        h.gpe.start_layer(project_layer(), [1u32]);
+    }
+
+    #[test]
+    fn deliver_to_idle_thread_panics() {
+        let buffers = [BufferSpec { rows: Rows::PerVertex, row_words: 4 }];
+        let mut h = harness(1, &buffers);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            h.gpe.deliver(0, 0, &[1])
+        }));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,297 @@
+//! Memory layout of a workload in the simulated address space.
+//!
+//! The runtime lays the input out the way a loader would: the CSR
+//! structure (row pointers, column indices) of the disjoint union of all
+//! input graphs, followed by one region per *buffer* — the vertex feature
+//! matrix, per-layer intermediates, edge features, and the output. Rows
+//! are packed (no padding), so feature rows that are not 64 B-aligned
+//! cost real DRAM alignment waste, exactly the effect §V models.
+
+use gnna_graph::GraphInstance;
+use gnna_mem::MemImage;
+
+/// How many rows a buffer has.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rows {
+    /// One row per vertex (of the union graph).
+    PerVertex,
+    /// One row per stored directed edge.
+    PerEdge,
+    /// One row per input graph.
+    PerGraph,
+}
+
+/// A buffer a compiled program wants allocated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferSpec {
+    /// Row granularity.
+    pub rows: Rows,
+    /// Words per row.
+    pub row_words: usize,
+}
+
+/// An allocated buffer region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferRegion {
+    /// Base byte address.
+    pub addr: u64,
+    /// Number of rows.
+    pub rows: usize,
+    /// Words per row.
+    pub row_words: usize,
+}
+
+impl BufferRegion {
+    /// Byte address of row `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn row_addr(&self, row: usize) -> u64 {
+        assert!(row < self.rows, "row {row} out of range ({} rows)", self.rows);
+        self.addr + (row * self.row_words * 4) as u64
+    }
+
+    /// Bytes per row.
+    pub fn row_bytes(&self) -> u64 {
+        self.row_words as u64 * 4
+    }
+}
+
+/// The union-graph structure plus vertex/graph bookkeeping.
+#[derive(Debug, Clone)]
+pub struct UnionGraph {
+    /// Concatenated row pointers (global vertex ids).
+    pub row_ptr: Vec<u32>,
+    /// Concatenated column indices (global vertex ids).
+    pub col_idx: Vec<u32>,
+    /// Graph id of each global vertex.
+    pub graph_of_vertex: Vec<u32>,
+    /// Vertex count of each graph.
+    pub graph_sizes: Vec<u32>,
+    /// First global vertex of each graph.
+    pub graph_base: Vec<u32>,
+}
+
+impl UnionGraph {
+    /// Builds the disjoint union of the given instances.
+    pub fn build(instances: &[GraphInstance]) -> Self {
+        let total_nodes: usize = instances.iter().map(|i| i.graph.num_nodes()).sum();
+        let total_edges: usize = instances.iter().map(|i| i.graph.num_stored_edges()).sum();
+        let mut row_ptr = Vec::with_capacity(total_nodes + 1);
+        let mut col_idx = Vec::with_capacity(total_edges);
+        let mut graph_of_vertex = Vec::with_capacity(total_nodes);
+        let mut graph_sizes = Vec::with_capacity(instances.len());
+        let mut graph_base = Vec::with_capacity(instances.len());
+        row_ptr.push(0);
+        let mut vbase = 0u32;
+        for (gi, inst) in instances.iter().enumerate() {
+            graph_base.push(vbase);
+            graph_sizes.push(inst.graph.num_nodes() as u32);
+            for v in 0..inst.graph.num_nodes() {
+                for &u in inst.graph.neighbors(v) {
+                    col_idx.push(vbase + u as u32);
+                }
+                row_ptr.push(col_idx.len() as u32);
+                graph_of_vertex.push(gi as u32);
+            }
+            vbase += inst.graph.num_nodes() as u32;
+        }
+        UnionGraph {
+            row_ptr,
+            col_idx,
+            graph_of_vertex,
+            graph_sizes,
+            graph_base,
+        }
+    }
+
+    /// Total vertices.
+    pub fn num_nodes(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Total stored directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Number of constituent graphs.
+    pub fn num_graphs(&self) -> usize {
+        self.graph_sizes.len()
+    }
+}
+
+/// The complete in-memory layout of a workload.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    /// Byte address of the row-pointer array (`num_nodes + 1` words).
+    pub row_ptr_addr: u64,
+    /// Byte address of the column-index array (`num_edges` words).
+    pub col_idx_addr: u64,
+    /// One region per program buffer, in [`BufferSpec`] order.
+    pub buffers: Vec<BufferRegion>,
+}
+
+impl Layout {
+    /// Lays out the union graph and the requested buffers in `image`,
+    /// writing the CSR structure; buffers start zeroed (the loader fills
+    /// input buffers afterwards).
+    pub fn build(image: &mut MemImage, union: &UnionGraph, specs: &[BufferSpec]) -> Layout {
+        let row_ptr_addr = image.alloc_u32(&union.row_ptr);
+        let col_idx_addr = image.alloc_u32(&union.col_idx);
+        let buffers = specs
+            .iter()
+            .map(|spec| {
+                let rows = match spec.rows {
+                    Rows::PerVertex => union.num_nodes(),
+                    Rows::PerEdge => union.num_edges(),
+                    Rows::PerGraph => union.num_graphs(),
+                };
+                let addr = image.alloc(rows * spec.row_words);
+                BufferRegion {
+                    addr,
+                    rows,
+                    row_words: spec.row_words,
+                }
+            })
+            .collect();
+        Layout {
+            row_ptr_addr,
+            col_idx_addr,
+            buffers,
+        }
+    }
+
+    /// Byte address of `row_ptr[v]`.
+    pub fn row_ptr_entry(&self, v: usize) -> u64 {
+        self.row_ptr_addr + (v * 4) as u64
+    }
+
+    /// Byte address of `col_idx[i]`.
+    pub fn col_idx_entry(&self, i: usize) -> u64 {
+        self.col_idx_addr + (i * 4) as u64
+    }
+}
+
+/// Fills a per-vertex (or per-edge / per-graph) buffer with matrix rows.
+///
+/// # Panics
+///
+/// Panics if the matrix shape does not match the region.
+pub fn fill_buffer(image: &mut MemImage, region: &BufferRegion, rows: &gnna_tensor::Matrix) {
+    assert_eq!(rows.rows(), region.rows, "row count mismatch");
+    assert_eq!(rows.cols(), region.row_words, "row width mismatch");
+    for r in 0..rows.rows() {
+        let addr = region.row_addr(r);
+        for (j, &v) in rows.row(r).iter().enumerate() {
+            image.write_f32(addr + (j * 4) as u64, v);
+        }
+    }
+}
+
+/// Reads a buffer region back as a matrix.
+pub fn read_buffer(image: &MemImage, region: &BufferRegion) -> gnna_tensor::Matrix {
+    gnna_tensor::Matrix::from_fn(region.rows, region.row_words, |r, c| {
+        image.read_f32(region.row_addr(r) + (c * 4) as u64)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnna_graph::datasets::{cora_scaled, qm9_scaled};
+    use gnna_tensor::Matrix;
+
+    #[test]
+    fn union_of_single_graph_is_itself() {
+        let d = cora_scaled(20, 4, 3, 1).unwrap();
+        let u = UnionGraph::build(&d.instances);
+        assert_eq!(u.num_nodes(), 20);
+        assert_eq!(u.num_edges(), d.instances[0].graph.num_stored_edges());
+        assert_eq!(u.num_graphs(), 1);
+        assert!(u.graph_of_vertex.iter().all(|&g| g == 0));
+    }
+
+    #[test]
+    fn union_of_molecules_offsets_vertices() {
+        let d = qm9_scaled(3, 2).unwrap();
+        let u = UnionGraph::build(&d.instances);
+        let n0 = d.instances[0].graph.num_nodes();
+        assert_eq!(u.graph_base[1] as usize, n0);
+        assert_eq!(u.graph_of_vertex[n0] as usize, 1);
+        // Neighbor ids of graph 1's vertices are offset by n0.
+        let v = n0; // first vertex of graph 1
+        let s = u.row_ptr[v] as usize;
+        let e = u.row_ptr[v + 1] as usize;
+        for &c in &u.col_idx[s..e] {
+            assert!((c as usize) >= n0);
+        }
+    }
+
+    #[test]
+    fn layout_allocates_disjoint_regions() {
+        let d = cora_scaled(10, 4, 3, 1).unwrap();
+        let u = UnionGraph::build(&d.instances);
+        let mut img = MemImage::new();
+        let layout = Layout::build(
+            &mut img,
+            &u,
+            &[
+                BufferSpec { rows: Rows::PerVertex, row_words: 4 },
+                BufferSpec { rows: Rows::PerVertex, row_words: 3 },
+            ],
+        );
+        let b0 = layout.buffers[0];
+        let b1 = layout.buffers[1];
+        assert!(b0.addr + b0.rows as u64 * b0.row_bytes() <= b1.addr);
+        // The CSR structure is readable back.
+        assert_eq!(img.read_u32(layout.row_ptr_entry(0)), 0);
+        assert_eq!(
+            img.read_u32(layout.row_ptr_entry(10)),
+            u.num_edges() as u32
+        );
+    }
+
+    #[test]
+    fn fill_and_read_roundtrip() {
+        let d = cora_scaled(8, 5, 3, 1).unwrap();
+        let u = UnionGraph::build(&d.instances);
+        let mut img = MemImage::new();
+        let layout = Layout::build(
+            &mut img,
+            &u,
+            &[BufferSpec { rows: Rows::PerVertex, row_words: 5 }],
+        );
+        fill_buffer(&mut img, &layout.buffers[0], &d.instances[0].x);
+        let back = read_buffer(&img, &layout.buffers[0]);
+        assert_eq!(back, d.instances[0].x);
+    }
+
+    #[test]
+    fn per_graph_buffer_rows() {
+        let d = qm9_scaled(5, 1).unwrap();
+        let u = UnionGraph::build(&d.instances);
+        let mut img = MemImage::new();
+        let layout = Layout::build(
+            &mut img,
+            &u,
+            &[BufferSpec { rows: Rows::PerGraph, row_words: 7 }],
+        );
+        assert_eq!(layout.buffers[0].rows, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn fill_rejects_wrong_width() {
+        let d = cora_scaled(4, 2, 3, 1).unwrap();
+        let u = UnionGraph::build(&d.instances);
+        let mut img = MemImage::new();
+        let layout = Layout::build(
+            &mut img,
+            &u,
+            &[BufferSpec { rows: Rows::PerVertex, row_words: 2 }],
+        );
+        fill_buffer(&mut img, &layout.buffers[0], &Matrix::zeros(4, 3));
+    }
+}

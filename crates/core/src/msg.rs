@@ -1,0 +1,224 @@
+//! The messages accelerator modules exchange over the NoC.
+//!
+//! Three message families cover every dataflow in the paper's Figure 3:
+//! memory read requests (GPE-issued indirect asynchronous loads, §III),
+//! memory writes (DNA/AGG results), and tagged data deliveries (memory
+//! responses routed *directly* to the consuming module — the key
+//! memory-to-AGG / memory-to-DNQ paths — plus DNA outputs and completed
+//! aggregations).
+
+use gnna_noc::Address;
+
+/// Module-internal routing information carried by a data delivery.
+///
+/// The NoC routes a packet to a (node, port); the tag tells the module at
+/// that port what to do with the payload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Tag {
+    /// Wake GPE software thread `thread` and hand it the data (small
+    /// values such as row pointers land in the thread's scratchpad
+    /// state).
+    Gpe {
+        /// The thread index within the tile's GPE.
+        thread: u16,
+        /// Word offset within the thread's receive buffer (non-zero when
+        /// a read splits across memory-interleave boundaries).
+        offset: u32,
+    },
+    /// Contribute the payload to aggregation `slot`, scaled by `scale`
+    /// (1.0 for plain sums; attention coefficients for GAT).
+    Agg {
+        /// Aggregation slot index.
+        slot: u32,
+        /// Per-contribution scalar applied by the AGG ALUs.
+        scale: f32,
+        /// Word offset within the slot (non-zero when a contribution is
+        /// split across memory-interleave boundaries).
+        offset: u32,
+    },
+    /// Fill DNQ virtual queue `queue`, entry `entry`, starting at word
+    /// `offset` (delayed-enqueue fills, §III).
+    Dnq {
+        /// Virtual queue index (0 or 1).
+        queue: u8,
+        /// Entry index within the queue's ring.
+        entry: u32,
+        /// Word offset within the entry.
+        offset: u32,
+    },
+    /// The payload needs no action (e.g. a write acknowledgement).
+    Discard,
+}
+
+/// Where a produced result (DNA output or completed aggregation) goes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Dest {
+    /// Write the data to this byte address in main memory.
+    Mem {
+        /// Destination byte address.
+        addr: u64,
+    },
+    /// Deliver the data to a module port with the given tag.
+    Port {
+        /// NoC endpoint of the consuming module.
+        addr: Address,
+        /// Module-internal routing tag.
+        tag: Tag,
+    },
+}
+
+/// A message payload carried by a NoC packet.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Read `bytes` at `addr`; deliver the data to `reply_to` with `tag`.
+    MemRead {
+        /// Byte address.
+        addr: u64,
+        /// Bytes to read (multiple of 4).
+        bytes: u32,
+        /// NoC endpoint to deliver the response to.
+        reply_to: Address,
+        /// Tag for the consumer at `reply_to`.
+        tag: Tag,
+    },
+    /// Write `data` at `addr` (no acknowledgement needed by our layers).
+    MemWrite {
+        /// Byte address.
+        addr: u64,
+        /// Words to write.
+        data: Vec<u32>,
+    },
+    /// A tagged data delivery.
+    Data {
+        /// Consumer routing tag.
+        tag: Tag,
+        /// Payload words.
+        data: Vec<u32>,
+    },
+}
+
+/// Wire-size constants: a small header per message plus 4 B per word.
+const HEADER_BYTES: usize = 8;
+
+impl Message {
+    /// Size of the message on the wire, used to compute flit counts.
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            Message::MemRead { .. } => HEADER_BYTES + 16, // addr + len + reply route
+            Message::MemWrite { data, .. } => HEADER_BYTES + 8 + 4 * data.len(),
+            Message::Data { data, .. } => HEADER_BYTES + 4 * data.len(),
+        }
+    }
+}
+
+/// Maps physical byte addresses to the memory node that owns them.
+///
+/// Memory is interleaved across the configuration's memory nodes at 4 KiB
+/// granularity (§V tiles accelerators and memory nodes in a 2-D mesh; the
+/// interleaving spreads each region's traffic over all controllers).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AddressMap {
+    mem_ports: Vec<Address>,
+    interleave_bytes: u64,
+}
+
+impl AddressMap {
+    /// Creates a map over the given memory-controller ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mem_ports` is empty or `interleave_bytes` is zero.
+    pub fn new(mem_ports: Vec<Address>, interleave_bytes: u64) -> Self {
+        assert!(!mem_ports.is_empty(), "need at least one memory node");
+        assert!(interleave_bytes > 0, "interleave granularity must be non-zero");
+        AddressMap {
+            mem_ports,
+            interleave_bytes,
+        }
+    }
+
+    /// The NoC endpoint owning byte address `addr`.
+    pub fn owner(&self, addr: u64) -> Address {
+        let idx = (addr / self.interleave_bytes) as usize % self.mem_ports.len();
+        self.mem_ports[idx]
+    }
+
+    /// All memory ports.
+    pub fn ports(&self) -> &[Address] {
+        &self.mem_ports
+    }
+
+    /// Interleave granularity in bytes.
+    pub fn interleave_bytes(&self) -> u64 {
+        self.interleave_bytes
+    }
+
+    /// Splits `(addr, bytes)` into per-owner contiguous chunks, so a
+    /// request spanning an interleave boundary becomes one request per
+    /// owning controller.
+    pub fn split(&self, addr: u64, bytes: u64) -> Vec<(Address, u64, u64)> {
+        let mut out = Vec::new();
+        let mut cur = addr;
+        let end = addr + bytes;
+        while cur < end {
+            let boundary = (cur / self.interleave_bytes + 1) * self.interleave_bytes;
+            let chunk_end = boundary.min(end);
+            out.push((self.owner(cur), cur, chunk_end - cur));
+            cur = chunk_end;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_sizes() {
+        let a = Address::new(0, 0, 0);
+        assert_eq!(
+            Message::MemRead { addr: 0, bytes: 4, reply_to: a, tag: Tag::Discard }.wire_bytes(),
+            24
+        );
+        assert_eq!(
+            Message::MemWrite { addr: 0, data: vec![0; 16] }.wire_bytes(),
+            8 + 8 + 64
+        );
+        assert_eq!(
+            Message::Data { tag: Tag::Discard, data: vec![0; 2] }.wire_bytes(),
+            16
+        );
+    }
+
+    #[test]
+    fn address_map_round_robin() {
+        let ports = vec![Address::new(0, 0, 0), Address::new(1, 0, 0)];
+        let m = AddressMap::new(ports, 4096);
+        assert_eq!(m.owner(0), Address::new(0, 0, 0));
+        assert_eq!(m.owner(4096), Address::new(1, 0, 0));
+        assert_eq!(m.owner(8192), Address::new(0, 0, 0));
+        assert_eq!(m.owner(4095), Address::new(0, 0, 0));
+    }
+
+    #[test]
+    fn split_respects_boundaries() {
+        let ports = vec![Address::new(0, 0, 0), Address::new(1, 0, 0)];
+        let m = AddressMap::new(ports, 4096);
+        // Entirely within one page.
+        assert_eq!(m.split(100, 64).len(), 1);
+        // Straddles one boundary.
+        let parts = m.split(4000, 200);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0], (Address::new(0, 0, 0), 4000, 96));
+        assert_eq!(parts[1], (Address::new(1, 0, 0), 4096, 104));
+        // Sizes sum to the original.
+        assert_eq!(parts.iter().map(|p| p.2).sum::<u64>(), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_ports_panics() {
+        AddressMap::new(vec![], 4096);
+    }
+}

@@ -1,0 +1,191 @@
+//! Simulation reports: the measurements Figures 8 and 10 are built from.
+
+use std::fmt;
+
+/// Per-layer timing breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerTiming {
+    /// Layer name.
+    pub name: String,
+    /// Master (NoC) cycles the layer's execution phase took.
+    pub cycles: u64,
+    /// Master cycles charged to its CONFIG broadcast and barrier.
+    pub config_cycles: u64,
+}
+
+/// The result of simulating one inference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Configuration name (Table VI row).
+    pub config_name: String,
+    /// Core clock in Hz.
+    pub core_clock_hz: f64,
+    /// NoC/memory clock in Hz.
+    pub noc_clock_hz: f64,
+    /// Total master cycles, including CONFIG/barrier overhead.
+    pub total_cycles: u64,
+    /// Master cycles spent in CONFIG broadcasts and barriers.
+    pub config_cycles: u64,
+    /// Per-layer breakdown.
+    pub layers: Vec<LayerTiming>,
+    /// DRAM line bytes moved (including alignment waste), all controllers.
+    pub dram_bytes: u64,
+    /// Useful request bytes (reads + writes), all controllers.
+    pub useful_mem_bytes: u64,
+    /// Aggregate peak memory bandwidth of the configuration, bytes/s.
+    pub peak_mem_bandwidth: f64,
+    /// DNA-array busy core-cycles summed over tiles.
+    pub dna_busy_cycles: u64,
+    /// DNA entries processed, summed over tiles.
+    pub dna_entries: u64,
+    /// Total MACs executed by DNAs.
+    pub dna_macs: u64,
+    /// GPE op cycles summed over tiles.
+    pub gpe_op_cycles: u64,
+    /// GPE idle cycles summed over tiles.
+    pub gpe_idle_cycles: u64,
+    /// AGG busy core-cycles summed over tiles.
+    pub agg_busy_cycles: u64,
+    /// Aggregations completed, summed over tiles.
+    pub agg_completed: u64,
+    /// Words combined by AGG ALUs, summed over tiles.
+    pub agg_words_combined: u64,
+    /// Words filled into DNQ entries, summed over tiles.
+    pub dnq_fill_words: u64,
+    /// NoC flit hops.
+    pub noc_flit_hops: u64,
+    /// Number of tiles.
+    pub num_tiles: usize,
+}
+
+impl SimReport {
+    /// End-to-end inference latency in seconds.
+    pub fn latency_s(&self) -> f64 {
+        self.total_cycles as f64 / self.noc_clock_hz
+    }
+
+    /// Mean consumed DRAM bandwidth in bytes/s (Fig 10, left axis).
+    pub fn mean_bandwidth(&self) -> f64 {
+        self.dram_bytes as f64 / self.latency_s()
+    }
+
+    /// Mean bandwidth as a fraction of the configuration's peak (the
+    /// §VI-A "bandwidth utilization" — 79 % / 70 % / 54 % for GCN).
+    pub fn bandwidth_utilization(&self) -> f64 {
+        self.mean_bandwidth() / self.peak_mem_bandwidth
+    }
+
+    /// Core cycles elapsed per tile.
+    pub fn core_cycles(&self) -> u64 {
+        (self.total_cycles as f64 * self.core_clock_hz / self.noc_clock_hz) as u64
+    }
+
+    /// DNA utilisation: busy fraction of the DNA arrays (Fig 10, right
+    /// axis).
+    pub fn dna_utilization(&self) -> f64 {
+        let denom = self.core_cycles() as f64 * self.num_tiles as f64;
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.dna_busy_cycles as f64 / denom
+        }
+    }
+
+    /// GPE busy fraction.
+    pub fn gpe_utilization(&self) -> f64 {
+        let denom = self.core_cycles() as f64 * self.num_tiles as f64;
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.gpe_op_cycles as f64 / denom
+        }
+    }
+
+    /// Fraction of DRAM traffic that was useful (no alignment waste).
+    pub fn mem_efficiency(&self) -> f64 {
+        if self.dram_bytes == 0 {
+            1.0
+        } else {
+            self.useful_mem_bytes as f64 / self.dram_bytes as f64
+        }
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} @ {:.1} GHz core: {:.3} ms ({} cycles, {} config)",
+            self.config_name,
+            self.core_clock_hz / 1e9,
+            self.latency_s() * 1e3,
+            self.total_cycles,
+            self.config_cycles
+        )?;
+        writeln!(
+            f,
+            "  mem: {:.2} GB/s mean ({:.1}% of peak, {:.1}% efficient), dna util {:.1}%, gpe util {:.1}%",
+            self.mean_bandwidth() / 1e9,
+            self.bandwidth_utilization() * 100.0,
+            self.mem_efficiency() * 100.0,
+            self.dna_utilization() * 100.0,
+            self.gpe_utilization() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        SimReport {
+            config_name: "test".into(),
+            core_clock_hz: 1.2e9,
+            noc_clock_hz: 2.4e9,
+            total_cycles: 2_400_000,
+            config_cycles: 1000,
+            layers: vec![],
+            dram_bytes: 34_000_000,
+            useful_mem_bytes: 17_000_000,
+            peak_mem_bandwidth: 68e9,
+            dna_busy_cycles: 600_000,
+            dna_entries: 100,
+            dna_macs: 1_000_000,
+            gpe_op_cycles: 300_000,
+            gpe_idle_cycles: 0,
+            agg_busy_cycles: 0,
+            agg_completed: 10,
+            agg_words_combined: 0,
+            dnq_fill_words: 0,
+            noc_flit_hops: 5,
+            num_tiles: 1,
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = report();
+        assert!((r.latency_s() - 1e-3).abs() < 1e-12);
+        assert!((r.mean_bandwidth() - 34e9).abs() < 1.0);
+        assert!((r.bandwidth_utilization() - 0.5).abs() < 1e-9);
+        assert_eq!(r.core_cycles(), 1_200_000);
+        assert!((r.dna_utilization() - 0.5).abs() < 1e-9);
+        assert!((r.gpe_utilization() - 0.25).abs() < 1e-9);
+        assert!((r.mem_efficiency() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_contains_config() {
+        assert!(report().to_string().contains("test @ 1.2 GHz"));
+    }
+
+    #[test]
+    fn zero_division_is_safe() {
+        let mut r = report();
+        r.total_cycles = 0;
+        r.dram_bytes = 0;
+        assert_eq!(r.dna_utilization(), 0.0);
+        assert_eq!(r.mem_efficiency(), 1.0);
+    }
+}

@@ -1,0 +1,853 @@
+//! The full-system simulator: tiles + memory nodes on the mesh, driven by
+//! the §IV runtime (Algorithm 1).
+//!
+//! A [`System`] instantiates one [`crate::gpe::Gpe`],
+//! [`crate::agg::Aggregator`], [`crate::dnq::Dnq`] and [`crate::dna::Dna`]
+//! per tile of the configuration's topology, one
+//! [`gnna_mem::MemoryController`] per memory node, and the `gnna-noc`
+//! mesh connecting them. Vertices are range-partitioned across tiles;
+//! physical memory is interleaved across memory nodes.
+//!
+//! Per Algorithm 1, each layer runs as: `CONFIG` (module configuration
+//! plus the DNA weight broadcast, charged analytically as memory traffic
+//! at the aggregate bandwidth), a global barrier, the vertex program over
+//! the work queue, and a closing barrier (all modules idle, network and
+//! memory drained).
+//!
+//! The master clock is the 2.4 GHz NoC clock; GPE/AGG/DNQ/DNA tick every
+//! `clock_divider` master cycles (the §VI core-clock sweep).
+
+use crate::agg::Aggregator;
+use crate::config::AcceleratorConfig;
+use crate::dna::Dna;
+use crate::dnq::Dnq;
+use crate::gpe::{Gpe, GpeCtx, TilePorts};
+use crate::layers::{CompiledProgram, Layer};
+use crate::layout::{fill_buffer, read_buffer, BufferRegion, Layout, UnionGraph};
+use crate::msg::{AddressMap, Dest, Message, Tag};
+use crate::stats::{LayerTiming, SimReport};
+use crate::CoreError;
+use gnna_graph::GraphInstance;
+use gnna_mem::{MemImage, MemRequest, MemoryController};
+use gnna_noc::{Address, Network, NocConfig, Packet, Reassembler};
+use gnna_tensor::Matrix;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+/// Progress watchdog: with no observable event for this many master
+/// cycles the simulation reports a stall instead of spinning forever.
+const STALL_WINDOW: u64 = 2_000_000;
+
+#[derive(Debug)]
+struct Tile {
+    ports: TilePorts,
+    gpe: Gpe,
+    agg: Aggregator,
+    dnq: Dnq,
+    dna: Dna,
+    gpe_rx: Reassembler<Message>,
+    agg_rx: Reassembler<Message>,
+    dnq_rx: Reassembler<Message>,
+    agg_pending: VecDeque<(Address, Message)>,
+    dna_pending: VecDeque<(Address, Message)>,
+}
+
+#[derive(Debug)]
+struct MemNode {
+    port: Address,
+    ctrl: MemoryController,
+    rx: Reassembler<Message>,
+    /// Request NIC buffer in front of the 32-entry controller queue.
+    ///
+    /// The network must always be able to sink requests at a memory node,
+    /// or blocked requests and in-flight responses sharing column
+    /// channels form a protocol deadlock (Booksim solves this with one
+    /// virtual network per message class; an always-draining NIC buffer
+    /// is the equivalent single-channel fix). Its occupancy is bounded by
+    /// the tiles' outstanding-request limits (DNQ entries, GPE threads
+    /// and outboxes), not by this queue itself.
+    inbox: VecDeque<Message>,
+    meta: HashMap<u64, (Address, Tag)>,
+    next_id: u64,
+    out: VecDeque<(Address, Message)>,
+}
+
+/// The simulated accelerator system.
+#[derive(Debug)]
+pub struct System {
+    cfg: AcceleratorConfig,
+    divider: u64,
+    net: Network<Message>,
+    image: MemImage,
+    layout: Layout,
+    union: UnionGraph,
+    map: AddressMap,
+    tiles: Vec<Tile>,
+    mems: Vec<MemNode>,
+    program: CompiledProgram,
+    board: Vec<Option<(Address, u32)>>,
+    partitions: Vec<Vec<u32>>,
+    cycle: u64,
+    config_cycles: u64,
+    layer_timings: Vec<LayerTiming>,
+    instance_ranges: Vec<(usize, usize)>,
+}
+
+impl System {
+    /// Builds a system for the given configuration, input instances and
+    /// compiled program, laying out the workload in simulated memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] or
+    /// [`CoreError::CompileError`] if the configuration or program is
+    /// inconsistent with the inputs.
+    pub fn new(
+        cfg: &AcceleratorConfig,
+        instances: &[GraphInstance],
+        program: CompiledProgram,
+    ) -> Result<Self, CoreError> {
+        cfg.validate()?;
+        program.validate()?;
+        if instances.is_empty() {
+            return Err(CoreError::InvalidConfig {
+                reason: "no input graphs".into(),
+            });
+        }
+        let feat_words = program.buffers[0].row_words;
+        for inst in instances {
+            if inst.x.cols() != feat_words {
+                return Err(CoreError::CompileError {
+                    reason: format!(
+                        "input feature width {} != program input width {feat_words}",
+                        inst.x.cols()
+                    ),
+                });
+            }
+        }
+        let divider = cfg.clock_divider()?;
+        let union = UnionGraph::build(instances);
+        let mut image = MemImage::new();
+        let layout = Layout::build(&mut image, &union, &program.buffers);
+        // Fill the input features (and edge features) instance by
+        // instance at the union offsets.
+        let mut vbase = 0usize;
+        let mut ebase = 0usize;
+        let mut instance_ranges = Vec::with_capacity(instances.len());
+        for inst in instances {
+            let n = inst.graph.num_nodes();
+            let region = BufferRegion {
+                addr: layout.buffers[0].row_addr(vbase),
+                rows: n,
+                row_words: feat_words,
+            };
+            fill_buffer(&mut image, &region, &inst.x);
+            if let (Some(eb), Some(ef)) = (program.edge_buffer, inst.edge_features.as_ref()) {
+                let m = inst.graph.num_stored_edges();
+                let region = BufferRegion {
+                    addr: layout.buffers[eb].row_addr(ebase),
+                    rows: m,
+                    row_words: layout.buffers[eb].row_words,
+                };
+                fill_buffer(&mut image, &region, ef);
+                ebase += m;
+            }
+            instance_ranges.push((vbase, vbase + n));
+            vbase += n;
+        }
+
+        // Network and endpoints.
+        let topo = &cfg.topology;
+        let noc_cfg = NocConfig::default();
+        let grid = topo.clone();
+        let net = Network::new(noc_cfg, topo.width(), topo.height(), move |x, y| {
+            match grid.kind(x, y) {
+                crate::config::NodeKind::Tile => 3,
+                crate::config::NodeKind::Mem => 1,
+                crate::config::NodeKind::Empty => 0,
+            }
+        });
+        let mem_ports: Vec<Address> = topo
+            .mem_coords()
+            .iter()
+            .map(|&(x, y)| Address::new(x, y, 0))
+            .collect();
+        let map = AddressMap::new(mem_ports.clone(), cfg.interleave_bytes);
+        let mems = mem_ports
+            .iter()
+            .map(|&port| MemNode {
+                port,
+                ctrl: MemoryController::new(cfg.mem),
+                rx: Reassembler::new(),
+                inbox: VecDeque::new(),
+                meta: HashMap::new(),
+                next_id: 0,
+                out: VecDeque::new(),
+            })
+            .collect();
+        let tiles: Vec<Tile> = topo
+            .tile_coords()
+            .iter()
+            .map(|&(x, y)| {
+                let ports = TilePorts {
+                    gpe: Address::new(x, y, 0),
+                    agg: Address::new(x, y, 1),
+                    dnq: Address::new(x, y, 2),
+                };
+                Tile {
+                    ports,
+                    gpe: Gpe::new(ports, cfg.gpe_threads),
+                    agg: Aggregator::new(cfg.agg),
+                    dnq: Dnq::new(cfg.dnq),
+                    dna: Dna::new(cfg.dna),
+                    gpe_rx: Reassembler::new(),
+                    agg_rx: Reassembler::new(),
+                    dnq_rx: Reassembler::new(),
+                    agg_pending: VecDeque::new(),
+                    dna_pending: VecDeque::new(),
+                }
+            })
+            .collect();
+        // Contiguous range partition of vertices over tiles.
+        let n = union.num_nodes();
+        let t = tiles.len();
+        let partitions = (0..t)
+            .map(|i| {
+                let lo = i * n / t;
+                let hi = (i + 1) * n / t;
+                (lo as u32..hi as u32).collect()
+            })
+            .collect();
+        let num_graphs = union.num_graphs();
+        Ok(System {
+            cfg: cfg.clone(),
+            divider,
+            net,
+            image,
+            layout,
+            union,
+            map,
+            tiles,
+            mems,
+            program,
+            board: vec![None; num_graphs],
+            partitions,
+            cycle: 0,
+            config_cycles: 0,
+            layer_timings: Vec::new(),
+            instance_ranges,
+        })
+    }
+
+    /// Runs the full program (Algorithm 1) to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Stalled`] if the simulation deadlocks (a
+    /// resource sized too small for the workload).
+    pub fn run(&mut self) -> Result<SimReport, CoreError> {
+        let layers: Vec<Rc<Layer>> = self.program.layers.iter().cloned().map(Rc::new).collect();
+        for layer in layers {
+            self.run_layer(layer)?;
+        }
+        Ok(self.report())
+    }
+
+    fn run_layer(&mut self, layer: Rc<Layer>) -> Result<(), CoreError> {
+        // CONFIG: set up modules and charge the weight broadcast.
+        let config_cost = self.configure_layer(&layer);
+        self.cycle += config_cost;
+        self.config_cycles += config_cost;
+        self.board.iter_mut().for_each(|b| *b = None);
+        let start = self.cycle;
+        for (t, part) in self.partitions.clone().into_iter().enumerate() {
+            self.tiles[t].gpe.start_layer(Rc::clone(&layer), part);
+        }
+        // Execute until the global barrier (everything idle).
+        let mut last_progress_marker = self.progress_marker();
+        let mut last_progress_cycle = self.cycle;
+        while !self.all_idle() {
+            self.step_cycle(&layer);
+            if self.cycle - last_progress_cycle >= STALL_WINDOW {
+                let marker = self.progress_marker();
+                if marker == last_progress_marker {
+                    return Err(CoreError::Stalled {
+                        cycle: self.cycle,
+                        detail: format!(
+                            "layer {} made no progress; {}",
+                            layer.name,
+                            self.stall_diagnostic()
+                        ),
+                    });
+                }
+                last_progress_marker = marker;
+                last_progress_cycle = self.cycle;
+            }
+        }
+        // Closing barrier cost.
+        let barrier = 64 * self.divider;
+        self.cycle += barrier;
+        self.config_cycles += barrier;
+        self.layer_timings.push(LayerTiming {
+            name: layer.name.clone(),
+            cycles: self.cycle - start,
+            config_cycles: config_cost + barrier,
+        });
+        Ok(())
+    }
+
+    /// Configures AGG/DNQ/DNA on every tile for `layer`; returns the
+    /// master-cycle cost of the CONFIG broadcast (weight traffic at the
+    /// aggregate memory bandwidth plus allocation-bus setup).
+    fn configure_layer(&mut self, layer: &Layer) -> u64 {
+        let batch_hint = self.union.num_nodes() / self.tiles.len().max(1);
+        for tile in &mut self.tiles {
+            if layer.agg_entry_words > 0 {
+                tile.agg.configure(layer.agg_entry_words);
+            }
+            if layer.dnq_entry_words.iter().any(|&w| w > 0) {
+                tile.dnq.configure(layer.dnq_entry_words);
+            }
+            tile.dna.configure(layer.kernels.clone(), batch_hint);
+        }
+        let weight_bytes = layer.weight_words() * 4 * self.tiles.len() as u64;
+        let bw = self.cfg.total_mem_bandwidth();
+        let broadcast = (weight_bytes as f64 / bw * self.cfg.noc_clock_hz).ceil() as u64;
+        broadcast + 64 * self.divider
+    }
+
+    fn progress_marker(&self) -> (u64, u64, u64) {
+        let flits = self.net.stats().flits_ejected;
+        let ops: u64 = self.tiles.iter().map(|t| t.gpe.stats().op_cycles).sum();
+        let mem: u64 = self.mems.iter().map(|m| m.ctrl.stats().requests).sum();
+        (flits, ops, mem)
+    }
+
+    fn all_idle(&self) -> bool {
+        self.net.is_idle()
+            && self.tiles.iter().all(|t| {
+                t.gpe.is_idle()
+                    && t.agg.is_idle()
+                    && t.dnq.is_idle()
+                    && t.dna.is_idle()
+                    && t.agg_pending.is_empty()
+                    && t.dna_pending.is_empty()
+                    && t.gpe_rx.pending() == 0
+                    && t.agg_rx.pending() == 0
+                    && t.dnq_rx.pending() == 0
+            })
+            && self
+                .mems
+                .iter()
+                .all(|m| m.ctrl.is_idle() && m.out.is_empty() && m.inbox.is_empty())
+    }
+
+    /// Converts a result destination into NoC messages.
+    fn dest_messages(map: &AddressMap, dest: Dest, data: Vec<f32>) -> Vec<(Address, Message)> {
+        match dest {
+            Dest::Mem { addr } => {
+                let words: Vec<u32> = data.iter().map(|v| v.to_bits()).collect();
+                let mut out = Vec::new();
+                let mut word = 0usize;
+                for (owner, a, b) in map.split(addr, words.len() as u64 * 4) {
+                    let n = (b / 4) as usize;
+                    out.push((
+                        owner,
+                        Message::MemWrite {
+                            addr: a,
+                            data: words[word..word + n].to_vec(),
+                        },
+                    ));
+                    word += n;
+                }
+                out
+            }
+            Dest::Port { addr, tag } => {
+                let words: Vec<u32> = data.iter().map(|v| v.to_bits()).collect();
+                vec![(addr, Message::Data { tag, data: words })]
+            }
+        }
+    }
+
+    fn step_cycle(&mut self, _layer: &Layer) {
+        let c = self.cycle;
+        let core_tick = c.is_multiple_of(self.divider);
+        let core_now = c / self.divider;
+
+        // --- Memory nodes ---
+        for m in &mut self.mems {
+            // Retire at most one response per cycle.
+            if m.out.len() < 4 {
+                if let Some(resp) = m.ctrl.pop_ready(c, &mut self.image) {
+                    if let Some(data) = resp.data {
+                        let (reply_to, tag) =
+                            m.meta.remove(&resp.tag).expect("read metadata recorded");
+                        m.out.push_back((reply_to, Message::Data { tag, data }));
+                    }
+                }
+            }
+            // Ingest one flit per cycle, unconditionally (see `inbox`).
+            if let Some(flit) = self.net.eject(m.port) {
+                if let Some(pkt) = m.rx.push(flit) {
+                    match std::sync::Arc::try_unwrap(pkt) {
+                        Ok(p) => m.inbox.push_back(p.payload),
+                        Err(p) => m.inbox.push_back(p.payload.clone()),
+                    }
+                }
+            }
+            // Feed the controller from the NIC buffer.
+            while m.ctrl.queue_len() < m.ctrl.config().queue_depth {
+                let Some(msg) = m.inbox.pop_front() else { break };
+                match msg {
+                    Message::MemRead {
+                        addr,
+                        bytes,
+                        reply_to,
+                        tag,
+                    } => {
+                        let id = m.next_id;
+                        m.next_id += 1;
+                        m.meta.insert(id, (reply_to, tag));
+                        m.ctrl
+                            .try_push(MemRequest::read(addr, u64::from(bytes), id), c)
+                            .expect("queue space checked");
+                    }
+                    Message::MemWrite { addr, data } => {
+                        m.ctrl
+                            .try_push(MemRequest::write(addr, data, u64::MAX), c)
+                            .expect("queue space checked");
+                    }
+                    Message::Data { .. } => {
+                        panic!("data message delivered to a memory node")
+                    }
+                }
+            }
+            // Inject one outgoing message per cycle.
+            if let Some((dst, msg)) = m.out.pop_front() {
+                let bytes = msg.wire_bytes();
+                let pkt = Packet::new(m.port, dst, bytes, msg);
+                if let Err(p) = self.net.try_inject(pkt) {
+                    m.out.push_front((p.dst, p.payload));
+                    // Put back with original destination.
+                    let (dst, msg) = m.out.pop_front().expect("just pushed");
+                    m.out.push_front((dst, msg));
+                }
+            }
+        }
+
+        // --- Tiles ---
+        for t in 0..self.tiles.len() {
+            self.tile_ingest(t);
+            self.tile_inject(t);
+            if core_tick {
+                self.tile_core_tick(t, core_now);
+            }
+        }
+
+        self.net.step();
+        self.cycle += 1;
+    }
+
+    /// Ejects up to one flit per tile port and delivers completed
+    /// messages to the owning module.
+    fn tile_ingest(&mut self, t: usize) {
+        let ports = self.tiles[t].ports;
+        // GPE port: always accepts (responses land in thread state).
+        if let Some(flit) = self.net.eject(ports.gpe) {
+            let tile = &mut self.tiles[t];
+            if let Some(pkt) = tile.gpe_rx.push(flit) {
+                match &pkt.payload {
+                    Message::Data {
+                        tag: Tag::Gpe { thread, offset },
+                        data,
+                    } => tile.gpe.deliver(*thread, *offset, data),
+                    other => panic!("unexpected message at GPE port: {other:?}"),
+                }
+            }
+        }
+        // AGG port: gated on ingestion capacity.
+        if self.tiles[t].agg.can_ingest() {
+            if let Some(flit) = self.net.eject(ports.agg) {
+                let tile = &mut self.tiles[t];
+                if let Some(pkt) = tile.agg_rx.push(flit) {
+                    match &pkt.payload {
+                        Message::Data {
+                            tag: Tag::Agg { slot, scale, offset },
+                            data,
+                        } => {
+                            let values: Vec<f32> =
+                                data.iter().map(|&w| f32::from_bits(w)).collect();
+                            tile.agg.deliver(*slot, *offset, *scale, values);
+                        }
+                        other => panic!("unexpected message at AGG port: {other:?}"),
+                    }
+                }
+            }
+        }
+        // DNQ port: fills are always accepted (entries pre-allocated).
+        if let Some(flit) = self.net.eject(ports.dnq) {
+            let tile = &mut self.tiles[t];
+            if let Some(pkt) = tile.dnq_rx.push(flit) {
+                match &pkt.payload {
+                    Message::Data {
+                        tag: Tag::Dnq { queue, entry, offset },
+                        data,
+                    } => {
+                        let values: Vec<f32> = data.iter().map(|&w| f32::from_bits(w)).collect();
+                        tile.dnq.fill(*queue as usize, *entry, *offset, &values);
+                    }
+                    other => panic!("unexpected message at DNQ port: {other:?}"),
+                }
+            }
+        }
+    }
+
+    /// Injects up to one staged message per tile port.
+    fn tile_inject(&mut self, t: usize) {
+        let ports = self.tiles[t].ports;
+        // GPE outbox → port 0.
+        if self.net.can_inject(ports.gpe) {
+            if let Some((dst, msg)) = self.tiles[t].gpe.pop_outgoing() {
+                let pkt = Packet::new(ports.gpe, dst, msg.wire_bytes(), msg);
+                if let Err(p) = self.net.try_inject(pkt) {
+                    self.tiles[t].gpe.push_back_outgoing(p.dst, p.payload);
+                }
+            }
+        }
+        // AGG results → port 1.
+        if self.net.can_inject(ports.agg) {
+            if let Some((dst, msg)) = self.tiles[t].agg_pending.pop_front() {
+                let pkt = Packet::new(ports.agg, dst, msg.wire_bytes(), msg);
+                if let Err(p) = self.net.try_inject(pkt) {
+                    self.tiles[t].agg_pending.push_front((p.dst, p.payload));
+                }
+            }
+        }
+        // DNA outputs → port 2.
+        if self.net.can_inject(ports.dnq) {
+            if let Some((dst, msg)) = self.tiles[t].dna_pending.pop_front() {
+                let pkt = Packet::new(ports.dnq, dst, msg.wire_bytes(), msg);
+                if let Err(p) = self.net.try_inject(pkt) {
+                    self.tiles[t].dna_pending.push_front((p.dst, p.payload));
+                }
+            }
+        }
+    }
+
+    fn tile_core_tick(&mut self, t: usize, core_now: u64) {
+        // Split borrows: GPE ctx needs agg+dnq of the same tile.
+        let tile = &mut self.tiles[t];
+        {
+            let mut ctx = GpeCtx {
+                agg: &mut tile.agg,
+                dnq: &mut tile.dnq,
+                layout: &self.layout,
+                union: &self.union,
+                map: &self.map,
+                board: &mut self.board,
+            };
+            tile.gpe.tick(&mut ctx);
+        }
+        // AGG: results stage into the pending queue (bounded by the 2 kB
+        // flit buffer inside the module).
+        if tile.agg_pending.len() < 8 {
+            if let Some((dest, data)) = tile.agg.tick(core_now) {
+                for m in Self::dest_messages(&self.map, dest, data) {
+                    tile.agg_pending.push_back(m);
+                }
+            }
+        }
+        // DNQ → DNA handoff (single dequeue interface, lazy switching).
+        let accepting = tile.dna.can_accept();
+        if let Some(entry) = tile.dnq.dequeue_for_dna(accepting) {
+            tile.dna.accept(entry.kernel, &entry.data, entry.dest, core_now);
+        }
+        // DNA completion.
+        if tile.dna_pending.len() < 8 {
+            if let Some((dest, data)) = tile.dna.tick(core_now) {
+                for m in Self::dest_messages(&self.map, dest, data) {
+                    tile.dna_pending.push_back(m);
+                }
+            }
+        }
+    }
+
+    /// One-line description of what every module is doing (stall debug).
+    fn stall_diagnostic(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (i, t) in self.tiles.iter().enumerate() {
+            let _ = write!(
+                out,
+                "tile{i}[gpe idle={} work={} outbox={}; agg live={} jobs_idle={}; dnq q0={}/{} q1={}/{}; dna busy={} pend a={} d={}] ",
+                t.gpe.is_idle(),
+                t.gpe.stats().vertices_done,
+                t.gpe.pending_outgoing(),
+                t.agg.live_slots(),
+                t.agg.is_idle(),
+                t.dnq.len(0),
+                t.dnq.capacity(0),
+                t.dnq.len(1),
+                t.dnq.capacity(1),
+                t.dna.is_busy(),
+                t.agg_pending.len(),
+                t.dna_pending.len(),
+            );
+        }
+        for (i, m) in self.mems.iter().enumerate() {
+            let _ = write!(out, "mem{i}[q={} in={} out={}] ", m.ctrl.queue_len(), m.inbox.len(), m.out.len());
+        }
+        let _ = write!(
+            out,
+            "tile0 q0 {} ejq={} rx={}; net {} ",
+            self.tiles[0].dnq.debug_head(0),
+            self.net.ejection_pending(self.tiles[0].ports.dnq),
+            self.tiles[0].dnq_rx.pending(),
+            self.net.stats()
+        );
+        out
+    }
+
+    /// Builds the final report.
+    fn report(&self) -> SimReport {
+        let mut dna_busy = 0;
+        let mut dna_entries = 0;
+        let mut dna_macs = 0;
+        let mut gpe_ops = 0;
+        let mut gpe_idle = 0;
+        let mut agg_busy = 0;
+        let mut agg_done = 0;
+        let mut agg_words = 0;
+        let mut dnq_words = 0;
+        for t in &self.tiles {
+            dna_busy += t.dna.busy_cycles();
+            dna_entries += t.dna.entries_processed();
+            dna_macs += t.dna.macs_executed();
+            gpe_ops += t.gpe.stats().op_cycles;
+            gpe_idle += t.gpe.stats().idle_cycles;
+            let (_, words, done, busy, _) = t.agg.stats();
+            agg_busy += busy;
+            agg_done += done;
+            agg_words += words;
+            dnq_words += t.dnq.stats().3;
+        }
+        let mut dram = 0;
+        let mut useful = 0;
+        for m in &self.mems {
+            dram += m.ctrl.stats().dram_bytes;
+            useful += m.ctrl.stats().useful_bytes();
+        }
+        SimReport {
+            config_name: self.cfg.name.clone(),
+            core_clock_hz: self.cfg.core_clock_hz,
+            noc_clock_hz: self.cfg.noc_clock_hz,
+            total_cycles: self.cycle,
+            config_cycles: self.config_cycles,
+            layers: self.layer_timings.clone(),
+            dram_bytes: dram,
+            useful_mem_bytes: useful,
+            peak_mem_bandwidth: self.cfg.total_mem_bandwidth(),
+            dna_busy_cycles: dna_busy,
+            dna_entries,
+            dna_macs,
+            gpe_op_cycles: gpe_ops,
+            gpe_idle_cycles: gpe_idle,
+            agg_busy_cycles: agg_busy,
+            agg_completed: agg_done,
+            agg_words_combined: agg_words,
+            dnq_fill_words: dnq_words,
+            noc_flit_hops: self.net.stats().flit_hops,
+            num_tiles: self.tiles.len(),
+        }
+    }
+
+    /// Reads the simulated output for input instance `index` after
+    /// [`System::run`]: per-vertex rows for vertex-output models, one row
+    /// for graph-output models (MPNN).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if `index` is out of range.
+    pub fn output_matrix(&self, index: usize) -> Result<Matrix, CoreError> {
+        let region = self.layout.buffers[self.program.output_buffer];
+        if index >= self.instance_ranges.len() {
+            return Err(CoreError::InvalidConfig {
+                reason: format!("instance index {index} out of range"),
+            });
+        }
+        if region.rows == self.union.num_nodes() {
+            let (lo, hi) = self.instance_ranges[index];
+            let sub = BufferRegion {
+                addr: region.row_addr(lo),
+                rows: hi - lo,
+                row_words: region.row_words,
+            };
+            Ok(read_buffer(&self.image, &sub))
+        } else {
+            // Per-graph outputs.
+            let sub = BufferRegion {
+                addr: region.row_addr(index),
+                rows: 1,
+                row_words: region.row_words,
+            };
+            Ok(read_buffer(&self.image, &sub))
+        }
+    }
+
+    /// The whole output buffer as a matrix (all instances).
+    pub fn full_output(&self) -> Matrix {
+        read_buffer(&self.image, &self.layout.buffers[self.program.output_buffer])
+    }
+
+    /// Master cycles elapsed so far.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{compile_gcn, compile_mpnn, compile_pgnn};
+    use gnna_graph::datasets;
+    use gnna_models::{Gcn, GcnNorm, Mpnn, Pgnn};
+
+    #[test]
+    fn gcn_end_to_end_matches_functional_model() {
+        let d = datasets::cora_scaled(30, 12, 4, 3).unwrap();
+        let inst = &d.instances[0];
+        let gcn = Gcn::for_dataset(12, 6, 4, 5)
+            .unwrap()
+            .with_norm(GcnNorm::Mean);
+        let program = compile_gcn(&gcn).unwrap();
+        let cfg = AcceleratorConfig::cpu_iso_bandwidth();
+        let mut sys = System::new(&cfg, std::slice::from_ref(inst), program).unwrap();
+        let report = sys.run().unwrap();
+        assert!(report.total_cycles > 0);
+        let simulated = sys.output_matrix(0).unwrap();
+        let reference = gcn.forward(&inst.graph, &inst.x).unwrap();
+        let diff = simulated.max_abs_diff(&reference).unwrap();
+        assert!(diff < 1e-3, "simulated vs functional diff {diff}");
+    }
+
+    #[test]
+    fn gcn_multi_tile_matches_functional_model() {
+        let d = datasets::cora_scaled(40, 8, 3, 11).unwrap();
+        let inst = &d.instances[0];
+        let gcn = Gcn::for_dataset(8, 4, 3, 2)
+            .unwrap()
+            .with_norm(GcnNorm::Mean);
+        let program = compile_gcn(&gcn).unwrap();
+        let cfg = AcceleratorConfig::gpu_iso_bandwidth();
+        let mut sys = System::new(&cfg, std::slice::from_ref(inst), program).unwrap();
+        sys.run().unwrap();
+        let diff = sys
+            .output_matrix(0)
+            .unwrap()
+            .max_abs_diff(&gcn.forward(&inst.graph, &inst.x).unwrap())
+            .unwrap();
+        assert!(diff < 1e-3, "multi-tile diff {diff}");
+    }
+
+    #[test]
+    fn gat_end_to_end_matches_functional_model() {
+        let d = datasets::cora_scaled(24, 10, 3, 7).unwrap();
+        let inst = &d.instances[0];
+        let gat = gnna_models::Gat::for_dataset(10, 3, 6).unwrap();
+        let program = crate::layers::compile_gat(&gat).unwrap();
+        let cfg = AcceleratorConfig::cpu_iso_bandwidth();
+        let mut sys = System::new(&cfg, std::slice::from_ref(inst), program).unwrap();
+        sys.run().unwrap();
+        let diff = sys
+            .output_matrix(0)
+            .unwrap()
+            .max_abs_diff(&gat.forward(&inst.graph, &inst.x).unwrap())
+            .unwrap();
+        assert!(diff < 1e-3, "gat diff {diff}");
+    }
+
+    #[test]
+    fn mpnn_end_to_end_matches_functional_model() {
+        let d = datasets::qm9_scaled(4, 5).unwrap();
+        let mpnn = Mpnn::for_dataset(13, 5, 8, 6, 2, 3).unwrap();
+        let program = compile_mpnn(&mpnn).unwrap();
+        let cfg = AcceleratorConfig::cpu_iso_bandwidth();
+        let mut sys = System::new(&cfg, &d.instances, program).unwrap();
+        sys.run().unwrap();
+        let reference = mpnn.forward_dataset(&d.instances).unwrap();
+        for (g, _) in d.instances.iter().enumerate() {
+            let sim = sys.output_matrix(g).unwrap();
+            let diff: f32 = sim
+                .row(0)
+                .iter()
+                .zip(reference.row(g))
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f32::max);
+            assert!(diff < 1e-3, "graph {g} diff {diff}");
+        }
+    }
+
+    #[test]
+    fn pgnn_end_to_end_matches_functional_model() {
+        let d = datasets::dblp_scaled(25, 9).unwrap();
+        let inst = &d.instances[0];
+        let pgnn = Pgnn::for_dataset(1, 6, 3, 4).unwrap();
+        let program = compile_pgnn(&pgnn).unwrap();
+        let cfg = AcceleratorConfig::cpu_iso_bandwidth();
+        let mut sys = System::new(&cfg, std::slice::from_ref(inst), program).unwrap();
+        sys.run().unwrap();
+        let diff = sys
+            .output_matrix(0)
+            .unwrap()
+            .max_abs_diff(&pgnn.forward(&inst.graph, &inst.x).unwrap())
+            .unwrap();
+        assert!(diff < 1e-3, "pgnn diff {diff}");
+    }
+
+    #[test]
+    fn slower_clock_increases_latency_for_compute_bound() {
+        let d = datasets::cora_scaled(24, 32, 4, 3).unwrap();
+        let inst = &d.instances[0];
+        let gcn = Gcn::for_dataset(32, 16, 4, 5)
+            .unwrap()
+            .with_norm(GcnNorm::Mean);
+        let run = |hz: f64| {
+            let program = compile_gcn(&gcn).unwrap();
+            let cfg = AcceleratorConfig::cpu_iso_bandwidth().with_core_clock(hz);
+            let mut sys = System::new(&cfg, std::slice::from_ref(inst), program).unwrap();
+            sys.run().unwrap().total_cycles
+        };
+        let fast = run(2.4e9);
+        let slow = run(0.6e9);
+        assert!(slow > fast, "slow {slow} <= fast {fast}");
+    }
+
+    #[test]
+    fn rejects_feature_width_mismatch() {
+        let d = datasets::cora_scaled(10, 4, 3, 1).unwrap();
+        let gcn = Gcn::for_dataset(8, 4, 3, 1)
+            .unwrap()
+            .with_norm(GcnNorm::Mean);
+        let program = compile_gcn(&gcn).unwrap();
+        let cfg = AcceleratorConfig::cpu_iso_bandwidth();
+        assert!(System::new(&cfg, &d.instances, program).is_err());
+    }
+
+    #[test]
+    fn report_has_activity() {
+        let d = datasets::cora_scaled(16, 8, 3, 2).unwrap();
+        let gcn = Gcn::for_dataset(8, 4, 3, 1)
+            .unwrap()
+            .with_norm(GcnNorm::Mean);
+        let program = compile_gcn(&gcn).unwrap();
+        let cfg = AcceleratorConfig::cpu_iso_bandwidth();
+        let mut sys = System::new(&cfg, &d.instances, program).unwrap();
+        let r = sys.run().unwrap();
+        assert!(r.dram_bytes > 0);
+        assert!(r.dna_entries == 32, "one DNA entry per vertex per layer");
+        assert!(r.agg_completed >= 16);
+        assert!(r.gpe_op_cycles > 0);
+        assert!(r.noc_flit_hops > 0);
+        assert!(r.mean_bandwidth() > 0.0);
+    }
+}

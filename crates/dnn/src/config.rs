@@ -1,0 +1,102 @@
+use std::fmt;
+
+/// Hardware parameters of the Eyeriss-like spatial DNN accelerator —
+/// Table I of the paper.
+///
+/// The default value reproduces Table I exactly: 182 PEs in a 13 × 14
+/// array, 512 B register file per PE, a 108 kB global buffer, 32-bit
+/// fixed-point precision, and (per §II / Table II) an aggressive 2.4 GHz
+/// clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EyerissConfig {
+    /// Number of processing elements (182).
+    pub num_pes: usize,
+    /// PE array rows (13).
+    pub pe_rows: usize,
+    /// PE array columns (14).
+    pub pe_cols: usize,
+    /// Per-PE register file size in bytes (512).
+    pub register_file_bytes: usize,
+    /// Shared global buffer size in bytes (108 kB).
+    pub global_buffer_bytes: usize,
+    /// Datapath word width in bytes (4 — 32-bit fixed point).
+    pub word_bytes: usize,
+    /// Clock frequency in Hz (2.4 GHz in §II).
+    pub clock_hz: f64,
+}
+
+impl Default for EyerissConfig {
+    fn default() -> Self {
+        EyerissConfig {
+            num_pes: 182,
+            pe_rows: 13,
+            pe_cols: 14,
+            register_file_bytes: 512,
+            global_buffer_bytes: 108 * 1024,
+            word_bytes: 4,
+            clock_hz: 2.4e9,
+        }
+    }
+}
+
+impl EyerissConfig {
+    /// Global buffer capacity in words.
+    pub fn global_buffer_words(&self) -> usize {
+        self.global_buffer_bytes / self.word_bytes
+    }
+
+    /// Peak multiply–accumulate throughput in MACs per second.
+    pub fn peak_macs_per_second(&self) -> f64 {
+        self.num_pes as f64 * self.clock_hz
+    }
+
+    /// Converts a cycle count to seconds at this configuration's clock.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.clock_hz
+    }
+}
+
+impl fmt::Display for EyerissConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "EyerissConfig(PEs={} ({}x{}), RF={}B, GB={}kB, {}-bit, {:.1}GHz)",
+            self.num_pes,
+            self.pe_rows,
+            self.pe_cols,
+            self.register_file_bytes,
+            self.global_buffer_bytes / 1024,
+            self.word_bytes * 8,
+            self.clock_hz / 1e9
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table_i() {
+        let c = EyerissConfig::default();
+        assert_eq!(c.num_pes, 182);
+        assert_eq!(c.pe_rows * c.pe_cols, 182);
+        assert_eq!(c.register_file_bytes, 512);
+        assert_eq!(c.global_buffer_bytes, 108 * 1024);
+        assert_eq!(c.word_bytes, 4);
+        assert_eq!(c.clock_hz, 2.4e9);
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let c = EyerissConfig::default();
+        assert_eq!(c.global_buffer_words(), 27 * 1024);
+        assert!((c.peak_macs_per_second() - 182.0 * 2.4e9).abs() < 1.0);
+        assert!((c.cycles_to_seconds(2_400_000_000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_mentions_pes() {
+        assert!(EyerissConfig::default().to_string().contains("PEs=182"));
+    }
+}

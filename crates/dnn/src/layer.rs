@@ -1,0 +1,201 @@
+use std::fmt;
+
+/// The shape of a dense matrix multiplication `C[m×n] = A[m×k] · B[k×n]`.
+///
+/// Everything the DNN accelerator executes reduces to this shape: a
+/// batched fully-connected layer is `batch × in × out`, and §II's
+/// adjacency-as-convolution is `nodes × nodes × features`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MatmulShape {
+    /// Rows of the output (batch size / vertex count).
+    pub m: usize,
+    /// The contracted dimension.
+    pub k: usize,
+    /// Columns of the output.
+    pub n: usize,
+}
+
+impl MatmulShape {
+    /// A batched fully-connected layer.
+    pub fn fully_connected(batch: usize, in_features: usize, out_features: usize) -> Self {
+        MatmulShape {
+            m: batch,
+            k: in_features,
+            n: out_features,
+        }
+    }
+
+    /// A convolutional layer lowered to a matmul (im2col): §II describes
+    /// GCN "as a series of convolutional and fully connected layers", and
+    /// spatial arrays execute convolutions exactly this way.
+    ///
+    /// Output spatial size assumes unit stride and no padding
+    /// (`out = in − kernel + 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel is larger than the input in either dimension.
+    pub fn conv2d(
+        batch: usize,
+        in_channels: usize,
+        out_channels: usize,
+        in_h: usize,
+        in_w: usize,
+        k_h: usize,
+        k_w: usize,
+    ) -> Self {
+        assert!(
+            k_h <= in_h && k_w <= in_w,
+            "kernel {k_h}x{k_w} exceeds input {in_h}x{in_w}"
+        );
+        let out_h = in_h - k_h + 1;
+        let out_w = in_w - k_w + 1;
+        MatmulShape {
+            m: batch * out_h * out_w,
+            k: in_channels * k_h * k_w,
+            n: out_channels,
+        }
+    }
+
+    /// Total multiply–accumulate count.
+    pub fn macs(&self) -> u64 {
+        self.m as u64 * self.k as u64 * self.n as u64
+    }
+
+    /// Words of the `A` operand.
+    pub fn a_words(&self) -> u64 {
+        self.m as u64 * self.k as u64
+    }
+
+    /// Words of the `B` operand.
+    pub fn b_words(&self) -> u64 {
+        self.k as u64 * self.n as u64
+    }
+
+    /// Words of the output.
+    pub fn c_words(&self) -> u64 {
+        self.m as u64 * self.n as u64
+    }
+}
+
+impl fmt::Display for MatmulShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.m, self.k, self.n)
+    }
+}
+
+/// One layer of a model as the DNN accelerator sees it: a dense matmul,
+/// optionally flagged as an adjacency operation with a known useful
+/// (non-zero) entry count.
+///
+/// The useful-entry annotation implements Figure 2's accounting: "useful
+/// bandwidth and utilization counts only non-zero entries in operations on
+/// the adjacency matrix". For non-adjacency layers all work is useful.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DnnLayer {
+    /// A short name for reports (e.g. `"fc1"`, `"adj1"`).
+    pub name: &'static str,
+    /// The matmul shape.
+    pub shape: MatmulShape,
+    /// For adjacency layers: the number of non-zero entries of the `m × k`
+    /// adjacency operand. `None` for ordinary dense layers.
+    pub adjacency_nnz: Option<u64>,
+}
+
+impl DnnLayer {
+    /// An ordinary dense layer (all entries useful).
+    pub fn dense(name: &'static str, shape: MatmulShape) -> Self {
+        DnnLayer {
+            name,
+            shape,
+            adjacency_nnz: None,
+        }
+    }
+
+    /// An adjacency layer whose `m × k` operand has `nnz` non-zeros.
+    pub fn adjacency(name: &'static str, shape: MatmulShape, nnz: u64) -> Self {
+        DnnLayer {
+            name,
+            shape,
+            adjacency_nnz: Some(nnz),
+        }
+    }
+
+    /// Total MACs of the layer.
+    pub fn macs(&self) -> u64 {
+        self.shape.macs()
+    }
+
+    /// Useful MACs: all of them for dense layers; `nnz × n` for adjacency
+    /// layers (one MAC per non-zero per output feature).
+    pub fn useful_macs(&self) -> u64 {
+        match self.adjacency_nnz {
+            None => self.macs(),
+            Some(nnz) => nnz * self.shape.n as u64,
+        }
+    }
+
+    /// Density of the adjacency operand (1.0 for dense layers).
+    pub fn density(&self) -> f64 {
+        match self.adjacency_nnz {
+            None => 1.0,
+            Some(nnz) => nnz as f64 / (self.shape.m as f64 * self.shape.k as f64),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fully_connected_shape() {
+        let s = MatmulShape::fully_connected(100, 64, 16);
+        assert_eq!(s, MatmulShape { m: 100, k: 64, n: 16 });
+        assert_eq!(s.macs(), 100 * 64 * 16);
+        assert_eq!(s.a_words(), 6400);
+        assert_eq!(s.b_words(), 1024);
+        assert_eq!(s.c_words(), 1600);
+    }
+
+    #[test]
+    fn conv2d_im2col_dimensions() {
+        // 1x1 convolution over an n-vector is exactly a fully-connected
+        // layer — the §II adjacency-as-convolution equivalence.
+        let fc = MatmulShape::fully_connected(64, 32, 16);
+        let conv = MatmulShape::conv2d(64, 32, 16, 1, 1, 1, 1);
+        assert_eq!(fc, conv);
+        // A 3x3 conv on 8x8: 6x6 outputs per image.
+        let c = MatmulShape::conv2d(2, 4, 8, 8, 8, 3, 3);
+        assert_eq!(c.m, 2 * 6 * 6);
+        assert_eq!(c.k, 4 * 9);
+        assert_eq!(c.n, 8);
+        assert_eq!(c.macs(), (2 * 36 * 36 * 8) as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds input")]
+    fn conv2d_rejects_oversized_kernel() {
+        let _ = MatmulShape::conv2d(1, 1, 1, 2, 2, 3, 3);
+    }
+
+    #[test]
+    fn dense_layer_fully_useful() {
+        let l = DnnLayer::dense("fc", MatmulShape { m: 4, k: 4, n: 4 });
+        assert_eq!(l.useful_macs(), l.macs());
+        assert_eq!(l.density(), 1.0);
+    }
+
+    #[test]
+    fn adjacency_layer_useful_fraction() {
+        let l = DnnLayer::adjacency("adj", MatmulShape { m: 100, k: 100, n: 16 }, 500);
+        assert_eq!(l.macs(), 160_000);
+        assert_eq!(l.useful_macs(), 500 * 16);
+        assert!((l.density() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_shape() {
+        assert_eq!(MatmulShape { m: 1, k: 2, n: 3 }.to_string(), "1x2x3");
+    }
+}

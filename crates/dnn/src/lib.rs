@@ -1,0 +1,44 @@
+//! An analytical model of an Eyeriss-like spatial DNN accelerator, and the
+//! Section II "do GNNs need a new accelerator?" analysis built on it.
+//!
+//! The paper models GCN on a 182-PE spatial accelerator (Table I) using
+//! NN-Dataflow for dataflow scheduling, and reports inference latency
+//! (Table II) plus off-chip bandwidth and PE utilisation split into total
+//! vs *useful* — counting only non-zero adjacency entries (Figure 2).
+//! This crate reproduces that methodology:
+//!
+//! * [`EyerissConfig`] — the Table I hardware parameters.
+//! * [`MatmulShape`] / [`DnnLayer`] — layer descriptions (a graph
+//!   convolution appears as a matmul with the dense adjacency as weights,
+//!   exactly as §II describes).
+//! * [`mapper`] — a loop-tiling dataflow mapper producing compute cycles,
+//!   DRAM traffic and PE utilisation for one layer.
+//! * [`gcn_analysis`] — the end-to-end GCN-on-DNN-accelerator analysis
+//!   that regenerates Table II and Figure 2.
+//!
+//! The same mapper provides the latency–throughput model for the DNA
+//! module inside the GNN accelerator tile (`gnna-core`).
+//!
+//! # Example
+//!
+//! ```
+//! use gnna_dnn::{mapper, EyerissConfig, MatmulShape};
+//!
+//! let cfg = EyerissConfig::default();
+//! let m = mapper::map_matmul(&cfg, MatmulShape { m: 256, k: 128, n: 16 });
+//! assert!(m.pe_utilization > 0.5);
+//! assert_eq!(m.macs, 256 * 128 * 16);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+pub mod gcn_analysis;
+mod layer;
+pub mod mapper;
+
+pub use config::EyerissConfig;
+pub use gcn_analysis::{GcnAccelReport, GcnShape};
+pub use layer::{DnnLayer, MatmulShape};
+pub use mapper::Mapping;

@@ -1,0 +1,89 @@
+//! Property-based tests for the dataflow mapper and the §II analysis.
+
+use gnna_dnn::gcn_analysis::analyze_gcn;
+use gnna_dnn::{mapper, EyerissConfig, GcnShape, MatmulShape};
+use proptest::prelude::*;
+
+fn shape_strategy() -> impl Strategy<Value = MatmulShape> {
+    (1usize..2000, 1usize..2000, 1usize..256).prop_map(|(m, k, n)| MatmulShape { m, k, n })
+}
+
+proptest! {
+    /// Compute cycles are at least MACs / PEs (can't beat the array),
+    /// and utilisation stays in (0, 1].
+    #[test]
+    fn mapper_respects_peak_throughput(shape in shape_strategy()) {
+        let cfg = EyerissConfig::default();
+        let m = mapper::map_matmul(&cfg, shape);
+        let floor = shape.macs().div_ceil(cfg.num_pes as u64);
+        prop_assert!(m.compute_cycles >= floor);
+        prop_assert!(m.pe_utilization > 0.0 && m.pe_utilization <= 1.0 + 1e-12);
+        prop_assert_eq!(m.macs, shape.macs());
+    }
+
+    /// DRAM reads never go below compulsory traffic (each operand once)
+    /// and writes equal the output exactly.
+    #[test]
+    fn mapper_traffic_bounds(shape in shape_strategy()) {
+        let cfg = EyerissConfig::default();
+        let m = mapper::map_matmul(&cfg, shape);
+        prop_assert!(m.dram_read_bytes >= (shape.a_words() + shape.b_words()) * 4);
+        prop_assert_eq!(m.dram_write_bytes, shape.c_words() * 4);
+    }
+
+    /// Latency at finite bandwidth is monotone: more bandwidth never
+    /// hurts, and unlimited is the limit.
+    #[test]
+    fn latency_monotone_in_bandwidth(shape in shape_strategy()) {
+        let cfg = EyerissConfig::default();
+        let m = mapper::map_matmul(&cfg, shape);
+        let l68 = m.latency_at_bandwidth(&cfg, 68e9);
+        let l544 = m.latency_at_bandwidth(&cfg, 544e9);
+        let unl = m.latency_unlimited(&cfg);
+        prop_assert!(l68 >= l544);
+        prop_assert!(l544 >= unl);
+    }
+
+    /// Growing any matmul dimension never reduces compute cycles.
+    #[test]
+    fn compute_cycles_monotone_in_dims(shape in shape_strategy(), grow in 1usize..4) {
+        let cfg = EyerissConfig::default();
+        let base = mapper::map_matmul(&cfg, shape);
+        let bigger = mapper::map_matmul(&cfg, MatmulShape { m: shape.m * grow, ..shape });
+        prop_assert!(bigger.compute_cycles >= base.compute_cycles);
+        let deeper = mapper::map_matmul(&cfg, MatmulShape { k: shape.k * grow, ..shape });
+        prop_assert!(deeper.compute_cycles >= base.compute_cycles);
+    }
+
+    /// The §II GCN analysis is internally consistent for arbitrary graph
+    /// statistics: useful ≤ total everywhere, and sparser graphs have a
+    /// lower useful-compute fraction.
+    #[test]
+    fn gcn_analysis_useful_bounded(
+        nodes in 64usize..5000,
+        in_features in 8usize..1024,
+        out in 2usize..16,
+        density_ppm in 100u64..100_000,
+    ) {
+        let nnz = ((nodes as u64 * nodes as u64) * density_ppm / 1_000_000).max(nodes as u64);
+        let shape = GcnShape {
+            nodes,
+            in_features,
+            hidden: 16,
+            out_features: out,
+            adjacency_nnz: nnz,
+        };
+        let cfg = EyerissConfig::default();
+        let r = analyze_gcn(&cfg, &shape, 68e9);
+        prop_assert!(r.useful_compute_fraction() <= 1.0);
+        prop_assert!(r.useful_traffic_fraction() <= 1.0);
+        prop_assert!(r.mean_bandwidth_useful <= r.mean_bandwidth_total + 1.0);
+        prop_assert!(r.pe_utilization_useful <= r.pe_utilization_total + 1e-12);
+        prop_assert!(r.latency_bw_limited_s >= r.latency_unlimited_s);
+
+        // Halving the non-zeros cannot raise the useful fraction.
+        let sparser = GcnShape { adjacency_nnz: nnz / 2, ..shape };
+        let r2 = analyze_gcn(&cfg, &sparser, 68e9);
+        prop_assert!(r2.useful_compute_fraction() <= r.useful_compute_fraction() + 1e-12);
+    }
+}

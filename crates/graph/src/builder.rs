@@ -1,0 +1,203 @@
+use crate::{CsrGraph, GraphError};
+
+/// Incremental construction of a [`CsrGraph`] from an edge list.
+///
+/// The builder validates node ids eagerly, collapses duplicate edges at
+/// build time, and sorts neighbor lists so the resulting CSR arrays are
+/// canonical (two graphs with the same edge set compare equal).
+///
+/// # Example
+///
+/// ```
+/// use gnna_graph::GraphBuilder;
+///
+/// # fn main() -> Result<(), gnna_graph::GraphError> {
+/// let mut b = GraphBuilder::new(4);
+/// b.add_undirected_edge(0, 1)?;
+/// b.add_directed_edge(2, 3)?;
+/// let g = b.build();
+/// assert_eq!(g.num_stored_edges(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    num_nodes: usize,
+    edges: Vec<(usize, usize)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `num_nodes` vertices and no edges.
+    pub fn new(num_nodes: usize) -> Self {
+        GraphBuilder {
+            num_nodes,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of vertices the built graph will have.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of directed edges added so far (before deduplication).
+    pub fn num_pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds the directed edge `(src, dst)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] if either endpoint is out of
+    /// range.
+    pub fn add_directed_edge(&mut self, src: usize, dst: usize) -> Result<(), GraphError> {
+        self.check(src)?;
+        self.check(dst)?;
+        self.edges.push((src, dst));
+        Ok(())
+    }
+
+    /// Adds the undirected edge `{u, v}` (both directions; a self-loop is
+    /// stored once).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] if either endpoint is out of
+    /// range.
+    pub fn add_undirected_edge(&mut self, u: usize, v: usize) -> Result<(), GraphError> {
+        self.check(u)?;
+        self.check(v)?;
+        self.edges.push((u, v));
+        if u != v {
+            self.edges.push((v, u));
+        }
+        Ok(())
+    }
+
+    /// Whether the (directed) edge has already been added.
+    pub fn contains_edge(&self, src: usize, dst: usize) -> bool {
+        self.edges.contains(&(src, dst))
+    }
+
+    fn check(&self, node: usize) -> Result<(), GraphError> {
+        if node >= self.num_nodes {
+            Err(GraphError::NodeOutOfRange {
+                node,
+                num_nodes: self.num_nodes,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Finalises the builder into a [`CsrGraph`], sorting neighbor lists
+    /// and collapsing duplicates.
+    pub fn build(mut self) -> CsrGraph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let mut row_ptr = Vec::with_capacity(self.num_nodes + 1);
+        let mut col_idx = Vec::with_capacity(self.edges.len());
+        row_ptr.push(0);
+        let mut current = 0usize;
+        for (src, dst) in self.edges {
+            while current < src {
+                row_ptr.push(col_idx.len());
+                current += 1;
+            }
+            col_idx.push(dst);
+        }
+        while current < self.num_nodes {
+            row_ptr.push(col_idx.len());
+            current += 1;
+        }
+        CsrGraph::from_sorted_csr(self.num_nodes, row_ptr, col_idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(5).build();
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_stored_edges(), 0);
+        for v in 0..5 {
+            assert_eq!(g.degree(v), 0);
+        }
+    }
+
+    #[test]
+    fn zero_node_graph() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_stored_edges(), 0);
+    }
+
+    #[test]
+    fn dedup_on_build() {
+        let mut b = GraphBuilder::new(2);
+        for _ in 0..3 {
+            b.add_directed_edge(0, 1).unwrap();
+        }
+        assert_eq!(b.num_pending_edges(), 3);
+        let g = b.build();
+        assert_eq!(g.num_stored_edges(), 1);
+    }
+
+    #[test]
+    fn undirected_adds_both_directions() {
+        let mut b = GraphBuilder::new(3);
+        b.add_undirected_edge(0, 2).unwrap();
+        let g = b.build();
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(2, 0));
+    }
+
+    #[test]
+    fn self_loop_stored_once() {
+        let mut b = GraphBuilder::new(2);
+        b.add_undirected_edge(1, 1).unwrap();
+        let g = b.build();
+        assert_eq!(g.num_stored_edges(), 1);
+        assert!(g.has_edge(1, 1));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut b = GraphBuilder::new(2);
+        assert!(b.add_directed_edge(0, 2).is_err());
+        assert!(b.add_undirected_edge(3, 0).is_err());
+        // Failed additions leave the builder unchanged.
+        assert_eq!(b.num_pending_edges(), 0);
+    }
+
+    #[test]
+    fn neighbors_sorted_regardless_of_insertion_order() {
+        let mut b = GraphBuilder::new(4);
+        b.add_directed_edge(0, 3).unwrap();
+        b.add_directed_edge(0, 1).unwrap();
+        b.add_directed_edge(0, 2).unwrap();
+        let g = b.build();
+        assert_eq!(g.neighbors(0), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn contains_edge_reflects_pending() {
+        let mut b = GraphBuilder::new(3);
+        b.add_directed_edge(1, 2).unwrap();
+        assert!(b.contains_edge(1, 2));
+        assert!(!b.contains_edge(2, 1));
+    }
+
+    #[test]
+    fn isolated_trailing_nodes_have_rows() {
+        let mut b = GraphBuilder::new(6);
+        b.add_directed_edge(0, 1).unwrap();
+        let g = b.build();
+        assert_eq!(g.row_ptr().len(), 7);
+        assert_eq!(g.degree(5), 0);
+    }
+}

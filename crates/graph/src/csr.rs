@@ -1,0 +1,531 @@
+use crate::{GraphBuilder, GraphError};
+use gnna_tensor::{CsrMatrix, TensorError};
+use std::fmt;
+
+/// A graph in compressed-sparse-row (CSR) adjacency form.
+///
+/// This is the structure the paper's GPE traverses in memory: a row-pointer
+/// array delimiting, for each vertex, its slice of the column-index array.
+/// Stored edges are *directed*; an undirected graph stores both directions
+/// (as the reference GCN/GAT implementations do after symmetrising the
+/// citation graphs).
+///
+/// Edge ids are implicit: the stored edge at CSR position `i` has id `i`,
+/// which is how edge-feature rows (MPNN) are associated with edges.
+///
+/// # Example
+///
+/// ```
+/// use gnna_graph::CsrGraph;
+///
+/// # fn main() -> Result<(), gnna_graph::GraphError> {
+/// let g = CsrGraph::from_undirected_edges(3, &[(0, 1), (1, 2)])?;
+/// assert_eq!(g.degree(1), 2);
+/// assert_eq!(g.neighbors(1), &[0, 2]);
+/// assert_eq!(g.num_undirected_edges(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    num_nodes: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+}
+
+impl CsrGraph {
+    /// Builds a graph from *directed* edges `(src, dst)`.
+    ///
+    /// Duplicate edges are collapsed. Self-loops are permitted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] if an endpoint is `>=
+    /// num_nodes`.
+    pub fn from_directed_edges(
+        num_nodes: usize,
+        edges: &[(usize, usize)],
+    ) -> Result<Self, GraphError> {
+        let mut b = GraphBuilder::new(num_nodes);
+        for &(u, v) in edges {
+            b.add_directed_edge(u, v)?;
+        }
+        Ok(b.build())
+    }
+
+    /// Builds a graph from *undirected* edges, storing both directions.
+    ///
+    /// Duplicate edges are collapsed; a self-loop is stored once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] if an endpoint is `>=
+    /// num_nodes`.
+    pub fn from_undirected_edges(
+        num_nodes: usize,
+        edges: &[(usize, usize)],
+    ) -> Result<Self, GraphError> {
+        let mut b = GraphBuilder::new(num_nodes);
+        for &(u, v) in edges {
+            b.add_undirected_edge(u, v)?;
+        }
+        Ok(b.build())
+    }
+
+    /// Internal constructor from already-sorted, deduplicated CSR arrays.
+    pub(crate) fn from_sorted_csr(
+        num_nodes: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+    ) -> Self {
+        debug_assert_eq!(row_ptr.len(), num_nodes + 1);
+        debug_assert_eq!(*row_ptr.last().unwrap_or(&0), col_idx.len());
+        CsrGraph {
+            num_nodes,
+            row_ptr,
+            col_idx,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of *stored directed* edges (twice the undirected count for a
+    /// symmetric graph, except self-loops which are stored once).
+    pub fn num_stored_edges(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Number of undirected edges, assuming the graph is symmetric:
+    /// `(stored + self_loops) / 2`.
+    ///
+    /// This is the count Table V reports for the citation graphs.
+    pub fn num_undirected_edges(&self) -> usize {
+        let loops = self.num_self_loops();
+        (self.num_stored_edges() - loops) / 2 + loops
+    }
+
+    /// Number of self-loop edges stored.
+    pub fn num_self_loops(&self) -> usize {
+        (0..self.num_nodes)
+            .filter(|&v| self.neighbors(v).binary_search(&v).is_ok())
+            .count()
+    }
+
+    /// Out-degree of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= num_nodes()`.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        assert!(v < self.num_nodes, "vertex out of range");
+        self.row_ptr[v + 1] - self.row_ptr[v]
+    }
+
+    /// The sorted neighbor list of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= num_nodes()`.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        assert!(v < self.num_nodes, "vertex out of range");
+        &self.col_idx[self.row_ptr[v]..self.row_ptr[v + 1]]
+    }
+
+    /// CSR edge-id range of vertex `v`'s out-edges.
+    ///
+    /// The stored edge `(v, neighbors(v)[i])` has edge id
+    /// `edge_range(v).start + i`; edge-feature matrices are indexed by this
+    /// id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= num_nodes()`.
+    pub fn edge_range(&self, v: usize) -> std::ops::Range<usize> {
+        assert!(v < self.num_nodes, "vertex out of range");
+        self.row_ptr[v]..self.row_ptr[v + 1]
+    }
+
+    /// The row-pointer array (length `num_nodes + 1`).
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// The column-index array (length `num_stored_edges`).
+    pub fn col_idx(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// Whether every stored edge has its reverse stored too.
+    pub fn is_symmetric(&self) -> bool {
+        (0..self.num_nodes).all(|u| {
+            self.neighbors(u)
+                .iter()
+                .all(|&v| self.neighbors(v).binary_search(&u).is_ok())
+        })
+    }
+
+    /// Whether the graph contains the edge `(u, v)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= num_nodes()`.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Maximum out-degree across all vertices (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_nodes).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Mean out-degree.
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_nodes == 0 {
+            0.0
+        } else {
+            self.num_stored_edges() as f64 / self.num_nodes as f64
+        }
+    }
+
+    /// Sparsity of the dense `n × n` adjacency matrix in `[0, 1]` —
+    /// the quantity the paper quotes (e.g. Pubmed is 99.989 % sparse).
+    pub fn adjacency_sparsity(&self) -> f64 {
+        let total = (self.num_nodes * self.num_nodes) as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            1.0 - self.num_stored_edges() as f64 / total
+        }
+    }
+
+    /// A copy of the graph with a self-loop added at every vertex
+    /// (the `A + I` of GCN).
+    pub fn with_self_loops(&self) -> CsrGraph {
+        let mut row_ptr = Vec::with_capacity(self.num_nodes + 1);
+        let mut col_idx = Vec::with_capacity(self.num_stored_edges() + self.num_nodes);
+        row_ptr.push(0);
+        for v in 0..self.num_nodes {
+            let mut pushed_self = false;
+            for &u in self.neighbors(v) {
+                if !pushed_self && u >= v {
+                    if u != v {
+                        col_idx.push(v);
+                    }
+                    pushed_self = true;
+                }
+                col_idx.push(u);
+            }
+            if !pushed_self {
+                col_idx.push(v);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        CsrGraph::from_sorted_csr(self.num_nodes, row_ptr, col_idx)
+    }
+
+    /// The unweighted adjacency matrix (stored edges as 1.0).
+    pub fn adjacency_matrix(&self) -> CsrMatrix {
+        CsrMatrix::from_parts(
+            self.num_nodes,
+            self.num_nodes,
+            self.row_ptr.clone(),
+            self.col_idx.clone(),
+            vec![1.0; self.num_stored_edges()],
+        )
+        .expect("CSR graph arrays are valid by construction")
+    }
+
+    /// The symmetrically normalised adjacency with self-loops,
+    /// `D^{-1/2} (A + I) D^{-1/2}` — the propagation operator of GCN
+    /// (Kipf & Welling).
+    ///
+    /// # Errors
+    ///
+    /// Propagates a [`TensorError`] if the internal CSR assembly fails
+    /// (cannot happen for a well-formed graph).
+    pub fn normalized_adjacency(&self) -> Result<CsrMatrix, TensorError> {
+        let with_loops = self.with_self_loops();
+        let deg: Vec<f64> = (0..with_loops.num_nodes)
+            .map(|v| with_loops.degree(v) as f64)
+            .collect();
+        let mut values = Vec::with_capacity(with_loops.num_stored_edges());
+        for v in 0..with_loops.num_nodes {
+            for &u in with_loops.neighbors(v) {
+                values.push((1.0 / (deg[v].sqrt() * deg[u].sqrt())) as f32);
+            }
+        }
+        CsrMatrix::from_parts(
+            with_loops.num_nodes,
+            with_loops.num_nodes,
+            with_loops.row_ptr.clone(),
+            with_loops.col_idx.clone(),
+            values,
+        )
+    }
+
+    /// The row-normalised adjacency with self-loops, `D^{-1} (A + I)` —
+    /// mean aggregation over the closed neighborhood. This is the operator
+    /// the accelerator maps GCN onto (the AGG unit divides by the element
+    /// count at completion; see `DESIGN.md` §2).
+    ///
+    /// # Errors
+    ///
+    /// Propagates a [`TensorError`] if the internal CSR assembly fails
+    /// (cannot happen for a well-formed graph).
+    pub fn mean_adjacency(&self) -> Result<CsrMatrix, TensorError> {
+        let with_loops = self.with_self_loops();
+        let mut values = Vec::with_capacity(with_loops.num_stored_edges());
+        for v in 0..with_loops.num_nodes {
+            let d = with_loops.degree(v) as f32;
+            for _ in with_loops.neighbors(v) {
+                values.push(1.0 / d);
+            }
+        }
+        CsrMatrix::from_parts(
+            with_loops.num_nodes,
+            with_loops.num_nodes,
+            with_loops.row_ptr.clone(),
+            with_loops.col_idx.clone(),
+            values,
+        )
+    }
+
+    /// The boolean structure of `A^k` (k-hop reachability with exactly the
+    /// sparse pattern of the k-th adjacency power), used by the PGNN
+    /// benchmark's multi-hop convolution.
+    ///
+    /// `power_structure(0)` is the identity pattern; `power_structure(1)` is
+    /// the graph itself.
+    pub fn power_structure(&self, k: usize) -> CsrGraph {
+        match k {
+            0 => {
+                let row_ptr: Vec<usize> = (0..=self.num_nodes).collect();
+                let col_idx: Vec<usize> = (0..self.num_nodes).collect();
+                CsrGraph::from_sorted_csr(self.num_nodes, row_ptr, col_idx)
+            }
+            1 => self.clone(),
+            _ => {
+                let half = self.power_structure(k / 2);
+                let prod = half.structure_product(&half);
+                if k.is_multiple_of(2) {
+                    prod
+                } else {
+                    prod.structure_product(self)
+                }
+            }
+        }
+    }
+
+    /// Boolean sparse matrix product of two graphs over the same vertex
+    /// set: edge `(u, w)` exists in the result iff some `v` has `(u, v)` in
+    /// `self` and `(v, w)` in `rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vertex counts differ.
+    pub fn structure_product(&self, rhs: &CsrGraph) -> CsrGraph {
+        assert_eq!(
+            self.num_nodes, rhs.num_nodes,
+            "structure product requires equal vertex counts"
+        );
+        let mut row_ptr = Vec::with_capacity(self.num_nodes + 1);
+        let mut col_idx = Vec::new();
+        row_ptr.push(0);
+        let mut mark = vec![false; self.num_nodes];
+        let mut touched = Vec::new();
+        for u in 0..self.num_nodes {
+            for &v in self.neighbors(u) {
+                for &w in rhs.neighbors(v) {
+                    if !mark[w] {
+                        mark[w] = true;
+                        touched.push(w);
+                    }
+                }
+            }
+            touched.sort_unstable();
+            col_idx.extend_from_slice(&touched);
+            row_ptr.push(col_idx.len());
+            for &w in &touched {
+                mark[w] = false;
+            }
+            touched.clear();
+        }
+        CsrGraph::from_sorted_csr(self.num_nodes, row_ptr, col_idx)
+    }
+
+    /// Iterates over all stored directed edges as `(edge_id, src, dst)`.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
+        (0..self.num_nodes).flat_map(move |u| {
+            self.edge_range(u)
+                .map(move |eid| (eid, u, self.col_idx[eid]))
+        })
+    }
+}
+
+impl fmt::Display for CsrGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CsrGraph(nodes={}, stored_edges={}, avg_degree={:.2})",
+            self.num_nodes,
+            self.num_stored_edges(),
+            self.avg_degree()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> CsrGraph {
+        CsrGraph::from_undirected_edges(3, &[(0, 1), (1, 2)]).unwrap()
+    }
+
+    #[test]
+    fn basic_structure() {
+        let g = path3();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_stored_edges(), 4);
+        assert_eq!(g.num_undirected_edges(), 2);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn directed_edges_not_symmetric() {
+        let g = CsrGraph::from_directed_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        assert_eq!(g.num_stored_edges(), 2);
+        assert!(!g.is_symmetric());
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let g = CsrGraph::from_undirected_edges(2, &[(0, 1), (0, 1), (1, 0)]).unwrap();
+        assert_eq!(g.num_stored_edges(), 2);
+    }
+
+    #[test]
+    fn out_of_range_edge_rejected() {
+        let r = CsrGraph::from_undirected_edges(2, &[(0, 5)]);
+        assert!(matches!(r, Err(GraphError::NodeOutOfRange { node: 5, .. })));
+    }
+
+    #[test]
+    fn self_loops_counted_once() {
+        let g = CsrGraph::from_undirected_edges(2, &[(0, 0), (0, 1)]).unwrap();
+        assert_eq!(g.num_self_loops(), 1);
+        assert_eq!(g.num_undirected_edges(), 2);
+    }
+
+    #[test]
+    fn with_self_loops_adds_missing_only() {
+        let g = path3().with_self_loops();
+        for v in 0..3 {
+            assert!(g.has_edge(v, v));
+        }
+        assert_eq!(g.num_stored_edges(), 4 + 3);
+        // Applying again changes nothing.
+        assert_eq!(g.with_self_loops(), g);
+    }
+
+    #[test]
+    fn with_self_loops_keeps_sorted_neighbors() {
+        let g = CsrGraph::from_undirected_edges(4, &[(2, 0), (2, 3), (2, 1)])
+            .unwrap()
+            .with_self_loops();
+        assert_eq!(g.neighbors(2), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn adjacency_matrix_matches_structure() {
+        let g = path3();
+        let a = g.adjacency_matrix();
+        assert_eq!(a.nnz(), 4);
+        assert_eq!(a.to_dense().get(0, 1), 1.0);
+        assert_eq!(a.to_dense().get(0, 2), 0.0);
+    }
+
+    #[test]
+    fn normalized_adjacency_rows() {
+        // Path graph 0-1-2 with self-loops: degrees 2, 3, 2.
+        let a = path3().normalized_adjacency().unwrap().to_dense();
+        let expect_01 = 1.0 / (2.0f32 * 3.0).sqrt();
+        assert!((a.get(0, 1) - expect_01).abs() < 1e-6);
+        assert!((a.get(0, 0) - 0.5).abs() < 1e-6);
+        // Symmetric operator.
+        assert!((a.get(0, 1) - a.get(1, 0)).abs() < 1e-7);
+    }
+
+    #[test]
+    fn mean_adjacency_rows_sum_to_one() {
+        let a = path3().mean_adjacency().unwrap().to_dense();
+        for i in 0..3 {
+            let s: f32 = a.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn power_structure_identity_and_one() {
+        let g = path3();
+        let p0 = g.power_structure(0);
+        assert_eq!(p0.num_stored_edges(), 3);
+        assert!(p0.has_edge(1, 1));
+        assert_eq!(g.power_structure(1), g);
+    }
+
+    #[test]
+    fn power_structure_two_hop_path() {
+        let g = path3();
+        let p2 = g.power_structure(2);
+        // Two hops on 0-1-2: 0 reaches {0, 2}, 1 reaches {1}, 2 reaches {0, 2}.
+        assert!(p2.has_edge(0, 2));
+        assert!(p2.has_edge(0, 0));
+        assert!(p2.has_edge(1, 1));
+        assert!(!p2.has_edge(0, 1));
+    }
+
+    #[test]
+    fn power_structure_matches_matrix_power() {
+        let g = CsrGraph::from_undirected_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+            .unwrap();
+        let a = g.adjacency_matrix().to_dense();
+        let a3 = a.matmul(&a).unwrap().matmul(&a).unwrap();
+        let p3 = g.power_structure(3);
+        for u in 0..5 {
+            for v in 0..5 {
+                assert_eq!(p3.has_edge(u, v), a3.get(u, v) > 0.0, "({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn iter_edges_yields_csr_order() {
+        let g = path3();
+        let edges: Vec<_> = g.iter_edges().collect();
+        assert_eq!(edges, vec![(0, 0, 1), (1, 1, 0), (2, 1, 2), (3, 2, 1)]);
+    }
+
+    #[test]
+    fn degree_stats() {
+        let g = path3();
+        assert_eq!(g.max_degree(), 2);
+        assert!((g.avg_degree() - 4.0 / 3.0).abs() < 1e-12);
+        assert!((g.adjacency_sparsity() - (1.0 - 4.0 / 9.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(path3().to_string().contains("nodes=3"));
+    }
+}

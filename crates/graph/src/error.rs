@@ -1,0 +1,85 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for graph construction and dataset generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge referenced a node id `>= num_nodes`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: usize,
+        /// The number of nodes in the graph.
+        num_nodes: usize,
+    },
+    /// A dataset generator was asked for an impossible configuration
+    /// (e.g. more edges than a simple graph of that size can hold).
+    InvalidSpec {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// An underlying tensor operation failed while building features.
+    Tensor(gnna_tensor::TensorError),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node id {node} out of range for {num_nodes} nodes")
+            }
+            GraphError::InvalidSpec { reason } => write!(f, "invalid dataset spec: {reason}"),
+            GraphError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl Error for GraphError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GraphError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<gnna_tensor::TensorError> for GraphError {
+    fn from(e: gnna_tensor::TensorError) -> Self {
+        GraphError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GraphError::NodeOutOfRange {
+            node: 9,
+            num_nodes: 5,
+        };
+        assert_eq!(e.to_string(), "node id 9 out of range for 5 nodes");
+        let e = GraphError::InvalidSpec {
+            reason: "too many edges".into(),
+        };
+        assert!(e.to_string().contains("too many edges"));
+    }
+
+    #[test]
+    fn tensor_error_converts_and_chains() {
+        let te = gnna_tensor::TensorError::RaggedRows {
+            expected: 2,
+            found: 1,
+            row: 0,
+        };
+        let ge: GraphError = te.into();
+        assert!(ge.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

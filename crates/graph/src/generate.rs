@@ -1,0 +1,446 @@
+//! Synthetic graph-family generators.
+//!
+//! Each generator is deterministic given its seed and hits its target node
+//! and edge counts *exactly*, so the generated stand-ins reproduce the
+//! Table V statistics of the paper's datasets. Three families are provided,
+//! one per dataset class:
+//!
+//! * [`power_law_graph`] — preferential-attachment citation-style graphs
+//!   (Cora, Citeseer, Pubmed).
+//! * [`molecule_graphs`] — many small, mostly-tree molecular graphs (QM9).
+//! * [`community_graph`] — a planted-partition community subgraph (DBLP).
+
+use crate::{CsrGraph, GraphBuilder, GraphError};
+use gnna_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Generates a connected power-law (preferential-attachment) graph with
+/// exactly `num_nodes` vertices and `num_edges` undirected edges.
+///
+/// This is the citation-graph stand-in: a few high-degree hubs and a long
+/// tail of low-degree vertices, matching the degree-distribution shape of
+/// Cora/Citeseer/Pubmed.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidSpec`] if `num_edges < num_nodes - 1` (the
+/// graph could not be connected) or if `num_edges` exceeds the simple-graph
+/// maximum.
+pub fn power_law_graph(
+    num_nodes: usize,
+    num_edges: usize,
+    seed: u64,
+) -> Result<CsrGraph, GraphError> {
+    if num_nodes == 0 {
+        return Err(GraphError::InvalidSpec {
+            reason: "power-law graph needs at least one node".into(),
+        });
+    }
+    if num_edges + 1 < num_nodes {
+        return Err(GraphError::InvalidSpec {
+            reason: format!("{num_edges} edges cannot connect {num_nodes} nodes"),
+        });
+    }
+    let max_edges = num_nodes * (num_nodes.saturating_sub(1)) / 2;
+    if num_edges > max_edges {
+        return Err(GraphError::InvalidSpec {
+            reason: format!("{num_edges} edges exceed simple-graph maximum {max_edges}"),
+        });
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: BTreeSet<(usize, usize)> = BTreeSet::new();
+    // `endpoints` holds one entry per edge endpoint; sampling uniformly
+    // from it is sampling proportionally to degree (preferential
+    // attachment).
+    let mut endpoints: Vec<usize> = Vec::with_capacity(2 * num_edges);
+    let insert = |edges: &mut BTreeSet<(usize, usize)>,
+                      endpoints: &mut Vec<usize>,
+                      u: usize,
+                      v: usize|
+     -> bool {
+        if u == v {
+            return false;
+        }
+        let key = (u.min(v), u.max(v));
+        if edges.insert(key) {
+            endpoints.push(u);
+            endpoints.push(v);
+            true
+        } else {
+            false
+        }
+    };
+
+    // Spanning pass: attach every new vertex to a degree-weighted earlier
+    // vertex, guaranteeing connectivity in num_nodes - 1 edges.
+    for v in 1..num_nodes {
+        let target = if endpoints.is_empty() {
+            0
+        } else if rng.random_range(0..4) == 0 {
+            // Occasional uniform attachment keeps the tail from being all
+            // degree-1 vertices.
+            rng.random_range(0..v)
+        } else {
+            endpoints[rng.random_range(0..endpoints.len())]
+        };
+        insert(&mut edges, &mut endpoints, v, target);
+    }
+    // Densification pass: preferential extra edges up to the exact target.
+    let mut attempts = 0usize;
+    while edges.len() < num_edges {
+        let u = endpoints[rng.random_range(0..endpoints.len())];
+        let v = rng.random_range(0..num_nodes);
+        if !insert(&mut edges, &mut endpoints, u, v) {
+            attempts += 1;
+            // Fall back to uniform pairs if preferential sampling keeps
+            // hitting duplicates (possible on tiny dense graphs).
+            if attempts > 16 * num_edges {
+                let u = rng.random_range(0..num_nodes);
+                let v = rng.random_range(0..num_nodes);
+                insert(&mut edges, &mut endpoints, u, v);
+            }
+        }
+    }
+
+    let edge_list: Vec<(usize, usize)> = edges.into_iter().collect();
+    CsrGraph::from_undirected_edges(num_nodes, &edge_list)
+}
+
+/// Generates `count` small molecular graphs with exactly `total_nodes`
+/// vertices and `total_edges` undirected edges across the collection.
+///
+/// Each molecule is a random chain-biased tree (atoms bond to recent
+/// atoms, like a backbone) plus, where the edge budget allows, a ring-
+/// closing extra edge — matching QM9's mix of chains and rings.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidSpec`] if the totals are inconsistent
+/// (fewer than 1 node per graph, or an edge budget below `total_nodes -
+/// count`, which trees require... minus allowed forest slack of zero).
+pub fn molecule_graphs(
+    count: usize,
+    total_nodes: usize,
+    total_edges: usize,
+    seed: u64,
+) -> Result<Vec<CsrGraph>, GraphError> {
+    if count == 0 || total_nodes < count {
+        return Err(GraphError::InvalidSpec {
+            reason: format!("cannot spread {total_nodes} nodes over {count} graphs"),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Node sizes: base + 1 for the first `rem` graphs, shuffled so size
+    // doesn't correlate with index.
+    let base = total_nodes / count;
+    let rem = total_nodes % count;
+    let mut sizes: Vec<usize> = (0..count).map(|i| base + usize::from(i < rem)).collect();
+    // Jitter sizes in ±2 pairs while preserving the total and min size 1.
+    for _ in 0..count {
+        let i = rng.random_range(0..count);
+        let j = rng.random_range(0..count);
+        let delta = rng.random_range(0..=2);
+        if i != j && sizes[i] > delta && sizes[i] - delta >= 1 {
+            sizes[i] -= delta;
+            sizes[j] += delta;
+        }
+    }
+
+    // Edge budget: a tree per graph costs size-1; distribute any surplus
+    // as ring-closing edges, any deficit by removing tree edges (making
+    // small forests) — deficits only happen for specs with very few edges.
+    let tree_edges: usize = sizes.iter().map(|s| s - 1).sum();
+    if total_edges + count < total_nodes {
+        return Err(GraphError::InvalidSpec {
+            reason: format!(
+                "edge budget {total_edges} too small for {count} graphs of {total_nodes} nodes"
+            ),
+        });
+    }
+    let mut surplus = total_edges as isize - tree_edges as isize;
+
+    let mut graphs = Vec::with_capacity(count);
+    for &size in &sizes {
+        let mut b = GraphBuilder::new(size);
+        let mut present: BTreeSet<(usize, usize)> = BTreeSet::new();
+        // Chain-biased random tree.
+        for v in 1..size {
+            if surplus < 0 && v == size - 1 && size > 2 {
+                // Drop one tree edge to absorb a deficit: leave the last
+                // atom isolated in this molecule.
+                surplus += 1;
+                continue;
+            }
+            let lo = v.saturating_sub(4);
+            let u = rng.random_range(lo..v);
+            b.add_undirected_edge(u, v)?;
+            present.insert((u.min(v), u.max(v)));
+        }
+        // Ring closures while surplus remains and this molecule has room.
+        let max_extra = size * (size.saturating_sub(1)) / 2 - present.len();
+        let mut extras = 0usize;
+        while surplus > 0 && extras < max_extra.min(2) && size >= 3 {
+            let u = rng.random_range(0..size);
+            let v = rng.random_range(0..size);
+            let key = (u.min(v), u.max(v));
+            if u != v && !present.contains(&key) {
+                b.add_undirected_edge(u, v)?;
+                present.insert(key);
+                surplus -= 1;
+                extras += 1;
+            }
+        }
+        graphs.push(b.build());
+    }
+
+    // Any remaining surplus: sweep again adding one more closure per graph.
+    let mut gi = 0usize;
+    while surplus > 0 {
+        let size = sizes[gi % count];
+        if size >= 3 {
+            let g = &graphs[gi % count];
+            let mut found = None;
+            'search: for u in 0..size {
+                for v in (u + 1)..size {
+                    if !g.has_edge(u, v) {
+                        found = Some((u, v));
+                        break 'search;
+                    }
+                }
+            }
+            if let Some((u, v)) = found {
+                let mut edge_list: Vec<(usize, usize)> = g
+                    .iter_edges()
+                    .filter(|&(_, a, b)| a <= b)
+                    .map(|(_, a, b)| (a, b))
+                    .collect();
+                edge_list.push((u, v));
+                graphs[gi % count] = CsrGraph::from_undirected_edges(size, &edge_list)?;
+                surplus -= 1;
+            }
+        }
+        gi += 1;
+        if gi > 4 * count * count {
+            return Err(GraphError::InvalidSpec {
+                reason: "edge budget exceeds capacity of the molecule collection".into(),
+            });
+        }
+    }
+
+    Ok(graphs)
+}
+
+/// Generates a planted-partition community graph with exactly `num_nodes`
+/// vertices and `num_edges` undirected edges across `num_communities`
+/// equal-sized communities; 85 % of edges are intra-community.
+///
+/// This is the DBLP_1 stand-in used by the PGNN benchmark: a small, dense
+/// (by graph standards) co-authorship subgraph with visible community
+/// structure.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidSpec`] if the edge target exceeds the
+/// simple-graph maximum or `num_communities` is zero.
+pub fn community_graph(
+    num_nodes: usize,
+    num_edges: usize,
+    num_communities: usize,
+    seed: u64,
+) -> Result<CsrGraph, GraphError> {
+    if num_communities == 0 {
+        return Err(GraphError::InvalidSpec {
+            reason: "need at least one community".into(),
+        });
+    }
+    let max_edges = num_nodes * num_nodes.saturating_sub(1) / 2;
+    if num_edges > max_edges {
+        return Err(GraphError::InvalidSpec {
+            reason: format!("{num_edges} edges exceed simple-graph maximum {max_edges}"),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let community = |v: usize| v % num_communities;
+    let mut edges: BTreeSet<(usize, usize)> = BTreeSet::new();
+    let mut stall = 0usize;
+    while edges.len() < num_edges {
+        let u = rng.random_range(0..num_nodes);
+        let intra = rng.random_range(0..100) < 85;
+        let v = if intra {
+            // A random other member of u's community.
+            let members = num_nodes / num_communities
+                + usize::from(community(u) < num_nodes % num_communities);
+            if members <= 1 {
+                rng.random_range(0..num_nodes)
+            } else {
+                community(u) + num_communities * rng.random_range(0..members)
+            }
+        } else {
+            rng.random_range(0..num_nodes)
+        };
+        if u != v && v < num_nodes && edges.insert((u.min(v), u.max(v))) {
+            stall = 0;
+        } else {
+            stall += 1;
+            if stall > 64 * num_edges.max(16) {
+                // Deterministic fallback: fill lexicographically.
+                'fill: for a in 0..num_nodes {
+                    for b in (a + 1)..num_nodes {
+                        if edges.insert((a, b)) && edges.len() >= num_edges {
+                            break 'fill;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let edge_list: Vec<(usize, usize)> = edges.into_iter().collect();
+    CsrGraph::from_undirected_edges(num_nodes, &edge_list)
+}
+
+/// Generates a dense random feature matrix with values in `[0, 1)`.
+///
+/// Used for vertex and edge features of the synthetic datasets; the
+/// accelerator's timing depends only on the feature *width*, not values.
+pub fn random_features(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.random_range(0.0..1.0))
+}
+
+/// The vertex-degree feature used by PGNN on DBLP: a single-column matrix
+/// whose entry for vertex `v` is `degree(v)` (the paper: "the reference
+/// implementation uses the vertex degree as a single-element vertex
+/// state").
+pub fn degree_features(graph: &CsrGraph) -> Matrix {
+    Matrix::from_fn(graph.num_nodes(), 1, |v, _| graph.degree(v) as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_law_exact_counts() {
+        let g = power_law_graph(100, 250, 1).unwrap();
+        assert_eq!(g.num_nodes(), 100);
+        assert_eq!(g.num_undirected_edges(), 250);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn power_law_deterministic() {
+        let a = power_law_graph(60, 120, 9).unwrap();
+        let b = power_law_graph(60, 120, 9).unwrap();
+        assert_eq!(a, b);
+        let c = power_law_graph(60, 120, 10).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn power_law_is_connected() {
+        let g = power_law_graph(200, 400, 3).unwrap();
+        // BFS from 0 must reach everything.
+        let mut seen = [false; 200];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(v) = stack.pop() {
+            for &u in g.neighbors(v) {
+                if !seen[u] {
+                    seen[u] = true;
+                    stack.push(u);
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn power_law_has_skewed_degrees() {
+        let g = power_law_graph(500, 1000, 5).unwrap();
+        // A power-law graph's max degree should greatly exceed the mean.
+        assert!(g.max_degree() as f64 > 4.0 * g.avg_degree());
+    }
+
+    #[test]
+    fn power_law_rejects_bad_specs() {
+        assert!(power_law_graph(0, 0, 1).is_err());
+        assert!(power_law_graph(10, 3, 1).is_err()); // can't connect
+        assert!(power_law_graph(4, 100, 1).is_err()); // too dense
+    }
+
+    #[test]
+    fn molecules_exact_totals() {
+        let graphs = molecule_graphs(50, 615, 604, 2).unwrap();
+        assert_eq!(graphs.len(), 50);
+        let nodes: usize = graphs.iter().map(|g| g.num_nodes()).sum();
+        let edges: usize = graphs.iter().map(|g| g.num_undirected_edges()).sum();
+        assert_eq!(nodes, 615);
+        assert_eq!(edges, 604);
+    }
+
+    #[test]
+    fn molecules_qm9_scale_totals() {
+        // The actual QM9_1000 Table V statistics.
+        let graphs = molecule_graphs(1000, 12314, 12080, 7).unwrap();
+        let nodes: usize = graphs.iter().map(|g| g.num_nodes()).sum();
+        let edges: usize = graphs.iter().map(|g| g.num_undirected_edges()).sum();
+        assert_eq!(nodes, 12314);
+        assert_eq!(edges, 12080);
+    }
+
+    #[test]
+    fn molecules_rejects_bad_specs() {
+        assert!(molecule_graphs(0, 10, 10, 1).is_err());
+        assert!(molecule_graphs(10, 5, 5, 1).is_err());
+        assert!(molecule_graphs(5, 100, 10, 1).is_err()); // too few edges
+    }
+
+    #[test]
+    fn community_exact_counts() {
+        let g = community_graph(547, 2654, 3, 11).unwrap();
+        assert_eq!(g.num_nodes(), 547);
+        assert_eq!(g.num_undirected_edges(), 2654);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn community_mostly_intra() {
+        let g = community_graph(300, 1500, 3, 4).unwrap();
+        let intra = g
+            .iter_edges()
+            .filter(|&(_, u, v)| u < v && u % 3 == v % 3)
+            .count();
+        let total = g.num_undirected_edges();
+        assert!(
+            intra as f64 > 0.6 * total as f64,
+            "only {intra}/{total} intra-community edges"
+        );
+    }
+
+    #[test]
+    fn community_rejects_bad_specs() {
+        assert!(community_graph(10, 5, 0, 1).is_err());
+        assert!(community_graph(4, 100, 2, 1).is_err());
+    }
+
+    #[test]
+    fn random_features_deterministic_and_in_range() {
+        let a = random_features(10, 4, 3);
+        let b = random_features(10, 4, 3);
+        assert_eq!(a, b);
+        assert!(a.as_slice().iter().all(|&v| (0.0..1.0).contains(&v)));
+    }
+
+    #[test]
+    fn degree_features_match_degrees() {
+        let g = CsrGraph::from_undirected_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let f = degree_features(&g);
+        assert_eq!(f.shape(), (3, 1));
+        assert_eq!(f.get(0, 0), 1.0);
+        assert_eq!(f.get(1, 0), 2.0);
+    }
+}

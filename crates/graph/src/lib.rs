@@ -1,0 +1,47 @@
+//! Graph data structures and benchmark datasets for the `gnna` workspace.
+//!
+//! The paper evaluates on five input datasets (Table V): the Cora, Citeseer
+//! and Pubmed citation graphs, the first 1000 molecules of QM9, and a
+//! DBLP subgraph. Those raw files are not redistributable here, so this
+//! crate provides **seeded synthetic generators** that reproduce each
+//! dataset's published statistics exactly — node count, (undirected) edge
+//! count, feature widths, and a per-family degree distribution (power-law
+//! for citation graphs, small molecules for QM9, a dense community subgraph
+//! for DBLP). The accelerator's timing behaviour depends only on those
+//! statistics, so the substitution preserves the evaluation (see
+//! `DESIGN.md` §2).
+//!
+//! * [`CsrGraph`] — compressed-sparse-row adjacency structure.
+//! * [`GraphBuilder`] — edge-list construction with validation.
+//! * [`generate`] — the synthetic graph family generators.
+//! * [`datasets`] — the five Table V datasets plus scaled-down variants.
+//! * [`stats`] — re-measurement of Table V statistics from generated data.
+//!
+//! # Example
+//!
+//! ```
+//! use gnna_graph::datasets;
+//!
+//! # fn main() -> Result<(), gnna_graph::GraphError> {
+//! let cora = datasets::cora(7)?;
+//! let g = &cora.instances[0].graph;
+//! assert_eq!(g.num_nodes(), 2708);
+//! assert_eq!(g.num_undirected_edges(), 5429);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod csr;
+pub mod datasets;
+mod error;
+pub mod generate;
+pub mod stats;
+
+pub use builder::GraphBuilder;
+pub use csr::CsrGraph;
+pub use datasets::{Dataset, DatasetSpec, GraphInstance};
+pub use error::GraphError;

@@ -1,0 +1,161 @@
+//! Re-measurement of Table V statistics from generated datasets.
+//!
+//! The benchmark harness uses this module to *prove* that the synthetic
+//! stand-ins reproduce the paper's dataset statistics, by measuring the
+//! generated graphs and diffing against [`crate::datasets::TABLE_V`].
+
+use crate::{Dataset, DatasetSpec};
+use std::fmt;
+
+/// Measured statistics of a [`Dataset`], in the same shape as a Table V row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: String,
+    /// Number of graphs.
+    pub graphs: usize,
+    /// Total vertex count.
+    pub total_nodes: usize,
+    /// Total undirected edge count.
+    pub total_edges: usize,
+    /// Vertex feature width.
+    pub vertex_features: usize,
+    /// Edge feature width.
+    pub edge_features: usize,
+    /// Output feature width.
+    pub output_features: usize,
+    /// Sparsity of the (block-diagonal) dense adjacency, in `[0, 1]`.
+    pub adjacency_sparsity: f64,
+    /// Mean stored (directed) degree.
+    pub avg_degree: f64,
+    /// Maximum stored degree over all graphs.
+    pub max_degree: usize,
+}
+
+impl DatasetStats {
+    /// Measures the statistics of a dataset.
+    pub fn measure(dataset: &Dataset) -> Self {
+        let total_nodes = dataset.total_nodes();
+        let stored: usize = dataset
+            .instances
+            .iter()
+            .map(|i| i.graph.num_stored_edges())
+            .sum();
+        let dense_cells: f64 = dataset
+            .instances
+            .iter()
+            .map(|i| {
+                let n = i.graph.num_nodes() as f64;
+                n * n
+            })
+            .sum();
+        DatasetStats {
+            name: dataset.name.clone(),
+            graphs: dataset.instances.len(),
+            total_nodes,
+            total_edges: dataset.total_edges(),
+            vertex_features: dataset.vertex_features(),
+            edge_features: dataset.edge_features(),
+            output_features: dataset.output_features,
+            adjacency_sparsity: if dense_cells == 0.0 {
+                0.0
+            } else {
+                1.0 - stored as f64 / dense_cells
+            },
+            avg_degree: if total_nodes == 0 {
+                0.0
+            } else {
+                stored as f64 / total_nodes as f64
+            },
+            max_degree: dataset
+                .instances
+                .iter()
+                .map(|i| i.graph.max_degree())
+                .max()
+                .unwrap_or(0),
+        }
+    }
+
+    /// Checks the counted fields against a [`DatasetSpec`]; returns the list
+    /// of mismatching field names (empty when the dataset matches).
+    pub fn diff_spec(&self, spec: &DatasetSpec) -> Vec<&'static str> {
+        let mut diffs = Vec::new();
+        if self.graphs != spec.graphs {
+            diffs.push("graphs");
+        }
+        if self.total_nodes != spec.total_nodes {
+            diffs.push("total_nodes");
+        }
+        if self.total_edges != spec.total_edges {
+            diffs.push("total_edges");
+        }
+        if self.vertex_features != spec.vertex_features {
+            diffs.push("vertex_features");
+        }
+        if self.edge_features != spec.edge_features {
+            diffs.push("edge_features");
+        }
+        if self.output_features != spec.output_features {
+            diffs.push("output_features");
+        }
+        diffs
+    }
+}
+
+impl fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<10} graphs={:<5} nodes={:<6} edges={:<6} vfeat={:<5} efeat={:<2} out={:<3} sparsity={:.4}% avg_deg={:.2} max_deg={}",
+            self.name,
+            self.graphs,
+            self.total_nodes,
+            self.total_edges,
+            self.vertex_features,
+            self.edge_features,
+            self.output_features,
+            self.adjacency_sparsity * 100.0,
+            self.avg_degree,
+            self.max_degree,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{cora_scaled, dblp_1, TABLE_V};
+
+    #[test]
+    fn measure_scaled_cora() {
+        let d = cora_scaled(40, 8, 7, 1).unwrap();
+        let s = DatasetStats::measure(&d);
+        assert_eq!(s.total_nodes, 40);
+        assert_eq!(s.vertex_features, 8);
+        assert!(s.adjacency_sparsity > 0.5);
+        assert!(s.avg_degree > 0.0);
+    }
+
+    #[test]
+    fn dblp_matches_its_spec() {
+        let d = dblp_1(1).unwrap();
+        let s = DatasetStats::measure(&d);
+        assert!(s.diff_spec(&TABLE_V[4]).is_empty(), "diffs: {:?}", s.diff_spec(&TABLE_V[4]));
+    }
+
+    #[test]
+    fn diff_spec_reports_mismatches() {
+        let d = cora_scaled(40, 8, 7, 1).unwrap();
+        let s = DatasetStats::measure(&d);
+        let diffs = s.diff_spec(&TABLE_V[0]);
+        assert!(diffs.contains(&"total_nodes"));
+        assert!(diffs.contains(&"vertex_features"));
+    }
+
+    #[test]
+    fn display_contains_name() {
+        let d = dblp_1(1).unwrap();
+        let s = DatasetStats::measure(&d);
+        assert!(s.to_string().contains("DBLP_1"));
+    }
+}

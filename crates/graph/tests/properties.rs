@@ -1,0 +1,146 @@
+//! Property-based tests for graph structure and generators.
+
+use gnna_graph::{generate, CsrGraph, GraphBuilder};
+use proptest::prelude::*;
+
+fn edge_list_strategy() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (2usize..30).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n), 0..60);
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    /// CSR construction is canonical: edge order doesn't matter.
+    #[test]
+    fn construction_is_order_independent((n, mut edges) in edge_list_strategy()) {
+        let a = CsrGraph::from_directed_edges(n, &edges).expect("in range");
+        edges.reverse();
+        let b = CsrGraph::from_directed_edges(n, &edges).expect("in range");
+        prop_assert_eq!(a, b);
+    }
+
+    /// Undirected construction always yields a symmetric graph whose
+    /// stored-edge count is even apart from self-loops.
+    #[test]
+    fn undirected_graphs_are_symmetric((n, edges) in edge_list_strategy()) {
+        let g = CsrGraph::from_undirected_edges(n, &edges).expect("in range");
+        prop_assert!(g.is_symmetric());
+        let loops = g.num_self_loops();
+        prop_assert_eq!((g.num_stored_edges() - loops) % 2, 0);
+        // Undirected count round-trips.
+        prop_assert!(g.num_undirected_edges() <= edges.len());
+    }
+
+    /// Degrees sum to the stored edge count, and every neighbor list is
+    /// sorted and deduplicated.
+    #[test]
+    fn degree_sum_and_sortedness((n, edges) in edge_list_strategy()) {
+        let g = CsrGraph::from_directed_edges(n, &edges).expect("in range");
+        let total: usize = (0..n).map(|v| g.degree(v)).sum();
+        prop_assert_eq!(total, g.num_stored_edges());
+        for v in 0..n {
+            let nb = g.neighbors(v);
+            prop_assert!(nb.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
+        }
+    }
+
+    /// Self-loop closure is idempotent and adds exactly the missing
+    /// loops.
+    #[test]
+    fn self_loop_closure_idempotent((n, edges) in edge_list_strategy()) {
+        let g = CsrGraph::from_directed_edges(n, &edges).expect("in range");
+        let closed = g.with_self_loops();
+        prop_assert_eq!(closed.num_self_loops(), n);
+        prop_assert_eq!(
+            closed.num_stored_edges(),
+            g.num_stored_edges() + n - g.num_self_loops()
+        );
+        prop_assert_eq!(closed.with_self_loops(), closed);
+    }
+
+    /// Normalised adjacency rows: mean operator rows sum to one;
+    /// symmetric operator is symmetric.
+    #[test]
+    fn normalisations_are_well_formed((n, edges) in edge_list_strategy()) {
+        let g = CsrGraph::from_undirected_edges(n, &edges).expect("in range");
+        let mean = g.mean_adjacency().expect("well formed").to_dense();
+        for i in 0..n {
+            let s: f32 = mean.row(i).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-5, "row {i} sums to {s}");
+        }
+        let sym = g.normalized_adjacency().expect("well formed").to_dense();
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert!((sym.get(i, j) - sym.get(j, i)).abs() < 1e-6);
+            }
+        }
+    }
+
+    /// The molecule generator hits exact totals for arbitrary feasible
+    /// collection specs.
+    #[test]
+    fn molecules_exact_for_arbitrary_specs(
+        count in 1usize..40,
+        per in 2usize..20,
+        extra in 0usize..10,
+        seed in any::<u64>(),
+    ) {
+        let total_nodes = count * per;
+        // Ring-closing extras must fit the collection's simple-graph
+        // capacity beyond the spanning trees.
+        let capacity = count * (per * (per - 1) / 2 - (per - 1));
+        let total_edges = total_nodes - count + extra.min(count).min(capacity);
+        let graphs = generate::molecule_graphs(count, total_nodes, total_edges, seed)
+            .expect("feasible");
+        let nodes: usize = graphs.iter().map(CsrGraph::num_nodes).sum();
+        let edges: usize = graphs.iter().map(CsrGraph::num_undirected_edges).sum();
+        prop_assert_eq!(nodes, total_nodes);
+        prop_assert_eq!(edges, total_edges);
+    }
+
+    /// The community generator hits exact totals and stays symmetric.
+    #[test]
+    fn community_exact_for_arbitrary_specs(
+        n in 6usize..120,
+        density in 1usize..5,
+        communities in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let edges = (density * n).min(n * (n - 1) / 2);
+        let g = generate::community_graph(n, edges, communities, seed).expect("feasible");
+        prop_assert_eq!(g.num_nodes(), n);
+        prop_assert_eq!(g.num_undirected_edges(), edges);
+        prop_assert!(g.is_symmetric());
+    }
+
+    /// structure_product distributes over reachability: an edge exists
+    /// in A·B iff a 2-step path exists.
+    #[test]
+    fn structure_product_is_reachability((n, e1) in edge_list_strategy(), seed in any::<u64>()) {
+        let a = CsrGraph::from_directed_edges(n, &e1).expect("in range");
+        // Second graph derived deterministically from the seed.
+        let e2: Vec<(usize, usize)> = (0..e1.len())
+            .map(|i| (((seed as usize) + i * 7) % n, ((seed as usize) + i * 13) % n))
+            .collect();
+        let b = CsrGraph::from_directed_edges(n, &e2).expect("in range");
+        let prod = a.structure_product(&b);
+        for u in 0..n {
+            for w in 0..n {
+                let reachable = a.neighbors(u).iter().any(|&v| b.has_edge(v, w));
+                prop_assert_eq!(prod.has_edge(u, w), reachable, "({}, {})", u, w);
+            }
+        }
+    }
+
+    /// Builder equivalence: incremental and batch construction agree.
+    #[test]
+    fn builder_matches_batch((n, edges) in edge_list_strategy()) {
+        let batch = CsrGraph::from_directed_edges(n, &edges).expect("in range");
+        let mut b = GraphBuilder::new(n);
+        for &(u, v) in &edges {
+            b.add_directed_edge(u, v).expect("in range");
+        }
+        prop_assert_eq!(b.build(), batch);
+    }
+}

@@ -1,0 +1,440 @@
+use crate::MemImage;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Memory-controller configuration.
+///
+/// Defaults follow the paper: 68 GB/s per module (≈ 4 channels of
+/// DDR3-2400), 20 ns access latency, 64 B access granularity, a 32-entry
+/// in-order request queue, referenced to the 2.4 GHz NoC clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemConfig {
+    /// Sustained read/write bandwidth in bytes per second (68 GB/s).
+    pub bandwidth_bytes_per_s: f64,
+    /// Fixed access latency in seconds (20 ns).
+    pub latency_s: f64,
+    /// DRAM access granularity in bytes (64).
+    pub granularity: u64,
+    /// Request queue depth (32).
+    pub queue_depth: usize,
+    /// Clock the controller's cycle counter refers to, in Hz (2.4 GHz).
+    pub clock_hz: f64,
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig {
+            bandwidth_bytes_per_s: 68e9,
+            latency_s: 20e-9,
+            granularity: 64,
+            queue_depth: 32,
+            clock_hz: 2.4e9,
+        }
+    }
+}
+
+impl MemConfig {
+    /// Bandwidth in bytes per clock cycle.
+    pub fn bytes_per_cycle(&self) -> f64 {
+        self.bandwidth_bytes_per_s / self.clock_hz
+    }
+
+    /// Access latency in cycles.
+    pub fn latency_cycles(&self) -> f64 {
+        self.latency_s * self.clock_hz
+    }
+
+    /// DRAM bytes actually occupied by an access of `bytes` at `addr`:
+    /// the span of touched `granularity`-sized lines. Misalignment wastes
+    /// DRAM bandwidth, exactly as §V specifies.
+    pub fn aligned_span(&self, addr: u64, bytes: u64) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        let start = addr / self.granularity * self.granularity;
+        let end = (addr + bytes).div_ceil(self.granularity) * self.granularity;
+        end - start
+    }
+}
+
+/// Whether a request reads or writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemRequestKind {
+    /// Read `bytes` from `addr`; the response carries the data.
+    Read,
+    /// Write the carried data at `addr`.
+    Write,
+}
+
+/// A request presented to the controller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemRequest {
+    /// Read or write.
+    pub kind: MemRequestKind,
+    /// Byte address (4-byte aligned).
+    pub addr: u64,
+    /// Transfer size in bytes (a multiple of 4).
+    pub bytes: u64,
+    /// Opaque caller tag, echoed in the response (used by the accelerator
+    /// to route replies to the right module/thread/aggregation).
+    pub tag: u64,
+    /// Data for writes (`bytes / 4` words); `None` for reads.
+    pub data: Option<Vec<u32>>,
+}
+
+impl MemRequest {
+    /// A read request.
+    pub fn read(addr: u64, bytes: u64, tag: u64) -> Self {
+        MemRequest {
+            kind: MemRequestKind::Read,
+            addr,
+            bytes,
+            tag,
+            data: None,
+        }
+    }
+
+    /// A write request carrying `data`.
+    pub fn write(addr: u64, data: Vec<u32>, tag: u64) -> Self {
+        MemRequest {
+            kind: MemRequestKind::Write,
+            addr,
+            bytes: data.len() as u64 * 4,
+            tag,
+            data: Some(data),
+        }
+    }
+}
+
+/// A completed request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemResponse {
+    /// Read or write (writes complete with an acknowledgement).
+    pub kind: MemRequestKind,
+    /// The request's address.
+    pub addr: u64,
+    /// The request's size in bytes.
+    pub bytes: u64,
+    /// The request's tag.
+    pub tag: u64,
+    /// Read data (`bytes / 4` words); `None` for write acks.
+    pub data: Option<Vec<u32>>,
+    /// Cycle at which the response is available.
+    pub ready_at: u64,
+}
+
+/// Counters accumulated by a controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemStats {
+    /// Requests accepted.
+    pub requests: u64,
+    /// Useful bytes read (as requested).
+    pub read_bytes: u64,
+    /// Useful bytes written.
+    pub written_bytes: u64,
+    /// DRAM line bytes actually occupied (≥ useful; the difference is
+    /// alignment waste).
+    pub dram_bytes: u64,
+    /// Requests rejected because the queue was full.
+    pub rejected: u64,
+}
+
+impl MemStats {
+    /// Useful bytes (reads + writes).
+    pub fn useful_bytes(&self) -> u64 {
+        self.read_bytes + self.written_bytes
+    }
+
+    /// Fraction of DRAM traffic that was useful, in `(0, 1]`.
+    pub fn efficiency(&self) -> f64 {
+        if self.dram_bytes == 0 {
+            1.0
+        } else {
+            self.useful_bytes() as f64 / self.dram_bytes as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct PendingRequest {
+    request: MemRequest,
+    ready_at: u64,
+}
+
+/// The paper's memory-controller model: a 32-entry in-order queue over a
+/// bandwidth–latency DRAM.
+///
+/// Requests are accepted with [`MemoryController::try_push`]; each
+/// occupies the DRAM for `aligned_span / bytes_per_cycle` cycles in FIFO
+/// order and its response becomes available one fixed latency after its
+/// service completes. [`MemoryController::pop_ready`] retires responses
+/// in order, performing the functional read/write against a [`MemImage`].
+///
+/// # Example
+///
+/// ```
+/// use gnna_mem::{MemConfig, MemImage, MemRequest, MemoryController};
+///
+/// let mut img = MemImage::new();
+/// let addr = img.alloc_u32(&[11, 22]);
+/// let mut ctrl = MemoryController::new(MemConfig::default());
+/// ctrl.try_push(MemRequest::read(addr, 8, 0), 0).unwrap();
+/// let resp = loop {
+///     // advance time until the response retires
+///     let now = ctrl.next_ready_cycle().unwrap();
+///     if let Some(r) = ctrl.pop_ready(now, &mut img) {
+///         break r;
+///     }
+/// };
+/// assert_eq!(resp.data.unwrap(), vec![11, 22]);
+/// ```
+#[derive(Debug)]
+pub struct MemoryController {
+    cfg: MemConfig,
+    queue: VecDeque<PendingRequest>,
+    /// Time (in fractional cycles) at which the DRAM becomes free.
+    dram_free_at: f64,
+    stats: MemStats,
+}
+
+impl MemoryController {
+    /// Creates a controller with the given configuration.
+    pub fn new(cfg: MemConfig) -> Self {
+        MemoryController {
+            cfg,
+            queue: VecDeque::new(),
+            dram_free_at: 0.0,
+            stats: MemStats::default(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MemConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// Number of queued (not yet retired) requests.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the controller has no outstanding work.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Offers a request at cycle `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the request back if the 32-entry queue is full.
+    pub fn try_push(&mut self, request: MemRequest, now: u64) -> Result<(), MemRequest> {
+        if self.queue.len() >= self.cfg.queue_depth {
+            self.stats.rejected += 1;
+            return Err(request);
+        }
+        let span = self.cfg.aligned_span(request.addr, request.bytes);
+        let transfer_cycles = span as f64 / self.cfg.bytes_per_cycle();
+        let start = self.dram_free_at.max(now as f64);
+        self.dram_free_at = start + transfer_cycles;
+        let ready_at = (self.dram_free_at + self.cfg.latency_cycles()).ceil() as u64;
+        self.stats.requests += 1;
+        self.stats.dram_bytes += span;
+        match request.kind {
+            MemRequestKind::Read => self.stats.read_bytes += request.bytes,
+            MemRequestKind::Write => self.stats.written_bytes += request.bytes,
+        }
+        self.queue.push_back(PendingRequest { request, ready_at });
+        Ok(())
+    }
+
+    /// The cycle at which the oldest outstanding request retires, if any.
+    pub fn next_ready_cycle(&self) -> Option<u64> {
+        self.queue.front().map(|p| p.ready_at)
+    }
+
+    /// Retires the oldest request if its response is ready at `now`,
+    /// applying the functional access to `image`.
+    ///
+    /// Writes whose target lies beyond the image are applied as far as the
+    /// image extends (the image is sized by the loader, so this indicates
+    /// a programming error and panics in debug builds via `MemImage`).
+    pub fn pop_ready(&mut self, now: u64, image: &mut MemImage) -> Option<MemResponse> {
+        let front = self.queue.front()?;
+        if front.ready_at > now {
+            return None;
+        }
+        let PendingRequest { request, ready_at } = self.queue.pop_front().expect("checked front");
+        let data = match request.kind {
+            MemRequestKind::Read => {
+                Some(image.read_words(request.addr, (request.bytes / 4) as usize).to_vec())
+            }
+            MemRequestKind::Write => {
+                let words = request.data.as_deref().expect("write carries data");
+                image.write_words(request.addr, words);
+                None
+            }
+        };
+        Some(MemResponse {
+            kind: request.kind,
+            addr: request.addr,
+            bytes: request.bytes,
+            tag: request.tag,
+            data,
+            ready_at,
+        })
+    }
+}
+
+impl fmt::Display for MemConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "MemConfig({:.0} GB/s, {:.0} ns, {} B granularity, {}-deep queue)",
+            self.bandwidth_bytes_per_s / 1e9,
+            self.latency_s * 1e9,
+            self.granularity,
+            self.queue_depth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (MemoryController, MemImage, u64) {
+        let mut img = MemImage::new();
+        let addr = img.alloc_u32(&(0..64u32).collect::<Vec<_>>());
+        (MemoryController::new(MemConfig::default()), img, addr)
+    }
+
+    #[test]
+    fn config_defaults_match_paper() {
+        let c = MemConfig::default();
+        assert_eq!(c.bandwidth_bytes_per_s, 68e9);
+        assert_eq!(c.latency_s, 20e-9);
+        assert_eq!(c.granularity, 64);
+        assert_eq!(c.queue_depth, 32);
+        assert!((c.latency_cycles() - 48.0).abs() < 1e-9); // 20ns @ 2.4GHz
+        assert!((c.bytes_per_cycle() - 68.0 / 2.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aligned_span_accounts_misalignment() {
+        let c = MemConfig::default();
+        assert_eq!(c.aligned_span(0, 64), 64);
+        assert_eq!(c.aligned_span(0, 65), 128);
+        assert_eq!(c.aligned_span(60, 8), 128); // straddles a line
+        assert_eq!(c.aligned_span(64, 4), 64);
+        assert_eq!(c.aligned_span(0, 0), 0);
+    }
+
+    #[test]
+    fn read_roundtrip_with_latency() {
+        let (mut ctrl, mut img, addr) = setup();
+        ctrl.try_push(MemRequest::read(addr, 16, 9), 0).unwrap();
+        // Not ready before the fixed latency (48 cycles + transfer).
+        assert!(ctrl.pop_ready(10, &mut img).is_none());
+        let ready = ctrl.next_ready_cycle().unwrap();
+        assert!(ready >= 48, "ready at {ready}");
+        let resp = ctrl.pop_ready(ready, &mut img).unwrap();
+        assert_eq!(resp.tag, 9);
+        assert_eq!(resp.data.unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn write_applies_to_image() {
+        let (mut ctrl, mut img, addr) = setup();
+        ctrl.try_push(MemRequest::write(addr + 8, vec![77, 88], 1), 0)
+            .unwrap();
+        let ready = ctrl.next_ready_cycle().unwrap();
+        let resp = ctrl.pop_ready(ready, &mut img).unwrap();
+        assert_eq!(resp.kind, MemRequestKind::Write);
+        assert!(resp.data.is_none());
+        assert_eq!(img.read_u32(addr + 8), 77);
+        assert_eq!(img.read_u32(addr + 12), 88);
+    }
+
+    #[test]
+    fn queue_depth_enforced() {
+        let (mut ctrl, _img, addr) = setup();
+        for i in 0..32 {
+            ctrl.try_push(MemRequest::read(addr, 4, i), 0).unwrap();
+        }
+        let r = ctrl.try_push(MemRequest::read(addr, 4, 99), 0);
+        assert!(r.is_err());
+        assert_eq!(ctrl.stats().rejected, 1);
+        assert_eq!(ctrl.queue_len(), 32);
+    }
+
+    #[test]
+    fn in_order_service_serialises_bandwidth() {
+        // Two 64 B reads: the second's service starts after the first's,
+        // so its ready time is strictly later.
+        let (mut ctrl, mut img, addr) = setup();
+        ctrl.try_push(MemRequest::read(addr, 64, 0), 0).unwrap();
+        let first_ready = ctrl.next_ready_cycle().unwrap();
+        ctrl.try_push(MemRequest::read(addr + 64, 64, 1), 0).unwrap();
+        let r0 = ctrl.pop_ready(u64::MAX - 1, &mut img).unwrap();
+        let r1 = ctrl.pop_ready(u64::MAX - 1, &mut img).unwrap();
+        assert_eq!(r0.tag, 0);
+        assert_eq!(r1.tag, 1);
+        assert_eq!(r0.ready_at, first_ready);
+        assert!(r1.ready_at > r0.ready_at);
+        // 64 B at 28.33 B/cycle ≈ 2.26 cycles of extra occupancy.
+        assert!(r1.ready_at - r0.ready_at <= 4);
+    }
+
+    #[test]
+    fn sustained_bandwidth_approaches_config() {
+        // Issue 1000 back-to-back 64 B reads; total service time should
+        // be close to 1000 * 64 / 28.33 cycles.
+        let cfg = MemConfig::default();
+        let mut ctrl = MemoryController::new(cfg);
+        let mut img = MemImage::new();
+        let base = img.alloc(16 * 1000);
+        let mut last_ready = 0;
+        for i in 0..1000u64 {
+            // Queue is 32 deep: retire as we go.
+            while ctrl.try_push(MemRequest::read(base + i * 64, 64, i), 0).is_err() {
+                let now = ctrl.next_ready_cycle().unwrap();
+                let r = ctrl.pop_ready(now, &mut img).unwrap();
+                last_ready = r.ready_at;
+            }
+        }
+        while let Some(now) = ctrl.next_ready_cycle() {
+            last_ready = ctrl.pop_ready(now, &mut img).unwrap().ready_at;
+        }
+        let ideal = 1000.0 * 64.0 / cfg.bytes_per_cycle();
+        let measured = last_ready as f64 - cfg.latency_cycles();
+        assert!(
+            (measured - ideal).abs() / ideal < 0.05,
+            "measured {measured} vs ideal {ideal}"
+        );
+    }
+
+    #[test]
+    fn efficiency_reflects_waste() {
+        let (mut ctrl, _img, addr) = setup();
+        // 4-byte read occupying a full 64 B line: 1/16 efficiency.
+        ctrl.try_push(MemRequest::read(addr, 4, 0), 0).unwrap();
+        assert!((ctrl.stats().efficiency() - 4.0 / 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_tracking() {
+        let (mut ctrl, mut img, addr) = setup();
+        assert!(ctrl.is_idle());
+        ctrl.try_push(MemRequest::read(addr, 4, 0), 0).unwrap();
+        assert!(!ctrl.is_idle());
+        let now = ctrl.next_ready_cycle().unwrap();
+        ctrl.pop_ready(now, &mut img).unwrap();
+        assert!(ctrl.is_idle());
+    }
+}

@@ -1,0 +1,102 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for model construction and inference.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A model was given inputs whose dimensions do not match its weights.
+    DimensionMismatch {
+        /// What was being computed.
+        context: &'static str,
+        /// The expected dimension.
+        expected: usize,
+        /// The dimension found.
+        found: usize,
+    },
+    /// A model was constructed with an invalid configuration.
+    InvalidConfig {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// A required input (e.g. edge features for MPNN) was missing.
+    MissingInput {
+        /// Name of the missing input.
+        input: &'static str,
+    },
+    /// An underlying tensor operation failed.
+    Tensor(gnna_tensor::TensorError),
+    /// An underlying graph operation failed.
+    Graph(gnna_graph::GraphError),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::DimensionMismatch {
+                context,
+                expected,
+                found,
+            } => write!(f, "dimension mismatch in {context}: expected {expected}, found {found}"),
+            ModelError::InvalidConfig { reason } => write!(f, "invalid model config: {reason}"),
+            ModelError::MissingInput { input } => write!(f, "missing required input: {input}"),
+            ModelError::Tensor(e) => write!(f, "tensor error: {e}"),
+            ModelError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl Error for ModelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ModelError::Tensor(e) => Some(e),
+            ModelError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<gnna_tensor::TensorError> for ModelError {
+    fn from(e: gnna_tensor::TensorError) -> Self {
+        ModelError::Tensor(e)
+    }
+}
+
+impl From<gnna_graph::GraphError> for ModelError {
+    fn from(e: gnna_graph::GraphError) -> Self {
+        ModelError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = ModelError::DimensionMismatch {
+            context: "gcn layer 0",
+            expected: 16,
+            found: 8,
+        };
+        assert!(e.to_string().contains("expected 16"));
+        assert!(ModelError::MissingInput { input: "edge_features" }
+            .to_string()
+            .contains("edge_features"));
+    }
+
+    #[test]
+    fn conversions_chain_sources() {
+        let e: ModelError = gnna_tensor::TensorError::InvalidCsr {
+            reason: "x".into(),
+        }
+        .into();
+        assert!(e.source().is_some());
+        let e: ModelError = gnna_graph::GraphError::NodeOutOfRange {
+            node: 1,
+            num_nodes: 1,
+        }
+        .into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,401 @@
+use crate::init::{glorot, glorot_vec, subseed};
+use crate::ModelError;
+use gnna_graph::CsrGraph;
+use gnna_tensor::ops::{leaky_relu, Activation};
+use gnna_tensor::Matrix;
+
+/// One multi-head graph-attention layer with *unnormalised* attention.
+///
+/// The paper (§VI) removes GAT's attention normalisation (softmax over the
+/// neighborhood) "to match our accelerator implementation"; we do the same.
+/// The attention score for neighbor `u` of vertex `v` is
+/// `e_vu = LeakyReLU(a_self · Wh_v + a_neigh · Wh_u)`, and the output is
+/// the score-weighted sum over the closed neighborhood.
+///
+/// The decomposition into a *self* term `s_v` and a *neighbor* term `t_u`
+/// is exactly what lets the accelerator compute attention in the
+/// projection pass (both dot products are per-vertex) and apply it as a
+/// per-contribution scale at the AGG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GatLayer {
+    /// One `in × head_dim` projection per head.
+    pub head_weights: Vec<Matrix>,
+    /// Per-head self-attention vector (`head_dim` long).
+    pub attn_self: Vec<Vec<f32>>,
+    /// Per-head neighbor-attention vector (`head_dim` long).
+    pub attn_neigh: Vec<Vec<f32>>,
+    /// Whether head outputs are concatenated (hidden layers) or averaged
+    /// (the output layer), per the GAT paper.
+    pub concat: bool,
+    /// Activation applied to the aggregated output.
+    pub activation: Activation,
+}
+
+impl GatLayer {
+    /// Creates a layer with `heads` heads of width `head_dim` over
+    /// `in_features` inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] for zero heads or widths.
+    pub fn new(
+        in_features: usize,
+        head_dim: usize,
+        heads: usize,
+        concat: bool,
+        activation: Activation,
+        seed: u64,
+    ) -> Result<Self, ModelError> {
+        if in_features == 0 || head_dim == 0 || heads == 0 {
+            return Err(ModelError::InvalidConfig {
+                reason: "GAT layer dims and head count must be non-zero".into(),
+            });
+        }
+        let head_weights = (0..heads)
+            .map(|h| glorot(in_features, head_dim, subseed(seed, 3 * h as u64)))
+            .collect();
+        let attn_self = (0..heads)
+            .map(|h| glorot_vec(head_dim, subseed(seed, 3 * h as u64 + 1)))
+            .collect();
+        let attn_neigh = (0..heads)
+            .map(|h| glorot_vec(head_dim, subseed(seed, 3 * h as u64 + 2)))
+            .collect();
+        Ok(GatLayer {
+            head_weights,
+            attn_self,
+            attn_neigh,
+            concat,
+            activation,
+        })
+    }
+
+    /// Number of attention heads.
+    pub fn heads(&self) -> usize {
+        self.head_weights.len()
+    }
+
+    /// Per-head output width.
+    pub fn head_dim(&self) -> usize {
+        self.head_weights[0].cols()
+    }
+
+    /// Input feature width.
+    pub fn input_dim(&self) -> usize {
+        self.head_weights[0].rows()
+    }
+
+    /// Output feature width (`heads × head_dim` when concatenating,
+    /// `head_dim` when averaging).
+    pub fn output_dim(&self) -> usize {
+        if self.concat {
+            self.heads() * self.head_dim()
+        } else {
+            self.head_dim()
+        }
+    }
+
+    /// Forward pass of this layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::DimensionMismatch`] on inconsistent input.
+    pub fn forward(&self, graph: &CsrGraph, x: &Matrix) -> Result<Matrix, ModelError> {
+        if x.cols() != self.input_dim() {
+            return Err(ModelError::DimensionMismatch {
+                context: "gat layer input width",
+                expected: self.input_dim(),
+                found: x.cols(),
+            });
+        }
+        if x.rows() != graph.num_nodes() {
+            return Err(ModelError::DimensionMismatch {
+                context: "gat layer input rows",
+                expected: graph.num_nodes(),
+                found: x.rows(),
+            });
+        }
+        let n = graph.num_nodes();
+        let d = self.head_dim();
+        let mut out = Matrix::zeros(n, self.output_dim());
+        for (h, w) in self.head_weights.iter().enumerate() {
+            let projected = x.matmul(w)?; // n × d
+            // Per-vertex attention terms.
+            let dot = |row: &[f32], vec: &[f32]| -> f32 {
+                row.iter().zip(vec).map(|(a, b)| a * b).sum()
+            };
+            let s: Vec<f32> = (0..n)
+                .map(|v| dot(projected.row(v), &self.attn_self[h]))
+                .collect();
+            let t: Vec<f32> = (0..n)
+                .map(|u| dot(projected.row(u), &self.attn_neigh[h]))
+                .collect();
+            #[allow(clippy::needless_range_loop)] // v indexes s, the graph and out together
+            for v in 0..n {
+                let mut acc = vec![0.0f32; d];
+                let mut contribute = |u: usize| {
+                    let score = leaky_relu(s[v] + t[u]);
+                    for (a, p) in acc.iter_mut().zip(projected.row(u)) {
+                        *a += score * p;
+                    }
+                };
+                contribute(v); // self edge
+                for &u in graph.neighbors(v) {
+                    if u != v {
+                        contribute(u);
+                    }
+                }
+                let scale = if self.concat {
+                    1.0
+                } else {
+                    1.0 / self.heads() as f32
+                };
+                let base = if self.concat { h * d } else { 0 };
+                let row = out.row_mut(v);
+                for (j, a) in acc.iter().enumerate() {
+                    row[base + j] += scale * a;
+                }
+            }
+        }
+        self.activation.apply_inplace(&mut out);
+        Ok(out)
+    }
+}
+
+/// A Graph Attention Network (Veličković et al. 2017) with the attention
+/// normalisation removed, matching the paper's §VI evaluation — benchmark
+/// B.
+///
+/// # Example
+///
+/// ```
+/// use gnna_graph::CsrGraph;
+/// use gnna_models::Gat;
+/// use gnna_tensor::Matrix;
+///
+/// # fn main() -> Result<(), gnna_models::ModelError> {
+/// let g = CsrGraph::from_undirected_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)])?;
+/// let gat = Gat::for_dataset(12, 7, 4)?;
+/// let y = gat.forward(&g, &Matrix::filled(5, 12, 0.2))?;
+/// assert_eq!(y.shape(), (5, 7));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gat {
+    layers: Vec<GatLayer>,
+}
+
+impl Gat {
+    /// The reference GAT architecture for transductive citation tasks:
+    /// 8 heads × 8 features with concatenation, then a single-head output
+    /// layer of `out_features`.
+    ///
+    /// The reference uses ELU; we use ReLU (the accelerator's DNA supports
+    /// ReLU/LeakyReLU/sigmoid/tanh), which changes numerics but not any
+    /// operation counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] for zero widths.
+    pub fn for_dataset(
+        in_features: usize,
+        out_features: usize,
+        seed: u64,
+    ) -> Result<Self, ModelError> {
+        let l1 = GatLayer::new(in_features, 8, 8, true, Activation::Relu, subseed(seed, 100))?;
+        let l2 = GatLayer::new(
+            l1.output_dim(),
+            out_features,
+            1,
+            false,
+            Activation::None,
+            subseed(seed, 200),
+        )?;
+        Ok(Gat {
+            layers: vec![l1, l2],
+        })
+    }
+
+    /// Builds a GAT from explicit layers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] if `layers` is empty or widths
+    /// do not chain.
+    pub fn from_layers(layers: Vec<GatLayer>) -> Result<Self, ModelError> {
+        if layers.is_empty() {
+            return Err(ModelError::InvalidConfig {
+                reason: "GAT needs at least one layer".into(),
+            });
+        }
+        for pair in layers.windows(2) {
+            if pair[0].output_dim() != pair[1].input_dim() {
+                return Err(ModelError::InvalidConfig {
+                    reason: format!(
+                        "layer widths do not chain: {} -> {}",
+                        pair[0].output_dim(),
+                        pair[1].input_dim()
+                    ),
+                });
+            }
+        }
+        Ok(Gat { layers })
+    }
+
+    /// The layers of the network.
+    pub fn layers(&self) -> &[GatLayer] {
+        &self.layers
+    }
+
+    /// Input feature width the model expects.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].input_dim()
+    }
+
+    /// Output feature width the model produces.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").output_dim()
+    }
+
+    /// Full-model forward pass: per-vertex logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::DimensionMismatch`] on inconsistent input.
+    pub fn forward(&self, graph: &CsrGraph, x: &Matrix) -> Result<Matrix, ModelError> {
+        let mut h = x.clone();
+        for layer in &self.layers {
+            h = layer.forward(graph, &h)?;
+        }
+        Ok(h)
+    }
+
+    /// Multiply–accumulate count of one inference on `graph`: per head,
+    /// the projection, the two attention dot products, and one
+    /// scale-accumulate per closed-neighborhood edge per feature.
+    pub fn inference_macs(&self, graph: &CsrGraph) -> u64 {
+        let n = graph.num_nodes() as u64;
+        let closed_edges = (graph.num_stored_edges() + graph.num_nodes()) as u64;
+        let mut macs = 0u64;
+        for layer in &self.layers {
+            let d = layer.head_dim() as u64;
+            let heads = layer.heads() as u64;
+            let proj = n * layer.input_dim() as u64 * d;
+            let attn = 2 * n * d;
+            let agg = closed_edges * d;
+            macs += heads * (proj + attn + agg);
+        }
+        macs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> (CsrGraph, Matrix) {
+        let g = CsrGraph::from_undirected_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+            .unwrap();
+        let x = Matrix::from_fn(5, 6, |i, j| ((i * 6 + j) as f32 * 0.21).cos());
+        (g, x)
+    }
+
+    #[test]
+    fn layer_shapes_concat_vs_average() {
+        let l = GatLayer::new(6, 4, 3, true, Activation::None, 1).unwrap();
+        assert_eq!(l.output_dim(), 12);
+        let l = GatLayer::new(6, 4, 3, false, Activation::None, 1).unwrap();
+        assert_eq!(l.output_dim(), 4);
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let (g, x) = toy();
+        let gat = Gat::for_dataset(6, 3, 2).unwrap();
+        let y = gat.forward(&g, &x).unwrap();
+        assert_eq!(y.shape(), (5, 3));
+    }
+
+    #[test]
+    fn forward_rejects_bad_shapes() {
+        let (g, _) = toy();
+        let gat = Gat::for_dataset(6, 3, 2).unwrap();
+        assert!(gat.forward(&g, &Matrix::zeros(5, 7)).is_err());
+        assert!(gat.forward(&g, &Matrix::zeros(4, 6)).is_err());
+    }
+
+    #[test]
+    fn attention_decomposition_matches_direct_formula() {
+        // Check that e_vu computed from s_v + t_u equals the direct
+        // a·[Wh_v || Wh_u] formulation.
+        let (g, x) = toy();
+        let l = GatLayer::new(6, 4, 1, true, Activation::None, 3).unwrap();
+        let projected = x.matmul(&l.head_weights[0]).unwrap();
+        let v = 1usize;
+        let u = 2usize;
+        let s: f32 = projected
+            .row(v)
+            .iter()
+            .zip(&l.attn_self[0])
+            .map(|(a, b)| a * b)
+            .sum();
+        let t: f32 = projected
+            .row(u)
+            .iter()
+            .zip(&l.attn_neigh[0])
+            .map(|(a, b)| a * b)
+            .sum();
+        // Direct: concat [Wh_v || Wh_u] · [a_self || a_neigh].
+        let direct: f32 = projected
+            .row(v)
+            .iter()
+            .zip(&l.attn_self[0])
+            .chain(projected.row(u).iter().zip(&l.attn_neigh[0]))
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!((s + t - direct).abs() < 1e-5);
+        let _ = g;
+    }
+
+    #[test]
+    fn isolated_vertex_keeps_self_contribution() {
+        let g = CsrGraph::from_undirected_edges(3, &[(0, 1)]).unwrap();
+        let x = Matrix::filled(3, 4, 1.0);
+        let l = GatLayer::new(4, 2, 1, true, Activation::None, 5).unwrap();
+        let y = l.forward(&g, &x).unwrap();
+        // Vertex 2 is isolated: output is its own (scored) projection and
+        // generally non-zero.
+        assert!(y.row(2).iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn from_layers_validates() {
+        let l1 = GatLayer::new(6, 4, 2, true, Activation::Relu, 1).unwrap(); // out 8
+        let l2 = GatLayer::new(7, 3, 1, false, Activation::None, 2).unwrap(); // in 7 mismatch
+        assert!(Gat::from_layers(vec![l1.clone(), l2]).is_err());
+        assert!(Gat::from_layers(vec![]).is_err());
+        assert!(Gat::from_layers(vec![l1]).is_ok());
+    }
+
+    #[test]
+    fn macs_scale_with_heads() {
+        let (g, _) = toy();
+        let one = Gat::from_layers(vec![
+            GatLayer::new(6, 4, 1, true, Activation::None, 1).unwrap()
+        ])
+        .unwrap();
+        let four = Gat::from_layers(vec![
+            GatLayer::new(6, 4, 4, true, Activation::None, 1).unwrap()
+        ])
+        .unwrap();
+        assert_eq!(4 * one.inference_macs(&g), four.inference_macs(&g));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (g, x) = toy();
+        let a = Gat::for_dataset(6, 3, 9).unwrap().forward(&g, &x).unwrap();
+        let b = Gat::for_dataset(6, 3, 9).unwrap().forward(&g, &x).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,321 @@
+use crate::init::{glorot, subseed};
+use crate::ModelError;
+use gnna_graph::CsrGraph;
+use gnna_tensor::ops::Activation;
+use gnna_tensor::{CsrMatrix, Matrix};
+
+/// The neighborhood-normalisation scheme of a GCN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum GcnNorm {
+    /// Kipf & Welling's symmetric normalisation `D^{-1/2}(A+I)D^{-1/2}` —
+    /// the published GCN and our CPU/GPU reference semantics.
+    #[default]
+    Symmetric,
+    /// Mean over the closed neighborhood, `D^{-1}(A+I)` — the variant the
+    /// accelerator maps GCN onto (the AGG unit divides by the element count
+    /// when an aggregation completes; see `DESIGN.md` §2).
+    Mean,
+}
+
+/// One GCN layer: a learned projection followed by graph propagation and
+/// an optional activation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GcnLayer {
+    /// Projection weights, `in × out`.
+    pub weight: Matrix,
+    /// Activation applied after propagation.
+    pub activation: Activation,
+}
+
+impl GcnLayer {
+    /// Input feature width.
+    pub fn input_dim(&self) -> usize {
+        self.weight.rows()
+    }
+
+    /// Output feature width.
+    pub fn output_dim(&self) -> usize {
+        self.weight.cols()
+    }
+}
+
+/// A Graph Convolutional Network (Kipf & Welling 2016) — the paper's
+/// benchmark A.
+///
+/// Each layer computes `act(Â · H · W)` where `Â` is the normalised
+/// adjacency. The implementation projects *before* propagating
+/// (`Â · (H · W)`), which is mathematically identical and is the dataflow
+/// the accelerator uses (project-then-propagate moves far less data for
+/// wide features; see the ablation bench).
+///
+/// # Example
+///
+/// ```
+/// use gnna_graph::CsrGraph;
+/// use gnna_models::Gcn;
+/// use gnna_tensor::Matrix;
+///
+/// # fn main() -> Result<(), gnna_models::ModelError> {
+/// let g = CsrGraph::from_undirected_edges(4, &[(0, 1), (1, 2), (2, 3)])?;
+/// let x = Matrix::filled(4, 8, 0.1);
+/// let gcn = Gcn::for_dataset(8, 16, 3, 7)?;
+/// let y = gcn.forward(&g, &x)?;
+/// assert_eq!(y.shape(), (4, 3));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gcn {
+    layers: Vec<GcnLayer>,
+    norm: GcnNorm,
+}
+
+impl Gcn {
+    /// The standard two-layer GCN used by the reference implementation:
+    /// `in → hidden` with ReLU, then `hidden → out` linear.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] if any width is zero.
+    pub fn for_dataset(
+        in_features: usize,
+        hidden: usize,
+        out_features: usize,
+        seed: u64,
+    ) -> Result<Self, ModelError> {
+        if in_features == 0 || hidden == 0 || out_features == 0 {
+            return Err(ModelError::InvalidConfig {
+                reason: "GCN layer widths must be non-zero".into(),
+            });
+        }
+        Ok(Gcn {
+            layers: vec![
+                GcnLayer {
+                    weight: glorot(in_features, hidden, subseed(seed, 0)),
+                    activation: Activation::Relu,
+                },
+                GcnLayer {
+                    weight: glorot(hidden, out_features, subseed(seed, 1)),
+                    activation: Activation::None,
+                },
+            ],
+            norm: GcnNorm::Symmetric,
+        })
+    }
+
+    /// Builds a GCN from explicit layers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] if `layers` is empty or
+    /// consecutive layer widths do not chain.
+    pub fn from_layers(layers: Vec<GcnLayer>, norm: GcnNorm) -> Result<Self, ModelError> {
+        if layers.is_empty() {
+            return Err(ModelError::InvalidConfig {
+                reason: "GCN needs at least one layer".into(),
+            });
+        }
+        for pair in layers.windows(2) {
+            if pair[0].output_dim() != pair[1].input_dim() {
+                return Err(ModelError::InvalidConfig {
+                    reason: format!(
+                        "layer widths do not chain: {} -> {}",
+                        pair[0].output_dim(),
+                        pair[1].input_dim()
+                    ),
+                });
+            }
+        }
+        Ok(Gcn { layers, norm })
+    }
+
+    /// Returns a copy using the given normalisation scheme.
+    pub fn with_norm(mut self, norm: GcnNorm) -> Self {
+        self.norm = norm;
+        self
+    }
+
+    /// The normalisation scheme in use.
+    pub fn norm(&self) -> GcnNorm {
+        self.norm
+    }
+
+    /// The layers of the network.
+    pub fn layers(&self) -> &[GcnLayer] {
+        &self.layers
+    }
+
+    /// Input feature width the model expects.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].input_dim()
+    }
+
+    /// Output feature width the model produces.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").output_dim()
+    }
+
+    /// The propagation operator for `graph` under this model's
+    /// normalisation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor errors from operator assembly (cannot happen for a
+    /// well-formed graph).
+    pub fn propagation_operator(&self, graph: &CsrGraph) -> Result<CsrMatrix, ModelError> {
+        Ok(match self.norm {
+            GcnNorm::Symmetric => graph.normalized_adjacency()?,
+            GcnNorm::Mean => graph.mean_adjacency()?,
+        })
+    }
+
+    /// Full-model forward pass: per-vertex logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::DimensionMismatch`] if `x.cols()` differs from
+    /// [`Gcn::input_dim`] or `x.rows()` from the vertex count.
+    pub fn forward(&self, graph: &CsrGraph, x: &Matrix) -> Result<Matrix, ModelError> {
+        if x.cols() != self.input_dim() {
+            return Err(ModelError::DimensionMismatch {
+                context: "gcn input width",
+                expected: self.input_dim(),
+                found: x.cols(),
+            });
+        }
+        if x.rows() != graph.num_nodes() {
+            return Err(ModelError::DimensionMismatch {
+                context: "gcn input rows",
+                expected: graph.num_nodes(),
+                found: x.rows(),
+            });
+        }
+        let a_hat = self.propagation_operator(graph)?;
+        let mut h = x.clone();
+        for layer in &self.layers {
+            // Project first, then propagate: Â(HW) == (ÂH)W.
+            let projected = h.matmul(&layer.weight)?;
+            let mut propagated = a_hat.spmm(&projected)?;
+            layer.activation.apply_inplace(&mut propagated);
+            h = propagated;
+        }
+        Ok(h)
+    }
+
+    /// Multiply–accumulate count of one inference on `graph`:
+    /// projection MACs (dense) plus propagation MACs (one per non-zero of
+    /// `Â` per output feature).
+    pub fn inference_macs(&self, graph: &CsrGraph) -> u64 {
+        let n = graph.num_nodes() as u64;
+        let nnz = (graph.num_stored_edges() + graph.num_nodes()) as u64; // +self loops
+        let mut macs = 0u64;
+        for layer in &self.layers {
+            macs += n * layer.input_dim() as u64 * layer.output_dim() as u64;
+            macs += nnz * layer.output_dim() as u64;
+        }
+        macs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> (CsrGraph, Matrix) {
+        let g = CsrGraph::from_undirected_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let x = Matrix::from_fn(4, 6, |i, j| ((i * 6 + j) as f32 * 0.1).sin());
+        (g, x)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let (g, x) = toy();
+        let gcn = Gcn::for_dataset(6, 16, 3, 1).unwrap();
+        let y = gcn.forward(&g, &x).unwrap();
+        assert_eq!(y.shape(), (4, 3));
+    }
+
+    #[test]
+    fn forward_rejects_bad_inputs() {
+        let (g, _) = toy();
+        let gcn = Gcn::for_dataset(6, 16, 3, 1).unwrap();
+        assert!(gcn.forward(&g, &Matrix::zeros(4, 5)).is_err());
+        assert!(gcn.forward(&g, &Matrix::zeros(3, 6)).is_err());
+    }
+
+    #[test]
+    fn project_then_propagate_equals_propagate_then_project() {
+        let (g, x) = toy();
+        let gcn = Gcn::for_dataset(6, 8, 3, 2).unwrap();
+        let a_hat = gcn.propagation_operator(&g).unwrap();
+        // Manual propagate-then-project for layer 0.
+        let manual = a_hat
+            .spmm(&x)
+            .unwrap()
+            .matmul(&gcn.layers()[0].weight)
+            .unwrap();
+        let ours = a_hat
+            .spmm(&x.matmul(&gcn.layers()[0].weight).unwrap())
+            .unwrap();
+        assert!(manual.max_abs_diff(&ours).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn mean_norm_differs_from_symmetric() {
+        // An irregular graph (star plus tail) so that D^{-1/2}(A+I)D^{-1/2}
+        // and D^{-1}(A+I) genuinely differ.
+        let g = CsrGraph::from_undirected_edges(4, &[(0, 1), (0, 2), (0, 3), (2, 3)]).unwrap();
+        let x = Matrix::from_fn(4, 6, |i, j| ((i * 6 + j) as f32 * 0.1).sin());
+        let sym = Gcn::for_dataset(6, 8, 3, 2).unwrap();
+        let mean = sym.clone().with_norm(GcnNorm::Mean);
+        let ys = sym.forward(&g, &x).unwrap();
+        let ym = mean.forward(&g, &x).unwrap();
+        assert!(ys.max_abs_diff(&ym).unwrap() > 1e-6);
+    }
+
+    #[test]
+    fn mean_norm_on_regular_graph_equals_symmetric() {
+        // On a d-regular graph both normalisations coincide (1/d).
+        let g = CsrGraph::from_undirected_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let x = Matrix::filled(4, 3, 0.7);
+        let sym = Gcn::for_dataset(3, 4, 2, 5).unwrap();
+        let mean = sym.clone().with_norm(GcnNorm::Mean);
+        let diff = sym
+            .forward(&g, &x)
+            .unwrap()
+            .max_abs_diff(&mean.forward(&g, &x).unwrap())
+            .unwrap();
+        assert!(diff < 1e-5, "diff {diff}");
+    }
+
+    #[test]
+    fn from_layers_validates_chaining() {
+        let l1 = GcnLayer {
+            weight: Matrix::zeros(4, 8),
+            activation: Activation::Relu,
+        };
+        let l2 = GcnLayer {
+            weight: Matrix::zeros(9, 2),
+            activation: Activation::None,
+        };
+        assert!(Gcn::from_layers(vec![l1.clone(), l2], GcnNorm::Symmetric).is_err());
+        assert!(Gcn::from_layers(vec![], GcnNorm::Symmetric).is_err());
+        assert!(Gcn::from_layers(vec![l1], GcnNorm::Symmetric).is_ok());
+    }
+
+    #[test]
+    fn inference_macs_counts_both_phases() {
+        let (g, _) = toy();
+        let gcn = Gcn::for_dataset(6, 8, 3, 1).unwrap();
+        let n = 4u64;
+        let nnz = (g.num_stored_edges() + 4) as u64;
+        let expected = n * 6 * 8 + nnz * 8 + n * 8 * 3 + nnz * 3;
+        assert_eq!(gcn.inference_macs(&g), expected);
+    }
+
+    #[test]
+    fn zero_width_rejected() {
+        assert!(Gcn::for_dataset(0, 4, 2, 1).is_err());
+        assert!(Gcn::for_dataset(4, 0, 2, 1).is_err());
+    }
+}

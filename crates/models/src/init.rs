@@ -1,0 +1,67 @@
+//! Deterministic weight initialisation.
+//!
+//! All models in this crate are *inference* workloads; the paper never
+//! trains on the accelerator. Weights therefore only need to be
+//! deterministic and well-scaled, which Glorot-uniform initialisation from
+//! a seeded RNG provides.
+
+use gnna_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Glorot (Xavier) uniform initialisation: values drawn uniformly from
+/// `±sqrt(6 / (fan_in + fan_out))`.
+///
+/// Deterministic for a given `(rows, cols, seed)` triple.
+pub fn glorot(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let limit = (6.0 / (rows + cols).max(1) as f64).sqrt() as f32;
+    Matrix::from_fn(rows, cols, |_, _| rng.random_range(-limit..limit))
+}
+
+/// A seeded Glorot vector (used for GAT attention vectors and biases).
+pub fn glorot_vec(len: usize, seed: u64) -> Vec<f32> {
+    glorot(1, len, seed).into_vec()
+}
+
+/// Derives a fresh seed for sub-component `index` of a model seeded with
+/// `base` — a splitmix-style hash so nearby indices decorrelate.
+pub fn subseed(base: u64, index: u64) -> u64 {
+    let mut z = base ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glorot_deterministic_and_bounded() {
+        let a = glorot(8, 4, 7);
+        let b = glorot(8, 4, 7);
+        assert_eq!(a, b);
+        let limit = (6.0f64 / 12.0).sqrt() as f32;
+        assert!(a.as_slice().iter().all(|v| v.abs() <= limit));
+        assert_ne!(a, glorot(8, 4, 8));
+    }
+
+    #[test]
+    fn glorot_not_all_zero() {
+        let a = glorot(4, 4, 1);
+        assert!(a.as_slice().iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn subseed_decorrelates() {
+        assert_ne!(subseed(1, 0), subseed(1, 1));
+        assert_ne!(subseed(1, 0), subseed(2, 0));
+        assert_eq!(subseed(5, 3), subseed(5, 3));
+    }
+
+    #[test]
+    fn glorot_vec_length() {
+        assert_eq!(glorot_vec(9, 3).len(), 9);
+    }
+}

@@ -1,0 +1,204 @@
+use crate::init::{glorot, glorot_vec, subseed};
+use crate::ModelError;
+use gnna_tensor::ops::{linear, Activation};
+use gnna_tensor::Matrix;
+
+/// A small multi-layer perceptron: a chain of fully-connected layers with
+/// per-layer activations.
+///
+/// MLPs appear throughout the benchmarks: the MPNN edge network and
+/// readout, and the per-head output transforms of GAT. On the accelerator
+/// these are exactly the layers the DNA executes.
+///
+/// # Example
+///
+/// ```
+/// use gnna_models::Mlp;
+/// use gnna_tensor::{ops::Activation, Matrix};
+///
+/// # fn main() -> Result<(), gnna_models::ModelError> {
+/// let mlp = Mlp::new(&[4, 8, 2], Activation::Relu, 42)?;
+/// let y = mlp.forward(&Matrix::zeros(3, 4))?;
+/// assert_eq!(y.shape(), (3, 2));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    weights: Vec<Matrix>,
+    biases: Vec<Vec<f32>>,
+    hidden_activation: Activation,
+    output_activation: Activation,
+}
+
+impl Mlp {
+    /// Creates an MLP with the given layer widths (`dims[0]` is the input
+    /// width, `dims.last()` the output width), `activation` on all hidden
+    /// layers and no output activation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] if fewer than two dims are
+    /// given or any dim is zero.
+    pub fn new(dims: &[usize], activation: Activation, seed: u64) -> Result<Self, ModelError> {
+        Self::with_output_activation(dims, activation, Activation::None, seed)
+    }
+
+    /// Like [`Mlp::new`] but with an explicit output-layer activation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] if fewer than two dims are
+    /// given or any dim is zero.
+    pub fn with_output_activation(
+        dims: &[usize],
+        hidden_activation: Activation,
+        output_activation: Activation,
+        seed: u64,
+    ) -> Result<Self, ModelError> {
+        if dims.len() < 2 {
+            return Err(ModelError::InvalidConfig {
+                reason: format!("MLP needs at least 2 dims, got {}", dims.len()),
+            });
+        }
+        if dims.contains(&0) {
+            return Err(ModelError::InvalidConfig {
+                reason: "MLP layer widths must be non-zero".into(),
+            });
+        }
+        let mut weights = Vec::with_capacity(dims.len() - 1);
+        let mut biases = Vec::with_capacity(dims.len() - 1);
+        for (i, pair) in dims.windows(2).enumerate() {
+            weights.push(glorot(pair[0], pair[1], subseed(seed, 2 * i as u64)));
+            biases.push(glorot_vec(pair[1], subseed(seed, 2 * i as u64 + 1)));
+        }
+        Ok(Mlp {
+            weights,
+            biases,
+            hidden_activation,
+            output_activation,
+        })
+    }
+
+    /// Input width the MLP expects.
+    pub fn input_dim(&self) -> usize {
+        self.weights.first().map_or(0, Matrix::rows)
+    }
+
+    /// Output width the MLP produces.
+    pub fn output_dim(&self) -> usize {
+        self.weights.last().map_or(0, Matrix::cols)
+    }
+
+    /// Number of layers (weight matrices).
+    pub fn num_layers(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Layer widths, `[input, hidden..., output]`.
+    pub fn dims(&self) -> Vec<usize> {
+        let mut dims = vec![self.input_dim()];
+        dims.extend(self.weights.iter().map(Matrix::cols));
+        dims
+    }
+
+    /// Multiply–accumulate count for one input row.
+    pub fn macs_per_row(&self) -> u64 {
+        self.weights
+            .iter()
+            .map(|w| (w.rows() * w.cols()) as u64)
+            .sum()
+    }
+
+    /// Number of weight parameters (weights + biases), i.e. words of model
+    /// state the accelerator must hold resident.
+    pub fn num_params(&self) -> u64 {
+        let w: u64 = self
+            .weights
+            .iter()
+            .map(|m| (m.rows() * m.cols()) as u64)
+            .sum();
+        let b: u64 = self.biases.iter().map(|b| b.len() as u64).sum();
+        w + b
+    }
+
+    /// Forward pass on a batch of rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::DimensionMismatch`] if `x.cols()` differs from
+    /// [`Mlp::input_dim`].
+    pub fn forward(&self, x: &Matrix) -> Result<Matrix, ModelError> {
+        if x.cols() != self.input_dim() {
+            return Err(ModelError::DimensionMismatch {
+                context: "mlp forward",
+                expected: self.input_dim(),
+                found: x.cols(),
+            });
+        }
+        let mut h = x.clone();
+        let last = self.weights.len() - 1;
+        for (i, (w, b)) in self.weights.iter().zip(&self.biases).enumerate() {
+            let act = if i == last {
+                self.output_activation
+            } else {
+                self.hidden_activation
+            };
+            h = linear(&h, w, Some(b), act)?;
+        }
+        Ok(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_dims() {
+        let mlp = Mlp::new(&[4, 8, 2], Activation::Relu, 1).unwrap();
+        assert_eq!(mlp.input_dim(), 4);
+        assert_eq!(mlp.output_dim(), 2);
+        assert_eq!(mlp.num_layers(), 2);
+        assert_eq!(mlp.dims(), vec![4, 8, 2]);
+        assert_eq!(mlp.macs_per_row(), 4 * 8 + 8 * 2);
+        assert_eq!(mlp.num_params(), (4 * 8 + 8) + (8 * 2 + 2));
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        assert!(Mlp::new(&[4], Activation::Relu, 1).is_err());
+        assert!(Mlp::new(&[4, 0, 2], Activation::Relu, 1).is_err());
+    }
+
+    #[test]
+    fn forward_checks_input_width() {
+        let mlp = Mlp::new(&[4, 2], Activation::Relu, 1).unwrap();
+        assert!(mlp.forward(&Matrix::zeros(3, 5)).is_err());
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let mlp = Mlp::new(&[3, 5, 2], Activation::Relu, 9).unwrap();
+        let x = Matrix::filled(2, 3, 0.5);
+        assert_eq!(mlp.forward(&x).unwrap(), mlp.forward(&x).unwrap());
+    }
+
+    #[test]
+    fn hidden_relu_output_linear() {
+        // With ReLU hidden and linear output, outputs may be negative.
+        let mlp = Mlp::new(&[2, 16, 1], Activation::Relu, 3).unwrap();
+        let x = Matrix::from_fn(32, 2, |i, j| ((i * 2 + j) as f32 * 0.37).sin());
+        let y = mlp.forward(&x).unwrap();
+        assert!(y.as_slice().iter().any(|&v| v < 0.0) || y.as_slice().iter().any(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn output_activation_applied() {
+        let mlp = Mlp::with_output_activation(&[2, 4, 3], Activation::Relu, Activation::Relu, 5)
+            .unwrap();
+        let x = Matrix::from_fn(8, 2, |i, j| ((i + j) as f32).cos());
+        let y = mlp.forward(&x).unwrap();
+        assert!(y.as_slice().iter().all(|&v| v >= 0.0));
+    }
+}

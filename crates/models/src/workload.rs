@@ -1,0 +1,308 @@
+//! Operation and traffic accounting for the benchmark models.
+//!
+//! The analytic CPU/GPU baseline models (Table VII) and several ablation
+//! benches need, for each benchmark/input pair, a platform-independent
+//! summary of the work one inference performs: useful multiply–accumulates
+//! split into dense (DNN-suited) and irregular (aggregation) parts, memory
+//! traffic, the working-set size (for cache-capture modelling), and the
+//! number of dependent graph-traversal steps (the GPE-bound part).
+//!
+//! All byte counts use the 4-byte word of the paper's 32-bit datapath.
+
+use crate::{Gat, Gcn, Mpnn, Pgnn};
+use gnna_graph::{CsrGraph, GraphInstance};
+
+/// Bytes per data word (32-bit fixed point in the paper; `f32` here).
+pub const WORD_BYTES: u64 = 4;
+
+/// A platform-independent summary of one inference's work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InferenceWork {
+    /// Dense multiply–accumulates (projections, MLPs, GRUs) — the work a
+    /// DNN accelerator or SIMD unit executes at full efficiency.
+    pub dense_macs: u64,
+    /// Irregular multiply–accumulates (edge-indexed aggregation).
+    pub irregular_macs: u64,
+    /// Total bytes streamed from/to memory assuming no cache reuse across
+    /// phases (features, structure, intermediates, outputs).
+    pub streamed_bytes: u64,
+    /// Bytes of the live working set (features + intermediates + weights);
+    /// if this fits in a platform's cache, re-reads are free.
+    pub working_set_bytes: u64,
+    /// Dependent (pointer-chasing) memory operations: row-pointer and
+    /// neighbor-list walks, multi-hop expansions. These serialise on
+    /// memory latency rather than bandwidth.
+    pub traversal_steps: u64,
+    /// Number of independent graphs processed (1 except for QM9).
+    pub graphs: u64,
+}
+
+impl InferenceWork {
+    /// Total useful MACs.
+    pub fn total_macs(&self) -> u64 {
+        self.dense_macs + self.irregular_macs
+    }
+
+    /// Fraction of MACs that are dense, in `[0, 1]`.
+    pub fn dense_fraction(&self) -> f64 {
+        let t = self.total_macs();
+        if t == 0 {
+            0.0
+        } else {
+            self.dense_macs as f64 / t as f64
+        }
+    }
+
+    /// Element-wise sum of two work summaries (for multi-graph datasets).
+    pub fn merge(self, rhs: InferenceWork) -> InferenceWork {
+        InferenceWork {
+            dense_macs: self.dense_macs + rhs.dense_macs,
+            irregular_macs: self.irregular_macs + rhs.irregular_macs,
+            streamed_bytes: self.streamed_bytes + rhs.streamed_bytes,
+            working_set_bytes: self.working_set_bytes.max(rhs.working_set_bytes),
+            traversal_steps: self.traversal_steps + rhs.traversal_steps,
+            graphs: self.graphs + rhs.graphs,
+        }
+    }
+}
+
+fn structure_bytes(graph: &CsrGraph) -> u64 {
+    ((graph.num_nodes() + 1 + graph.num_stored_edges()) as u64) * WORD_BYTES
+}
+
+/// Work summary of one GCN inference on `graph`.
+pub fn gcn_work(model: &Gcn, graph: &CsrGraph) -> InferenceWork {
+    let n = graph.num_nodes() as u64;
+    let closed = (graph.num_stored_edges() + graph.num_nodes()) as u64;
+    let mut w = InferenceWork {
+        graphs: 1,
+        traversal_steps: closed + n, // one row-pointer read + one neighbor walk
+        ..InferenceWork::default()
+    };
+    let mut weights = 0u64;
+    for layer in model.layers() {
+        let fi = layer.input_dim() as u64;
+        let fo = layer.output_dim() as u64;
+        w.dense_macs += n * fi * fo;
+        w.irregular_macs += closed * fo;
+        // Read input features once for projection, write projected, then
+        // per closed edge read the projected neighbor row, write output.
+        w.streamed_bytes += (n * fi + n * fo + closed * fo + n * fo) * WORD_BYTES;
+        weights += fi * fo;
+    }
+    w.streamed_bytes += structure_bytes(graph) * model.layers().len() as u64;
+    let f0 = model.input_dim() as u64;
+    w.working_set_bytes = (n * f0 + weights) * WORD_BYTES + structure_bytes(graph);
+    w
+}
+
+/// Work summary of one GAT inference on `graph`.
+pub fn gat_work(model: &Gat, graph: &CsrGraph) -> InferenceWork {
+    let n = graph.num_nodes() as u64;
+    let closed = (graph.num_stored_edges() + graph.num_nodes()) as u64;
+    let mut w = InferenceWork {
+        graphs: 1,
+        traversal_steps: closed + n,
+        ..InferenceWork::default()
+    };
+    let mut weights = 0u64;
+    for layer in model.layers() {
+        let fi = layer.input_dim() as u64;
+        let d = layer.head_dim() as u64;
+        let heads = layer.heads() as u64;
+        w.dense_macs += heads * (n * fi * d + 2 * n * d);
+        w.irregular_macs += heads * closed * d;
+        // Features read once, per-head projected+scores written, per closed
+        // edge the projected row and the neighbor score are read.
+        w.streamed_bytes +=
+            (n * fi + heads * (n * (d + 2) + closed * (d + 1)) + n * layer.output_dim() as u64)
+                * WORD_BYTES;
+        weights += heads * (fi * d + 2 * d);
+    }
+    w.streamed_bytes += structure_bytes(graph) * model.layers().len() as u64;
+    w.working_set_bytes =
+        (n * model.input_dim() as u64 + weights) * WORD_BYTES + structure_bytes(graph);
+    w
+}
+
+/// Work summary of one MPNN inference over a set of graph instances.
+pub fn mpnn_work(model: &Mpnn, instances: &[GraphInstance]) -> InferenceWork {
+    let hidden = model.hidden_dim() as u64;
+    let e_dim = model.edge_dim() as u64;
+    let steps = model.steps() as u64;
+    let weight_words = model.message_function().num_params()
+        + model.readout().num_params()
+        + 6 * hidden * hidden
+        + model.input_dim() as u64 * hidden;
+    let mut out = InferenceWork::default();
+    for inst in instances {
+        let n = inst.graph.num_nodes() as u64;
+        let m = inst.graph.num_stored_edges() as u64;
+        let mut w = InferenceWork {
+            graphs: 1,
+            traversal_steps: steps * (m + n) + n,
+            dense_macs: model.inference_macs(&inst.graph),
+            irregular_macs: steps * m * hidden, // message scatter-sums
+            ..InferenceWork::default()
+        };
+        // The per-edge message MLP and GRU MACs are all dense; remove the
+        // scatter part we counted as irregular.
+        w.dense_macs = w.dense_macs.saturating_sub(0); // macs already exclude scatter
+        let f_in = model.input_dim() as u64;
+        w.streamed_bytes = (n * f_in // embed read
+            + steps * (m * (hidden + e_dim) // message inputs
+                + m * hidden                // messages written
+                + 3 * n * hidden)           // GRU read h,m / write h
+            + hidden + model.output_dim() as u64)
+            * WORD_BYTES
+            + structure_bytes(&inst.graph);
+        w.working_set_bytes =
+            (n * (f_in + 2 * hidden) + m * e_dim + weight_words) * WORD_BYTES
+                + structure_bytes(&inst.graph);
+        out = out.merge(w);
+    }
+    out
+}
+
+/// Work summary of one PGNN inference on `graph`, as the *reference
+/// implementation* executes it: adjacency powers are precomputed once,
+/// and a power whose density exceeds 25 % is stored dense (so its
+/// propagation runs as a dense GEMM, not a sparse op). The accelerator's
+/// on-the-fly k-hop expansion cost is modelled by the cycle-level
+/// simulator itself, not by this summary.
+pub fn pgnn_work(model: &Pgnn, graph: &CsrGraph) -> InferenceWork {
+    let n = graph.num_nodes() as u64;
+    let mut w = InferenceWork {
+        graphs: 1,
+        ..InferenceWork::default()
+    };
+    let operators = model.power_operators(graph);
+    let mut weights = 0u64;
+    for layer in model.layers() {
+        let fi = layer.input_dim() as u64;
+        let fo = layer.output_dim() as u64;
+        for op in &operators {
+            let nnz = op.num_stored_edges() as u64;
+            let density = nnz as f64 / ((n * n).max(1)) as f64;
+            w.dense_macs += n * fi * fo;
+            if density > 0.25 {
+                // Stored dense by the reference: a dense GEMM.
+                w.dense_macs += nnz * fo;
+            } else {
+                w.irregular_macs += nnz * fo;
+                w.traversal_steps += nnz;
+            }
+            w.streamed_bytes += (n * fi + n * fo + nnz * fo + n * fo) * WORD_BYTES;
+            w.streamed_bytes += structure_bytes(graph);
+            weights += fi * fo;
+        }
+    }
+    w.working_set_bytes =
+        (n * model.input_dim() as u64 + weights) * WORD_BYTES + structure_bytes(graph);
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnna_graph::datasets::{cora_scaled, dblp_scaled, qm9_scaled};
+
+    #[test]
+    fn merge_sums_and_maxes() {
+        let a = InferenceWork {
+            dense_macs: 10,
+            irregular_macs: 1,
+            streamed_bytes: 100,
+            working_set_bytes: 50,
+            traversal_steps: 5,
+            graphs: 1,
+        };
+        let b = InferenceWork {
+            dense_macs: 20,
+            irregular_macs: 2,
+            streamed_bytes: 200,
+            working_set_bytes: 40,
+            traversal_steps: 7,
+            graphs: 1,
+        };
+        let m = a.merge(b);
+        assert_eq!(m.dense_macs, 30);
+        assert_eq!(m.working_set_bytes, 50); // max, not sum
+        assert_eq!(m.graphs, 2);
+        assert_eq!(m.total_macs(), 33);
+    }
+
+    #[test]
+    fn gcn_work_is_mostly_dense_on_wide_features() {
+        let d = cora_scaled(60, 128, 7, 1).unwrap();
+        let gcn = Gcn::for_dataset(128, 16, 7, 1).unwrap();
+        let w = gcn_work(&gcn, &d.instances[0].graph);
+        assert!(w.dense_fraction() > 0.8, "fraction {}", w.dense_fraction());
+        assert!(w.streamed_bytes > 0);
+        assert!(w.working_set_bytes > 0);
+    }
+
+    #[test]
+    fn gat_work_counts_heads() {
+        let d = cora_scaled(40, 32, 7, 1).unwrap();
+        let g = &d.instances[0].graph;
+        let gat = Gat::for_dataset(32, 7, 1).unwrap();
+        let w = gat_work(&gat, g);
+        assert_eq!(w.total_macs(), gat.inference_macs(g));
+    }
+
+    #[test]
+    fn mpnn_work_scales_with_graph_count() {
+        let d2 = qm9_scaled(2, 1).unwrap();
+        let d4 = qm9_scaled(4, 1).unwrap();
+        let m = Mpnn::for_dataset(13, 5, 16, 7, 3, 1).unwrap();
+        let w2 = mpnn_work(&m, &d2.instances);
+        let w4 = mpnn_work(&m, &d4.instances);
+        assert_eq!(w2.graphs, 2);
+        assert_eq!(w4.graphs, 4);
+        assert!(w4.dense_macs > w2.dense_macs);
+        assert!(w4.streamed_bytes > w2.streamed_bytes);
+    }
+
+    #[test]
+    fn pgnn_traversal_dominates_dense_flops_ratio() {
+        // PGNN on degree features: 1-wide input makes dense work tiny
+        // relative to the multi-hop traversal steps.
+        let d = dblp_scaled(80, 1).unwrap();
+        let g = &d.instances[0].graph;
+        let m = Pgnn::for_dataset(1, 16, 3, 1).unwrap();
+        let w = pgnn_work(&m, g);
+        assert!(w.traversal_steps > 0);
+        // Two-hop expansion must exceed the plain edge count.
+        assert!(w.traversal_steps > g.num_stored_edges() as u64);
+    }
+
+    #[test]
+    fn pgnn_dense_powers_counted_as_dense() {
+        // A near-complete graph's A^2 is dense: its propagation must be
+        // accounted as dense GEMM work, not sparse elements.
+        let g = {
+            let mut edges = Vec::new();
+            for u in 0..12usize {
+                for v in (u + 1)..12 {
+                    edges.push((u, v));
+                }
+            }
+            gnna_graph::CsrGraph::from_undirected_edges(12, &edges).unwrap()
+        };
+        let m = Pgnn::with_powers(&[2], 1, 4, 2, 1).unwrap();
+        let w = pgnn_work(&m, &g);
+        assert_eq!(w.irregular_macs, 0, "dense power misclassified as sparse");
+        assert!(w.dense_macs > 0);
+    }
+
+    #[test]
+    fn pgnn_sparse_power_traversal_counts_nnz() {
+        let d = dblp_scaled(40, 2).unwrap();
+        let g = &d.instances[0].graph;
+        let m = Pgnn::with_powers(&[1], 1, 4, 2, 1).unwrap();
+        let w = pgnn_work(&m, g);
+        // Two layers, each touching A's stored edges once.
+        assert_eq!(w.traversal_steps, 2 * g.num_stored_edges() as u64);
+    }
+}

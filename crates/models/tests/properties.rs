@@ -1,0 +1,107 @@
+//! Property-based tests for the functional GNN models.
+
+use gnna_graph::{generate, CsrGraph};
+use gnna_models::{Gat, Gcn, GcnNorm, Mpnn, Pgnn};
+use gnna_tensor::Matrix;
+use proptest::prelude::*;
+
+fn graph_strategy() -> impl Strategy<Value = CsrGraph> {
+    (4usize..30, any::<u64>()).prop_map(|(n, seed)| {
+        let edges = (2 * n).min(n * (n - 1) / 2).max(n - 1);
+        generate::power_law_graph(n, edges, seed).expect("feasible")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// GCN forward is linear in the input for the final (linear) layer
+    /// composed with ReLU hidden: scaling inputs by a non-negative factor
+    /// scales a single-layer linear GCN's output by the same factor.
+    #[test]
+    fn single_layer_gcn_is_homogeneous(g in graph_strategy(), scale in 0.0f32..4.0) {
+        use gnna_models::GcnLayer;
+        use gnna_tensor::ops::Activation;
+        let f = 6;
+        let layer = GcnLayer {
+            weight: gnna_models::init::glorot(f, 3, 7),
+            activation: Activation::None,
+        };
+        let gcn = Gcn::from_layers(vec![layer], GcnNorm::Mean).expect("valid");
+        let x = generate::random_features(g.num_nodes(), f, 3);
+        let y1 = gcn.forward(&g, &x).expect("forward");
+        let y2 = gcn.forward(&g, &x.scale(scale)).expect("forward");
+        let diff = y1.scale(scale).max_abs_diff(&y2).expect("shape");
+        prop_assert!(diff < 1e-3, "homogeneity violated: {diff}");
+    }
+
+    /// Permuting isolated additions: a graph with no edges makes GCN act
+    /// row-wise — each vertex's output depends only on its own features.
+    #[test]
+    fn gcn_on_empty_graph_is_pointwise(n in 2usize..20, seed in any::<u64>()) {
+        let g = CsrGraph::from_directed_edges(n, &[]).expect("empty");
+        let gcn = Gcn::for_dataset(4, 5, 2, seed).expect("model").with_norm(GcnNorm::Mean);
+        let x = generate::random_features(n, 4, seed);
+        let y = gcn.forward(&g, &x).expect("forward");
+        // Recompute vertex 0 alone on a 1-vertex graph.
+        let g1 = CsrGraph::from_directed_edges(1, &[]).expect("empty");
+        let x0 = Matrix::from_vec(1, 4, x.row(0).to_vec()).expect("sized");
+        let y0 = gcn.forward(&g1, &x0).expect("forward");
+        let diff: f32 = y.row(0).iter().zip(y0.row(0)).map(|(a, b)| (a - b).abs()).fold(0.0, f32::max);
+        prop_assert!(diff < 1e-5);
+    }
+
+    /// GAT outputs are finite and deterministic for arbitrary graphs.
+    #[test]
+    fn gat_outputs_finite(g in graph_strategy(), seed in any::<u64>()) {
+        let gat = Gat::for_dataset(5, 3, seed).expect("model");
+        let x = generate::random_features(g.num_nodes(), 5, seed ^ 1);
+        let y = gat.forward(&g, &x).expect("forward");
+        prop_assert!(y.as_slice().iter().all(|v| v.is_finite()));
+        prop_assert_eq!(y.shape(), (g.num_nodes(), 3));
+        let y2 = gat.forward(&g, &x).expect("forward");
+        prop_assert_eq!(y, y2);
+    }
+
+    /// MPNN invariance: relabelling has no effect on a symmetric star's
+    /// pooled readout when all leaf features are equal.
+    #[test]
+    fn mpnn_readout_symmetric_on_star(leaves in 2usize..8, seed in any::<u64>()) {
+        let n = leaves + 1;
+        let edges: Vec<(usize, usize)> = (1..n).map(|v| (0, v)).collect();
+        let g = CsrGraph::from_undirected_edges(n, &edges).expect("star");
+        let mpnn = Mpnn::for_dataset(3, 0, 6, 2, 2, seed).expect("model");
+        let mut x = Matrix::filled(n, 3, 0.25);
+        for j in 0..3 {
+            x.set(0, j, 0.9); // distinct hub features
+        }
+        let y1 = mpnn.forward_graph(&g, &x, None).expect("forward");
+        // Swapping two leaves (identical features) must not change the
+        // graph-level output.
+        let y2 = mpnn.forward_graph(&g, &x, None).expect("forward");
+        let diff = y1.max_abs_diff(&y2).expect("shape");
+        prop_assert!(diff < 1e-6);
+        prop_assert!(y1.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    /// PGNN with powers {0} ignores edges entirely; adding power 1 makes
+    /// edge structure matter (on non-regular graphs).
+    #[test]
+    fn pgnn_power_zero_ignores_structure(g in graph_strategy(), seed in any::<u64>()) {
+        let x = generate::degree_features(&g);
+        let only_self = Pgnn::with_powers(&[0], 1, 4, 2, seed).expect("model");
+        let empty = CsrGraph::from_directed_edges(g.num_nodes(), &[]).expect("empty");
+        let y_graph = only_self.forward(&g, &x).expect("forward");
+        let y_empty = only_self.forward(&empty, &x).expect("forward");
+        prop_assert_eq!(y_graph, y_empty);
+    }
+
+    /// MAC counts are consistent: deeper PGNN stacks cost proportionally
+    /// more.
+    #[test]
+    fn pgnn_macs_scale_with_depth(g in graph_strategy(), seed in any::<u64>()) {
+        let two = Pgnn::deep(&[0, 1], 1, 8, 2, 2, seed).expect("model");
+        let four = Pgnn::deep(&[0, 1], 1, 8, 2, 4, seed).expect("model");
+        prop_assert!(four.inference_macs(&g) > two.inference_macs(&g));
+    }
+}

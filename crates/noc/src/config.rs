@@ -1,0 +1,87 @@
+use std::fmt;
+
+/// NoC parameters — Table IV of the paper.
+///
+/// The default reproduces Table IV: 1-cycle link delay, 1-cycle routing
+/// delay, 4-flit (256 B) input buffers, minimal (XY dimension-order)
+/// routing, with the 64 B flits of the paper's crossbar datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NocConfig {
+    /// Cycles a flit spends on a link between adjacent routers (1).
+    pub link_delay: u64,
+    /// Cycles between a flit's arrival and its eligibility for switch
+    /// allocation (1).
+    pub routing_delay: u64,
+    /// Input buffer depth in flits (4; with 64 B flits this is the 256 B
+    /// of Table IV).
+    pub input_buffer_flits: usize,
+    /// Flit width in bytes (64).
+    pub flit_bytes: usize,
+}
+
+impl Default for NocConfig {
+    fn default() -> Self {
+        NocConfig {
+            link_delay: 1,
+            routing_delay: 1,
+            input_buffer_flits: 4,
+            flit_bytes: 64,
+        }
+    }
+}
+
+impl NocConfig {
+    /// Number of flits a `size_bytes` packet occupies (at least one).
+    pub fn flits_for_bytes(&self, size_bytes: usize) -> u32 {
+        (size_bytes.div_ceil(self.flit_bytes).max(1)) as u32
+    }
+
+    /// Input buffer capacity in bytes.
+    pub fn input_buffer_bytes(&self) -> usize {
+        self.input_buffer_flits * self.flit_bytes
+    }
+}
+
+impl fmt::Display for NocConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "NocConfig(link={}cy, routing={}cy, buffers={} flits/{}B, flit={}B, XY min-routing)",
+            self.link_delay,
+            self.routing_delay,
+            self.input_buffer_flits,
+            self.input_buffer_bytes(),
+            self.flit_bytes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table_iv() {
+        let c = NocConfig::default();
+        assert_eq!(c.link_delay, 1);
+        assert_eq!(c.routing_delay, 1);
+        assert_eq!(c.input_buffer_flits, 4);
+        assert_eq!(c.input_buffer_bytes(), 256);
+        assert_eq!(c.flit_bytes, 64);
+    }
+
+    #[test]
+    fn flit_count_rounds_up() {
+        let c = NocConfig::default();
+        assert_eq!(c.flits_for_bytes(0), 1);
+        assert_eq!(c.flits_for_bytes(1), 1);
+        assert_eq!(c.flits_for_bytes(64), 1);
+        assert_eq!(c.flits_for_bytes(65), 2);
+        assert_eq!(c.flits_for_bytes(5732), 90); // a 1433-f32 feature row
+    }
+
+    #[test]
+    fn display_mentions_routing() {
+        assert!(NocConfig::default().to_string().contains("min-routing"));
+    }
+}

@@ -1,0 +1,127 @@
+use std::fmt;
+use std::sync::Arc;
+
+/// A network endpoint: mesh coordinates plus a local-port index.
+///
+/// Every mesh node (router) exposes zero or more *local ports* where
+/// modules (GPE, AGG, DNQ/DNA, memory controllers) attach; `port` selects
+/// among them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Address {
+    /// Mesh column.
+    pub x: usize,
+    /// Mesh row.
+    pub y: usize,
+    /// Local-port index at that node.
+    pub port: usize,
+}
+
+impl Address {
+    /// Creates an address.
+    pub fn new(x: usize, y: usize, port: usize) -> Self {
+        Address { x, y, port }
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{}).{}", self.x, self.y, self.port)
+    }
+}
+
+/// A message travelling through the network.
+///
+/// `size_bytes` determines how many 64 B flits the packet occupies on
+/// links and in buffers — the timing-relevant property. The `payload`
+/// carries the functional content (real data values) and rides on the
+/// head flit via [`Arc`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Packet<T> {
+    /// Unique id, assigned at injection.
+    pub id: u64,
+    /// Source endpoint.
+    pub src: Address,
+    /// Destination endpoint.
+    pub dst: Address,
+    /// Wire size in bytes (header + data), which sets the flit count.
+    pub size_bytes: usize,
+    /// Cycle at which the packet entered the network (set at injection).
+    pub injected_at: u64,
+    /// Functional payload.
+    pub payload: T,
+}
+
+impl<T> Packet<T> {
+    /// Creates a packet awaiting injection (`id` and `injected_at` are
+    /// filled in by [`crate::Network::try_inject`]).
+    pub fn new(src: Address, dst: Address, size_bytes: usize, payload: T) -> Self {
+        Packet {
+            id: u64::MAX,
+            src,
+            dst,
+            size_bytes,
+            injected_at: 0,
+            payload,
+        }
+    }
+}
+
+/// One flit of a packet.
+///
+/// All flits of a packet share the packet via [`Arc`]; `seq` runs from 0
+/// (head) to `num_flits - 1` (tail). A single-flit packet is both head and
+/// tail.
+#[derive(Debug, Clone)]
+pub struct Flit<T> {
+    /// The packet this flit belongs to.
+    pub packet: Arc<Packet<T>>,
+    /// Flit index within the packet.
+    pub seq: u32,
+    /// Total flits in the packet.
+    pub num_flits: u32,
+}
+
+impl<T> Flit<T> {
+    /// Whether this is the head flit (carries routing info).
+    pub fn is_head(&self) -> bool {
+        self.seq == 0
+    }
+
+    /// Whether this is the tail flit (releases the wormhole channel).
+    pub fn is_tail(&self) -> bool {
+        self.seq + 1 == self.num_flits
+    }
+
+    /// Destination of the packet.
+    pub fn dst(&self) -> Address {
+        self.packet.dst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn address_display() {
+        assert_eq!(Address::new(2, 1, 3).to_string(), "(2,1).3");
+    }
+
+    #[test]
+    fn flit_head_tail_flags() {
+        let p = Arc::new(Packet::new(Address::new(0, 0, 0), Address::new(1, 0, 0), 200, ()));
+        let head = Flit { packet: Arc::clone(&p), seq: 0, num_flits: 4 };
+        let mid = Flit { packet: Arc::clone(&p), seq: 2, num_flits: 4 };
+        let tail = Flit { packet: Arc::clone(&p), seq: 3, num_flits: 4 };
+        assert!(head.is_head() && !head.is_tail());
+        assert!(!mid.is_head() && !mid.is_tail());
+        assert!(!tail.is_head() && tail.is_tail());
+    }
+
+    #[test]
+    fn single_flit_packet_is_head_and_tail() {
+        let p = Arc::new(Packet::new(Address::new(0, 0, 0), Address::new(1, 0, 0), 8, ()));
+        let f = Flit { packet: p, seq: 0, num_flits: 1 };
+        assert!(f.is_head() && f.is_tail());
+    }
+}

@@ -1,0 +1,642 @@
+use crate::router::{
+    opposite, BufferedFlit, InFlightFlit, InputPort, OutputPort, Router, EAST, LOCAL_BASE, NORTH,
+    SOUTH, WEST,
+};
+use crate::{Address, Flit, NetworkStats, NocConfig, Packet};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// A packet being serialised into the network at a local port, one flit
+/// per cycle.
+#[derive(Debug)]
+struct InjectionState<T> {
+    packet: Arc<Packet<T>>,
+    next_seq: u32,
+    num_flits: u32,
+}
+
+/// The cycle-level mesh network.
+///
+/// Modules attach at local ports and exchange [`Packet`]s; the network
+/// models wormhole flit transport with the Table IV router pipeline. See
+/// the crate docs for an end-to-end example.
+///
+/// # Timing model
+///
+/// * A packet is serialised into its source router's local input buffer at
+///   one flit per cycle (the 64 B/cycle port width of the paper's
+///   crossbar).
+/// * Each hop costs `routing_delay` (eligibility) + `link_delay`
+///   (traversal); one flit per output per cycle.
+/// * Credit return is immediate upon buffer dequeue (a one-cycle
+///   optimistic simplification relative to hardware credit links; buffer
+///   occupancy is still conservative).
+/// * Delivered flits queue at the destination's bounded ejection buffer;
+///   the attached module must drain via [`Network::eject`], providing
+///   end-to-end backpressure.
+#[derive(Debug)]
+pub struct Network<T> {
+    cfg: NocConfig,
+    width: usize,
+    height: usize,
+    routers: Vec<Router<T>>,
+    injection: Vec<Vec<Option<InjectionState<T>>>>,
+    ejection: Vec<Vec<VecDeque<Flit<T>>>>,
+    cycle: u64,
+    next_packet_id: u64,
+    stats: NetworkStats,
+    inflight_flits: u64,
+}
+
+impl<T> Network<T> {
+    /// Builds a `width × height` mesh. `locals(x, y)` gives the number of
+    /// local ports at each node (e.g. 3 for an accelerator tile — GPE,
+    /// AGG, DNQ-in/DNA-out — and 1 for a memory node).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is zero.
+    pub fn new(cfg: NocConfig, width: usize, height: usize, locals: impl Fn(usize, usize) -> usize) -> Self {
+        assert!(width > 0 && height > 0, "mesh must be at least 1x1");
+        let mut routers = Vec::with_capacity(width * height);
+        let mut injection = Vec::with_capacity(width * height);
+        let mut ejection = Vec::with_capacity(width * height);
+        for y in 0..height {
+            for x in 0..width {
+                let num_locals = locals(x, y);
+                let num_ports = LOCAL_BASE + num_locals;
+                let inputs = (0..num_ports).map(|_| InputPort::new()).collect();
+                let outputs = (0..num_ports)
+                    .map(|p| {
+                        let connected = match p {
+                            NORTH => y > 0,
+                            SOUTH => y + 1 < height,
+                            EAST => x + 1 < width,
+                            WEST => x > 0,
+                            _ => true, // local ports always connected
+                        };
+                        OutputPort::new(cfg.input_buffer_flits, connected)
+                    })
+                    .collect();
+                routers.push(Router {
+                    x,
+                    y,
+                    inputs,
+                    outputs,
+                    num_locals,
+                });
+                injection.push((0..num_locals).map(|_| None).collect());
+                ejection.push((0..num_locals).map(|_| VecDeque::new()).collect());
+            }
+        }
+        Network {
+            cfg,
+            width,
+            height,
+            routers,
+            injection,
+            ejection,
+            cycle: 0,
+            next_packet_id: 0,
+            stats: NetworkStats::default(),
+            inflight_flits: 0,
+        }
+    }
+
+    /// Mesh width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Mesh height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &NocConfig {
+        &self.cfg
+    }
+
+    /// Current simulation cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+
+    /// Number of local ports at node `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    pub fn num_locals(&self, x: usize, y: usize) -> usize {
+        self.routers[self.index(x, y)].num_locals
+    }
+
+    fn index(&self, x: usize, y: usize) -> usize {
+        assert!(x < self.width && y < self.height, "node ({x},{y}) out of range");
+        y * self.width + x
+    }
+
+    fn validate(&self, a: Address) -> bool {
+        a.x < self.width && a.y < self.height && a.port < self.routers[self.index(a.x, a.y)].num_locals
+    }
+
+    /// Injects a packet at its `src` address. The packet is serialised one
+    /// flit per cycle; at most one packet may be staging per local port at
+    /// a time.
+    ///
+    /// # Errors
+    ///
+    /// Returns the packet back if the port's staging slot is busy (try
+    /// again after stepping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is not a valid address in this mesh.
+    pub fn try_inject(&mut self, mut packet: Packet<T>) -> Result<(), Packet<T>> {
+        assert!(self.validate(packet.src), "invalid src {}", packet.src);
+        assert!(self.validate(packet.dst), "invalid dst {}", packet.dst);
+        let node = self.index(packet.src.x, packet.src.y);
+        let port = packet.src.port;
+        if self.injection[node][port].is_some() {
+            return Err(packet);
+        }
+        packet.id = self.next_packet_id;
+        packet.injected_at = self.cycle;
+        self.next_packet_id += 1;
+        let num_flits = self.cfg.flits_for_bytes(packet.size_bytes);
+        self.stats.packets_injected += 1;
+        self.injection[node][port] = Some(InjectionState {
+            packet: Arc::new(packet),
+            next_seq: 0,
+            num_flits,
+        });
+        Ok(())
+    }
+
+    /// Whether the staging slot at `addr` is free (a `try_inject` from it
+    /// would be accepted).
+    pub fn can_inject(&self, addr: Address) -> bool {
+        self.validate(addr) && self.injection[self.index(addr.x, addr.y)][addr.port].is_none()
+    }
+
+    /// Removes and returns the next delivered flit at a local port, if
+    /// any. Draining frees ejection-buffer space (credit return), so
+    /// modules should call this every cycle they can accept data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is not a valid address in this mesh.
+    pub fn eject(&mut self, at: Address) -> Option<Flit<T>> {
+        assert!(self.validate(at), "invalid address {}", at);
+        let node = self.index(at.x, at.y);
+        let flit = self.ejection[node][at.port].pop_front()?;
+        // Credit return for the freed ejection slot.
+        self.routers[node].outputs[LOCAL_BASE + at.port].credits += 1;
+        self.stats.flits_ejected += 1;
+        self.inflight_flits -= 1;
+        if flit.is_tail() {
+            self.stats.packets_delivered += 1;
+            self.stats.total_packet_latency += self.cycle - flit.packet.injected_at;
+        }
+        Some(flit)
+    }
+
+    /// Number of flits waiting at a local ejection port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is not a valid address in this mesh.
+    pub fn ejection_pending(&self, at: Address) -> usize {
+        assert!(self.validate(at), "invalid address {}", at);
+        self.ejection[self.index(at.x, at.y)][at.port].len()
+    }
+
+    /// Whether the network has no flits in flight, staging, or awaiting
+    /// ejection.
+    pub fn is_idle(&self) -> bool {
+        self.inflight_flits == 0 && self.injection.iter().flatten().all(Option::is_none)
+    }
+
+    /// Advances the network by one cycle.
+    pub fn step(&mut self) {
+        let cycle = self.cycle;
+        self.deliver_link_arrivals(cycle);
+        self.stage_injections(cycle);
+        self.switch_allocation(cycle);
+        self.cycle += 1;
+    }
+
+    /// Phase 1: flits whose link traversal completes this cycle enter the
+    /// downstream input buffer or the ejection queue.
+    fn deliver_link_arrivals(&mut self, cycle: u64) {
+        let eligible_at = cycle + self.cfg.routing_delay;
+        for r in 0..self.routers.len() {
+            let (x, y) = (self.routers[r].x, self.routers[r].y);
+            for o in 0..self.routers[r].num_ports() {
+                while self.routers[r].outputs[o]
+                    .link
+                    .front()
+                    .is_some_and(|f| f.arrive_at <= cycle)
+                {
+                    let InFlightFlit { flit, .. } =
+                        self.routers[r].outputs[o].link.pop_front().expect("checked front");
+                    if o >= LOCAL_BASE {
+                        self.ejection[r][o - LOCAL_BASE].push_back(flit);
+                    } else {
+                        let (nx, ny) = match o {
+                            NORTH => (x, y - 1),
+                            SOUTH => (x, y + 1),
+                            EAST => (x + 1, y),
+                            WEST => (x - 1, y),
+                            _ => unreachable!(),
+                        };
+                        let n = self.index(nx, ny);
+                        let in_port = opposite(o);
+                        self.routers[n].inputs[in_port]
+                            .buffer
+                            .push_back(BufferedFlit { flit, eligible_at });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Phase 2: staging packets trickle into local input buffers, one flit
+    /// per port per cycle.
+    fn stage_injections(&mut self, cycle: u64) {
+        let eligible_at = cycle + self.cfg.routing_delay;
+        for r in 0..self.routers.len() {
+            for port in 0..self.routers[r].num_locals {
+                let Some(state) = self.injection[r][port].as_mut() else {
+                    continue;
+                };
+                let input = &mut self.routers[r].inputs[LOCAL_BASE + port];
+                if input.buffer.len() >= self.cfg.input_buffer_flits {
+                    continue;
+                }
+                let flit = Flit {
+                    packet: Arc::clone(&state.packet),
+                    seq: state.next_seq,
+                    num_flits: state.num_flits,
+                };
+                state.next_seq += 1;
+                let done = state.next_seq == state.num_flits;
+                input.buffer.push_back(BufferedFlit { flit, eligible_at });
+                self.stats.flits_injected += 1;
+                self.inflight_flits += 1;
+                if done {
+                    self.injection[r][port] = None;
+                }
+            }
+        }
+    }
+
+    /// Phase 3: route computation, switch allocation and link traversal.
+    fn switch_allocation(&mut self, cycle: u64) {
+        for r in 0..self.routers.len() {
+            // Route computation for head flits at buffer fronts.
+            let (rx, ry) = (self.routers[r].x, self.routers[r].y);
+            for i in 0..self.routers[r].num_ports() {
+                let needs_route = {
+                    let input = &self.routers[r].inputs[i];
+                    input.route.is_none()
+                        && input
+                            .buffer
+                            .front()
+                            .is_some_and(|b| b.flit.is_head() && b.eligible_at <= cycle)
+                };
+                if needs_route {
+                    let dst = self.routers[r].inputs[i]
+                        .buffer
+                        .front()
+                        .expect("checked")
+                        .flit
+                        .dst();
+                    let route = self.routers[r].route_for(dst.x, dst.y, dst.port);
+                    debug_assert!(
+                        route >= LOCAL_BASE || self.routers[r].outputs[route].connected,
+                        "XY route uses a disconnected port at ({rx},{ry}) -> {dst}"
+                    );
+                    self.routers[r].inputs[i].route = Some(route);
+                }
+            }
+            // Per-output arbitration: one flit per output and per input.
+            let num_ports = self.routers[r].num_ports();
+            let mut input_sent = vec![false; num_ports];
+            for o in 0..num_ports {
+                let winner = {
+                    let router = &self.routers[r];
+                    let out = &router.outputs[o];
+                    if out.credits == 0 {
+                        None
+                    } else if let Some(owner) = out.owner {
+                        let input = &router.inputs[owner];
+                        let sendable = !input_sent[owner]
+                            && input.route == Some(o)
+                            && input
+                                .buffer
+                                .front()
+                                .is_some_and(|b| b.eligible_at <= cycle);
+                        sendable.then_some(owner)
+                    } else {
+                        // Round-robin over head flits requesting this output.
+                        let mut found = None;
+                        for k in 0..num_ports {
+                            let i = (out.rr_next + k) % num_ports;
+                            let input = &router.inputs[i];
+                            if input_sent[i] || input.route != Some(o) {
+                                continue;
+                            }
+                            let head_ready = input
+                                .buffer
+                                .front()
+                                .is_some_and(|b| b.flit.is_head() && b.eligible_at <= cycle);
+                            if head_ready {
+                                found = Some(i);
+                                break;
+                            }
+                        }
+                        found
+                    }
+                };
+                let Some(i) = winner else { continue };
+                input_sent[i] = true;
+                let BufferedFlit { flit, .. } = self.routers[r].inputs[i]
+                    .buffer
+                    .pop_front()
+                    .expect("winner has a flit");
+                let is_tail = flit.is_tail();
+                let is_head = flit.is_head();
+                {
+                    let out = &mut self.routers[r].outputs[o];
+                    if is_head {
+                        out.owner = Some(i);
+                        out.rr_next = (i + 1) % num_ports;
+                    }
+                    if is_tail {
+                        out.owner = None;
+                        self.routers[r].inputs[i].route = None;
+                    }
+                }
+                // Credit return upstream for the freed input slot.
+                if i < LOCAL_BASE {
+                    let (ux, uy) = match i {
+                        NORTH => (rx, ry - 1),
+                        SOUTH => (rx, ry + 1),
+                        EAST => (rx + 1, ry),
+                        WEST => (rx - 1, ry),
+                        _ => unreachable!(),
+                    };
+                    let u = self.index(ux, uy);
+                    self.routers[u].outputs[opposite(i)].credits += 1;
+                }
+                let out = &mut self.routers[r].outputs[o];
+                out.credits -= 1;
+                out.link.push_back(InFlightFlit {
+                    flit,
+                    arrive_at: cycle + self.cfg.link_delay,
+                });
+                self.stats.flit_hops += 1;
+                self.stats.link_busy_cycles += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(w: usize, h: usize) -> Network<u32> {
+        Network::new(NocConfig::default(), w, h, |_, _| 2)
+    }
+
+    fn run_until_delivery(net: &mut Network<u32>, at: Address, max: usize) -> Vec<Flit<u32>> {
+        let mut out = Vec::new();
+        for _ in 0..max {
+            net.step();
+            while let Some(f) = net.eject(at) {
+                let done = f.is_tail();
+                out.push(f);
+                if done {
+                    return out;
+                }
+            }
+        }
+        panic!("packet not delivered within {max} cycles");
+    }
+
+    #[test]
+    fn single_flit_delivery_and_latency() {
+        let mut n = net(3, 3);
+        let src = Address::new(0, 0, 0);
+        let dst = Address::new(2, 2, 1);
+        n.try_inject(Packet::new(src, dst, 64, 7)).unwrap();
+        let flits = run_until_delivery(&mut n, dst, 64);
+        assert_eq!(flits.len(), 1);
+        assert_eq!(flits[0].packet.payload, 7);
+        assert_eq!(n.stats().packets_delivered, 1);
+        // 4 hops (2 east + 2 south) + local ejection; each hop ≥ 2 cycles.
+        let latency = n.stats().total_packet_latency;
+        assert!(latency >= 8, "latency {latency}");
+        assert!(latency <= 20, "latency {latency}");
+    }
+
+    #[test]
+    fn multi_flit_packet_arrives_in_order() {
+        let mut n = net(2, 1);
+        let src = Address::new(0, 0, 0);
+        let dst = Address::new(1, 0, 0);
+        n.try_inject(Packet::new(src, dst, 64 * 5, 9)).unwrap();
+        let flits = run_until_delivery(&mut n, dst, 128);
+        assert_eq!(flits.len(), 5);
+        for (i, f) in flits.iter().enumerate() {
+            assert_eq!(f.seq, i as u32);
+        }
+    }
+
+    #[test]
+    fn local_loopback_same_node_different_port() {
+        let mut n = net(1, 1);
+        let src = Address::new(0, 0, 0);
+        let dst = Address::new(0, 0, 1);
+        n.try_inject(Packet::new(src, dst, 64, 1)).unwrap();
+        let flits = run_until_delivery(&mut n, dst, 16);
+        assert_eq!(flits.len(), 1);
+    }
+
+    #[test]
+    fn staging_backpressure_second_inject_rejected() {
+        let mut n = net(2, 1);
+        let src = Address::new(0, 0, 0);
+        let dst = Address::new(1, 0, 0);
+        n.try_inject(Packet::new(src, dst, 64 * 20, 1)).unwrap();
+        assert!(!n.can_inject(src));
+        let back = n.try_inject(Packet::new(src, dst, 64, 2));
+        assert!(back.is_err());
+        // After enough cycles the staging drains and injection succeeds.
+        for _ in 0..64 {
+            n.step();
+            while n.eject(dst).is_some() {}
+        }
+        assert!(n.can_inject(src));
+    }
+
+    #[test]
+    fn wormhole_no_interleaving_at_destination() {
+        // Two sources send multi-flit packets to the same destination
+        // port; flits of different packets must not interleave.
+        let mut n = net(3, 1);
+        let dst = Address::new(1, 0, 0);
+        n.try_inject(Packet::new(Address::new(0, 0, 0), dst, 64 * 4, 100))
+            .unwrap();
+        n.try_inject(Packet::new(Address::new(2, 0, 0), dst, 64 * 4, 200))
+            .unwrap();
+        let mut seen = Vec::new();
+        for _ in 0..256 {
+            n.step();
+            while let Some(f) = n.eject(dst) {
+                seen.push((f.packet.payload, f.seq));
+            }
+            if seen.len() == 8 {
+                break;
+            }
+        }
+        assert_eq!(seen.len(), 8, "both packets delivered");
+        // Group boundaries: first 4 flits one packet, last 4 the other.
+        let first = seen[0].0;
+        assert!(seen[..4].iter().all(|&(p, _)| p == first));
+        let second = seen[4].0;
+        assert_ne!(first, second);
+        assert!(seen[4..].iter().all(|&(p, _)| p == second));
+    }
+
+    #[test]
+    fn many_packets_all_delivered() {
+        let mut n = net(4, 4);
+        let mut expected = 0u64;
+        let mut pending: Vec<Packet<u32>> = Vec::new();
+        for i in 0..64u32 {
+            let src = Address::new((i % 4) as usize, (i as usize / 4) % 4, (i % 2) as usize);
+            let dst = Address::new(((i + 1) % 4) as usize, ((i as usize / 2) + 1) % 4, ((i + 1) % 2) as usize);
+            pending.push(Packet::new(src, dst, 64 * (1 + (i as usize % 3)), i));
+            expected += 1;
+        }
+        let mut delivered = 0u64;
+        for _ in 0..4000 {
+            // Keep trying to inject pending packets.
+            pending.retain_mut(|p| {
+                let pkt = std::mem::replace(p, Packet::new(p.src, p.dst, p.size_bytes, p.payload));
+                // Keep the packet only while injection keeps getting refused.
+                n.try_inject(pkt).is_err()
+            });
+            n.step();
+            for y in 0..4 {
+                for x in 0..4 {
+                    for port in 0..2 {
+                        while let Some(f) = n.eject(Address::new(x, y, port)) {
+                            if f.is_tail() {
+                                delivered += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            if delivered == expected && n.is_idle() {
+                break;
+            }
+        }
+        assert_eq!(delivered, expected);
+        assert!(n.is_idle());
+        assert_eq!(n.stats().packets_delivered, expected);
+    }
+
+    #[test]
+    fn is_idle_tracks_inflight() {
+        let mut n = net(2, 2);
+        assert!(n.is_idle());
+        n.try_inject(Packet::new(Address::new(0, 0, 0), Address::new(1, 1, 0), 64, 3))
+            .unwrap();
+        assert!(!n.is_idle());
+        let dst = Address::new(1, 1, 0);
+        for _ in 0..32 {
+            n.step();
+            while n.eject(dst).is_some() {}
+        }
+        assert!(n.is_idle());
+    }
+
+    #[test]
+    fn ejection_backpressure_stalls_sender() {
+        // Don't drain the destination: with a 4-flit ejection buffer plus
+        // 4-flit input buffers, a long packet must stall mid-flight
+        // rather than be dropped.
+        let mut n = net(2, 1);
+        let src = Address::new(0, 0, 0);
+        let dst = Address::new(1, 0, 0);
+        n.try_inject(Packet::new(src, dst, 64 * 32, 5)).unwrap();
+        for _ in 0..200 {
+            n.step();
+        }
+        // Nothing lost: pending ejection is capped at the buffer size.
+        assert_eq!(n.ejection_pending(dst), 4);
+        assert!(!n.is_idle());
+        // Now drain and confirm all 32 flits arrive.
+        let mut got = 0;
+        for _ in 0..400 {
+            n.step();
+            while n.eject(dst).is_some() {
+                got += 1;
+            }
+        }
+        assert_eq!(got, 32);
+        assert!(n.is_idle());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid dst")]
+    fn inject_validates_destination() {
+        let mut n = net(2, 1);
+        let _ = n.try_inject(Packet::new(
+            Address::new(0, 0, 0),
+            Address::new(5, 5, 0),
+            64,
+            1,
+        ));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut n = net(3, 3);
+            for i in 0..16u32 {
+                let src = Address::new((i % 3) as usize, (i as usize / 3) % 3, 0);
+                let dst = Address::new(((i + 2) % 3) as usize, ((i + 1) % 3) as usize, 1);
+                if src != dst {
+                    let _ = n.try_inject(Packet::new(src, dst, 128, i));
+                }
+            }
+            let mut log = Vec::new();
+            for _ in 0..300 {
+                n.step();
+                for y in 0..3 {
+                    for x in 0..3 {
+                        for p in 0..2 {
+                            while let Some(f) = n.eject(Address::new(x, y, p)) {
+                                log.push((n.cycle(), f.packet.payload, f.seq));
+                            }
+                        }
+                    }
+                }
+            }
+            log
+        };
+        assert_eq!(run(), run());
+    }
+}

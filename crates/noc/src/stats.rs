@@ -1,0 +1,86 @@
+use std::fmt;
+
+/// Counters accumulated by a [`crate::Network`] over a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetworkStats {
+    /// Packets accepted by `try_inject`.
+    pub packets_injected: u64,
+    /// Packets fully delivered (tail flit ejected).
+    pub packets_delivered: u64,
+    /// Flits that entered the network fabric.
+    pub flits_injected: u64,
+    /// Flits removed by modules via `eject`.
+    pub flits_ejected: u64,
+    /// Total flit link/switch traversals.
+    pub flit_hops: u64,
+    /// Output-port busy cycles summed over all ports (for utilisation).
+    pub link_busy_cycles: u64,
+    /// Sum over delivered packets of (delivery cycle − injection cycle).
+    pub total_packet_latency: u64,
+}
+
+impl NetworkStats {
+    /// Mean end-to-end packet latency in cycles (0 when nothing was
+    /// delivered).
+    pub fn mean_packet_latency(&self) -> f64 {
+        if self.packets_delivered == 0 {
+            0.0
+        } else {
+            self.total_packet_latency as f64 / self.packets_delivered as f64
+        }
+    }
+
+    /// Mean hops per delivered flit (0 when nothing moved).
+    pub fn mean_hops_per_flit(&self) -> f64 {
+        if self.flits_ejected == 0 {
+            0.0
+        } else {
+            self.flit_hops as f64 / self.flits_ejected as f64
+        }
+    }
+}
+
+impl fmt::Display for NetworkStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pkts {}/{} (in/out), flits {}/{}, hops {}, mean latency {:.1} cy",
+            self.packets_injected,
+            self.packets_delivered,
+            self.flits_injected,
+            self.flits_ejected,
+            self.flit_hops,
+            self.mean_packet_latency()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means_handle_zero() {
+        let s = NetworkStats::default();
+        assert_eq!(s.mean_packet_latency(), 0.0);
+        assert_eq!(s.mean_hops_per_flit(), 0.0);
+    }
+
+    #[test]
+    fn means_compute() {
+        let s = NetworkStats {
+            packets_delivered: 4,
+            total_packet_latency: 40,
+            flits_ejected: 10,
+            flit_hops: 30,
+            ..NetworkStats::default()
+        };
+        assert_eq!(s.mean_packet_latency(), 10.0);
+        assert_eq!(s.mean_hops_per_flit(), 3.0);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!NetworkStats::default().to_string().is_empty());
+    }
+}

@@ -1,0 +1,90 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for all fallible tensor operations in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// Two operands had incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Description of the operation that failed, e.g. `"matmul"`.
+        op: &'static str,
+        /// Shape of the left-hand operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right-hand operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// Ragged input: rows of differing lengths were supplied where a
+    /// rectangular matrix was required.
+    RaggedRows {
+        /// Length of the first row.
+        expected: usize,
+        /// Length of the offending row.
+        found: usize,
+        /// Index of the offending row.
+        row: usize,
+    },
+    /// A CSR structure was internally inconsistent (e.g. non-monotonic row
+    /// pointers or an out-of-range column index).
+    InvalidCsr {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            TensorError::RaggedRows {
+                expected,
+                found,
+                row,
+            } => write!(
+                f,
+                "ragged rows: row {row} has {found} columns, expected {expected}"
+            ),
+            TensorError::InvalidCsr { reason } => write!(f, "invalid CSR structure: {reason}"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        assert_eq!(
+            e.to_string(),
+            "shape mismatch in matmul: lhs is 2x3, rhs is 4x5"
+        );
+    }
+
+    #[test]
+    fn display_ragged() {
+        let e = TensorError::RaggedRows {
+            expected: 3,
+            found: 2,
+            row: 1,
+        };
+        assert!(e.to_string().contains("row 1"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

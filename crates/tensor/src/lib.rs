@@ -1,0 +1,46 @@
+//! Dense and sparse `f32` linear algebra for the `gnna` workspace.
+//!
+//! This crate provides the minimal, dependency-free numerical substrate the
+//! rest of the reproduction is built on:
+//!
+//! * [`Matrix`] — a row-major dense `f32` matrix with GEMM, transpose and
+//!   element-wise helpers.
+//! * [`CsrMatrix`] — a compressed-sparse-row matrix with sparse × dense
+//!   multiplication (the propagation step of a graph convolution).
+//! * [`ops`] — activation functions and small neural-network cells (ReLU,
+//!   LeakyReLU, sigmoid/tanh, a GRU cell used by the MPNN benchmark).
+//!
+//! Everything operates on `f32`, matching the 4-byte word width of the
+//! paper's 32-bit fixed-point datapath, so traffic accounting done in terms
+//! of "words" elsewhere in the workspace is consistent with these values.
+//!
+//! # Example
+//!
+//! ```
+//! use gnna_tensor::{Matrix, CsrMatrix};
+//!
+//! # fn main() -> Result<(), gnna_tensor::TensorError> {
+//! // y = A · x · w  (one un-normalised graph-convolution layer)
+//! let a = CsrMatrix::from_dense(&Matrix::from_rows(&[
+//!     &[0.0, 1.0],
+//!     &[1.0, 0.0],
+//! ])?, 0.0)?;
+//! let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])?;
+//! let w = Matrix::from_rows(&[&[1.0], &[1.0]])?;
+//! let y = a.spmm(&x.matmul(&w)?)?;
+//! assert_eq!(y.get(0, 0), 7.0); // row 0 aggregates vertex 1: 3 + 4
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod matrix;
+pub mod ops;
+mod sparse;
+
+pub use error::TensorError;
+pub use matrix::Matrix;
+pub use sparse::CsrMatrix;

@@ -1,0 +1,363 @@
+use crate::{Matrix, TensorError};
+use std::fmt;
+
+/// A compressed-sparse-row (CSR) `f32` matrix.
+///
+/// CSR is the representation the paper's accelerator (and every serious
+/// graph system) uses for adjacency structure: `row_ptr` delimits each row's
+/// slice of `col_idx`/`values`. The key operation is [`CsrMatrix::spmm`],
+/// the sparse × dense product used to propagate vertex features along graph
+/// edges.
+///
+/// # Example
+///
+/// ```
+/// use gnna_tensor::{CsrMatrix, Matrix};
+///
+/// # fn main() -> Result<(), gnna_tensor::TensorError> {
+/// let dense = Matrix::from_rows(&[&[0.0, 2.0], &[0.0, 0.0]])?;
+/// let sparse = CsrMatrix::from_dense(&dense, 0.0)?;
+/// assert_eq!(sparse.nnz(), 1);
+/// assert_eq!(sparse.to_dense(), dense);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from raw parts, validating the structure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidCsr`] if `row_ptr` is not a monotone
+    /// sequence of length `rows + 1` ending at `col_idx.len()`, if a column
+    /// index is out of range, or if `col_idx` and `values` differ in length.
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<f32>,
+    ) -> Result<Self, TensorError> {
+        if row_ptr.len() != rows + 1 {
+            return Err(TensorError::InvalidCsr {
+                reason: format!("row_ptr has length {}, expected {}", row_ptr.len(), rows + 1),
+            });
+        }
+        if row_ptr[0] != 0 || *row_ptr.last().expect("non-empty row_ptr") != col_idx.len() {
+            return Err(TensorError::InvalidCsr {
+                reason: "row_ptr must start at 0 and end at nnz".to_string(),
+            });
+        }
+        if row_ptr.windows(2).any(|w| w[0] > w[1]) {
+            return Err(TensorError::InvalidCsr {
+                reason: "row_ptr must be non-decreasing".to_string(),
+            });
+        }
+        if col_idx.len() != values.len() {
+            return Err(TensorError::InvalidCsr {
+                reason: format!(
+                    "col_idx has {} entries but values has {}",
+                    col_idx.len(),
+                    values.len()
+                ),
+            });
+        }
+        if let Some(&bad) = col_idx.iter().find(|&&c| c >= cols) {
+            return Err(TensorError::InvalidCsr {
+                reason: format!("column index {bad} out of range for {cols} columns"),
+            });
+        }
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Converts a dense matrix to CSR, treating elements whose absolute
+    /// value is `<= tolerance` as structural zeros.
+    ///
+    /// # Errors
+    ///
+    /// This constructor cannot currently fail for any dense input; the
+    /// `Result` is kept for signature stability with [`CsrMatrix::from_parts`].
+    pub fn from_dense(dense: &Matrix, tolerance: f32) -> Result<Self, TensorError> {
+        let mut row_ptr = Vec::with_capacity(dense.rows() + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for i in 0..dense.rows() {
+            for (j, &v) in dense.row(i).iter().enumerate() {
+                if v.abs() > tolerance {
+                    col_idx.push(j);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix::from_parts(dense.rows(), dense.cols(), row_ptr, col_idx, values)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of stored (non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Fraction of entries that are zero, in `[0, 1]`.
+    ///
+    /// This is the quantity the paper reports as e.g. "99.989 % sparse" for
+    /// Pubmed.
+    pub fn sparsity(&self) -> f64 {
+        let total = (self.rows * self.cols) as f64;
+        if total == 0.0 {
+            return 0.0;
+        }
+        1.0 - self.nnz() as f64 / total
+    }
+
+    /// The row-pointer array (length `rows + 1`).
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// The column-index array (length `nnz`).
+    pub fn col_idx(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// The stored values (length `nnz`).
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Iterates over `(col, value)` pairs of one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows()`.
+    pub fn row_entries(&self, row: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
+        assert!(row < self.rows, "row index out of bounds");
+        let range = self.row_ptr[row]..self.row_ptr[row + 1];
+        self.col_idx[range.clone()]
+            .iter()
+            .zip(&self.values[range])
+            .map(|(&c, &v)| (c, v))
+    }
+
+    /// Sparse × dense product `self · rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `self.cols() != rhs.rows()`.
+    pub fn spmm(&self, rhs: &Matrix) -> Result<Matrix, TensorError> {
+        if self.cols != rhs.rows() {
+            return Err(TensorError::ShapeMismatch {
+                op: "spmm",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols());
+        for i in 0..self.rows {
+            for idx in self.row_ptr[i]..self.row_ptr[i + 1] {
+                let k = self.col_idx[idx];
+                let v = self.values[idx];
+                let src = rhs.row(k);
+                let dst = out.row_mut(i);
+                for (d, s) in dst.iter_mut().zip(src) {
+                    *d += v * s;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Dense copy of the matrix.
+    pub fn to_dense(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            for (c, v) in self.row_entries(i) {
+                out.set(i, c, v);
+            }
+        }
+        out
+    }
+
+    /// Transposed copy (CSR of the transpose).
+    pub fn transpose(&self) -> CsrMatrix {
+        // Counting sort by column.
+        let mut counts = vec![0usize; self.cols + 1];
+        for &c in &self.col_idx {
+            counts[c + 1] += 1;
+        }
+        for i in 0..self.cols {
+            counts[i + 1] += counts[i];
+        }
+        let row_ptr = counts.clone();
+        let mut col_idx = vec![0usize; self.nnz()];
+        let mut values = vec![0.0f32; self.nnz()];
+        let mut next = counts;
+        for i in 0..self.rows {
+            for idx in self.row_ptr[i]..self.row_ptr[i + 1] {
+                let c = self.col_idx[idx];
+                let pos = next[c];
+                next[c] += 1;
+                col_idx[pos] = i;
+                values[pos] = self.values[idx];
+            }
+        }
+        CsrMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Scales all stored values by `factor`, in place.
+    pub fn scale_values(&mut self, factor: f32) {
+        for v in &mut self.values {
+            *v *= factor;
+        }
+    }
+}
+
+impl fmt::Display for CsrMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CsrMatrix({}x{}, nnz={}, sparsity={:.4}%)",
+            self.rows,
+            self.cols,
+            self.nnz(),
+            self.sparsity() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_dense() -> Matrix {
+        Matrix::from_rows(&[
+            &[0.0, 2.0, 0.0],
+            &[1.0, 0.0, 3.0],
+            &[0.0, 0.0, 0.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let d = sample_dense();
+        let s = CsrMatrix::from_dense(&d, 0.0).unwrap();
+        assert_eq!(s.nnz(), 3);
+        assert_eq!(s.to_dense(), d);
+    }
+
+    #[test]
+    fn sparsity_value() {
+        let s = CsrMatrix::from_dense(&sample_dense(), 0.0).unwrap();
+        let expected = 1.0 - 3.0 / 9.0;
+        assert!((s.sparsity() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spmm_matches_dense_matmul() {
+        let d = sample_dense();
+        let s = CsrMatrix::from_dense(&d, 0.0).unwrap();
+        let x = Matrix::from_fn(3, 4, |i, j| (i * 4 + j) as f32 * 0.5);
+        let sparse_result = s.spmm(&x).unwrap();
+        let dense_result = d.matmul(&x).unwrap();
+        assert!(sparse_result.max_abs_diff(&dense_result).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn spmm_shape_mismatch() {
+        let s = CsrMatrix::from_dense(&sample_dense(), 0.0).unwrap();
+        assert!(s.spmm(&Matrix::zeros(4, 2)).is_err());
+    }
+
+    #[test]
+    fn transpose_matches_dense_transpose() {
+        let d = sample_dense();
+        let s = CsrMatrix::from_dense(&d, 0.0).unwrap();
+        assert_eq!(s.transpose().to_dense(), d.transpose());
+    }
+
+    #[test]
+    fn transpose_twice_is_identity() {
+        let s = CsrMatrix::from_dense(&sample_dense(), 0.0).unwrap();
+        assert_eq!(s.transpose().transpose(), s);
+    }
+
+    #[test]
+    fn from_parts_validation() {
+        // Bad row_ptr length.
+        assert!(CsrMatrix::from_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
+        // Decreasing row_ptr.
+        assert!(CsrMatrix::from_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]).is_err());
+        // Column out of range.
+        assert!(CsrMatrix::from_parts(1, 2, vec![0, 1], vec![5], vec![1.0]).is_err());
+        // values/col_idx length mismatch.
+        assert!(CsrMatrix::from_parts(1, 2, vec![0, 1], vec![0], vec![]).is_err());
+        // Valid.
+        assert!(CsrMatrix::from_parts(1, 2, vec![0, 1], vec![1], vec![2.0]).is_ok());
+    }
+
+    #[test]
+    fn row_entries_iterates_one_row() {
+        let s = CsrMatrix::from_dense(&sample_dense(), 0.0).unwrap();
+        let row1: Vec<_> = s.row_entries(1).collect();
+        assert_eq!(row1, vec![(0, 1.0), (2, 3.0)]);
+        assert_eq!(s.row_entries(2).count(), 0);
+    }
+
+    #[test]
+    fn tolerance_drops_small_values() {
+        let d = Matrix::from_rows(&[&[0.05, 1.0]]).unwrap();
+        let s = CsrMatrix::from_dense(&d, 0.1).unwrap();
+        assert_eq!(s.nnz(), 1);
+    }
+
+    #[test]
+    fn scale_values_scales() {
+        let mut s = CsrMatrix::from_dense(&sample_dense(), 0.0).unwrap();
+        s.scale_values(2.0);
+        assert_eq!(s.to_dense(), sample_dense().scale(2.0));
+    }
+
+    #[test]
+    fn display_contains_stats() {
+        let s = CsrMatrix::from_dense(&sample_dense(), 0.0).unwrap();
+        let txt = s.to_string();
+        assert!(txt.contains("nnz=3"));
+    }
+}

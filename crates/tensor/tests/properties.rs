@@ -1,0 +1,112 @@
+//! Property-based tests for the tensor substrate.
+
+use gnna_tensor::ops::{softmax_rows_inplace, Activation};
+use gnna_tensor::{CsrMatrix, Matrix};
+use proptest::prelude::*;
+
+/// Strategy producing a small dense matrix with the given shape bounds.
+fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data).expect("sized data"))
+    })
+}
+
+/// A sparse-ish matrix: most entries forced to zero.
+fn sparse_matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(
+            prop_oneof![
+                8 => Just(0.0f32),
+                2 => -10.0f32..10.0,
+            ],
+            r * c,
+        )
+        .prop_map(move |data| Matrix::from_vec(r, c, data).expect("sized data"))
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involution(m in matrix_strategy(12)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_identity_left_and_right(m in matrix_strategy(10)) {
+        let il = Matrix::identity(m.rows());
+        let ir = Matrix::identity(m.cols());
+        prop_assert_eq!(il.matmul(&m).unwrap(), m.clone());
+        prop_assert_eq!(m.matmul(&ir).unwrap(), m);
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(
+        a in matrix_strategy(6),
+        seed in any::<u64>(),
+    ) {
+        // Build b, c compatible with a's shape from the seed.
+        let k = a.cols();
+        let n = (seed % 5 + 1) as usize;
+        let b = Matrix::from_fn(k, n, |i, j| ((i * 31 + j * 7 + seed as usize % 13) % 9) as f32 - 4.0);
+        let c = Matrix::from_fn(k, n, |i, j| ((i * 17 + j * 3 + seed as usize % 11) % 7) as f32 - 3.0);
+        let lhs = a.matmul(&b.add(&c).unwrap()).unwrap();
+        let rhs = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
+        prop_assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-3);
+    }
+
+    #[test]
+    fn csr_roundtrip_preserves_dense(m in sparse_matrix_strategy(14)) {
+        let csr = CsrMatrix::from_dense(&m, 0.0).unwrap();
+        prop_assert_eq!(csr.to_dense(), m);
+    }
+
+    #[test]
+    fn csr_spmm_matches_dense_matmul(a in sparse_matrix_strategy(10), seed in any::<u64>()) {
+        let csr = CsrMatrix::from_dense(&a, 0.0).unwrap();
+        let n = (seed % 4 + 1) as usize;
+        let x = Matrix::from_fn(a.cols(), n, |i, j| ((i + j + seed as usize % 5) % 8) as f32 * 0.25);
+        let sparse = csr.spmm(&x).unwrap();
+        let dense = a.matmul(&x).unwrap();
+        prop_assert!(sparse.max_abs_diff(&dense).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn csr_transpose_matches_dense(m in sparse_matrix_strategy(12)) {
+        let csr = CsrMatrix::from_dense(&m, 0.0).unwrap();
+        prop_assert_eq!(csr.transpose().to_dense(), m.transpose());
+    }
+
+    #[test]
+    fn csr_nnz_bounded_and_sparsity_in_range(m in sparse_matrix_strategy(12)) {
+        let csr = CsrMatrix::from_dense(&m, 0.0).unwrap();
+        prop_assert!(csr.nnz() <= m.rows() * m.cols());
+        prop_assert!((0.0..=1.0).contains(&csr.sparsity()));
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(mut m in matrix_strategy(8)) {
+        softmax_rows_inplace(&mut m);
+        for i in 0..m.rows() {
+            let s: f32 = m.row(i).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4);
+            prop_assert!(m.row(i).iter().all(|&v| (0.0..=1.0 + 1e-6).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn relu_output_nonnegative(m in matrix_strategy(8)) {
+        let mut r = m;
+        Activation::Relu.apply_inplace(&mut r);
+        prop_assert!(r.as_slice().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn hconcat_widths_add(a in matrix_strategy(6), seed in any::<u64>()) {
+        let extra = (seed % 4 + 1) as usize;
+        let b = Matrix::zeros(a.rows(), extra);
+        let c = a.hconcat(&b).unwrap();
+        prop_assert_eq!(c.cols(), a.cols() + extra);
+        prop_assert_eq!(c.rows(), a.rows());
+    }
+}

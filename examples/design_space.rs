@@ -1,0 +1,77 @@
+//! Design-space exploration: sweep tile counts, core clocks and GPE
+//! thread pools on one workload and print the latency surface.
+//!
+//! This exercises the configuration system beyond the paper's three
+//! named points — the kind of what-if exploration an architect would use
+//! the simulator for.
+//!
+//! Run with `cargo run --release --example design_space`.
+
+use gnna::core::config::{AcceleratorConfig, NodeKind, Topology};
+use gnna::core::layers::compile_gcn;
+use gnna::core::system::System;
+use gnna::graph::datasets;
+use gnna::models::{Gcn, GcnNorm};
+use std::error::Error;
+
+/// A 1-row topology with `tiles` tiles flanked by `mems` memory nodes.
+fn strip_topology(tiles: usize, mems: usize) -> Result<Topology, Box<dyn Error>> {
+    let mut row = Vec::new();
+    for i in 0..mems.div_ceil(2) {
+        let _ = i;
+        row.push(NodeKind::Mem);
+    }
+    for _ in 0..tiles {
+        row.push(NodeKind::Tile);
+    }
+    for _ in 0..mems / 2 {
+        row.push(NodeKind::Mem);
+    }
+    Ok(Topology::from_grid(vec![row])?)
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let dataset = datasets::cora_scaled(600, 256, 7, 42)?;
+    let instance = &dataset.instances[0];
+    let gcn = Gcn::for_dataset(256, 16, 7, 7)?.with_norm(GcnNorm::Mean);
+
+    println!("## Tiles × memory nodes (2.4 GHz core)\n");
+    println!("| tiles | mem nodes | latency (us) | BW util (%) | DNA util (%) |");
+    for (tiles, mems) in [(1, 1), (1, 2), (2, 2), (4, 2), (4, 4)] {
+        let mut cfg = AcceleratorConfig::cpu_iso_bandwidth();
+        cfg.name = format!("{tiles}T/{mems}M strip");
+        cfg.topology = strip_topology(tiles, mems)?;
+        let mut system = System::new(&cfg, std::slice::from_ref(instance), compile_gcn(&gcn)?)?;
+        let r = system.run()?;
+        println!(
+            "| {tiles} | {mems} | {:.1} | {:.1} | {:.1} |",
+            r.latency_s() * 1e6,
+            r.bandwidth_utilization() * 100.0,
+            r.dna_utilization() * 100.0
+        );
+    }
+
+    println!("\n## Core clock (1 tile / 1 memory node)\n");
+    println!("| clock (GHz) | latency (us) |");
+    for clock in [0.6e9, 1.2e9, 2.4e9] {
+        let cfg = AcceleratorConfig::cpu_iso_bandwidth().with_core_clock(clock);
+        let mut system = System::new(&cfg, std::slice::from_ref(instance), compile_gcn(&gcn)?)?;
+        let r = system.run()?;
+        println!("| {:.1} | {:.1} |", clock / 1e9, r.latency_s() * 1e6);
+    }
+
+    println!("\n## GPE software threads (1 tile / 1 memory node)\n");
+    println!("| threads | latency (us) | GPE util (%) |");
+    for threads in [1, 4, 16, 64] {
+        let mut cfg = AcceleratorConfig::cpu_iso_bandwidth();
+        cfg.gpe_threads = threads;
+        let mut system = System::new(&cfg, std::slice::from_ref(instance), compile_gcn(&gcn)?)?;
+        let r = system.run()?;
+        println!(
+            "| {threads} | {:.1} | {:.1} |",
+            r.latency_s() * 1e6,
+            r.gpe_utilization() * 100.0
+        );
+    }
+    Ok(())
+}

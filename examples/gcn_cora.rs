@@ -1,0 +1,57 @@
+//! Full-scale GCN-on-Cora inference: the first row of the paper's
+//! evaluation, reproduced end to end.
+//!
+//! Simulates the 2-layer GCN on the 2708-vertex Cora stand-in across all
+//! three Table VI accelerator configurations, reports latency, bandwidth
+//! and DNA utilisation, and compares the speedups against the measured
+//! Table VII baselines exactly as Figure 8 does.
+//!
+//! Run with `cargo run --release --example gcn_cora`.
+
+use gnna::baselines::table7;
+use gnna::core::config::AcceleratorConfig;
+use gnna::core::layers::compile_gcn;
+use gnna::core::system::System;
+use gnna::graph::datasets;
+use gnna::models::{Gcn, GcnNorm, ModelKind};
+use std::error::Error;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let dataset = datasets::cora(42)?;
+    let instance = &dataset.instances[0];
+    println!(
+        "Cora stand-in: {} vertices, {} undirected edges, {} features, {:.3}% sparse",
+        instance.graph.num_nodes(),
+        instance.graph.num_undirected_edges(),
+        instance.x.cols(),
+        instance.graph.adjacency_sparsity() * 100.0
+    );
+
+    let gcn = Gcn::for_dataset(1433, 16, 7, 7)?.with_norm(GcnNorm::Mean);
+    let baseline = table7::measured(ModelKind::Gcn, "Cora").expect("table VII row");
+    println!(
+        "measured baselines (Table VII): CPU {:.2} ms, GPU {:.3} ms\n",
+        baseline.cpu_s * 1e3,
+        baseline.gpu_s * 1e3
+    );
+
+    for config in [
+        AcceleratorConfig::cpu_iso_bandwidth(),
+        AcceleratorConfig::gpu_iso_bandwidth(),
+        AcceleratorConfig::gpu_iso_flops(),
+    ] {
+        let program = compile_gcn(&gcn)?;
+        let mut system = System::new(&config, std::slice::from_ref(instance), program)?;
+        let wall = Instant::now();
+        let report = system.run()?;
+        println!("{report}");
+        println!(
+            "  speedup: {:.2}x vs CPU, {:.2}x vs GPU  (simulated in {:.1?})\n",
+            baseline.cpu_s / report.latency_s(),
+            baseline.gpu_s / report.latency_s(),
+            wall.elapsed()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! # gnna — a GNN accelerator reproduction
+//!
+//! Umbrella crate for the Rust reproduction of *Hardware Acceleration of
+//! Graph Neural Networks* (Auten, Tomei, Kumar — DAC 2020). It re-exports
+//! every sub-crate so downstream users can depend on a single crate:
+//!
+//! * [`graph`] — CSR graphs and the five benchmark datasets (Table V).
+//! * [`tensor`] — dense/sparse `f32` linear algebra.
+//! * [`models`] — functional GCN / GAT / MPNN / PGNN implementations.
+//! * [`dnn`] — the Eyeriss-like spatial DNN accelerator model and dataflow
+//!   mapper used both for the DNA and for the Section II baseline analysis.
+//! * [`noc`] — the Booksim-style cycle-level mesh network (Table IV).
+//! * [`mem`] — the bandwidth–latency memory-controller model.
+//! * [`core`] — the GNN accelerator itself: tiles (GPE, DNQ, DNA, AGG),
+//!   runtime (Algorithm 1), vertex programs and the full-system simulator.
+//! * [`baselines`] — measured CPU/GPU latencies (Table VII) and analytic
+//!   roofline models of the baseline systems (Table III).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use gnna::graph::datasets;
+//! use gnna::models::Gcn;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A scaled-down Cora-like dataset and a functional GCN forward pass.
+//! let dataset = datasets::cora_scaled(100, 32, 7, 42)?;
+//! let instance = &dataset.instances[0];
+//! let gcn = Gcn::for_dataset(instance.x.cols(), 16, dataset.output_features, 1)?;
+//! let out = gcn.forward(&instance.graph, &instance.x)?;
+//! assert_eq!(out.shape(), (instance.graph.num_nodes(), 7));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/quickstart.rs` for an end-to-end simulated-accelerator run.
+
+#![forbid(unsafe_code)]
+
+pub use gnna_baselines as baselines;
+pub use gnna_core as core;
+pub use gnna_dnn as dnn;
+pub use gnna_graph as graph;
+pub use gnna_mem as mem;
+pub use gnna_models as models;
+pub use gnna_noc as noc;
+pub use gnna_tensor as tensor;

@@ -1,0 +1,185 @@
+//! Cross-crate integration tests: every benchmark model, compiled and
+//! simulated on the cycle-level accelerator, must reproduce its
+//! functional reference model — across configurations and clocks.
+
+use gnna::core::config::AcceleratorConfig;
+use gnna::core::layers::{compile_gat, compile_gcn, compile_mpnn, compile_pgnn};
+use gnna::core::system::System;
+use gnna::graph::datasets;
+use gnna::models::{Gat, Gcn, GcnNorm, Mpnn, Pgnn};
+use gnna::tensor::Matrix;
+
+fn max_row_diff(a: &Matrix, b: &Matrix) -> f32 {
+    a.max_abs_diff(b).expect("same shape")
+}
+
+#[test]
+fn gcn_matches_on_all_three_configurations() {
+    let d = datasets::cora_scaled(60, 24, 5, 3).unwrap();
+    let inst = &d.instances[0];
+    let gcn = Gcn::for_dataset(24, 8, 5, 9).unwrap().with_norm(GcnNorm::Mean);
+    let reference = gcn.forward(&inst.graph, &inst.x).unwrap();
+    for cfg in [
+        AcceleratorConfig::cpu_iso_bandwidth(),
+        AcceleratorConfig::gpu_iso_bandwidth(),
+        AcceleratorConfig::gpu_iso_flops(),
+    ] {
+        let mut sys = System::new(&cfg, std::slice::from_ref(inst), compile_gcn(&gcn).unwrap()).unwrap();
+        sys.run().unwrap();
+        let diff = max_row_diff(&sys.output_matrix(0).unwrap(), &reference);
+        assert!(diff < 1e-3, "{}: diff {diff}", cfg.name);
+    }
+}
+
+#[test]
+fn results_are_clock_invariant() {
+    // The core clock changes timing, never values.
+    let d = datasets::cora_scaled(40, 16, 4, 5).unwrap();
+    let inst = &d.instances[0];
+    let gcn = Gcn::for_dataset(16, 8, 4, 2).unwrap().with_norm(GcnNorm::Mean);
+    let mut outputs = Vec::new();
+    for clock in [0.6e9, 1.2e9, 2.4e9] {
+        let cfg = AcceleratorConfig::cpu_iso_bandwidth().with_core_clock(clock);
+        let mut sys = System::new(&cfg, std::slice::from_ref(inst), compile_gcn(&gcn).unwrap()).unwrap();
+        sys.run().unwrap();
+        outputs.push(sys.output_matrix(0).unwrap());
+    }
+    assert!(max_row_diff(&outputs[0], &outputs[1]) < 1e-5);
+    assert!(max_row_diff(&outputs[1], &outputs[2]) < 1e-5);
+}
+
+#[test]
+fn gat_matches_functional_model_multi_tile() {
+    let d = datasets::cora_scaled(48, 12, 3, 8).unwrap();
+    let inst = &d.instances[0];
+    let gat = Gat::for_dataset(12, 3, 4).unwrap();
+    let cfg = AcceleratorConfig::gpu_iso_bandwidth();
+    let mut sys = System::new(&cfg, std::slice::from_ref(inst), compile_gat(&gat).unwrap()).unwrap();
+    sys.run().unwrap();
+    let diff = max_row_diff(
+        &sys.output_matrix(0).unwrap(),
+        &gat.forward(&inst.graph, &inst.x).unwrap(),
+    );
+    assert!(diff < 1e-3, "diff {diff}");
+}
+
+#[test]
+fn mpnn_edge_network_matches_functional_model() {
+    let d = datasets::qm9_scaled(6, 4).unwrap();
+    let mpnn = Mpnn::for_dataset_gilmer(13, 5, 8, 6, 2, 5).unwrap();
+    let cfg = AcceleratorConfig::cpu_iso_bandwidth();
+    let mut sys = System::new(&cfg, &d.instances, compile_mpnn(&mpnn).unwrap()).unwrap();
+    sys.run().unwrap();
+    let reference = mpnn.forward_dataset(&d.instances).unwrap();
+    for g in 0..d.instances.len() {
+        let sim = sys.output_matrix(g).unwrap();
+        let diff: f32 = sim
+            .row(0)
+            .iter()
+            .zip(reference.row(g))
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max);
+        assert!(diff < 1e-3, "graph {g}: diff {diff}");
+    }
+}
+
+#[test]
+fn mpnn_graphs_split_across_tiles() {
+    // Multi-tile MPNN exercises the cross-tile readout mailbox.
+    let d = datasets::qm9_scaled(10, 6).unwrap();
+    let mpnn = Mpnn::for_dataset(13, 5, 8, 4, 1, 2).unwrap();
+    let cfg = AcceleratorConfig::gpu_iso_bandwidth();
+    let mut sys = System::new(&cfg, &d.instances, compile_mpnn(&mpnn).unwrap()).unwrap();
+    sys.run().unwrap();
+    let reference = mpnn.forward_dataset(&d.instances).unwrap();
+    for g in 0..d.instances.len() {
+        let sim = sys.output_matrix(g).unwrap();
+        let diff: f32 = sim
+            .row(0)
+            .iter()
+            .zip(reference.row(g))
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max);
+        assert!(diff < 1e-3, "graph {g}: diff {diff}");
+    }
+}
+
+#[test]
+fn deep_pgnn_matches_functional_model() {
+    let d = datasets::dblp_scaled(30, 3).unwrap();
+    let inst = &d.instances[0];
+    let pgnn = Pgnn::deep(&[0, 1, 2], 1, 6, 3, 3, 4).unwrap();
+    let cfg = AcceleratorConfig::cpu_iso_bandwidth();
+    let mut sys = System::new(&cfg, std::slice::from_ref(inst), compile_pgnn(&pgnn).unwrap()).unwrap();
+    sys.run().unwrap();
+    let reference = pgnn.forward(&inst.graph, &inst.x).unwrap();
+    let diff = max_row_diff(&sys.output_matrix(0).unwrap(), &reference);
+    // Deep gathers over a dense graph reach large magnitudes; compare
+    // relative to the output scale (f32 summation-order noise).
+    let scale = reference
+        .as_slice()
+        .iter()
+        .fold(1.0f32, |m, v| m.max(v.abs()));
+    assert!(diff / scale < 1e-4, "relative diff {}", diff / scale);
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let run = || {
+        let d = datasets::cora_scaled(32, 8, 3, 1).unwrap();
+        let gcn = Gcn::for_dataset(8, 4, 3, 1).unwrap().with_norm(GcnNorm::Mean);
+        let cfg = AcceleratorConfig::cpu_iso_bandwidth();
+        let mut sys =
+            System::new(&cfg, &[d.instances[0].clone()], compile_gcn(&gcn).unwrap()).unwrap();
+        let r = sys.run().unwrap();
+        (r.total_cycles, r.dram_bytes, r.noc_flit_hops, sys.full_output())
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0, "cycle counts differ");
+    assert_eq!(a.1, b.1, "traffic differs");
+    assert_eq!(a.2, b.2, "hops differ");
+    assert_eq!(a.3, b.3, "outputs differ");
+}
+
+#[test]
+fn memory_bound_workload_is_clock_insensitive() {
+    // Wide features, tiny compute: halving the core clock should barely
+    // change latency (the paper's §VI-B argument for GCN).
+    let d = datasets::cora_scaled(300, 512, 3, 2).unwrap();
+    let inst = &d.instances[0];
+    let gcn = Gcn::for_dataset(512, 8, 3, 1).unwrap().with_norm(GcnNorm::Mean);
+    let run = |clock: f64| {
+        let cfg = AcceleratorConfig::cpu_iso_bandwidth().with_core_clock(clock);
+        let mut sys = System::new(&cfg, std::slice::from_ref(inst), compile_gcn(&gcn).unwrap()).unwrap();
+        sys.run().unwrap().latency_s()
+    };
+    let fast = run(2.4e9);
+    let half = run(1.2e9);
+    assert!(
+        half / fast < 1.5,
+        "memory-bound workload slowed {}x when halving the clock",
+        half / fast
+    );
+}
+
+#[test]
+fn speedup_report_fields_are_consistent() {
+    let d = datasets::cora_scaled(64, 32, 4, 6).unwrap();
+    let inst = &d.instances[0];
+    let gcn = Gcn::for_dataset(32, 8, 4, 1).unwrap().with_norm(GcnNorm::Mean);
+    let cfg = AcceleratorConfig::cpu_iso_bandwidth();
+    let mut sys = System::new(&cfg, std::slice::from_ref(inst), compile_gcn(&gcn).unwrap()).unwrap();
+    let r = sys.run().unwrap();
+    // Basic accounting sanity.
+    assert!(r.useful_mem_bytes <= r.dram_bytes);
+    assert!(r.mean_bandwidth() <= r.peak_mem_bandwidth * 1.01);
+    assert!(r.dna_utilization() <= 1.0);
+    assert!(r.gpe_utilization() <= 1.0);
+    assert!(r.config_cycles < r.total_cycles);
+    assert_eq!(r.num_tiles, 1);
+    // One DNA entry per vertex per projection layer.
+    assert_eq!(r.dna_entries, 2 * 64);
+    // One aggregation per vertex per aggregate layer.
+    assert!(r.agg_completed >= 2 * 64);
+}

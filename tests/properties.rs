@@ -1,0 +1,146 @@
+//! Property-based integration tests: random small workloads through the
+//! full cycle-level simulator must always terminate, conserve traffic,
+//! and reproduce the functional models.
+
+use gnna::core::config::AcceleratorConfig;
+use gnna::core::layers::{compile_gcn, compile_pgnn};
+use gnna::core::system::System;
+use gnna::graph::{generate, CsrGraph, GraphInstance};
+use gnna::models::{Gcn, GcnNorm, Pgnn};
+use gnna::tensor::Matrix;
+use proptest::prelude::*;
+
+/// A random small connected graph plus features.
+fn instance_strategy() -> impl Strategy<Value = (GraphInstance, u64)> {
+    (8usize..40, 1usize..3, 4usize..24, any::<u64>()).prop_map(|(n, density, f, seed)| {
+        let edges = (density * n).min(n * (n - 1) / 2).max(n - 1);
+        let graph = generate::power_law_graph(n, edges, seed).expect("generated");
+        let x = generate::random_features(n, f, seed ^ 0xabc);
+        (
+            GraphInstance {
+                graph,
+                x,
+                edge_features: None,
+            },
+            seed,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The accelerator reproduces the functional GCN on arbitrary small
+    /// graphs, and the run always terminates with a balanced ledger.
+    #[test]
+    fn random_gcn_simulations_match_functional((inst, seed) in instance_strategy()) {
+        let f = inst.x.cols();
+        let hidden = 1 + (seed % 8) as usize;
+        let out = 2 + (seed % 4) as usize;
+        let gcn = Gcn::for_dataset(f, hidden, out, seed)
+            .expect("model")
+            .with_norm(GcnNorm::Mean);
+        let cfg = AcceleratorConfig::cpu_iso_bandwidth();
+        let mut sys = System::new(&cfg, std::slice::from_ref(&inst), compile_gcn(&gcn).expect("compile"))
+            .expect("system");
+        let report = sys.run().expect("terminates");
+        let reference = gcn.forward(&inst.graph, &inst.x).expect("forward");
+        let diff = sys
+            .output_matrix(0)
+            .expect("output")
+            .max_abs_diff(&reference)
+            .expect("shape");
+        prop_assert!(diff < 1e-3, "diff {diff}");
+        prop_assert!(report.useful_mem_bytes <= report.dram_bytes);
+        prop_assert!(report.total_cycles > 0);
+    }
+
+    /// PGNN with random powers: multi-hop expansion terminates and
+    /// matches the functional model.
+    #[test]
+    fn random_pgnn_simulations_match_functional(
+        (inst, seed) in instance_strategy(),
+        k in 2usize..4,
+    ) {
+        let graph = inst.graph.clone();
+        let x = Matrix::from_fn(graph.num_nodes(), 1, |v, _| graph.degree(v) as f32);
+        let inst = GraphInstance { graph, x, edge_features: None };
+        let pgnn = Pgnn::with_powers(&[0, 1, k], 1, 4, 2, seed).expect("model");
+        let cfg = AcceleratorConfig::cpu_iso_bandwidth();
+        let mut sys = System::new(&cfg, std::slice::from_ref(&inst), compile_pgnn(&pgnn).expect("compile"))
+            .expect("system");
+        sys.run().expect("terminates");
+        let reference = pgnn.forward(&inst.graph, &inst.x).expect("forward");
+        let diff = sys
+            .output_matrix(0)
+            .expect("output")
+            .max_abs_diff(&reference)
+            .expect("shape");
+        // Gathers over dense k-hop sets reach large magnitudes; compare
+        // relative to the output scale (f32 summation-order noise).
+        let scale = reference.as_slice().iter().fold(1.0f32, |m, v| m.max(v.abs()));
+        prop_assert!(diff / scale < 1e-4, "relative diff {}", diff / scale);
+    }
+
+    /// Graph generators always hit their exact targets (the Table V
+    /// contract) for arbitrary feasible sizes.
+    #[test]
+    fn generators_hit_exact_targets(n in 4usize..200, extra in 0usize..100, seed in any::<u64>()) {
+        let max_edges = n * (n - 1) / 2;
+        let edges = (n - 1 + extra).min(max_edges);
+        let g = generate::power_law_graph(n, edges, seed).expect("generated");
+        prop_assert_eq!(g.num_nodes(), n);
+        prop_assert_eq!(g.num_undirected_edges(), edges);
+        prop_assert!(g.is_symmetric());
+    }
+
+    /// Boolean adjacency powers agree with dense matrix powers on random
+    /// graphs.
+    #[test]
+    fn power_structure_matches_dense_power(n in 3usize..16, seed in any::<u64>(), k in 0usize..5) {
+        let edges = (2 * n).min(n * (n - 1) / 2).max(n - 1);
+        let g = generate::power_law_graph(n, edges, seed).expect("generated");
+        let p = g.power_structure(k);
+        // Dense boolean power.
+        let a = g.adjacency_matrix().to_dense();
+        let mut acc = Matrix::identity(n);
+        for _ in 0..k {
+            acc = acc.matmul(&a).expect("square");
+        }
+        for u in 0..n {
+            for v in 0..n {
+                prop_assert_eq!(p.has_edge(u, v), acc.get(u, v) > 0.0, "({}, {})", u, v);
+            }
+        }
+    }
+}
+
+/// Non-proptest cross-crate check: a hand-built graph runs identically
+/// when presented as one instance or as the union of disconnected parts.
+#[test]
+fn union_graph_equivalent_to_monolithic() {
+    let g1 = CsrGraph::from_undirected_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+    let g2 = CsrGraph::from_undirected_edges(3, &[(0, 1), (1, 2)]).unwrap();
+    let x1 = generate::random_features(4, 6, 1);
+    let x2 = generate::random_features(3, 6, 2);
+    let gcn = Gcn::for_dataset(6, 4, 2, 3).unwrap().with_norm(GcnNorm::Mean);
+    let cfg = AcceleratorConfig::cpu_iso_bandwidth();
+
+    // Two instances in one run.
+    let insts = vec![
+        GraphInstance { graph: g1.clone(), x: x1.clone(), edge_features: None },
+        GraphInstance { graph: g2.clone(), x: x2.clone(), edge_features: None },
+    ];
+    let mut sys = System::new(&cfg, &insts, compile_gcn(&gcn).unwrap()).unwrap();
+    sys.run().unwrap();
+    let out1 = sys.output_matrix(0).unwrap();
+    let out2 = sys.output_matrix(1).unwrap();
+
+    // Each instance alone.
+    for (inst, expected) in insts.iter().zip([out1, out2]) {
+        let mut solo = System::new(&cfg, std::slice::from_ref(inst), compile_gcn(&gcn).unwrap()).unwrap();
+        solo.run().unwrap();
+        let diff = solo.output_matrix(0).unwrap().max_abs_diff(&expected).unwrap();
+        assert!(diff < 1e-5, "diff {diff}");
+    }
+}
