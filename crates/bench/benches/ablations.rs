@@ -32,9 +32,15 @@ fn compile_gcn_propagate_first(gcn: &Gcn) -> CompiledProgram {
     let mut layers = Vec::new();
     let mut src = 0;
     for (i, l) in gcn.layers().iter().enumerate() {
-        buffers.push(BufferSpec { rows: Rows::PerVertex, row_words: l.input_dim() });
+        buffers.push(BufferSpec {
+            rows: Rows::PerVertex,
+            row_words: l.input_dim(),
+        });
         let aggregated = buffers.len() - 1;
-        buffers.push(BufferSpec { rows: Rows::PerVertex, row_words: l.output_dim() });
+        buffers.push(BufferSpec {
+            rows: Rows::PerVertex,
+            row_words: l.output_dim(),
+        });
         let projected = buffers.len() - 1;
         layers.push(Layer {
             name: format!("gcn{i}.aggregate"),
@@ -52,7 +58,10 @@ fn compile_gcn_propagate_first(gcn: &Gcn) -> CompiledProgram {
         });
         layers.push(Layer {
             name: format!("gcn{i}.project"),
-            program: VertexProgram::Project { src: aggregated, dst: projected },
+            program: VertexProgram::Project {
+                src: aggregated,
+                dst: projected,
+            },
             kernels: vec![DnaKernel::Linear {
                 w: l.weight.clone(),
                 bias: None,

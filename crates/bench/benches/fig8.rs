@@ -26,9 +26,21 @@ fn main() {
     println!("# Figure 8 — speedups over baselines (simulated / measured), scale {scale:?}\n");
 
     let configs: [Panel; 3] = [
-        ("CPU iso-BW   (vs CPU)", AcceleratorConfig::cpu_iso_bandwidth, false),
-        ("GPU iso-BW   (vs GPU)", AcceleratorConfig::gpu_iso_bandwidth, true),
-        ("GPU iso-FLOPS(vs GPU)", AcceleratorConfig::gpu_iso_flops, true),
+        (
+            "CPU iso-BW   (vs CPU)",
+            AcceleratorConfig::cpu_iso_bandwidth,
+            false,
+        ),
+        (
+            "GPU iso-BW   (vs GPU)",
+            AcceleratorConfig::gpu_iso_bandwidth,
+            true,
+        ),
+        (
+            "GPU iso-FLOPS(vs GPU)",
+            AcceleratorConfig::gpu_iso_flops,
+            true,
+        ),
     ];
 
     for (label, mk, vs_gpu) in configs {
@@ -49,8 +61,8 @@ fn main() {
                 let t0 = Instant::now();
                 match simulate(&case, &cfg) {
                     Ok(report) => {
-                        let baseline = gnna_baselines::table7::measured(model, input)
-                            .expect("table7 row");
+                        let baseline =
+                            gnna_baselines::table7::measured(model, input).expect("table7 row");
                         cells.push(format!("{:.2}x", speedup(baseline, &report, vs_gpu)));
                         last_latency = Some(report.latency_s() * 1e3);
                         eprintln!(

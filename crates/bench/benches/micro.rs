@@ -54,8 +54,8 @@ fn bench_spmm(c: &mut Criterion) {
         b.iter(|| black_box(a.spmm(&x).expect("shapes")))
     });
     let dense = Matrix::from_fn(256, 256, |i, j| ((i * j) % 7) as f32);
-    let sparse = CsrMatrix::from_dense(&dense.map(|v| if v > 4.0 { v } else { 0.0 }), 0.0)
-        .expect("csr");
+    let sparse =
+        CsrMatrix::from_dense(&dense.map(|v| if v > 4.0 { v } else { 0.0 }), 0.0).expect("csr");
     c.bench_function("csr_transpose_256", |b| {
         b.iter(|| black_box(sparse.transpose()))
     });
@@ -67,7 +67,11 @@ fn bench_mapper(c: &mut Criterion) {
         b.iter(|| {
             black_box(mapper::map_matmul(
                 &cfg,
-                MatmulShape { m: 19717, k: 19717, n: 16 },
+                MatmulShape {
+                    m: 19717,
+                    k: 19717,
+                    n: 16,
+                },
             ))
         })
     });

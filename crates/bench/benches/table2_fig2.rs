@@ -31,7 +31,9 @@ fn main() {
     ];
 
     println!("# Table II — GCN inference latency on the DNN spatial accelerator (2.4 GHz)\n");
-    println!("| Input Graph | Unlimited BW (ms) | 68GBps BW (ms) | paper unlimited | paper 68GBps |");
+    println!(
+        "| Input Graph | Unlimited BW (ms) | 68GBps BW (ms) | paper unlimited | paper 68GBps |"
+    );
     let mut reports = Vec::new();
     for ((name, dataset), (_, p_unl, p_bw)) in graphs.iter().zip(&paper) {
         let inst = &dataset.instances[0];

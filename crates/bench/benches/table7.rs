@@ -31,8 +31,8 @@ fn main() {
                     _ => datasets::pubmed(seed),
                 }
                 .expect("dataset");
-                let m = Gcn::for_dataset(d.vertex_features(), 16, d.output_features, 1)
-                    .expect("model");
+                let m =
+                    Gcn::for_dataset(d.vertex_features(), 16, d.output_features, 1).expect("model");
                 gcn_work(&m, &d.instances[0].graph)
             }
             (ModelKind::Gat, _) => {

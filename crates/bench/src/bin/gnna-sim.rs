@@ -10,10 +10,11 @@
 //! measured Table VII baselines, and optionally a per-layer timing
 //! breakdown and an energy estimate.
 
-use gnna_bench::{build_case, simulate, Scale};
+use gnna_bench::{build_case, simulate, simulate_traced, Scale};
 use gnna_core::config::AcceleratorConfig;
 use gnna_core::energy::EnergyModel;
 use gnna_models::ModelKind;
+use gnna_telemetry::TraceLevel;
 use std::process::ExitCode;
 
 struct Args {
@@ -25,6 +26,9 @@ struct Args {
     scale: Scale,
     show_layers: bool,
     show_energy: bool,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    trace_level: Option<TraceLevel>,
 }
 
 const USAGE: &str = "\
@@ -41,6 +45,11 @@ usage: gnna-sim [options]
   --smoke                        scaled-down dataset for a fast run
   --layers                       print the per-layer timing breakdown
   --energy                       print the energy estimate
+  --trace-out PATH               write a Chrome/Perfetto trace JSON
+                                 (load at ui.perfetto.dev)
+  --metrics-out PATH             write module counters (.json or .csv)
+  --trace-level off|phase|event  trace detail (default: event when
+                                 --trace-out is given, off otherwise)
   --help                         this message";
 
 fn parse_args() -> Result<Args, String> {
@@ -52,11 +61,12 @@ fn parse_args() -> Result<Args, String> {
     let mut scale = Scale::Paper;
     let mut show_layers = false;
     let mut show_energy = false;
+    let mut trace_out = None;
+    let mut metrics_out = None;
+    let mut trace_level = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        let mut value = |name: &str| {
-            args.next().ok_or_else(|| format!("{name} needs a value"))
-        };
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
         match arg.as_str() {
             "--model" => {
                 model = match value("--model")?.to_ascii_lowercase().as_str() {
@@ -100,6 +110,15 @@ fn parse_args() -> Result<Args, String> {
             "--smoke" => scale = Scale::Smoke,
             "--layers" => show_layers = true,
             "--energy" => show_energy = true,
+            "--trace-out" => trace_out = Some(value("--trace-out")?),
+            "--metrics-out" => metrics_out = Some(value("--metrics-out")?),
+            "--trace-level" => {
+                let s = value("--trace-level")?;
+                trace_level = Some(
+                    TraceLevel::parse(&s)
+                        .ok_or_else(|| format!("unknown trace level {s} (off|phase|event)"))?,
+                );
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown option {other}")),
         }
@@ -118,6 +137,9 @@ fn parse_args() -> Result<Args, String> {
         scale,
         show_layers,
         show_energy,
+        trace_out,
+        metrics_out,
+        trace_level,
     })
 }
 
@@ -129,7 +151,11 @@ fn main() -> ExitCode {
                 eprintln!("error: {msg}\n");
             }
             eprintln!("{USAGE}");
-            return if msg.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+            return if msg.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            };
         }
     };
     let case = match build_case(args.model, args.input, args.scale) {
@@ -153,13 +179,59 @@ fn main() -> ExitCode {
         args.clock_ghz,
         config.gpe_threads
     );
-    let wall = std::time::Instant::now();
-    let report = match simulate(&case, &config) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("error: simulation failed: {e}");
-            return ExitCode::FAILURE;
+    // Tracing is wanted when an output path is given or a level above
+    // `off` is requested explicitly; `--trace-level off` forces the
+    // untraced path (bit-identical to running without any trace flags).
+    let level = args.trace_level.unwrap_or({
+        if args.trace_out.is_some() || args.metrics_out.is_some() {
+            TraceLevel::Event
+        } else {
+            TraceLevel::Off
         }
+    });
+    let wall = std::time::Instant::now();
+    let report = if level == TraceLevel::Off {
+        match simulate(&case, &config) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: simulation failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let run = match simulate_traced(&case, &config, level) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: simulation failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Some(path) = &args.trace_out {
+            let json = run.tracer.borrow().to_chrome_json_string();
+            if let Err(e) = std::fs::write(path, json) {
+                eprintln!("error: cannot write trace {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "trace: {} ({} events, {} tracks) — load at ui.perfetto.dev",
+                path,
+                run.tracer.borrow().event_count(),
+                run.tracer.borrow().track_count()
+            );
+        }
+        if let Some(path) = &args.metrics_out {
+            let body = if path.ends_with(".csv") {
+                run.metrics.to_csv_string()
+            } else {
+                run.metrics.to_json_string()
+            };
+            if let Err(e) = std::fs::write(path, body) {
+                eprintln!("error: cannot write metrics {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("metrics: {} ({} series)", path, run.metrics.len());
+        }
+        run.report
     };
     println!("{report}");
     println!("(simulated in {:.1?})", wall.elapsed());

@@ -16,6 +16,7 @@ use gnna_core::stats::SimReport;
 use gnna_core::system::System;
 use gnna_graph::{datasets, Dataset};
 use gnna_models::{Gat, Gcn, GcnNorm, ModelKind, Mpnn, Pgnn};
+use gnna_telemetry::{shared, MetricsRegistry, SharedTracer, TraceLevel, Tracer};
 use std::error::Error;
 
 /// A boxed error for harness code.
@@ -56,7 +57,11 @@ pub const MODEL_SEED: u64 = 0xD0C5;
 /// # Errors
 ///
 /// Propagates dataset-generation and compilation errors.
-pub fn build_case(model: ModelKind, input: &'static str, scale: Scale) -> Result<BenchCase, BenchError> {
+pub fn build_case(
+    model: ModelKind,
+    input: &'static str,
+    scale: Scale,
+) -> Result<BenchCase, BenchError> {
     let seed = 42;
     let dataset = match (input, scale) {
         ("Cora", Scale::Paper) => datasets::cora(seed)?,
@@ -118,6 +123,45 @@ pub fn simulate(case: &BenchCase, config: &AcceleratorConfig) -> Result<SimRepor
     Ok(sys.run()?)
 }
 
+/// A simulation run with telemetry attached.
+#[derive(Debug)]
+pub struct TracedRun {
+    /// The usual simulation report.
+    pub report: SimReport,
+    /// The tracer holding the Chrome-trace event stream.
+    pub tracer: SharedTracer,
+    /// Module counters harvested after the run.
+    pub metrics: MetricsRegistry,
+}
+
+/// Simulates `case` on `config` with a tracer attached at `level`; the
+/// returned [`TracedRun`] carries the trace and the harvested metrics.
+///
+/// At [`TraceLevel::Off`] this is behaviourally identical to
+/// [`simulate`] (the tracer records nothing and the metrics registry is
+/// still populated from the final counters).
+///
+/// # Errors
+///
+/// Propagates simulator construction/stall errors.
+pub fn simulate_traced(
+    case: &BenchCase,
+    config: &AcceleratorConfig,
+    level: TraceLevel,
+) -> Result<TracedRun, BenchError> {
+    let mut sys = System::new(config, &case.dataset.instances, case.program.clone())?;
+    let tracer = shared(Tracer::new(level));
+    sys.attach_telemetry(std::rc::Rc::clone(&tracer));
+    let report = sys.run()?;
+    let mut metrics = MetricsRegistry::new();
+    sys.harvest_metrics(&mut metrics);
+    Ok(TracedRun {
+        report,
+        tracer,
+        metrics,
+    })
+}
+
 /// The three Table VI configurations at a given core clock.
 pub fn configurations(core_clock_hz: f64) -> Vec<AcceleratorConfig> {
     vec![
@@ -132,7 +176,11 @@ pub const CLOCK_SWEEP: [f64; 3] = [0.6e9, 1.2e9, 2.4e9];
 
 /// Speedup of a simulated latency over a measured baseline.
 pub fn speedup(baseline: &MeasuredLatency, report: &SimReport, vs_gpu: bool) -> f64 {
-    let base = if vs_gpu { baseline.gpu_s } else { baseline.cpu_s };
+    let base = if vs_gpu {
+        baseline.gpu_s
+    } else {
+        baseline.cpu_s
+    };
     base / report.latency_s()
 }
 

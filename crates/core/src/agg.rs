@@ -21,6 +21,7 @@
 
 use crate::config::AggParams;
 use crate::msg::Dest;
+use gnna_telemetry::ModuleProbe;
 use gnna_tensor::ops::Activation;
 use std::collections::VecDeque;
 
@@ -93,6 +94,7 @@ pub struct Aggregator {
     completed: u64,
     busy_cycles: u64,
     alloc_failures: u64,
+    probe: Option<ModuleProbe>,
 }
 
 impl Aggregator {
@@ -116,7 +118,14 @@ impl Aggregator {
             completed: 0,
             busy_cycles: 0,
             alloc_failures: 0,
+            probe: None,
         }
+    }
+
+    /// Attaches a telemetry probe; backpressure and completion events are
+    /// emitted through it. No-op cost when never called.
+    pub fn attach_probe(&mut self, probe: ModuleProbe) {
+        self.probe = Some(probe);
     }
 
     /// Configures the per-layer entry size. The scratchpad is divided into
@@ -191,6 +200,9 @@ impl Aggregator {
         );
         let Some(slot) = self.free.pop() else {
             self.alloc_failures += 1;
+            if let Some(p) = &self.probe {
+                p.instant("agg_alloc_reject");
+            }
             return Err(());
         };
         let init = match op {
@@ -268,6 +280,9 @@ impl Aggregator {
             // Release a finalised result whose ALU pass just completed.
             if let Some((dest, data)) = self.finishing.take() {
                 self.completed += 1;
+                if let Some(p) = &self.probe {
+                    p.instant("agg_done");
+                }
                 self.outbox_bytes += 8 + 4 * data.len();
                 self.outbox.push_back((dest, data));
             }
@@ -287,9 +302,7 @@ impl Aggregator {
                     let cycles = (data.len() as u64).div_ceil(alus).max(1);
                     self.busy_until = now + cycles;
                     self.words_combined += data.len() as u64;
-                    let s = self.slots[slot as usize]
-                        .as_mut()
-                        .expect("live slot");
+                    let s = self.slots[slot as usize].as_mut().expect("live slot");
                     for (i, v) in data.iter().enumerate() {
                         let cell = &mut s.data[offset as usize + i];
                         match s.op {
@@ -391,7 +404,15 @@ mod tests {
     fn sum_aggregation_completes() {
         let mut a = agg(4);
         let slot = a
-            .try_alloc(2, 4, 4, AggOp::Sum, AggFinalize::None, Activation::None, Dest::Mem { addr: 0 })
+            .try_alloc(
+                2,
+                4,
+                4,
+                AggOp::Sum,
+                AggFinalize::None,
+                Activation::None,
+                Dest::Mem { addr: 0 },
+            )
             .unwrap();
         a.deliver(slot, 0, 1.0, vec![1.0, 2.0, 3.0, 4.0]);
         a.deliver(slot, 0, 1.0, vec![10.0, 20.0, 30.0, 40.0]);
@@ -405,7 +426,15 @@ mod tests {
     fn mean_finalize_divides_by_count() {
         let mut a = agg(2);
         let slot = a
-            .try_alloc(4, 2, 2, AggOp::Sum, AggFinalize::DivideByCount, Activation::None, Dest::Mem { addr: 64 })
+            .try_alloc(
+                4,
+                2,
+                2,
+                AggOp::Sum,
+                AggFinalize::DivideByCount,
+                Activation::None,
+                Dest::Mem { addr: 64 },
+            )
             .unwrap();
         for _ in 0..4 {
             a.deliver(slot, 0, 1.0, vec![2.0, 6.0]);
@@ -418,7 +447,15 @@ mod tests {
     fn scale_applied_per_contribution() {
         let mut a = agg(2);
         let slot = a
-            .try_alloc(2, 2, 2, AggOp::Sum, AggFinalize::None, Activation::None, Dest::Mem { addr: 0 })
+            .try_alloc(
+                2,
+                2,
+                2,
+                AggOp::Sum,
+                AggFinalize::None,
+                Activation::None,
+                Dest::Mem { addr: 0 },
+            )
             .unwrap();
         a.deliver(slot, 0, 0.5, vec![4.0, 8.0]);
         a.deliver(slot, 0, 2.0, vec![1.0, 1.0]);
@@ -430,7 +467,15 @@ mod tests {
     fn max_aggregation() {
         let mut a = agg(2);
         let slot = a
-            .try_alloc(3, 2, 2, AggOp::Max, AggFinalize::None, Activation::None, Dest::Mem { addr: 0 })
+            .try_alloc(
+                3,
+                2,
+                2,
+                AggOp::Max,
+                AggFinalize::None,
+                Activation::None,
+                Dest::Mem { addr: 0 },
+            )
             .unwrap();
         a.deliver(slot, 0, 1.0, vec![1.0, 9.0]);
         a.deliver(slot, 0, 1.0, vec![5.0, -2.0]);
@@ -445,7 +490,15 @@ mod tests {
         // chunks (interleave split) with count = 1.
         let mut a = agg(4);
         let slot = a
-            .try_alloc(1, 4, 4, AggOp::Sum, AggFinalize::None, Activation::None, Dest::Mem { addr: 0 })
+            .try_alloc(
+                1,
+                4,
+                4,
+                AggOp::Sum,
+                AggFinalize::None,
+                Activation::None,
+                Dest::Mem { addr: 0 },
+            )
             .unwrap();
         a.deliver(slot, 0, 1.0, vec![1.0, 2.0]);
         a.deliver(slot, 2, 1.0, vec![3.0, 4.0]);
@@ -457,7 +510,15 @@ mod tests {
     fn activation_applied_at_finalize() {
         let mut a = agg(2);
         let slot = a
-            .try_alloc(1, 2, 2, AggOp::Sum, AggFinalize::None, Activation::Relu, Dest::Mem { addr: 0 })
+            .try_alloc(
+                1,
+                2,
+                2,
+                AggOp::Sum,
+                AggFinalize::None,
+                Activation::Relu,
+                Dest::Mem { addr: 0 },
+            )
             .unwrap();
         a.deliver(slot, 0, 1.0, vec![-5.0, 5.0]);
         let (_, _, data) = run_until_output(&mut a, 0, 64);
@@ -467,8 +528,16 @@ mod tests {
     #[test]
     fn zero_count_completes_with_zeros() {
         let mut a = agg(3);
-        a.try_alloc(0, 3, 3, AggOp::Sum, AggFinalize::None, Activation::None, Dest::Mem { addr: 0 })
-            .unwrap();
+        a.try_alloc(
+            0,
+            3,
+            3,
+            AggOp::Sum,
+            AggFinalize::None,
+            Activation::None,
+            Dest::Mem { addr: 0 },
+        )
+        .unwrap();
         let (_, _, data) = run_until_output(&mut a, 0, 64);
         assert_eq!(data, vec![0.0, 0.0, 0.0]);
         assert!(a.is_idle());
@@ -479,14 +548,22 @@ mod tests {
         let mut a = agg(62 * 1024 / 4 / 2); // 2 slots
         assert_eq!(a.max_slots(), 2);
         let d = Dest::Mem { addr: 0 };
-        let s0 = a.try_alloc(1, 1, 1, AggOp::Sum, AggFinalize::None, Activation::None, d).unwrap();
-        let _s1 = a.try_alloc(1, 1, 1, AggOp::Sum, AggFinalize::None, Activation::None, d).unwrap();
-        assert!(a.try_alloc(1, 1, 1, AggOp::Sum, AggFinalize::None, Activation::None, d).is_err());
+        let s0 = a
+            .try_alloc(1, 1, 1, AggOp::Sum, AggFinalize::None, Activation::None, d)
+            .unwrap();
+        let _s1 = a
+            .try_alloc(1, 1, 1, AggOp::Sum, AggFinalize::None, Activation::None, d)
+            .unwrap();
+        assert!(a
+            .try_alloc(1, 1, 1, AggOp::Sum, AggFinalize::None, Activation::None, d)
+            .is_err());
         assert_eq!(a.stats().4, 1); // one alloc failure
-        // Complete s0, freeing a slot.
+                                    // Complete s0, freeing a slot.
         a.deliver(s0, 0, 1.0, vec![1.0]);
         let _ = run_until_output(&mut a, 0, 64);
-        assert!(a.try_alloc(1, 1, 1, AggOp::Sum, AggFinalize::None, Activation::None, d).is_ok());
+        assert!(a
+            .try_alloc(1, 1, 1, AggOp::Sum, AggFinalize::None, Activation::None, d)
+            .is_ok());
     }
 
     #[test]
@@ -494,7 +571,15 @@ mod tests {
         // A 64-word contribution takes 4 accumulate cycles on 16 ALUs.
         let mut a = agg(64);
         let slot = a
-            .try_alloc(1, 64, 64, AggOp::Sum, AggFinalize::None, Activation::None, Dest::Mem { addr: 0 })
+            .try_alloc(
+                1,
+                64,
+                64,
+                AggOp::Sum,
+                AggFinalize::None,
+                Activation::None,
+                Dest::Mem { addr: 0 },
+            )
             .unwrap();
         a.deliver(slot, 0, 1.0, vec![1.0; 64]);
         let (done, _, _) = run_until_output(&mut a, 0, 64);
@@ -513,7 +598,15 @@ mod tests {
     fn stall_output_requeues() {
         let mut a = agg(2);
         let slot = a
-            .try_alloc(1, 2, 2, AggOp::Sum, AggFinalize::None, Activation::None, Dest::Mem { addr: 0 })
+            .try_alloc(
+                1,
+                2,
+                2,
+                AggOp::Sum,
+                AggFinalize::None,
+                Activation::None,
+                Dest::Mem { addr: 0 },
+            )
             .unwrap();
         a.deliver(slot, 0, 1.0, vec![7.0, 8.0]);
         let (c, dest, data) = run_until_output(&mut a, 0, 64);

@@ -12,6 +12,7 @@
 use crate::msg::Dest;
 use gnna_dnn::{mapper, EyerissConfig, MatmulShape};
 use gnna_models::{GatLayer, Mlp};
+use gnna_telemetry::ModuleProbe;
 use gnna_tensor::ops::{Activation, GruCell};
 use gnna_tensor::Matrix;
 
@@ -202,6 +203,7 @@ pub struct Dna {
     busy_cycles: u64,
     entries_processed: u64,
     macs_executed: u64,
+    probe: Option<ModuleProbe>,
 }
 
 /// Fixed pipeline-fill latency added to every entry (array fill/drain).
@@ -219,7 +221,14 @@ impl Dna {
             busy_cycles: 0,
             entries_processed: 0,
             macs_executed: 0,
+            probe: None,
         }
+    }
+
+    /// Attaches a telemetry probe; job occupancy spans are emitted
+    /// through it. No-op cost when never called.
+    pub fn attach_probe(&mut self, probe: ModuleProbe) {
+        self.probe = Some(probe);
     }
 
     /// Configures the layer's kernels. `batch_hint` is the number of
@@ -274,6 +283,9 @@ impl Dna {
         let macs = k.macs();
         let occupancy = (macs as f64 / self.throughput[kernel as usize]).ceil() as u64;
         self.macs_executed += macs;
+        if let Some(p) = &self.probe {
+            p.begin("dna_job");
+        }
         self.job = Some(Job {
             done_at: now + PIPELINE_LATENCY + occupancy.max(1),
             output,
@@ -294,6 +306,9 @@ impl Dna {
                 if job.done_at <= now {
                     let job = self.job.take().expect("checked");
                     self.entries_processed += 1;
+                    if let Some(p) = &self.probe {
+                        p.end("dna_job");
+                    }
                     self.pending_output = Some((job.dest, job.output));
                 }
             }
@@ -370,7 +385,9 @@ mod tests {
     #[test]
     fn gat_project_layout() {
         let layer = GatLayer::new(6, 4, 2, true, Activation::None, 3).unwrap();
-        let k = DnaKernel::GatProject { layer: layer.clone() };
+        let k = DnaKernel::GatProject {
+            layer: layer.clone(),
+        };
         assert_eq!(k.output_words(), 2 * 4 + 2 + 2);
         let x = vec![0.3; 6];
         let out = k.compute(&x);

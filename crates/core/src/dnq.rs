@@ -12,6 +12,7 @@
 
 use crate::config::DnqParams;
 use crate::msg::Dest;
+use gnna_telemetry::ModuleProbe;
 
 /// One queue entry.
 #[derive(Debug, Clone)]
@@ -64,6 +65,8 @@ pub struct Dnq {
     dequeued: u64,
     switches: u64,
     fill_words: u64,
+    alloc_failures: u64,
+    probe: Option<ModuleProbe>,
 }
 
 impl Dnq {
@@ -85,7 +88,15 @@ impl Dnq {
             dequeued: 0,
             switches: 0,
             fill_words: 0,
+            alloc_failures: 0,
+            probe: None,
         }
+    }
+
+    /// Attaches a telemetry probe; backpressure and queue-switch events
+    /// are emitted through it. No-op cost when never called.
+    pub fn attach_probe(&mut self, probe: ModuleProbe) {
+        self.probe = Some(probe);
     }
 
     /// Configures per-layer entry sizes for the two virtual queues
@@ -151,6 +162,10 @@ impl Dnq {
         let ring = &mut self.rings[q];
         assert!(ring.entry_words > 0, "queue {q} is disabled this layer");
         if ring.len == ring.capacity() {
+            self.alloc_failures += 1;
+            if let Some(p) = &self.probe {
+                p.instant("dnq_alloc_reject");
+            }
             return Err(());
         }
         let idx = ring.tail;
@@ -215,6 +230,9 @@ impl Dnq {
             if self.head_ready(other) {
                 self.active = other;
                 self.switches += 1;
+                if let Some(p) = &self.probe {
+                    p.instant("dnq_switch");
+                }
                 self.dna_idle_streak = 0;
                 return self.pop_ready_head(self.active);
             }
@@ -224,10 +242,7 @@ impl Dnq {
 
     fn head_ready(&self, q: usize) -> bool {
         let ring = &self.rings[q];
-        ring.len > 0
-            && ring.entries[ring.head]
-                .as_ref()
-                .is_some_and(|e| e.ready)
+        ring.len > 0 && ring.entries[ring.head].as_ref().is_some_and(|e| e.ready)
     }
 
     fn pop_ready_head(&mut self, q: usize) -> Option<DequeuedEntry> {
@@ -269,6 +284,12 @@ impl Dnq {
     /// (entries enqueued, dequeued, queue switches, words filled)
     pub fn stats(&self) -> (u64, u64, u64, u64) {
         (self.enqueued, self.dequeued, self.switches, self.fill_words)
+    }
+
+    /// Allocation attempts rejected because a ring was full (GPE
+    /// backpressure events).
+    pub fn alloc_failures(&self) -> u64 {
+        self.alloc_failures
     }
 }
 

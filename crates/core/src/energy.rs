@@ -117,7 +117,8 @@ impl EnergyModel {
         let pj = 1e-12;
         // Each AGG combined word is one ALU op plus a partial read and
         // write; each DNQ fill word is one write plus one dequeue read.
-        let sram_words = 3.0 * report.agg_words_combined as f64 + 2.0 * report.dnq_fill_words as f64;
+        let sram_words =
+            3.0 * report.agg_words_combined as f64 + 2.0 * report.dnq_fill_words as f64;
         EnergyReport {
             compute_j: report.dna_macs as f64 * self.mac_pj * pj,
             aggregation_j: report.agg_words_combined as f64 * self.mac_pj * pj,
@@ -139,6 +140,7 @@ mod tests {
             config_name: "test".into(),
             core_clock_hz: 2.4e9,
             noc_clock_hz: 2.4e9,
+            clock_divider: 1,
             total_cycles: 2_400_000,
             config_cycles: 0,
             layers: vec![],
@@ -156,6 +158,7 @@ mod tests {
             dnq_fill_words: 60_000,
             noc_flit_hops: 200_000,
             num_tiles: 1,
+            per_tile: vec![],
         }
     }
 
@@ -201,10 +204,11 @@ mod tests {
     #[test]
     fn custom_costs_scale_linearly() {
         let base = EnergyModel::default();
-        let double = EnergyModel { dram_byte_pj: base.dram_byte_pj * 2.0, ..base };
+        let double = EnergyModel {
+            dram_byte_pj: base.dram_byte_pj * 2.0,
+            ..base
+        };
         let r = report();
-        assert!(
-            (double.estimate(&r).dram_j - 2.0 * base.estimate(&r).dram_j).abs() < 1e-15
-        );
+        assert!((double.estimate(&r).dram_j - 2.0 * base.estimate(&r).dram_j).abs() < 1e-15);
     }
 }

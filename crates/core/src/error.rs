@@ -32,7 +32,9 @@ pub enum CoreError {
 impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CoreError::InvalidConfig { reason } => write!(f, "invalid accelerator config: {reason}"),
+            CoreError::InvalidConfig { reason } => {
+                write!(f, "invalid accelerator config: {reason}")
+            }
             CoreError::CompileError { reason } => write!(f, "model compilation failed: {reason}"),
             CoreError::Stalled { cycle, detail } => {
                 write!(f, "simulation stalled at cycle {cycle}: {detail}")
@@ -74,9 +76,12 @@ mod tests {
         assert!(CoreError::InvalidConfig { reason: "x".into() }
             .to_string()
             .contains("invalid"));
-        assert!(CoreError::Stalled { cycle: 5, detail: "agg full".into() }
-            .to_string()
-            .contains("cycle 5"));
+        assert!(CoreError::Stalled {
+            cycle: 5,
+            detail: "agg full".into()
+        }
+        .to_string()
+        .contains("cycle 5"));
     }
 
     #[test]

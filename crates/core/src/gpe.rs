@@ -24,6 +24,7 @@ use crate::layers::{Layer, VertexProgram};
 use crate::layout::{BufferRegion, Layout, UnionGraph};
 use crate::msg::{AddressMap, Dest, Message, Tag};
 use gnna_noc::Address;
+use gnna_telemetry::ModuleProbe;
 use gnna_tensor::ops::leaky_relu;
 use std::collections::{HashSet, VecDeque};
 use std::rc::Rc;
@@ -176,6 +177,7 @@ pub struct Gpe {
     outbox: VecDeque<(Address, Message)>,
     outbox_cap: usize,
     stats: GpeStats,
+    probe: Option<ModuleProbe>,
 }
 
 impl Gpe {
@@ -191,7 +193,14 @@ impl Gpe {
             outbox: VecDeque::new(),
             outbox_cap: 8,
             stats: GpeStats::default(),
+            probe: None,
         }
+    }
+
+    /// Attaches a telemetry probe; the GPE emits instant events for
+    /// resource-full stalls and completed vertices.
+    pub fn attach_probe(&mut self, probe: ModuleProbe) {
+        self.probe = Some(probe);
     }
 
     /// Begins a layer over this tile's vertex partition.
@@ -278,11 +287,7 @@ impl Gpe {
         let Some(i) = chosen else {
             // No runnable thread: start a new vertex if possible.
             if let Some(v) = self.work.front().copied() {
-                if let Some(slot) = self
-                    .threads
-                    .iter()
-                    .position(|t| matches!(t, TState::Idle))
-                {
+                if let Some(slot) = self.threads.iter().position(|t| matches!(t, TState::Idle)) {
                     self.work.pop_front();
                     let layer = self.layer.as_ref().expect("layer set").clone();
                     self.threads[slot] = TState::Ready(new_task(v, &layer));
@@ -301,8 +306,7 @@ impl Gpe {
         }
         self.last_executed = Some(i);
         let layer = self.layer.as_ref().expect("layer set").clone();
-        let TState::Ready(mut task) = std::mem::replace(&mut self.threads[i], TState::Idle)
-        else {
+        let TState::Ready(mut task) = std::mem::replace(&mut self.threads[i], TState::Idle) else {
             unreachable!()
         };
         let result = self.step(&mut task, i as u16, &layer, ctx);
@@ -313,6 +317,9 @@ impl Gpe {
             }
             StepResult::Stall => {
                 self.stats.stall_cycles += 1;
+                if let Some(p) = &self.probe {
+                    p.instant("gpe_stall");
+                }
                 self.threads[i] = TState::Ready(task);
                 // Let another thread run next cycle.
                 self.rr = (i + 1) % n;
@@ -325,6 +332,9 @@ impl Gpe {
             StepResult::Done => {
                 self.stats.op_cycles += 1;
                 self.stats.vertices_done += 1;
+                if let Some(p) = &self.probe {
+                    p.instant("gpe_vertex_done");
+                }
                 self.threads[i] = TState::Idle;
                 self.rr = (i + 1) % n;
             }
@@ -380,7 +390,13 @@ impl Gpe {
             }
             let blocking = matches!(
                 (&msg, task.issue_queue.is_empty()),
-                (Message::MemRead { tag: Tag::Gpe { .. }, .. }, true)
+                (
+                    Message::MemRead {
+                        tag: Tag::Gpe { .. },
+                        ..
+                    },
+                    true
+                )
             );
             self.stats.reads_issued += 1;
             self.outbox.push_back((dst, msg));
@@ -406,7 +422,10 @@ impl Gpe {
                         gpe_port,
                         ctx.layout.row_ptr_entry(v),
                         8,
-                        |off| Tag::Gpe { thread, offset: off },
+                        |off| Tag::Gpe {
+                            thread,
+                            offset: off,
+                        },
                     );
                     return StepResult::Progress;
                 }
@@ -430,7 +449,10 @@ impl Gpe {
                         gpe_port,
                         ctx.layout.col_idx_entry(task.edge_base as usize),
                         task.deg as u64 * 4,
-                        |off| Tag::Gpe { thread, offset: off },
+                        |off| Tag::Gpe {
+                            thread,
+                            offset: off,
+                        },
                     );
                     return StepResult::Progress;
                 }
@@ -456,562 +478,700 @@ impl Gpe {
         let v = task.v as usize;
         let buf = |id: usize| -> BufferRegion { ctx.layout.buffers[id] };
         // Move the body state out so the task can be borrowed for reads.
-        let Phase::Body(mut body) = std::mem::replace(
-            &mut task.phase,
-            Phase::FetchRowPtr { issued: true },
-        ) else {
+        let Phase::Body(mut body) =
+            std::mem::replace(&mut task.phase, Phase::FetchRowPtr { issued: true })
+        else {
             unreachable!()
         };
         let body_ref = &mut body;
-        let result = (|| -> StepResult { match (body_ref, &layer.program) {
-            (Body::Project { st, entry }, VertexProgram::Project { src, dst }) => match *st {
-                0 => {
-                    let dest = Dest::Mem { addr: buf(*dst).row_addr(v) };
-                    match ctx.dnq.try_alloc(0, 0, dest) {
-                        Ok(e) => {
-                            *entry = e;
-                            *st = 1;
-                            StepResult::Progress
-                        }
-                        Err(()) => StepResult::Stall,
-                    }
-                }
-                1 => {
-                    let region = buf(*src);
-                    let e = *entry;
-                    Self::enqueue_read(
-                        task,
-                        ctx,
-                        dnq_port,
-                        region.row_addr(v),
-                        region.row_bytes(),
-                        |off| Tag::Dnq { queue: 0, entry: e, offset: off },
-                    );
-                    *st = 2;
-                    StepResult::Progress
-                }
-                // The issue queue drains one command per cycle at the top
-                // of `step`; once empty the vertex is finished.
-                _ => StepResult::Done,
-            },
-            (Body::Aggregate { st, slot, idx }, VertexProgram::Aggregate {
-                src,
-                dst,
-                include_self,
-                op,
-                finalize,
-                activation,
-            }) => match *st {
-                0 => {
-                    let count = task.deg + u32::from(*include_self);
-                    let region = buf(*src);
-                    let dest = Dest::Mem { addr: buf(*dst).row_addr(v) };
-                    match ctx.agg.try_alloc(
-                        count,
-                        region.row_words as u32,
-                        region.row_words as u32,
-                        *op,
-                        *finalize,
-                        *activation,
-                        dest,
-                    ) {
-                        Ok(s) => {
-                            *slot = s;
-                            *st = 1;
-                            if *include_self {
-                                let sl = s;
-                                Self::enqueue_read(
-                                    task,
-                                    ctx,
-                                    agg_port,
-                                    region.row_addr(v),
-                                    region.row_bytes(),
-                                    |off| Tag::Agg { slot: sl, scale: 1.0, offset: off },
-                                );
-                            }
-                            StepResult::Progress
-                        }
-                        Err(()) => StepResult::Stall,
-                    }
-                }
-                _ => {
-                    if *idx < task.deg as usize {
-                        let u = task.neighbors[*idx] as usize;
-                        *idx += 1;
-                        let region = buf(*src);
-                        let sl = *slot;
-                        Self::enqueue_read(
-                            task,
-                            ctx,
-                            agg_port,
-                            region.row_addr(u),
-                            region.row_bytes(),
-                            |off| Tag::Agg { slot: sl, scale: 1.0, offset: off },
-                        );
-                        StepResult::Progress
-                    } else {
-                        StepResult::Done
-                    }
-                }
-            },
-            (
-                Body::Attention { st, slot, idx, head, self_st, cur_t },
-                VertexProgram::AttentionAggregate { z, heads, head_dim, dst, activation },
-            ) => {
-                let zr = buf(*z);
-                let h = *heads;
-                let d = *head_dim;
-                let st_off = (h * d * 4) as u64; // byte offset of [s|t] block
-                match *st {
+        let result = (|| -> StepResult {
+            match (body_ref, &layer.program) {
+                (Body::Project { st, entry }, VertexProgram::Project { src, dst }) => match *st {
                     0 => {
-                        Self::await_words(task, 2 * h);
-                        Self::enqueue_read(
-                            task,
-                            ctx,
-                            gpe_port,
-                            zr.row_addr(v) + st_off,
-                            (2 * h * 4) as u64,
-                            |off| Tag::Gpe { thread, offset: off },
-                        );
-                        *st = 1;
-                        StepResult::Progress
+                        let dest = Dest::Mem {
+                            addr: buf(*dst).row_addr(v),
+                        };
+                        match ctx.dnq.try_alloc(0, 0, dest) {
+                            Ok(e) => {
+                                *entry = e;
+                                *st = 1;
+                                StepResult::Progress
+                            }
+                            Err(()) => StepResult::Stall,
+                        }
                     }
                     1 => {
-                        // Woken with [s | t] of v.
-                        *self_st = task.recv.iter().map(|&w| f32::from_bits(w)).collect();
-                        let count = (task.deg + 1) * h as u32;
-                        let dest = Dest::Mem { addr: buf(*dst).row_addr(v) };
+                        let region = buf(*src);
+                        let e = *entry;
+                        Self::enqueue_read(
+                            task,
+                            ctx,
+                            dnq_port,
+                            region.row_addr(v),
+                            region.row_bytes(),
+                            |off| Tag::Dnq {
+                                queue: 0,
+                                entry: e,
+                                offset: off,
+                            },
+                        );
+                        *st = 2;
+                        StepResult::Progress
+                    }
+                    // The issue queue drains one command per cycle at the top
+                    // of `step`; once empty the vertex is finished.
+                    _ => StepResult::Done,
+                },
+                (
+                    Body::Aggregate { st, slot, idx },
+                    VertexProgram::Aggregate {
+                        src,
+                        dst,
+                        include_self,
+                        op,
+                        finalize,
+                        activation,
+                    },
+                ) => match *st {
+                    0 => {
+                        let count = task.deg + u32::from(*include_self);
+                        let region = buf(*src);
+                        let dest = Dest::Mem {
+                            addr: buf(*dst).row_addr(v),
+                        };
                         match ctx.agg.try_alloc(
                             count,
-                            (h * d) as u32,
-                            d as u32,
-                            AggOp::Sum,
-                            AggFinalize::None,
+                            region.row_words as u32,
+                            region.row_words as u32,
+                            *op,
+                            *finalize,
                             *activation,
                             dest,
                         ) {
                             Ok(s) => {
                                 *slot = s;
-                                *head = 0;
-                                *st = 2;
+                                *st = 1;
+                                if *include_self {
+                                    let sl = s;
+                                    Self::enqueue_read(
+                                        task,
+                                        ctx,
+                                        agg_port,
+                                        region.row_addr(v),
+                                        region.row_bytes(),
+                                        |off| Tag::Agg {
+                                            slot: sl,
+                                            scale: 1.0,
+                                            offset: off,
+                                        },
+                                    );
+                                }
                                 StepResult::Progress
                             }
                             Err(()) => StepResult::Stall,
                         }
                     }
-                    2 => {
-                        // Self contributions, one head per cycle.
-                        let hh = *head;
-                        let scale = leaky_relu(self_st[hh] + self_st[h + hh]);
-                        let sl = *slot;
-                        Self::enqueue_read(
-                            task,
-                            ctx,
-                            agg_port,
-                            zr.row_addr(v) + (hh * d * 4) as u64,
-                            (d * 4) as u64,
-                            |off| Tag::Agg { slot: sl, scale, offset: (hh * d) as u32 + off },
-                        );
-                        *head += 1;
-                        if *head == h {
-                            *idx = 0;
-                            *st = 3;
-                        }
-                        StepResult::Progress
-                    }
-                    3 => {
-                        if *idx >= task.deg as usize {
-                            return StepResult::Done;
-                        }
-                        let u = task.neighbors[*idx] as usize;
-                        Self::await_words(task, h);
-                        Self::enqueue_read(
-                            task,
-                            ctx,
-                            gpe_port,
-                            zr.row_addr(u) + st_off + (h * 4) as u64, // t block
-                            (h * 4) as u64,
-                            |off| Tag::Gpe { thread, offset: off },
-                        );
-                        *head = 0;
-                        *st = 4;
-                        StepResult::Progress
-                    }
                     _ => {
-                        if *head == 0 {
-                            *cur_t = task.recv.iter().map(|&w| f32::from_bits(w)).collect();
-                        }
-                        let u = task.neighbors[*idx] as usize;
-                        let hh = *head;
-                        let scale = leaky_relu(self_st[hh] + cur_t[hh]);
-                        let sl = *slot;
-                        Self::enqueue_read(
-                            task,
-                            ctx,
-                            agg_port,
-                            zr.row_addr(u) + (hh * d * 4) as u64,
-                            (d * 4) as u64,
-                            |off| Tag::Agg { slot: sl, scale, offset: (hh * d) as u32 + off },
-                        );
-                        *head += 1;
-                        if *head == h {
+                        if *idx < task.deg as usize {
+                            let u = task.neighbors[*idx] as usize;
                             *idx += 1;
-                            *st = 3;
+                            let region = buf(*src);
+                            let sl = *slot;
+                            Self::enqueue_read(
+                                task,
+                                ctx,
+                                agg_port,
+                                region.row_addr(u),
+                                region.row_bytes(),
+                                |off| Tag::Agg {
+                                    slot: sl,
+                                    scale: 1.0,
+                                    offset: off,
+                                },
+                            );
+                            StepResult::Progress
+                        } else {
+                            StepResult::Done
                         }
-                        StepResult::Progress
                     }
-                }
-            }
-            (Body::Mpnn { st, e1, slot, idx, e0 }, VertexProgram::MpnnStep { h, edge, dst }) => {
-                let hr = buf(*h);
-                let hidden = hr.row_words;
-                match *st {
-                    0 => match ctx.dnq.try_alloc(1, 1, Dest::Mem { addr: buf(*dst).row_addr(v) }) {
-                        Ok(e) => {
-                            *e1 = e;
+                },
+                (
+                    Body::Attention {
+                        st,
+                        slot,
+                        idx,
+                        head,
+                        self_st,
+                        cur_t,
+                    },
+                    VertexProgram::AttentionAggregate {
+                        z,
+                        heads,
+                        head_dim,
+                        dst,
+                        activation,
+                    },
+                ) => {
+                    let zr = buf(*z);
+                    let h = *heads;
+                    let d = *head_dim;
+                    let st_off = (h * d * 4) as u64; // byte offset of [s|t] block
+                    match *st {
+                        0 => {
+                            Self::await_words(task, 2 * h);
+                            Self::enqueue_read(
+                                task,
+                                ctx,
+                                gpe_port,
+                                zr.row_addr(v) + st_off,
+                                (2 * h * 4) as u64,
+                                |off| Tag::Gpe {
+                                    thread,
+                                    offset: off,
+                                },
+                            );
                             *st = 1;
                             StepResult::Progress
                         }
-                        Err(()) => StepResult::Stall,
+                        1 => {
+                            // Woken with [s | t] of v.
+                            *self_st = task.recv.iter().map(|&w| f32::from_bits(w)).collect();
+                            let count = (task.deg + 1) * h as u32;
+                            let dest = Dest::Mem {
+                                addr: buf(*dst).row_addr(v),
+                            };
+                            match ctx.agg.try_alloc(
+                                count,
+                                (h * d) as u32,
+                                d as u32,
+                                AggOp::Sum,
+                                AggFinalize::None,
+                                *activation,
+                                dest,
+                            ) {
+                                Ok(s) => {
+                                    *slot = s;
+                                    *head = 0;
+                                    *st = 2;
+                                    StepResult::Progress
+                                }
+                                Err(()) => StepResult::Stall,
+                            }
+                        }
+                        2 => {
+                            // Self contributions, one head per cycle.
+                            let hh = *head;
+                            let scale = leaky_relu(self_st[hh] + self_st[h + hh]);
+                            let sl = *slot;
+                            Self::enqueue_read(
+                                task,
+                                ctx,
+                                agg_port,
+                                zr.row_addr(v) + (hh * d * 4) as u64,
+                                (d * 4) as u64,
+                                |off| Tag::Agg {
+                                    slot: sl,
+                                    scale,
+                                    offset: (hh * d) as u32 + off,
+                                },
+                            );
+                            *head += 1;
+                            if *head == h {
+                                *idx = 0;
+                                *st = 3;
+                            }
+                            StepResult::Progress
+                        }
+                        3 => {
+                            if *idx >= task.deg as usize {
+                                return StepResult::Done;
+                            }
+                            let u = task.neighbors[*idx] as usize;
+                            Self::await_words(task, h);
+                            Self::enqueue_read(
+                                task,
+                                ctx,
+                                gpe_port,
+                                zr.row_addr(u) + st_off + (h * 4) as u64, // t block
+                                (h * 4) as u64,
+                                |off| Tag::Gpe {
+                                    thread,
+                                    offset: off,
+                                },
+                            );
+                            *head = 0;
+                            *st = 4;
+                            StepResult::Progress
+                        }
+                        _ => {
+                            if *head == 0 {
+                                *cur_t = task.recv.iter().map(|&w| f32::from_bits(w)).collect();
+                            }
+                            let u = task.neighbors[*idx] as usize;
+                            let hh = *head;
+                            let scale = leaky_relu(self_st[hh] + cur_t[hh]);
+                            let sl = *slot;
+                            Self::enqueue_read(
+                                task,
+                                ctx,
+                                agg_port,
+                                zr.row_addr(u) + (hh * d * 4) as u64,
+                                (d * 4) as u64,
+                                |off| Tag::Agg {
+                                    slot: sl,
+                                    scale,
+                                    offset: (hh * d) as u32 + off,
+                                },
+                            );
+                            *head += 1;
+                            if *head == h {
+                                *idx += 1;
+                                *st = 3;
+                            }
+                            StepResult::Progress
+                        }
+                    }
+                }
+                (
+                    Body::Mpnn {
+                        st,
+                        e1,
+                        slot,
+                        idx,
+                        e0,
                     },
-                    1 => {
-                        let dest = Dest::Port {
-                            addr: dnq_port,
-                            tag: Tag::Dnq { queue: 1, entry: *e1, offset: 0 },
-                        };
-                        match ctx.agg.try_alloc(
-                            task.deg,
-                            hidden as u32,
-                            hidden as u32,
-                            AggOp::Sum,
-                            AggFinalize::None,
-                            gnna_tensor::ops::Activation::None,
-                            dest,
+                    VertexProgram::MpnnStep { h, edge, dst },
+                ) => {
+                    let hr = buf(*h);
+                    let hidden = hr.row_words;
+                    match *st {
+                        0 => match ctx.dnq.try_alloc(
+                            1,
+                            1,
+                            Dest::Mem {
+                                addr: buf(*dst).row_addr(v),
+                            },
                         ) {
-                            Ok(s) => {
-                                *slot = s;
-                                *st = 2;
-                                StepResult::Progress
-                            }
-                            Err(()) => StepResult::Stall,
-                        }
-                    }
-                    2 => {
-                        // h_v fills the second half of the GRU entry.
-                        let e = *e1;
-                        let base = hidden as u32;
-                        Self::enqueue_read(task, ctx, dnq_port, hr.row_addr(v), hr.row_bytes(), |off| {
-                            Tag::Dnq { queue: 1, entry: e, offset: base + off }
-                        });
-                        *idx = 0;
-                        *st = 3;
-                        StepResult::Progress
-                    }
-                    3 => {
-                        if *idx >= task.deg as usize {
-                            return StepResult::Done;
-                        }
-                        let dest = Dest::Port {
-                            addr: agg_port,
-                            tag: Tag::Agg { slot: *slot, scale: 1.0, offset: 0 },
-                        };
-                        match ctx.dnq.try_alloc(0, 0, dest) {
                             Ok(e) => {
-                                *e0 = e;
-                                *st = 4;
+                                *e1 = e;
+                                *st = 1;
                                 StepResult::Progress
                             }
                             Err(()) => StepResult::Stall,
+                        },
+                        1 => {
+                            let dest = Dest::Port {
+                                addr: dnq_port,
+                                tag: Tag::Dnq {
+                                    queue: 1,
+                                    entry: *e1,
+                                    offset: 0,
+                                },
+                            };
+                            match ctx.agg.try_alloc(
+                                task.deg,
+                                hidden as u32,
+                                hidden as u32,
+                                AggOp::Sum,
+                                AggFinalize::None,
+                                gnna_tensor::ops::Activation::None,
+                                dest,
+                            ) {
+                                Ok(s) => {
+                                    *slot = s;
+                                    *st = 2;
+                                    StepResult::Progress
+                                }
+                                Err(()) => StepResult::Stall,
+                            }
                         }
-                    }
-                    4 => {
-                        let u = task.neighbors[*idx] as usize;
-                        let e = *e0;
-                        Self::enqueue_read(task, ctx, dnq_port, hr.row_addr(u), hr.row_bytes(), |off| {
-                            Tag::Dnq { queue: 0, entry: e, offset: off }
-                        });
-                        if let Some(eb) = edge {
-                            let er = buf(*eb);
-                            let eid = task.edge_base as usize + *idx;
+                        2 => {
+                            // h_v fills the second half of the GRU entry.
+                            let e = *e1;
                             let base = hidden as u32;
                             Self::enqueue_read(
                                 task,
                                 ctx,
                                 dnq_port,
-                                er.row_addr(eid),
-                                er.row_bytes(),
-                                |off| Tag::Dnq { queue: 0, entry: e, offset: base + off },
+                                hr.row_addr(v),
+                                hr.row_bytes(),
+                                |off| Tag::Dnq {
+                                    queue: 1,
+                                    entry: e,
+                                    offset: base + off,
+                                },
                             );
-                        }
-                        *idx += 1;
-                        *st = 3;
-                        StepResult::Progress
-                    }
-                    _ => unreachable!(),
-                }
-            }
-            (Body::Readout { st, entry }, VertexProgram::Readout { h, dst }) => {
-                let g = ctx.union.graph_of_vertex[v] as usize;
-                let hr = buf(*h);
-                match *st {
-                    0 => {
-                        if ctx.board[g].is_some() {
+                            *idx = 0;
                             *st = 3;
-                            return StepResult::Progress;
-                        }
-                        if ctx.union.graph_base[g] as usize == v {
-                            *st = 1;
-                            StepResult::Progress
-                        } else {
-                            // Owner has not allocated yet; spin.
-                            StepResult::Stall
-                        }
-                    }
-                    1 => match ctx.dnq.try_alloc(0, 0, Dest::Mem { addr: buf(*dst).row_addr(g) }) {
-                        Ok(e) => {
-                            *entry = e;
-                            *st = 2;
                             StepResult::Progress
                         }
-                        Err(()) => StepResult::Stall,
-                    },
-                    2 => {
-                        let dest = Dest::Port {
-                            addr: dnq_port,
-                            tag: Tag::Dnq { queue: 0, entry: *entry, offset: 0 },
-                        };
-                        match ctx.agg.try_alloc(
-                            ctx.union.graph_sizes[g],
-                            hr.row_words as u32,
-                            hr.row_words as u32,
-                            AggOp::Sum,
-                            AggFinalize::None,
-                            gnna_tensor::ops::Activation::None,
-                            dest,
-                        ) {
-                            Ok(s) => {
-                                ctx.board[g] = Some((agg_port, s));
-                                *st = 3;
-                                StepResult::Progress
+                        3 => {
+                            if *idx >= task.deg as usize {
+                                return StepResult::Done;
                             }
-                            Err(()) => StepResult::Stall,
+                            let dest = Dest::Port {
+                                addr: agg_port,
+                                tag: Tag::Agg {
+                                    slot: *slot,
+                                    scale: 1.0,
+                                    offset: 0,
+                                },
+                            };
+                            match ctx.dnq.try_alloc(0, 0, dest) {
+                                Ok(e) => {
+                                    *e0 = e;
+                                    *st = 4;
+                                    StepResult::Progress
+                                }
+                                Err(()) => StepResult::Stall,
+                            }
                         }
+                        4 => {
+                            let u = task.neighbors[*idx] as usize;
+                            let e = *e0;
+                            Self::enqueue_read(
+                                task,
+                                ctx,
+                                dnq_port,
+                                hr.row_addr(u),
+                                hr.row_bytes(),
+                                |off| Tag::Dnq {
+                                    queue: 0,
+                                    entry: e,
+                                    offset: off,
+                                },
+                            );
+                            if let Some(eb) = edge {
+                                let er = buf(*eb);
+                                let eid = task.edge_base as usize + *idx;
+                                let base = hidden as u32;
+                                Self::enqueue_read(
+                                    task,
+                                    ctx,
+                                    dnq_port,
+                                    er.row_addr(eid),
+                                    er.row_bytes(),
+                                    |off| Tag::Dnq {
+                                        queue: 0,
+                                        entry: e,
+                                        offset: base + off,
+                                    },
+                                );
+                            }
+                            *idx += 1;
+                            *st = 3;
+                            StepResult::Progress
+                        }
+                        _ => unreachable!(),
                     }
-                    3 => {
-                        let (agg_at, slot) = ctx.board[g].expect("board set");
-                        Self::enqueue_read(task, ctx, agg_at, hr.row_addr(v), hr.row_bytes(), |off| {
-                            Tag::Agg { slot, scale: 1.0, offset: off }
-                        });
-                        *st = 4;
-                        StepResult::Progress
-                    }
-                    _ => StepResult::Done,
                 }
-            }
-            (
-                Body::Power {
-                    st,
-                    pi,
-                    out_slot,
-                    frontier,
-                    next,
-                    seen,
-                    fi,
-                    wi,
-                    hop,
-                    set,
-                    entry,
-                    gather_slot,
-                    idx,
-                    u_deg,
-                    u_base,
-                },
-                VertexProgram::PowerGather { src, dst, powers, activation },
-            ) => {
-                let sr = buf(*src);
-                let out_words = buf(*dst).row_words as u32;
-                match *st {
-                    0 => {
-                        let dest = Dest::Mem { addr: buf(*dst).row_addr(v) };
-                        match ctx.agg.try_alloc(
-                            powers.len() as u32,
-                            out_words,
-                            out_words,
-                            AggOp::Sum,
-                            AggFinalize::None,
-                            *activation,
-                            dest,
-                        ) {
-                            Ok(s) => {
-                                *out_slot = s;
-                                *pi = 0;
+                (Body::Readout { st, entry }, VertexProgram::Readout { h, dst }) => {
+                    let g = ctx.union.graph_of_vertex[v] as usize;
+                    let hr = buf(*h);
+                    match *st {
+                        0 => {
+                            if ctx.board[g].is_some() {
+                                *st = 3;
+                                return StepResult::Progress;
+                            }
+                            if ctx.union.graph_base[g] as usize == v {
                                 *st = 1;
                                 StepResult::Progress
+                            } else {
+                                // Owner has not allocated yet; spin.
+                                StepResult::Stall
+                            }
+                        }
+                        1 => match ctx.dnq.try_alloc(
+                            0,
+                            0,
+                            Dest::Mem {
+                                addr: buf(*dst).row_addr(g),
+                            },
+                        ) {
+                            Ok(e) => {
+                                *entry = e;
+                                *st = 2;
+                                StepResult::Progress
                             }
                             Err(()) => StepResult::Stall,
+                        },
+                        2 => {
+                            let dest = Dest::Port {
+                                addr: dnq_port,
+                                tag: Tag::Dnq {
+                                    queue: 0,
+                                    entry: *entry,
+                                    offset: 0,
+                                },
+                            };
+                            match ctx.agg.try_alloc(
+                                ctx.union.graph_sizes[g],
+                                hr.row_words as u32,
+                                hr.row_words as u32,
+                                AggOp::Sum,
+                                AggFinalize::None,
+                                gnna_tensor::ops::Activation::None,
+                                dest,
+                            ) {
+                                Ok(s) => {
+                                    ctx.board[g] = Some((agg_port, s));
+                                    *st = 3;
+                                    StepResult::Progress
+                                }
+                                Err(()) => StepResult::Stall,
+                            }
                         }
+                        3 => {
+                            let (agg_at, slot) = ctx.board[g].expect("board set");
+                            Self::enqueue_read(
+                                task,
+                                ctx,
+                                agg_at,
+                                hr.row_addr(v),
+                                hr.row_bytes(),
+                                |off| Tag::Agg {
+                                    slot,
+                                    scale: 1.0,
+                                    offset: off,
+                                },
+                            );
+                            *st = 4;
+                            StepResult::Progress
+                        }
+                        _ => StepResult::Done,
                     }
-                    1 => {
-                        // Begin power `powers[*pi]`.
-                        let k = powers[*pi];
-                        match k {
-                            0 => {
-                                *set = vec![task.v];
-                                *st = 5;
+                }
+                (
+                    Body::Power {
+                        st,
+                        pi,
+                        out_slot,
+                        frontier,
+                        next,
+                        seen,
+                        fi,
+                        wi,
+                        hop,
+                        set,
+                        entry,
+                        gather_slot,
+                        idx,
+                        u_deg,
+                        u_base,
+                    },
+                    VertexProgram::PowerGather {
+                        src,
+                        dst,
+                        powers,
+                        activation,
+                    },
+                ) => {
+                    let sr = buf(*src);
+                    let out_words = buf(*dst).row_words as u32;
+                    match *st {
+                        0 => {
+                            let dest = Dest::Mem {
+                                addr: buf(*dst).row_addr(v),
+                            };
+                            match ctx.agg.try_alloc(
+                                powers.len() as u32,
+                                out_words,
+                                out_words,
+                                AggOp::Sum,
+                                AggFinalize::None,
+                                *activation,
+                                dest,
+                            ) {
+                                Ok(s) => {
+                                    *out_slot = s;
+                                    *pi = 0;
+                                    *st = 1;
+                                    StepResult::Progress
+                                }
+                                Err(()) => StepResult::Stall,
                             }
-                            1 => {
-                                *set = task.neighbors.clone();
-                                *st = 5;
+                        }
+                        1 => {
+                            // Begin power `powers[*pi]`.
+                            let k = powers[*pi];
+                            match k {
+                                0 => {
+                                    *set = vec![task.v];
+                                    *st = 5;
+                                }
+                                1 => {
+                                    *set = task.neighbors.clone();
+                                    *st = 5;
+                                }
+                                _ => {
+                                    *frontier = task.neighbors.clone();
+                                    next.clear();
+                                    seen.clear();
+                                    *fi = 0;
+                                    *hop = 1;
+                                    *st = 2;
+                                }
                             }
-                            _ => {
-                                *frontier = task.neighbors.clone();
-                                next.clear();
+                            StepResult::Progress
+                        }
+                        2 => {
+                            let k = powers[*pi];
+                            if *hop as usize == k as usize {
+                                *set = frontier.clone();
+                                *st = 5;
+                                return StepResult::Progress;
+                            }
+                            if *fi < frontier.len() {
+                                // Fetch row_ptr of the next frontier vertex.
+                                let u = frontier[*fi] as usize;
+                                Self::await_words(task, 2);
+                                Self::enqueue_read(
+                                    task,
+                                    ctx,
+                                    gpe_port,
+                                    ctx.layout.row_ptr_entry(u),
+                                    8,
+                                    |off| Tag::Gpe {
+                                        thread,
+                                        offset: off,
+                                    },
+                                );
+                                *st = 3;
+                                StepResult::Progress
+                            } else {
+                                // Advance a hop.
+                                next.sort_unstable();
+                                *frontier = std::mem::take(next);
                                 seen.clear();
                                 *fi = 0;
-                                *hop = 1;
-                                *st = 2;
+                                *hop += 1;
+                                StepResult::Progress
                             }
                         }
-                        StepResult::Progress
-                    }
-                    2 => {
-                        let k = powers[*pi];
-                        if *hop as usize == k as usize {
-                            *set = frontier.clone();
-                            *st = 5;
-                            return StepResult::Progress;
-                        }
-                        if *fi < frontier.len() {
-                            // Fetch row_ptr of the next frontier vertex.
-                            let u = frontier[*fi] as usize;
-                            Self::await_words(task, 2);
+                        3 => {
+                            // Woken with row pointers of frontier[*fi].
+                            *u_base = task.recv[0];
+                            *u_deg = task.recv[1] - task.recv[0];
+                            if *u_deg == 0 {
+                                *fi += 1;
+                                *st = 2;
+                                return StepResult::Progress;
+                            }
+                            Self::await_words(task, *u_deg as usize);
+                            let base = *u_base as usize;
+                            let bytes = *u_deg as u64 * 4;
                             Self::enqueue_read(
                                 task,
                                 ctx,
                                 gpe_port,
-                                ctx.layout.row_ptr_entry(u),
-                                8,
-                                |off| Tag::Gpe { thread, offset: off },
+                                ctx.layout.col_idx_entry(base),
+                                bytes,
+                                |off| Tag::Gpe {
+                                    thread,
+                                    offset: off,
+                                },
                             );
-                            *st = 3;
-                            StepResult::Progress
-                        } else {
-                            // Advance a hop.
-                            next.sort_unstable();
-                            *frontier = std::mem::take(next);
-                            seen.clear();
-                            *fi = 0;
-                            *hop += 1;
+                            *wi = 0;
+                            *st = 4;
                             StepResult::Progress
                         }
-                    }
-                    3 => {
-                        // Woken with row pointers of frontier[*fi].
-                        *u_base = task.recv[0];
-                        *u_deg = task.recv[1] - task.recv[0];
-                        if *u_deg == 0 {
-                            *fi += 1;
-                            *st = 2;
-                            return StepResult::Progress;
-                        }
-                        Self::await_words(task, *u_deg as usize);
-                        let base = *u_base as usize;
-                        let bytes = *u_deg as u64 * 4;
-                        Self::enqueue_read(
-                            task,
-                            ctx,
-                            gpe_port,
-                            ctx.layout.col_idx_entry(base),
-                            bytes,
-                            |off| Tag::Gpe { thread, offset: off },
-                        );
-                        *wi = 0;
-                        *st = 4;
-                        StepResult::Progress
-                    }
-                    4 => {
-                        // Dedup-insert one candidate per cycle (ALU work).
-                        if *wi < task.recv.len() {
-                            let w = task.recv[*wi];
-                            *wi += 1;
-                            if seen.insert(w) {
-                                next.push(w);
-                            }
-                            StepResult::Progress
-                        } else {
-                            *fi += 1;
-                            *st = 2;
-                            StepResult::Progress
-                        }
-                    }
-                    5 => {
-                        // Allocate the DNQ entry for this power's kernel.
-                        let dest = Dest::Port {
-                            addr: agg_port,
-                            tag: Tag::Agg { slot: *out_slot, scale: 1.0, offset: 0 },
-                        };
-                        match ctx.dnq.try_alloc(0, *pi as u8, dest) {
-                            Ok(e) => {
-                                *entry = e;
-                                *st = 6;
-                                StepResult::Progress
-                            }
-                            Err(()) => StepResult::Stall,
-                        }
-                    }
-                    6 => {
-                        let dest = Dest::Port {
-                            addr: dnq_port,
-                            tag: Tag::Dnq { queue: 0, entry: *entry, offset: 0 },
-                        };
-                        match ctx.agg.try_alloc(
-                            set.len() as u32,
-                            sr.row_words as u32,
-                            sr.row_words as u32,
-                            AggOp::Sum,
-                            AggFinalize::None,
-                            gnna_tensor::ops::Activation::None,
-                            dest,
-                        ) {
-                            Ok(s) => {
-                                *gather_slot = s;
-                                *idx = 0;
-                                *st = 7;
-                                StepResult::Progress
-                            }
-                            Err(()) => StepResult::Stall,
-                        }
-                    }
-                    _ => {
-                        if *idx < set.len() {
-                            let w = set[*idx] as usize;
-                            *idx += 1;
-                            let sl = *gather_slot;
-                            Self::enqueue_read(
-                                task,
-                                ctx,
-                                agg_port,
-                                sr.row_addr(w),
-                                sr.row_bytes(),
-                                |off| Tag::Agg { slot: sl, scale: 1.0, offset: off },
-                            );
-                            StepResult::Progress
-                        } else {
-                            *pi += 1;
-                            if *pi < powers.len() {
-                                *st = 1;
+                        4 => {
+                            // Dedup-insert one candidate per cycle (ALU work).
+                            if *wi < task.recv.len() {
+                                let w = task.recv[*wi];
+                                *wi += 1;
+                                if seen.insert(w) {
+                                    next.push(w);
+                                }
                                 StepResult::Progress
                             } else {
-                                StepResult::Done
+                                *fi += 1;
+                                *st = 2;
+                                StepResult::Progress
+                            }
+                        }
+                        5 => {
+                            // Allocate the DNQ entry for this power's kernel.
+                            let dest = Dest::Port {
+                                addr: agg_port,
+                                tag: Tag::Agg {
+                                    slot: *out_slot,
+                                    scale: 1.0,
+                                    offset: 0,
+                                },
+                            };
+                            match ctx.dnq.try_alloc(0, *pi as u8, dest) {
+                                Ok(e) => {
+                                    *entry = e;
+                                    *st = 6;
+                                    StepResult::Progress
+                                }
+                                Err(()) => StepResult::Stall,
+                            }
+                        }
+                        6 => {
+                            let dest = Dest::Port {
+                                addr: dnq_port,
+                                tag: Tag::Dnq {
+                                    queue: 0,
+                                    entry: *entry,
+                                    offset: 0,
+                                },
+                            };
+                            match ctx.agg.try_alloc(
+                                set.len() as u32,
+                                sr.row_words as u32,
+                                sr.row_words as u32,
+                                AggOp::Sum,
+                                AggFinalize::None,
+                                gnna_tensor::ops::Activation::None,
+                                dest,
+                            ) {
+                                Ok(s) => {
+                                    *gather_slot = s;
+                                    *idx = 0;
+                                    *st = 7;
+                                    StepResult::Progress
+                                }
+                                Err(()) => StepResult::Stall,
+                            }
+                        }
+                        _ => {
+                            if *idx < set.len() {
+                                let w = set[*idx] as usize;
+                                *idx += 1;
+                                let sl = *gather_slot;
+                                Self::enqueue_read(
+                                    task,
+                                    ctx,
+                                    agg_port,
+                                    sr.row_addr(w),
+                                    sr.row_bytes(),
+                                    |off| Tag::Agg {
+                                        slot: sl,
+                                        scale: 1.0,
+                                        offset: off,
+                                    },
+                                );
+                                StepResult::Progress
+                            } else {
+                                *pi += 1;
+                                if *pi < powers.len() {
+                                    *st = 1;
+                                    StepResult::Progress
+                                } else {
+                                    StepResult::Done
+                                }
                             }
                         }
                     }
                 }
+                (body, program) => {
+                    unreachable!("body/program mismatch: {body:?} vs {program:?} — compiler bug")
+                }
             }
-            (body, program) => unreachable!(
-                "body/program mismatch: {body:?} vs {program:?} — compiler bug"
-            ),
-        } })();
+        })();
         task.phase = Phase::Body(body);
         result
     }
@@ -1046,7 +1206,11 @@ fn new_task(v: u32, layer: &Layer) -> Task {
 fn new_body(program: &VertexProgram) -> Body {
     match program {
         VertexProgram::Project { .. } => Body::Project { st: 0, entry: 0 },
-        VertexProgram::Aggregate { .. } => Body::Aggregate { st: 0, slot: 0, idx: 0 },
+        VertexProgram::Aggregate { .. } => Body::Aggregate {
+            st: 0,
+            slot: 0,
+            idx: 0,
+        },
         VertexProgram::AttentionAggregate { .. } => Body::Attention {
             st: 0,
             slot: 0,
@@ -1055,7 +1219,13 @@ fn new_body(program: &VertexProgram) -> Body {
             self_st: Vec::new(),
             cur_t: Vec::new(),
         },
-        VertexProgram::MpnnStep { .. } => Body::Mpnn { st: 0, e1: 0, slot: 0, idx: 0, e0: 0 },
+        VertexProgram::MpnnStep { .. } => Body::Mpnn {
+            st: 0,
+            e1: 0,
+            slot: 0,
+            idx: 0,
+            e0: 0,
+        },
         VertexProgram::Readout { .. } => Body::Readout { st: 0, entry: 0 },
         VertexProgram::PowerGather { .. } => Body::Power {
             st: 0,
@@ -1117,7 +1287,11 @@ mod tests {
         )
         .unwrap();
         let x = Matrix::from_fn(6, 4, |i, j| (i * 4 + j) as f32);
-        let inst = GraphInstance { graph, x, edge_features: None };
+        let inst = GraphInstance {
+            graph,
+            x,
+            edge_features: None,
+        };
         let union = UnionGraph::build(std::slice::from_ref(&inst));
         let mut image = MemImage::new();
         let layout = Layout::build(&mut image, &union, buffers);
@@ -1178,7 +1352,13 @@ mod tests {
 
     #[test]
     fn idle_gpe_counts_idle_cycles() {
-        let mut h = harness(2, &[BufferSpec { rows: Rows::PerVertex, row_words: 4 }]);
+        let mut h = harness(
+            2,
+            &[BufferSpec {
+                rows: Rows::PerVertex,
+                row_words: 4,
+            }],
+        );
         h.gpe.start_layer(project_layer(), []);
         for _ in 0..5 {
             tick(&mut h);
@@ -1190,8 +1370,14 @@ mod tests {
     #[test]
     fn project_issues_dnq_tagged_reads() {
         let buffers = [
-            BufferSpec { rows: Rows::PerVertex, row_words: 4 },
-            BufferSpec { rows: Rows::PerVertex, row_words: 2 },
+            BufferSpec {
+                rows: Rows::PerVertex,
+                row_words: 4,
+            },
+            BufferSpec {
+                rows: Rows::PerVertex,
+                row_words: 2,
+            },
         ];
         let mut h = harness(1, &buffers);
         h.dnq.configure([4, 0]);
@@ -1210,10 +1396,22 @@ mod tests {
         let (dst, msg) = &reads[0];
         assert_eq!(*dst, Address::new(0, 0, 0), "read goes to the memory node");
         match msg {
-            Message::MemRead { bytes, reply_to, tag, .. } => {
+            Message::MemRead {
+                bytes,
+                reply_to,
+                tag,
+                ..
+            } => {
                 assert_eq!(*bytes, 16);
                 assert_eq!(*reply_to, ports().dnq, "response routed to the DNQ");
-                assert!(matches!(tag, Tag::Dnq { queue: 0, offset: 0, .. }));
+                assert!(matches!(
+                    tag,
+                    Tag::Dnq {
+                        queue: 0,
+                        offset: 0,
+                        ..
+                    }
+                ));
             }
             other => panic!("expected MemRead, got {other:?}"),
         }
@@ -1224,18 +1422,27 @@ mod tests {
     #[test]
     fn aggregate_fetches_structure_then_issues_neighbor_reads() {
         let buffers = [
-            BufferSpec { rows: Rows::PerVertex, row_words: 4 },
-            BufferSpec { rows: Rows::PerVertex, row_words: 4 },
+            BufferSpec {
+                rows: Rows::PerVertex,
+                row_words: 4,
+            },
+            BufferSpec {
+                rows: Rows::PerVertex,
+                row_words: 4,
+            },
         ];
         let mut h = harness(1, &buffers);
         h.agg.configure(4);
         h.gpe.start_layer(aggregate_layer(), [2u32]); // vertex 2 has deg 2
-        // Run until the row-pointer read is issued.
+                                                      // Run until the row-pointer read is issued.
         for _ in 0..4 {
             tick(&mut h);
         }
         let (_, msg) = h.gpe.pop_outgoing().expect("row-pointer read");
-        let Message::MemRead { addr, bytes, tag, .. } = msg else {
+        let Message::MemRead {
+            addr, bytes, tag, ..
+        } = msg
+        else {
             panic!("expected MemRead");
         };
         assert_eq!(addr, h.layout.row_ptr_entry(2));
@@ -1256,7 +1463,13 @@ mod tests {
             tick(&mut h);
         }
         let (_, msg) = h.gpe.pop_outgoing().expect("neighbor-list read");
-        let Message::MemRead { addr, bytes, tag: Tag::Gpe { thread, .. }, .. } = msg else {
+        let Message::MemRead {
+            addr,
+            bytes,
+            tag: Tag::Gpe { thread, .. },
+            ..
+        } = msg
+        else {
             panic!("expected GPE-tagged MemRead");
         };
         assert_eq!(addr, h.layout.col_idx_entry(base as usize));
@@ -1284,8 +1497,14 @@ mod tests {
         // With 4 threads, four vertices should all reach their blocking
         // row-pointer read without any response arriving.
         let buffers = [
-            BufferSpec { rows: Rows::PerVertex, row_words: 4 },
-            BufferSpec { rows: Rows::PerVertex, row_words: 4 },
+            BufferSpec {
+                rows: Rows::PerVertex,
+                row_words: 4,
+            },
+            BufferSpec {
+                rows: Rows::PerVertex,
+                row_words: 4,
+            },
         ];
         let mut h = harness(4, &buffers);
         h.agg.configure(4);
@@ -1295,7 +1514,13 @@ mod tests {
         }
         let mut rowptr_reads = 0;
         while let Some((_, msg)) = h.gpe.pop_outgoing() {
-            if matches!(msg, Message::MemRead { tag: Tag::Gpe { .. }, .. }) {
+            if matches!(
+                msg,
+                Message::MemRead {
+                    tag: Tag::Gpe { .. },
+                    ..
+                }
+            ) {
                 rowptr_reads += 1;
             }
         }
@@ -1306,8 +1531,14 @@ mod tests {
     #[test]
     fn stall_when_dnq_full_then_recover() {
         let buffers = [
-            BufferSpec { rows: Rows::PerVertex, row_words: 4 },
-            BufferSpec { rows: Rows::PerVertex, row_words: 2 },
+            BufferSpec {
+                rows: Rows::PerVertex,
+                row_words: 4,
+            },
+            BufferSpec {
+                rows: Rows::PerVertex,
+                row_words: 2,
+            },
         ];
         let mut h = harness(2, &buffers);
         // A DNQ sized for exactly one in-flight entry.
@@ -1338,8 +1569,14 @@ mod tests {
     #[should_panic(expected = "layer started while GPE busy")]
     fn start_layer_while_busy_panics() {
         let buffers = [
-            BufferSpec { rows: Rows::PerVertex, row_words: 4 },
-            BufferSpec { rows: Rows::PerVertex, row_words: 2 },
+            BufferSpec {
+                rows: Rows::PerVertex,
+                row_words: 4,
+            },
+            BufferSpec {
+                rows: Rows::PerVertex,
+                row_words: 2,
+            },
         ];
         let mut h = harness(1, &buffers);
         h.dnq.configure([4, 0]);
@@ -1350,11 +1587,13 @@ mod tests {
 
     #[test]
     fn deliver_to_idle_thread_panics() {
-        let buffers = [BufferSpec { rows: Rows::PerVertex, row_words: 4 }];
+        let buffers = [BufferSpec {
+            rows: Rows::PerVertex,
+            row_words: 4,
+        }];
         let mut h = harness(1, &buffers);
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            h.gpe.deliver(0, 0, &[1])
-        }));
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| h.gpe.deliver(0, 0, &[1])));
         assert!(result.is_err());
     }
 }

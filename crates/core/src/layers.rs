@@ -118,7 +118,10 @@ pub enum VertexProgram {
 impl VertexProgram {
     /// Whether the prologue must fetch the vertex's neighbor list.
     pub fn needs_structure(&self) -> bool {
-        !matches!(self, VertexProgram::Project { .. } | VertexProgram::Readout { .. })
+        !matches!(
+            self,
+            VertexProgram::Project { .. } | VertexProgram::Readout { .. }
+        )
     }
 }
 
@@ -185,9 +188,12 @@ impl CompiledProgram {
                 VertexProgram::Project { src, dst } => {
                     check(*src, "src")?;
                     check(*dst, "dst")?;
-                    let k = layer.kernels.first().ok_or_else(|| CoreError::CompileError {
-                        reason: format!("{}: project layer needs kernel 0", layer.name),
-                    })?;
+                    let k = layer
+                        .kernels
+                        .first()
+                        .ok_or_else(|| CoreError::CompileError {
+                            reason: format!("{}: project layer needs kernel 0", layer.name),
+                        })?;
                     if k.input_words() != self.buffers[*src].row_words
                         || k.output_words() != self.buffers[*dst].row_words
                     {
@@ -205,7 +211,13 @@ impl CompiledProgram {
                         });
                     }
                 }
-                VertexProgram::AttentionAggregate { z, heads, head_dim, dst, .. } => {
+                VertexProgram::AttentionAggregate {
+                    z,
+                    heads,
+                    head_dim,
+                    dst,
+                    ..
+                } => {
                     check(*z, "z")?;
                     check(*dst, "dst")?;
                     if self.buffers[*z].row_words != heads * (head_dim + 2) {
@@ -235,7 +247,9 @@ impl CompiledProgram {
                     check(*h, "h")?;
                     check(*dst, "dst")?;
                 }
-                VertexProgram::PowerGather { src, dst, powers, .. } => {
+                VertexProgram::PowerGather {
+                    src, dst, powers, ..
+                } => {
                     check(*src, "src")?;
                     check(*dst, "dst")?;
                     if layer.kernels.len() != powers.len() {
@@ -261,9 +275,10 @@ impl CompiledProgram {
 pub fn compile_gcn(gcn: &Gcn) -> Result<CompiledProgram, CoreError> {
     if gcn.norm() != gnna_models::GcnNorm::Mean {
         return Err(CoreError::CompileError {
-            reason: "the accelerator maps GCN with mean aggregation; use .with_norm(GcnNorm::Mean) \
+            reason:
+                "the accelerator maps GCN with mean aggregation; use .with_norm(GcnNorm::Mean) \
                      (see DESIGN.md §2)"
-                .into(),
+                    .into(),
         });
     }
     let mut buffers = vec![BufferSpec {
@@ -274,13 +289,22 @@ pub fn compile_gcn(gcn: &Gcn) -> Result<CompiledProgram, CoreError> {
     let mut src = 0;
     for (i, l) in gcn.layers().iter().enumerate() {
         // Projected buffer then aggregated buffer.
-        buffers.push(BufferSpec { rows: Rows::PerVertex, row_words: l.output_dim() });
+        buffers.push(BufferSpec {
+            rows: Rows::PerVertex,
+            row_words: l.output_dim(),
+        });
         let projected = buffers.len() - 1;
-        buffers.push(BufferSpec { rows: Rows::PerVertex, row_words: l.output_dim() });
+        buffers.push(BufferSpec {
+            rows: Rows::PerVertex,
+            row_words: l.output_dim(),
+        });
         let aggregated = buffers.len() - 1;
         layers.push(Layer {
             name: format!("gcn{i}.project"),
-            program: VertexProgram::Project { src, dst: projected },
+            program: VertexProgram::Project {
+                src,
+                dst: projected,
+            },
             kernels: vec![DnaKernel::Linear {
                 w: l.weight.clone(),
                 bias: None,
@@ -339,9 +363,15 @@ pub fn compile_gat(gat: &Gat) -> Result<CompiledProgram, CoreError> {
         }
         let heads = l.heads();
         let d = l.head_dim();
-        buffers.push(BufferSpec { rows: Rows::PerVertex, row_words: heads * (d + 2) });
+        buffers.push(BufferSpec {
+            rows: Rows::PerVertex,
+            row_words: heads * (d + 2),
+        });
         let z = buffers.len() - 1;
-        buffers.push(BufferSpec { rows: Rows::PerVertex, row_words: heads * d });
+        buffers.push(BufferSpec {
+            rows: Rows::PerVertex,
+            row_words: heads * d,
+        });
         let out = buffers.len() - 1;
         layers.push(Layer {
             name: format!("gat{i}.project"),
@@ -389,17 +419,29 @@ pub fn compile_mpnn(mpnn: &Mpnn) -> Result<CompiledProgram, CoreError> {
         row_words: mpnn.input_dim(),
     }];
     let edge_buffer = if e_dim > 0 {
-        buffers.push(BufferSpec { rows: Rows::PerEdge, row_words: e_dim });
+        buffers.push(BufferSpec {
+            rows: Rows::PerEdge,
+            row_words: e_dim,
+        });
         Some(buffers.len() - 1)
     } else {
         None
     };
     // Ping-pong hidden-state buffers.
-    buffers.push(BufferSpec { rows: Rows::PerVertex, row_words: hidden });
+    buffers.push(BufferSpec {
+        rows: Rows::PerVertex,
+        row_words: hidden,
+    });
     let h_a = buffers.len() - 1;
-    buffers.push(BufferSpec { rows: Rows::PerVertex, row_words: hidden });
+    buffers.push(BufferSpec {
+        rows: Rows::PerVertex,
+        row_words: hidden,
+    });
     let h_b = buffers.len() - 1;
-    buffers.push(BufferSpec { rows: Rows::PerGraph, row_words: mpnn.output_dim() });
+    buffers.push(BufferSpec {
+        rows: Rows::PerGraph,
+        row_words: mpnn.output_dim(),
+    });
     let out = buffers.len() - 1;
 
     let mut layers = vec![Layer {
@@ -431,7 +473,9 @@ pub fn compile_mpnn(mpnn: &Mpnn) -> Result<CompiledProgram, CoreError> {
                         hidden,
                     },
                 },
-                DnaKernel::Gru { cell: mpnn.gru().clone() },
+                DnaKernel::Gru {
+                    cell: mpnn.gru().clone(),
+                },
             ],
             dnq_entry_words: [hidden + e_dim, 2 * hidden],
             agg_entry_words: hidden,
@@ -478,7 +522,10 @@ pub fn compile_pgnn(pgnn: &Pgnn) -> Result<CompiledProgram, CoreError> {
     let mut layers = Vec::new();
     let mut src = 0;
     for (i, l) in pgnn.layers().iter().enumerate() {
-        buffers.push(BufferSpec { rows: Rows::PerVertex, row_words: l.output_dim() });
+        buffers.push(BufferSpec {
+            rows: Rows::PerVertex,
+            row_words: l.output_dim(),
+        });
         let dst = buffers.len() - 1;
         layers.push(Layer {
             name: format!("pgnn{i}.powers"),
@@ -519,7 +566,9 @@ mod tests {
 
     #[test]
     fn gcn_compiles_to_project_aggregate_pairs() {
-        let gcn = Gcn::for_dataset(8, 4, 3, 1).unwrap().with_norm(GcnNorm::Mean);
+        let gcn = Gcn::for_dataset(8, 4, 3, 1)
+            .unwrap()
+            .with_norm(GcnNorm::Mean);
         let p = compile_gcn(&gcn).unwrap();
         assert_eq!(p.layers.len(), 4);
         assert!(p.layers[0].name.ends_with("project"));
@@ -594,7 +643,9 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_buffer_ids() {
-        let gcn = Gcn::for_dataset(4, 2, 2, 1).unwrap().with_norm(GcnNorm::Mean);
+        let gcn = Gcn::for_dataset(4, 2, 2, 1)
+            .unwrap()
+            .with_norm(GcnNorm::Mean);
         let mut p = compile_gcn(&gcn).unwrap();
         p.output_buffer = 99;
         assert!(p.validate().is_err());
@@ -602,7 +653,9 @@ mod tests {
 
     #[test]
     fn weight_words_counted() {
-        let gcn = Gcn::for_dataset(8, 4, 3, 1).unwrap().with_norm(GcnNorm::Mean);
+        let gcn = Gcn::for_dataset(8, 4, 3, 1)
+            .unwrap()
+            .with_norm(GcnNorm::Mean);
         let p = compile_gcn(&gcn).unwrap();
         assert_eq!(p.layers[0].weight_words(), 32);
         assert_eq!(p.layers[1].weight_words(), 0);

@@ -48,7 +48,11 @@ impl BufferRegion {
     ///
     /// Panics if `row` is out of range.
     pub fn row_addr(&self, row: usize) -> u64 {
-        assert!(row < self.rows, "row {row} out of range ({} rows)", self.rows);
+        assert!(
+            row < self.rows,
+            "row {row} out of range ({} rows)",
+            self.rows
+        );
         self.addr + (row * self.row_words * 4) as u64
     }
 
@@ -238,8 +242,14 @@ mod tests {
             &mut img,
             &u,
             &[
-                BufferSpec { rows: Rows::PerVertex, row_words: 4 },
-                BufferSpec { rows: Rows::PerVertex, row_words: 3 },
+                BufferSpec {
+                    rows: Rows::PerVertex,
+                    row_words: 4,
+                },
+                BufferSpec {
+                    rows: Rows::PerVertex,
+                    row_words: 3,
+                },
             ],
         );
         let b0 = layout.buffers[0];
@@ -247,10 +257,7 @@ mod tests {
         assert!(b0.addr + b0.rows as u64 * b0.row_bytes() <= b1.addr);
         // The CSR structure is readable back.
         assert_eq!(img.read_u32(layout.row_ptr_entry(0)), 0);
-        assert_eq!(
-            img.read_u32(layout.row_ptr_entry(10)),
-            u.num_edges() as u32
-        );
+        assert_eq!(img.read_u32(layout.row_ptr_entry(10)), u.num_edges() as u32);
     }
 
     #[test]
@@ -261,7 +268,10 @@ mod tests {
         let layout = Layout::build(
             &mut img,
             &u,
-            &[BufferSpec { rows: Rows::PerVertex, row_words: 5 }],
+            &[BufferSpec {
+                rows: Rows::PerVertex,
+                row_words: 5,
+            }],
         );
         fill_buffer(&mut img, &layout.buffers[0], &d.instances[0].x);
         let back = read_buffer(&img, &layout.buffers[0]);
@@ -276,7 +286,10 @@ mod tests {
         let layout = Layout::build(
             &mut img,
             &u,
-            &[BufferSpec { rows: Rows::PerGraph, row_words: 7 }],
+            &[BufferSpec {
+                rows: Rows::PerGraph,
+                row_words: 7,
+            }],
         );
         assert_eq!(layout.buffers[0].rows, 5);
     }
@@ -290,7 +303,10 @@ mod tests {
         let layout = Layout::build(
             &mut img,
             &u,
-            &[BufferSpec { rows: Rows::PerVertex, row_words: 2 }],
+            &[BufferSpec {
+                rows: Rows::PerVertex,
+                row_words: 2,
+            }],
         );
         fill_buffer(&mut img, &layout.buffers[0], &Matrix::zeros(4, 3));
     }

@@ -130,7 +130,10 @@ impl AddressMap {
     /// Panics if `mem_ports` is empty or `interleave_bytes` is zero.
     pub fn new(mem_ports: Vec<Address>, interleave_bytes: u64) -> Self {
         assert!(!mem_ports.is_empty(), "need at least one memory node");
-        assert!(interleave_bytes > 0, "interleave granularity must be non-zero");
+        assert!(
+            interleave_bytes > 0,
+            "interleave granularity must be non-zero"
+        );
         AddressMap {
             mem_ports,
             interleave_bytes,
@@ -178,15 +181,29 @@ mod tests {
     fn wire_sizes() {
         let a = Address::new(0, 0, 0);
         assert_eq!(
-            Message::MemRead { addr: 0, bytes: 4, reply_to: a, tag: Tag::Discard }.wire_bytes(),
+            Message::MemRead {
+                addr: 0,
+                bytes: 4,
+                reply_to: a,
+                tag: Tag::Discard
+            }
+            .wire_bytes(),
             24
         );
         assert_eq!(
-            Message::MemWrite { addr: 0, data: vec![0; 16] }.wire_bytes(),
+            Message::MemWrite {
+                addr: 0,
+                data: vec![0; 16]
+            }
+            .wire_bytes(),
             8 + 8 + 64
         );
         assert_eq!(
-            Message::Data { tag: Tag::Discard, data: vec![0; 2] }.wire_bytes(),
+            Message::Data {
+                tag: Tag::Discard,
+                data: vec![0; 2]
+            }
+            .wire_bytes(),
             16
         );
     }

@@ -13,6 +13,41 @@ pub struct LayerTiming {
     pub config_cycles: u64,
 }
 
+/// Per-tile counter breakdown (derived from the telemetry registry's
+/// `tileN.*` namespace; also computed directly from module stats when
+/// telemetry is disabled).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TileCounters {
+    /// Tile index (row-major over the topology's tile coordinates).
+    pub tile: usize,
+    /// GPE op cycles.
+    pub gpe_op_cycles: u64,
+    /// GPE idle cycles.
+    pub gpe_idle_cycles: u64,
+    /// GPE cycles stalled on memory/queue backpressure.
+    pub gpe_stall_cycles: u64,
+    /// Vertices retired by this tile's GPE.
+    pub gpe_vertices_done: u64,
+    /// AGG busy core-cycles.
+    pub agg_busy_cycles: u64,
+    /// Aggregations completed.
+    pub agg_completed: u64,
+    /// AGG slot-allocation rejections (backpressure events).
+    pub agg_alloc_failures: u64,
+    /// Entries enqueued into the DNQ.
+    pub dnq_enqueued: u64,
+    /// Entries handed from DNQ to DNA.
+    pub dnq_dequeued: u64,
+    /// DNQ virtual-queue switches.
+    pub dnq_switches: u64,
+    /// DNA busy core-cycles.
+    pub dna_busy_cycles: u64,
+    /// DNA entries processed.
+    pub dna_entries: u64,
+    /// MACs executed by the DNA.
+    pub dna_macs: u64,
+}
+
 /// The result of simulating one inference.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
@@ -22,6 +57,10 @@ pub struct SimReport {
     pub core_clock_hz: f64,
     /// NoC/memory clock in Hz.
     pub noc_clock_hz: f64,
+    /// Integer master-cycles-per-core-cycle ratio (1, 2 or 4 in §VI).
+    /// Stored so derived cycle counts use exact integer math instead of
+    /// a lossy float conversion through the clock frequencies.
+    pub clock_divider: u64,
     /// Total master cycles, including CONFIG/barrier overhead.
     pub total_cycles: u64,
     /// Master cycles spent in CONFIG broadcasts and barriers.
@@ -56,6 +95,8 @@ pub struct SimReport {
     pub noc_flit_hops: u64,
     /// Number of tiles.
     pub num_tiles: usize,
+    /// Optional per-tile counter breakdown (empty when not collected).
+    pub per_tile: Vec<TileCounters>,
 }
 
 impl SimReport {
@@ -76,8 +117,20 @@ impl SimReport {
     }
 
     /// Core cycles elapsed per tile.
+    ///
+    /// Computed with integer math on the clock-divider ratio: the old
+    /// `total_cycles as f64 * core_clock_hz / noc_clock_hz` form loses
+    /// precision once `total_cycles` exceeds 2^53 / divider and could
+    /// misreport cycle counts for large simulations.
     pub fn core_cycles(&self) -> u64 {
-        (self.total_cycles as f64 * self.core_clock_hz / self.noc_clock_hz) as u64
+        let divider = if self.clock_divider > 0 {
+            self.clock_divider
+        } else {
+            // Reports built before the divider was recorded: recover the
+            // integer ratio from the clocks (§VI uses exact 1/2/4 ratios).
+            ((self.noc_clock_hz / self.core_clock_hz).round() as u64).max(1)
+        };
+        self.total_cycles / divider
     }
 
     /// DNA utilisation: busy fraction of the DNA arrays (Fig 10, right
@@ -130,7 +183,26 @@ impl fmt::Display for SimReport {
             self.mem_efficiency() * 100.0,
             self.dna_utilization() * 100.0,
             self.gpe_utilization() * 100.0
-        )
+        )?;
+        for t in &self.per_tile {
+            writeln!(
+                f,
+                "  tile{}: gpe op/idle/stall {}/{}/{} ({} vertices), agg done {} (rej {}), dnq {}→{} ({} switches), dna {} entries {} macs",
+                t.tile,
+                t.gpe_op_cycles,
+                t.gpe_idle_cycles,
+                t.gpe_stall_cycles,
+                t.gpe_vertices_done,
+                t.agg_completed,
+                t.agg_alloc_failures,
+                t.dnq_enqueued,
+                t.dnq_dequeued,
+                t.dnq_switches,
+                t.dna_entries,
+                t.dna_macs
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -143,6 +215,7 @@ mod tests {
             config_name: "test".into(),
             core_clock_hz: 1.2e9,
             noc_clock_hz: 2.4e9,
+            clock_divider: 2,
             total_cycles: 2_400_000,
             config_cycles: 1000,
             layers: vec![],
@@ -160,6 +233,7 @@ mod tests {
             dnq_fill_words: 0,
             noc_flit_hops: 5,
             num_tiles: 1,
+            per_tile: vec![],
         }
     }
 
@@ -178,6 +252,36 @@ mod tests {
     #[test]
     fn display_contains_config() {
         assert!(report().to_string().contains("test @ 1.2 GHz"));
+    }
+
+    #[test]
+    fn core_cycles_is_exact_for_large_counts() {
+        let mut r = report();
+        // 2^55 + 2 master cycles is not representable in f64 (spacing is 4
+        // at that magnitude), so the old float formula truncated low bits.
+        r.total_cycles = (1u64 << 55) + 2;
+        r.clock_divider = 2;
+        assert_eq!(r.core_cycles(), (1u64 << 54) + 1);
+    }
+
+    #[test]
+    fn core_cycles_recovers_divider_from_clocks() {
+        let mut r = report();
+        r.clock_divider = 0; // legacy report without the recorded ratio
+        assert_eq!(r.core_cycles(), 1_200_000);
+    }
+
+    #[test]
+    fn display_shows_per_tile_breakdown() {
+        let mut r = report();
+        r.per_tile.push(TileCounters {
+            tile: 3,
+            gpe_vertices_done: 17,
+            ..TileCounters::default()
+        });
+        let s = r.to_string();
+        assert!(s.contains("tile3:"), "missing per-tile line in {s}");
+        assert!(s.contains("17 vertices"));
     }
 
     #[test]

@@ -25,11 +25,12 @@ use crate::gpe::{Gpe, GpeCtx, TilePorts};
 use crate::layers::{CompiledProgram, Layer};
 use crate::layout::{fill_buffer, read_buffer, BufferRegion, Layout, UnionGraph};
 use crate::msg::{AddressMap, Dest, Message, Tag};
-use crate::stats::{LayerTiming, SimReport};
+use crate::stats::{LayerTiming, SimReport, TileCounters};
 use crate::CoreError;
 use gnna_graph::GraphInstance;
 use gnna_mem::{MemImage, MemRequest, MemoryController};
 use gnna_noc::{Address, Network, NocConfig, Packet, Reassembler};
+use gnna_telemetry::{MetricsRegistry, ModuleProbe, SharedTracer, TraceLevel};
 use gnna_tensor::Matrix;
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
@@ -37,6 +38,39 @@ use std::rc::Rc;
 /// Progress watchdog: with no observable event for this many master
 /// cycles the simulation reports a stall instead of spinning forever.
 const STALL_WINDOW: u64 = 2_000_000;
+
+/// Master-cycle period of the counter-track sampler (queue occupancies
+/// and in-flight flit counts) when event-level tracing is attached.
+const SAMPLE_EVERY: u64 = 256;
+
+/// Probe clones the system keeps for the per-tile counter tracks (the
+/// same tracks the modules' own probes write to — registering once and
+/// cloning avoids duplicate process/thread metadata).
+#[derive(Debug)]
+struct TileProbes {
+    agg: ModuleProbe,
+    dnq: ModuleProbe,
+}
+
+/// Telemetry state attached to a running system (absent by default; the
+/// simulator's hot loop then touches a single `Option` discriminant).
+struct Telemetry {
+    tracer: SharedTracer,
+    /// Track for runtime phases (CONFIG, layer execute, barrier).
+    system: ModuleProbe,
+    tiles: Vec<TileProbes>,
+    mems: Vec<ModuleProbe>,
+    noc: Option<ModuleProbe>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("tiles", &self.tiles.len())
+            .field("mems", &self.mems.len())
+            .finish_non_exhaustive()
+    }
+}
 
 #[derive(Debug)]
 struct Tile {
@@ -91,6 +125,7 @@ pub struct System {
     config_cycles: u64,
     layer_timings: Vec<LayerTiming>,
     instance_ranges: Vec<(usize, usize)>,
+    telemetry: Option<Telemetry>,
 }
 
 impl System {
@@ -160,12 +195,12 @@ impl System {
         let topo = &cfg.topology;
         let noc_cfg = NocConfig::default();
         let grid = topo.clone();
-        let net = Network::new(noc_cfg, topo.width(), topo.height(), move |x, y| {
-            match grid.kind(x, y) {
-                crate::config::NodeKind::Tile => 3,
-                crate::config::NodeKind::Mem => 1,
-                crate::config::NodeKind::Empty => 0,
-            }
+        let net = Network::new(noc_cfg, topo.width(), topo.height(), move |x, y| match grid
+            .kind(x, y)
+        {
+            crate::config::NodeKind::Tile => 3,
+            crate::config::NodeKind::Mem => 1,
+            crate::config::NodeKind::Empty => 0,
         });
         let mem_ports: Vec<Address> = topo
             .mem_coords()
@@ -236,7 +271,65 @@ impl System {
             config_cycles: 0,
             layer_timings: Vec::new(),
             instance_ranges,
+            telemetry: None,
         })
+    }
+
+    /// Attaches a tracer to the system before [`System::run`].
+    ///
+    /// At [`TraceLevel::Off`] nothing is attached and the simulation is
+    /// bit-identical to an untraced run. At [`TraceLevel::Phase`] only
+    /// the runtime phase track (CONFIG / layer execute / barrier) is
+    /// recorded. At [`TraceLevel::Event`] every module instance gets its
+    /// own track: per tile GPE/AGG/DNQ/DNA threads, one thread per
+    /// memory controller, and one for the mesh — with instant events for
+    /// stalls and backpressure plus periodic queue-occupancy counters.
+    pub fn attach_telemetry(&mut self, tracer: SharedTracer) {
+        let level = tracer.borrow().level();
+        if level == TraceLevel::Off {
+            return;
+        }
+        let system = ModuleProbe::new(Rc::clone(&tracer), "system", "runtime");
+        let mut tiles = Vec::new();
+        let mut mems = Vec::new();
+        let mut noc = None;
+        if level >= TraceLevel::Event {
+            for (t, &(x, y)) in self.cfg.topology.tile_coords().iter().enumerate() {
+                let process = format!("tile{t} ({x},{y})");
+                let gpe = ModuleProbe::new(Rc::clone(&tracer), &process, "gpe");
+                let agg = ModuleProbe::new(Rc::clone(&tracer), &process, "agg");
+                let dnq = ModuleProbe::new(Rc::clone(&tracer), &process, "dnq");
+                let dna = ModuleProbe::new(Rc::clone(&tracer), &process, "dna");
+                self.tiles[t].gpe.attach_probe(gpe);
+                self.tiles[t].agg.attach_probe(agg.clone());
+                self.tiles[t].dnq.attach_probe(dnq.clone());
+                self.tiles[t].dna.attach_probe(dna);
+                tiles.push(TileProbes { agg, dnq });
+            }
+            for (i, m) in self.mems.iter_mut().enumerate() {
+                let p = ModuleProbe::new(Rc::clone(&tracer), "mem", &format!("mem{i}"));
+                m.ctrl.attach_probe(p.clone());
+                mems.push(p);
+            }
+            let p = ModuleProbe::new(Rc::clone(&tracer), "noc", "mesh");
+            self.net.attach_probe(p.clone());
+            noc = Some(p);
+        }
+        self.telemetry = Some(Telemetry {
+            tracer,
+            system,
+            tiles,
+            mems,
+            noc,
+        });
+    }
+
+    /// Emits a phase event on the runtime track at master cycle `at`.
+    fn phase_event(&self, at: u64, f: impl FnOnce(&ModuleProbe)) {
+        if let Some(tele) = &self.telemetry {
+            tele.tracer.borrow_mut().set_now(at);
+            f(&tele.system);
+        }
     }
 
     /// Runs the full program (Algorithm 1) to completion.
@@ -255,11 +348,16 @@ impl System {
 
     fn run_layer(&mut self, layer: Rc<Layer>) -> Result<(), CoreError> {
         // CONFIG: set up modules and charge the weight broadcast.
+        let config_start = self.cycle;
         let config_cost = self.configure_layer(&layer);
+        self.phase_event(config_start, |p| p.begin("config"));
         self.cycle += config_cost;
         self.config_cycles += config_cost;
+        self.phase_event(self.cycle, |p| p.end("config"));
         self.board.iter_mut().for_each(|b| *b = None);
         let start = self.cycle;
+        let phase_name = format!("layer:{}", layer.name);
+        self.phase_event(start, |p| p.begin(&phase_name));
         for (t, part) in self.partitions.clone().into_iter().enumerate() {
             self.tiles[t].gpe.start_layer(Rc::clone(&layer), part);
         }
@@ -271,23 +369,36 @@ impl System {
             if self.cycle - last_progress_cycle >= STALL_WINDOW {
                 let marker = self.progress_marker();
                 if marker == last_progress_marker {
+                    let mut detail = format!(
+                        "layer {} made no progress; {}",
+                        layer.name,
+                        self.stall_diagnostic()
+                    );
+                    // Attach the flight recorder's tail so the error
+                    // shows the last events leading up to the deadlock.
+                    if let Some(tele) = &self.telemetry {
+                        let snap = tele.tracer.borrow().flight_snapshot();
+                        if !snap.is_empty() {
+                            detail.push('\n');
+                            detail.push_str(&snap);
+                        }
+                    }
                     return Err(CoreError::Stalled {
                         cycle: self.cycle,
-                        detail: format!(
-                            "layer {} made no progress; {}",
-                            layer.name,
-                            self.stall_diagnostic()
-                        ),
+                        detail,
                     });
                 }
                 last_progress_marker = marker;
                 last_progress_cycle = self.cycle;
             }
         }
+        self.phase_event(self.cycle, |p| p.end(&phase_name));
         // Closing barrier cost.
         let barrier = 64 * self.divider;
+        self.phase_event(self.cycle, |p| p.begin("barrier"));
         self.cycle += barrier;
         self.config_cycles += barrier;
+        self.phase_event(self.cycle, |p| p.end("barrier"));
         self.layer_timings.push(LayerTiming {
             name: layer.name.clone(),
             cycles: self.cycle - start,
@@ -374,6 +485,13 @@ impl System {
         let core_tick = c.is_multiple_of(self.divider);
         let core_now = c / self.divider;
 
+        if let Some(tele) = &self.telemetry {
+            tele.tracer.borrow_mut().set_now(c);
+            if c.is_multiple_of(SAMPLE_EVERY) {
+                self.sample_counters();
+            }
+        }
+
         // --- Memory nodes ---
         for m in &mut self.mems {
             // Retire at most one response per cycle.
@@ -397,7 +515,9 @@ impl System {
             }
             // Feed the controller from the NIC buffer.
             while m.ctrl.queue_len() < m.ctrl.config().queue_depth {
-                let Some(msg) = m.inbox.pop_front() else { break };
+                let Some(msg) = m.inbox.pop_front() else {
+                    break;
+                };
                 match msg {
                     Message::MemRead {
                         addr,
@@ -472,7 +592,12 @@ impl System {
                 if let Some(pkt) = tile.agg_rx.push(flit) {
                     match &pkt.payload {
                         Message::Data {
-                            tag: Tag::Agg { slot, scale, offset },
+                            tag:
+                                Tag::Agg {
+                                    slot,
+                                    scale,
+                                    offset,
+                                },
                             data,
                         } => {
                             let values: Vec<f32> =
@@ -490,7 +615,12 @@ impl System {
             if let Some(pkt) = tile.dnq_rx.push(flit) {
                 match &pkt.payload {
                     Message::Data {
-                        tag: Tag::Dnq { queue, entry, offset },
+                        tag:
+                            Tag::Dnq {
+                                queue,
+                                entry,
+                                offset,
+                            },
                         data,
                     } => {
                         let values: Vec<f32> = data.iter().map(|&w| f32::from_bits(w)).collect();
@@ -560,7 +690,8 @@ impl System {
         // DNQ → DNA handoff (single dequeue interface, lazy switching).
         let accepting = tile.dna.can_accept();
         if let Some(entry) = tile.dnq.dequeue_for_dna(accepting) {
-            tile.dna.accept(entry.kernel, &entry.data, entry.dest, core_now);
+            tile.dna
+                .accept(entry.kernel, &entry.data, entry.dest, core_now);
         }
         // DNA completion.
         if tile.dna_pending.len() < 8 {
@@ -569,6 +700,26 @@ impl System {
                     tile.dna_pending.push_back(m);
                 }
             }
+        }
+    }
+
+    /// Emits periodic counter samples (queue occupancies, in-flight
+    /// flits) on the module tracks.
+    fn sample_counters(&self) {
+        let Some(tele) = &self.telemetry else { return };
+        for (t, probes) in tele.tiles.iter().enumerate() {
+            let tile = &self.tiles[t];
+            probes.dnq.counter("dnq_depth_q0", tile.dnq.len(0) as f64);
+            probes.dnq.counter("dnq_depth_q1", tile.dnq.len(1) as f64);
+            probes
+                .agg
+                .counter("agg_live_slots", tile.agg.live_slots() as f64);
+        }
+        for (i, p) in tele.mems.iter().enumerate() {
+            p.counter("queue_depth", self.mems[i].ctrl.queue_len() as f64);
+        }
+        if let Some(p) = &tele.noc {
+            p.counter("inflight_flits", self.net.inflight_flits() as f64);
         }
     }
 
@@ -595,7 +746,13 @@ impl System {
             );
         }
         for (i, m) in self.mems.iter().enumerate() {
-            let _ = write!(out, "mem{i}[q={} in={} out={}] ", m.ctrl.queue_len(), m.inbox.len(), m.out.len());
+            let _ = write!(
+                out,
+                "mem{i}[q={} in={} out={}] ",
+                m.ctrl.queue_len(),
+                m.inbox.len(),
+                m.out.len()
+            );
         }
         let _ = write!(
             out,
@@ -658,7 +815,91 @@ impl System {
             dnq_fill_words: dnq_words,
             noc_flit_hops: self.net.stats().flit_hops,
             num_tiles: self.tiles.len(),
+            clock_divider: self.divider,
+            per_tile: self.tile_counters(),
         }
+    }
+
+    /// Per-tile module counters (the report's per-tile breakdown).
+    fn tile_counters(&self) -> Vec<TileCounters> {
+        self.tiles
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let g = t.gpe.stats();
+                let (_, _, agg_done, agg_busy, agg_rej) = t.agg.stats();
+                let (enq, deq, sw, _) = t.dnq.stats();
+                TileCounters {
+                    tile: i,
+                    gpe_op_cycles: g.op_cycles,
+                    gpe_idle_cycles: g.idle_cycles,
+                    gpe_stall_cycles: g.stall_cycles,
+                    gpe_vertices_done: g.vertices_done,
+                    agg_busy_cycles: agg_busy,
+                    agg_completed: agg_done,
+                    agg_alloc_failures: agg_rej,
+                    dnq_enqueued: enq,
+                    dnq_dequeued: deq,
+                    dnq_switches: sw,
+                    dna_busy_cycles: t.dna.busy_cycles(),
+                    dna_entries: t.dna.entries_processed(),
+                    dna_macs: t.dna.macs_executed(),
+                }
+            })
+            .collect()
+    }
+
+    /// Dumps every module's counters into `reg` under dotted names
+    /// (`tileN.module.stat`, `memN.stat`, `noc.stat`, `system.stat`).
+    pub fn harvest_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.counter_set("system.total_cycles", self.cycle);
+        reg.counter_set("system.config_cycles", self.config_cycles);
+        reg.counter_set("system.clock_divider", self.divider);
+        reg.gauge_set("system.core_clock_hz", self.cfg.core_clock_hz);
+        reg.gauge_set("system.noc_clock_hz", self.cfg.noc_clock_hz);
+        for (i, t) in self.tiles.iter().enumerate() {
+            let g = t.gpe.stats();
+            reg.counter_set(&format!("tile{i}.gpe.op_cycles"), g.op_cycles);
+            reg.counter_set(&format!("tile{i}.gpe.switch_cycles"), g.switch_cycles);
+            reg.counter_set(&format!("tile{i}.gpe.idle_cycles"), g.idle_cycles);
+            reg.counter_set(&format!("tile{i}.gpe.stall_cycles"), g.stall_cycles);
+            reg.counter_set(&format!("tile{i}.gpe.vertices_done"), g.vertices_done);
+            reg.counter_set(&format!("tile{i}.gpe.reads_issued"), g.reads_issued);
+            let (contribs, words, done, busy, rej) = t.agg.stats();
+            reg.counter_set(&format!("tile{i}.agg.contributions"), contribs);
+            reg.counter_set(&format!("tile{i}.agg.words_combined"), words);
+            reg.counter_set(&format!("tile{i}.agg.completed"), done);
+            reg.counter_set(&format!("tile{i}.agg.busy_cycles"), busy);
+            reg.counter_set(&format!("tile{i}.agg.alloc_failures"), rej);
+            let (enq, deq, sw, fill) = t.dnq.stats();
+            reg.counter_set(&format!("tile{i}.dnq.enqueued"), enq);
+            reg.counter_set(&format!("tile{i}.dnq.dequeued"), deq);
+            reg.counter_set(&format!("tile{i}.dnq.switches"), sw);
+            reg.counter_set(&format!("tile{i}.dnq.fill_words"), fill);
+            reg.counter_set(
+                &format!("tile{i}.dnq.alloc_failures"),
+                t.dnq.alloc_failures(),
+            );
+            reg.counter_set(&format!("tile{i}.dna.busy_cycles"), t.dna.busy_cycles());
+            reg.counter_set(&format!("tile{i}.dna.entries"), t.dna.entries_processed());
+            reg.counter_set(&format!("tile{i}.dna.macs"), t.dna.macs_executed());
+        }
+        for (i, m) in self.mems.iter().enumerate() {
+            let s = m.ctrl.stats();
+            reg.counter_set(&format!("mem{i}.requests"), s.requests);
+            reg.counter_set(&format!("mem{i}.dram_bytes"), s.dram_bytes);
+            reg.counter_set(&format!("mem{i}.useful_bytes"), s.useful_bytes());
+            reg.counter_set(&format!("mem{i}.rejected"), s.rejected);
+            reg.gauge_set(&format!("mem{i}.efficiency"), s.efficiency());
+        }
+        let n = self.net.stats();
+        reg.counter_set("noc.packets_injected", n.packets_injected);
+        reg.counter_set("noc.packets_delivered", n.packets_delivered);
+        reg.counter_set("noc.flits_injected", n.flits_injected);
+        reg.counter_set("noc.flits_ejected", n.flits_ejected);
+        reg.counter_set("noc.flit_hops", n.flit_hops);
+        reg.counter_set("noc.link_busy_cycles", n.link_busy_cycles);
+        reg.gauge_set("noc.mean_packet_latency", n.mean_packet_latency());
     }
 
     /// Reads the simulated output for input instance `index` after
@@ -696,7 +937,10 @@ impl System {
 
     /// The whole output buffer as a matrix (all instances).
     pub fn full_output(&self) -> Matrix {
-        read_buffer(&self.image, &self.layout.buffers[self.program.output_buffer])
+        read_buffer(
+            &self.image,
+            &self.layout.buffers[self.program.output_buffer],
+        )
     }
 
     /// Master cycles elapsed so far.

@@ -1,0 +1,213 @@
+//! Golden observability tests: a GCN run on synthetic Cora must emit a
+//! valid Chrome-trace JSON whose events reconcile with the simulation
+//! report's counters, and attaching telemetry must not perturb timing.
+
+use gnna_core::config::AcceleratorConfig;
+use gnna_core::layers::compile_gcn;
+use gnna_core::system::System;
+use gnna_graph::datasets;
+use gnna_models::{Gcn, GcnNorm};
+use gnna_telemetry::{json, shared, MetricsRegistry, TraceLevel, Tracer};
+use std::rc::Rc;
+
+/// Builds the reference workload: a two-layer GCN on synthetic Cora.
+fn gcn_system(cfg: &AcceleratorConfig) -> System {
+    let d = datasets::cora_scaled(40, 8, 3, 11).unwrap();
+    let gcn = Gcn::for_dataset(8, 4, 3, 2)
+        .unwrap()
+        .with_norm(GcnNorm::Mean);
+    let program = compile_gcn(&gcn).unwrap();
+    System::new(cfg, std::slice::from_ref(&d.instances[0]), program).unwrap()
+}
+
+#[test]
+fn tracing_does_not_perturb_cycle_count() {
+    let cfg = AcceleratorConfig::gpu_iso_bandwidth();
+    let mut plain = gcn_system(&cfg);
+    let plain_report = plain.run().unwrap();
+
+    let mut traced = gcn_system(&cfg);
+    let tracer = shared(Tracer::new(TraceLevel::Event));
+    traced.attach_telemetry(Rc::clone(&tracer));
+    let traced_report = traced.run().unwrap();
+
+    assert_eq!(
+        plain_report.total_cycles, traced_report.total_cycles,
+        "event tracing changed the simulated cycle count"
+    );
+    assert_eq!(plain_report.agg_completed, traced_report.agg_completed);
+    assert_eq!(plain_report.dna_entries, traced_report.dna_entries);
+    assert_eq!(
+        plain.full_output().into_vec(),
+        traced.full_output().into_vec(),
+        "event tracing changed the computed output"
+    );
+    assert!(tracer.borrow().event_count() > 0, "tracer recorded nothing");
+}
+
+#[test]
+fn trace_reconciles_with_report_counters() {
+    let cfg = AcceleratorConfig::gpu_iso_bandwidth();
+    let mut sys = gcn_system(&cfg);
+    let tracer = shared(Tracer::new(TraceLevel::Event));
+    sys.attach_telemetry(Rc::clone(&tracer));
+    let report = sys.run().unwrap();
+    let tracer = tracer.borrow();
+
+    // Every DNA entry shows up as one dna_job span.
+    assert_eq!(tracer.count_named_phase("dna_job", 'B'), report.dna_entries);
+    assert_eq!(tracer.count_named_phase("dna_job", 'E'), report.dna_entries);
+    // Every completed aggregation emits one instant.
+    assert_eq!(
+        tracer.count_named_phase("agg_done", 'i'),
+        report.agg_completed
+    );
+    // Per-tile vertex retirements sum to the GPE instants.
+    let vertices: u64 = report.per_tile.iter().map(|t| t.gpe_vertices_done).sum();
+    assert_eq!(tracer.count_named_phase("gpe_vertex_done", 'i'), vertices);
+    assert_eq!(report.per_tile.len(), report.num_tiles);
+}
+
+#[test]
+fn chrome_json_is_valid_and_has_all_module_tracks() {
+    let cfg = AcceleratorConfig::gpu_iso_bandwidth();
+    let num_tiles = cfg.num_tiles();
+    let mut sys = gcn_system(&cfg);
+    let tracer = shared(Tracer::new(TraceLevel::Event));
+    sys.attach_telemetry(Rc::clone(&tracer));
+    let report = sys.run().unwrap();
+
+    let doc = tracer.borrow().to_chrome_json_string();
+    let v = json::parse(&doc).expect("trace JSON parses");
+    assert!(v.get("displayTimeUnit").is_some());
+    let events = v
+        .get("traceEvents")
+        .and_then(|e| e.as_array())
+        .expect("traceEvents array");
+
+    // Track inventory from the metadata events: every tile must expose
+    // gpe/agg/dnq/dna threads, plus the memory controllers and the mesh.
+    let mut processes = Vec::new();
+    let mut threads = Vec::new();
+    let mut layer_begins = 0u64;
+    for e in events {
+        match (
+            e.get("ph").and_then(|p| p.as_str()),
+            e.get("name").and_then(|n| n.as_str()),
+        ) {
+            (Some("M"), Some("process_name")) => {
+                processes.push(
+                    e.get("args")
+                        .unwrap()
+                        .get("name")
+                        .unwrap()
+                        .as_str()
+                        .unwrap()
+                        .to_string(),
+                );
+            }
+            (Some("M"), Some("thread_name")) => {
+                threads.push(
+                    e.get("args")
+                        .unwrap()
+                        .get("name")
+                        .unwrap()
+                        .as_str()
+                        .unwrap()
+                        .to_string(),
+                );
+            }
+            (Some("B"), Some(name)) if name.starts_with("layer:") => layer_begins += 1,
+            _ => {}
+        }
+    }
+    for t in 0..num_tiles {
+        assert!(
+            processes
+                .iter()
+                .any(|p| p.starts_with(&format!("tile{t} "))),
+            "missing process for tile {t}: {processes:?}"
+        );
+    }
+    for module in ["gpe", "agg", "dnq", "dna"] {
+        let count = threads.iter().filter(|n| n.as_str() == module).count();
+        assert_eq!(count, num_tiles, "expected one {module} track per tile");
+    }
+    assert!(threads.iter().any(|n| n == "mesh"), "missing NoC track");
+    assert!(
+        threads.iter().any(|n| n.starts_with("mem")),
+        "missing mem track"
+    );
+    assert_eq!(
+        layer_begins as usize,
+        report.layers.len(),
+        "one layer phase span per executed layer"
+    );
+}
+
+#[test]
+fn phase_level_records_only_the_runtime_track() {
+    let cfg = AcceleratorConfig::cpu_iso_bandwidth();
+    let mut sys = gcn_system(&cfg);
+    let tracer = shared(Tracer::new(TraceLevel::Phase));
+    sys.attach_telemetry(Rc::clone(&tracer));
+    let report = sys.run().unwrap();
+    let tracer = tracer.borrow();
+    assert_eq!(
+        tracer.track_count(),
+        1,
+        "phase level must not add module tracks"
+    );
+    assert_eq!(
+        tracer.count_named_phase("config", 'B'),
+        report.layers.len() as u64
+    );
+    assert_eq!(
+        tracer.count_named_phase("barrier", 'E'),
+        report.layers.len() as u64
+    );
+}
+
+#[test]
+fn harvested_metrics_reconcile_and_serialize() {
+    let cfg = AcceleratorConfig::gpu_iso_bandwidth();
+    let mut sys = gcn_system(&cfg);
+    let report = sys.run().unwrap();
+    let mut reg = MetricsRegistry::new();
+    sys.harvest_metrics(&mut reg);
+
+    assert_eq!(
+        reg.get_counter("system.total_cycles"),
+        Some(report.total_cycles)
+    );
+    assert_eq!(reg.get_counter("noc.flit_hops"), Some(report.noc_flit_hops));
+    let dna_entries: u64 = reg
+        .counters_with_prefix("tile")
+        .into_iter()
+        .filter(|(name, _)| name.ends_with(".dna.entries"))
+        .map(|(_, v)| v)
+        .sum();
+    assert_eq!(dna_entries, report.dna_entries);
+    let agg_done: u64 = report.per_tile.iter().map(|t| t.agg_completed).sum();
+    assert_eq!(agg_done, report.agg_completed);
+
+    // Both serializations are valid (JSON structurally, CSV by shape).
+    let v = json::parse(&reg.to_json_string()).expect("metrics JSON parses");
+    assert!(v.get("system.total_cycles").is_some());
+    let csv = reg.to_csv_string();
+    assert!(csv.lines().count() > 10);
+    assert!(csv.lines().all(|l| l.split(',').count() >= 2));
+}
+
+#[test]
+fn core_cycles_uses_integer_divider_math() {
+    let cfg = AcceleratorConfig::cpu_iso_bandwidth().with_core_clock(0.6e9);
+    let mut sys = gcn_system(&cfg);
+    let report = sys.run().unwrap();
+    assert!(report.clock_divider > 1, "0.6 GHz core implies divider 4");
+    assert_eq!(
+        report.core_cycles(),
+        report.total_cycles / report.clock_divider,
+        "core_cycles must be exact integer division by the divider"
+    );
+}

@@ -293,8 +293,14 @@ mod tests {
         let r = analyze_gcn(&EyerissConfig::default(), &pubmed_shape(), 68e9);
         let compute = r.useful_compute_fraction();
         let traffic = r.useful_traffic_fraction();
-        assert!((0.005..=0.06).contains(&compute), "compute fraction {compute}");
-        assert!((0.002..=0.05).contains(&traffic), "traffic fraction {traffic}");
+        assert!(
+            (0.005..=0.06).contains(&compute),
+            "compute fraction {compute}"
+        );
+        assert!(
+            (0.002..=0.05).contains(&traffic),
+            "traffic fraction {traffic}"
+        );
     }
 
     #[test]

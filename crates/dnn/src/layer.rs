@@ -151,7 +151,14 @@ mod tests {
     #[test]
     fn fully_connected_shape() {
         let s = MatmulShape::fully_connected(100, 64, 16);
-        assert_eq!(s, MatmulShape { m: 100, k: 64, n: 16 });
+        assert_eq!(
+            s,
+            MatmulShape {
+                m: 100,
+                k: 64,
+                n: 16
+            }
+        );
         assert_eq!(s.macs(), 100 * 64 * 16);
         assert_eq!(s.a_words(), 6400);
         assert_eq!(s.b_words(), 1024);
@@ -188,7 +195,15 @@ mod tests {
 
     #[test]
     fn adjacency_layer_useful_fraction() {
-        let l = DnnLayer::adjacency("adj", MatmulShape { m: 100, k: 100, n: 16 }, 500);
+        let l = DnnLayer::adjacency(
+            "adj",
+            MatmulShape {
+                m: 100,
+                k: 100,
+                n: 16,
+            },
+            500,
+        );
         assert_eq!(l.macs(), 160_000);
         assert_eq!(l.useful_macs(), 500 * 16);
         assert!((l.density() - 0.05).abs() < 1e-12);

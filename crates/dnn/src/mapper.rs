@@ -117,8 +117,7 @@ pub fn map_matmul(cfg: &EyerissConfig, shape: MatmulShape) -> Mapping {
             }
         }
     }
-    let (read_words, tile_m, tile_n) =
-        best.expect("candidate lists always include tm = tn = 1");
+    let (read_words, tile_m, tile_n) = best.expect("candidate lists always include tm = tn = 1");
     Mapping {
         shape,
         macs,
@@ -142,7 +141,11 @@ mod tests {
     #[test]
     fn small_layer_full_reuse() {
         // Everything fits in the global buffer: each operand read once.
-        let s = MatmulShape { m: 64, k: 32, n: 16 };
+        let s = MatmulShape {
+            m: 64,
+            k: 32,
+            n: 16,
+        };
         let m = map_matmul(&cfg(), s);
         assert_eq!(m.dram_read_bytes, (s.a_words() + s.b_words()) * 4);
         assert_eq!(m.dram_write_bytes, s.c_words() * 4);
@@ -151,7 +154,11 @@ mod tests {
 
     #[test]
     fn compute_cycles_output_stationary() {
-        let s = MatmulShape { m: 182, k: 100, n: 1 };
+        let s = MatmulShape {
+            m: 182,
+            k: 100,
+            n: 1,
+        };
         let m = map_matmul(&cfg(), s);
         // Exactly one wave of 182 outputs, k = 100 cycles.
         assert_eq!(m.compute_cycles, 100);
@@ -160,7 +167,11 @@ mod tests {
 
     #[test]
     fn underfilled_wave_hurts_utilization() {
-        let s = MatmulShape { m: 183, k: 10, n: 1 }; // 2 waves, second has 1 PE busy
+        let s = MatmulShape {
+            m: 183,
+            k: 10,
+            n: 1,
+        }; // 2 waves, second has 1 PE busy
         let m = map_matmul(&cfg(), s);
         assert_eq!(m.compute_cycles, 20);
         assert!(m.pe_utilization < 0.6);
@@ -170,7 +181,11 @@ mod tests {
     fn huge_adjacency_layer_traffic_near_a_words() {
         // Pubmed-like adjacency matmul: A (19717²) cannot be tiled away;
         // with tn = n = 16 it is streamed exactly once.
-        let s = MatmulShape { m: 19717, k: 19717, n: 16 };
+        let s = MatmulShape {
+            m: 19717,
+            k: 19717,
+            n: 16,
+        };
         let m = map_matmul(&cfg(), s);
         assert_eq!(m.tile_n, 16);
         // A read once; B re-read per row tile.
@@ -180,7 +195,11 @@ mod tests {
 
     #[test]
     fn latency_bandwidth_monotone() {
-        let s = MatmulShape { m: 2708, k: 2708, n: 16 };
+        let s = MatmulShape {
+            m: 2708,
+            k: 2708,
+            n: 16,
+        };
         let m = map_matmul(&cfg(), s);
         let unlimited = m.latency_unlimited(&cfg());
         let at68 = m.latency_at_bandwidth(&cfg(), 68e9);
@@ -199,8 +218,20 @@ mod tests {
 
     #[test]
     fn utilization_bounded() {
-        for &(m_, k_, n_) in &[(1usize, 1usize, 1usize), (7, 13, 3), (182, 50, 2), (1000, 1, 1000)] {
-            let m = map_matmul(&cfg(), MatmulShape { m: m_, k: k_, n: n_ });
+        for &(m_, k_, n_) in &[
+            (1usize, 1usize, 1usize),
+            (7, 13, 3),
+            (182, 50, 2),
+            (1000, 1, 1000),
+        ] {
+            let m = map_matmul(
+                &cfg(),
+                MatmulShape {
+                    m: m_,
+                    k: k_,
+                    n: n_,
+                },
+            );
             assert!(m.pe_utilization > 0.0 && m.pe_utilization <= 1.0 + 1e-12);
         }
     }
@@ -209,7 +240,11 @@ mod tests {
     fn traffic_at_least_compulsory_for_unique_data() {
         // Reads can never be less than reading each operand once when the
         // tile search has room (small shapes).
-        let s = MatmulShape { m: 100, k: 50, n: 20 };
+        let s = MatmulShape {
+            m: 100,
+            k: 50,
+            n: 20,
+        };
         let m = map_matmul(&cfg(), s);
         assert!(m.dram_read_bytes >= (s.a_words() + s.b_words()) * 4);
     }

@@ -180,7 +180,10 @@ impl CsrGraph {
 
     /// Maximum out-degree across all vertices (0 for an empty graph).
     pub fn max_degree(&self) -> usize {
-        (0..self.num_nodes).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.num_nodes)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Mean out-degree.
@@ -497,8 +500,8 @@ mod tests {
 
     #[test]
     fn power_structure_matches_matrix_power() {
-        let g = CsrGraph::from_undirected_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
-            .unwrap();
+        let g =
+            CsrGraph::from_undirected_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
         let a = g.adjacency_matrix().to_dense();
         let a3 = a.matmul(&a).unwrap().matmul(&a).unwrap();
         let p3 = g.power_structure(3);

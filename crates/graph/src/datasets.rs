@@ -97,9 +97,7 @@ pub const TABLE_V: [DatasetSpec; 5] = [
 
 /// Looks up a [`DatasetSpec`] from [`TABLE_V`] by (case-insensitive) name.
 pub fn spec_by_name(name: &str) -> Option<&'static DatasetSpec> {
-    TABLE_V
-        .iter()
-        .find(|s| s.name.eq_ignore_ascii_case(name))
+    TABLE_V.iter().find(|s| s.name.eq_ignore_ascii_case(name))
 }
 
 /// A named collection of [`GraphInstance`]s with a common output width.
@@ -228,7 +226,12 @@ pub fn qm9_1000(seed: u64) -> Result<Dataset, GraphError> {
 /// Propagates [`GraphError`] from generation (cannot happen for this spec).
 pub fn dblp_1(seed: u64) -> Result<Dataset, GraphError> {
     let spec = &TABLE_V[4];
-    let graph = community_graph(spec.total_nodes, spec.total_edges, spec.output_features, seed)?;
+    let graph = community_graph(
+        spec.total_nodes,
+        spec.total_edges,
+        spec.output_features,
+        seed,
+    )?;
     let x = degree_features(&graph);
     Ok(Dataset {
         name: spec.name.to_string(),
@@ -392,8 +395,14 @@ mod tests {
 
     #[test]
     fn datasets_are_deterministic_per_seed() {
-        assert_eq!(cora_scaled(30, 8, 7, 5).unwrap(), cora_scaled(30, 8, 7, 5).unwrap());
-        assert_ne!(cora_scaled(30, 8, 7, 5).unwrap(), cora_scaled(30, 8, 7, 6).unwrap());
+        assert_eq!(
+            cora_scaled(30, 8, 7, 5).unwrap(),
+            cora_scaled(30, 8, 7, 5).unwrap()
+        );
+        assert_ne!(
+            cora_scaled(30, 8, 7, 5).unwrap(),
+            cora_scaled(30, 8, 7, 6).unwrap()
+        );
     }
 
     // Full-size Pubmed/QM9/Citeseer generation is exercised by the

@@ -57,9 +57,9 @@ pub fn power_law_graph(
     // attachment).
     let mut endpoints: Vec<usize> = Vec::with_capacity(2 * num_edges);
     let insert = |edges: &mut BTreeSet<(usize, usize)>,
-                      endpoints: &mut Vec<usize>,
-                      u: usize,
-                      v: usize|
+                  endpoints: &mut Vec<usize>,
+                  u: usize,
+                  v: usize|
      -> bool {
         if u == v {
             return false;

@@ -140,7 +140,11 @@ mod tests {
     fn dblp_matches_its_spec() {
         let d = dblp_1(1).unwrap();
         let s = DatasetStats::measure(&d);
-        assert!(s.diff_spec(&TABLE_V[4]).is_empty(), "diffs: {:?}", s.diff_spec(&TABLE_V[4]));
+        assert!(
+            s.diff_spec(&TABLE_V[4]).is_empty(),
+            "diffs: {:?}",
+            s.diff_spec(&TABLE_V[4])
+        );
     }
 
     #[test]

@@ -1,4 +1,5 @@
 use crate::MemImage;
+use gnna_telemetry::ModuleProbe;
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -195,6 +196,9 @@ pub struct MemoryController {
     /// Time (in fractional cycles) at which the DRAM becomes free.
     dram_free_at: f64,
     stats: MemStats,
+    /// Optional telemetry probe (`None` when tracing is disabled, so
+    /// instrumentation reduces to a never-taken branch).
+    probe: Option<ModuleProbe>,
 }
 
 impl MemoryController {
@@ -205,7 +209,14 @@ impl MemoryController {
             queue: VecDeque::new(),
             dram_free_at: 0.0,
             stats: MemStats::default(),
+            probe: None,
         }
+    }
+
+    /// Attaches a telemetry probe; the controller emits an instant event
+    /// on every queue-full rejection.
+    pub fn attach_probe(&mut self, probe: ModuleProbe) {
+        self.probe = Some(probe);
     }
 
     /// The configuration in use.
@@ -236,6 +247,9 @@ impl MemoryController {
     pub fn try_push(&mut self, request: MemRequest, now: u64) -> Result<(), MemRequest> {
         if self.queue.len() >= self.cfg.queue_depth {
             self.stats.rejected += 1;
+            if let Some(p) = &self.probe {
+                p.instant("mem_queue_reject");
+            }
             return Err(request);
         }
         let span = self.cfg.aligned_span(request.addr, request.bytes);
@@ -271,9 +285,11 @@ impl MemoryController {
         }
         let PendingRequest { request, ready_at } = self.queue.pop_front().expect("checked front");
         let data = match request.kind {
-            MemRequestKind::Read => {
-                Some(image.read_words(request.addr, (request.bytes / 4) as usize).to_vec())
-            }
+            MemRequestKind::Read => Some(
+                image
+                    .read_words(request.addr, (request.bytes / 4) as usize)
+                    .to_vec(),
+            ),
             MemRequestKind::Write => {
                 let words = request.data.as_deref().expect("write carries data");
                 image.write_words(request.addr, words);
@@ -380,7 +396,8 @@ mod tests {
         let (mut ctrl, mut img, addr) = setup();
         ctrl.try_push(MemRequest::read(addr, 64, 0), 0).unwrap();
         let first_ready = ctrl.next_ready_cycle().unwrap();
-        ctrl.try_push(MemRequest::read(addr + 64, 64, 1), 0).unwrap();
+        ctrl.try_push(MemRequest::read(addr + 64, 64, 1), 0)
+            .unwrap();
         let r0 = ctrl.pop_ready(u64::MAX - 1, &mut img).unwrap();
         let r1 = ctrl.pop_ready(u64::MAX - 1, &mut img).unwrap();
         assert_eq!(r0.tag, 0);
@@ -402,7 +419,10 @@ mod tests {
         let mut last_ready = 0;
         for i in 0..1000u64 {
             // Queue is 32 deep: retire as we go.
-            while ctrl.try_push(MemRequest::read(base + i * 64, 64, i), 0).is_err() {
+            while ctrl
+                .try_push(MemRequest::read(base + i * 64, 64, i), 0)
+                .is_err()
+            {
                 let now = ctrl.next_ready_cycle().unwrap();
                 let r = ctrl.pop_ready(now, &mut img).unwrap();
                 last_ready = r.ready_at;

@@ -102,7 +102,10 @@ impl MemImage {
     #[inline]
     pub fn write_u32(&mut self, addr: u64, value: u32) {
         let i = self.word_index(addr);
-        assert!(i < self.words.len(), "write past end of memory at {addr:#x}");
+        assert!(
+            i < self.words.len(),
+            "write past end of memory at {addr:#x}"
+        );
         self.words[i] = value;
     }
 
@@ -133,7 +136,10 @@ impl MemImage {
     /// Panics on unaligned or out-of-range access.
     pub fn read_words(&self, addr: u64, n: usize) -> &[u32] {
         let i = self.word_index(addr);
-        assert!(i + n <= self.words.len(), "read past end of memory at {addr:#x}+{n}");
+        assert!(
+            i + n <= self.words.len(),
+            "read past end of memory at {addr:#x}+{n}"
+        );
         &self.words[i..i + n]
     }
 

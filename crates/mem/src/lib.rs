@@ -20,5 +20,7 @@
 mod controller;
 mod image;
 
-pub use controller::{MemConfig, MemRequest, MemRequestKind, MemResponse, MemStats, MemoryController};
+pub use controller::{
+    MemConfig, MemRequest, MemRequestKind, MemResponse, MemStats, MemoryController,
+};
 pub use image::MemImage;

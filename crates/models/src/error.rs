@@ -37,7 +37,10 @@ impl fmt::Display for ModelError {
                 context,
                 expected,
                 found,
-            } => write!(f, "dimension mismatch in {context}: expected {expected}, found {found}"),
+            } => write!(
+                f,
+                "dimension mismatch in {context}: expected {expected}, found {found}"
+            ),
             ModelError::InvalidConfig { reason } => write!(f, "invalid model config: {reason}"),
             ModelError::MissingInput { input } => write!(f, "missing required input: {input}"),
             ModelError::Tensor(e) => write!(f, "tensor error: {e}"),
@@ -80,17 +83,16 @@ mod tests {
             found: 8,
         };
         assert!(e.to_string().contains("expected 16"));
-        assert!(ModelError::MissingInput { input: "edge_features" }
-            .to_string()
-            .contains("edge_features"));
+        assert!(ModelError::MissingInput {
+            input: "edge_features"
+        }
+        .to_string()
+        .contains("edge_features"));
     }
 
     #[test]
     fn conversions_chain_sources() {
-        let e: ModelError = gnna_tensor::TensorError::InvalidCsr {
-            reason: "x".into(),
-        }
-        .into();
+        let e: ModelError = gnna_tensor::TensorError::InvalidCsr { reason: "x".into() }.into();
         assert!(e.source().is_some());
         let e: ModelError = gnna_graph::GraphError::NodeOutOfRange {
             node: 1,

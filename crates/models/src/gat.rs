@@ -119,10 +119,9 @@ impl GatLayer {
         let mut out = Matrix::zeros(n, self.output_dim());
         for (h, w) in self.head_weights.iter().enumerate() {
             let projected = x.matmul(w)?; // n × d
-            // Per-vertex attention terms.
-            let dot = |row: &[f32], vec: &[f32]| -> f32 {
-                row.iter().zip(vec).map(|(a, b)| a * b).sum()
-            };
+                                          // Per-vertex attention terms.
+            let dot =
+                |row: &[f32], vec: &[f32]| -> f32 { row.iter().zip(vec).map(|(a, b)| a * b).sum() };
             let s: Vec<f32> = (0..n)
                 .map(|v| dot(projected.row(v), &self.attn_self[h]))
                 .collect();
@@ -202,7 +201,14 @@ impl Gat {
         out_features: usize,
         seed: u64,
     ) -> Result<Self, ModelError> {
-        let l1 = GatLayer::new(in_features, 8, 8, true, Activation::Relu, subseed(seed, 100))?;
+        let l1 = GatLayer::new(
+            in_features,
+            8,
+            8,
+            true,
+            Activation::Relu,
+            subseed(seed, 100),
+        )?;
         let l2 = GatLayer::new(
             l1.output_dim(),
             out_features,
@@ -294,8 +300,8 @@ mod tests {
     use super::*;
 
     fn toy() -> (CsrGraph, Matrix) {
-        let g = CsrGraph::from_undirected_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
-            .unwrap();
+        let g =
+            CsrGraph::from_undirected_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
         let x = Matrix::from_fn(5, 6, |i, j| ((i * 6 + j) as f32 * 0.21).cos());
         (g, x)
     }

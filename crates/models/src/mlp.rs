@@ -195,8 +195,8 @@ mod tests {
 
     #[test]
     fn output_activation_applied() {
-        let mlp = Mlp::with_output_activation(&[2, 4, 3], Activation::Relu, Activation::Relu, 5)
-            .unwrap();
+        let mlp =
+            Mlp::with_output_activation(&[2, 4, 3], Activation::Relu, Activation::Relu, 5).unwrap();
         let x = Matrix::from_fn(8, 2, |i, j| ((i + j) as f32).cos());
         let y = mlp.forward(&x).unwrap();
         assert!(y.as_slice().iter().all(|&v| v >= 0.0));

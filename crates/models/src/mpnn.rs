@@ -1,9 +1,9 @@
 use crate::init::{glorot, subseed};
 use crate::{Mlp, ModelError};
-use gnna_tensor::TensorError;
 use gnna_graph::{CsrGraph, GraphInstance};
 use gnna_tensor::ops::{Activation, GruCell};
 use gnna_tensor::Matrix;
+use gnna_tensor::TensorError;
 
 /// A Message Passing Neural Network (Gilmer et al. 2017) — benchmark C.
 ///
@@ -65,9 +65,7 @@ impl MessageFunction {
     pub fn macs_per_edge(&self, hidden: usize) -> u64 {
         match self {
             MessageFunction::Mlp(mlp) => mlp.macs_per_row(),
-            MessageFunction::EdgeNetwork(net) => {
-                net.macs_per_row() + (hidden * hidden) as u64
-            }
+            MessageFunction::EdgeNetwork(net) => net.macs_per_row() + (hidden * hidden) as u64,
         }
     }
 
@@ -150,7 +148,11 @@ impl Mpnn {
         gru.u_r = glorot(hidden, hidden, subseed(seed, 5));
         gru.u_z = glorot(hidden, hidden, subseed(seed, 6));
         gru.u_h = glorot(hidden, hidden, subseed(seed, 7));
-        let readout = Mlp::new(&[hidden, 2 * hidden, out_features], Activation::Relu, subseed(seed, 8))?;
+        let readout = Mlp::new(
+            &[hidden, 2 * hidden, out_features],
+            Activation::Relu,
+            subseed(seed, 8),
+        )?;
         Ok(Mpnn {
             embed,
             message,
@@ -183,7 +185,14 @@ impl Mpnn {
                 reason: "the edge network needs edge features".into(),
             });
         }
-        let mut m = Self::for_dataset(in_features, edge_features, hidden, out_features, steps, seed)?;
+        let mut m = Self::for_dataset(
+            in_features,
+            edge_features,
+            hidden,
+            out_features,
+            steps,
+            seed,
+        )?;
         m.message = MessageFunction::EdgeNetwork(Mlp::new(
             &[edge_features, hidden * hidden],
             Activation::None,
@@ -284,9 +293,11 @@ impl Mpnn {
                 }
                 Some(ef)
             }
-            (None, d) if d > 0 => return Err(ModelError::MissingInput {
-                input: "edge_features",
-            }),
+            (None, d) if d > 0 => {
+                return Err(ModelError::MissingInput {
+                    input: "edge_features",
+                })
+            }
             _ => None,
         };
 
@@ -335,8 +346,7 @@ impl Mpnn {
         let n = graph.num_nodes() as u64;
         let m = graph.num_stored_edges() as u64;
         let embed = n * self.input_dim() as u64 * self.hidden_dim() as u64;
-        let per_step =
-            m * self.message.macs_per_edge(self.hidden) + n * self.gru.macs_per_row();
+        let per_step = m * self.message.macs_per_edge(self.hidden) + n * self.gru.macs_per_row();
         embed + self.steps as u64 * per_step + self.readout.macs_per_row()
     }
 

@@ -134,7 +134,11 @@ impl Pgnn {
         let mut layers = Vec::with_capacity(num_layers);
         for l in 0..num_layers {
             let inw = if l == 0 { in_features } else { hidden };
-            let outw = if l + 1 == num_layers { out_features } else { hidden };
+            let outw = if l + 1 == num_layers {
+                out_features
+            } else {
+                hidden
+            };
             let act = if l + 1 == num_layers {
                 Activation::None
             } else {
@@ -235,8 +239,8 @@ mod tests {
     use gnna_graph::generate::degree_features;
 
     fn toy() -> (CsrGraph, Matrix) {
-        let g = CsrGraph::from_undirected_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)])
-            .unwrap();
+        let g =
+            CsrGraph::from_undirected_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]).unwrap();
         let x = degree_features(&g);
         (g, x)
     }
@@ -284,14 +288,30 @@ mod tests {
         let short = Pgnn::with_powers(&[0, 1], 1, 4, 2, 3).unwrap();
         let y1 = short.forward(&g, &x1).unwrap();
         let y2 = short.forward(&g, &x2).unwrap();
-        let d_far = y1.row(0).iter().zip(y2.row(0)).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
-        assert!(d_far < 1e-7, "2-hop receptive field saw a 4-hop perturbation");
+        let d_far = y1
+            .row(0)
+            .iter()
+            .zip(y2.row(0))
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(
+            d_far < 1e-7,
+            "2-hop receptive field saw a 4-hop perturbation"
+        );
         // Powers {0,1,2}: receptive field 4 hops — now visible.
         let long = Pgnn::with_powers(&[0, 1, 2], 1, 4, 2, 3).unwrap();
         let y1 = long.forward(&g, &x1).unwrap();
         let y2 = long.forward(&g, &x2).unwrap();
-        let d_far = y1.row(0).iter().zip(y2.row(0)).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
-        assert!(d_far > 1e-7, "4-hop receptive field missed the perturbation");
+        let d_far = y1
+            .row(0)
+            .iter()
+            .zip(y2.row(0))
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(
+            d_far > 1e-7,
+            "4-hop receptive field missed the perturbation"
+        );
     }
 
     #[test]
@@ -322,8 +342,14 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let (g, x) = toy();
-        let a = Pgnn::for_dataset(1, 8, 3, 4).unwrap().forward(&g, &x).unwrap();
-        let b = Pgnn::for_dataset(1, 8, 3, 4).unwrap().forward(&g, &x).unwrap();
+        let a = Pgnn::for_dataset(1, 8, 3, 4)
+            .unwrap()
+            .forward(&g, &x)
+            .unwrap();
+        let b = Pgnn::for_dataset(1, 8, 3, 4)
+            .unwrap()
+            .forward(&g, &x)
+            .unwrap();
         assert_eq!(a, b);
     }
 }

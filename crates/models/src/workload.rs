@@ -156,9 +156,8 @@ pub fn mpnn_work(model: &Mpnn, instances: &[GraphInstance]) -> InferenceWork {
             + hidden + model.output_dim() as u64)
             * WORD_BYTES
             + structure_bytes(&inst.graph);
-        w.working_set_bytes =
-            (n * (f_in + 2 * hidden) + m * e_dim + weight_words) * WORD_BYTES
-                + structure_bytes(&inst.graph);
+        w.working_set_bytes = (n * (f_in + 2 * hidden) + m * e_dim + weight_words) * WORD_BYTES
+            + structure_bytes(&inst.graph);
         out = out.merge(w);
     }
     out

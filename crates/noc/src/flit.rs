@@ -109,10 +109,27 @@ mod tests {
 
     #[test]
     fn flit_head_tail_flags() {
-        let p = Arc::new(Packet::new(Address::new(0, 0, 0), Address::new(1, 0, 0), 200, ()));
-        let head = Flit { packet: Arc::clone(&p), seq: 0, num_flits: 4 };
-        let mid = Flit { packet: Arc::clone(&p), seq: 2, num_flits: 4 };
-        let tail = Flit { packet: Arc::clone(&p), seq: 3, num_flits: 4 };
+        let p = Arc::new(Packet::new(
+            Address::new(0, 0, 0),
+            Address::new(1, 0, 0),
+            200,
+            (),
+        ));
+        let head = Flit {
+            packet: Arc::clone(&p),
+            seq: 0,
+            num_flits: 4,
+        };
+        let mid = Flit {
+            packet: Arc::clone(&p),
+            seq: 2,
+            num_flits: 4,
+        };
+        let tail = Flit {
+            packet: Arc::clone(&p),
+            seq: 3,
+            num_flits: 4,
+        };
         assert!(head.is_head() && !head.is_tail());
         assert!(!mid.is_head() && !mid.is_tail());
         assert!(!tail.is_head() && tail.is_tail());
@@ -120,8 +137,17 @@ mod tests {
 
     #[test]
     fn single_flit_packet_is_head_and_tail() {
-        let p = Arc::new(Packet::new(Address::new(0, 0, 0), Address::new(1, 0, 0), 8, ()));
-        let f = Flit { packet: p, seq: 0, num_flits: 1 };
+        let p = Arc::new(Packet::new(
+            Address::new(0, 0, 0),
+            Address::new(1, 0, 0),
+            8,
+            (),
+        ));
+        let f = Flit {
+            packet: p,
+            seq: 0,
+            num_flits: 1,
+        };
         assert!(f.is_head() && f.is_tail());
     }
 }

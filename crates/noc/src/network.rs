@@ -46,6 +46,9 @@ pub struct Network<T> {
     next_packet_id: u64,
     stats: NetworkStats,
     inflight_flits: u64,
+    /// Optional telemetry probe (`None` when tracing is disabled, so
+    /// instrumentation reduces to a never-taken branch).
+    probe: Option<gnna_telemetry::ModuleProbe>,
 }
 
 impl<T> Network<T> {
@@ -56,7 +59,12 @@ impl<T> Network<T> {
     /// # Panics
     ///
     /// Panics if `width` or `height` is zero.
-    pub fn new(cfg: NocConfig, width: usize, height: usize, locals: impl Fn(usize, usize) -> usize) -> Self {
+    pub fn new(
+        cfg: NocConfig,
+        width: usize,
+        height: usize,
+        locals: impl Fn(usize, usize) -> usize,
+    ) -> Self {
         assert!(width > 0 && height > 0, "mesh must be at least 1x1");
         let mut routers = Vec::with_capacity(width * height);
         let mut injection = Vec::with_capacity(width * height);
@@ -100,7 +108,20 @@ impl<T> Network<T> {
             next_packet_id: 0,
             stats: NetworkStats::default(),
             inflight_flits: 0,
+            probe: None,
         }
+    }
+
+    /// Attaches a telemetry probe; the network emits an instant event on
+    /// every rejected injection (staging slot busy — injection-side
+    /// backpressure).
+    pub fn attach_probe(&mut self, probe: gnna_telemetry::ModuleProbe) {
+        self.probe = Some(probe);
+    }
+
+    /// Flits currently inside the fabric or waiting at ejection buffers.
+    pub fn inflight_flits(&self) -> u64 {
+        self.inflight_flits
     }
 
     /// Mesh width.
@@ -138,12 +159,17 @@ impl<T> Network<T> {
     }
 
     fn index(&self, x: usize, y: usize) -> usize {
-        assert!(x < self.width && y < self.height, "node ({x},{y}) out of range");
+        assert!(
+            x < self.width && y < self.height,
+            "node ({x},{y}) out of range"
+        );
         y * self.width + x
     }
 
     fn validate(&self, a: Address) -> bool {
-        a.x < self.width && a.y < self.height && a.port < self.routers[self.index(a.x, a.y)].num_locals
+        a.x < self.width
+            && a.y < self.height
+            && a.port < self.routers[self.index(a.x, a.y)].num_locals
     }
 
     /// Injects a packet at its `src` address. The packet is serialised one
@@ -164,6 +190,9 @@ impl<T> Network<T> {
         let node = self.index(packet.src.x, packet.src.y);
         let port = packet.src.port;
         if self.injection[node][port].is_some() {
+            if let Some(p) = &self.probe {
+                p.instant("noc_inject_stall");
+            }
             return Err(packet);
         }
         packet.id = self.next_packet_id;
@@ -244,8 +273,10 @@ impl<T> Network<T> {
                     .front()
                     .is_some_and(|f| f.arrive_at <= cycle)
                 {
-                    let InFlightFlit { flit, .. } =
-                        self.routers[r].outputs[o].link.pop_front().expect("checked front");
+                    let InFlightFlit { flit, .. } = self.routers[r].outputs[o]
+                        .link
+                        .pop_front()
+                        .expect("checked front");
                     if o >= LOCAL_BASE {
                         self.ejection[r][o - LOCAL_BASE].push_back(flit);
                     } else {
@@ -339,10 +370,7 @@ impl<T> Network<T> {
                         let input = &router.inputs[owner];
                         let sendable = !input_sent[owner]
                             && input.route == Some(o)
-                            && input
-                                .buffer
-                                .front()
-                                .is_some_and(|b| b.eligible_at <= cycle);
+                            && input.buffer.front().is_some_and(|b| b.eligible_at <= cycle);
                         sendable.then_some(owner)
                     } else {
                         // Round-robin over head flits requesting this output.
@@ -524,7 +552,11 @@ mod tests {
         let mut pending: Vec<Packet<u32>> = Vec::new();
         for i in 0..64u32 {
             let src = Address::new((i % 4) as usize, (i as usize / 4) % 4, (i % 2) as usize);
-            let dst = Address::new(((i + 1) % 4) as usize, ((i as usize / 2) + 1) % 4, ((i + 1) % 2) as usize);
+            let dst = Address::new(
+                ((i + 1) % 4) as usize,
+                ((i as usize / 2) + 1) % 4,
+                ((i + 1) % 2) as usize,
+            );
             pending.push(Packet::new(src, dst, 64 * (1 + (i as usize % 3)), i));
             expected += 1;
         }
@@ -561,8 +593,13 @@ mod tests {
     fn is_idle_tracks_inflight() {
         let mut n = net(2, 2);
         assert!(n.is_idle());
-        n.try_inject(Packet::new(Address::new(0, 0, 0), Address::new(1, 1, 0), 64, 3))
-            .unwrap();
+        n.try_inject(Packet::new(
+            Address::new(0, 0, 0),
+            Address::new(1, 1, 0),
+            64,
+            3,
+        ))
+        .unwrap();
         assert!(!n.is_idle());
         let dst = Address::new(1, 1, 0);
         for _ in 0..32 {

@@ -13,17 +13,12 @@ struct Traffic {
 fn traffic_strategy() -> impl Strategy<Value = Traffic> {
     (1..=4usize, 1..=4usize)
         .prop_flat_map(|(w, h)| {
-            let packet =
-                (0..w, 0..h, 0..2usize, 0..w, 0..h, 0..2usize, 1..=512usize).prop_map(
-                    |(sx, sy, sp, dx, dy, dp, bytes)| {
-                        (Address::new(sx, sy, sp), Address::new(dx, dy, dp), bytes)
-                    },
-                );
-            (
-                Just(w),
-                Just(h),
-                proptest::collection::vec(packet, 1..24),
-            )
+            let packet = (0..w, 0..h, 0..2usize, 0..w, 0..h, 0..2usize, 1..=512usize).prop_map(
+                |(sx, sy, sp, dx, dy, dp, bytes)| {
+                    (Address::new(sx, sy, sp), Address::new(dx, dy, dp), bytes)
+                },
+            );
+            (Just(w), Just(h), proptest::collection::vec(packet, 1..24))
         })
         .prop_map(|(width, height, packets)| Traffic {
             width,

@@ -1,0 +1,297 @@
+//! Named metrics registry: counters, gauges, and summary histograms with
+//! deterministic (sorted) iteration, serializable to JSON and CSV.
+//!
+//! Naming convention used by the simulator: dotted paths with the module
+//! instance first, e.g. `tile0.gpe.vertices_done`, `mem1.dram_bytes`,
+//! `noc.flit_hops`, `system.total_cycles`. Keeping the instance prefix first
+//! means a plain sort groups all metrics of one module together in the CSV.
+
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+
+/// Streaming summary of observed samples (no buckets: count/sum/min/max,
+/// which is all the report generator needs and keeps memory O(1)).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HistogramSummary {
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl HistogramSummary {
+    pub fn observe(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(HistogramSummary),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// Registry of named metrics. Insertion is keyed by full metric name; mixing
+/// kinds under one name panics (it is always a bug in instrumentation).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: BTreeMap<String, Metric>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Add `delta` to a counter, creating it at zero if absent.
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        match self
+            .metrics
+            .entry(name.to_string())
+            .or_insert(Metric::Counter(0))
+        {
+            Metric::Counter(v) => *v += delta,
+            other => panic!("metric '{name}' is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Set a counter to an absolute value (used when harvesting module stats
+    /// that are already cumulative).
+    pub fn counter_set(&mut self, name: &str, value: u64) {
+        match self
+            .metrics
+            .entry(name.to_string())
+            .or_insert(Metric::Counter(0))
+        {
+            Metric::Counter(v) => *v = value,
+            other => panic!("metric '{name}' is a {}, not a counter", other.kind()),
+        }
+    }
+
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        match self
+            .metrics
+            .entry(name.to_string())
+            .or_insert(Metric::Gauge(0.0))
+        {
+            Metric::Gauge(v) => *v = value,
+            other => panic!("metric '{name}' is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Record one histogram sample.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        match self
+            .metrics
+            .entry(name.to_string())
+            .or_insert(Metric::Histogram(HistogramSummary::default()))
+        {
+            Metric::Histogram(h) => h.observe(value),
+            other => panic!("metric '{name}' is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    pub fn get(&self, name: &str) -> Option<&Metric> {
+        self.metrics.get(name)
+    }
+
+    pub fn get_counter(&self, name: &str) -> Option<u64> {
+        match self.metrics.get(name) {
+            Some(Metric::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Sorted iteration over `(name, metric)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Metric)> {
+        self.metrics.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Counters whose name starts with `prefix`, with the prefix stripped.
+    /// Handy for building per-tile report sections from `tileN.` metrics.
+    pub fn counters_with_prefix(&self, prefix: &str) -> Vec<(String, u64)> {
+        self.metrics
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .filter_map(|(k, v)| match v {
+                Metric::Counter(c) => Some((k[prefix.len()..].to_string(), *c)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    pub fn write_json<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        w.write_all(b"{")?;
+        let mut first = true;
+        for (name, metric) in &self.metrics {
+            if !first {
+                w.write_all(b",")?;
+            }
+            first = false;
+            let mut key = String::new();
+            crate::json::escape_into(&mut key, name);
+            match metric {
+                Metric::Counter(v) => write!(w, "\"{key}\":{v}")?,
+                Metric::Gauge(v) => write!(w, "\"{key}\":{}", crate::json::number(*v))?,
+                Metric::Histogram(h) => write!(
+                    w,
+                    "\"{key}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{}}}",
+                    h.count,
+                    crate::json::number(h.sum),
+                    crate::json::number(h.min),
+                    crate::json::number(h.max),
+                    crate::json::number(h.mean())
+                )?,
+            }
+        }
+        w.write_all(b"}")?;
+        Ok(())
+    }
+
+    pub fn to_json_string(&self) -> String {
+        let mut buf = Vec::new();
+        self.write_json(&mut buf).expect("writing to Vec");
+        String::from_utf8(buf).expect("metrics JSON is UTF-8")
+    }
+
+    /// CSV with header `metric,kind,value,count,sum,min,max,mean`.
+    /// Counters/gauges fill `value`; histograms fill the summary columns.
+    pub fn write_csv<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        writeln!(w, "metric,kind,value,count,sum,min,max,mean")?;
+        for (name, metric) in &self.metrics {
+            match metric {
+                Metric::Counter(v) => writeln!(w, "{name},counter,{v},,,,,")?,
+                Metric::Gauge(v) => writeln!(w, "{name},gauge,{},,,,,", crate::json::number(*v))?,
+                Metric::Histogram(h) => writeln!(
+                    w,
+                    "{name},histogram,,{},{},{},{},{}",
+                    h.count,
+                    crate::json::number(h.sum),
+                    crate::json::number(h.min),
+                    crate::json::number(h.max),
+                    crate::json::number(h.mean())
+                )?,
+            }
+        }
+        Ok(())
+    }
+
+    pub fn to_csv_string(&self) -> String {
+        let mut buf = Vec::new();
+        self.write_csv(&mut buf).expect("writing to Vec");
+        String::from_utf8(buf).expect("metrics CSV is UTF-8")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("tile0.gpe.vertices_done", 3);
+        m.counter_add("tile0.gpe.vertices_done", 4);
+        assert_eq!(m.get_counter("tile0.gpe.vertices_done"), Some(7));
+    }
+
+    #[test]
+    fn histogram_summary_tracks_extremes() {
+        let mut m = MetricsRegistry::new();
+        for v in [4.0, 1.0, 9.0] {
+            m.observe("tile0.dnq.depth", v);
+        }
+        match m.get("tile0.dnq.depth") {
+            Some(Metric::Histogram(h)) => {
+                assert_eq!(h.count, 3);
+                assert_eq!(h.min, 1.0);
+                assert_eq!(h.max, 9.0);
+                assert!((h.mean() - 14.0 / 3.0).abs() < 1e-12);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn kind_mismatch_panics() {
+        let mut m = MetricsRegistry::new();
+        m.gauge_set("x", 1.0);
+        m.counter_add("x", 1);
+    }
+
+    #[test]
+    fn json_roundtrip_and_csv_shape() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("noc.flit_hops", 42);
+        m.gauge_set("mem0.efficiency", 0.75);
+        m.observe("tile1.agg.occupancy", 2.0);
+        let doc = json::parse(&m.to_json_string()).expect("valid JSON");
+        assert_eq!(doc.get("noc.flit_hops").unwrap().as_u64(), Some(42));
+        assert_eq!(doc.get("mem0.efficiency").unwrap().as_f64(), Some(0.75));
+        assert_eq!(
+            doc.get("tile1.agg.occupancy")
+                .unwrap()
+                .get("count")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+
+        let csv = m.to_csv_string();
+        let lines: Vec<_> = csv.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], "metric,kind,value,count,sum,min,max,mean");
+        assert!(lines
+            .iter()
+            .any(|l| l.starts_with("noc.flit_hops,counter,42")));
+    }
+
+    #[test]
+    fn prefix_extraction() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("tile0.gpe.vertices_done", 5);
+        m.counter_add("tile0.agg.completed", 2);
+        m.counter_add("tile10.gpe.vertices_done", 9);
+        let t0 = m.counters_with_prefix("tile0.");
+        assert_eq!(t0.len(), 2);
+        assert!(t0.contains(&("gpe.vertices_done".to_string(), 5)));
+        assert!(t0.contains(&("agg.completed".to_string(), 2)));
+    }
+}

@@ -223,11 +223,7 @@ impl GruCell {
         for i in 0..out.rows() {
             for j in 0..out.cols() {
                 let zv = z.get(i, j);
-                out.set(
-                    i,
-                    j,
-                    (1.0 - zv) * h.get(i, j) + zv * candidate.get(i, j),
-                );
+                out.set(i, j, (1.0 - zv) * h.get(i, j) + zv * candidate.get(i, j));
             }
         }
         Ok(out)

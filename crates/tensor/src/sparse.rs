@@ -48,7 +48,11 @@ impl CsrMatrix {
     ) -> Result<Self, TensorError> {
         if row_ptr.len() != rows + 1 {
             return Err(TensorError::InvalidCsr {
-                reason: format!("row_ptr has length {}, expected {}", row_ptr.len(), rows + 1),
+                reason: format!(
+                    "row_ptr has length {}, expected {}",
+                    row_ptr.len(),
+                    rows + 1
+                ),
             });
         }
         if row_ptr[0] != 0 || *row_ptr.last().expect("non-empty row_ptr") != col_idx.len() {
@@ -266,12 +270,7 @@ mod tests {
     use super::*;
 
     fn sample_dense() -> Matrix {
-        Matrix::from_rows(&[
-            &[0.0, 2.0, 0.0],
-            &[1.0, 0.0, 3.0],
-            &[0.0, 0.0, 0.0],
-        ])
-        .unwrap()
+        Matrix::from_rows(&[&[0.0, 2.0, 0.0], &[1.0, 0.0, 3.0], &[0.0, 0.0, 0.0]]).unwrap()
     }
 
     #[test]

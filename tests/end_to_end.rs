@@ -17,14 +17,17 @@ fn max_row_diff(a: &Matrix, b: &Matrix) -> f32 {
 fn gcn_matches_on_all_three_configurations() {
     let d = datasets::cora_scaled(60, 24, 5, 3).unwrap();
     let inst = &d.instances[0];
-    let gcn = Gcn::for_dataset(24, 8, 5, 9).unwrap().with_norm(GcnNorm::Mean);
+    let gcn = Gcn::for_dataset(24, 8, 5, 9)
+        .unwrap()
+        .with_norm(GcnNorm::Mean);
     let reference = gcn.forward(&inst.graph, &inst.x).unwrap();
     for cfg in [
         AcceleratorConfig::cpu_iso_bandwidth(),
         AcceleratorConfig::gpu_iso_bandwidth(),
         AcceleratorConfig::gpu_iso_flops(),
     ] {
-        let mut sys = System::new(&cfg, std::slice::from_ref(inst), compile_gcn(&gcn).unwrap()).unwrap();
+        let mut sys =
+            System::new(&cfg, std::slice::from_ref(inst), compile_gcn(&gcn).unwrap()).unwrap();
         sys.run().unwrap();
         let diff = max_row_diff(&sys.output_matrix(0).unwrap(), &reference);
         assert!(diff < 1e-3, "{}: diff {diff}", cfg.name);
@@ -36,11 +39,14 @@ fn results_are_clock_invariant() {
     // The core clock changes timing, never values.
     let d = datasets::cora_scaled(40, 16, 4, 5).unwrap();
     let inst = &d.instances[0];
-    let gcn = Gcn::for_dataset(16, 8, 4, 2).unwrap().with_norm(GcnNorm::Mean);
+    let gcn = Gcn::for_dataset(16, 8, 4, 2)
+        .unwrap()
+        .with_norm(GcnNorm::Mean);
     let mut outputs = Vec::new();
     for clock in [0.6e9, 1.2e9, 2.4e9] {
         let cfg = AcceleratorConfig::cpu_iso_bandwidth().with_core_clock(clock);
-        let mut sys = System::new(&cfg, std::slice::from_ref(inst), compile_gcn(&gcn).unwrap()).unwrap();
+        let mut sys =
+            System::new(&cfg, std::slice::from_ref(inst), compile_gcn(&gcn).unwrap()).unwrap();
         sys.run().unwrap();
         outputs.push(sys.output_matrix(0).unwrap());
     }
@@ -54,7 +60,8 @@ fn gat_matches_functional_model_multi_tile() {
     let inst = &d.instances[0];
     let gat = Gat::for_dataset(12, 3, 4).unwrap();
     let cfg = AcceleratorConfig::gpu_iso_bandwidth();
-    let mut sys = System::new(&cfg, std::slice::from_ref(inst), compile_gat(&gat).unwrap()).unwrap();
+    let mut sys =
+        System::new(&cfg, std::slice::from_ref(inst), compile_gat(&gat).unwrap()).unwrap();
     sys.run().unwrap();
     let diff = max_row_diff(
         &sys.output_matrix(0).unwrap(),
@@ -110,7 +117,12 @@ fn deep_pgnn_matches_functional_model() {
     let inst = &d.instances[0];
     let pgnn = Pgnn::deep(&[0, 1, 2], 1, 6, 3, 3, 4).unwrap();
     let cfg = AcceleratorConfig::cpu_iso_bandwidth();
-    let mut sys = System::new(&cfg, std::slice::from_ref(inst), compile_pgnn(&pgnn).unwrap()).unwrap();
+    let mut sys = System::new(
+        &cfg,
+        std::slice::from_ref(inst),
+        compile_pgnn(&pgnn).unwrap(),
+    )
+    .unwrap();
     sys.run().unwrap();
     let reference = pgnn.forward(&inst.graph, &inst.x).unwrap();
     let diff = max_row_diff(&sys.output_matrix(0).unwrap(), &reference);
@@ -127,12 +139,19 @@ fn deep_pgnn_matches_functional_model() {
 fn simulation_is_deterministic() {
     let run = || {
         let d = datasets::cora_scaled(32, 8, 3, 1).unwrap();
-        let gcn = Gcn::for_dataset(8, 4, 3, 1).unwrap().with_norm(GcnNorm::Mean);
+        let gcn = Gcn::for_dataset(8, 4, 3, 1)
+            .unwrap()
+            .with_norm(GcnNorm::Mean);
         let cfg = AcceleratorConfig::cpu_iso_bandwidth();
         let mut sys =
             System::new(&cfg, &[d.instances[0].clone()], compile_gcn(&gcn).unwrap()).unwrap();
         let r = sys.run().unwrap();
-        (r.total_cycles, r.dram_bytes, r.noc_flit_hops, sys.full_output())
+        (
+            r.total_cycles,
+            r.dram_bytes,
+            r.noc_flit_hops,
+            sys.full_output(),
+        )
     };
     let a = run();
     let b = run();
@@ -148,10 +167,13 @@ fn memory_bound_workload_is_clock_insensitive() {
     // change latency (the paper's §VI-B argument for GCN).
     let d = datasets::cora_scaled(300, 512, 3, 2).unwrap();
     let inst = &d.instances[0];
-    let gcn = Gcn::for_dataset(512, 8, 3, 1).unwrap().with_norm(GcnNorm::Mean);
+    let gcn = Gcn::for_dataset(512, 8, 3, 1)
+        .unwrap()
+        .with_norm(GcnNorm::Mean);
     let run = |clock: f64| {
         let cfg = AcceleratorConfig::cpu_iso_bandwidth().with_core_clock(clock);
-        let mut sys = System::new(&cfg, std::slice::from_ref(inst), compile_gcn(&gcn).unwrap()).unwrap();
+        let mut sys =
+            System::new(&cfg, std::slice::from_ref(inst), compile_gcn(&gcn).unwrap()).unwrap();
         sys.run().unwrap().latency_s()
     };
     let fast = run(2.4e9);
@@ -167,9 +189,12 @@ fn memory_bound_workload_is_clock_insensitive() {
 fn speedup_report_fields_are_consistent() {
     let d = datasets::cora_scaled(64, 32, 4, 6).unwrap();
     let inst = &d.instances[0];
-    let gcn = Gcn::for_dataset(32, 8, 4, 1).unwrap().with_norm(GcnNorm::Mean);
+    let gcn = Gcn::for_dataset(32, 8, 4, 1)
+        .unwrap()
+        .with_norm(GcnNorm::Mean);
     let cfg = AcceleratorConfig::cpu_iso_bandwidth();
-    let mut sys = System::new(&cfg, std::slice::from_ref(inst), compile_gcn(&gcn).unwrap()).unwrap();
+    let mut sys =
+        System::new(&cfg, std::slice::from_ref(inst), compile_gcn(&gcn).unwrap()).unwrap();
     let r = sys.run().unwrap();
     // Basic accounting sanity.
     assert!(r.useful_mem_bytes <= r.dram_bytes);

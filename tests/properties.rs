@@ -123,13 +123,23 @@ fn union_graph_equivalent_to_monolithic() {
     let g2 = CsrGraph::from_undirected_edges(3, &[(0, 1), (1, 2)]).unwrap();
     let x1 = generate::random_features(4, 6, 1);
     let x2 = generate::random_features(3, 6, 2);
-    let gcn = Gcn::for_dataset(6, 4, 2, 3).unwrap().with_norm(GcnNorm::Mean);
+    let gcn = Gcn::for_dataset(6, 4, 2, 3)
+        .unwrap()
+        .with_norm(GcnNorm::Mean);
     let cfg = AcceleratorConfig::cpu_iso_bandwidth();
 
     // Two instances in one run.
     let insts = vec![
-        GraphInstance { graph: g1.clone(), x: x1.clone(), edge_features: None },
-        GraphInstance { graph: g2.clone(), x: x2.clone(), edge_features: None },
+        GraphInstance {
+            graph: g1.clone(),
+            x: x1.clone(),
+            edge_features: None,
+        },
+        GraphInstance {
+            graph: g2.clone(),
+            x: x2.clone(),
+            edge_features: None,
+        },
     ];
     let mut sys = System::new(&cfg, &insts, compile_gcn(&gcn).unwrap()).unwrap();
     sys.run().unwrap();
@@ -138,9 +148,14 @@ fn union_graph_equivalent_to_monolithic() {
 
     // Each instance alone.
     for (inst, expected) in insts.iter().zip([out1, out2]) {
-        let mut solo = System::new(&cfg, std::slice::from_ref(inst), compile_gcn(&gcn).unwrap()).unwrap();
+        let mut solo =
+            System::new(&cfg, std::slice::from_ref(inst), compile_gcn(&gcn).unwrap()).unwrap();
         solo.run().unwrap();
-        let diff = solo.output_matrix(0).unwrap().max_abs_diff(&expected).unwrap();
+        let diff = solo
+            .output_matrix(0)
+            .unwrap()
+            .max_abs_diff(&expected)
+            .unwrap();
         assert!(diff < 1e-5, "diff {diff}");
     }
 }

@@ -1,0 +1,108 @@
+//! Offline, std-only shim of the `criterion` API surface this workspace uses.
+//!
+//! Provides `Criterion`, `Bencher`, `criterion_group!`, and `criterion_main!`
+//! so `cargo bench` compiles and produces simple wall-clock timings (median of
+//! `sample_size` samples, each auto-scaled to ≥ ~5 ms). No statistical
+//! analysis, HTML reports, or regression detection — swap back to the real
+//! crate when registry access is restored.
+
+use std::time::{Duration, Instant};
+
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+
+        // Warm-up / calibration: grow iteration count until one sample takes
+        // at least ~5 ms (or we hit a cap), so short benchmarks aren't pure
+        // timer noise.
+        loop {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            if b.elapsed >= Duration::from_millis(5) || b.iters >= 1 << 20 {
+                break;
+            }
+            b.iters = (b.iters * 2).min(1 << 20);
+        }
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            samples.push(b.elapsed);
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        let per_iter = median.as_nanos() as f64 / b.iters as f64;
+        println!(
+            "{name:<40} {:>12.1} ns/iter (median of {} samples x {} iters)",
+            per_iter, self.sample_size, b.iters
+        );
+        self
+    }
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Re-export for code using `criterion::black_box`.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

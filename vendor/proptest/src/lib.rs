@@ -1,0 +1,439 @@
+//! Offline, std-only shim of the `proptest` API surface this workspace uses.
+//!
+//! The build environment cannot reach crates.io, so this crate re-implements
+//! just enough of proptest for the workspace's property tests to compile and
+//! run: the `Strategy` trait with `prop_map`/`prop_flat_map`/`boxed`, range
+//! and tuple strategies, `Just`, `any::<T>()`, `collection::vec`,
+//! `prop_oneof!` (weighted and unweighted), `ProptestConfig::with_cases`, and
+//! the `proptest!` / `prop_assert*!` macros.
+//!
+//! Differences from the real crate (acceptable for these tests, recorded in
+//! ROADMAP.md):
+//! - **no shrinking** — a failing case panics with the generated inputs via
+//!   the normal assert message rather than a minimized counterexample;
+//! - deterministic per-test RNG streams (no `proptest-regressions` replay);
+//! - default case count is 64 rather than 256 to keep CI fast.
+
+pub mod strategy {
+    use rand::prelude::*;
+
+    /// Deterministic RNG handed to strategies.
+    pub struct TestRng(pub(crate) StdRng);
+
+    impl TestRng {
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng(StdRng::seed_from_u64(seed))
+        }
+        pub fn inner(&mut self) -> &mut StdRng {
+            &mut self.0
+        }
+    }
+
+    /// A generator of values of type `Self::Value`.
+    ///
+    /// Unlike real proptest there is no value tree / shrinking: `generate`
+    /// produces a concrete value directly.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Type-erased strategy (object-safe: the combinators are `Sized`-gated).
+    pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of its payload.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            let mid = self.inner.generate(rng);
+            (self.f)(mid).generate(rng)
+        }
+    }
+
+    /// Ranges of ints/floats are strategies (uniform sampling).
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.0.random_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.0.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    /// Tuple strategies up to arity 8.
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+    /// Weighted choice over boxed alternatives (`prop_oneof!`).
+    pub struct WeightedUnion<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T> WeightedUnion<T> {
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof! needs at least one positive weight");
+            WeightedUnion { arms, total }
+        }
+    }
+
+    impl<T> Strategy for WeightedUnion<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.0.random_range(0..self.total);
+            for (w, s) in &self.arms {
+                if pick < *w as u64 {
+                    return s.generate(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weighted pick within total")
+        }
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::{Strategy, TestRng};
+    use rand::prelude::*;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_uint {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> Self {
+                    rng.inner().next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            rng.inner().next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// `any::<T>()` — uniform over the type's full domain.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use super::strategy::{Strategy, TestRng};
+    use rand::prelude::*;
+
+    /// Acceptable size arguments for [`vec`]: an exact length or a range.
+    pub trait IntoSizeRange {
+        fn pick_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl IntoSizeRange for usize {
+        fn pick_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSizeRange for core::ops::Range<usize> {
+        fn pick_len(&self, rng: &mut TestRng) -> usize {
+            rng.inner().random_range(self.clone())
+        }
+    }
+
+    impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+        fn pick_len(&self, rng: &mut TestRng) -> usize {
+            rng.inner().random_range(self.clone())
+        }
+    }
+
+    pub struct VecStrategy<S, R> {
+        elem: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: IntoSizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.pick_len(rng);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec(elem_strategy, size)`.
+    pub fn vec<S: Strategy, R: IntoSizeRange>(elem: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { elem, size }
+    }
+}
+
+pub mod test_runner {
+    use super::strategy::TestRng;
+
+    /// Subset of proptest's `Config`.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // Smaller than upstream's 256 to keep the offline CI fast.
+            Config { cases: 64 }
+        }
+    }
+
+    /// Drives the per-case loop generated by the `proptest!` macro.
+    pub struct TestRunner {
+        cases: u32,
+        seed: u64,
+    }
+
+    impl TestRunner {
+        pub fn new(config: Config) -> Self {
+            TestRunner {
+                cases: config.cases,
+                seed: 0x6702_8621_8DAC_5B0F,
+            }
+        }
+
+        pub fn cases(&self) -> u32 {
+            self.cases
+        }
+
+        /// Independent deterministic stream per case index.
+        pub fn rng_for(&self, case: u32) -> TestRng {
+            TestRng::from_seed(self.seed ^ (case as u64).wrapping_mul(0xA24B_AED4_963E_E407))
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Property-test entry macro. Supports an optional leading
+/// `#![proptest_config(...)]` and any number of
+/// `fn name(pat in strategy, ...) { body }` items with attributes/doc
+/// comments.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            @cfg(<$crate::test_runner::Config as ::core::default::Default>::default())
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($parm:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __pt_runner = $crate::test_runner::TestRunner::new($cfg);
+            for __pt_case in 0..__pt_runner.cases() {
+                let mut __pt_rng = __pt_runner.rng_for(__pt_case);
+                $(
+                    let $parm = $crate::strategy::Strategy::generate(
+                        &($strat),
+                        &mut __pt_rng,
+                    );
+                )+
+                $body
+            }
+        }
+        $crate::__proptest_items! { @cfg($cfg) $($rest)* }
+    };
+}
+
+/// One-of strategy choice; arms may be weighted (`w => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::WeightedUnion::new(vec![
+            $(
+                (
+                    ($weight) as u32,
+                    $crate::strategy::Strategy::boxed($strat),
+                )
+            ),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}
+
+// Without shrinking, assertion failures just panic like normal asserts.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair_strategy() -> impl Strategy<Value = (usize, Vec<u32>)> {
+        (1usize..10).prop_flat_map(|n| (Just(n), crate::collection::vec(0u32..100, n)))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Vec length always matches the flat-mapped size.
+        #[test]
+        fn vec_sizes_track_binding((n, v) in pair_strategy()) {
+            prop_assert_eq!(v.len(), n);
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn oneof_respects_arms(x in prop_oneof![8 => Just(0.0f32), 2 => 1.0f32..2.0]) {
+            prop_assert!(x == 0.0 || (1.0..2.0).contains(&x));
+        }
+
+        #[test]
+        fn any_is_callable(seed in any::<u64>(), flag in any::<bool>()) {
+            let _ = (seed, flag);
+        }
+    }
+
+    #[test]
+    fn runner_streams_are_deterministic() {
+        let r = crate::test_runner::TestRunner::new(ProptestConfig::with_cases(4));
+        let s = (0u64..1000).generate(&mut r.rng_for(0));
+        let s2 = (0u64..1000).generate(&mut r.rng_for(0));
+        assert_eq!(s, s2);
+    }
+}

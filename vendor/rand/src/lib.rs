@@ -1,0 +1,220 @@
+//! Offline, std-only shim of the small `rand` API surface this workspace uses.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! `rand` crate cannot be fetched. This shim implements exactly what the
+//! workspace needs — `rngs::StdRng`, `SeedableRng::seed_from_u64`, and
+//! `Rng::random_range` over integer and float ranges — with a deterministic
+//! xoshiro256++ generator seeded via SplitMix64.
+//!
+//! It is NOT a cryptographically secure or statistically audited RNG; it is a
+//! reproducible pseudo-random source for test-data and weight-init generation.
+//! Swap back to the real crate when registry access is restored.
+
+/// Seedable RNG trait (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Range-sampling abstraction (subset of `rand::distr::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Core RNG trait: produces raw 64-bit output.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing RNG trait (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Sample a value uniformly from the given range.
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Uniform value in `[0, 1)`.
+    fn random_f64(&mut self) -> f64
+    where
+        Self: Sized,
+    {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Uniform integer in `[0, bound)` via Lemire-style widening multiply
+/// (without the rejection step; bias is negligible for the small bounds used
+/// in tests and acceptable for this shim).
+fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    ((rng.next_u64() as u128 * bound as u128) >> 64) as u64
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                let off = bounded_u64(rng, span);
+                ((self.start as i128) + off as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    // Full-width range: any u64/i64 value is valid.
+                    return rng.next_u64() as $t;
+                }
+                let off = bounded_u64(rng, span as u64);
+                ((lo as i128) + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                let v = self.start as f64 + unit * (self.end as f64 - self.start as f64);
+                // Guard against rounding up to the exclusive bound.
+                if v >= self.end as f64 { self.start } else { v as $t }
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start() as f64, *self.end() as f64);
+                assert!(lo <= hi, "cannot sample empty range");
+                let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                (lo + unit * (hi - lo)) as $t
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32, f64);
+
+/// SplitMix64: used to expand a 64-bit seed into xoshiro state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256++ generator (Blackman & Vigna).
+#[derive(Clone, Debug)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl Xoshiro256PlusPlus {
+    pub fn new_seeded(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Self { s }
+    }
+}
+
+impl RngCore for Xoshiro256PlusPlus {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng, Xoshiro256PlusPlus};
+
+    /// Deterministic standard RNG (shim: xoshiro256++ rather than ChaCha12,
+    /// so streams differ from upstream `rand` but are stable across runs).
+    #[derive(Clone, Debug)]
+    pub struct StdRng(Xoshiro256PlusPlus);
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng(Xoshiro256PlusPlus::new_seeded(state))
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.random_range(0..4usize);
+            assert!(v < 4);
+            let w = rng.random_range(0..=2u32);
+            assert!(w <= 2);
+            let f = rng.random_range(0.0..1.0f32);
+            assert!((0.0..1.0).contains(&f));
+            let s = rng.random_range(-3..3i64);
+            assert!((-3..3).contains(&s));
+        }
+    }
+
+    #[test]
+    fn inclusive_signed_range() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            let v = rng.random_range(-2..=2i32);
+            assert!((-2..=2).contains(&v));
+            seen[(v + 2) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values in range reachable");
+    }
+}
