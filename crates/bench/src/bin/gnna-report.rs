@@ -1,0 +1,155 @@
+//! `gnna-report` — turn `gnna-sim --metrics-out`/`--trace-out` dumps into
+//! a bottleneck report.
+//!
+//! ```console
+//! $ gnna-sim --model gcn --smoke --metrics-out m.json --trace-out t.json
+//! $ gnna-report --metrics m.json --trace t.json
+//! $ gnna-report --metrics m.json --format csv --out report.csv
+//! ```
+//!
+//! The markdown report carries per-module utilisation, a per-tile
+//! stall-cause breakdown, the hottest mesh links as a heat-map, and
+//! packet-latency quantiles (paper Fig. 9/10 style).
+
+use gnna_bench::report::{parse_trace_json, BottleneckReport, MetricsSnapshot};
+use std::process::ExitCode;
+
+struct Args {
+    metrics: String,
+    trace: Option<String>,
+    out: Option<String>,
+    format: Format,
+    top_k: usize,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Markdown,
+    Csv,
+    Auto,
+}
+
+const USAGE: &str = "\
+usage: gnna-report --metrics FILE [options]
+  --metrics FILE    metrics dump from `gnna-sim --metrics-out`
+                    (.json or .csv, auto-detected)
+  --trace FILE      optional Chrome trace from `gnna-sim --trace-out`;
+                    adds a trace-inventory section
+  --out FILE        write the report here instead of stdout
+  --format md|csv   output format (default: md, or by --out extension)
+  --top-k N         rows in the hottest-links/spans tables (default 8)
+  --help            this message";
+
+fn parse_args() -> Result<Args, String> {
+    let mut metrics = None;
+    let mut trace = None;
+    let mut out = None;
+    let mut format = Format::Auto;
+    let mut top_k = 8usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--metrics" => metrics = Some(value("--metrics")?),
+            "--trace" => trace = Some(value("--trace")?),
+            "--out" => out = Some(value("--out")?),
+            "--format" => {
+                format = match value("--format")?.as_str() {
+                    "md" | "markdown" => Format::Markdown,
+                    "csv" => Format::Csv,
+                    other => return Err(format!("unknown format {other} (md|csv)")),
+                }
+            }
+            "--top-k" => {
+                top_k = value("--top-k")?
+                    .parse()
+                    .map_err(|e| format!("bad --top-k: {e}"))?
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    let metrics = metrics.ok_or("--metrics is required")?;
+    Ok(Args {
+        metrics,
+        trace,
+        out,
+        format,
+        top_k,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!("{USAGE}");
+            return if msg.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            };
+        }
+    };
+    let metrics_text = match std::fs::read_to_string(&args.metrics) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read metrics {}: {e}", args.metrics);
+            return ExitCode::FAILURE;
+        }
+    };
+    let snap = match MetricsSnapshot::parse(&metrics_text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot parse metrics {}: {e}", args.metrics);
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace = match &args.trace {
+        None => None,
+        Some(path) => match std::fs::read_to_string(path).map_err(|e| e.to_string()) {
+            Ok(t) => match parse_trace_json(&t) {
+                Ok(s) => Some(s),
+                Err(e) => {
+                    eprintln!("error: cannot parse trace {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("error: cannot read trace {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let report = BottleneckReport::build(&snap, trace);
+    let format = match args.format {
+        Format::Auto => match &args.out {
+            Some(p) if p.ends_with(".csv") => Format::Csv,
+            _ => Format::Markdown,
+        },
+        f => f,
+    };
+    let body = match format {
+        Format::Csv => report.to_csv(),
+        _ => report.to_markdown(args.top_k),
+    };
+    match &args.out {
+        None => print!("{body}"),
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &body) {
+                eprintln!("error: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "report: {path} ({} tiles, {} links, {} stall causes)",
+                report.tiles.len(),
+                report.links.len(),
+                report.stall_totals.len()
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}

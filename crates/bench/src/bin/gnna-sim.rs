@@ -10,7 +10,7 @@
 //! measured Table VII baselines, and optionally a per-layer timing
 //! breakdown and an energy estimate.
 
-use gnna_bench::{build_case, simulate, simulate_traced, Scale};
+use gnna_bench::{build_case, simulate, simulate_traced_opts, Scale, TraceOptions};
 use gnna_core::config::AcceleratorConfig;
 use gnna_core::energy::EnergyModel;
 use gnna_models::ModelKind;
@@ -29,6 +29,7 @@ struct Args {
     trace_out: Option<String>,
     metrics_out: Option<String>,
     trace_level: Option<TraceLevel>,
+    flight_capacity: Option<usize>,
 }
 
 const USAGE: &str = "\
@@ -50,6 +51,8 @@ usage: gnna-sim [options]
   --metrics-out PATH             write module counters (.json or .csv)
   --trace-level off|phase|event  trace detail (default: event when
                                  --trace-out is given, off otherwise)
+  --flight-capacity N            stall flight-recorder ring size
+                                 (default 256; 0 disables the ring)
   --help                         this message";
 
 fn parse_args() -> Result<Args, String> {
@@ -64,6 +67,7 @@ fn parse_args() -> Result<Args, String> {
     let mut trace_out = None;
     let mut metrics_out = None;
     let mut trace_level = None;
+    let mut flight_capacity = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
@@ -119,6 +123,13 @@ fn parse_args() -> Result<Args, String> {
                         .ok_or_else(|| format!("unknown trace level {s} (off|phase|event)"))?,
                 );
             }
+            "--flight-capacity" => {
+                flight_capacity = Some(
+                    value("--flight-capacity")?
+                        .parse()
+                        .map_err(|e| format!("bad flight capacity: {e}"))?,
+                )
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown option {other}")),
         }
@@ -140,6 +151,7 @@ fn parse_args() -> Result<Args, String> {
         trace_out,
         metrics_out,
         trace_level,
+        flight_capacity,
     })
 }
 
@@ -199,7 +211,11 @@ fn main() -> ExitCode {
             }
         }
     } else {
-        let run = match simulate_traced(&case, &config, level) {
+        let opts = TraceOptions {
+            level,
+            flight_capacity: args.flight_capacity,
+        };
+        let run = match simulate_traced_opts(&case, &config, &opts) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("error: simulation failed: {e}");

@@ -9,6 +9,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod report;
+
 use gnna_baselines::table7::MeasuredLatency;
 use gnna_core::config::AcceleratorConfig;
 use gnna_core::layers::{compile_gat, compile_gcn, compile_mpnn, compile_pgnn, CompiledProgram};
@@ -149,8 +151,45 @@ pub fn simulate_traced(
     config: &AcceleratorConfig,
     level: TraceLevel,
 ) -> Result<TracedRun, BenchError> {
+    simulate_traced_opts(case, config, &TraceOptions::at_level(level))
+}
+
+/// Knobs for a traced run beyond the bare [`TraceLevel`].
+#[derive(Debug, Clone)]
+pub struct TraceOptions {
+    /// Trace detail level.
+    pub level: TraceLevel,
+    /// Flight-recorder ring size (`None` keeps the tracer default of 256;
+    /// `Some(0)` disables the ring entirely).
+    pub flight_capacity: Option<usize>,
+}
+
+impl TraceOptions {
+    /// Options with the given level and default flight-recorder capacity.
+    pub fn at_level(level: TraceLevel) -> Self {
+        Self {
+            level,
+            flight_capacity: None,
+        }
+    }
+}
+
+/// [`simulate_traced`] with explicit [`TraceOptions`] (e.g. the
+/// `--flight-capacity` flag of `gnna-sim`).
+///
+/// # Errors
+///
+/// Propagates simulator construction/stall errors.
+pub fn simulate_traced_opts(
+    case: &BenchCase,
+    config: &AcceleratorConfig,
+    opts: &TraceOptions,
+) -> Result<TracedRun, BenchError> {
     let mut sys = System::new(config, &case.dataset.instances, case.program.clone())?;
-    let tracer = shared(Tracer::new(level));
+    let tracer = shared(match opts.flight_capacity {
+        Some(cap) => Tracer::with_flight_capacity(opts.level, cap),
+        None => Tracer::new(opts.level),
+    });
     sys.attach_telemetry(std::rc::Rc::clone(&tracer));
     let report = sys.run()?;
     let mut metrics = MetricsRegistry::new();

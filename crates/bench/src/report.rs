@@ -1,0 +1,772 @@
+//! Post-hoc bottleneck analysis of `--metrics-out` / `--trace-out` files.
+//!
+//! The simulator dumps raw counters; this module turns them into the
+//! paper-style story: per-module utilisation, a per-tile stall-cause
+//! breakdown (Fig. 9/10 style), the hottest mesh links rendered as a
+//! heat-map, and packet-latency quantiles. Both the `gnna-report` binary
+//! and the report integration tests go through this code, so the renderer
+//! is a pure function of the parsed metrics snapshot.
+
+use gnna_telemetry::json::{self, JsonValue};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Flat summary of one histogram metric as serialized by the registry
+/// (`count/sum/min/max/mean/p50/p95/p99`).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HistStats {
+    /// Number of samples observed.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: f64,
+    /// Smallest observed sample.
+    pub min: f64,
+    /// Largest observed sample.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median estimate.
+    pub p50: f64,
+    /// 95th-percentile estimate.
+    pub p95: f64,
+    /// 99th-percentile estimate.
+    pub p99: f64,
+}
+
+/// One parsed metric: scalar (counter or gauge — the JSON form does not
+/// distinguish them) or histogram summary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter or gauge value.
+    Number(f64),
+    /// Histogram summary block.
+    Histogram(HistStats),
+}
+
+/// A parsed `--metrics-out` file (JSON or CSV), queryable by metric name.
+#[derive(Debug, Default)]
+pub struct MetricsSnapshot {
+    map: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsSnapshot {
+    /// Parse a metrics dump, auto-detecting JSON (`{...}`) vs CSV.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        if text.trim_start().starts_with('{') {
+            Self::parse_json(text)
+        } else {
+            Self::parse_csv(text)
+        }
+    }
+
+    /// Parse the JSON form written by `MetricsRegistry::to_json_string`.
+    pub fn parse_json(text: &str) -> Result<Self, String> {
+        let doc = json::parse(text).map_err(|e| format!("metrics JSON: {e}"))?;
+        let obj = doc
+            .as_object()
+            .ok_or_else(|| "metrics JSON root must be an object".to_string())?;
+        let mut map = BTreeMap::new();
+        for (name, v) in obj {
+            let value = match v {
+                JsonValue::Number(n) => MetricValue::Number(*n),
+                JsonValue::Object(_) => MetricValue::Histogram(HistStats {
+                    count: field(v, "count") as u64,
+                    sum: field(v, "sum"),
+                    min: field(v, "min"),
+                    max: field(v, "max"),
+                    mean: field(v, "mean"),
+                    p50: field(v, "p50"),
+                    p95: field(v, "p95"),
+                    p99: field(v, "p99"),
+                }),
+                other => return Err(format!("metric '{name}' has unexpected value {other:?}")),
+            };
+            map.insert(name.clone(), value);
+        }
+        Ok(Self { map })
+    }
+
+    /// Parse the CSV form written by `MetricsRegistry::to_csv_string`
+    /// (header `metric,kind,value,count,sum,min,max,mean,p50,p95,p99`).
+    pub fn parse_csv(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty metrics CSV")?;
+        if !header.starts_with("metric,kind,") {
+            return Err(format!("unrecognized metrics CSV header: {header}"));
+        }
+        let mut map = BTreeMap::new();
+        for (lineno, line) in lines.enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let cols: Vec<&str> = line.split(',').collect();
+            if cols.len() < 11 {
+                return Err(format!("metrics CSV row {} is short: {line}", lineno + 2));
+            }
+            let num = |i: usize| -> f64 { cols[i].parse().unwrap_or(0.0) };
+            let value = match cols[1] {
+                "counter" | "gauge" => MetricValue::Number(num(2)),
+                "histogram" => MetricValue::Histogram(HistStats {
+                    count: num(3) as u64,
+                    sum: num(4),
+                    min: num(5),
+                    max: num(6),
+                    mean: num(7),
+                    p50: num(8),
+                    p95: num(9),
+                    p99: num(10),
+                }),
+                other => return Err(format!("unknown metric kind '{other}' in CSV")),
+            };
+            map.insert(cols[0].to_string(), value);
+        }
+        Ok(Self { map })
+    }
+
+    /// Number of metrics in the snapshot.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when the snapshot holds no metrics.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Scalar metric (counter or gauge) by name.
+    pub fn number(&self, name: &str) -> Option<f64> {
+        match self.map.get(name) {
+            Some(MetricValue::Number(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Scalar metric truncated to `u64` (all counters are integral).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.number(name).map(|v| v as u64)
+    }
+
+    /// Histogram metric by name.
+    pub fn histogram(&self, name: &str) -> Option<HistStats> {
+        match self.map.get(name) {
+            Some(MetricValue::Histogram(h)) => Some(*h),
+            _ => None,
+        }
+    }
+
+    /// Metrics whose name starts with `prefix`, prefix stripped.
+    pub fn with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, &'a MetricValue)> + 'a {
+        self.map
+            .range(prefix.to_string()..)
+            .take_while(move |(k, _)| k.starts_with(prefix))
+            .map(move |(k, v)| (&k[prefix.len()..], v))
+    }
+}
+
+fn field(v: &JsonValue, key: &str) -> f64 {
+    v.get(key).and_then(|f| f.as_f64()).unwrap_or(0.0)
+}
+
+/// Inventory of a `--trace-out` Chrome-trace file: event/track counts and
+/// the busiest span names, for the report's trace section.
+#[derive(Debug, Default)]
+pub struct TraceSummary {
+    /// Total number of trace events (including metadata).
+    pub events: u64,
+    /// Number of `process_name` metadata records (one per module process).
+    pub processes: u64,
+    /// Number of `thread_name` metadata records (one per track).
+    pub tracks: u64,
+    /// Span-begin counts per event name.
+    pub span_begins: BTreeMap<String, u64>,
+    /// Instant counts per event name.
+    pub instants: BTreeMap<String, u64>,
+    /// Largest timestamp seen (µs in the Chrome trace convention).
+    pub last_ts: f64,
+}
+
+/// Parse a Chrome-trace JSON document into a [`TraceSummary`].
+pub fn parse_trace_json(text: &str) -> Result<TraceSummary, String> {
+    let doc = json::parse(text).map_err(|e| format!("trace JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(|e| e.as_array())
+        .ok_or("trace JSON has no traceEvents array")?;
+    let mut s = TraceSummary::default();
+    for e in events {
+        s.events += 1;
+        let name = e.get("name").and_then(|n| n.as_str()).unwrap_or("");
+        match e.get("ph").and_then(|p| p.as_str()) {
+            Some("M") if name == "process_name" => s.processes += 1,
+            Some("M") if name == "thread_name" => s.tracks += 1,
+            Some("B") => *s.span_begins.entry(name.to_string()).or_insert(0) += 1,
+            Some("i") => *s.instants.entry(name.to_string()).or_insert(0) += 1,
+            _ => {}
+        }
+        if let Some(ts) = e.get("ts").and_then(|t| t.as_f64()) {
+            s.last_ts = s.last_ts.max(ts);
+        }
+    }
+    Ok(s)
+}
+
+/// Per-tile utilisation figures derived from the harvested counters. All
+/// percentages are relative to the tile's core-clock cycle count.
+#[derive(Debug, Clone, Default)]
+pub struct TileUtilisation {
+    /// Tile index.
+    pub tile: usize,
+    /// GPE busy (op + thread-switch) cycles.
+    pub gpe_busy: u64,
+    /// GPE blocked (idle + stall) cycles.
+    pub gpe_blocked: u64,
+    /// Aggregation-module busy cycles.
+    pub agg_busy: u64,
+    /// DNA busy cycles.
+    pub dna_busy: u64,
+    /// Blocked GPE cycles charged to each stall cause (cause, cycles).
+    pub stalls: Vec<(String, u64)>,
+}
+
+/// One mesh link with its cumulative busy-cycle count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkLoad {
+    /// Router x coordinate.
+    pub x: usize,
+    /// Router y coordinate.
+    pub y: usize,
+    /// Outgoing direction (`N`/`E`/`S`/`W`).
+    pub dir: String,
+    /// Cycles the link spent forwarding flits.
+    pub busy: u64,
+}
+
+/// The assembled bottleneck report, ready to render as markdown or CSV.
+#[derive(Debug, Default)]
+pub struct BottleneckReport {
+    /// Total master-clock (NoC) cycles simulated.
+    pub total_cycles: u64,
+    /// Cycles spent in weight/config distribution.
+    pub config_cycles: u64,
+    /// NoC-to-core integer clock divider.
+    pub clock_divider: u64,
+    /// Core clock in Hz.
+    pub core_clock_hz: f64,
+    /// NoC clock in Hz.
+    pub noc_clock_hz: f64,
+    /// Per-tile utilisation rows.
+    pub tiles: Vec<TileUtilisation>,
+    /// Aggregate stall-cause totals across all tiles, descending.
+    pub stall_totals: Vec<(String, u64)>,
+    /// All mesh links, sorted by busy cycles descending.
+    pub links: Vec<LinkLoad>,
+    /// End-to-end packet latency histogram, when traced.
+    pub latency: Option<HistStats>,
+    /// Packet hop-count histogram, when traced.
+    pub hops: Option<HistStats>,
+    /// Per-memory-controller `(index, requests, dram_bytes, efficiency)`.
+    pub mems: Vec<(usize, u64, u64, f64)>,
+    /// Optional trace-file inventory.
+    pub trace: Option<TraceSummary>,
+}
+
+impl BottleneckReport {
+    /// Build the report from a parsed metrics snapshot and an optional
+    /// trace summary.
+    pub fn build(snap: &MetricsSnapshot, trace: Option<TraceSummary>) -> Self {
+        let mut r = BottleneckReport {
+            total_cycles: snap.counter("system.total_cycles").unwrap_or(0),
+            config_cycles: snap.counter("system.config_cycles").unwrap_or(0),
+            clock_divider: snap.counter("system.clock_divider").unwrap_or(1).max(1),
+            core_clock_hz: snap.number("system.core_clock_hz").unwrap_or(0.0),
+            noc_clock_hz: snap.number("system.noc_clock_hz").unwrap_or(0.0),
+            latency: snap.histogram("noc.packet_latency"),
+            hops: snap.histogram("noc.packet_hops"),
+            trace,
+            ..Default::default()
+        };
+        // Per-tile rows: walk tile indices until one has no GPE counters.
+        for i in 0.. {
+            let p = format!("tile{i}.");
+            let get = |suffix: &str| snap.counter(&format!("{p}{suffix}"));
+            let Some(op) = get("gpe.op_cycles") else {
+                break;
+            };
+            let mut t = TileUtilisation {
+                tile: i,
+                gpe_busy: op + get("gpe.switch_cycles").unwrap_or(0),
+                gpe_blocked: get("gpe.idle_cycles").unwrap_or(0)
+                    + get("gpe.stall_cycles").unwrap_or(0),
+                agg_busy: get("agg.busy_cycles").unwrap_or(0),
+                dna_busy: get("dna.busy_cycles").unwrap_or(0),
+                stalls: Vec::new(),
+            };
+            let stall_prefix = format!("{p}stall.");
+            for (cause, v) in snap.with_prefix(&stall_prefix) {
+                if let MetricValue::Number(n) = v {
+                    t.stalls.push((cause.to_string(), *n as u64));
+                }
+            }
+            r.tiles.push(t);
+        }
+        // Aggregate stall causes across tiles, descending by cycles.
+        let mut totals: BTreeMap<String, u64> = BTreeMap::new();
+        for t in &r.tiles {
+            for (cause, v) in &t.stalls {
+                *totals.entry(cause.clone()).or_insert(0) += v;
+            }
+        }
+        r.stall_totals = totals.into_iter().collect();
+        r.stall_totals
+            .sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        // Mesh links: `noc.link.{x}_{y}.{D}.busy_cycles`.
+        for (rest, v) in snap.with_prefix("noc.link.") {
+            let MetricValue::Number(n) = v else { continue };
+            let Some(rest) = rest.strip_suffix(".busy_cycles") else {
+                continue;
+            };
+            let mut parts = rest.split('.');
+            let (Some(coords), Some(dir)) = (parts.next(), parts.next()) else {
+                continue;
+            };
+            let mut xy = coords.split('_');
+            let (Some(x), Some(y)) = (
+                xy.next().and_then(|s| s.parse().ok()),
+                xy.next().and_then(|s| s.parse().ok()),
+            ) else {
+                continue;
+            };
+            r.links.push(LinkLoad {
+                x,
+                y,
+                dir: dir.to_string(),
+                busy: *n as u64,
+            });
+        }
+        r.links.sort_by(|a, b| {
+            b.busy
+                .cmp(&a.busy)
+                .then(a.y.cmp(&b.y))
+                .then(a.x.cmp(&b.x))
+                .then(a.dir.cmp(&b.dir))
+        });
+        // Memory controllers.
+        for i in 0.. {
+            let Some(req) = snap.counter(&format!("mem{i}.requests")) else {
+                break;
+            };
+            r.mems.push((
+                i,
+                req,
+                snap.counter(&format!("mem{i}.dram_bytes")).unwrap_or(0),
+                snap.number(&format!("mem{i}.efficiency")).unwrap_or(0.0),
+            ));
+        }
+        r
+    }
+
+    /// Core-clock cycles (exact integer division by the divider).
+    pub fn core_cycles(&self) -> u64 {
+        self.total_cycles / self.clock_divider
+    }
+
+    /// ASCII mesh heat-map: one glyph per router, darker = more link
+    /// traffic out of that router. Empty string when no link data exists.
+    pub fn mesh_heatmap(&self) -> String {
+        if self.links.is_empty() {
+            return String::new();
+        }
+        let width = self.links.iter().map(|l| l.x).max().unwrap_or(0) + 1;
+        let height = self.links.iter().map(|l| l.y).max().unwrap_or(0) + 1;
+        let mut load = vec![0u64; width * height];
+        for l in &self.links {
+            load[l.y * width + l.x] += l.busy;
+        }
+        let peak = load.iter().copied().max().unwrap_or(0).max(1);
+        const RAMP: [char; 10] = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+        let mut out = String::new();
+        for y in 0..height {
+            out.push_str("  ");
+            for x in 0..width {
+                let frac = load[y * width + x] as f64 / peak as f64;
+                let idx = (frac * (RAMP.len() - 1) as f64).round() as usize;
+                out.push(RAMP[idx.min(RAMP.len() - 1)]);
+                out.push(' ');
+            }
+            out.push('\n');
+        }
+        let _ = writeln!(
+            out,
+            "  (row = mesh y, col = mesh x; ' '..'@' = 0..{peak} busy cycles)"
+        );
+        out
+    }
+
+    /// Render the report as markdown.
+    pub fn to_markdown(&self, top_k: usize) -> String {
+        let mut o = String::new();
+        let pct = |num: u64, den: u64| {
+            if den == 0 {
+                0.0
+            } else {
+                100.0 * num as f64 / den as f64
+            }
+        };
+        let _ = writeln!(o, "# gnna bottleneck report\n");
+
+        let _ = writeln!(o, "## System\n");
+        let _ = writeln!(o, "| metric | value |");
+        let _ = writeln!(o, "|---|---|");
+        let _ = writeln!(o, "| total cycles (NoC clock) | {} |", self.total_cycles);
+        let _ = writeln!(o, "| config cycles | {} |", self.config_cycles);
+        let _ = writeln!(
+            o,
+            "| core cycles (divider {}) | {} |",
+            self.clock_divider,
+            self.core_cycles()
+        );
+        let _ = writeln!(
+            o,
+            "| clocks | core {:.2} GHz / NoC {:.2} GHz |",
+            self.core_clock_hz / 1e9,
+            self.noc_clock_hz / 1e9
+        );
+        if self.noc_clock_hz > 0.0 {
+            let _ = writeln!(
+                o,
+                "| latency | {:.3} ms |",
+                self.total_cycles as f64 / self.noc_clock_hz * 1e3
+            );
+        }
+
+        let _ = writeln!(o, "\n## Module utilisation (of core cycles)\n");
+        let _ = writeln!(o, "| tile | GPE busy | GPE blocked | AGG busy | DNA busy |");
+        let _ = writeln!(o, "|---|---|---|---|---|");
+        let cc = self.core_cycles();
+        for t in &self.tiles {
+            let _ = writeln!(
+                o,
+                "| {} | {:.1}% | {:.1}% | {:.1}% | {:.1}% |",
+                t.tile,
+                pct(t.gpe_busy, cc),
+                pct(t.gpe_blocked, cc),
+                pct(t.agg_busy, cc),
+                pct(t.dna_busy, cc)
+            );
+        }
+        if !self.tiles.is_empty() {
+            let n = self.tiles.len() as u64;
+            let sum = |f: fn(&TileUtilisation) -> u64| self.tiles.iter().map(f).sum::<u64>() / n;
+            let _ = writeln!(
+                o,
+                "| **mean** | {:.1}% | {:.1}% | {:.1}% | {:.1}% |",
+                pct(sum(|t| t.gpe_busy), cc),
+                pct(sum(|t| t.gpe_blocked), cc),
+                pct(sum(|t| t.agg_busy), cc),
+                pct(sum(|t| t.dna_busy), cc)
+            );
+        }
+
+        let _ = writeln!(o, "\n## Stall breakdown (blocked GPE cycles by cause)\n");
+        let blocked: u64 = self.stall_totals.iter().map(|(_, v)| v).sum();
+        let _ = writeln!(o, "| cause | cycles | share | |");
+        let _ = writeln!(o, "|---|---|---|---|");
+        for (cause, v) in &self.stall_totals {
+            let share = pct(*v, blocked);
+            let bar = "#".repeat((share / 4.0).round() as usize);
+            let _ = writeln!(o, "| {cause} | {v} | {share:.1}% | `{bar}` |");
+        }
+        let _ = writeln!(o, "| **total** | {blocked} | 100.0% | |");
+
+        let _ = writeln!(o, "\n## NoC\n");
+        if self.links.is_empty() {
+            let _ = writeln!(
+                o,
+                "_No per-link counters in this metrics file (run with an \
+                 event-level trace to collect them)._"
+            );
+        } else {
+            let _ = writeln!(o, "Top {top_k} hottest links:\n");
+            let _ = writeln!(o, "| router | dir | busy cycles | link util |");
+            let _ = writeln!(o, "|---|---|---|---|");
+            for l in self.links.iter().take(top_k) {
+                let _ = writeln!(
+                    o,
+                    "| ({},{}) | {} | {} | {:.1}% |",
+                    l.x,
+                    l.y,
+                    l.dir,
+                    l.busy,
+                    pct(l.busy, self.total_cycles)
+                );
+            }
+            let _ = writeln!(o, "\nRouter heat-map (total outgoing link traffic):\n");
+            let _ = writeln!(o, "```\n{}```", self.mesh_heatmap());
+        }
+        for (name, h) in [("packet latency", self.latency), ("packet hops", self.hops)] {
+            if let Some(h) = h {
+                let _ = writeln!(
+                    o,
+                    "\n{name} ({} packets): p50 {:.0}, p95 {:.0}, p99 {:.0}, \
+                     mean {:.1}, max {:.0} cycles",
+                    h.count, h.p50, h.p95, h.p99, h.mean, h.max
+                );
+            }
+        }
+
+        if !self.mems.is_empty() {
+            let _ = writeln!(o, "\n## Memory controllers\n");
+            let _ = writeln!(o, "| ctrl | requests | DRAM bytes | efficiency |");
+            let _ = writeln!(o, "|---|---|---|---|");
+            for (i, req, bytes, eff) in &self.mems {
+                let _ = writeln!(o, "| mem{i} | {req} | {bytes} | {:.1}% |", eff * 100.0);
+            }
+        }
+
+        if let Some(t) = &self.trace {
+            let _ = writeln!(o, "\n## Trace inventory\n");
+            let _ = writeln!(
+                o,
+                "{} events across {} tracks in {} processes; last timestamp {:.0} µs.",
+                t.events, t.tracks, t.processes, t.last_ts
+            );
+            let mut spans: Vec<_> = t.span_begins.iter().collect();
+            spans.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+            if !spans.is_empty() {
+                let _ = writeln!(o, "\n| span | count |");
+                let _ = writeln!(o, "|---|---|");
+                for (name, count) in spans.into_iter().take(top_k) {
+                    let _ = writeln!(o, "| {name} | {count} |");
+                }
+            }
+        }
+        o
+    }
+
+    /// Render the report as flat CSV (`section,metric,value` rows).
+    pub fn to_csv(&self) -> String {
+        let mut o = String::from("section,metric,value\n");
+        let mut row = |section: &str, metric: &str, value: String| {
+            let _ = writeln!(o, "{section},{metric},{value}");
+        };
+        row("system", "total_cycles", self.total_cycles.to_string());
+        row("system", "config_cycles", self.config_cycles.to_string());
+        row("system", "clock_divider", self.clock_divider.to_string());
+        row("system", "core_cycles", self.core_cycles().to_string());
+        let cc = self.core_cycles().max(1) as f64;
+        for t in &self.tiles {
+            let tile = format!("tile{}", t.tile);
+            row(
+                &tile,
+                "gpe_busy_pct",
+                format!("{:.3}", 100.0 * t.gpe_busy as f64 / cc),
+            );
+            row(
+                &tile,
+                "gpe_blocked_pct",
+                format!("{:.3}", 100.0 * t.gpe_blocked as f64 / cc),
+            );
+            row(
+                &tile,
+                "agg_busy_pct",
+                format!("{:.3}", 100.0 * t.agg_busy as f64 / cc),
+            );
+            row(
+                &tile,
+                "dna_busy_pct",
+                format!("{:.3}", 100.0 * t.dna_busy as f64 / cc),
+            );
+            for (cause, v) in &t.stalls {
+                row(&tile, &format!("stall.{cause}"), v.to_string());
+            }
+        }
+        for (cause, v) in &self.stall_totals {
+            row("stalls", cause, v.to_string());
+        }
+        for l in &self.links {
+            row(
+                "noc.link",
+                &format!("{}_{}.{}", l.x, l.y, l.dir),
+                l.busy.to_string(),
+            );
+        }
+        for (name, h) in [("latency", self.latency), ("hops", self.hops)] {
+            if let Some(h) = h {
+                row("noc", &format!("{name}.count"), h.count.to_string());
+                row("noc", &format!("{name}.p50"), format!("{:.3}", h.p50));
+                row("noc", &format!("{name}.p95"), format!("{:.3}", h.p95));
+                row("noc", &format!("{name}.p99"), format!("{:.3}", h.p99));
+            }
+        }
+        for (i, req, bytes, eff) in &self.mems {
+            let m = format!("mem{i}");
+            row(&m, "requests", req.to_string());
+            row(&m, "dram_bytes", bytes.to_string());
+            row(&m, "efficiency", format!("{eff:.4}"));
+        }
+        if let Some(t) = &self.trace {
+            row("trace", "events", t.events.to_string());
+            row("trace", "tracks", t.tracks.to_string());
+            row("trace", "processes", t.processes.to_string());
+        }
+        o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_metrics_json() -> String {
+        concat!(
+            "{",
+            "\"system.total_cycles\":1000,",
+            "\"system.config_cycles\":100,",
+            "\"system.clock_divider\":2,",
+            "\"system.core_clock_hz\":1200000000,",
+            "\"system.noc_clock_hz\":2400000000,",
+            "\"tile0.gpe.op_cycles\":200,",
+            "\"tile0.gpe.switch_cycles\":50,",
+            "\"tile0.gpe.idle_cycles\":150,",
+            "\"tile0.gpe.stall_cycles\":100,",
+            "\"tile0.agg.busy_cycles\":300,",
+            "\"tile0.dna.busy_cycles\":120,",
+            "\"tile0.stall.waiting_mem\":180,",
+            "\"tile0.stall.dnq_full\":70,",
+            "\"mem0.requests\":40,",
+            "\"mem0.dram_bytes\":4096,",
+            "\"mem0.efficiency\":0.8,",
+            "\"noc.link.0_0.E.busy_cycles\":90,",
+            "\"noc.link.1_0.W.busy_cycles\":30,",
+            "\"noc.packet_latency\":{\"count\":10,\"sum\":100,\"min\":4,",
+            "\"max\":30,\"mean\":10,\"p50\":8,\"p95\":25,\"p99\":29}",
+            "}"
+        )
+        .to_string()
+    }
+
+    #[test]
+    fn json_snapshot_builds_full_report() {
+        let snap = MetricsSnapshot::parse(&sample_metrics_json()).unwrap();
+        let r = BottleneckReport::build(&snap, None);
+        assert_eq!(r.total_cycles, 1000);
+        assert_eq!(r.core_cycles(), 500);
+        assert_eq!(r.tiles.len(), 1);
+        assert_eq!(r.tiles[0].gpe_busy, 250);
+        assert_eq!(r.tiles[0].gpe_blocked, 250);
+        // Stall totals descending.
+        assert_eq!(
+            r.stall_totals,
+            vec![
+                ("waiting_mem".to_string(), 180),
+                ("dnq_full".to_string(), 70)
+            ]
+        );
+        // Hottest link first.
+        assert_eq!(
+            r.links[0],
+            LinkLoad {
+                x: 0,
+                y: 0,
+                dir: "E".into(),
+                busy: 90
+            }
+        );
+        assert_eq!(r.latency.unwrap().count, 10);
+        assert_eq!(r.mems, vec![(0, 40, 4096, 0.8)]);
+    }
+
+    #[test]
+    fn markdown_has_all_sections_and_shares_sum() {
+        let snap = MetricsSnapshot::parse(&sample_metrics_json()).unwrap();
+        let r = BottleneckReport::build(&snap, None);
+        let md = r.to_markdown(4);
+        for section in [
+            "## System",
+            "## Module utilisation",
+            "## Stall breakdown",
+            "## NoC",
+            "## Memory controllers",
+            "waiting_mem",
+            "p50 8, p95 25, p99 29",
+        ] {
+            assert!(md.contains(section), "missing {section:?} in:\n{md}");
+        }
+        // waiting_mem is 180/250 = 72% of blocked cycles.
+        assert!(md.contains("72.0%"), "stall share missing:\n{md}");
+    }
+
+    #[test]
+    fn csv_roundtrip_matches_json_parse() {
+        // Parse JSON, re-render nothing: instead check CSV ingestion on a
+        // registry-shaped document.
+        let csv = "\
+metric,kind,value,count,sum,min,max,mean,p50,p95,p99
+system.total_cycles,counter,1000,,,,,,,,
+system.clock_divider,counter,2,,,,,,,,
+tile0.gpe.op_cycles,counter,200,,,,,,,,
+noc.packet_latency,histogram,,10,100,4,30,10,8,25,29
+";
+        let snap = MetricsSnapshot::parse(csv).unwrap();
+        assert_eq!(snap.counter("system.total_cycles"), Some(1000));
+        let h = snap.histogram("noc.packet_latency").unwrap();
+        assert_eq!(h.count, 10);
+        assert_eq!(h.p99, 29.0);
+    }
+
+    #[test]
+    fn report_csv_is_rectangular() {
+        let snap = MetricsSnapshot::parse(&sample_metrics_json()).unwrap();
+        let r = BottleneckReport::build(&snap, None);
+        let csv = r.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("section,metric,value"));
+        for l in lines {
+            assert_eq!(l.split(',').count(), 3, "row {l:?}");
+        }
+        assert!(csv.contains("stalls,waiting_mem,180"));
+        assert!(csv.contains("noc.link,0_0.E,90"));
+    }
+
+    #[test]
+    fn heatmap_is_grid_shaped() {
+        let snap = MetricsSnapshot::parse(&sample_metrics_json()).unwrap();
+        let r = BottleneckReport::build(&snap, None);
+        let map = r.mesh_heatmap();
+        // 2 routers wide, 1 tall, plus the legend line.
+        let lines: Vec<_> = map.lines().collect();
+        assert_eq!(lines.len(), 2, "{map}");
+        assert!(
+            lines[0].contains('@'),
+            "hottest router must be darkest: {map}"
+        );
+    }
+
+    #[test]
+    fn trace_summary_counts_phases() {
+        let trace = r#"{"displayTimeUnit":"ns","traceEvents":[
+            {"ph":"M","name":"process_name","pid":1,"args":{"name":"tile0 gpe"}},
+            {"ph":"M","name":"thread_name","pid":1,"tid":1,"args":{"name":"gpe"}},
+            {"ph":"B","name":"dna_job","pid":1,"tid":1,"ts":10},
+            {"ph":"E","name":"dna_job","pid":1,"tid":1,"ts":20},
+            {"ph":"i","name":"agg_done","pid":1,"tid":1,"ts":15,"s":"t"}
+        ]}"#;
+        let s = parse_trace_json(trace).unwrap();
+        assert_eq!(s.events, 5);
+        assert_eq!(s.processes, 1);
+        assert_eq!(s.tracks, 1);
+        assert_eq!(s.span_begins.get("dna_job"), Some(&1));
+        assert_eq!(s.instants.get("agg_done"), Some(&1));
+        assert_eq!(s.last_ts, 20.0);
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        assert!(MetricsSnapshot::parse("{oops").is_err());
+        assert!(MetricsSnapshot::parse("wrong,header\n1,2").is_err());
+        assert!(parse_trace_json("{\"no\":\"events\"}").is_err());
+    }
+}

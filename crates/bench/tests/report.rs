@@ -1,0 +1,126 @@
+//! End-to-end report pipeline: simulate a smoke benchmark with event
+//! telemetry, serialize the metrics/trace exactly as `gnna-sim` would,
+//! and check that `gnna-report`'s library path reconstructs a faithful
+//! bottleneck report from the files alone.
+
+use gnna_bench::report::{parse_trace_json, BottleneckReport, MetricsSnapshot};
+use gnna_bench::{build_case, simulate_traced, simulate_traced_opts, Scale, TraceOptions};
+use gnna_core::config::AcceleratorConfig;
+use gnna_models::ModelKind;
+use gnna_telemetry::TraceLevel;
+
+fn traced_smoke_run() -> gnna_bench::TracedRun {
+    let case = build_case(ModelKind::Gcn, "Cora", Scale::Smoke).unwrap();
+    let cfg = AcceleratorConfig::gpu_iso_bandwidth();
+    simulate_traced(&case, &cfg, TraceLevel::Event).unwrap()
+}
+
+#[test]
+fn report_from_simulated_metrics_reconciles() {
+    let run = traced_smoke_run();
+    let metrics_json = run.metrics.to_json_string();
+    let trace_json = run.tracer.borrow().to_chrome_json_string();
+
+    let snap = MetricsSnapshot::parse(&metrics_json).unwrap();
+    let trace = parse_trace_json(&trace_json).unwrap();
+    let report = BottleneckReport::build(&snap, Some(trace));
+
+    // System figures match the in-memory report.
+    assert_eq!(report.total_cycles, run.report.total_cycles);
+    assert_eq!(report.clock_divider, run.report.clock_divider);
+    assert_eq!(report.core_cycles(), run.report.core_cycles());
+    assert_eq!(report.tiles.len(), run.report.num_tiles);
+
+    // Stall causes partition blocked cycles in the file-based view too.
+    for t in &report.tiles {
+        let attributed: u64 = t.stalls.iter().map(|(_, v)| v).sum();
+        assert_eq!(
+            attributed, t.gpe_blocked,
+            "tile {}: file-based stall partition broken",
+            t.tile
+        );
+    }
+    let total_blocked: u64 = report.tiles.iter().map(|t| t.gpe_blocked).sum();
+    let total_stalls: u64 = report.stall_totals.iter().map(|(_, v)| v).sum();
+    assert_eq!(total_stalls, total_blocked);
+
+    // Event-level run carries link loads and non-degenerate latency.
+    assert!(!report.links.is_empty(), "no per-link loads in report");
+    assert!(report.links[0].busy > 0);
+    let lat = report.latency.expect("latency histogram in report");
+    assert!(lat.p50 > 0.0 && lat.p50 <= lat.p95 && lat.p95 <= lat.p99);
+    let hops = report.hops.expect("hop histogram in report");
+    assert!(hops.min >= 1.0);
+
+    // Trace inventory saw the simulated tracks.
+    let t = report.trace.as_ref().unwrap();
+    assert!(t.events > 0 && t.tracks > 0 && t.processes > 0);
+    assert!(t.span_begins.contains_key("dna_job"));
+}
+
+#[test]
+fn markdown_and_csv_render_from_real_run() {
+    let run = traced_smoke_run();
+    let snap = MetricsSnapshot::parse(&run.metrics.to_json_string()).unwrap();
+    let report = BottleneckReport::build(&snap, None);
+
+    let md = report.to_markdown(5);
+    for needle in [
+        "# gnna bottleneck report",
+        "## Module utilisation",
+        "## Stall breakdown",
+        "Top 5 hottest links",
+        "Router heat-map",
+        "packet latency",
+    ] {
+        assert!(md.contains(needle), "missing {needle:?}");
+    }
+
+    let csv = report.to_csv();
+    assert!(csv.lines().count() > 10);
+    assert!(csv.lines().skip(1).all(|l| l.split(',').count() == 3));
+    assert!(csv.contains("system,total_cycles,"));
+    assert!(csv.contains("noc,latency.p99,"));
+}
+
+#[test]
+fn csv_metrics_dump_parses_identically() {
+    // `gnna-sim --metrics-out x.csv` writes CSV; the report must read it.
+    let run = traced_smoke_run();
+    let from_json = MetricsSnapshot::parse(&run.metrics.to_json_string()).unwrap();
+    let from_csv = MetricsSnapshot::parse(&run.metrics.to_csv_string()).unwrap();
+    assert_eq!(from_json.len(), from_csv.len());
+    assert_eq!(
+        from_json.counter("system.total_cycles"),
+        from_csv.counter("system.total_cycles")
+    );
+    let a = from_json.histogram("noc.packet_latency").unwrap();
+    let b = from_csv.histogram("noc.packet_latency").unwrap();
+    assert_eq!(a.count, b.count);
+}
+
+#[test]
+fn flight_capacity_is_honoured() {
+    let case = build_case(ModelKind::Gcn, "Cora", Scale::Smoke).unwrap();
+    let cfg = AcceleratorConfig::cpu_iso_bandwidth();
+    let opts = TraceOptions {
+        level: TraceLevel::Event,
+        flight_capacity: Some(7),
+    };
+    let run = simulate_traced_opts(&case, &cfg, &opts).unwrap();
+    assert_eq!(run.tracer.borrow().flight_capacity(), 7);
+    // The ring holds at most 7 lines (header excluded).
+    let snapshot = run.tracer.borrow().flight_snapshot();
+    assert!(
+        snapshot.lines().count() <= 8,
+        "flight ring exceeded capacity:\n{snapshot}"
+    );
+
+    // Capacity 0 disables the ring without disturbing the run.
+    let opts = TraceOptions {
+        level: TraceLevel::Event,
+        flight_capacity: Some(0),
+    };
+    let run0 = simulate_traced_opts(&case, &cfg, &opts).unwrap();
+    assert_eq!(run0.report.total_cycles, run.report.total_cycles);
+}

@@ -94,6 +94,7 @@ pub struct Aggregator {
     completed: u64,
     busy_cycles: u64,
     alloc_failures: u64,
+    ingest_stalls: u64,
     probe: Option<ModuleProbe>,
 }
 
@@ -118,6 +119,7 @@ impl Aggregator {
             completed: 0,
             busy_cycles: 0,
             alloc_failures: 0,
+            ingest_stalls: 0,
             probe: None,
         }
     }
@@ -235,6 +237,21 @@ impl Aggregator {
     /// full the NoC ejection stalls, giving backpressure).
     pub fn can_ingest(&self) -> bool {
         self.jobs.len() < self.job_budget
+    }
+
+    /// Records one cycle in which the NoC had a contribution ready but
+    /// the AGG could not ingest it (job FIFO full). Called by the system
+    /// loop so ejection backpressure is attributable in reports.
+    pub fn note_ingest_stall(&mut self) {
+        self.ingest_stalls += 1;
+        if let Some(p) = &self.probe {
+            p.instant("agg_ingest_stall");
+        }
+    }
+
+    /// Cycles the NoC ejection port was blocked on a full AGG job FIFO.
+    pub fn ingest_stalls(&self) -> u64 {
+        self.ingest_stalls
     }
 
     /// Delivers one complete contribution message.

@@ -201,6 +201,8 @@ pub struct Dna {
     /// Completed output waiting for the NoC (bounded staging of one).
     pending_output: Option<(Dest, Vec<f32>)>,
     busy_cycles: u64,
+    idle_cycles: u64,
+    output_stall_cycles: u64,
     entries_processed: u64,
     macs_executed: u64,
     probe: Option<ModuleProbe>,
@@ -219,6 +221,8 @@ impl Dna {
             job: None,
             pending_output: None,
             busy_cycles: 0,
+            idle_cycles: 0,
+            output_stall_cycles: 0,
             entries_processed: 0,
             macs_executed: 0,
             probe: None,
@@ -300,6 +304,9 @@ impl Dna {
     pub fn tick(&mut self, now: u64) -> Option<(Dest, Vec<f32>)> {
         if self.job.is_some() {
             self.busy_cycles += 1;
+        } else if !self.kernels.is_empty() {
+            // Configured but unoccupied: the array is waiting on the DNQ.
+            self.idle_cycles += 1;
         }
         if self.pending_output.is_none() {
             if let Some(job) = &self.job {
@@ -319,12 +326,25 @@ impl Dna {
     /// Re-stages an output the caller could not inject this cycle.
     pub fn stall_output(&mut self, dest: Dest, data: Vec<f32>) {
         debug_assert!(self.pending_output.is_none());
+        self.output_stall_cycles += 1;
         self.pending_output = Some((dest, data));
     }
 
     /// Core cycles the array spent occupied.
     pub fn busy_cycles(&self) -> u64 {
         self.busy_cycles
+    }
+
+    /// Core cycles the configured array sat unoccupied (starved by the
+    /// DNQ or out of work).
+    pub fn idle_cycles(&self) -> u64 {
+        self.idle_cycles
+    }
+
+    /// Cycles a completed output was re-staged because the NoC could not
+    /// take it (injection backpressure on the result path).
+    pub fn output_stall_cycles(&self) -> u64 {
+        self.output_stall_cycles
     }
 
     /// Entries completed.
@@ -463,6 +483,8 @@ mod tests {
         let again = dna.tick(c + 1).expect("redelivered");
         assert_eq!(again.1, o.1);
         assert!(dna.is_idle());
+        assert_eq!(dna.output_stall_cycles(), 1);
+        assert!(dna.idle_cycles() > 0, "post-completion ticks counted idle");
     }
 
     #[test]

@@ -66,6 +66,7 @@ pub struct Dnq {
     switches: u64,
     fill_words: u64,
     alloc_failures: u64,
+    head_wait_cycles: u64,
     probe: Option<ModuleProbe>,
 }
 
@@ -89,6 +90,7 @@ impl Dnq {
             switches: 0,
             fill_words: 0,
             alloc_failures: 0,
+            head_wait_cycles: 0,
             probe: None,
         }
     }
@@ -223,7 +225,13 @@ impl Dnq {
             self.dna_idle_streak = 0;
             return Some(e);
         }
-        // DNA is idle and the active queue has nothing ready.
+        // DNA is idle and the active queue has nothing ready. If entries
+        // exist but none is dequeueable (delayed-enqueue fills still in
+        // flight, or head-of-line blocking), charge a head-wait cycle —
+        // the queue is starving the DNA, not empty.
+        if self.rings.iter().any(|r| r.len > 0) {
+            self.head_wait_cycles += 1;
+        }
         self.dna_idle_streak += 1;
         if self.dna_idle_streak >= self.params.idle_switch_cycles {
             let other = 1 - self.active;
@@ -290,6 +298,12 @@ impl Dnq {
     /// backpressure events).
     pub fn alloc_failures(&self) -> u64 {
         self.alloc_failures
+    }
+
+    /// Cycles the DNA was ready to accept while entries were queued but
+    /// none was dequeueable (in-flight fills / head-of-line blocking).
+    pub fn head_wait_cycles(&self) -> u64 {
+        self.head_wait_cycles
     }
 }
 
@@ -407,6 +421,20 @@ mod tests {
         for _ in 0..40 {
             assert!(d.dequeue_for_dna(true).is_none());
         }
+        assert_eq!(
+            d.head_wait_cycles(),
+            40,
+            "every poll against a blocked head is a head-wait cycle"
+        );
+    }
+
+    #[test]
+    fn empty_queue_is_not_a_head_wait() {
+        let mut d = dnq([4, 0]);
+        for _ in 0..10 {
+            assert!(d.dequeue_for_dna(true).is_none());
+        }
+        assert_eq!(d.head_wait_cycles(), 0, "no entries queued, no starvation");
     }
 
     #[test]

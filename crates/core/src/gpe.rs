@@ -23,6 +23,7 @@ use crate::dnq::Dnq;
 use crate::layers::{Layer, VertexProgram};
 use crate::layout::{BufferRegion, Layout, UnionGraph};
 use crate::msg::{AddressMap, Dest, Message, Tag};
+use crate::stats::StallCause;
 use gnna_noc::Address;
 use gnna_telemetry::ModuleProbe;
 use gnna_tensor::ops::leaky_relu;
@@ -58,6 +59,11 @@ pub struct GpeCtx<'a> {
     /// Per-graph readout slots: `(agg port, slot)` once the owning vertex
     /// has allocated (a software mailbox shared across tiles).
     pub board: &'a mut [Option<(Address, u32)>],
+    /// Whether the tile's DNA is currently executing a job this cycle.
+    /// Used only for stall *attribution*: a DNQ allocation failure is
+    /// charged to [`StallCause::DnaBusy`] when the dense array is the
+    /// bottleneck, and to [`StallCause::DnqFull`] otherwise.
+    pub dna_busy: bool,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,7 +71,8 @@ enum StepResult {
     /// Made progress; thread remains runnable.
     Progress,
     /// A resource was full; retry later (another thread should run).
-    Stall,
+    /// Carries the cause the blocked cycle is charged to.
+    Stall(StallCause),
     /// Waiting on memory data.
     Blocked,
     /// Vertex finished.
@@ -163,6 +170,18 @@ pub struct GpeStats {
     pub vertices_done: u64,
     /// Memory read commands issued.
     pub reads_issued: u64,
+    /// Blocked cycles attributed per [`StallCause`] (indexed by
+    /// [`StallCause::index`]). Partitions `idle_cycles + stall_cycles`
+    /// exactly: every cycle that did not execute an op or a context
+    /// switch is charged to one cause.
+    pub stall_by_cause: [u64; StallCause::COUNT],
+}
+
+impl GpeStats {
+    /// Total blocked cycles attributed across all causes.
+    pub fn blocked_cycles(&self) -> u64 {
+        self.stall_by_cause.iter().sum()
+    }
 }
 
 /// The GPE module.
@@ -295,7 +314,17 @@ impl Gpe {
                     return;
                 }
             }
+            // Blocked with no runnable thread: attribute the idle cycle.
+            // If any thread is waiting on memory data the cycle is
+            // charged to the memory system; otherwise there is simply
+            // nothing to do.
+            let cause = if self.threads.iter().any(|t| matches!(t, TState::Blocked(_))) {
+                StallCause::WaitingMem
+            } else {
+                StallCause::NoWork
+            };
             self.stats.idle_cycles += 1;
+            self.stats.stall_by_cause[cause.index()] += 1;
             return;
         };
         // One-cycle context switch when changing threads.
@@ -315,10 +344,11 @@ impl Gpe {
                 self.stats.op_cycles += 1;
                 self.threads[i] = TState::Ready(task);
             }
-            StepResult::Stall => {
+            StepResult::Stall(cause) => {
                 self.stats.stall_cycles += 1;
+                self.stats.stall_by_cause[cause.index()] += 1;
                 if let Some(p) = &self.probe {
-                    p.instant("gpe_stall");
+                    p.instant(cause.event_name());
                 }
                 self.threads[i] = TState::Ready(task);
                 // Let another thread run next cycle.
@@ -386,7 +416,7 @@ impl Gpe {
         if let Some((dst, msg)) = task.issue_queue.pop_front() {
             if self.outbox.len() >= self.outbox_cap {
                 task.issue_queue.push_front((dst, msg));
-                return StepResult::Stall;
+                return StepResult::Stall(StallCause::WaitingNocCredit);
             }
             let blocking = matches!(
                 (&msg, task.issue_queue.is_empty()),
@@ -477,6 +507,15 @@ impl Gpe {
         let dnq_port = self.ports.dnq;
         let v = task.v as usize;
         let buf = |id: usize| -> BufferRegion { ctx.layout.buffers[id] };
+        // Attribution for allocation failures: a full DNQ behind a busy
+        // DNA means dense compute is the bottleneck; otherwise the queue
+        // (or the aggregator's slot file) itself is.
+        let dnq_stall = StepResult::Stall(if ctx.dna_busy {
+            StallCause::DnaBusy
+        } else {
+            StallCause::DnqFull
+        });
+        let agg_stall = StepResult::Stall(StallCause::AggHazard);
         // Move the body state out so the task can be borrowed for reads.
         let Phase::Body(mut body) =
             std::mem::replace(&mut task.phase, Phase::FetchRowPtr { issued: true })
@@ -497,7 +536,7 @@ impl Gpe {
                                 *st = 1;
                                 StepResult::Progress
                             }
-                            Err(()) => StepResult::Stall,
+                            Err(()) => dnq_stall,
                         }
                     }
                     1 => {
@@ -568,7 +607,7 @@ impl Gpe {
                                 }
                                 StepResult::Progress
                             }
-                            Err(()) => StepResult::Stall,
+                            Err(()) => agg_stall,
                         }
                     }
                     _ => {
@@ -655,7 +694,7 @@ impl Gpe {
                                     *st = 2;
                                     StepResult::Progress
                                 }
-                                Err(()) => StepResult::Stall,
+                                Err(()) => agg_stall,
                             }
                         }
                         2 => {
@@ -757,7 +796,7 @@ impl Gpe {
                                 *st = 1;
                                 StepResult::Progress
                             }
-                            Err(()) => StepResult::Stall,
+                            Err(()) => dnq_stall,
                         },
                         1 => {
                             let dest = Dest::Port {
@@ -782,7 +821,7 @@ impl Gpe {
                                     *st = 2;
                                     StepResult::Progress
                                 }
-                                Err(()) => StepResult::Stall,
+                                Err(()) => agg_stall,
                             }
                         }
                         2 => {
@@ -823,7 +862,7 @@ impl Gpe {
                                     *st = 4;
                                     StepResult::Progress
                                 }
-                                Err(()) => StepResult::Stall,
+                                Err(()) => dnq_stall,
                             }
                         }
                         4 => {
@@ -879,7 +918,7 @@ impl Gpe {
                                 StepResult::Progress
                             } else {
                                 // Owner has not allocated yet; spin.
-                                StepResult::Stall
+                                StepResult::Stall(StallCause::BoardWait)
                             }
                         }
                         1 => match ctx.dnq.try_alloc(
@@ -894,7 +933,7 @@ impl Gpe {
                                 *st = 2;
                                 StepResult::Progress
                             }
-                            Err(()) => StepResult::Stall,
+                            Err(()) => dnq_stall,
                         },
                         2 => {
                             let dest = Dest::Port {
@@ -919,7 +958,7 @@ impl Gpe {
                                     *st = 3;
                                     StepResult::Progress
                                 }
-                                Err(()) => StepResult::Stall,
+                                Err(()) => agg_stall,
                             }
                         }
                         3 => {
@@ -989,7 +1028,7 @@ impl Gpe {
                                     *st = 1;
                                     StepResult::Progress
                                 }
-                                Err(()) => StepResult::Stall,
+                                Err(()) => agg_stall,
                             }
                         }
                         1 => {
@@ -1107,7 +1146,7 @@ impl Gpe {
                                     *st = 6;
                                     StepResult::Progress
                                 }
-                                Err(()) => StepResult::Stall,
+                                Err(()) => dnq_stall,
                             }
                         }
                         6 => {
@@ -1134,7 +1173,7 @@ impl Gpe {
                                     *st = 7;
                                     StepResult::Progress
                                 }
-                                Err(()) => StepResult::Stall,
+                                Err(()) => agg_stall,
                             }
                         }
                         _ => {
@@ -1315,8 +1354,18 @@ mod tests {
             union: &h.union,
             map: &h.map,
             board: &mut h.board,
+            dna_busy: false,
         };
         h.gpe.tick(&mut ctx);
+    }
+
+    /// Per-cause counters must partition idle + stall cycles exactly.
+    fn assert_stall_partition(stats: &GpeStats) {
+        assert_eq!(
+            stats.blocked_cycles(),
+            stats.idle_cycles + stats.stall_cycles,
+            "stall causes must partition blocked cycles: {stats:?}"
+        );
     }
 
     fn project_layer() -> Rc<Layer> {
@@ -1365,6 +1414,10 @@ mod tests {
         }
         assert!(h.gpe.is_idle());
         assert_eq!(h.gpe.stats().idle_cycles, 5);
+        // No thread was ever blocked on memory: all idle cycles are
+        // attributed to having no work.
+        assert_eq!(h.gpe.stats().stall_by_cause[StallCause::NoWork.index()], 5);
+        assert_stall_partition(h.gpe.stats());
     }
 
     #[test]
@@ -1556,6 +1609,11 @@ mod tests {
         // Vertex 0 allocated the only entry; vertex 1 must be stalling.
         assert_eq!(h.gpe.stats().vertices_done, 1);
         assert!(h.gpe.stats().stall_cycles > 0);
+        // The DNA is idle in this harness, so the alloc failures are
+        // charged to the queue itself.
+        assert!(h.gpe.stats().stall_by_cause[StallCause::DnqFull.index()] > 0);
+        assert_eq!(h.gpe.stats().stall_by_cause[StallCause::DnaBusy.index()], 0);
+        assert_stall_partition(h.gpe.stats());
         // Drain the entry as the DNA would; the GPE then finishes.
         h.dnq.fill(0, 0, 0, &[0.0; 4]);
         let _ = h.dnq.dequeue_for_dna(true).expect("entry ready");

@@ -2,6 +2,97 @@
 
 use std::fmt;
 
+/// Why a GPE could not make forward progress on a given core cycle.
+///
+/// Every non-busy GPE cycle is charged to exactly **one** cause, so the
+/// per-cause counters partition `idle + stall` cycles exactly (enforced
+/// by the `stall_causes_partition_blocked_cycles` invariant test). This
+/// is the taxonomy behind the paper's Fig. 9/10-style bottleneck
+/// attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StallCause {
+    /// A thread is blocked on an outstanding memory response and no
+    /// other thread is runnable.
+    WaitingMem,
+    /// The GPE's NoC outbox is full (no injection credit downstream).
+    WaitingNocCredit,
+    /// DNQ entry allocation failed while the DNA was idle: the queue
+    /// itself is the bottleneck.
+    DnqFull,
+    /// DNQ entry allocation failed while the DNA was busy: dense
+    /// compute is the bottleneck and the queue is full behind it.
+    DnaBusy,
+    /// AGG slot allocation failed (aggregation hazard / slot pressure).
+    AggHazard,
+    /// Waiting on the scoreboard (readout barrier ownership spin).
+    BoardWait,
+    /// Nothing to do: no runnable thread, no blocked thread, no new
+    /// vertex available.
+    NoWork,
+}
+
+impl StallCause {
+    /// Number of distinct causes (array dimension for per-cause counters).
+    pub const COUNT: usize = 7;
+
+    /// All causes in canonical (counter-array) order.
+    pub const ALL: [StallCause; Self::COUNT] = [
+        StallCause::WaitingMem,
+        StallCause::WaitingNocCredit,
+        StallCause::DnqFull,
+        StallCause::DnaBusy,
+        StallCause::AggHazard,
+        StallCause::BoardWait,
+        StallCause::NoWork,
+    ];
+
+    /// Canonical index into a `[u64; StallCause::COUNT]` counter array.
+    pub const fn index(self) -> usize {
+        match self {
+            StallCause::WaitingMem => 0,
+            StallCause::WaitingNocCredit => 1,
+            StallCause::DnqFull => 2,
+            StallCause::DnaBusy => 3,
+            StallCause::AggHazard => 4,
+            StallCause::BoardWait => 5,
+            StallCause::NoWork => 6,
+        }
+    }
+
+    /// Snake-case name used for metric suffixes (`tileN.stall.<name>`).
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            StallCause::WaitingMem => "waiting_mem",
+            StallCause::WaitingNocCredit => "waiting_noc_credit",
+            StallCause::DnqFull => "dnq_full",
+            StallCause::DnaBusy => "dna_busy",
+            StallCause::AggHazard => "agg_hazard",
+            StallCause::BoardWait => "board_wait",
+            StallCause::NoWork => "no_work",
+        }
+    }
+
+    /// Pre-formatted trace-event name (static so the GPE hot path never
+    /// allocates when emitting a stall instant).
+    pub const fn event_name(self) -> &'static str {
+        match self {
+            StallCause::WaitingMem => "gpe_stall:waiting_mem",
+            StallCause::WaitingNocCredit => "gpe_stall:waiting_noc_credit",
+            StallCause::DnqFull => "gpe_stall:dnq_full",
+            StallCause::DnaBusy => "gpe_stall:dna_busy",
+            StallCause::AggHazard => "gpe_stall:agg_hazard",
+            StallCause::BoardWait => "gpe_stall:board_wait",
+            StallCause::NoWork => "gpe_stall:no_work",
+        }
+    }
+}
+
+impl fmt::Display for StallCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Per-layer timing breakdown.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LayerTiming {
@@ -26,6 +117,10 @@ pub struct TileCounters {
     pub gpe_idle_cycles: u64,
     /// GPE cycles stalled on memory/queue backpressure.
     pub gpe_stall_cycles: u64,
+    /// Blocked (idle + stall) GPE cycles attributed per [`StallCause`],
+    /// indexed by [`StallCause::index`]. Sums to
+    /// `gpe_idle_cycles + gpe_stall_cycles` exactly.
+    pub gpe_stall_by_cause: [u64; StallCause::COUNT],
     /// Vertices retired by this tile's GPE.
     pub gpe_vertices_done: u64,
     /// AGG busy core-cycles.
@@ -282,6 +377,16 @@ mod tests {
         let s = r.to_string();
         assert!(s.contains("tile3:"), "missing per-tile line in {s}");
         assert!(s.contains("17 vertices"));
+    }
+
+    #[test]
+    fn stall_cause_indices_are_canonical() {
+        for (i, c) in StallCause::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert!(c.event_name().ends_with(c.as_str()));
+            assert!(c.event_name().starts_with("gpe_stall:"));
+        }
+        assert_eq!(StallCause::ALL.len(), StallCause::COUNT);
     }
 
     #[test]

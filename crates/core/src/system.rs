@@ -25,7 +25,7 @@ use crate::gpe::{Gpe, GpeCtx, TilePorts};
 use crate::layers::{CompiledProgram, Layer};
 use crate::layout::{fill_buffer, read_buffer, BufferRegion, Layout, UnionGraph};
 use crate::msg::{AddressMap, Dest, Message, Tag};
-use crate::stats::{LayerTiming, SimReport, TileCounters};
+use crate::stats::{LayerTiming, SimReport, StallCause, TileCounters};
 use crate::CoreError;
 use gnna_graph::GraphInstance;
 use gnna_mem::{MemImage, MemRequest, MemoryController};
@@ -313,6 +313,17 @@ impl System {
             }
             let p = ModuleProbe::new(Rc::clone(&tracer), "noc", "mesh");
             self.net.attach_probe(p.clone());
+            // One track per router for link-utilisation counters and
+            // hop-forwarding instants (row-major over the mesh).
+            let router_probes = (0..self.cfg.topology.height())
+                .flat_map(|y| {
+                    let tracer = &tracer;
+                    (0..self.cfg.topology.width()).map(move |x| {
+                        ModuleProbe::new(Rc::clone(tracer), "noc", &format!("router ({x},{y})"))
+                    })
+                })
+                .collect();
+            self.net.attach_router_probes(router_probes);
             noc = Some(p);
         }
         self.telemetry = Some(Telemetry {
@@ -487,9 +498,9 @@ impl System {
 
         if let Some(tele) = &self.telemetry {
             tele.tracer.borrow_mut().set_now(c);
-            if c.is_multiple_of(SAMPLE_EVERY) {
-                self.sample_counters();
-            }
+        }
+        if self.telemetry.is_some() && c.is_multiple_of(SAMPLE_EVERY) {
+            self.sample_counters();
         }
 
         // --- Memory nodes ---
@@ -585,27 +596,30 @@ impl System {
                 }
             }
         }
-        // AGG port: gated on ingestion capacity.
-        if self.tiles[t].agg.can_ingest() {
-            if let Some(flit) = self.net.eject(ports.agg) {
-                let tile = &mut self.tiles[t];
-                if let Some(pkt) = tile.agg_rx.push(flit) {
-                    match &pkt.payload {
-                        Message::Data {
-                            tag:
-                                Tag::Agg {
-                                    slot,
-                                    scale,
-                                    offset,
-                                },
-                            data,
-                        } => {
-                            let values: Vec<f32> =
-                                data.iter().map(|&w| f32::from_bits(w)).collect();
-                            tile.agg.deliver(*slot, *offset, *scale, values);
-                        }
-                        other => panic!("unexpected message at AGG port: {other:?}"),
+        // AGG port: gated on ingestion capacity. When the job FIFO is
+        // full while contribution flits wait at the ejection buffer,
+        // record the backpressure cycle for stall attribution.
+        if !self.tiles[t].agg.can_ingest() {
+            if self.net.ejection_pending(ports.agg) > 0 {
+                self.tiles[t].agg.note_ingest_stall();
+            }
+        } else if let Some(flit) = self.net.eject(ports.agg) {
+            let tile = &mut self.tiles[t];
+            if let Some(pkt) = tile.agg_rx.push(flit) {
+                match &pkt.payload {
+                    Message::Data {
+                        tag:
+                            Tag::Agg {
+                                slot,
+                                scale,
+                                offset,
+                            },
+                        data,
+                    } => {
+                        let values: Vec<f32> = data.iter().map(|&w| f32::from_bits(w)).collect();
+                        tile.agg.deliver(*slot, *offset, *scale, values);
                     }
+                    other => panic!("unexpected message at AGG port: {other:?}"),
                 }
             }
         }
@@ -668,6 +682,7 @@ impl System {
         // Split borrows: GPE ctx needs agg+dnq of the same tile.
         let tile = &mut self.tiles[t];
         {
+            let dna_busy = tile.dna.is_busy();
             let mut ctx = GpeCtx {
                 agg: &mut tile.agg,
                 dnq: &mut tile.dnq,
@@ -675,6 +690,7 @@ impl System {
                 union: &self.union,
                 map: &self.map,
                 board: &mut self.board,
+                dna_busy,
             };
             tile.gpe.tick(&mut ctx);
         }
@@ -704,8 +720,11 @@ impl System {
     }
 
     /// Emits periodic counter samples (queue occupancies, in-flight
-    /// flits) on the module tracks.
-    fn sample_counters(&self) {
+    /// flits, windowed per-router link utilisation) on the module tracks.
+    fn sample_counters(&mut self) {
+        // Per-router link-utilisation counters (no-op unless router
+        // probes are attached at event level).
+        self.net.sample_utilization(SAMPLE_EVERY);
         let Some(tele) = &self.telemetry else { return };
         for (t, probes) in tele.tiles.iter().enumerate() {
             let tile = &self.tiles[t];
@@ -834,6 +853,7 @@ impl System {
                     gpe_op_cycles: g.op_cycles,
                     gpe_idle_cycles: g.idle_cycles,
                     gpe_stall_cycles: g.stall_cycles,
+                    gpe_stall_by_cause: g.stall_by_cause,
                     gpe_vertices_done: g.vertices_done,
                     agg_busy_cycles: agg_busy,
                     agg_completed: agg_done,
@@ -865,12 +885,19 @@ impl System {
             reg.counter_set(&format!("tile{i}.gpe.stall_cycles"), g.stall_cycles);
             reg.counter_set(&format!("tile{i}.gpe.vertices_done"), g.vertices_done);
             reg.counter_set(&format!("tile{i}.gpe.reads_issued"), g.reads_issued);
+            for cause in StallCause::ALL {
+                reg.counter_set(
+                    &format!("tile{i}.stall.{cause}"),
+                    g.stall_by_cause[cause.index()],
+                );
+            }
             let (contribs, words, done, busy, rej) = t.agg.stats();
             reg.counter_set(&format!("tile{i}.agg.contributions"), contribs);
             reg.counter_set(&format!("tile{i}.agg.words_combined"), words);
             reg.counter_set(&format!("tile{i}.agg.completed"), done);
             reg.counter_set(&format!("tile{i}.agg.busy_cycles"), busy);
             reg.counter_set(&format!("tile{i}.agg.alloc_failures"), rej);
+            reg.counter_set(&format!("tile{i}.agg.ingest_stalls"), t.agg.ingest_stalls());
             let (enq, deq, sw, fill) = t.dnq.stats();
             reg.counter_set(&format!("tile{i}.dnq.enqueued"), enq);
             reg.counter_set(&format!("tile{i}.dnq.dequeued"), deq);
@@ -880,7 +907,16 @@ impl System {
                 &format!("tile{i}.dnq.alloc_failures"),
                 t.dnq.alloc_failures(),
             );
+            reg.counter_set(
+                &format!("tile{i}.dnq.head_wait_cycles"),
+                t.dnq.head_wait_cycles(),
+            );
             reg.counter_set(&format!("tile{i}.dna.busy_cycles"), t.dna.busy_cycles());
+            reg.counter_set(&format!("tile{i}.dna.idle_cycles"), t.dna.idle_cycles());
+            reg.counter_set(
+                &format!("tile{i}.dna.output_stall_cycles"),
+                t.dna.output_stall_cycles(),
+            );
             reg.counter_set(&format!("tile{i}.dna.entries"), t.dna.entries_processed());
             reg.counter_set(&format!("tile{i}.dna.macs"), t.dna.macs_executed());
         }
@@ -900,6 +936,9 @@ impl System {
         reg.counter_set("noc.flit_hops", n.flit_hops);
         reg.counter_set("noc.link_busy_cycles", n.link_busy_cycles);
         reg.gauge_set("noc.mean_packet_latency", n.mean_packet_latency());
+        // Deep NoC telemetry (per-link busy counters, latency/hop
+        // histograms) — no-op when probes are detached.
+        self.net.harvest_metrics(reg);
     }
 
     /// Reads the simulated output for input instance `index` after

@@ -4,6 +4,7 @@
 
 use gnna_core::config::AcceleratorConfig;
 use gnna_core::layers::compile_gcn;
+use gnna_core::stats::StallCause;
 use gnna_core::system::System;
 use gnna_graph::datasets;
 use gnna_models::{Gcn, GcnNorm};
@@ -66,6 +67,105 @@ fn trace_reconciles_with_report_counters() {
     let vertices: u64 = report.per_tile.iter().map(|t| t.gpe_vertices_done).sum();
     assert_eq!(tracer.count_named_phase("gpe_vertex_done", 'i'), vertices);
     assert_eq!(report.per_tile.len(), report.num_tiles);
+    // Every resource-stall cycle emits exactly one per-cause instant
+    // (idle causes are counter-only), so the cause-named instants sum to
+    // the reported stall cycles.
+    let stall_instants: u64 = StallCause::ALL
+        .iter()
+        .map(|c| tracer.count_named_phase(c.event_name(), 'i'))
+        .sum();
+    let stall_cycles: u64 = report.per_tile.iter().map(|t| t.gpe_stall_cycles).sum();
+    assert_eq!(stall_instants, stall_cycles);
+}
+
+#[test]
+fn stall_causes_partition_blocked_cycles() {
+    // Untraced run: the per-cause counters are unconditional, and every
+    // blocked (idle + stall) GPE cycle must be charged to exactly one
+    // cause — i.e. the causes partition total − busy cycles per tile.
+    let cfg = AcceleratorConfig::gpu_iso_bandwidth();
+    let mut sys = gcn_system(&cfg);
+    let report = sys.run().unwrap();
+    assert!(!report.per_tile.is_empty());
+    for t in &report.per_tile {
+        let attributed: u64 = t.gpe_stall_by_cause.iter().sum();
+        assert_eq!(
+            attributed,
+            t.gpe_idle_cycles + t.gpe_stall_cycles,
+            "tile {}: stall causes must partition blocked cycles",
+            t.tile
+        );
+    }
+    // The registry view agrees with the report.
+    let mut reg = MetricsRegistry::new();
+    sys.harvest_metrics(&mut reg);
+    for t in &report.per_tile {
+        let i = t.tile;
+        let sum: u64 = StallCause::ALL
+            .iter()
+            .map(|c| reg.get_counter(&format!("tile{i}.stall.{c}")).unwrap())
+            .sum();
+        let idle = reg
+            .get_counter(&format!("tile{i}.gpe.idle_cycles"))
+            .unwrap();
+        let stall = reg
+            .get_counter(&format!("tile{i}.gpe.stall_cycles"))
+            .unwrap();
+        assert_eq!(sum, idle + stall);
+    }
+    // With probes detached, the deep NoC metrics must be absent.
+    assert!(
+        reg.counters_with_prefix("noc.link.").is_empty(),
+        "per-link counters harvested without telemetry attached"
+    );
+    assert!(reg.get_histogram("noc.packet_latency").is_none());
+}
+
+#[test]
+fn event_trace_yields_link_utilisation_and_latency_quantiles() {
+    let cfg = AcceleratorConfig::gpu_iso_bandwidth();
+    let mut sys = gcn_system(&cfg);
+    let tracer = shared(Tracer::new(TraceLevel::Event));
+    sys.attach_telemetry(Rc::clone(&tracer));
+    sys.run().unwrap();
+    let mut reg = MetricsRegistry::new();
+    sys.harvest_metrics(&mut reg);
+
+    // Per-link busy counters exist and show traffic.
+    let links = reg.counters_with_prefix("noc.link.");
+    assert!(!links.is_empty(), "per-link busy counters missing");
+    assert!(links.iter().any(|(_, v)| *v > 0), "all mesh links idle");
+
+    // End-to-end latency histogram with non-degenerate quantiles.
+    let lat = reg
+        .get_histogram("noc.packet_latency")
+        .expect("latency histogram harvested");
+    assert!(lat.count > 0);
+    assert!(lat.p50() > 0.0, "p50 must be positive");
+    assert!(lat.p95() >= lat.p50());
+    assert!(lat.p99() >= lat.p95());
+    let hops = reg
+        .get_histogram("noc.packet_hops")
+        .expect("hop-count histogram harvested");
+    assert!(hops.count > 0);
+    assert!(hops.min >= 1.0, "every delivered packet crosses a link");
+
+    // Router tracks carry windowed link-utilisation counter samples and
+    // hop-forwarding instants.
+    let tracer = tracer.borrow();
+    let util_samples: u64 = ["N", "E", "S", "W"]
+        .iter()
+        .map(|d| tracer.count_named_phase(&format!("link_util.{d}"), 'C'))
+        .sum();
+    assert!(util_samples > 0, "no link-utilisation counter samples");
+    // Golden reconciliation: one `hop (x,y)->D` instant per head-flit
+    // mesh traversal, so the instants sum to the hop histogram's total
+    // (the network fully drains before the run completes).
+    assert_eq!(
+        tracer.count_name_prefix("hop (") as f64,
+        hops.sum,
+        "hop instants must reconcile with the hop-count histogram"
+    );
 }
 
 #[test]

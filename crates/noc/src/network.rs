@@ -3,8 +3,64 @@ use crate::router::{
     SOUTH, WEST,
 };
 use crate::{Address, Flit, NetworkStats, NocConfig, Packet};
-use std::collections::VecDeque;
+use gnna_telemetry::{HistogramSummary, MetricsRegistry, ModuleProbe};
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
+
+/// Short names for the four mesh directions, indexed by port constant.
+const DIR_NAMES: [&str; 4] = ["N", "E", "S", "W"];
+
+/// Deep-attribution telemetry for the mesh: per-link busy accounting,
+/// hop-by-hop head-flit tracing, and end-to-end packet latency / hop-count
+/// histograms. Lives behind an `Option` so the untraced simulation path is
+/// bit-identical (no clock reads, no hashing, no allocation).
+#[derive(Debug)]
+struct NocTelemetry {
+    /// Mesh-level probe: injection stalls and hop-by-hop instants.
+    probe: ModuleProbe,
+    /// Optional per-router probes for link-utilisation counter tracks
+    /// (empty below `event` level).
+    router_probes: Vec<ModuleProbe>,
+    /// Cumulative busy cycles per `[router][port]` (all ports, including
+    /// local ejection ports).
+    link_busy: Vec<Vec<u64>>,
+    /// Snapshot of `link_busy` at the previous utilisation sample, used to
+    /// derive windowed busy fractions for the counter tracks.
+    link_busy_prev: Vec<Vec<u64>>,
+    /// Pre-formatted hop event names per `[router][direction]` so the hot
+    /// path never formats strings (`hop (x,y)->E`, interned once).
+    hop_names: Vec<[String; 4]>,
+    /// Link-hop count per in-flight packet id (tagged at `try_inject`,
+    /// incremented on head-flit link traversals, resolved at tail eject).
+    hops: HashMap<u64, u32>,
+    /// End-to-end packet latency in master-clock cycles.
+    latency: HistogramSummary,
+    /// Per-packet link-hop counts.
+    hop_hist: HistogramSummary,
+}
+
+impl NocTelemetry {
+    fn new(probe: ModuleProbe, routers: &[Router<impl Sized>]) -> Self {
+        let link_busy: Vec<Vec<u64>> = routers.iter().map(|r| vec![0; r.num_ports()]).collect();
+        let hop_names = routers
+            .iter()
+            .map(|r| {
+                [NORTH, EAST, SOUTH, WEST]
+                    .map(|d| format!("hop ({},{})->{}", r.x, r.y, DIR_NAMES[d]))
+            })
+            .collect();
+        NocTelemetry {
+            probe,
+            router_probes: Vec::new(),
+            link_busy_prev: link_busy.clone(),
+            link_busy,
+            hop_names,
+            hops: HashMap::new(),
+            latency: HistogramSummary::default(),
+            hop_hist: HistogramSummary::default(),
+        }
+    }
+}
 
 /// A packet being serialised into the network at a local port, one flit
 /// per cycle.
@@ -46,9 +102,9 @@ pub struct Network<T> {
     next_packet_id: u64,
     stats: NetworkStats,
     inflight_flits: u64,
-    /// Optional telemetry probe (`None` when tracing is disabled, so
+    /// Optional deep telemetry (`None` when tracing is disabled, so
     /// instrumentation reduces to a never-taken branch).
-    probe: Option<gnna_telemetry::ModuleProbe>,
+    telemetry: Option<NocTelemetry>,
 }
 
 impl<T> Network<T> {
@@ -108,15 +164,110 @@ impl<T> Network<T> {
             next_packet_id: 0,
             stats: NetworkStats::default(),
             inflight_flits: 0,
-            probe: None,
+            telemetry: None,
         }
     }
 
-    /// Attaches a telemetry probe; the network emits an instant event on
-    /// every rejected injection (staging slot busy — injection-side
-    /// backpressure).
-    pub fn attach_probe(&mut self, probe: gnna_telemetry::ModuleProbe) {
-        self.probe = Some(probe);
+    /// Attaches a telemetry probe. The network then emits an instant event
+    /// on every rejected injection (staging slot busy — injection-side
+    /// backpressure) and a `hop (x,y)->D` instant for every head-flit link
+    /// traversal, and accumulates per-link busy cycles plus end-to-end
+    /// packet latency / hop-count histograms.
+    pub fn attach_probe(&mut self, probe: ModuleProbe) {
+        self.telemetry = Some(NocTelemetry::new(probe, &self.routers));
+    }
+
+    /// Attaches one probe per router (row-major order, `y * width + x`) for
+    /// per-router link-utilisation counter tracks, sampled via
+    /// [`Network::sample_utilization`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Network::attach_probe`] has not been called first or if
+    /// the probe count does not match the router count.
+    pub fn attach_router_probes(&mut self, probes: Vec<ModuleProbe>) {
+        let tele = self
+            .telemetry
+            .as_mut()
+            .expect("attach_probe must be called before attach_router_probes");
+        assert_eq!(
+            probes.len(),
+            self.routers.len(),
+            "one probe per router required"
+        );
+        tele.router_probes = probes;
+    }
+
+    /// Whether deep telemetry is attached.
+    pub fn has_probe(&self) -> bool {
+        self.telemetry.is_some()
+    }
+
+    /// Emits one windowed link-utilisation counter per mesh direction on
+    /// every router probe: the fraction of the last `window` cycles each
+    /// outgoing link spent busy. No-op when router probes are not attached.
+    pub fn sample_utilization(&mut self, window: u64) {
+        let Some(tele) = self.telemetry.as_mut() else {
+            return;
+        };
+        if tele.router_probes.is_empty() || window == 0 {
+            return;
+        }
+        for (r, probe) in tele.router_probes.iter().enumerate() {
+            for d in [NORTH, EAST, SOUTH, WEST] {
+                if !self.routers[r].outputs[d].connected {
+                    continue;
+                }
+                let busy = tele.link_busy[r][d];
+                let delta = busy - tele.link_busy_prev[r][d];
+                tele.link_busy_prev[r][d] = busy;
+                probe.counter(
+                    &format!("link_util.{}", DIR_NAMES[d]),
+                    delta as f64 / window as f64,
+                );
+            }
+        }
+    }
+
+    /// Harvests the deep-telemetry accumulators into `reg`:
+    ///
+    /// * `noc.link.{x}_{y}.{D}.busy_cycles` — busy cycles per outgoing mesh
+    ///   link (only connected directions);
+    /// * `noc.packet_latency` — end-to-end latency histogram (master-clock
+    ///   cycles, with p50/p95/p99);
+    /// * `noc.packet_hops` — per-packet link-hop histogram.
+    ///
+    /// No-op when telemetry is not attached.
+    pub fn harvest_metrics(&self, reg: &mut MetricsRegistry) {
+        let Some(tele) = &self.telemetry else {
+            return;
+        };
+        for (r, router) in self.routers.iter().enumerate() {
+            for d in [NORTH, EAST, SOUTH, WEST] {
+                if !router.outputs[d].connected {
+                    continue;
+                }
+                reg.counter_set(
+                    &format!(
+                        "noc.link.{}_{}.{}.busy_cycles",
+                        router.x, router.y, DIR_NAMES[d]
+                    ),
+                    tele.link_busy[r][d],
+                );
+            }
+        }
+        if tele.latency.count > 0 {
+            reg.histogram_set("noc.packet_latency", tele.latency);
+        }
+        if tele.hop_hist.count > 0 {
+            reg.histogram_set("noc.packet_hops", tele.hop_hist);
+        }
+    }
+
+    /// End-to-end latency histogram accumulated by the attached telemetry
+    /// (`None` when telemetry is off).
+    pub fn latency_histogram(&self) -> Option<HistogramSummary> {
+        self.telemetry.as_ref().map(|t| t.latency)
     }
 
     /// Flits currently inside the fabric or waiting at ejection buffers.
@@ -190,14 +341,18 @@ impl<T> Network<T> {
         let node = self.index(packet.src.x, packet.src.y);
         let port = packet.src.port;
         if self.injection[node][port].is_some() {
-            if let Some(p) = &self.probe {
-                p.instant("noc_inject_stall");
+            if let Some(t) = &self.telemetry {
+                t.probe.instant("noc_inject_stall");
             }
             return Err(packet);
         }
         packet.id = self.next_packet_id;
         packet.injected_at = self.cycle;
         self.next_packet_id += 1;
+        if let Some(t) = self.telemetry.as_mut() {
+            // Tag the packet for route tracing: hop counting starts here.
+            t.hops.insert(packet.id, 0);
+        }
         let num_flits = self.cfg.flits_for_bytes(packet.size_bytes);
         self.stats.packets_injected += 1;
         self.injection[node][port] = Some(InjectionState {
@@ -232,6 +387,12 @@ impl<T> Network<T> {
         if flit.is_tail() {
             self.stats.packets_delivered += 1;
             self.stats.total_packet_latency += self.cycle - flit.packet.injected_at;
+            if let Some(t) = self.telemetry.as_mut() {
+                t.latency
+                    .observe((self.cycle - flit.packet.injected_at) as f64);
+                let hops = t.hops.remove(&flit.packet.id).unwrap_or(0);
+                t.hop_hist.observe(hops as f64);
+            }
         }
         Some(flit)
     }
@@ -426,12 +587,24 @@ impl<T> Network<T> {
                 }
                 let out = &mut self.routers[r].outputs[o];
                 out.credits -= 1;
+                let packet_id = flit.packet.id;
                 out.link.push_back(InFlightFlit {
                     flit,
                     arrive_at: cycle + self.cfg.link_delay,
                 });
                 self.stats.flit_hops += 1;
                 self.stats.link_busy_cycles += 1;
+                if let Some(t) = self.telemetry.as_mut() {
+                    t.link_busy[r][o] += 1;
+                    if is_head && o < LOCAL_BASE {
+                        // Route tracing: one interned instant per head-flit
+                        // link traversal, plus the per-packet hop count.
+                        t.probe.instant(&t.hop_names[r][o]);
+                        if let Some(h) = t.hops.get_mut(&packet_id) {
+                            *h += 1;
+                        }
+                    }
+                }
             }
         }
     }
@@ -646,6 +819,82 @@ mod tests {
             64,
             1,
         ));
+    }
+
+    #[test]
+    fn telemetry_tracks_links_hops_and_latency() {
+        use gnna_telemetry::{shared, Metric, TraceLevel, Tracer};
+        let mut n = net(3, 3);
+        let tracer = shared(Tracer::new(TraceLevel::Event));
+        n.attach_probe(ModuleProbe::new(tracer.clone(), "noc", "mesh"));
+        let probes = (0..9)
+            .map(|i| ModuleProbe::new(tracer.clone(), "noc", &format!("router {}", i)))
+            .collect();
+        n.attach_router_probes(probes);
+
+        let src = Address::new(0, 0, 0);
+        let dst = Address::new(2, 2, 1);
+        n.try_inject(Packet::new(src, dst, 64, 7)).unwrap();
+        let _ = run_until_delivery(&mut n, dst, 64);
+        n.sample_utilization(64);
+
+        let mut reg = MetricsRegistry::new();
+        n.harvest_metrics(&mut reg);
+
+        // XY routing: 2 hops east then 2 south.
+        let t = tracer.borrow();
+        assert_eq!(t.count_named("hop (0,0)->E"), 1);
+        assert_eq!(t.count_named("hop (1,0)->E"), 1);
+        assert_eq!(t.count_named("hop (2,0)->S"), 1);
+        assert_eq!(t.count_named("hop (2,1)->S"), 1);
+        assert_eq!(t.count_named("hop (0,0)->S"), 0);
+        // Utilisation counters were sampled on the router tracks.
+        assert!(t.count_named_phase("link_util.E", 'C') >= 1);
+        drop(t);
+
+        assert!(reg.get_counter("noc.link.0_0.E.busy_cycles").unwrap() >= 1);
+        assert!(reg.get_counter("noc.link.0_0.S.busy_cycles").unwrap() == 0);
+        // A 3x3 corner router has exactly 2 connected directions.
+        assert_eq!(
+            reg.counters_with_prefix("noc.link.0_0.").len(),
+            2,
+            "corner router links"
+        );
+        match reg.get("noc.packet_latency") {
+            Some(Metric::Histogram(h)) => {
+                assert_eq!(h.count, 1);
+                assert!(h.p50() >= 8.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match reg.get("noc.packet_hops") {
+            Some(Metric::Histogram(h)) => {
+                assert_eq!(h.count, 1);
+                assert_eq!(h.min, 4.0);
+                assert_eq!(h.max, 4.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn harvest_is_noop_without_telemetry() {
+        let mut n = net(2, 2);
+        n.try_inject(Packet::new(
+            Address::new(0, 0, 0),
+            Address::new(1, 1, 0),
+            64,
+            1,
+        ))
+        .unwrap();
+        for _ in 0..32 {
+            n.step();
+            while n.eject(Address::new(1, 1, 0)).is_some() {}
+        }
+        let mut reg = MetricsRegistry::new();
+        n.harvest_metrics(&mut reg);
+        assert!(reg.is_empty());
+        assert!(n.latency_histogram().is_none());
     }
 
     #[test]

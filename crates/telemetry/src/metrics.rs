@@ -9,17 +9,66 @@
 use std::collections::BTreeMap;
 use std::io::{self, Write};
 
-/// Streaming summary of observed samples (no buckets: count/sum/min/max,
-/// which is all the report generator needs and keeps memory O(1)).
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+/// Number of log₂ buckets kept by [`HistogramSummary`]. Bucket 0 covers
+/// `[0, 1)`; bucket `k >= 1` covers `[2^(k-1), 2^k)`, so 64 buckets span the
+/// full non-negative `u64` range — plenty for cycle latencies and hop counts.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Streaming summary of observed samples: count/sum/min/max plus fixed
+/// log₂-spaced buckets for quantile estimation. Memory stays O(1) per
+/// histogram regardless of sample count; quantiles (p50/p95/p99) are
+/// estimated by linear interpolation inside the bucket that crosses the
+/// requested rank and clamped to the observed `[min, max]` range.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HistogramSummary {
     pub count: u64,
     pub sum: f64,
     pub min: f64,
     pub max: f64,
+    buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for HistogramSummary {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
 }
 
 impl HistogramSummary {
+    /// Bucket index for a sample: 0 for `[0, 1)`, `k` for `[2^(k-1), 2^k)`.
+    /// Negative samples are clamped into bucket 0.
+    fn bucket_index(v: f64) -> usize {
+        if v < 1.0 {
+            return 0;
+        }
+        let u = v as u64; // v >= 1 here, truncation is the floor
+        ((64 - u.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Lower bound of bucket `i` (inclusive).
+    fn bucket_lo(i: usize) -> f64 {
+        if i == 0 {
+            0.0
+        } else {
+            (1u64 << (i - 1)) as f64
+        }
+    }
+
+    /// Upper bound of bucket `i` (exclusive).
+    fn bucket_hi(i: usize) -> f64 {
+        if i >= 63 {
+            u64::MAX as f64
+        } else {
+            (1u64 << i) as f64
+        }
+    }
+
     pub fn observe(&mut self, v: f64) {
         if self.count == 0 {
             self.min = v;
@@ -30,6 +79,7 @@ impl HistogramSummary {
         }
         self.count += 1;
         self.sum += v;
+        self.buckets[Self::bucket_index(v)] += 1;
     }
 
     pub fn mean(&self) -> f64 {
@@ -39,9 +89,57 @@ impl HistogramSummary {
             self.sum / self.count as f64
         }
     }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) from the log₂ buckets.
+    /// Exact when all samples in the crossing bucket are uniformly spread;
+    /// always within one bucket width of the true value and clamped to the
+    /// observed `[min, max]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q == 0.0 {
+            return self.min;
+        }
+        // Rank of the sample we are after (1-based, ceil like nearest-rank).
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            if b == 0 {
+                continue;
+            }
+            if seen + b >= rank {
+                // Linear interpolation within this bucket.
+                let into = (rank - seen) as f64 / b as f64;
+                let lo = Self::bucket_lo(i);
+                let hi = Self::bucket_hi(i);
+                let est = lo + (hi - lo) * into;
+                return est.clamp(self.min, self.max);
+            }
+            seen += b;
+        }
+        self.max
+    }
+
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
 }
 
 #[derive(Debug, Clone, PartialEq)]
+// The histogram variant is ~550 bytes (64 inline buckets), but a registry
+// holds at most a few hundred metrics and is built once per run — inline
+// storage beats a Box indirection on the observe() hot path.
+#[allow(clippy::large_enum_variant)]
 pub enum Metric {
     Counter(u64),
     Gauge(f64),
@@ -126,6 +224,20 @@ impl MetricsRegistry {
         }
     }
 
+    /// Install (or overwrite) a whole histogram under `name`. Used when a
+    /// module keeps its own `HistogramSummary` during the run and harvests it
+    /// into the registry at the end.
+    pub fn histogram_set(&mut self, name: &str, h: HistogramSummary) {
+        match self
+            .metrics
+            .entry(name.to_string())
+            .or_insert(Metric::Histogram(HistogramSummary::default()))
+        {
+            Metric::Histogram(slot) => *slot = h,
+            other => panic!("metric '{name}' is a {}, not a histogram", other.kind()),
+        }
+    }
+
     pub fn get(&self, name: &str) -> Option<&Metric> {
         self.metrics.get(name)
     }
@@ -133,6 +245,13 @@ impl MetricsRegistry {
     pub fn get_counter(&self, name: &str) -> Option<u64> {
         match self.metrics.get(name) {
             Some(Metric::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn get_histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        match self.metrics.get(name) {
+            Some(Metric::Histogram(h)) => Some(h),
             _ => None,
         }
     }
@@ -170,12 +289,15 @@ impl MetricsRegistry {
                 Metric::Gauge(v) => write!(w, "\"{key}\":{}", crate::json::number(*v))?,
                 Metric::Histogram(h) => write!(
                     w,
-                    "\"{key}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{}}}",
+                    "\"{key}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
                     h.count,
                     crate::json::number(h.sum),
                     crate::json::number(h.min),
                     crate::json::number(h.max),
-                    crate::json::number(h.mean())
+                    crate::json::number(h.mean()),
+                    crate::json::number(h.p50()),
+                    crate::json::number(h.p95()),
+                    crate::json::number(h.p99())
                 )?,
             }
         }
@@ -189,22 +311,28 @@ impl MetricsRegistry {
         String::from_utf8(buf).expect("metrics JSON is UTF-8")
     }
 
-    /// CSV with header `metric,kind,value,count,sum,min,max,mean`.
-    /// Counters/gauges fill `value`; histograms fill the summary columns.
+    /// CSV with header `metric,kind,value,count,sum,min,max,mean,p50,p95,p99`.
+    /// Counters/gauges fill `value`; histograms fill the summary + quantile
+    /// columns.
     pub fn write_csv<W: Write>(&self, w: &mut W) -> io::Result<()> {
-        writeln!(w, "metric,kind,value,count,sum,min,max,mean")?;
+        writeln!(w, "metric,kind,value,count,sum,min,max,mean,p50,p95,p99")?;
         for (name, metric) in &self.metrics {
             match metric {
-                Metric::Counter(v) => writeln!(w, "{name},counter,{v},,,,,")?,
-                Metric::Gauge(v) => writeln!(w, "{name},gauge,{},,,,,", crate::json::number(*v))?,
+                Metric::Counter(v) => writeln!(w, "{name},counter,{v},,,,,,,,")?,
+                Metric::Gauge(v) => {
+                    writeln!(w, "{name},gauge,{},,,,,,,,", crate::json::number(*v))?
+                }
                 Metric::Histogram(h) => writeln!(
                     w,
-                    "{name},histogram,,{},{},{},{},{}",
+                    "{name},histogram,,{},{},{},{},{},{},{},{}",
                     h.count,
                     crate::json::number(h.sum),
                     crate::json::number(h.min),
                     crate::json::number(h.max),
-                    crate::json::number(h.mean())
+                    crate::json::number(h.mean()),
+                    crate::json::number(h.p50()),
+                    crate::json::number(h.p95()),
+                    crate::json::number(h.p99())
                 )?,
             }
         }
@@ -277,10 +405,77 @@ mod tests {
         let csv = m.to_csv_string();
         let lines: Vec<_> = csv.lines().collect();
         assert_eq!(lines.len(), 4);
-        assert_eq!(lines[0], "metric,kind,value,count,sum,min,max,mean");
+        assert_eq!(
+            lines[0],
+            "metric,kind,value,count,sum,min,max,mean,p50,p95,p99"
+        );
         assert!(lines
             .iter()
             .any(|l| l.starts_with("noc.flit_hops,counter,42")));
+        // Every row has the same number of columns as the header.
+        for l in &lines {
+            assert_eq!(l.split(',').count(), 11, "row {l:?}");
+        }
+    }
+
+    #[test]
+    fn quantiles_from_log2_buckets() {
+        let mut h = HistogramSummary::default();
+        // 100 samples 1..=100: p50 ~ 50, p95 ~ 95, p99 ~ 99 (within one
+        // log2 bucket width).
+        for v in 1..=100 {
+            h.observe(v as f64);
+        }
+        let p50 = h.p50();
+        let p95 = h.p95();
+        let p99 = h.p99();
+        assert!(p50 > 0.0 && p95 > 0.0 && p99 > 0.0);
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        // p50's true value is 50, which lives in bucket [32, 64).
+        assert!((32.0..64.0).contains(&p50), "p50 = {p50}");
+        // p95/p99 are in [64, 100].
+        assert!((64.0..=100.0).contains(&p95), "p95 = {p95}");
+        assert!((64.0..=100.0).contains(&p99), "p99 = {p99}");
+        // Clamped to observed range.
+        assert!(h.quantile(1.0) <= 100.0);
+        assert_eq!(h.quantile(0.0), 1.0);
+    }
+
+    #[test]
+    fn quantile_degenerate_cases() {
+        let empty = HistogramSummary::default();
+        assert_eq!(empty.p50(), 0.0);
+
+        let mut single = HistogramSummary::default();
+        single.observe(7.0);
+        assert_eq!(single.p50(), 7.0);
+        assert_eq!(single.p99(), 7.0);
+
+        // All-equal samples collapse to that value via min/max clamping.
+        let mut same = HistogramSummary::default();
+        for _ in 0..10 {
+            same.observe(3.0);
+        }
+        assert_eq!(same.p50(), 3.0);
+        assert_eq!(same.p95(), 3.0);
+    }
+
+    #[test]
+    fn histogram_set_installs_summary() {
+        let mut h = HistogramSummary::default();
+        for v in [2.0, 4.0, 8.0] {
+            h.observe(v);
+        }
+        let mut m = MetricsRegistry::new();
+        m.histogram_set("noc.packet_latency", h);
+        match m.get("noc.packet_latency") {
+            Some(Metric::Histogram(got)) => assert_eq!(got.count, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+        let doc = json::parse(&m.to_json_string()).expect("valid JSON");
+        let lat = doc.get("noc.packet_latency").unwrap();
+        assert!(lat.get("p50").unwrap().as_f64().unwrap() > 0.0);
+        assert!(lat.get("p99").unwrap().as_f64().unwrap() > 0.0);
     }
 
     #[test]

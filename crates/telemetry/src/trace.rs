@@ -223,6 +223,22 @@ impl Tracer {
         }
     }
 
+    /// Number of events whose name starts with `prefix` (all phases).
+    /// Used to reconcile families of per-instance events (e.g. every
+    /// `hop (x,y)->D` instant) against aggregate counters.
+    pub fn count_name_prefix(&self, prefix: &str) -> u64 {
+        let ids: std::collections::BTreeSet<u32> = self
+            .name_ids
+            .range(prefix.to_string()..)
+            .take_while(|(n, _)| n.starts_with(prefix))
+            .map(|(_, &id)| id)
+            .collect();
+        if ids.is_empty() {
+            return 0;
+        }
+        self.events.iter().filter(|e| ids.contains(&e.name)).count() as u64
+    }
+
     /// Like [`count_named`](Self::count_named) but restricted to one phase
     /// kind: `'B'`, `'E'`, `'i'`, or `'C'`.
     pub fn count_named_phase(&self, name: &str, ph: char) -> u64 {

@@ -1,0 +1,123 @@
+//! JSON string-escaping coverage: track, event, and metric names
+//! containing control characters, quotes, backslashes, and non-ASCII must
+//! round-trip through the Chrome-trace and metrics writers as valid JSON
+//! (Perfetto rejects the whole file on a single bad escape).
+
+use gnna_telemetry::json;
+use gnna_telemetry::{MetricsRegistry, TraceLevel, Tracer};
+
+/// Names chosen to hit every escaping branch: double quote, backslash,
+/// newline/tab/CR, a below-0x20 control char (\u{1}), DEL-adjacent text,
+/// and multi-byte UTF-8 (2-, 3-, and 4-byte sequences).
+const NASTY: &[&str] = &[
+    "quote\"inside",
+    "back\\slash",
+    "line\nbreak\ttab\rcr",
+    "ctrl\u{1}char\u{1f}unit",
+    "π-2byte",
+    "tile→agg-3byte",
+    "🧪-4byte",
+    "mixed \"q\" \\ \n π🧪",
+];
+
+#[test]
+fn chrome_trace_escapes_all_name_positions() {
+    let mut t = Tracer::new(TraceLevel::Event);
+    for (i, name) in NASTY.iter().enumerate() {
+        // Process, thread, and event names all flow through the escaper.
+        let track = t.register_track(&format!("proc {name}"), &format!("thr {name}"));
+        t.set_now(i as u64 + 1);
+        t.begin(track, name);
+        t.instant(track, name);
+        t.counter(track, name, 1.5);
+        t.end(track, name);
+    }
+    let doc = t.to_chrome_json_string();
+    let v = json::parse(&doc).expect("trace JSON with nasty names parses");
+    let events = v
+        .get("traceEvents")
+        .and_then(|e| e.as_array())
+        .expect("traceEvents array");
+
+    // Every original name must come back byte-identical after the
+    // escape → parse round trip, in both metadata and event records.
+    for name in NASTY {
+        let meta_hits = events
+            .iter()
+            .filter(|e| {
+                e.get("ph").and_then(|p| p.as_str()) == Some("M")
+                    && e.get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(|n| n.as_str())
+                        .is_some_and(|n| n.ends_with(name))
+            })
+            .count();
+        assert_eq!(meta_hits, 2, "process+thread metadata for {name:?}");
+        let event_hits = events
+            .iter()
+            .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some(*name))
+            .count();
+        assert_eq!(event_hits, 4, "B/E/i/C events for {name:?}");
+    }
+}
+
+#[test]
+fn trace_json_has_no_raw_control_bytes() {
+    let mut t = Tracer::new(TraceLevel::Event);
+    let track = t.register_track("p\u{2}q", "r\u{3}s");
+    t.begin(track, "evil\u{0}name");
+    t.end(track, "evil\u{0}name");
+    let doc = t.to_chrome_json_string();
+    // A strict JSON consumer (Perfetto's parser included) rejects literal
+    // control bytes inside strings; they must all be \uXXXX-escaped.
+    assert!(
+        doc.bytes().all(|b| b >= 0x20 || b == b'\n'),
+        "raw control byte leaked into trace JSON"
+    );
+    assert!(doc.contains("\\u0000"));
+    assert!(doc.contains("\\u0002"));
+    json::parse(&doc).expect("control-char trace parses");
+}
+
+#[test]
+fn metrics_registry_escapes_names_in_json() {
+    let mut reg = MetricsRegistry::new();
+    for (i, name) in NASTY.iter().enumerate() {
+        reg.counter_set(&format!("c.{name}"), i as u64 + 1);
+        reg.observe(&format!("h.{name}"), 2.0);
+    }
+    let doc = reg.to_json_string();
+    let v = json::parse(&doc).expect("metrics JSON with nasty names parses");
+    for (i, name) in NASTY.iter().enumerate() {
+        assert_eq!(
+            v.get(&format!("c.{name}")).and_then(|x| x.as_u64()),
+            Some(i as u64 + 1),
+            "counter {name:?} lost in round trip"
+        );
+        assert_eq!(
+            v.get(&format!("h.{name}"))
+                .and_then(|h| h.get("count"))
+                .and_then(|c| c.as_u64()),
+            Some(1),
+            "histogram {name:?} lost in round trip"
+        );
+    }
+}
+
+#[test]
+fn escaper_and_parser_roundtrip_every_nasty_string() {
+    for name in NASTY {
+        let mut escaped = String::new();
+        json::escape_into(&mut escaped, name);
+        let parsed = json::parse(&format!("\"{escaped}\"")).expect(name);
+        assert_eq!(parsed.as_str(), Some(*name));
+    }
+}
+
+#[test]
+fn surrogate_style_escapes_do_not_panic() {
+    // A lone \uD800 surrogate half is invalid Unicode; the parser must
+    // degrade to U+FFFD rather than panic or corrupt the document.
+    let parsed = json::parse("\"a\\ud800b\"").expect("lone surrogate tolerated");
+    assert_eq!(parsed.as_str(), Some("a\u{fffd}b"));
+}
