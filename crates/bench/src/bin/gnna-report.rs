@@ -11,11 +11,12 @@
 //! stall-cause breakdown, the hottest mesh links as a heat-map, and
 //! packet-latency quantiles (paper Fig. 9/10 style).
 
-use gnna_bench::report::{parse_trace_json, BottleneckReport, MetricsSnapshot};
+use gnna_bench::report::{parse_trace_json, BottleneckReport, DiffReport, MetricsSnapshot};
 use std::process::ExitCode;
 
 struct Args {
-    metrics: String,
+    metrics: Option<String>,
+    diff: Option<(String, String)>,
     trace: Option<String>,
     out: Option<String>,
     format: Format,
@@ -31,17 +32,22 @@ enum Format {
 
 const USAGE: &str = "\
 usage: gnna-report --metrics FILE [options]
+       gnna-report --diff A B [options]
   --metrics FILE    metrics dump from `gnna-sim --metrics-out`
                     (.json or .csv, auto-detected)
+  --diff A B        differential mode: compare two metrics dumps and
+                    render cycle/stall/link/energy deltas (B - A)
   --trace FILE      optional Chrome trace from `gnna-sim --trace-out`;
-                    adds a trace-inventory section
+                    adds a trace-inventory section (single-run mode only)
   --out FILE        write the report here instead of stdout
   --format md|csv   output format (default: md, or by --out extension)
-  --top-k N         rows in the hottest-links/spans tables (default 8)
+  --top-k N         rows in the hottest-links/spans/deltas tables
+                    (default 8)
   --help            this message";
 
 fn parse_args() -> Result<Args, String> {
     let mut metrics = None;
+    let mut diff = None;
     let mut trace = None;
     let mut out = None;
     let mut format = Format::Auto;
@@ -51,6 +57,7 @@ fn parse_args() -> Result<Args, String> {
         let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
         match arg.as_str() {
             "--metrics" => metrics = Some(value("--metrics")?),
+            "--diff" => diff = Some((value("--diff")?, value("--diff")?)),
             "--trace" => trace = Some(value("--trace")?),
             "--out" => out = Some(value("--out")?),
             "--format" => {
@@ -69,14 +76,27 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown option {other}")),
         }
     }
-    let metrics = metrics.ok_or("--metrics is required")?;
+    if metrics.is_none() && diff.is_none() {
+        return Err("either --metrics or --diff is required".to_string());
+    }
+    if metrics.is_some() && diff.is_some() {
+        return Err("--metrics and --diff are mutually exclusive".to_string());
+    }
     Ok(Args {
         metrics,
+        diff,
         trace,
         out,
         format,
         top_k,
     })
+}
+
+/// Read and parse one metrics dump, or exit with a readable error.
+fn load_snapshot(path: &str) -> Result<MetricsSnapshot, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read metrics {path}: {e}"))?;
+    MetricsSnapshot::parse(&text).map_err(|e| format!("cannot parse metrics {path}: {e}"))
 }
 
 fn main() -> ExitCode {
@@ -94,17 +114,57 @@ fn main() -> ExitCode {
             };
         }
     };
-    let metrics_text = match std::fs::read_to_string(&args.metrics) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("error: cannot read metrics {}: {e}", args.metrics);
-            return ExitCode::FAILURE;
-        }
+    let format = match args.format {
+        Format::Auto => match &args.out {
+            Some(p) if p.ends_with(".csv") => Format::Csv,
+            _ => Format::Markdown,
+        },
+        f => f,
     };
-    let snap = match MetricsSnapshot::parse(&metrics_text) {
+
+    // Differential mode: compare two dumps, render deltas, done.
+    if let Some((path_a, path_b)) = &args.diff {
+        let (a, b) = match (load_snapshot(path_a), load_snapshot(path_b)) {
+            (Ok(a), Ok(b)) => (a, b),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let diff = DiffReport::build(&a, &b, path_a, path_b);
+        let body = match format {
+            Format::Csv => diff.to_csv(),
+            _ => diff.to_markdown(args.top_k),
+        };
+        return match &args.out {
+            None => {
+                print!("{body}");
+                ExitCode::SUCCESS
+            }
+            Some(path) => {
+                if let Err(e) = std::fs::write(path, &body) {
+                    eprintln!("error: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!(
+                    "diff report: {path} ({} system rows, {} stall causes, \
+                     {} links, {} energy rows{})",
+                    diff.system.len(),
+                    diff.stalls.len(),
+                    diff.links.len(),
+                    diff.energy.len(),
+                    if diff.is_zero() { ", identical" } else { "" }
+                );
+                ExitCode::SUCCESS
+            }
+        };
+    }
+
+    let metrics_path = args.metrics.as_deref().expect("checked in parse_args");
+    let snap = match load_snapshot(metrics_path) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("error: cannot parse metrics {}: {e}", args.metrics);
+            eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
@@ -125,13 +185,6 @@ fn main() -> ExitCode {
         },
     };
     let report = BottleneckReport::build(&snap, trace);
-    let format = match args.format {
-        Format::Auto => match &args.out {
-            Some(p) if p.ends_with(".csv") => Format::Csv,
-            _ => Format::Markdown,
-        },
-        f => f,
-    };
     let body = match format {
         Format::Csv => report.to_csv(),
         _ => report.to_markdown(args.top_k),

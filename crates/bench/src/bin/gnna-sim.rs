@@ -23,6 +23,7 @@ struct Args {
     config: AcceleratorConfig,
     clock_ghz: f64,
     threads: Option<usize>,
+    flit_bytes: Option<usize>,
     scale: Scale,
     show_layers: bool,
     show_energy: bool,
@@ -43,6 +44,8 @@ usage: gnna-sim [options]
   --clock  GHZ                   core clock in GHz: 0.6, 1.2 or 2.4
                                  (default 2.4)
   --threads N                    GPE software threads (default 16)
+  --flit-bytes N                 NoC flit / crossbar width in bytes
+                                 (default 64; energy A/B ablation knob)
   --smoke                        scaled-down dataset for a fast run
   --layers                       print the per-layer timing breakdown
   --energy                       print the energy estimate
@@ -61,6 +64,7 @@ fn parse_args() -> Result<Args, String> {
     let mut config = AcceleratorConfig::cpu_iso_bandwidth();
     let mut clock_ghz = 2.4;
     let mut threads = None;
+    let mut flit_bytes = None;
     let mut scale = Scale::Paper;
     let mut show_layers = false;
     let mut show_energy = false;
@@ -111,6 +115,15 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("bad thread count: {e}"))?,
                 )
             }
+            "--flit-bytes" => {
+                let n: usize = value("--flit-bytes")?
+                    .parse()
+                    .map_err(|e| format!("bad flit width: {e}"))?;
+                if n == 0 {
+                    return Err("--flit-bytes must be positive".to_string());
+                }
+                flit_bytes = Some(n);
+            }
             "--smoke" => scale = Scale::Smoke,
             "--layers" => show_layers = true,
             "--energy" => show_energy = true,
@@ -145,6 +158,7 @@ fn parse_args() -> Result<Args, String> {
         config,
         clock_ghz,
         threads,
+        flit_bytes,
         scale,
         show_layers,
         show_energy,
@@ -180,6 +194,9 @@ fn main() -> ExitCode {
     let mut config = args.config.with_core_clock(args.clock_ghz * 1e9);
     if let Some(t) = args.threads {
         config.gpe_threads = t;
+    }
+    if let Some(n) = args.flit_bytes {
+        config = config.with_flit_bytes(n);
     }
     println!(
         "{} on {} ({} vertices, {} MMACs), {} @ {:.1} GHz, {} GPE threads",

@@ -154,6 +154,16 @@ impl MetricsSnapshot {
         }
     }
 
+    /// All metric names in the snapshot, in sorted order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.map.keys().map(String::as_str)
+    }
+
+    /// Raw metric value by exact name.
+    pub fn get_value(&self, name: &str) -> Option<&MetricValue> {
+        self.map.get(name)
+    }
+
     /// Metrics whose name starts with `prefix`, prefix stripped.
     pub fn with_prefix<'a>(
         &'a self,
@@ -168,6 +178,129 @@ impl MetricsSnapshot {
 
 fn field(v: &JsonValue, key: &str) -> f64 {
     v.get(key).and_then(|f| f.as_f64()).unwrap_or(0.0)
+}
+
+/// Shared ASCII heat-map renderer: one glyph per router `(x, y)`, darker
+/// glyph = larger summed cell value. `unit` names the quantity in the
+/// legend line. Empty string when there are no cells.
+fn ascii_heatmap(cells: &[(usize, usize, u64)], unit: &str) -> String {
+    if cells.is_empty() {
+        return String::new();
+    }
+    let width = cells.iter().map(|&(x, _, _)| x).max().unwrap_or(0) + 1;
+    let height = cells.iter().map(|&(_, y, _)| y).max().unwrap_or(0) + 1;
+    let mut load = vec![0u64; width * height];
+    for &(x, y, v) in cells {
+        load[y * width + x] += v;
+    }
+    let peak = load.iter().copied().max().unwrap_or(0).max(1);
+    const RAMP: [char; 10] = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    let mut out = String::new();
+    for y in 0..height {
+        out.push_str("  ");
+        for x in 0..width {
+            let frac = load[y * width + x] as f64 / peak as f64;
+            let idx = (frac * (RAMP.len() - 1) as f64).round() as usize;
+            out.push(RAMP[idx.min(RAMP.len() - 1)]);
+            out.push(' ');
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(
+        out,
+        "  (row = mesh y, col = mesh x; ' '..'@' = 0..{peak} {unit})"
+    );
+    out
+}
+
+/// Parse the `*.energy.*_pj` counter family into an [`EnergyBreakdown`].
+/// Returns `None` when the dump carries no energy attribution (untraced
+/// or counter-level runs).
+fn parse_energy(snap: &MetricsSnapshot) -> Option<EnergyBreakdown> {
+    let total_pj = snap.counter("system.energy.total_pj")?;
+    let mut e = EnergyBreakdown {
+        total_pj,
+        ..Default::default()
+    };
+    let mut modules: BTreeMap<&'static str, u64> = BTreeMap::new();
+    // On-tile sites: `tile{i}.energy.{site}_pj`.
+    for i in 0.. {
+        let mut tile_pj = 0u64;
+        let mut seen = false;
+        for site in ["dna", "agg", "sram", "gpe"] {
+            if let Some(pj) = snap.counter(&format!("tile{i}.energy.{site}_pj")) {
+                seen = true;
+                tile_pj += pj;
+                *modules.entry(site_key(site)).or_insert(0) += pj;
+            }
+        }
+        if !seen {
+            break;
+        }
+        e.tiles.push((i, tile_pj));
+    }
+    // Memory controllers: `mem.energy.ctrl{i}_pj` → "dram".
+    for i in 0.. {
+        let Some(pj) = snap.counter(&format!("mem.energy.ctrl{i}_pj")) else {
+            break;
+        };
+        *modules.entry("dram").or_insert(0) += pj;
+    }
+    // NoC links: `noc.energy.link.{x}_{y}.{D}_pj` → "noc" + per-link rows.
+    for (rest, v) in snap.with_prefix("noc.energy.link.") {
+        let MetricValue::Number(n) = v else { continue };
+        let Some(rest) = rest.strip_suffix("_pj") else {
+            continue;
+        };
+        let mut parts = rest.split('.');
+        let (Some(coords), Some(dir)) = (parts.next(), parts.next()) else {
+            continue;
+        };
+        let mut xy = coords.split('_');
+        let (Some(x), Some(y)) = (
+            xy.next().and_then(|s| s.parse().ok()),
+            xy.next().and_then(|s| s.parse().ok()),
+        ) else {
+            continue;
+        };
+        let pj = *n as u64;
+        *modules.entry("noc").or_insert(0) += pj;
+        e.links.push(EnergyLink {
+            x,
+            y,
+            dir: dir.to_string(),
+            pj,
+        });
+    }
+    e.links.sort_by(|a, b| {
+        b.pj.cmp(&a.pj)
+            .then(a.y.cmp(&b.y))
+            .then(a.x.cmp(&b.x))
+            .then(a.dir.cmp(&b.dir))
+    });
+    // Per-layer partition: `system.energy.layer{k}_pj`.
+    for k in 0.. {
+        let Some(pj) = snap.counter(&format!("system.energy.layer{k}_pj")) else {
+            break;
+        };
+        e.layers.push(pj);
+    }
+    e.modules = modules
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+    e.modules.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    Some(e)
+}
+
+/// Canonical module key for an on-tile energy site.
+fn site_key(site: &str) -> &'static str {
+    match site {
+        "dna" => "dna",
+        "agg" => "agg",
+        "sram" => "sram",
+        _ => "gpe",
+    }
 }
 
 /// Inventory of a `--trace-out` Chrome-trace file: event/track counts and
@@ -244,6 +377,48 @@ pub struct LinkLoad {
     pub busy: u64,
 }
 
+/// One mesh link with its attributed energy in integer picojoules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyLink {
+    /// Router x coordinate.
+    pub x: usize,
+    /// Router y coordinate.
+    pub y: usize,
+    /// Outgoing direction (`N`/`E`/`S`/`W`, or `L` for the local ports).
+    pub dir: String,
+    /// Energy attributed to this link, integer picojoules.
+    pub pj: u64,
+}
+
+/// Parsed `*.energy.*_pj` counter family: the per-module / per-layer
+/// energy attribution exported by event-level traced runs. All values are
+/// integer picojoules; the per-module, per-tile, and per-layer families
+/// each sum exactly to [`EnergyBreakdown::total_pj`] (the conservation
+/// invariant enforced by the simulator's largest-remainder export).
+#[derive(Debug, Clone, Default)]
+pub struct EnergyBreakdown {
+    /// Run total, integer picojoules (`system.energy.total_pj`).
+    pub total_pj: u64,
+    /// Energy per module class (`dna`/`agg`/`sram`/`gpe`/`dram`/`noc`),
+    /// aggregated across tiles/controllers/links, descending.
+    pub modules: Vec<(String, u64)>,
+    /// Per-tile energy totals `(tile, pJ)` (on-tile sites only).
+    pub tiles: Vec<(usize, u64)>,
+    /// Per-link NoC energy, sorted descending by pJ.
+    pub links: Vec<EnergyLink>,
+    /// Per-layer energy (`system.energy.layerK_pj`), in layer order.
+    pub layers: Vec<u64>,
+}
+
+impl EnergyBreakdown {
+    /// ASCII mesh heat-map of per-router NoC energy (sum of outgoing
+    /// link energies). Empty string when no link data exists.
+    pub fn mesh_heatmap(&self) -> String {
+        let cells: Vec<(usize, usize, u64)> = self.links.iter().map(|l| (l.x, l.y, l.pj)).collect();
+        ascii_heatmap(&cells, "pJ")
+    }
+}
+
 /// The assembled bottleneck report, ready to render as markdown or CSV.
 #[derive(Debug, Default)]
 pub struct BottleneckReport {
@@ -269,6 +444,8 @@ pub struct BottleneckReport {
     pub hops: Option<HistStats>,
     /// Per-memory-controller `(index, requests, dram_bytes, efficiency)`.
     pub mems: Vec<(usize, u64, u64, f64)>,
+    /// Energy attribution, when the run was traced at event level.
+    pub energy: Option<EnergyBreakdown>,
     /// Optional trace-file inventory.
     pub trace: Option<TraceSummary>,
 }
@@ -365,6 +542,7 @@ impl BottleneckReport {
                 snap.number(&format!("mem{i}.efficiency")).unwrap_or(0.0),
             ));
         }
+        r.energy = parse_energy(snap);
         r
     }
 
@@ -376,33 +554,9 @@ impl BottleneckReport {
     /// ASCII mesh heat-map: one glyph per router, darker = more link
     /// traffic out of that router. Empty string when no link data exists.
     pub fn mesh_heatmap(&self) -> String {
-        if self.links.is_empty() {
-            return String::new();
-        }
-        let width = self.links.iter().map(|l| l.x).max().unwrap_or(0) + 1;
-        let height = self.links.iter().map(|l| l.y).max().unwrap_or(0) + 1;
-        let mut load = vec![0u64; width * height];
-        for l in &self.links {
-            load[l.y * width + l.x] += l.busy;
-        }
-        let peak = load.iter().copied().max().unwrap_or(0).max(1);
-        const RAMP: [char; 10] = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
-        let mut out = String::new();
-        for y in 0..height {
-            out.push_str("  ");
-            for x in 0..width {
-                let frac = load[y * width + x] as f64 / peak as f64;
-                let idx = (frac * (RAMP.len() - 1) as f64).round() as usize;
-                out.push(RAMP[idx.min(RAMP.len() - 1)]);
-                out.push(' ');
-            }
-            out.push('\n');
-        }
-        let _ = writeln!(
-            out,
-            "  (row = mesh y, col = mesh x; ' '..'@' = 0..{peak} busy cycles)"
-        );
-        out
+        let cells: Vec<(usize, usize, u64)> =
+            self.links.iter().map(|l| (l.x, l.y, l.busy)).collect();
+        ascii_heatmap(&cells, "busy cycles")
     }
 
     /// Render the report as markdown.
@@ -526,6 +680,50 @@ impl BottleneckReport {
             }
         }
 
+        if let Some(e) = &self.energy {
+            let _ = writeln!(o, "\n## Energy\n");
+            let _ = writeln!(
+                o,
+                "Total attributed energy: **{} pJ** ({:.3} µJ).\n",
+                e.total_pj,
+                e.total_pj as f64 / 1e6
+            );
+            let _ = writeln!(o, "| module | energy (pJ) | share | |");
+            let _ = writeln!(o, "|---|---|---|---|");
+            for (module, pj) in &e.modules {
+                let share = pct(*pj, e.total_pj);
+                let bar = "#".repeat((share / 4.0).round() as usize);
+                let _ = writeln!(o, "| {module} | {pj} | {share:.1}% | `{bar}` |");
+            }
+            let _ = writeln!(o, "| **total** | {} | 100.0% | |", e.total_pj);
+            if e.tiles.len() > 1 {
+                let _ = writeln!(o, "\nPer-tile energy (on-tile sites only):\n");
+                let _ = writeln!(o, "| tile | energy (pJ) | share of total |");
+                let _ = writeln!(o, "|---|---|---|");
+                for (tile, pj) in &e.tiles {
+                    let _ = writeln!(o, "| {tile} | {pj} | {:.1}% |", pct(*pj, e.total_pj));
+                }
+            }
+            if !e.links.is_empty() {
+                let _ = writeln!(o, "\nTop {top_k} NoC energy hot spots:\n");
+                let _ = writeln!(o, "| router | dir | energy (pJ) |");
+                let _ = writeln!(o, "|---|---|---|");
+                for l in e.links.iter().take(top_k) {
+                    let _ = writeln!(o, "| ({},{}) | {} | {} |", l.x, l.y, l.dir, l.pj);
+                }
+                let _ = writeln!(o, "\nEnergy heat-map (outgoing link energy per router):\n");
+                let _ = writeln!(o, "```\n{}```", e.mesh_heatmap());
+            }
+            if !e.layers.is_empty() {
+                let _ = writeln!(o, "\nPer-layer energy:\n");
+                let _ = writeln!(o, "| layer | energy (pJ) | share |");
+                let _ = writeln!(o, "|---|---|---|");
+                for (k, pj) in e.layers.iter().enumerate() {
+                    let _ = writeln!(o, "| {k} | {pj} | {:.1}% |", pct(*pj, e.total_pj));
+                }
+            }
+        }
+
         if let Some(t) = &self.trace {
             let _ = writeln!(o, "\n## Trace inventory\n");
             let _ = writeln!(
@@ -607,12 +805,359 @@ impl BottleneckReport {
             row(&m, "dram_bytes", bytes.to_string());
             row(&m, "efficiency", format!("{eff:.4}"));
         }
+        if let Some(e) = &self.energy {
+            row("energy", "total_pj", e.total_pj.to_string());
+            for (module, pj) in &e.modules {
+                row("energy", &format!("module.{module}_pj"), pj.to_string());
+            }
+            for (tile, pj) in &e.tiles {
+                row("energy", &format!("tile{tile}_pj"), pj.to_string());
+            }
+            for l in &e.links {
+                row(
+                    "energy.link",
+                    &format!("{}_{}.{}", l.x, l.y, l.dir),
+                    l.pj.to_string(),
+                );
+            }
+            for (k, pj) in e.layers.iter().enumerate() {
+                row("energy", &format!("layer{k}_pj"), pj.to_string());
+            }
+        }
         if let Some(t) = &self.trace {
             row("trace", "events", t.events.to_string());
             row("trace", "tracks", t.tracks.to_string());
             row("trace", "processes", t.processes.to_string());
         }
         o
+    }
+}
+
+/// One metric compared across two runs. `None` means the metric was
+/// absent from that run's dump (mismatched-key case).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDelta {
+    /// Metric name (section-local, e.g. `total_cycles` or `(1,0) E`).
+    pub name: String,
+    /// Value in run A, when present.
+    pub a: Option<f64>,
+    /// Value in run B, when present.
+    pub b: Option<f64>,
+}
+
+impl MetricDelta {
+    fn new(name: impl Into<String>, a: Option<f64>, b: Option<f64>) -> Self {
+        Self {
+            name: name.into(),
+            a,
+            b,
+        }
+    }
+
+    /// Absolute delta `B - A`, when both sides are present.
+    pub fn delta(&self) -> Option<f64> {
+        Some(self.b? - self.a?)
+    }
+
+    /// Percent delta `(B - A) / A * 100`, when both sides are present and
+    /// A is non-zero.
+    pub fn pct(&self) -> Option<f64> {
+        let (a, b) = (self.a?, self.b?);
+        if a == 0.0 {
+            None
+        } else {
+            Some((b - a) / a * 100.0)
+        }
+    }
+
+    /// True when A and B agree exactly (including both-absent).
+    pub fn is_zero(&self) -> bool {
+        self.a == self.b
+    }
+}
+
+/// A differential report comparing two metrics dumps (`gnna-report
+/// --diff A B`): per-section deltas for cycles, stalls, link traffic, and
+/// energy, plus the metric names present in only one of the two dumps.
+#[derive(Debug, Default)]
+pub struct DiffReport {
+    /// Display label for run A (usually the file name).
+    pub label_a: String,
+    /// Display label for run B.
+    pub label_b: String,
+    /// System-level rows (cycles, clocks, energy total).
+    pub system: Vec<MetricDelta>,
+    /// Aggregate stall cycles by cause (union of both runs' causes).
+    pub stalls: Vec<MetricDelta>,
+    /// Per-link busy cycles, sorted by |Δ| descending.
+    pub links: Vec<MetricDelta>,
+    /// Energy rows: module aggregates and per-layer totals.
+    pub energy: Vec<MetricDelta>,
+    /// Metric names present in A's dump only.
+    pub only_a: Vec<String>,
+    /// Metric names present in B's dump only.
+    pub only_b: Vec<String>,
+}
+
+impl DiffReport {
+    /// Build the differential report from two parsed metrics snapshots.
+    pub fn build(a: &MetricsSnapshot, b: &MetricsSnapshot, label_a: &str, label_b: &str) -> Self {
+        let ra = BottleneckReport::build(a, None);
+        let rb = BottleneckReport::build(b, None);
+        let mut d = DiffReport {
+            label_a: label_a.to_string(),
+            label_b: label_b.to_string(),
+            ..Default::default()
+        };
+
+        // System rows.
+        let num = |v: u64| Some(v as f64);
+        d.system.push(MetricDelta::new(
+            "total_cycles",
+            num(ra.total_cycles),
+            num(rb.total_cycles),
+        ));
+        d.system.push(MetricDelta::new(
+            "config_cycles",
+            num(ra.config_cycles),
+            num(rb.config_cycles),
+        ));
+        d.system.push(MetricDelta::new(
+            "core_cycles",
+            num(ra.core_cycles()),
+            num(rb.core_cycles()),
+        ));
+        d.system.push(MetricDelta::new(
+            "tiles",
+            Some(ra.tiles.len() as f64),
+            Some(rb.tiles.len() as f64),
+        ));
+        d.system.push(MetricDelta::new(
+            "energy_total_pj",
+            ra.energy.as_ref().map(|e| e.total_pj as f64),
+            rb.energy.as_ref().map(|e| e.total_pj as f64),
+        ));
+
+        // Stall causes: union of both runs' aggregate cause totals.
+        let sa: BTreeMap<&str, u64> = ra
+            .stall_totals
+            .iter()
+            .map(|(c, v)| (c.as_str(), *v))
+            .collect();
+        let sb: BTreeMap<&str, u64> = rb
+            .stall_totals
+            .iter()
+            .map(|(c, v)| (c.as_str(), *v))
+            .collect();
+        let causes: std::collections::BTreeSet<&str> =
+            sa.keys().chain(sb.keys()).copied().collect();
+        for cause in causes {
+            d.stalls.push(MetricDelta::new(
+                cause,
+                sa.get(cause).map(|v| *v as f64),
+                sb.get(cause).map(|v| *v as f64),
+            ));
+        }
+        d.stalls.sort_by(delta_order);
+
+        // Links: union keyed by "(x,y) D".
+        let la: BTreeMap<String, u64> = ra
+            .links
+            .iter()
+            .map(|l| (format!("({},{}) {}", l.x, l.y, l.dir), l.busy))
+            .collect();
+        let lb: BTreeMap<String, u64> = rb
+            .links
+            .iter()
+            .map(|l| (format!("({},{}) {}", l.x, l.y, l.dir), l.busy))
+            .collect();
+        let keys: std::collections::BTreeSet<&String> = la.keys().chain(lb.keys()).collect();
+        for k in keys {
+            d.links.push(MetricDelta::new(
+                k.clone(),
+                la.get(k).map(|v| *v as f64),
+                lb.get(k).map(|v| *v as f64),
+            ));
+        }
+        d.links.sort_by(delta_order);
+
+        // Energy: module aggregates, then per-layer rows.
+        let ea: BTreeMap<String, u64> = energy_rows(&ra.energy);
+        let eb: BTreeMap<String, u64> = energy_rows(&rb.energy);
+        let keys: std::collections::BTreeSet<&String> = ea.keys().chain(eb.keys()).collect();
+        for k in keys {
+            d.energy.push(MetricDelta::new(
+                k.clone(),
+                ea.get(k).map(|v| *v as f64),
+                eb.get(k).map(|v| *v as f64),
+            ));
+        }
+        d.energy.sort_by(delta_order);
+
+        // Coverage: raw metric names present in exactly one dump.
+        d.only_a = a
+            .names()
+            .filter(|n| b.get_value(n).is_none())
+            .map(str::to_string)
+            .collect();
+        d.only_b = b
+            .names()
+            .filter(|n| a.get_value(n).is_none())
+            .map(str::to_string)
+            .collect();
+        d
+    }
+
+    /// True when every compared row is identical and both dumps carry
+    /// exactly the same metric names (the self-diff case).
+    pub fn is_zero(&self) -> bool {
+        self.only_a.is_empty()
+            && self.only_b.is_empty()
+            && [&self.system, &self.stalls, &self.links, &self.energy]
+                .iter()
+                .all(|rows| rows.iter().all(MetricDelta::is_zero))
+    }
+
+    /// Render the differential report as markdown.
+    pub fn to_markdown(&self, top_k: usize) -> String {
+        let mut o = String::new();
+        let _ = writeln!(o, "# gnna differential report\n");
+        let _ = writeln!(
+            o,
+            "Comparing **A** = `{}` → **B** = `{}`. Δ = B − A.\n",
+            self.label_a, self.label_b
+        );
+        if self.is_zero() {
+            let _ = writeln!(o, "_The two runs are identical (all deltas zero)._\n");
+        }
+        let section = |o: &mut String, title: &str, rows: &[MetricDelta], limit: usize| {
+            if rows.is_empty() {
+                return;
+            }
+            let _ = writeln!(o, "## {title}\n");
+            let _ = writeln!(o, "| metric | A | B | Δ | Δ% |");
+            let _ = writeln!(o, "|---|---|---|---|---|");
+            for r in rows.iter().take(limit) {
+                let _ = writeln!(
+                    o,
+                    "| {} | {} | {} | {} | {} |",
+                    r.name,
+                    fmt_opt(r.a),
+                    fmt_opt(r.b),
+                    fmt_signed(r.delta()),
+                    fmt_pct(r.pct())
+                );
+            }
+            if rows.len() > limit {
+                let _ = writeln!(o, "| … {} more | | | | |", rows.len() - limit);
+            }
+            o.push('\n');
+        };
+        section(&mut o, "System", &self.system, usize::MAX);
+        section(&mut o, "Stall cycles by cause", &self.stalls, usize::MAX);
+        section(&mut o, "NoC link busy cycles", &self.links, top_k);
+        section(&mut o, "Energy (pJ)", &self.energy, usize::MAX);
+        if !self.only_a.is_empty() || !self.only_b.is_empty() {
+            let _ = writeln!(o, "## Coverage\n");
+            for (label, names) in [("A", &self.only_a), ("B", &self.only_b)] {
+                if names.is_empty() {
+                    continue;
+                }
+                let shown: Vec<&str> = names.iter().map(String::as_str).take(top_k).collect();
+                let more = if names.len() > shown.len() {
+                    format!(" … and {} more", names.len() - shown.len())
+                } else {
+                    String::new()
+                };
+                let _ = writeln!(
+                    o,
+                    "- only in {label} ({} metrics): `{}`{more}",
+                    names.len(),
+                    shown.join("`, `")
+                );
+            }
+        }
+        o
+    }
+
+    /// Render the differential report as flat CSV
+    /// (`section,metric,a,b,delta` rows).
+    pub fn to_csv(&self) -> String {
+        let mut o = String::from("section,metric,a,b,delta\n");
+        let mut rows = |section: &str, rows: &[MetricDelta]| {
+            for r in rows {
+                let _ = writeln!(
+                    o,
+                    "{section},{},{},{},{}",
+                    r.name.replace(',', ";"),
+                    fmt_opt(r.a),
+                    fmt_opt(r.b),
+                    fmt_opt(r.delta())
+                );
+            }
+        };
+        rows("system", &self.system);
+        rows("stalls", &self.stalls);
+        rows("noc.link", &self.links);
+        rows("energy", &self.energy);
+        for n in &self.only_a {
+            let _ = writeln!(o, "coverage,only_a.{},,,", n.replace(',', ";"));
+        }
+        for n in &self.only_b {
+            let _ = writeln!(o, "coverage,only_b.{},,,", n.replace(',', ";"));
+        }
+        o
+    }
+}
+
+/// Sort rows by |Δ| descending, missing-side rows last, then by name.
+fn delta_order(x: &MetricDelta, y: &MetricDelta) -> std::cmp::Ordering {
+    let mag = |r: &MetricDelta| r.delta().map(f64::abs);
+    match (mag(x), mag(y)) {
+        (Some(a), Some(b)) => b.partial_cmp(&a).unwrap_or(std::cmp::Ordering::Equal),
+        (Some(_), None) => std::cmp::Ordering::Less,
+        (None, Some(_)) => std::cmp::Ordering::Greater,
+        (None, None) => std::cmp::Ordering::Equal,
+    }
+    .then_with(|| x.name.cmp(&y.name))
+}
+
+/// Flatten an optional energy breakdown into named integer-pJ rows.
+fn energy_rows(e: &Option<EnergyBreakdown>) -> BTreeMap<String, u64> {
+    let mut m = BTreeMap::new();
+    if let Some(e) = e {
+        m.insert("total".to_string(), e.total_pj);
+        for (module, pj) in &e.modules {
+            m.insert(format!("module.{module}"), *pj);
+        }
+        for (k, pj) in e.layers.iter().enumerate() {
+            m.insert(format!("layer{k}"), *pj);
+        }
+    }
+    m
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    match v {
+        None => "—".to_string(),
+        Some(v) if v.fract() == 0.0 && v.abs() < 1e15 => format!("{}", v as i64),
+        Some(v) => format!("{v:.3}"),
+    }
+}
+
+fn fmt_signed(v: Option<f64>) -> String {
+    match v {
+        None => "—".to_string(),
+        Some(v) if v > 0.0 => format!("+{}", fmt_opt(Some(v))),
+        Some(v) => fmt_opt(Some(v)),
+    }
+}
+
+fn fmt_pct(v: Option<f64>) -> String {
+    match v {
+        None => "—".to_string(),
+        Some(v) if v > 0.0 => format!("+{v:.1}%"),
+        Some(v) => format!("{v:.1}%"),
     }
 }
 
@@ -646,6 +1191,145 @@ mod tests {
             "}"
         )
         .to_string()
+    }
+
+    fn sample_metrics_with_energy() -> String {
+        let base = sample_metrics_json();
+        let energy = concat!(
+            "\"system.energy.total_pj\":1000,",
+            "\"system.energy.layer0_pj\":600,",
+            "\"system.energy.layer1_pj\":400,",
+            "\"tile0.energy.dna_pj\":400,",
+            "\"tile0.energy.agg_pj\":150,",
+            "\"tile0.energy.sram_pj\":200,",
+            "\"tile0.energy.gpe_pj\":100,",
+            "\"mem.energy.ctrl0_pj\":100,",
+            "\"noc.energy.link.0_0.E_pj\":30,",
+            "\"noc.energy.link.1_0.L_pj\":20,"
+        );
+        base.replacen('{', &format!("{{{energy}"), 1)
+    }
+
+    #[test]
+    fn energy_breakdown_parses_and_conserves() {
+        let snap = MetricsSnapshot::parse(&sample_metrics_with_energy()).unwrap();
+        let r = BottleneckReport::build(&snap, None);
+        let e = r.energy.as_ref().expect("energy section present");
+        assert_eq!(e.total_pj, 1000);
+        // Module family partitions the total exactly.
+        let module_sum: u64 = e.modules.iter().map(|(_, pj)| pj).sum();
+        assert_eq!(module_sum, e.total_pj);
+        // Layer family partitions the total exactly.
+        assert_eq!(e.layers, vec![600, 400]);
+        assert_eq!(e.layers.iter().sum::<u64>(), e.total_pj);
+        // Modules are sorted descending; dna is the hottest site.
+        assert_eq!(e.modules[0], ("dna".to_string(), 400));
+        assert_eq!(e.tiles, vec![(0, 850)]);
+        // Links sorted by pJ descending.
+        assert_eq!(e.links[0].pj, 30);
+        assert_eq!(e.links[0].dir, "E");
+        let md = r.to_markdown(4);
+        for needle in [
+            "## Energy",
+            "Total attributed energy: **1000 pJ**",
+            "NoC energy hot spots",
+            "Per-layer energy",
+        ] {
+            assert!(md.contains(needle), "missing {needle:?} in:\n{md}");
+        }
+        let csv = r.to_csv();
+        assert!(csv.contains("energy,total_pj,1000"));
+        assert!(csv.contains("energy,module.dna_pj,400"));
+        assert!(csv.contains("energy.link,0_0.E,30"));
+        assert!(csv.contains("energy,layer1_pj,400"));
+    }
+
+    #[test]
+    fn untraced_dump_has_no_energy_section() {
+        let snap = MetricsSnapshot::parse(&sample_metrics_json()).unwrap();
+        let r = BottleneckReport::build(&snap, None);
+        assert!(r.energy.is_none());
+        assert!(!r.to_markdown(4).contains("## Energy"));
+    }
+
+    #[test]
+    fn self_diff_is_all_zero() {
+        let text = sample_metrics_with_energy();
+        let a = MetricsSnapshot::parse(&text).unwrap();
+        let b = MetricsSnapshot::parse(&text).unwrap();
+        let d = DiffReport::build(&a, &b, "a.json", "b.json");
+        assert!(d.is_zero(), "self-diff must be zero: {d:?}");
+        let md = d.to_markdown(8);
+        assert!(md.contains("identical (all deltas zero)"), "{md}");
+        // Every rendered delta column is 0 or absent.
+        for row in d
+            .system
+            .iter()
+            .chain(&d.stalls)
+            .chain(&d.links)
+            .chain(&d.energy)
+        {
+            assert_eq!(row.delta().unwrap_or(0.0), 0.0, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn diff_reports_signs_and_mismatched_keys() {
+        let a = MetricsSnapshot::parse(&sample_metrics_json()).unwrap();
+        let b = MetricsSnapshot::parse(&sample_metrics_with_energy()).unwrap();
+        // Give B a different cycle count via a mutated copy.
+        let text = sample_metrics_with_energy().replace(
+            "\"system.total_cycles\":1000",
+            "\"system.total_cycles\":900",
+        );
+        let b2 = MetricsSnapshot::parse(&text).unwrap();
+        let d = DiffReport::build(&a, &b2, "A", "B");
+        assert!(!d.is_zero());
+        let total = d.system.iter().find(|r| r.name == "total_cycles").unwrap();
+        assert_eq!(total.delta(), Some(-100.0));
+        assert_eq!(fmt_signed(total.delta()), "-100");
+        assert_eq!(fmt_pct(total.pct()), "-10.0%");
+        // Energy exists only in B: the energy row has no A side, and the
+        // raw counters land in only_b.
+        let etotal = d.energy.iter().find(|r| r.name == "total").unwrap();
+        assert_eq!(etotal.a, None);
+        assert_eq!(etotal.b, Some(1000.0));
+        assert!(d.only_a.is_empty());
+        assert!(
+            d.only_b.iter().any(|n| n == "system.energy.total_pj"),
+            "{:?}",
+            d.only_b
+        );
+        let md = d.to_markdown(8);
+        for needle in ["# gnna differential report", "Δ%", "only in B", "—"] {
+            assert!(md.contains(needle), "missing {needle:?} in:\n{md}");
+        }
+        // Plain A vs B (cycles equal) still flags the key mismatch.
+        let d2 = DiffReport::build(&a, &b, "A", "B");
+        assert!(!d2.is_zero());
+        assert_eq!(
+            d2.system
+                .iter()
+                .find(|r| r.name == "total_cycles")
+                .unwrap()
+                .delta(),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn diff_csv_is_rectangular() {
+        let a = MetricsSnapshot::parse(&sample_metrics_json()).unwrap();
+        let b = MetricsSnapshot::parse(&sample_metrics_with_energy()).unwrap();
+        let d = DiffReport::build(&a, &b, "A", "B");
+        let csv = d.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("section,metric,a,b,delta"));
+        for l in lines {
+            assert_eq!(l.split(',').count(), 5, "row {l:?}");
+        }
+        assert!(csv.contains("system,total_cycles,1000,1000,0"));
+        assert!(csv.contains("coverage,only_b.system.energy.total_pj,,,"));
     }
 
     #[test]

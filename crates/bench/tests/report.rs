@@ -3,16 +3,20 @@
 //! and check that `gnna-report`'s library path reconstructs a faithful
 //! bottleneck report from the files alone.
 
-use gnna_bench::report::{parse_trace_json, BottleneckReport, MetricsSnapshot};
+use gnna_bench::report::{parse_trace_json, BottleneckReport, DiffReport, MetricsSnapshot};
 use gnna_bench::{build_case, simulate_traced, simulate_traced_opts, Scale, TraceOptions};
 use gnna_core::config::AcceleratorConfig;
+use gnna_core::energy::EnergyModel;
 use gnna_models::ModelKind;
 use gnna_telemetry::TraceLevel;
 
 fn traced_smoke_run() -> gnna_bench::TracedRun {
+    traced_smoke_run_on(&AcceleratorConfig::gpu_iso_bandwidth())
+}
+
+fn traced_smoke_run_on(cfg: &AcceleratorConfig) -> gnna_bench::TracedRun {
     let case = build_case(ModelKind::Gcn, "Cora", Scale::Smoke).unwrap();
-    let cfg = AcceleratorConfig::gpu_iso_bandwidth();
-    simulate_traced(&case, &cfg, TraceLevel::Event).unwrap()
+    simulate_traced(&case, cfg, TraceLevel::Event).unwrap()
 }
 
 #[test]
@@ -97,6 +101,114 @@ fn csv_metrics_dump_parses_identically() {
     let a = from_json.histogram("noc.packet_latency").unwrap();
     let b = from_csv.histogram("noc.packet_latency").unwrap();
     assert_eq!(a.count, b.count);
+}
+
+#[test]
+fn energy_section_reconciles_from_files() {
+    // The file-based energy view must carry the exact conservation
+    // invariant: module aggregates, per-layer counters, and the total
+    // all agree with the in-memory `EnergyModel` figure, in integer pJ.
+    let run = traced_smoke_run();
+    let snap = MetricsSnapshot::parse(&run.metrics.to_json_string()).unwrap();
+    let report = BottleneckReport::build(&snap, None);
+    let e = report
+        .energy
+        .as_ref()
+        .expect("event run has energy section");
+
+    assert_eq!(e.total_pj, EnergyModel::default().total_pj(&run.report));
+    let module_sum: u64 = e.modules.iter().map(|(_, pj)| pj).sum();
+    assert_eq!(module_sum, e.total_pj, "module aggregates must conserve");
+    assert_eq!(e.layers.iter().sum::<u64>(), e.total_pj);
+    assert_eq!(e.layers.len(), run.report.layers.len());
+    assert_eq!(e.tiles.len(), run.report.num_tiles);
+    assert!(!e.links.is_empty(), "NoC link energies missing");
+    assert!(e.total_pj > 0);
+
+    let md = report.to_markdown(5);
+    for needle in ["## Energy", "NoC energy hot spots", "Per-layer energy"] {
+        assert!(md.contains(needle), "missing {needle:?}");
+    }
+}
+
+#[test]
+fn self_diff_of_real_run_is_zero() {
+    // Degenerate diff: a dump against itself must be all-zero, with no
+    // mismatched keys, and say so in the rendered report.
+    let run = traced_smoke_run();
+    let text = run.metrics.to_json_string();
+    let a = MetricsSnapshot::parse(&text).unwrap();
+    let b = MetricsSnapshot::parse(&text).unwrap();
+    let d = DiffReport::build(&a, &b, "a.json", "b.json");
+    assert!(d.is_zero(), "self-diff must be all-zero");
+    assert!(d.only_a.is_empty() && d.only_b.is_empty());
+    let md = d.to_markdown(8);
+    assert!(md.contains("identical (all deltas zero)"), "{md}");
+    for row in d.system.iter().chain(&d.stalls).chain(&d.energy) {
+        assert_eq!(row.delta(), Some(0.0), "nonzero self-delta: {row:?}");
+    }
+}
+
+#[test]
+fn diff_of_two_configs_has_expected_shape() {
+    // 1-tile CPU-iso vs 8-tile GPU-iso on the same workload: the diff
+    // must carry the sign of the real cycle/energy movement and flag the
+    // counters that exist on only one side (tile1+ on the larger mesh).
+    let small = traced_smoke_run_on(&AcceleratorConfig::cpu_iso_bandwidth());
+    let big = traced_smoke_run();
+    let a = MetricsSnapshot::parse(&small.metrics.to_json_string()).unwrap();
+    let b = MetricsSnapshot::parse(&big.metrics.to_json_string()).unwrap();
+    let d = DiffReport::build(&a, &b, "cpu_iso.json", "gpu_iso.json");
+    assert!(!d.is_zero());
+
+    // Cycle delta reconciles with the in-memory reports, sign included.
+    let cycles = d.system.iter().find(|r| r.name == "total_cycles").unwrap();
+    let expected = big.report.total_cycles as f64 - small.report.total_cycles as f64;
+    assert_eq!(cycles.delta(), Some(expected));
+    assert_ne!(expected, 0.0, "configs should not tie exactly");
+
+    // Tile count delta is exactly +7 (1 → 8 tiles).
+    let tiles = d.system.iter().find(|r| r.name == "tiles").unwrap();
+    assert_eq!(tiles.delta(), Some(7.0));
+
+    // Energy totals are present on both sides and reconcile exactly.
+    let energy = d
+        .system
+        .iter()
+        .find(|r| r.name == "energy_total_pj")
+        .unwrap();
+    assert_eq!(
+        energy.a,
+        Some(EnergyModel::default().total_pj(&small.report) as f64)
+    );
+    assert_eq!(
+        energy.b,
+        Some(EnergyModel::default().total_pj(&big.report) as f64)
+    );
+
+    // Mismatched keys: the 8-tile run has counters the 1-tile run lacks.
+    assert!(
+        d.only_b.iter().any(|n| n.starts_with("tile1.")),
+        "tile1 counters should be B-only: {:?}",
+        &d.only_b[..d.only_b.len().min(8)]
+    );
+
+    // Rendered output covers all four delta families.
+    let md = d.to_markdown(8);
+    for needle in [
+        "# gnna differential report",
+        "## System",
+        "## Stall cycles by cause",
+        "## NoC link busy cycles",
+        "## Energy (pJ)",
+        "## Coverage",
+        "only in B",
+    ] {
+        assert!(md.contains(needle), "missing {needle:?} in:\n{md}");
+    }
+    let csv = d.to_csv();
+    assert_eq!(csv.lines().next(), Some("section,metric,a,b,delta"));
+    assert!(csv.lines().skip(1).all(|l| l.split(',').count() == 5));
 }
 
 #[test]

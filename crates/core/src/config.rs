@@ -235,6 +235,10 @@ pub struct AcceleratorConfig {
     pub mem: MemConfig,
     /// Interleave granularity across memory nodes in bytes.
     pub interleave_bytes: u64,
+    /// NoC flit / crossbar datapath width in bytes (Table IV: 64).
+    /// Narrower links cut per-hop energy but multiply hop counts; the
+    /// energy attribution charges `flit_bytes` byte-hops per flit-hop.
+    pub flit_bytes: usize,
 }
 
 impl AcceleratorConfig {
@@ -250,6 +254,7 @@ impl AcceleratorConfig {
             dna: EyerissConfig::default(),
             mem: MemConfig::default(),
             interleave_bytes: 4096,
+            flit_bytes: 64,
         }
     }
 
@@ -275,6 +280,14 @@ impl AcceleratorConfig {
     pub fn with_core_clock(mut self, hz: f64) -> Self {
         self.core_clock_hz = hz;
         self.dna.clock_hz = hz;
+        self
+    }
+
+    /// Returns a copy with the NoC flit / crossbar width set to `bytes`
+    /// (clamped to at least 1) — the link-width ablation knob used by
+    /// the energy A/B diffs.
+    pub fn with_flit_bytes(mut self, bytes: usize) -> Self {
+        self.flit_bytes = bytes.max(1);
         self
     }
 

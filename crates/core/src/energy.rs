@@ -14,9 +14,31 @@
 //! traversal at ~0.6 pJ/byte per hop, and DRAM at ~20 pJ/byte. Absolute
 //! joules are indicative; *relative* comparisons between dataflows and
 //! configurations are the point.
+//!
+//! ## Integer-exact accounting
+//!
+//! All derived energies come from one integer pipeline: per-class event
+//! counts ([`EnergyModel::class_counts`]) × femtojoule rates
+//! ([`EnergyModel::rates`]) accumulated in `u64`. The floating-point
+//! [`EnergyReport`] is a *projection* of that integer ledger
+//! (`fJ × 1e-15`), so the aggregate joule summary and the per-module
+//! `*.energy.*_pj` counters the traced simulator exports can never
+//! drift apart — the conservation property tests in
+//! `crates/core/tests/telemetry.rs` pin this down exactly.
 
 use crate::stats::SimReport;
+use gnna_telemetry::energy::{CostClass, EnergyRates};
 use std::fmt;
+
+/// Bytes carried per flit-hop (the 64 B crossbar/link width of Table IV,
+/// used to convert NoC flit-hops into byte-hops for energy accounting).
+pub const FLIT_BYTES: u64 = 64;
+
+/// Converts an integer femtojoule total into joules (exact for all
+/// totals below 2^53 fJ ≈ 9 J; far beyond a single inference).
+fn fj_to_j(fj: u64) -> f64 {
+    fj as f64 * 1e-15
+}
 
 /// Per-event energy costs in picojoules.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -112,20 +134,74 @@ impl fmt::Display for EnergyReport {
 }
 
 impl EnergyModel {
+    /// The model's per-event costs quantized to integer femtojoules,
+    /// indexed by [`CostClass`]. All defaults are exactly representable
+    /// (3.1 pJ → 3100 fJ, 0.6 pJ → 600 fJ, …), so quantization loses
+    /// nothing for the paper's cost table.
+    pub fn rates(&self) -> EnergyRates {
+        let mut pj = [0.0f64; CostClass::COUNT];
+        pj[CostClass::MacOp.index()] = self.mac_pj;
+        pj[CostClass::SramWord.index()] = self.sram_word_pj;
+        pj[CostClass::NocByteHop.index()] = self.noc_byte_hop_pj;
+        pj[CostClass::DramByte.index()] = self.dram_byte_pj;
+        pj[CostClass::GpeOp.index()] = self.gpe_op_pj;
+        EnergyRates::from_pj(pj)
+    }
+
+    /// Event counts per [`CostClass`] implied by a report (indexed by
+    /// [`CostClass::index`]).
+    ///
+    /// Each AGG combined word is one ALU op plus a partial read, a
+    /// partial write and a contribution read (3 scratchpad words); each
+    /// DNQ fill word is one write plus one dequeue read (2 words). Each
+    /// flit-hop moves `report.noc_flit_bytes` bytes (64 by default,
+    /// [`FLIT_BYTES`]; narrower for crossbar-width ablations).
+    pub fn class_counts(report: &SimReport) -> [u64; CostClass::COUNT] {
+        let mut counts = [0u64; CostClass::COUNT];
+        counts[CostClass::MacOp.index()] = report.dna_macs + report.agg_words_combined;
+        counts[CostClass::SramWord.index()] =
+            3 * report.agg_words_combined + 2 * report.dnq_fill_words;
+        counts[CostClass::NocByteHop.index()] = report.noc_flit_hops * report.noc_flit_bytes;
+        counts[CostClass::DramByte.index()] = report.dram_bytes;
+        counts[CostClass::GpeOp.index()] = report.gpe_op_cycles;
+        counts
+    }
+
+    /// Total energy of a simulated inference in exact integer
+    /// femtojoules — the ground truth every other figure derives from.
+    pub fn total_fj(&self, report: &SimReport) -> u64 {
+        let rates = self.rates();
+        CostClass::ALL
+            .iter()
+            .map(|&c| rates.charge_fj(c, Self::class_counts(report)[c.index()]))
+            .fold(0u64, |a, b| a.saturating_add(b))
+    }
+
+    /// Total energy in integer picojoules (floor of the exact fJ
+    /// total). This is the value the traced simulator's
+    /// `system.energy.total_pj` counter reports and that the per-module
+    /// `*.energy.*_pj` counters sum to exactly.
+    pub fn total_pj(&self, report: &SimReport) -> u64 {
+        self.total_fj(report) / 1000
+    }
+
     /// Estimates the energy of a simulated inference from its report.
+    ///
+    /// Every component is derived from the integer femtojoule ledger
+    /// (`count × fJ-rate`), then projected to joules — so this summary
+    /// agrees with the integer `*.energy.*_pj` counters by
+    /// construction instead of by parallel formulas.
     pub fn estimate(&self, report: &SimReport) -> EnergyReport {
-        let pj = 1e-12;
-        // Each AGG combined word is one ALU op plus a partial read and
-        // write; each DNQ fill word is one write plus one dequeue read.
-        let sram_words =
-            3.0 * report.agg_words_combined as f64 + 2.0 * report.dnq_fill_words as f64;
+        let rates = self.rates();
+        let counts = Self::class_counts(report);
+        let charge = |class: CostClass, count: u64| fj_to_j(rates.charge_fj(class, count));
         EnergyReport {
-            compute_j: report.dna_macs as f64 * self.mac_pj * pj,
-            aggregation_j: report.agg_words_combined as f64 * self.mac_pj * pj,
-            scratchpad_j: sram_words * self.sram_word_pj * pj,
-            noc_j: report.noc_flit_hops as f64 * 64.0 * self.noc_byte_hop_pj * pj,
-            dram_j: report.dram_bytes as f64 * self.dram_byte_pj * pj,
-            gpe_j: report.gpe_op_cycles as f64 * self.gpe_op_pj * pj,
+            compute_j: charge(CostClass::MacOp, report.dna_macs),
+            aggregation_j: charge(CostClass::MacOp, report.agg_words_combined),
+            scratchpad_j: charge(CostClass::SramWord, counts[CostClass::SramWord.index()]),
+            noc_j: charge(CostClass::NocByteHop, counts[CostClass::NocByteHop.index()]),
+            dram_j: charge(CostClass::DramByte, report.dram_bytes),
+            gpe_j: charge(CostClass::GpeOp, report.gpe_op_cycles),
         }
     }
 }
@@ -157,6 +233,7 @@ mod tests {
             agg_words_combined: 50_000,
             dnq_fill_words: 60_000,
             noc_flit_hops: 200_000,
+            noc_flit_bytes: 64,
             num_tiles: 1,
             per_tile: vec![],
         }
@@ -199,6 +276,61 @@ mod tests {
     fn display_mentions_total() {
         let e = EnergyModel::default().estimate(&report());
         assert!(e.to_string().contains("uJ total"));
+    }
+
+    #[test]
+    fn default_rates_quantize_exactly() {
+        let r = EnergyModel::default().rates();
+        assert_eq!(r.fj(CostClass::MacOp), 3_100);
+        assert_eq!(r.fj(CostClass::SramWord), 6_000);
+        assert_eq!(r.fj(CostClass::NocByteHop), 600);
+        assert_eq!(r.fj(CostClass::DramByte), 20_000);
+        assert_eq!(r.fj(CostClass::GpeOp), 8_000);
+    }
+
+    #[test]
+    fn float_summary_is_projection_of_integer_total() {
+        // The f64 report total is the integer fJ total × 1e-15 up to
+        // the last-bit rounding of the six component projections.
+        let m = EnergyModel::default();
+        let r = report();
+        let e = m.estimate(&r);
+        let total_j = m.total_fj(&r) as f64 * 1e-15;
+        assert!(
+            (e.total_j() - total_j).abs() <= 1e-12 * total_j,
+            "float summary drifted from the integer ledger"
+        );
+        assert_eq!(m.total_pj(&r), m.total_fj(&r) / 1000);
+    }
+
+    #[test]
+    fn class_counts_match_component_formulas() {
+        let r = report();
+        let counts = EnergyModel::class_counts(&r);
+        assert_eq!(
+            counts[CostClass::MacOp.index()],
+            r.dna_macs + r.agg_words_combined
+        );
+        assert_eq!(
+            counts[CostClass::SramWord.index()],
+            3 * r.agg_words_combined + 2 * r.dnq_fill_words
+        );
+        assert_eq!(
+            counts[CostClass::NocByteHop.index()],
+            r.noc_flit_hops * r.noc_flit_bytes
+        );
+        assert_eq!(r.noc_flit_bytes, FLIT_BYTES, "fixture uses Table IV width");
+        // Halving the crossbar width halves the byte-hops for the same
+        // hop count (the 64 B vs 32 B ablation of the energy diffs).
+        let mut narrow = r.clone();
+        narrow.noc_flit_bytes = 32;
+        let narrow_counts = EnergyModel::class_counts(&narrow);
+        assert_eq!(
+            2 * narrow_counts[CostClass::NocByteHop.index()],
+            counts[CostClass::NocByteHop.index()]
+        );
+        assert_eq!(counts[CostClass::DramByte.index()], r.dram_bytes);
+        assert_eq!(counts[CostClass::GpeOp.index()], r.gpe_op_cycles);
     }
 
     #[test]

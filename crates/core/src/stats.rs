@@ -188,6 +188,9 @@ pub struct SimReport {
     pub dnq_fill_words: u64,
     /// NoC flit hops.
     pub noc_flit_hops: u64,
+    /// NoC flit / crossbar width in bytes (64 in Table IV); every
+    /// flit-hop moves this many bytes in the energy accounting.
+    pub noc_flit_bytes: u64,
     /// Number of tiles.
     pub num_tiles: usize,
     /// Optional per-tile counter breakdown (empty when not collected).
@@ -327,6 +330,7 @@ mod tests {
             agg_words_combined: 0,
             dnq_fill_words: 0,
             noc_flit_hops: 5,
+            noc_flit_bytes: 64,
             num_tiles: 1,
             per_tile: vec![],
         }

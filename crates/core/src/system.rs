@@ -21,6 +21,7 @@ use crate::agg::Aggregator;
 use crate::config::AcceleratorConfig;
 use crate::dna::Dna;
 use crate::dnq::Dnq;
+use crate::energy::EnergyModel;
 use crate::gpe::{Gpe, GpeCtx, TilePorts};
 use crate::layers::{CompiledProgram, Layer};
 use crate::layout::{fill_buffer, read_buffer, BufferRegion, Layout, UnionGraph};
@@ -30,6 +31,7 @@ use crate::CoreError;
 use gnna_graph::GraphInstance;
 use gnna_mem::{MemImage, MemRequest, MemoryController};
 use gnna_noc::{Address, Network, NocConfig, Packet, Reassembler};
+use gnna_telemetry::energy::{apportion_pj, CostClass, EnergyLedger, EnergyRates};
 use gnna_telemetry::{MetricsRegistry, ModuleProbe, SharedTracer, TraceLevel};
 use gnna_tensor::Matrix;
 use std::collections::{HashMap, VecDeque};
@@ -52,6 +54,17 @@ struct TileProbes {
     dnq: ModuleProbe,
 }
 
+/// Per-layer energy attribution state (event level only): cumulative
+/// per-class event counts are snapshotted at each layer boundary and the
+/// deltas retained, so layer energies partition the run total exactly.
+#[derive(Debug, Default)]
+struct EnergyAttribution {
+    /// Cumulative class counts at the previous layer boundary.
+    prev: [u64; CostClass::COUNT],
+    /// Per-layer class-count deltas, one entry per executed layer.
+    layers: Vec<[u64; CostClass::COUNT]>,
+}
+
 /// Telemetry state attached to a running system (absent by default; the
 /// simulator's hot loop then touches a single `Option` discriminant).
 struct Telemetry {
@@ -61,6 +74,8 @@ struct Telemetry {
     tiles: Vec<TileProbes>,
     mems: Vec<ModuleProbe>,
     noc: Option<ModuleProbe>,
+    /// Per-layer energy snapshots (`Some` at event level only).
+    energy: Option<EnergyAttribution>,
 }
 
 impl std::fmt::Debug for Telemetry {
@@ -126,6 +141,7 @@ pub struct System {
     layer_timings: Vec<LayerTiming>,
     instance_ranges: Vec<(usize, usize)>,
     telemetry: Option<Telemetry>,
+    energy_model: EnergyModel,
 }
 
 impl System {
@@ -193,7 +209,10 @@ impl System {
 
         // Network and endpoints.
         let topo = &cfg.topology;
-        let noc_cfg = NocConfig::default();
+        let noc_cfg = NocConfig {
+            flit_bytes: cfg.flit_bytes,
+            ..NocConfig::default()
+        };
         let grid = topo.clone();
         let net = Network::new(noc_cfg, topo.width(), topo.height(), move |x, y| match grid
             .kind(x, y)
@@ -272,6 +291,7 @@ impl System {
             layer_timings: Vec::new(),
             instance_ranges,
             telemetry: None,
+            energy_model: EnergyModel::default(),
         })
     }
 
@@ -326,13 +346,27 @@ impl System {
             self.net.attach_router_probes(router_probes);
             noc = Some(p);
         }
+        let energy = (level >= TraceLevel::Event).then(EnergyAttribution::default);
         self.telemetry = Some(Telemetry {
             tracer,
             system,
             tiles,
             mems,
             noc,
+            energy,
         });
+    }
+
+    /// Replaces the energy model used for `*.energy.*_pj` attribution
+    /// (defaults to [`EnergyModel::default`]). Affects only metric
+    /// harvesting, never simulated timing.
+    pub fn set_energy_model(&mut self, model: EnergyModel) {
+        self.energy_model = model;
+    }
+
+    /// The energy model used for attribution.
+    pub fn energy_model(&self) -> EnergyModel {
+        self.energy_model
     }
 
     /// Emits a phase event on the runtime track at master cycle `at`.
@@ -415,7 +449,50 @@ impl System {
             cycles: self.cycle - start,
             config_cycles: config_cost + barrier,
         });
+        // Energy attribution: snapshot cumulative class counts at the
+        // layer boundary so per-layer energies partition the run total
+        // exactly (event-level telemetry only; reads counters the
+        // modules maintain unconditionally, so the simulation itself is
+        // untouched).
+        if self
+            .telemetry
+            .as_ref()
+            .is_some_and(|tele| tele.energy.is_some())
+        {
+            let counts = self.class_counts_now();
+            if let Some(e) = self.telemetry.as_mut().and_then(|t| t.energy.as_mut()) {
+                let mut delta = [0u64; CostClass::COUNT];
+                for (d, (now, prev)) in delta.iter_mut().zip(counts.iter().zip(e.prev.iter())) {
+                    *d = now - prev;
+                }
+                e.layers.push(delta);
+                e.prev = counts;
+            }
+        }
         Ok(())
+    }
+
+    /// Cumulative countable events per [`CostClass`], summed over every
+    /// module's `energy_events()` plus the NoC byte-hop count.
+    fn class_counts_now(&self) -> [u64; CostClass::COUNT] {
+        let mut counts = [0u64; CostClass::COUNT];
+        let mut add = |events: &[(CostClass, u64)]| {
+            for &(c, n) in events {
+                counts[c.index()] += n;
+            }
+        };
+        for t in &self.tiles {
+            add(&t.gpe.energy_events());
+            add(&t.agg.energy_events());
+            add(&t.dnq.energy_events());
+            add(&t.dna.energy_events());
+        }
+        for m in &self.mems {
+            add(&m.ctrl.energy_events());
+        }
+        counts[CostClass::NocByteHop.index()] +=
+            self.net.stats().flit_hops * self.cfg.flit_bytes as u64;
+        counts
     }
 
     /// Configures AGG/DNQ/DNA on every tile for `layer`; returns the
@@ -833,6 +910,7 @@ impl System {
             agg_words_combined: agg_words,
             dnq_fill_words: dnq_words,
             noc_flit_hops: self.net.stats().flit_hops,
+            noc_flit_bytes: self.cfg.flit_bytes as u64,
             num_tiles: self.tiles.len(),
             clock_divider: self.divider,
             per_tile: self.tile_counters(),
@@ -939,6 +1017,82 @@ impl System {
         // Deep NoC telemetry (per-link busy counters, latency/hop
         // histograms) — no-op when probes are detached.
         self.net.harvest_metrics(reg);
+        // Energy ledger export — no-op without event-level telemetry.
+        self.harvest_energy(reg);
+    }
+
+    /// Builds the per-module energy ledger: every countable event is
+    /// charged in integer femtojoules to exactly one attribution site,
+    /// so the sites partition the run's total energy.
+    fn energy_ledger(&self, rates: &EnergyRates) -> EnergyLedger {
+        let mut ledger = EnergyLedger::new();
+        for (i, t) in self.tiles.iter().enumerate() {
+            let mut charge = |site: &str, events: &[(CostClass, u64)], keep: CostClass| {
+                let name = format!("tile{i}.energy.{site}_pj");
+                for &(c, n) in events {
+                    if c == keep {
+                        ledger.charge(&name, c, rates.charge_fj(c, n));
+                    }
+                }
+            };
+            // DNA PE MACs and AGG ALU MACs are separate sites; the two
+            // scratchpads (AGG partials + DNQ entries) share the tile's
+            // `sram` site, mirroring the aggregate report's breakdown.
+            charge("dna", &t.dna.energy_events(), CostClass::MacOp);
+            charge("agg", &t.agg.energy_events(), CostClass::MacOp);
+            charge("sram", &t.agg.energy_events(), CostClass::SramWord);
+            charge("sram", &t.dnq.energy_events(), CostClass::SramWord);
+            charge("gpe", &t.gpe.energy_events(), CostClass::GpeOp);
+        }
+        for (i, m) in self.mems.iter().enumerate() {
+            let name = format!("mem.energy.ctrl{i}_pj");
+            for &(c, n) in &m.ctrl.energy_events() {
+                ledger.charge(&name, c, rates.charge_fj(c, n));
+            }
+        }
+        for (x, y, dir, flits) in self.net.link_flit_forwards() {
+            ledger.charge(
+                &format!("noc.energy.link.{x}_{y}.{dir}_pj"),
+                CostClass::NocByteHop,
+                rates.charge_fj(CostClass::NocByteHop, flits * self.cfg.flit_bytes as u64),
+            );
+        }
+        ledger
+    }
+
+    /// Exports the energy ledger into `reg` as integer-pJ counters:
+    /// `tileN.energy.<module>_pj`, `mem.energy.ctrlN_pj`,
+    /// `noc.energy.link.{x}_{y}.{D}_pj`, `system.energy.layerK_pj` and
+    /// `system.energy.total_pj`. Both the per-module family and the
+    /// per-layer family sum to the total **exactly** (largest-remainder
+    /// apportionment of the integer-femtojoule ledger). No-op unless
+    /// event-level telemetry is attached, so untraced harvests are
+    /// unchanged.
+    fn harvest_energy(&self, reg: &mut MetricsRegistry) {
+        let Some(energy) = self.telemetry.as_ref().and_then(|t| t.energy.as_ref()) else {
+            return;
+        };
+        let rates = self.energy_model.rates();
+        let ledger = self.energy_ledger(&rates);
+        let total_pj = ledger.export_pj(reg);
+        reg.counter_set("system.energy.total_pj", total_pj);
+        // Per-layer partition of the same total (complete runs only:
+        // every countable event lands inside some layer's execute
+        // phase, so the layer deltas sum to the final class counts).
+        let layer_fj: Vec<u64> = energy
+            .layers
+            .iter()
+            .map(|delta| {
+                CostClass::ALL
+                    .iter()
+                    .map(|&c| rates.charge_fj(c, delta[c.index()]))
+                    .fold(0u64, |a, b| a.saturating_add(b))
+            })
+            .collect();
+        let (_, layer_pj) = apportion_pj(&layer_fj);
+        for (k, pj) in layer_pj.into_iter().enumerate() {
+            reg.counter_set(&format!("system.energy.layer{k}_pj"), pj);
+        }
     }
 
     /// Reads the simulated output for input instance `index` after

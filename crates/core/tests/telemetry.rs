@@ -3,12 +3,14 @@
 //! report's counters, and attaching telemetry must not perturb timing.
 
 use gnna_core::config::AcceleratorConfig;
+use gnna_core::energy::EnergyModel;
 use gnna_core::layers::compile_gcn;
-use gnna_core::stats::StallCause;
+use gnna_core::stats::{SimReport, StallCause};
 use gnna_core::system::System;
 use gnna_graph::datasets;
 use gnna_models::{Gcn, GcnNorm};
 use gnna_telemetry::{json, shared, MetricsRegistry, TraceLevel, Tracer};
+use proptest::prelude::*;
 use std::rc::Rc;
 
 /// Builds the reference workload: a two-layer GCN on synthetic Cora.
@@ -38,6 +40,13 @@ fn tracing_does_not_perturb_cycle_count() {
     );
     assert_eq!(plain_report.agg_completed, traced_report.agg_completed);
     assert_eq!(plain_report.dna_entries, traced_report.dna_entries);
+    // Full-struct regression: with the energy-attribution path added,
+    // the entire report (every counter, per-tile breakdown, layer
+    // timings) must stay bit-identical with and without a probe.
+    assert_eq!(
+        plain_report, traced_report,
+        "telemetry (incl. energy attribution) perturbed the SimReport"
+    );
     assert_eq!(
         plain.full_output().into_vec(),
         traced.full_output().into_vec(),
@@ -119,6 +128,17 @@ fn stall_causes_partition_blocked_cycles() {
         "per-link counters harvested without telemetry attached"
     );
     assert!(reg.get_histogram("noc.packet_latency").is_none());
+    // Likewise, the energy-attribution family is event-level only: an
+    // untraced harvest must not contain a single `*.energy.*` counter.
+    assert!(reg.get_counter("system.energy.total_pj").is_none());
+    assert!(reg.counters_with_prefix("mem.energy.").is_empty());
+    assert!(reg.counters_with_prefix("noc.energy.").is_empty());
+    assert!(
+        !reg.counters_with_prefix("tile")
+            .iter()
+            .any(|(name, _)| name.contains(".energy.")),
+        "per-tile energy counters harvested without telemetry attached"
+    );
 }
 
 #[test]
@@ -297,6 +317,155 @@ fn harvested_metrics_reconcile_and_serialize() {
     let csv = reg.to_csv_string();
     assert!(csv.lines().count() > 10);
     assert!(csv.lines().all(|l| l.split(',').count() >= 2));
+}
+
+/// Runs the scaled-Cora GCN workload at event level with `model` as the
+/// attribution rates; returns the report and the harvested registry.
+fn traced_energy_run(
+    nodes: usize,
+    seed: u64,
+    cfg: &AcceleratorConfig,
+    model: EnergyModel,
+) -> (SimReport, MetricsRegistry) {
+    let d = datasets::cora_scaled(nodes, 8, 3, seed).unwrap();
+    let gcn = Gcn::for_dataset(8, 4, 3, 2)
+        .unwrap()
+        .with_norm(GcnNorm::Mean);
+    let program = compile_gcn(&gcn).unwrap();
+    let mut sys = System::new(cfg, std::slice::from_ref(&d.instances[0]), program).unwrap();
+    sys.set_energy_model(model);
+    let tracer = shared(Tracer::new(TraceLevel::Event));
+    sys.attach_telemetry(Rc::clone(&tracer));
+    let report = sys.run().unwrap();
+    let mut reg = MetricsRegistry::new();
+    sys.harvest_metrics(&mut reg);
+    (report, reg)
+}
+
+/// Sum of every per-site energy counter (`tileN.energy.*_pj`,
+/// `mem.energy.ctrlN_pj`, `noc.energy.link.*_pj`) in the registry.
+fn energy_site_sum(reg: &MetricsRegistry) -> u64 {
+    let tiles: u64 = reg
+        .counters_with_prefix("tile")
+        .into_iter()
+        .filter(|(name, _)| name.contains(".energy."))
+        .map(|(_, v)| v)
+        .sum();
+    let mems: u64 = reg
+        .counters_with_prefix("mem.energy.")
+        .into_iter()
+        .map(|(_, v)| v)
+        .sum();
+    let noc: u64 = reg
+        .counters_with_prefix("noc.energy.")
+        .into_iter()
+        .map(|(_, v)| v)
+        .sum();
+    tiles + mems + noc
+}
+
+/// Per-layer energy counters (`system.energy.layerK_pj`) in layer order.
+fn layer_energy(reg: &MetricsRegistry) -> Vec<u64> {
+    let mut layers = Vec::new();
+    for k in 0.. {
+        match reg.get_counter(&format!("system.energy.layer{k}_pj")) {
+            Some(pj) => layers.push(pj),
+            None => break,
+        }
+    }
+    layers
+}
+
+#[test]
+fn energy_counters_conserve_report_total() {
+    // Golden conservation: the per-site counters, the per-layer
+    // counters, and the report-level integer total must all agree
+    // exactly — same invariant shape as the stall-cause partition above.
+    let cfg = AcceleratorConfig::gpu_iso_bandwidth();
+    let model = EnergyModel::default();
+    let (report, reg) = traced_energy_run(40, 11, &cfg, model);
+
+    let total = reg
+        .get_counter("system.energy.total_pj")
+        .expect("traced run exports the energy total");
+    assert_eq!(total, model.total_pj(&report), "registry vs report total");
+    assert_eq!(energy_site_sum(&reg), total, "site partition broke");
+
+    let layers = layer_energy(&reg);
+    assert_eq!(layers.len(), report.layers.len(), "one counter per layer");
+    assert_eq!(layers.iter().sum::<u64>(), total, "layer partition broke");
+    assert!(total > 0, "smoke run must consume energy");
+
+    // The f64 summary API is a projection of the same integer-fJ ledger:
+    // the only admissible gap is the sub-pJ remainder that the integer
+    // total floors away (`total_pj = ⌊total_fj / 1000⌋`), i.e. < 1 pJ.
+    let joules = model.estimate(&report).total_j();
+    let gap = joules - total as f64 * 1e-12;
+    assert!(
+        (0.0..1e-12).contains(&gap),
+        "f64 summary drifted from the integer-pJ ledger: {joules} J vs {total} pJ (gap {gap})"
+    );
+}
+
+/// Picks one of the three paper configurations by index.
+fn config_by_index(idx: usize) -> AcceleratorConfig {
+    match idx {
+        0 => AcceleratorConfig::cpu_iso_bandwidth(),
+        1 => AcceleratorConfig::gpu_iso_bandwidth(),
+        _ => AcceleratorConfig::gpu_iso_flops(),
+    }
+}
+
+proptest! {
+    // Each case runs a full cycle-level simulation, so keep the case
+    // count small; the vendored shim's fixed seed keeps failures
+    // reproducible offline.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Conservation invariant (1): for random workloads, configs, and
+    /// (deci-pJ quantized) energy rates, the sum of every per-site
+    /// `*.energy.*_pj` counter equals the `SimReport`-level total from
+    /// the same `EnergyModel`, exactly, in integer picojoules.
+    #[test]
+    fn prop_energy_sites_partition_total(
+        nodes in 16usize..40,
+        seed in 0u64..512,
+        cfg_idx in 0usize..3,
+        flit in prop_oneof![Just(16usize), Just(32), Just(64)],
+        rates in (0u32..64, 0u32..64, 0u32..16, 0u32..240, 0u32..96),
+    ) {
+        let model = EnergyModel {
+            mac_pj: rates.0 as f64 * 0.1,
+            sram_word_pj: rates.1 as f64 * 0.1,
+            noc_byte_hop_pj: rates.2 as f64 * 0.1,
+            dram_byte_pj: rates.3 as f64 * 0.1,
+            gpe_op_pj: rates.4 as f64 * 0.1,
+        };
+        let cfg = config_by_index(cfg_idx).with_flit_bytes(flit);
+        let (report, reg) = traced_energy_run(nodes, seed, &cfg, model);
+        let total = reg.get_counter("system.energy.total_pj").unwrap();
+        prop_assert_eq!(total, model.total_pj(&report));
+        prop_assert_eq!(energy_site_sum(&reg), total);
+    }
+
+    /// Conservation invariant (2): the per-layer energy counters
+    /// partition the total the same way `tileN.stall.<cause>` partitions
+    /// blocked cycles — one counter per executed layer, summing to the
+    /// total exactly.
+    #[test]
+    fn prop_layer_energy_partitions_total(
+        nodes in 16usize..40,
+        seed in 0u64..512,
+        cfg_idx in 0usize..3,
+    ) {
+        let cfg = config_by_index(cfg_idx);
+        let model = EnergyModel::default();
+        let (report, reg) = traced_energy_run(nodes, seed, &cfg, model);
+        let total = reg.get_counter("system.energy.total_pj").unwrap();
+        let layers = layer_energy(&reg);
+        prop_assert_eq!(layers.len(), report.layers.len());
+        prop_assert_eq!(layers.iter().sum::<u64>(), total);
+    }
 }
 
 #[test]

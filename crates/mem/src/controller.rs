@@ -1,5 +1,5 @@
 use crate::MemImage;
-use gnna_telemetry::ModuleProbe;
+use gnna_telemetry::{CostClass, ModuleProbe};
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -227,6 +227,14 @@ impl MemoryController {
     /// Accumulated statistics.
     pub fn stats(&self) -> &MemStats {
         &self.stats
+    }
+
+    /// Countable events this controller charges to the energy ledger:
+    /// one [`CostClass::DramByte`] per DRAM line byte moved (including
+    /// alignment waste — wasted bytes burn energy too, which is the
+    /// paper's §II complaint about dense accelerators).
+    pub fn energy_events(&self) -> [(CostClass, u64); 1] {
+        [(CostClass::DramByte, self.stats.dram_bytes)]
     }
 
     /// Number of queued (not yet retired) requests.

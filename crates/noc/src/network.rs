@@ -270,6 +270,35 @@ impl<T> Network<T> {
         self.telemetry.as_ref().map(|t| t.latency)
     }
 
+    /// Cumulative flit forwards per outgoing link, for energy
+    /// attribution: one `(x, y, dir, flits)` entry per *connected* mesh
+    /// direction (`N`/`E`/`S`/`W`) plus one `"L"` aggregate per router
+    /// with local ports, covering forwards into its ejection ports.
+    ///
+    /// The per-link accumulators increment at exactly the same site as
+    /// `stats().flit_hops`, so when telemetry has been attached since
+    /// cycle 0 the returned counts sum to `stats().flit_hops` — the
+    /// conservation invariant the energy ledger relies on. Empty when
+    /// telemetry is detached.
+    pub fn link_flit_forwards(&self) -> Vec<(usize, usize, &'static str, u64)> {
+        let Some(tele) = &self.telemetry else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for (r, router) in self.routers.iter().enumerate() {
+            for d in [NORTH, EAST, SOUTH, WEST] {
+                if router.outputs[d].connected {
+                    out.push((router.x, router.y, DIR_NAMES[d], tele.link_busy[r][d]));
+                }
+            }
+            if router.num_locals > 0 {
+                let local: u64 = tele.link_busy[r][LOCAL_BASE..].iter().sum();
+                out.push((router.x, router.y, "L", local));
+            }
+        }
+        out
+    }
+
     /// Flits currently inside the fabric or waiting at ejection buffers.
     pub fn inflight_flits(&self) -> u64 {
         self.inflight_flits
@@ -875,6 +904,43 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn link_forwards_conserve_flit_hops() {
+        use gnna_telemetry::{shared, TraceLevel, Tracer};
+        let mut n = net(3, 3);
+        let tracer = shared(Tracer::new(TraceLevel::Event));
+        n.attach_probe(ModuleProbe::new(tracer, "noc", "mesh"));
+        for i in 0..24u32 {
+            let src = Address::new((i % 3) as usize, (i as usize / 3) % 3, 0);
+            let dst = Address::new(((i + 2) % 3) as usize, ((i + 1) % 3) as usize, 1);
+            if src != dst {
+                let _ = n.try_inject(Packet::new(src, dst, 64 * (1 + i as usize % 3), i));
+            }
+        }
+        for _ in 0..400 {
+            n.step();
+            for y in 0..3 {
+                for x in 0..3 {
+                    for p in 0..2 {
+                        while n.eject(Address::new(x, y, p)).is_some() {}
+                    }
+                }
+            }
+        }
+        assert!(n.is_idle());
+        let forwards = n.link_flit_forwards();
+        // Every connected direction plus one local aggregate per router.
+        assert!(forwards.iter().any(|&(_, _, d, _)| d == "L"));
+        let total: u64 = forwards.iter().map(|&(_, _, _, f)| f).sum();
+        assert_eq!(
+            total,
+            n.stats().flit_hops,
+            "per-link forwards must conserve flit hops"
+        );
+        // Detached network exposes nothing.
+        assert!(net(2, 2).link_flit_forwards().is_empty());
     }
 
     #[test]

@@ -11,6 +11,11 @@
 //! - [`metrics`] — a [`MetricsRegistry`](metrics::MetricsRegistry) of named
 //!   counters/gauges/histograms with JSON and CSV serialization, used for the
 //!   per-tile breakdown in `SimReport` and the `--metrics-out` file.
+//! - [`energy`] — integer-exact energy attribution: a pJ [`CostClass`]
+//!   taxonomy, femtojoule [`EnergyRates`], the per-site
+//!   [`EnergyLedger`], and the largest-remainder [`apportion_pj`]
+//!   export that keeps `*.energy.*_pj` counters summing to the total
+//!   exactly (the conservation invariant).
 //! - [`json`] — the std-only JSON writer/parser backing both, exposed so
 //!   tests can reconcile emitted files against simulator counters.
 //!
@@ -24,9 +29,11 @@
 //! cycle-identity golden test in `gnna-core` asserts `total_cycles` is
 //! bit-identical with tracing off vs. on.
 
+pub mod energy;
 pub mod json;
 pub mod metrics;
 pub mod trace;
 
+pub use energy::{apportion_pj, CostClass, EnergyLedger, EnergyRates};
 pub use metrics::{HistogramSummary, Metric, MetricsRegistry};
 pub use trace::{shared, ModuleProbe, SharedTracer, TraceLevel, Tracer, TrackId};
