@@ -103,7 +103,7 @@ fn bench_aggregator(c: &mut Criterion) {
                         }
                         cycle += 1;
                     }
-                    a.deliver(slot, 0, 1.0, vec![1.0; 16]);
+                    a.deliver(slot, 0, 1.0, vec![1.0; 16]).expect("live slot");
                 }
             }
             while done < 10 {

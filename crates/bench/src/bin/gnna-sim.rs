@@ -13,6 +13,7 @@
 use gnna_bench::{build_case, simulate, simulate_traced_opts, Scale, TraceOptions};
 use gnna_core::config::AcceleratorConfig;
 use gnna_core::energy::EnergyModel;
+use gnna_faults::FaultPlan;
 use gnna_models::ModelKind;
 use gnna_telemetry::TraceLevel;
 use std::process::ExitCode;
@@ -31,6 +32,9 @@ struct Args {
     metrics_out: Option<String>,
     trace_level: Option<TraceLevel>,
     flight_capacity: Option<usize>,
+    fault_seed: Option<u64>,
+    fault_rate: Option<f64>,
+    stall_window: Option<u64>,
 }
 
 const USAGE: &str = "\
@@ -56,6 +60,14 @@ usage: gnna-sim [options]
                                  --trace-out is given, off otherwise)
   --flight-capacity N            stall flight-recorder ring size
                                  (default 256; 0 disables the ring)
+  --fault-rate P                 per-event transient-fault probability at
+                                 every protected site (0 disables; runs
+                                 with 0 are bit-identical to no flag)
+  --fault-seed N                 fault-injection RNG seed (default 1;
+                                 identical seeds replay identical faults)
+  --stall-window N               master cycles without progress before
+                                 the watchdog reports a stall
+                                 (default 2000000)
   --help                         this message";
 
 fn parse_args() -> Result<Args, String> {
@@ -72,6 +84,9 @@ fn parse_args() -> Result<Args, String> {
     let mut metrics_out = None;
     let mut trace_level = None;
     let mut flight_capacity = None;
+    let mut fault_seed = None;
+    let mut fault_rate = None;
+    let mut stall_window = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
@@ -143,6 +158,31 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("bad flight capacity: {e}"))?,
                 )
             }
+            "--fault-rate" => {
+                let r: f64 = value("--fault-rate")?
+                    .parse()
+                    .map_err(|e| format!("bad fault rate: {e}"))?;
+                if !(0.0..=1.0).contains(&r) {
+                    return Err("--fault-rate must be in [0, 1]".to_string());
+                }
+                fault_rate = Some(r);
+            }
+            "--fault-seed" => {
+                fault_seed = Some(
+                    value("--fault-seed")?
+                        .parse()
+                        .map_err(|e| format!("bad fault seed: {e}"))?,
+                )
+            }
+            "--stall-window" => {
+                let w: u64 = value("--stall-window")?
+                    .parse()
+                    .map_err(|e| format!("bad stall window: {e}"))?;
+                if w == 0 {
+                    return Err("--stall-window must be positive".to_string());
+                }
+                stall_window = Some(w);
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown option {other}")),
         }
@@ -166,6 +206,9 @@ fn parse_args() -> Result<Args, String> {
         metrics_out,
         trace_level,
         flight_capacity,
+        fault_seed,
+        fault_rate,
+        stall_window,
     })
 }
 
@@ -198,6 +241,23 @@ fn main() -> ExitCode {
     if let Some(n) = args.flit_bytes {
         config = config.with_flit_bytes(n);
     }
+    if let Some(w) = args.stall_window {
+        config = config.with_stall_window(w);
+    }
+    // A fault plan is built only when a nonzero rate is requested, so a
+    // plain run (or `--fault-rate 0`) stays bit-identical to the
+    // pre-fault-subsystem simulator.
+    let fault_plan = args
+        .fault_rate
+        .filter(|&r| r > 0.0)
+        .map(|r| FaultPlan::new(args.fault_seed.unwrap_or(1)).with_rate(r));
+    if let Some(plan) = &fault_plan {
+        println!(
+            "fault injection: rate {} seed {} (SECDED mem, CRC+retransmit noc, DNA bubbles)",
+            args.fault_rate.unwrap_or(0.0),
+            plan.seed
+        );
+    }
     println!(
         "{} on {} ({} vertices, {} MMACs), {} @ {:.1} GHz, {} GPE threads",
         args.model,
@@ -219,7 +279,7 @@ fn main() -> ExitCode {
         }
     });
     let wall = std::time::Instant::now();
-    let report = if level == TraceLevel::Off {
+    let report = if level == TraceLevel::Off && fault_plan.is_none() {
         match simulate(&case, &config) {
             Ok(r) => r,
             Err(e) => {
@@ -231,6 +291,7 @@ fn main() -> ExitCode {
         let opts = TraceOptions {
             level,
             flight_capacity: args.flight_capacity,
+            fault_plan,
         };
         let run = match simulate_traced_opts(&case, &config, &opts) {
             Ok(r) => r,

@@ -16,6 +16,7 @@ use gnna_core::config::AcceleratorConfig;
 use gnna_core::layers::{compile_gat, compile_gcn, compile_mpnn, compile_pgnn, CompiledProgram};
 use gnna_core::stats::SimReport;
 use gnna_core::system::System;
+use gnna_faults::FaultPlan;
 use gnna_graph::{datasets, Dataset};
 use gnna_models::{Gat, Gcn, GcnNorm, ModelKind, Mpnn, Pgnn};
 use gnna_telemetry::{shared, MetricsRegistry, SharedTracer, TraceLevel, Tracer};
@@ -162,6 +163,9 @@ pub struct TraceOptions {
     /// Flight-recorder ring size (`None` keeps the tracer default of 256;
     /// `Some(0)` disables the ring entirely).
     pub flight_capacity: Option<usize>,
+    /// Deterministic fault-injection plan (`None` — and empty plans —
+    /// leave the run bit-identical to a fault-free simulation).
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl TraceOptions {
@@ -170,6 +174,7 @@ impl TraceOptions {
         Self {
             level,
             flight_capacity: None,
+            fault_plan: None,
         }
     }
 }
@@ -191,6 +196,9 @@ pub fn simulate_traced_opts(
         None => Tracer::new(opts.level),
     });
     sys.attach_telemetry(std::rc::Rc::clone(&tracer));
+    if let Some(plan) = &opts.fault_plan {
+        sys.attach_faults(plan);
+    }
     let report = sys.run()?;
     let mut metrics = MetricsRegistry::new();
     sys.harvest_metrics(&mut metrics);

@@ -293,6 +293,77 @@ fn parse_energy(snap: &MetricsSnapshot) -> Option<EnergyBreakdown> {
     Some(e)
 }
 
+/// Parsed `*.fault.*` counter family for one injection site (`tile{i}`
+/// DNA stall bubbles, `mem{i}` read-path ECC, or `noc` link CRC). All
+/// zeros when the site recorded no activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SiteFaults {
+    /// Faults injected by the deterministic plan.
+    pub injected: u64,
+    /// Faults absorbed inline (ECC single-bit, CRC retransmit within
+    /// budget, DNA bubbles).
+    pub corrected: u64,
+    /// Faults resolved by a retry with a latency penalty.
+    pub retried: u64,
+    /// Faults the protection model could not absorb.
+    pub unrecoverable: u64,
+    /// NoC flits delivered with corrupted payloads (CRC caught).
+    pub corrupted: u64,
+    /// NoC flits dropped in transit (CRC/timeout caught).
+    pub dropped: u64,
+    /// Extra cycles spent on retries/backoff/bubbles.
+    pub retry_cycles: u64,
+}
+
+impl SiteFaults {
+    /// The accounting invariant: every injected fault is classified as
+    /// exactly one of corrected / retried / unrecoverable.
+    pub fn partition_holds(&self) -> bool {
+        self.injected == self.corrected + self.retried + self.unrecoverable
+    }
+
+    /// Accumulate another site's counters into this one.
+    pub fn merge(&mut self, other: &SiteFaults) {
+        self.injected += other.injected;
+        self.corrected += other.corrected;
+        self.retried += other.retried;
+        self.unrecoverable += other.unrecoverable;
+        self.corrupted += other.corrupted;
+        self.dropped += other.dropped;
+        self.retry_cycles += other.retry_cycles;
+    }
+}
+
+/// Parse every `{site}.fault.{counter}` metric into per-site rows, in
+/// site order. Empty when the dump carries no fault counters (the
+/// fault-free case: the simulator only emits the family when a fault
+/// plan is attached).
+fn parse_faults(snap: &MetricsSnapshot) -> Vec<(String, SiteFaults)> {
+    const FAMILY: &str = ".fault.";
+    let mut map: BTreeMap<String, SiteFaults> = BTreeMap::new();
+    for name in snap.names() {
+        let Some(pos) = name.find(FAMILY) else {
+            continue;
+        };
+        let Some(v) = snap.counter(name) else {
+            continue;
+        };
+        let site = name[..pos].to_string();
+        let entry = map.entry(site).or_default();
+        match &name[pos + FAMILY.len()..] {
+            "injected" => entry.injected = v,
+            "corrected" => entry.corrected = v,
+            "retried" => entry.retried = v,
+            "unrecoverable" => entry.unrecoverable = v,
+            "corrupted" => entry.corrupted = v,
+            "dropped" => entry.dropped = v,
+            "retry_cycles" => entry.retry_cycles = v,
+            _ => {}
+        }
+    }
+    map.into_iter().collect()
+}
+
 /// Canonical module key for an on-tile energy site.
 fn site_key(site: &str) -> &'static str {
     match site {
@@ -444,6 +515,10 @@ pub struct BottleneckReport {
     pub hops: Option<HistStats>,
     /// Per-memory-controller `(index, requests, dram_bytes, efficiency)`.
     pub mems: Vec<(usize, u64, u64, f64)>,
+    /// Per-site fault-injection outcomes (`{site}.fault.*`). Empty when
+    /// the run had no fault plan attached (the family is only emitted
+    /// under injection).
+    pub resilience: Vec<(String, SiteFaults)>,
     /// Energy attribution, when the run was traced at event level.
     pub energy: Option<EnergyBreakdown>,
     /// Optional trace-file inventory.
@@ -542,6 +617,7 @@ impl BottleneckReport {
                 snap.number(&format!("mem{i}.efficiency")).unwrap_or(0.0),
             ));
         }
+        r.resilience = parse_faults(snap);
         r.energy = parse_energy(snap);
         r
     }
@@ -670,13 +746,92 @@ impl BottleneckReport {
                 );
             }
         }
+        if self.latency.is_none() && self.hops.is_none() {
+            let _ = writeln!(
+                o,
+                "\n_Packet latency/hop histograms not recorded in this \
+                 metrics file._"
+            );
+        }
 
-        if !self.mems.is_empty() {
-            let _ = writeln!(o, "\n## Memory controllers\n");
+        let _ = writeln!(o, "\n## Memory controllers\n");
+        if self.mems.is_empty() {
+            let _ = writeln!(
+                o,
+                "_Memory-controller counters not recorded in this metrics \
+                 file._"
+            );
+        } else {
             let _ = writeln!(o, "| ctrl | requests | DRAM bytes | efficiency |");
             let _ = writeln!(o, "|---|---|---|---|");
             for (i, req, bytes, eff) in &self.mems {
                 let _ = writeln!(o, "| mem{i} | {req} | {bytes} | {:.1}% |", eff * 100.0);
+            }
+        }
+
+        let _ = writeln!(o, "\n## Resilience\n");
+        if self.resilience.is_empty() {
+            let _ = writeln!(
+                o,
+                "_Fault counters not recorded in this metrics file \
+                 (fault-free run; use `gnna-sim --fault-rate` to inject \
+                 faults)._"
+            );
+        } else {
+            let _ = writeln!(
+                o,
+                "| site | injected | corrected | retried | unrecoverable \
+                 | corrupted | dropped | retry cycles |"
+            );
+            let _ = writeln!(o, "|---|---|---|---|---|---|---|---|");
+            let mut total = SiteFaults::default();
+            for (site, f) in &self.resilience {
+                total.merge(f);
+                let _ = writeln!(
+                    o,
+                    "| {site} | {} | {} | {} | {} | {} | {} | {} |",
+                    f.injected,
+                    f.corrected,
+                    f.retried,
+                    f.unrecoverable,
+                    f.corrupted,
+                    f.dropped,
+                    f.retry_cycles
+                );
+            }
+            let _ = writeln!(
+                o,
+                "| **total** | {} | {} | {} | {} | {} | {} | {} |",
+                total.injected,
+                total.corrected,
+                total.retried,
+                total.unrecoverable,
+                total.corrupted,
+                total.dropped,
+                total.retry_cycles
+            );
+            let _ = writeln!(
+                o,
+                "\nPartition check: injected ({}) == corrected ({}) + \
+                 retried ({}) + unrecoverable ({}) — {}.",
+                total.injected,
+                total.corrected,
+                total.retried,
+                total.unrecoverable,
+                if total.partition_holds() {
+                    "holds"
+                } else {
+                    "**VIOLATED**"
+                }
+            );
+            if total.unrecoverable > 0 {
+                let _ = writeln!(
+                    o,
+                    "\n**{} unrecoverable fault(s)** — the run ended with a \
+                     structured fault error; cycle counts cover the partial \
+                     run only.",
+                    total.unrecoverable
+                );
             }
         }
 
@@ -722,6 +877,12 @@ impl BottleneckReport {
                     let _ = writeln!(o, "| {k} | {pj} | {:.1}% |", pct(*pj, e.total_pj));
                 }
             }
+        } else {
+            let _ = writeln!(
+                o,
+                "\n_Energy attribution not recorded in this metrics file \
+                 (run with an event-level trace to collect it)._"
+            );
         }
 
         if let Some(t) = &self.trace {
@@ -804,6 +965,19 @@ impl BottleneckReport {
             row(&m, "requests", req.to_string());
             row(&m, "dram_bytes", bytes.to_string());
             row(&m, "efficiency", format!("{eff:.4}"));
+        }
+        for (site, f) in &self.resilience {
+            for (counter, v) in [
+                ("injected", f.injected),
+                ("corrected", f.corrected),
+                ("retried", f.retried),
+                ("unrecoverable", f.unrecoverable),
+                ("corrupted", f.corrupted),
+                ("dropped", f.dropped),
+                ("retry_cycles", f.retry_cycles),
+            ] {
+                row("resilience", &format!("{site}.{counter}"), v.to_string());
+            }
         }
         if let Some(e) = &self.energy {
             row("energy", "total_pj", e.total_pj.to_string());
@@ -893,6 +1067,8 @@ pub struct DiffReport {
     pub links: Vec<MetricDelta>,
     /// Energy rows: module aggregates and per-layer totals.
     pub energy: Vec<MetricDelta>,
+    /// Fault-counter rows (`{site}.{counter}`), union of both runs.
+    pub resilience: Vec<MetricDelta>,
     /// Metric names present in A's dump only.
     pub only_a: Vec<String>,
     /// Metric names present in B's dump only.
@@ -994,6 +1170,19 @@ impl DiffReport {
         }
         d.energy.sort_by(delta_order);
 
+        // Resilience: union of both runs' per-site fault counters.
+        let fa = fault_rows(&ra.resilience);
+        let fb = fault_rows(&rb.resilience);
+        let keys: std::collections::BTreeSet<&String> = fa.keys().chain(fb.keys()).collect();
+        for k in keys {
+            d.resilience.push(MetricDelta::new(
+                k.clone(),
+                fa.get(k).map(|v| *v as f64),
+                fb.get(k).map(|v| *v as f64),
+            ));
+        }
+        d.resilience.sort_by(delta_order);
+
         // Coverage: raw metric names present in exactly one dump.
         d.only_a = a
             .names()
@@ -1013,9 +1202,15 @@ impl DiffReport {
     pub fn is_zero(&self) -> bool {
         self.only_a.is_empty()
             && self.only_b.is_empty()
-            && [&self.system, &self.stalls, &self.links, &self.energy]
-                .iter()
-                .all(|rows| rows.iter().all(MetricDelta::is_zero))
+            && [
+                &self.system,
+                &self.stalls,
+                &self.links,
+                &self.energy,
+                &self.resilience,
+            ]
+            .iter()
+            .all(|rows| rows.iter().all(MetricDelta::is_zero))
     }
 
     /// Render the differential report as markdown.
@@ -1057,6 +1252,12 @@ impl DiffReport {
         section(&mut o, "Stall cycles by cause", &self.stalls, usize::MAX);
         section(&mut o, "NoC link busy cycles", &self.links, top_k);
         section(&mut o, "Energy (pJ)", &self.energy, usize::MAX);
+        section(
+            &mut o,
+            "Resilience fault counters",
+            &self.resilience,
+            usize::MAX,
+        );
         if !self.only_a.is_empty() || !self.only_b.is_empty() {
             let _ = writeln!(o, "## Coverage\n");
             for (label, names) in [("A", &self.only_a), ("B", &self.only_b)] {
@@ -1100,6 +1301,7 @@ impl DiffReport {
         rows("stalls", &self.stalls);
         rows("noc.link", &self.links);
         rows("energy", &self.energy);
+        rows("resilience", &self.resilience);
         for n in &self.only_a {
             let _ = writeln!(o, "coverage,only_a.{},,,", n.replace(',', ";"));
         }
@@ -1120,6 +1322,25 @@ fn delta_order(x: &MetricDelta, y: &MetricDelta) -> std::cmp::Ordering {
         (None, None) => std::cmp::Ordering::Equal,
     }
     .then_with(|| x.name.cmp(&y.name))
+}
+
+/// Flatten per-site fault counters into named integer rows.
+fn fault_rows(resilience: &[(String, SiteFaults)]) -> BTreeMap<String, u64> {
+    let mut m = BTreeMap::new();
+    for (site, f) in resilience {
+        for (counter, v) in [
+            ("injected", f.injected),
+            ("corrected", f.corrected),
+            ("retried", f.retried),
+            ("unrecoverable", f.unrecoverable),
+            ("corrupted", f.corrupted),
+            ("dropped", f.dropped),
+            ("retry_cycles", f.retry_cycles),
+        ] {
+            m.insert(format!("{site}.{counter}"), v);
+        }
+    }
+    m
 }
 
 /// Flatten an optional energy breakdown into named integer-pJ rows.
@@ -1208,6 +1429,140 @@ mod tests {
             "\"noc.energy.link.1_0.L_pj\":20,"
         );
         base.replacen('{', &format!("{{{energy}"), 1)
+    }
+
+    fn sample_metrics_with_faults() -> String {
+        let base = sample_metrics_json();
+        let faults = concat!(
+            "\"tile0.fault.injected\":5,",
+            "\"tile0.fault.corrected\":5,",
+            "\"tile0.fault.retried\":0,",
+            "\"tile0.fault.unrecoverable\":0,",
+            "\"tile0.fault.corrupted\":0,",
+            "\"tile0.fault.dropped\":0,",
+            "\"tile0.fault.retry_cycles\":160,",
+            "\"mem0.fault.injected\":8,",
+            "\"mem0.fault.corrected\":6,",
+            "\"mem0.fault.retried\":2,",
+            "\"mem0.fault.unrecoverable\":0,",
+            "\"mem0.fault.corrupted\":0,",
+            "\"mem0.fault.dropped\":0,",
+            "\"mem0.fault.retry_cycles\":400,",
+            "\"noc.fault.injected\":4,",
+            "\"noc.fault.corrected\":3,",
+            "\"noc.fault.retried\":0,",
+            "\"noc.fault.unrecoverable\":1,",
+            "\"noc.fault.corrupted\":2,",
+            "\"noc.fault.dropped\":2,",
+            "\"noc.fault.retry_cycles\":28,"
+        );
+        base.replacen('{', &format!("{{{faults}"), 1)
+    }
+
+    #[test]
+    fn resilience_section_parses_and_partitions() {
+        let snap = MetricsSnapshot::parse(&sample_metrics_with_faults()).unwrap();
+        let r = BottleneckReport::build(&snap, None);
+        assert_eq!(r.resilience.len(), 3, "{:?}", r.resilience);
+        // Sites in sorted order: mem0, noc, tile0.
+        assert_eq!(r.resilience[0].0, "mem0");
+        assert_eq!(r.resilience[1].0, "noc");
+        assert_eq!(r.resilience[2].0, "tile0");
+        let mem = r.resilience[0].1;
+        assert_eq!(mem.injected, 8);
+        assert_eq!(mem.retried, 2);
+        assert!(mem.partition_holds());
+        let noc = r.resilience[1].1;
+        assert_eq!(noc.unrecoverable, 1);
+        assert_eq!(noc.dropped, 2);
+        assert!(noc.partition_holds());
+        let md = r.to_markdown(4);
+        for needle in [
+            "## Resilience",
+            "| mem0 | 8 | 6 | 2 | 0 | 0 | 0 | 400 |",
+            "| **total** | 17 | 14 | 2 | 1 | 2 | 2 | 588 |",
+            "Partition check: injected (17) == corrected (14) + retried (2) \
+             + unrecoverable (1) — holds.",
+            "**1 unrecoverable fault(s)**",
+        ] {
+            assert!(md.contains(needle), "missing {needle:?} in:\n{md}");
+        }
+        assert!(!md.contains(
+            "not recorded in this metrics file \
+             (fault-free"
+        ));
+        let csv = r.to_csv();
+        assert!(csv.contains("resilience,mem0.injected,8"));
+        assert!(csv.contains("resilience,noc.unrecoverable,1"));
+        assert!(csv.contains("resilience,tile0.retry_cycles,160"));
+    }
+
+    #[test]
+    fn resilience_partition_violation_is_flagged() {
+        let text = sample_metrics_with_faults()
+            .replace("\"noc.fault.corrected\":3", "\"noc.fault.corrected\":2");
+        let snap = MetricsSnapshot::parse(&text).unwrap();
+        let md = BottleneckReport::build(&snap, None).to_markdown(4);
+        assert!(md.contains("**VIOLATED**"), "{md}");
+    }
+
+    #[test]
+    fn fault_free_dump_renders_not_recorded_lines() {
+        let snap = MetricsSnapshot::parse(&sample_metrics_json()).unwrap();
+        let r = BottleneckReport::build(&snap, None);
+        assert!(r.resilience.is_empty());
+        let md = r.to_markdown(4);
+        // The Resilience section is always present, with an explicit
+        // "not recorded" line when the family is absent.
+        assert!(md.contains("## Resilience"), "{md}");
+        assert!(
+            md.contains("_Fault counters not recorded in this metrics file"),
+            "{md}"
+        );
+        // Same for energy (without an `## Energy` heading, see
+        // `untraced_dump_has_no_energy_section`).
+        assert!(
+            md.contains("_Energy attribution not recorded in this metrics file"),
+            "{md}"
+        );
+        // No resilience rows leak into the CSV.
+        assert!(!r.to_csv().contains("resilience,"));
+    }
+
+    #[test]
+    fn sparse_dump_notes_missing_histograms_and_mems() {
+        let snap = MetricsSnapshot::parse("{\"system.total_cycles\":10}").unwrap();
+        let md = BottleneckReport::build(&snap, None).to_markdown(4);
+        for needle in [
+            "_Packet latency/hop histograms not recorded",
+            "## Memory controllers",
+            "_Memory-controller counters not recorded",
+        ] {
+            assert!(md.contains(needle), "missing {needle:?} in:\n{md}");
+        }
+    }
+
+    #[test]
+    fn diff_covers_resilience_rows() {
+        let a = MetricsSnapshot::parse(&sample_metrics_with_faults()).unwrap();
+        let text = sample_metrics_with_faults()
+            .replace("\"mem0.fault.injected\":8", "\"mem0.fault.injected\":11")
+            .replace("\"mem0.fault.corrected\":6", "\"mem0.fault.corrected\":9");
+        let b = MetricsSnapshot::parse(&text).unwrap();
+        let d = DiffReport::build(&a, &b, "A", "B");
+        assert!(!d.is_zero());
+        let inj = d
+            .resilience
+            .iter()
+            .find(|r| r.name == "mem0.injected")
+            .unwrap();
+        assert_eq!(inj.delta(), Some(3.0));
+        let md = d.to_markdown(8);
+        assert!(md.contains("## Resilience fault counters"), "{md}");
+        assert!(d.to_csv().contains("resilience,mem0.injected,8,11,3"));
+        // Self-diff including faults stays zero.
+        let d2 = DiffReport::build(&a, &a, "A", "A");
+        assert!(d2.is_zero());
     }
 
     #[test]

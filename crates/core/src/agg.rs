@@ -256,18 +256,25 @@ impl Aggregator {
 
     /// Delivers one complete contribution message.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the slot is not live (a routing bug) or the contribution
-    /// overruns the slot width.
-    pub fn deliver(&mut self, slot: u32, offset: u32, scale: f32, data: Vec<f32>) {
-        let s = self.slots[slot as usize]
-            .as_ref()
-            .unwrap_or_else(|| panic!("contribution to dead slot {slot}"));
-        assert!(
-            (offset as usize + data.len()) <= s.words as usize,
-            "contribution overruns slot {slot}"
-        );
+    /// Returns a protocol-violation description if the slot is not live
+    /// or the contribution overruns the slot width (routing or compiler
+    /// bugs; the system surfaces them as
+    /// [`crate::CoreError::Protocol`] instead of panicking).
+    pub fn deliver(
+        &mut self,
+        slot: u32,
+        offset: u32,
+        scale: f32,
+        data: Vec<f32>,
+    ) -> Result<(), String> {
+        let Some(s) = self.slots[slot as usize].as_ref() else {
+            return Err(format!("contribution to dead slot {slot}"));
+        };
+        if (offset as usize + data.len()) > s.words as usize {
+            return Err(format!("contribution overruns slot {slot}"));
+        }
         self.contributions += 1;
         self.jobs.push_back(Job::Accumulate {
             slot,
@@ -275,6 +282,7 @@ impl Aggregator {
             scale,
             data,
         });
+        Ok(())
     }
 
     /// Whether the module is fully drained.
@@ -442,8 +450,10 @@ mod tests {
                 Dest::Mem { addr: 0 },
             )
             .unwrap();
-        a.deliver(slot, 0, 1.0, vec![1.0, 2.0, 3.0, 4.0]);
-        a.deliver(slot, 0, 1.0, vec![10.0, 20.0, 30.0, 40.0]);
+        a.deliver(slot, 0, 1.0, vec![1.0, 2.0, 3.0, 4.0])
+            .expect("live slot");
+        a.deliver(slot, 0, 1.0, vec![10.0, 20.0, 30.0, 40.0])
+            .expect("live slot");
         let (_, dest, data) = run_until_output(&mut a, 0, 64);
         assert_eq!(dest, Dest::Mem { addr: 0 });
         assert_eq!(data, vec![11.0, 22.0, 33.0, 44.0]);
@@ -465,7 +475,7 @@ mod tests {
             )
             .unwrap();
         for _ in 0..4 {
-            a.deliver(slot, 0, 1.0, vec![2.0, 6.0]);
+            a.deliver(slot, 0, 1.0, vec![2.0, 6.0]).expect("live slot");
         }
         let (_, _, data) = run_until_output(&mut a, 0, 64);
         assert_eq!(data, vec![2.0, 6.0]);
@@ -485,8 +495,8 @@ mod tests {
                 Dest::Mem { addr: 0 },
             )
             .unwrap();
-        a.deliver(slot, 0, 0.5, vec![4.0, 8.0]);
-        a.deliver(slot, 0, 2.0, vec![1.0, 1.0]);
+        a.deliver(slot, 0, 0.5, vec![4.0, 8.0]).expect("live slot");
+        a.deliver(slot, 0, 2.0, vec![1.0, 1.0]).expect("live slot");
         let (_, _, data) = run_until_output(&mut a, 0, 64);
         assert_eq!(data, vec![4.0, 6.0]);
     }
@@ -505,9 +515,9 @@ mod tests {
                 Dest::Mem { addr: 0 },
             )
             .unwrap();
-        a.deliver(slot, 0, 1.0, vec![1.0, 9.0]);
-        a.deliver(slot, 0, 1.0, vec![5.0, -2.0]);
-        a.deliver(slot, 0, 1.0, vec![3.0, 4.0]);
+        a.deliver(slot, 0, 1.0, vec![1.0, 9.0]).expect("live slot");
+        a.deliver(slot, 0, 1.0, vec![5.0, -2.0]).expect("live slot");
+        a.deliver(slot, 0, 1.0, vec![3.0, 4.0]).expect("live slot");
         let (_, _, data) = run_until_output(&mut a, 0, 64);
         assert_eq!(data, vec![5.0, 9.0]);
     }
@@ -528,8 +538,8 @@ mod tests {
                 Dest::Mem { addr: 0 },
             )
             .unwrap();
-        a.deliver(slot, 0, 1.0, vec![1.0, 2.0]);
-        a.deliver(slot, 2, 1.0, vec![3.0, 4.0]);
+        a.deliver(slot, 0, 1.0, vec![1.0, 2.0]).expect("live slot");
+        a.deliver(slot, 2, 1.0, vec![3.0, 4.0]).expect("live slot");
         let (_, _, data) = run_until_output(&mut a, 0, 64);
         assert_eq!(data, vec![1.0, 2.0, 3.0, 4.0]);
     }
@@ -548,7 +558,7 @@ mod tests {
                 Dest::Mem { addr: 0 },
             )
             .unwrap();
-        a.deliver(slot, 0, 1.0, vec![-5.0, 5.0]);
+        a.deliver(slot, 0, 1.0, vec![-5.0, 5.0]).expect("live slot");
         let (_, _, data) = run_until_output(&mut a, 0, 64);
         assert_eq!(data, vec![0.0, 5.0]);
     }
@@ -587,7 +597,7 @@ mod tests {
             .is_err());
         assert_eq!(a.stats().4, 1); // one alloc failure
                                     // Complete s0, freeing a slot.
-        a.deliver(s0, 0, 1.0, vec![1.0]);
+        a.deliver(s0, 0, 1.0, vec![1.0]).expect("live slot");
         let _ = run_until_output(&mut a, 0, 64);
         assert!(a
             .try_alloc(1, 1, 1, AggOp::Sum, AggFinalize::None, Activation::None, d)
@@ -609,17 +619,17 @@ mod tests {
                 Dest::Mem { addr: 0 },
             )
             .unwrap();
-        a.deliver(slot, 0, 1.0, vec![1.0; 64]);
+        a.deliver(slot, 0, 1.0, vec![1.0; 64]).expect("live slot");
         let (done, _, _) = run_until_output(&mut a, 0, 64);
         // 4 cycles accumulate + 4 cycles finalize + drain.
         assert!((6..=12).contains(&done), "completed at {done}");
     }
 
     #[test]
-    #[should_panic(expected = "dead slot")]
-    fn contribution_to_dead_slot_panics() {
+    fn contribution_to_dead_slot_is_protocol_error() {
         let mut a = agg(2);
-        a.deliver(5, 0, 1.0, vec![1.0]);
+        let err = a.deliver(5, 0, 1.0, vec![1.0]).expect_err("dead slot");
+        assert!(err.contains("dead slot 5"));
     }
 
     #[test]
@@ -636,7 +646,7 @@ mod tests {
                 Dest::Mem { addr: 0 },
             )
             .unwrap();
-        a.deliver(slot, 0, 1.0, vec![7.0, 8.0]);
+        a.deliver(slot, 0, 1.0, vec![7.0, 8.0]).expect("live slot");
         let (c, dest, data) = run_until_output(&mut a, 0, 64);
         a.stall_output(dest, data.clone());
         let (_, _, again) = run_until_output(&mut a, c + 1, 8);

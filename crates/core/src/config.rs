@@ -239,6 +239,10 @@ pub struct AcceleratorConfig {
     /// Narrower links cut per-hop energy but multiply hop counts; the
     /// energy attribution charges `flit_bytes` byte-hops per flit-hop.
     pub flit_bytes: usize,
+    /// Progress watchdog window in master cycles: with no observable
+    /// event for this long the simulation reports [`CoreError::Stalled`]
+    /// instead of spinning forever (default 2,000,000).
+    pub stall_window: u64,
 }
 
 impl AcceleratorConfig {
@@ -255,6 +259,7 @@ impl AcceleratorConfig {
             mem: MemConfig::default(),
             interleave_bytes: 4096,
             flit_bytes: 64,
+            stall_window: 2_000_000,
         }
     }
 
@@ -288,6 +293,15 @@ impl AcceleratorConfig {
     /// the energy A/B diffs.
     pub fn with_flit_bytes(mut self, bytes: usize) -> Self {
         self.flit_bytes = bytes.max(1);
+        self
+    }
+
+    /// Returns a copy with the progress-watchdog window set to `cycles`
+    /// (must stay positive; [`AcceleratorConfig::validate`] rejects 0).
+    /// Fault-heavy runs with long retransmit backoffs may need a larger
+    /// window; stall-reproduction tests a much smaller one.
+    pub fn with_stall_window(mut self, cycles: u64) -> Self {
+        self.stall_window = cycles;
         self
     }
 
@@ -353,6 +367,11 @@ impl AcceleratorConfig {
         if self.dnq.scratchpad_bytes < 64 {
             return Err(CoreError::InvalidConfig {
                 reason: "DNQ scratchpad too small".into(),
+            });
+        }
+        if self.stall_window == 0 {
+            return Err(CoreError::InvalidConfig {
+                reason: "stall window must be positive".into(),
             });
         }
         Ok(())
@@ -441,6 +460,16 @@ mod tests {
         c.agg.num_alus = 0;
         assert!(c.validate().is_err());
         assert!(AcceleratorConfig::gpu_iso_flops().validate().is_ok());
+    }
+
+    #[test]
+    fn stall_window_is_configurable() {
+        let c = AcceleratorConfig::cpu_iso_bandwidth();
+        assert_eq!(c.stall_window, 2_000_000, "default watchdog window");
+        let c = c.with_stall_window(500);
+        assert_eq!(c.stall_window, 500);
+        assert!(c.validate().is_ok());
+        assert!(c.with_stall_window(0).validate().is_err());
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 use crate::msg::Dest;
 use gnna_dnn::{mapper, EyerissConfig, MatmulShape};
+use gnna_faults::{FaultCounters, FaultPlan, FaultSite, SiteInjector};
 use gnna_models::{GatLayer, Mlp};
 use gnna_telemetry::{CostClass, ModuleProbe};
 use gnna_tensor::ops::{Activation, GruCell};
@@ -181,6 +182,38 @@ impl DnaKernel {
     }
 }
 
+/// Deterministic stall-bubble injection state for one DNA array.
+///
+/// An injected fault models a transient pipeline hazard (e.g. a parity
+/// retry inside the spatial array): the job's completion is pushed back
+/// by `bubble_cycles` but the computed output is untouched, so bubbles
+/// are pure latency — every injection is immediately `corrected` and the
+/// functional result stays bit-exact.
+#[derive(Debug)]
+pub struct DnaFaultState {
+    injector: SiteInjector,
+    bubble_cycles: u64,
+    counters: FaultCounters,
+}
+
+impl DnaFaultState {
+    /// Builds the per-instance injection state from a fault plan.
+    /// `instance` is the tile index, so every tile draws an independent
+    /// deterministic stream.
+    pub fn from_plan(plan: &FaultPlan, instance: u64) -> Self {
+        DnaFaultState {
+            injector: SiteInjector::new(plan.seed, FaultSite::DnaStall, instance, plan.stall_rate),
+            bubble_cycles: plan.dna_bubble_cycles,
+            counters: FaultCounters::default(),
+        }
+    }
+
+    /// Fault outcome counters observed so far.
+    pub fn counters(&self) -> &FaultCounters {
+        &self.counters
+    }
+}
+
 /// A job occupying the DNA array.
 #[derive(Debug)]
 struct Job {
@@ -206,6 +239,7 @@ pub struct Dna {
     entries_processed: u64,
     macs_executed: u64,
     probe: Option<ModuleProbe>,
+    fault: Option<DnaFaultState>,
 }
 
 /// Fixed pipeline-fill latency added to every entry (array fill/drain).
@@ -226,7 +260,19 @@ impl Dna {
             entries_processed: 0,
             macs_executed: 0,
             probe: None,
+            fault: None,
         }
+    }
+
+    /// Attaches deterministic stall-bubble injection. Zero-cost (and
+    /// absent from the RNG stream) when never called.
+    pub fn attach_faults(&mut self, state: DnaFaultState) {
+        self.fault = Some(state);
+    }
+
+    /// Fault outcome counters (`None` when injection is not attached).
+    pub fn fault_counters(&self) -> Option<&FaultCounters> {
+        self.fault.as_ref().map(DnaFaultState::counters)
     }
 
     /// Attaches a telemetry probe; job occupancy spans are emitted
@@ -287,11 +333,25 @@ impl Dna {
         let macs = k.macs();
         let occupancy = (macs as f64 / self.throughput[kernel as usize]).ceil() as u64;
         self.macs_executed += macs;
+        // Deterministic transient-stall injection: a fired fault inserts
+        // a pipeline bubble (latency only, output untouched → corrected).
+        let mut bubble = 0;
+        if let Some(fs) = self.fault.as_mut() {
+            if fs.injector.fire() {
+                bubble = fs.bubble_cycles;
+                fs.counters.injected += 1;
+                fs.counters.corrected += 1;
+                fs.counters.retry_cycles += bubble;
+                if let Some(p) = &self.probe {
+                    p.instant("dna_fault_bubble");
+                }
+            }
+        }
         if let Some(p) = &self.probe {
             p.begin("dna_job");
         }
         self.job = Some(Job {
-            done_at: now + PIPELINE_LATENCY + occupancy.max(1),
+            done_at: now + PIPELINE_LATENCY + occupancy.max(1) + bubble,
             output,
             dest,
         });
@@ -500,6 +560,62 @@ mod tests {
         dna.configure(vec![linear_kernel(4, 2)], 4);
         dna.accept(0, &[1.0; 4], Dest::Mem { addr: 0 }, 0);
         dna.accept(0, &[1.0; 4], Dest::Mem { addr: 0 }, 0);
+    }
+
+    #[test]
+    fn fault_bubble_delays_but_preserves_output() {
+        let run = |rate: f64| {
+            let mut dna = Dna::new(EyerissConfig::default());
+            dna.configure(vec![linear_kernel(4, 2)], 4);
+            if rate > 0.0 {
+                let plan = FaultPlan::new(7).with_stall_rate(rate);
+                dna.attach_faults(DnaFaultState::from_plan(&plan, 0));
+            }
+            dna.accept(0, &[1.0; 4], Dest::Mem { addr: 0 }, 0);
+            for c in 1..10_000 {
+                if let Some((_, out)) = dna.tick(c) {
+                    let counters = dna.fault_counters().copied().unwrap_or_default();
+                    return (c, out, counters);
+                }
+            }
+            panic!("never completed");
+        };
+        let (clean_cycle, clean_out, clean_counters) = run(0.0);
+        assert!(!clean_counters.any());
+        let (fault_cycle, fault_out, counters) = run(1.0);
+        // Bubble is pure latency: identical output, later completion.
+        assert_eq!(fault_out, clean_out);
+        assert_eq!(
+            fault_cycle,
+            clean_cycle + FaultPlan::new(7).dna_bubble_cycles
+        );
+        assert_eq!(counters.injected, 1);
+        assert_eq!(counters.corrected, 1);
+        assert!(counters.partition_holds());
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic_per_seed() {
+        let counters = |seed: u64| {
+            let mut dna = Dna::new(EyerissConfig::default());
+            dna.configure(vec![linear_kernel(4, 2)], 4);
+            let plan = FaultPlan::new(seed).with_stall_rate(0.5);
+            dna.attach_faults(DnaFaultState::from_plan(&plan, 3));
+            let mut cycle = 0;
+            for _ in 0..32 {
+                dna.accept(0, &[1.0; 4], Dest::Mem { addr: 0 }, cycle);
+                loop {
+                    cycle += 1;
+                    if dna.tick(cycle).is_some() {
+                        break;
+                    }
+                }
+            }
+            dna.fault_counters().copied().expect("attached")
+        };
+        assert_eq!(counters(11), counters(11));
+        assert!(counters(11).injected > 0);
+        assert_ne!(counters(11), counters(12));
     }
 
     #[test]

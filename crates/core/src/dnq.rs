@@ -188,27 +188,32 @@ impl Dnq {
     /// (sets the corresponding ready bits). The entry becomes ready when
     /// all its words have been filled.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the entry is not allocated or the fill overruns it.
-    pub fn fill(&mut self, q: usize, entry: u32, offset: u32, data: &[f32]) {
+    /// Returns a protocol-violation description if the entry is not
+    /// allocated or the fill overruns it (routing or compiler bugs; the
+    /// system surfaces them as [`crate::CoreError::Protocol`] instead of
+    /// panicking).
+    pub fn fill(&mut self, q: usize, entry: u32, offset: u32, data: &[f32]) -> Result<(), String> {
         let ring = &mut self.rings[q];
-        let e = ring.entries[entry as usize]
-            .as_mut()
-            .unwrap_or_else(|| panic!("fill to unallocated DNQ entry {q}/{entry}"));
-        assert!(
-            offset as usize + data.len() <= ring.entry_words,
-            "fill overruns entry ({} + {} > {})",
-            offset,
-            data.len(),
-            ring.entry_words
-        );
+        let Some(e) = ring.entries[entry as usize].as_mut() else {
+            return Err(format!("fill to unallocated DNQ entry {q}/{entry}"));
+        };
+        if offset as usize + data.len() > ring.entry_words {
+            return Err(format!(
+                "fill overruns entry ({} + {} > {})",
+                offset,
+                data.len(),
+                ring.entry_words
+            ));
+        }
         e.data[offset as usize..offset as usize + data.len()].copy_from_slice(data);
         e.filled += data.len();
         self.fill_words += data.len() as u64;
         if e.filled >= ring.entry_words {
             e.ready = true;
         }
+        Ok(())
     }
 
     /// Attempts to dequeue the head of the eligible queue for an idle
@@ -347,9 +352,9 @@ mod tests {
         let e = d.try_alloc(0, 0, mem_dest(0)).unwrap();
         // Not ready until fully filled.
         assert!(d.dequeue_for_dna(true).is_none());
-        d.fill(0, e, 0, &[1.0, 2.0]);
+        d.fill(0, e, 0, &[1.0, 2.0]).expect("allocated entry");
         assert!(d.dequeue_for_dna(true).is_none());
-        d.fill(0, e, 2, &[3.0, 4.0]);
+        d.fill(0, e, 2, &[3.0, 4.0]).expect("allocated entry");
         let got = d.dequeue_for_dna(true).unwrap();
         assert_eq!(got.data, vec![1.0, 2.0, 3.0, 4.0]);
         assert_eq!(got.kernel, 0);
@@ -362,9 +367,9 @@ mod tests {
         let e0 = d.try_alloc(0, 0, mem_dest(0)).unwrap();
         let e1 = d.try_alloc(0, 1, mem_dest(64)).unwrap();
         // Fill the second first: still dequeues in FIFO order.
-        d.fill(0, e1, 0, &[3.0, 4.0]);
+        d.fill(0, e1, 0, &[3.0, 4.0]).expect("allocated entry");
         assert!(d.dequeue_for_dna(true).is_none(), "head not ready yet");
-        d.fill(0, e0, 0, &[1.0, 2.0]);
+        d.fill(0, e0, 0, &[1.0, 2.0]).expect("allocated entry");
         assert_eq!(d.dequeue_for_dna(true).unwrap().data, vec![1.0, 2.0]);
         assert_eq!(d.dequeue_for_dna(true).unwrap().data, vec![3.0, 4.0]);
     }
@@ -375,7 +380,7 @@ mod tests {
         assert_eq!(d.capacity(0), 1);
         let e = d.try_alloc(0, 0, mem_dest(0)).unwrap();
         assert!(d.try_alloc(0, 0, mem_dest(0)).is_err());
-        d.fill(0, e, 0, &vec![0.5; 15872]);
+        d.fill(0, e, 0, &vec![0.5; 15872]).expect("allocated entry");
         assert!(d.dequeue_for_dna(true).is_some());
         // Reuse after wrap.
         let e2 = d.try_alloc(0, 0, mem_dest(0)).unwrap();
@@ -387,7 +392,7 @@ mod tests {
         let mut d = dnq([2, 2]);
         // Only queue 1 has a ready entry; active starts at 0.
         let e = d.try_alloc(1, 0, mem_dest(0)).unwrap();
-        d.fill(1, e, 0, &[1.0, 2.0]);
+        d.fill(1, e, 0, &[1.0, 2.0]).expect("allocated entry");
         assert_eq!(d.active_queue(), 0);
         // 15 idle polls: still nothing (hysteresis).
         for _ in 0..15 {
@@ -404,7 +409,7 @@ mod tests {
     fn busy_dna_resets_idle_streak() {
         let mut d = dnq([2, 2]);
         let e = d.try_alloc(1, 0, mem_dest(0)).unwrap();
-        d.fill(1, e, 0, &[1.0, 2.0]);
+        d.fill(1, e, 0, &[1.0, 2.0]).expect("allocated entry");
         for _ in 0..10 {
             assert!(d.dequeue_for_dna(true).is_none());
         }
@@ -424,7 +429,7 @@ mod tests {
         let mut d = dnq([2, 0]);
         let _e0 = d.try_alloc(0, 0, mem_dest(0)).unwrap();
         let e1 = d.try_alloc(0, 0, mem_dest(0)).unwrap();
-        d.fill(0, e1, 0, &[9.0, 9.0]);
+        d.fill(0, e1, 0, &[9.0, 9.0]).expect("allocated entry");
         for _ in 0..40 {
             assert!(d.dequeue_for_dna(true).is_none());
         }
@@ -445,10 +450,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unallocated")]
-    fn fill_unallocated_panics() {
+    fn fill_unallocated_is_protocol_error() {
         let mut d = dnq([4, 0]);
-        d.fill(0, 3, 0, &[1.0]);
+        let err = d.fill(0, 3, 0, &[1.0]).expect_err("unallocated");
+        assert!(err.contains("unallocated DNQ entry 0/3"));
     }
 
     #[test]
@@ -462,7 +467,7 @@ mod tests {
     fn reconfigure_between_layers() {
         let mut d = dnq([4, 0]);
         let e = d.try_alloc(0, 0, mem_dest(0)).unwrap();
-        d.fill(0, e, 0, &[0.0; 4]);
+        d.fill(0, e, 0, &[0.0; 4]).expect("allocated entry");
         let _ = d.dequeue_for_dna(true).unwrap();
         d.configure([8, 8]);
         assert!(d.capacity(1) > 0);

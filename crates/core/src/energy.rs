@@ -236,6 +236,7 @@ mod tests {
             noc_flit_bytes: 64,
             num_tiles: 1,
             per_tile: vec![],
+            resilience: crate::stats::ResilienceSummary::default(),
         }
     }
 

@@ -23,6 +23,32 @@ pub enum CoreError {
         /// What the system was waiting on.
         detail: String,
     },
+    /// A hardware-protocol invariant was violated mid-simulation (a
+    /// message delivered to a module in the wrong state — a routing or
+    /// compiler bug, reported with the flight recorder's tail instead
+    /// of a panic).
+    Protocol {
+        /// Master cycle at which the violation was detected.
+        cycle: u64,
+        /// The module that observed it (e.g. `tile0.agg`, `mem1`).
+        site: String,
+        /// What went wrong, plus the flight-recorder dump when tracing
+        /// is attached.
+        msg: String,
+    },
+    /// An injected fault exhausted its protection model (e.g. a NoC
+    /// link's retransmit budget) and the run cannot produce correct
+    /// results. Reported with the flight recorder's tail; the simulator
+    /// never panics or spins on unrecoverable faults.
+    Fault {
+        /// Master cycle at which the fault became unrecoverable.
+        cycle: u64,
+        /// The fault site (`mem`, `noc` or `dna`).
+        site: String,
+        /// What went wrong, plus the flight-recorder dump when tracing
+        /// is attached.
+        msg: String,
+    },
     /// An underlying model error.
     Model(gnna_models::ModelError),
     /// An underlying tensor error.
@@ -38,6 +64,12 @@ impl fmt::Display for CoreError {
             CoreError::CompileError { reason } => write!(f, "model compilation failed: {reason}"),
             CoreError::Stalled { cycle, detail } => {
                 write!(f, "simulation stalled at cycle {cycle}: {detail}")
+            }
+            CoreError::Protocol { cycle, site, msg } => {
+                write!(f, "protocol violation at {site} on cycle {cycle}: {msg}")
+            }
+            CoreError::Fault { cycle, site, msg } => {
+                write!(f, "unrecoverable {site} fault at cycle {cycle}: {msg}")
             }
             CoreError::Model(e) => write!(f, "model error: {e}"),
             CoreError::Tensor(e) => write!(f, "tensor error: {e}"),
@@ -82,6 +114,20 @@ mod tests {
         }
         .to_string()
         .contains("cycle 5"));
+        assert!(CoreError::Protocol {
+            cycle: 9,
+            site: "tile0.agg".into(),
+            msg: "dead slot".into()
+        }
+        .to_string()
+        .contains("protocol violation at tile0.agg on cycle 9"));
+        assert!(CoreError::Fault {
+            cycle: 11,
+            site: "noc".into(),
+            msg: "budget".into()
+        }
+        .to_string()
+        .contains("unrecoverable noc fault at cycle 11"));
     }
 
     #[test]

@@ -270,17 +270,19 @@ impl Gpe {
 
     /// Delivers data for a blocking read issued by `thread`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the thread is not blocked (a routing bug).
-    pub fn deliver(&mut self, thread: u16, offset: u32, data: &[u32]) {
+    /// Returns a protocol-violation description if the thread is idle (a
+    /// routing bug; the system surfaces it as [`crate::CoreError::Protocol`]
+    /// instead of panicking).
+    pub fn deliver(&mut self, thread: u16, offset: u32, data: &[u32]) -> Result<(), String> {
         let t = &mut self.threads[thread as usize];
         // A chunked read's early chunks can arrive while the thread is
         // still issuing the later ones (Ready); only a completed
         // `recv_expect` unblocks a Blocked thread.
         let task = match t {
             TState::Blocked(task) | TState::Ready(task) => task,
-            TState::Idle => panic!("data delivered to idle GPE thread {thread}"),
+            TState::Idle => return Err(format!("data delivered to idle GPE thread {thread}")),
         };
         let off = offset as usize;
         assert!(
@@ -295,6 +297,7 @@ impl Gpe {
             };
             *t = TState::Ready(task);
         }
+        Ok(())
     }
 
     /// Advances one core cycle.
@@ -1516,7 +1519,9 @@ mod tests {
         assert_eq!(h.gpe.stats().vertices_done, 0);
         let base = h.union.row_ptr[2];
         let end = h.union.row_ptr[3];
-        h.gpe.deliver(thread, 0, &[base, end]);
+        h.gpe
+            .deliver(thread, 0, &[base, end])
+            .expect("blocked thread");
         // Now it fetches the neighbor list.
         for _ in 0..4 {
             tick(&mut h);
@@ -1533,7 +1538,7 @@ mod tests {
         };
         assert_eq!(addr, h.layout.col_idx_entry(base as usize));
         assert_eq!(bytes, 8); // two neighbors
-        h.gpe.deliver(thread, 0, &[1, 3]);
+        h.gpe.deliver(thread, 0, &[1, 3]).expect("blocked thread");
         // Body: one AGG slot and three feature reads (self + 2 neighbors).
         for _ in 0..24 {
             tick(&mut h);
@@ -1621,7 +1626,7 @@ mod tests {
         assert_eq!(h.gpe.stats().stall_by_cause[StallCause::DnaBusy.index()], 0);
         assert_stall_partition(h.gpe.stats());
         // Drain the entry as the DNA would; the GPE then finishes.
-        h.dnq.fill(0, 0, 0, &[0.0; 4]);
+        h.dnq.fill(0, 0, 0, &[0.0; 4]).expect("allocated entry");
         let _ = h.dnq.dequeue_for_dna(true).expect("entry ready");
         for _ in 0..40 {
             tick(&mut h);
@@ -1650,14 +1655,13 @@ mod tests {
     }
 
     #[test]
-    fn deliver_to_idle_thread_panics() {
+    fn deliver_to_idle_thread_is_protocol_error() {
         let buffers = [BufferSpec {
             rows: Rows::PerVertex,
             row_words: 4,
         }];
         let mut h = harness(1, &buffers);
-        let result =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| h.gpe.deliver(0, 0, &[1])));
-        assert!(result.is_err());
+        let err = h.gpe.deliver(0, 0, &[1]).expect_err("idle thread");
+        assert!(err.contains("idle GPE thread 0"));
     }
 }

@@ -1,5 +1,6 @@
 //! Simulation reports: the measurements Figures 8 and 10 are built from.
 
+use gnna_faults::FaultCounters;
 use std::fmt;
 
 /// Why a GPE could not make forward progress on a given core cycle.
@@ -143,6 +144,50 @@ pub struct TileCounters {
     pub dna_macs: u64,
 }
 
+/// Aggregated fault-injection outcomes per hardware site. All zeros
+/// when fault injection is not attached (or an empty plan is), so a
+/// fault-free report is bit-identical to a pre-fault-subsystem one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResilienceSummary {
+    /// DRAM read bit-flips at the memory controllers (ECC-protected).
+    pub mem: FaultCounters,
+    /// Flit corruption/drops on mesh links (CRC + retransmit).
+    pub noc: FaultCounters,
+    /// Injected DNA pipeline bubbles (absorbed as latency).
+    pub dna: FaultCounters,
+}
+
+impl ResilienceSummary {
+    /// Roll-up of all three sites.
+    pub fn total(&self) -> FaultCounters {
+        let mut t = self.mem;
+        t.merge(&self.noc);
+        t.merge(&self.dna);
+        t
+    }
+
+    /// Whether any fault was injected anywhere.
+    pub fn any(&self) -> bool {
+        self.mem.any() || self.noc.any() || self.dna.any()
+    }
+
+    /// Whether every site's partition invariant holds
+    /// (`injected == corrected + retried + unrecoverable`).
+    pub fn partition_holds(&self) -> bool {
+        self.mem.partition_holds() && self.noc.partition_holds() && self.dna.partition_holds()
+    }
+}
+
+impl fmt::Display for ResilienceSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mem [{}], noc [{}], dna [{}]",
+            self.mem, self.noc, self.dna
+        )
+    }
+}
+
 /// The result of simulating one inference.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
@@ -195,6 +240,10 @@ pub struct SimReport {
     pub num_tiles: usize,
     /// Optional per-tile counter breakdown (empty when not collected).
     pub per_tile: Vec<TileCounters>,
+    /// Fault-injection outcomes per site (all zeros when no fault plan
+    /// is attached, so fault-free reports are bit-identical to runs
+    /// predating the fault subsystem).
+    pub resilience: ResilienceSummary,
 }
 
 impl SimReport {
@@ -282,6 +331,9 @@ impl fmt::Display for SimReport {
             self.dna_utilization() * 100.0,
             self.gpe_utilization() * 100.0
         )?;
+        if self.resilience.any() {
+            writeln!(f, "  resilience: {}", self.resilience)?;
+        }
         for t in &self.per_tile {
             writeln!(
                 f,
@@ -333,6 +385,7 @@ mod tests {
             noc_flit_bytes: 64,
             num_tiles: 1,
             per_tile: vec![],
+            resilience: ResilienceSummary::default(),
         }
     }
 
@@ -351,6 +404,28 @@ mod tests {
     #[test]
     fn display_contains_config() {
         assert!(report().to_string().contains("test @ 1.2 GHz"));
+    }
+
+    #[test]
+    fn resilience_summary_rolls_up_and_displays() {
+        let mut r = report();
+        // Fault-free reports hide the resilience line entirely.
+        assert!(!r.to_string().contains("resilience"));
+        r.resilience.mem.injected = 3;
+        r.resilience.mem.corrected = 2;
+        r.resilience.mem.retried = 1;
+        r.resilience.noc.injected = 2;
+        r.resilience.noc.corrected = 2;
+        assert!(r.resilience.any());
+        assert!(r.resilience.partition_holds());
+        let total = r.resilience.total();
+        assert_eq!(total.injected, 5);
+        assert_eq!(total.corrected, 4);
+        assert_eq!(total.retried, 1);
+        assert!(r.to_string().contains("resilience: mem ["));
+        // A broken partition is detectable.
+        r.resilience.dna.injected = 1;
+        assert!(!r.resilience.partition_holds());
     }
 
     #[test]

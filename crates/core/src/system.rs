@@ -19,27 +19,25 @@
 
 use crate::agg::Aggregator;
 use crate::config::AcceleratorConfig;
-use crate::dna::Dna;
+use crate::dna::{Dna, DnaFaultState};
 use crate::dnq::Dnq;
 use crate::energy::EnergyModel;
 use crate::gpe::{Gpe, GpeCtx, TilePorts};
 use crate::layers::{CompiledProgram, Layer};
 use crate::layout::{fill_buffer, read_buffer, BufferRegion, Layout, UnionGraph};
 use crate::msg::{AddressMap, Dest, Message, Tag};
-use crate::stats::{LayerTiming, SimReport, StallCause, TileCounters};
+use crate::stats::{LayerTiming, ResilienceSummary, SimReport, StallCause, TileCounters};
 use crate::CoreError;
+use gnna_faults::FaultPlan;
 use gnna_graph::GraphInstance;
-use gnna_mem::{MemImage, MemRequest, MemoryController};
+use gnna_mem::{MemFaultState, MemImage, MemRequest, MemoryController};
+use gnna_noc::NocFaultState;
 use gnna_noc::{Address, Network, NocConfig, Packet, Reassembler};
 use gnna_telemetry::energy::{apportion_pj, CostClass, EnergyLedger, EnergyRates};
 use gnna_telemetry::{MetricsRegistry, ModuleProbe, SharedTracer, TraceLevel};
 use gnna_tensor::Matrix;
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
-
-/// Progress watchdog: with no observable event for this many master
-/// cycles the simulation reports a stall instead of spinning forever.
-const STALL_WINDOW: u64 = 2_000_000;
 
 /// Master-cycle period of the counter-track sampler (queue occupancies
 /// and in-flight flit counts) when event-level tracing is attached.
@@ -357,6 +355,49 @@ impl System {
         });
     }
 
+    /// Attaches deterministic fault injection to every protected site:
+    /// SECDED-guarded DRAM reads at each memory controller, CRC-checked
+    /// link traversals with bounded retransmit on the mesh, and stall
+    /// bubbles in each tile's DNA pipeline. Each site derives an
+    /// independent RNG stream from `(plan.seed, site, instance)`, so runs
+    /// are reproducible per seed regardless of topology.
+    ///
+    /// An **empty** plan (all rates zero) attaches nothing: the run — and
+    /// its metric registry — stays bit-identical to a fault-free system.
+    pub fn attach_faults(&mut self, plan: &FaultPlan) {
+        if plan.is_empty() {
+            return;
+        }
+        for (i, m) in self.mems.iter_mut().enumerate() {
+            m.ctrl
+                .attach_faults(MemFaultState::from_plan(plan, i as u64));
+        }
+        self.net.attach_faults(NocFaultState::from_plan(plan, 0));
+        for (t, tile) in self.tiles.iter_mut().enumerate() {
+            tile.dna
+                .attach_faults(DnaFaultState::from_plan(plan, t as u64));
+        }
+    }
+
+    /// Builds a protocol-violation error with the flight recorder's tail
+    /// attached (associated fn so field-split borrows can call it while
+    /// holding `&mut` loans on other `System` fields).
+    fn protocol_error(
+        telemetry: &Option<Telemetry>,
+        cycle: u64,
+        site: String,
+        mut msg: String,
+    ) -> CoreError {
+        if let Some(tele) = telemetry {
+            let snap = tele.tracer.borrow().flight_snapshot();
+            if !snap.is_empty() {
+                msg.push('\n');
+                msg.push_str(&snap);
+            }
+        }
+        CoreError::Protocol { cycle, site, msg }
+    }
+
     /// Replaces the energy model used for `*.energy.*_pj` attribution
     /// (defaults to [`EnergyModel::default`]). Affects only metric
     /// harvesting, never simulated timing.
@@ -407,15 +448,34 @@ impl System {
             self.tiles[t].gpe.start_layer(Rc::clone(&layer), part);
         }
         // Execute until the global barrier (everything idle).
+        let stall_window = self.cfg.stall_window;
         let mut last_progress_marker = self.progress_marker();
         let mut last_progress_cycle = self.cycle;
         while !self.all_idle() {
-            self.step_cycle(&layer);
-            if self.cycle - last_progress_cycle >= STALL_WINDOW {
+            self.step_cycle(&layer)?;
+            // An exhausted NoC protection model (retransmit budget) is an
+            // unrecoverable fault: stop cleanly with the failure detail
+            // instead of spinning until the watchdog fires.
+            if let Some(fail) = self.net.fault_failure() {
+                let mut msg = fail.to_string();
+                if let Some(tele) = &self.telemetry {
+                    let snap = tele.tracer.borrow().flight_snapshot();
+                    if !snap.is_empty() {
+                        msg.push('\n');
+                        msg.push_str(&snap);
+                    }
+                }
+                return Err(CoreError::Fault {
+                    cycle: self.cycle,
+                    site: "noc".into(),
+                    msg,
+                });
+            }
+            if self.cycle - last_progress_cycle >= stall_window {
                 let marker = self.progress_marker();
                 if marker == last_progress_marker {
                     let mut detail = format!(
-                        "layer {} made no progress; {}",
+                        "layer {} made no progress in {stall_window} cycles (configured stall window); {}",
                         layer.name,
                         self.stall_diagnostic()
                     );
@@ -568,7 +628,7 @@ impl System {
         }
     }
 
-    fn step_cycle(&mut self, _layer: &Layer) {
+    fn step_cycle(&mut self, _layer: &Layer) -> Result<(), CoreError> {
         let c = self.cycle;
         let core_tick = c.is_multiple_of(self.divider);
         let core_now = c / self.divider;
@@ -581,7 +641,7 @@ impl System {
         }
 
         // --- Memory nodes ---
-        for m in &mut self.mems {
+        for (mi, m) in self.mems.iter_mut().enumerate() {
             // Retire at most one response per cycle.
             if m.out.len() < 4 {
                 if let Some(resp) = m.ctrl.pop_ready(c, &mut self.image) {
@@ -626,7 +686,12 @@ impl System {
                             .expect("queue space checked");
                     }
                     Message::Data { .. } => {
-                        panic!("data message delivered to a memory node")
+                        return Err(Self::protocol_error(
+                            &self.telemetry,
+                            c,
+                            format!("mem{mi}"),
+                            "data message delivered to a memory node".into(),
+                        ));
                     }
                 }
             }
@@ -645,7 +710,7 @@ impl System {
 
         // --- Tiles ---
         for t in 0..self.tiles.len() {
-            self.tile_ingest(t);
+            self.tile_ingest(t)?;
             self.tile_inject(t);
             if core_tick {
                 self.tile_core_tick(t, core_now);
@@ -654,22 +719,39 @@ impl System {
 
         self.net.step();
         self.cycle += 1;
+        Ok(())
     }
 
     /// Ejects up to one flit per tile port and delivers completed
     /// messages to the owning module.
-    fn tile_ingest(&mut self, t: usize) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Protocol`] (with the flight recorder's tail
+    /// when tracing is attached) if a message reaches a module in the
+    /// wrong state — a routing or compiler bug, reported instead of
+    /// panicking.
+    fn tile_ingest(&mut self, t: usize) -> Result<(), CoreError> {
         let ports = self.tiles[t].ports;
+        let cycle = self.cycle;
         // GPE port: always accepts (responses land in thread state).
         if let Some(flit) = self.net.eject(ports.gpe) {
             let tile = &mut self.tiles[t];
             if let Some(pkt) = tile.gpe_rx.push(flit) {
-                match &pkt.payload {
+                let outcome = match &pkt.payload {
                     Message::Data {
                         tag: Tag::Gpe { thread, offset },
                         data,
                     } => tile.gpe.deliver(*thread, *offset, data),
-                    other => panic!("unexpected message at GPE port: {other:?}"),
+                    other => Err(format!("unexpected message at GPE port: {other:?}")),
+                };
+                if let Err(msg) = outcome {
+                    return Err(Self::protocol_error(
+                        &self.telemetry,
+                        cycle,
+                        format!("tile{t}.gpe"),
+                        msg,
+                    ));
                 }
             }
         }
@@ -683,7 +765,7 @@ impl System {
         } else if let Some(flit) = self.net.eject(ports.agg) {
             let tile = &mut self.tiles[t];
             if let Some(pkt) = tile.agg_rx.push(flit) {
-                match &pkt.payload {
+                let outcome = match &pkt.payload {
                     Message::Data {
                         tag:
                             Tag::Agg {
@@ -694,9 +776,17 @@ impl System {
                         data,
                     } => {
                         let values: Vec<f32> = data.iter().map(|&w| f32::from_bits(w)).collect();
-                        tile.agg.deliver(*slot, *offset, *scale, values);
+                        tile.agg.deliver(*slot, *offset, *scale, values)
                     }
-                    other => panic!("unexpected message at AGG port: {other:?}"),
+                    other => Err(format!("unexpected message at AGG port: {other:?}")),
+                };
+                if let Err(msg) = outcome {
+                    return Err(Self::protocol_error(
+                        &self.telemetry,
+                        cycle,
+                        format!("tile{t}.agg"),
+                        msg,
+                    ));
                 }
             }
         }
@@ -704,7 +794,7 @@ impl System {
         if let Some(flit) = self.net.eject(ports.dnq) {
             let tile = &mut self.tiles[t];
             if let Some(pkt) = tile.dnq_rx.push(flit) {
-                match &pkt.payload {
+                let outcome = match &pkt.payload {
                     Message::Data {
                         tag:
                             Tag::Dnq {
@@ -715,12 +805,21 @@ impl System {
                         data,
                     } => {
                         let values: Vec<f32> = data.iter().map(|&w| f32::from_bits(w)).collect();
-                        tile.dnq.fill(*queue as usize, *entry, *offset, &values);
+                        tile.dnq.fill(*queue as usize, *entry, *offset, &values)
                     }
-                    other => panic!("unexpected message at DNQ port: {other:?}"),
+                    other => Err(format!("unexpected message at DNQ port: {other:?}")),
+                };
+                if let Err(msg) = outcome {
+                    return Err(Self::protocol_error(
+                        &self.telemetry,
+                        cycle,
+                        format!("tile{t}.dnq"),
+                        msg,
+                    ));
                 }
             }
         }
+        Ok(())
     }
 
     /// Injects up to one staged message per tile port.
@@ -914,7 +1013,28 @@ impl System {
             num_tiles: self.tiles.len(),
             clock_divider: self.divider,
             per_tile: self.tile_counters(),
+            resilience: self.resilience_summary(),
         }
+    }
+
+    /// Rolls up every module's fault counters per site. All zeros when
+    /// fault injection is not attached.
+    fn resilience_summary(&self) -> ResilienceSummary {
+        let mut summary = ResilienceSummary::default();
+        for m in &self.mems {
+            if let Some(c) = m.ctrl.fault_counters() {
+                summary.mem.merge(c);
+            }
+        }
+        if let Some(c) = self.net.fault_counters() {
+            summary.noc.merge(c);
+        }
+        for t in &self.tiles {
+            if let Some(c) = t.dna.fault_counters() {
+                summary.dna.merge(c);
+            }
+        }
+        summary
     }
 
     /// Per-tile module counters (the report's per-tile breakdown).
@@ -997,6 +1117,9 @@ impl System {
             );
             reg.counter_set(&format!("tile{i}.dna.entries"), t.dna.entries_processed());
             reg.counter_set(&format!("tile{i}.dna.macs"), t.dna.macs_executed());
+            if let Some(c) = t.dna.fault_counters() {
+                Self::harvest_fault_counters(reg, &format!("tile{i}.fault"), c);
+            }
         }
         for (i, m) in self.mems.iter().enumerate() {
             let s = m.ctrl.stats();
@@ -1005,6 +1128,9 @@ impl System {
             reg.counter_set(&format!("mem{i}.useful_bytes"), s.useful_bytes());
             reg.counter_set(&format!("mem{i}.rejected"), s.rejected);
             reg.gauge_set(&format!("mem{i}.efficiency"), s.efficiency());
+            if let Some(c) = m.ctrl.fault_counters() {
+                Self::harvest_fault_counters(reg, &format!("mem{i}.fault"), c);
+            }
         }
         let n = self.net.stats();
         reg.counter_set("noc.packets_injected", n.packets_injected);
@@ -1014,11 +1140,31 @@ impl System {
         reg.counter_set("noc.flit_hops", n.flit_hops);
         reg.counter_set("noc.link_busy_cycles", n.link_busy_cycles);
         reg.gauge_set("noc.mean_packet_latency", n.mean_packet_latency());
+        if let Some(c) = self.net.fault_counters() {
+            Self::harvest_fault_counters(reg, "noc.fault", c);
+        }
         // Deep NoC telemetry (per-link busy counters, latency/hop
         // histograms) — no-op when probes are detached.
         self.net.harvest_metrics(reg);
         // Energy ledger export — no-op without event-level telemetry.
         self.harvest_energy(reg);
+    }
+
+    /// Exports one site's fault counters under `prefix` (only called
+    /// when fault injection is attached there, so fault-free registries
+    /// contain no `*.fault.*` keys at all).
+    fn harvest_fault_counters(
+        reg: &mut MetricsRegistry,
+        prefix: &str,
+        c: &gnna_faults::FaultCounters,
+    ) {
+        reg.counter_set(&format!("{prefix}.injected"), c.injected);
+        reg.counter_set(&format!("{prefix}.corrected"), c.corrected);
+        reg.counter_set(&format!("{prefix}.retried"), c.retried);
+        reg.counter_set(&format!("{prefix}.unrecoverable"), c.unrecoverable);
+        reg.counter_set(&format!("{prefix}.corrupted"), c.corrupted);
+        reg.counter_set(&format!("{prefix}.dropped"), c.dropped);
+        reg.counter_set(&format!("{prefix}.retry_cycles"), c.retry_cycles);
     }
 
     /// Builds the per-module energy ledger: every countable event is

@@ -1,0 +1,166 @@
+//! Functional (39,32) SECDED Hamming code over 32-bit memory words.
+//!
+//! The classic extended-Hamming construction: codeword bit positions
+//! `1..=38` hold the 32 data bits (at non-power-of-two positions) and
+//! six Hamming parity bits (at positions 1, 2, 4, 8, 16, 32); position
+//! 0 holds an overall parity bit. Single-bit errors are located by the
+//! syndrome and corrected; double-bit errors flip the syndrome without
+//! flipping overall parity and are detected (never miscorrected).
+//!
+//! This is the model behind the simulator's `mem.fault.*` counters: a
+//! single-bit DRAM flip decodes back to the original word (reads stay
+//! bit-exact), a double-bit flip is detected and repaired by a
+//! penalised re-read.
+
+/// Number of bits in a codeword (32 data + 6 Hamming parity + 1 overall).
+pub const CODE_BITS: u32 = 39;
+
+/// The six Hamming parity positions.
+const PARITY_POSITIONS: [u64; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Outcome of decoding a (possibly corrupted) codeword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decoded {
+    /// No error detected; the carried data word.
+    Clean(u32),
+    /// A single-bit error was located and corrected; the repaired word.
+    Corrected(u32),
+    /// A double-bit error was detected (uncorrectable; re-read needed).
+    DoubleError,
+}
+
+/// Parity (1 or 0) of the codeword bits covered by Hamming parity `p`
+/// (every set position sharing bit `p`), including `p` itself.
+fn covered_parity(code: u64, p: u64) -> u64 {
+    let mut parity = 0u64;
+    for pos in 1..u64::from(CODE_BITS) {
+        if pos & p != 0 {
+            parity ^= (code >> pos) & 1;
+        }
+    }
+    parity
+}
+
+/// Extracts the 32 data bits from their non-power-of-two positions.
+fn extract(code: u64) -> u32 {
+    let mut data = 0u32;
+    let mut d = 0;
+    for pos in 1..u64::from(CODE_BITS) {
+        if !pos.is_power_of_two() {
+            if (code >> pos) & 1 == 1 {
+                data |= 1 << d;
+            }
+            d += 1;
+        }
+    }
+    data
+}
+
+/// Encodes a 32-bit data word into a 39-bit SECDED codeword.
+pub fn encode(data: u32) -> u64 {
+    let mut code: u64 = 0;
+    let mut d = 0;
+    for pos in 1..u64::from(CODE_BITS) {
+        if !pos.is_power_of_two() {
+            if (data >> d) & 1 == 1 {
+                code |= 1 << pos;
+            }
+            d += 1;
+        }
+    }
+    for p in PARITY_POSITIONS {
+        if covered_parity(code, p) == 1 {
+            code |= 1 << p;
+        }
+    }
+    // Overall parity over positions 1..39 lands in bit 0, making the
+    // whole 39-bit word even-parity.
+    if (code >> 1).count_ones() & 1 == 1 {
+        code |= 1;
+    }
+    code
+}
+
+/// Flips codeword bit `bit` (`0..CODE_BITS`).
+pub fn flip(code: u64, bit: u32) -> u64 {
+    debug_assert!(bit < CODE_BITS);
+    code ^ (1 << bit)
+}
+
+/// Decodes a codeword, correcting a single-bit error or detecting a
+/// double-bit one.
+pub fn decode(code: u64) -> Decoded {
+    let mut syndrome = 0u64;
+    for p in PARITY_POSITIONS {
+        if covered_parity(code, p) == 1 {
+            syndrome |= p;
+        }
+    }
+    let overall_odd = (code & ((1u64 << CODE_BITS) - 1)).count_ones() & 1 == 1;
+    match (syndrome, overall_odd) {
+        (0, false) => Decoded::Clean(extract(code)),
+        // Overall parity broken: a single-bit error at `syndrome`
+        // (syndrome 0 means the overall parity bit itself flipped).
+        (s, true) if s < u64::from(CODE_BITS) => Decoded::Corrected(extract(code ^ (1 << s))),
+        // Nonzero syndrome with intact overall parity: two bits flipped.
+        _ => Decoded::DoubleError,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WORDS: [u32; 6] = [
+        0,
+        u32::MAX,
+        0xDEAD_BEEF,
+        0x0000_0001,
+        0x8000_0000,
+        0x1234_5678,
+    ];
+
+    #[test]
+    fn roundtrip_is_clean() {
+        for w in WORDS {
+            assert_eq!(decode(encode(w)), Decoded::Clean(w), "word {w:#x}");
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_corrected() {
+        for w in WORDS {
+            let code = encode(w);
+            for bit in 0..CODE_BITS {
+                assert_eq!(
+                    decode(flip(code, bit)),
+                    Decoded::Corrected(w),
+                    "word {w:#x} bit {bit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_double_bit_flip_is_detected() {
+        for w in [0u32, 0xDEAD_BEEF, u32::MAX] {
+            let code = encode(w);
+            for a in 0..CODE_BITS {
+                for b in (a + 1)..CODE_BITS {
+                    assert_eq!(
+                        decode(flip(flip(code, a), b)),
+                        Decoded::DoubleError,
+                        "word {w:#x} bits {a},{b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn codeword_fits_39_bits() {
+        for w in WORDS {
+            assert!(encode(w) < 1u64 << CODE_BITS);
+        }
+    }
+}

@@ -1,0 +1,398 @@
+//! Deterministic, seeded fault injection and protection models for the
+//! GNNA simulator.
+//!
+//! The paper models an ideal machine; this crate supplies the
+//! *misbehaving* one. A [`FaultPlan`] describes transient-fault rates at
+//! three hardware sites — DRAM read bit-flips at the memory
+//! controllers, flit corruption/drop on individual mesh links, and
+//! injected DNA pipeline bubbles — plus the parameters of the paired
+//! protection mechanisms that absorb them:
+//!
+//! * **SECDED ECC** ([`ecc`]): a functional (39,32) Hamming+parity code
+//!   over memory words. Single-bit flips are corrected in place (data
+//!   remains bit-exact); double-bit flips are *detected* and repaired by
+//!   a re-read with a latency penalty.
+//! * **CRC-checked retransmit** ([`crc`]): corrupted or dropped flits
+//!   fail their CRC-32 check at the link and are retransmitted after a
+//!   per-link exponential backoff, within a bounded retry budget.
+//!   Exhausting the budget is *unrecoverable* and must surface as a
+//!   structured error, never a hang.
+//! * **Watchdog escalation**: stall bubbles are absorbed as pure
+//!   latency; pathological cases trip the (configurable) progress
+//!   watchdog in `gnna-core`.
+//!
+//! Everything is deterministic per seed: each site instance owns its own
+//! [`SiteInjector`] stream (seeded from the plan seed, the site kind and
+//! the instance index), so draws at one site never perturb another and
+//! identical seeds reproduce identical fault schedules bit-for-bit.
+//!
+//! Fault outcomes obey a strict partition invariant, checked by
+//! [`FaultCounters::partition_holds`]:
+//!
+//! ```text
+//! injected == corrected + retried + unrecoverable      (when drained)
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crc;
+pub mod ecc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::fmt;
+
+/// A hardware site at which transient faults can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// DRAM read bit-flips at a memory controller (per read request).
+    MemRead,
+    /// Flit corruption or drop on a mesh link (per link traversal).
+    NocLink,
+    /// Injected DNA pipeline bubble (per accepted job).
+    DnaStall,
+}
+
+impl FaultSite {
+    /// Stable small integer used in seed derivation (never reorder).
+    const fn id(self) -> u64 {
+        match self {
+            FaultSite::MemRead => 1,
+            FaultSite::NocLink => 2,
+            FaultSite::DnaStall => 3,
+        }
+    }
+
+    /// Snake-case name used for metric prefixes and error messages.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            FaultSite::MemRead => "mem",
+            FaultSite::NocLink => "noc",
+            FaultSite::DnaStall => "dna",
+        }
+    }
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A deterministic fault schedule: per-site rates plus protection-model
+/// parameters. Constructed with [`FaultPlan::new`] and the `with_*`
+/// builders; an all-zero-rate plan ([`FaultPlan::is_empty`]) must leave
+/// the simulator bit-identical to a fault-free run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Master seed; every site derives its own stream from it.
+    pub seed: u64,
+    /// Probability a DRAM read suffers a bit-flip (per request).
+    pub mem_rate: f64,
+    /// Probability a flit link traversal is corrupted/dropped.
+    pub noc_rate: f64,
+    /// Probability an accepted DNA job suffers a pipeline bubble.
+    pub stall_rate: f64,
+    /// Fraction of memory faults that flip *two* bits (ECC-detectable
+    /// but not correctable; repaired by a penalised re-read).
+    pub mem_double_bit_fraction: f64,
+    /// Latency penalty in controller cycles for a double-bit re-read.
+    pub mem_retry_penalty_cycles: u64,
+    /// Fraction of NoC faults that drop the flit outright (the rest are
+    /// corrupted in flight); both fail CRC and retransmit.
+    pub noc_drop_fraction: f64,
+    /// Maximum retransmit attempts per link before the fault is
+    /// declared unrecoverable.
+    pub noc_retry_budget: u32,
+    /// Base retransmit backoff in NoC cycles (doubles per consecutive
+    /// retry on the same link, capped at 16× the base).
+    pub noc_backoff_cycles: u64,
+    /// Bubble length in core cycles injected into a faulted DNA job.
+    pub dna_bubble_cycles: u64,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed, all rates zero, and default
+    /// protection parameters.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            mem_rate: 0.0,
+            noc_rate: 0.0,
+            stall_rate: 0.0,
+            mem_double_bit_fraction: 0.25,
+            mem_retry_penalty_cycles: 200,
+            noc_drop_fraction: 0.5,
+            noc_retry_budget: 8,
+            noc_backoff_cycles: 4,
+            dna_bubble_cycles: 32,
+        }
+    }
+
+    /// Sets the same fault rate at all three sites.
+    pub fn with_rate(mut self, rate: f64) -> Self {
+        self.mem_rate = rate;
+        self.noc_rate = rate;
+        self.stall_rate = rate;
+        self
+    }
+
+    /// Sets the DRAM read-fault rate only.
+    pub fn with_mem_rate(mut self, rate: f64) -> Self {
+        self.mem_rate = rate;
+        self
+    }
+
+    /// Sets the NoC link-fault rate only.
+    pub fn with_noc_rate(mut self, rate: f64) -> Self {
+        self.noc_rate = rate;
+        self
+    }
+
+    /// Sets the DNA stall-bubble rate only.
+    pub fn with_stall_rate(mut self, rate: f64) -> Self {
+        self.stall_rate = rate;
+        self
+    }
+
+    /// Sets the fraction of memory faults that are double-bit.
+    pub fn with_double_bit_fraction(mut self, f: f64) -> Self {
+        self.mem_double_bit_fraction = f;
+        self
+    }
+
+    /// Sets the NoC retransmit budget (0 makes every NoC fault
+    /// immediately unrecoverable — useful for failure-path tests).
+    pub fn with_noc_retry_budget(mut self, budget: u32) -> Self {
+        self.noc_retry_budget = budget;
+        self
+    }
+
+    /// Whether the plan injects nothing (all rates zero). Attaching an
+    /// empty plan must be bit-identical to attaching none.
+    pub fn is_empty(&self) -> bool {
+        self.mem_rate <= 0.0 && self.noc_rate <= 0.0 && self.stall_rate <= 0.0
+    }
+}
+
+/// A per-site-instance deterministic fault stream.
+///
+/// Each instance (one memory controller, one mesh, one tile's DNA) owns
+/// its own xoshiro256++ stream seeded from `(plan seed, site, instance)`
+/// via a SplitMix-style mix, so the draw order at one site can never
+/// perturb the schedule of another and runs are reproducible per seed.
+#[derive(Debug)]
+pub struct SiteInjector {
+    rng: StdRng,
+    rate: f64,
+}
+
+impl SiteInjector {
+    /// Builds the stream for `instance` of `site` under `plan_seed`.
+    pub fn new(plan_seed: u64, site: FaultSite, instance: u64, rate: f64) -> Self {
+        let mut h = plan_seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(site.id().wrapping_add(1));
+        h = h.wrapping_add(instance.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        SiteInjector {
+            rng: StdRng::seed_from_u64(h),
+            rate,
+        }
+    }
+
+    /// The configured fault rate.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// One Bernoulli draw at the configured rate. A zero rate returns
+    /// `false` without consuming the stream, so an empty plan leaves the
+    /// schedule untouched.
+    pub fn fire(&mut self) -> bool {
+        self.rate > 0.0 && self.rng.random_f64() < self.rate
+    }
+
+    /// One Bernoulli draw at probability `p` (sub-decision after a
+    /// fault fires: double-bit vs single-bit, drop vs corrupt).
+    pub fn draw_below(&mut self, p: f64) -> bool {
+        self.rng.random_f64() < p
+    }
+
+    /// A uniform draw in `[0, n)` (bit positions etc.). `n` must be
+    /// positive.
+    pub fn draw_range(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.rng.random_range(0..n)
+    }
+
+    /// Raw 64-bit draw.
+    pub fn draw_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+}
+
+/// Fault outcome counters for one site (or an aggregate of sites).
+///
+/// Every *injected* fault ends in exactly one terminal bucket —
+/// `corrected` (absorbed with no retry traffic: ECC single-bit fix, DNA
+/// bubble), `retried` (repaired by retransmit/re-read), or
+/// `unrecoverable` (protection exhausted). `corrupted`/`dropped` are
+/// *kind* sub-counters of NoC injections, and `retry_cycles` is the
+/// cumulative latency overhead charged by retries and backoff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultCounters {
+    /// Faults injected at this site.
+    pub injected: u64,
+    /// Faults absorbed without retry traffic (ECC single-bit
+    /// corrections, DNA bubbles).
+    pub corrected: u64,
+    /// Faults repaired by a successful retransmit or re-read.
+    pub retried: u64,
+    /// Faults whose protection budget was exhausted.
+    pub unrecoverable: u64,
+    /// NoC faults that corrupted a flit in flight (kind sub-counter).
+    pub corrupted: u64,
+    /// NoC faults that dropped a flit outright (kind sub-counter).
+    pub dropped: u64,
+    /// Cycles of latency overhead charged by retries and backoff.
+    pub retry_cycles: u64,
+}
+
+impl FaultCounters {
+    /// Faults that reached a terminal outcome.
+    pub fn resolved(&self) -> u64 {
+        self.corrected + self.retried + self.unrecoverable
+    }
+
+    /// Injected faults still awaiting their outcome (in-flight
+    /// retransmits). Zero once the fabric has drained.
+    pub fn pending(&self) -> u64 {
+        self.injected - self.resolved()
+    }
+
+    /// The partition invariant: every injected fault resolved into
+    /// exactly one bucket.
+    pub fn partition_holds(&self) -> bool {
+        self.injected == self.resolved()
+    }
+
+    /// Accumulates `other` into `self` (site → aggregate roll-up).
+    pub fn merge(&mut self, other: &FaultCounters) {
+        self.injected += other.injected;
+        self.corrected += other.corrected;
+        self.retried += other.retried;
+        self.unrecoverable += other.unrecoverable;
+        self.corrupted += other.corrupted;
+        self.dropped += other.dropped;
+        self.retry_cycles += other.retry_cycles;
+    }
+
+    /// Whether any fault was injected.
+    pub fn any(&self) -> bool {
+        self.injected > 0
+    }
+}
+
+impl fmt::Display for FaultCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "injected {} (corrected {}, retried {}, unrecoverable {}; {} retry cycles)",
+            self.injected, self.corrected, self.retried, self.unrecoverable, self.retry_cycles
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_empty() {
+        let p = FaultPlan::new(7);
+        assert!(p.is_empty());
+        assert!(!p.clone().with_rate(0.1).is_empty());
+        assert!(!p.clone().with_mem_rate(0.5).is_empty());
+        assert!(!p.clone().with_noc_rate(0.5).is_empty());
+        assert!(!p.with_stall_rate(0.5).is_empty());
+    }
+
+    #[test]
+    fn zero_rate_never_fires_and_keeps_stream() {
+        let mut inj = SiteInjector::new(1, FaultSite::MemRead, 0, 0.0);
+        for _ in 0..128 {
+            assert!(!inj.fire());
+        }
+        // The stream was never consumed: the first real draw matches a
+        // fresh injector's.
+        let mut fresh = SiteInjector::new(1, FaultSite::MemRead, 0, 0.0);
+        assert_eq!(inj.draw_u64(), fresh.draw_u64());
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let seq = |seed: u64| {
+            let mut inj = SiteInjector::new(seed, FaultSite::NocLink, 3, 0.3);
+            (0..256).map(|_| inj.fire()).collect::<Vec<_>>()
+        };
+        assert_eq!(seq(42), seq(42));
+        assert_ne!(seq(42), seq(43));
+    }
+
+    #[test]
+    fn sites_and_instances_get_distinct_streams() {
+        let first = |site, inst| SiteInjector::new(9, site, inst, 1.0).draw_u64();
+        assert_ne!(
+            first(FaultSite::MemRead, 0),
+            first(FaultSite::NocLink, 0),
+            "sites must not share a stream"
+        );
+        assert_ne!(
+            first(FaultSite::MemRead, 0),
+            first(FaultSite::MemRead, 1),
+            "instances must not share a stream"
+        );
+    }
+
+    #[test]
+    fn fire_rate_is_roughly_calibrated() {
+        let mut inj = SiteInjector::new(1234, FaultSite::DnaStall, 0, 0.25);
+        let hits = (0..10_000).filter(|_| inj.fire()).count();
+        assert!((2000..3000).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn counters_partition_and_merge() {
+        let mut a = FaultCounters {
+            injected: 3,
+            corrected: 1,
+            retried: 1,
+            unrecoverable: 1,
+            ..FaultCounters::default()
+        };
+        assert!(a.partition_holds());
+        assert_eq!(a.pending(), 0);
+        let b = FaultCounters {
+            injected: 2,
+            corrected: 1,
+            retry_cycles: 10,
+            ..FaultCounters::default()
+        };
+        assert!(!b.partition_holds());
+        assert_eq!(b.pending(), 1);
+        a.merge(&b);
+        assert_eq!(a.injected, 5);
+        assert_eq!(a.resolved(), 4);
+        assert_eq!(a.retry_cycles, 10);
+        assert!(a.any());
+        assert!(!FaultCounters::default().any());
+        assert!(a.to_string().contains("injected 5"));
+    }
+
+    #[test]
+    fn draw_range_stays_in_bounds() {
+        let mut inj = SiteInjector::new(5, FaultSite::MemRead, 0, 1.0);
+        for _ in 0..256 {
+            assert!(inj.draw_range(39) < 39);
+        }
+    }
+}

@@ -1,4 +1,5 @@
 use crate::MemImage;
+use gnna_faults::{ecc, FaultCounters, FaultPlan, FaultSite, SiteInjector};
 use gnna_telemetry::{CostClass, ModuleProbe};
 use std::collections::VecDeque;
 use std::fmt;
@@ -156,10 +157,55 @@ impl MemStats {
     }
 }
 
+/// Transient-fault state a queued request carries from injection (at
+/// [`MemoryController::try_push`]) to resolution (at
+/// [`MemoryController::pop_ready`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PendingFault {
+    /// One bit of the line flipped in DRAM; SECDED corrects it inline.
+    SingleBit,
+    /// Two bits flipped; SECDED detects but cannot correct, so the
+    /// first delivery attempt schedules a penalised re-read.
+    DoubleBit,
+    /// The re-read of a double-bit fault is in flight; the retried data
+    /// is clean.
+    Retrying,
+}
+
 #[derive(Debug)]
 struct PendingRequest {
     request: MemRequest,
     ready_at: u64,
+    fault: Option<PendingFault>,
+}
+
+/// Seeded DRAM-fault injection plus the SECDED protection model for one
+/// controller. Built from a [`FaultPlan`] with a per-controller
+/// instance index so every controller owns an independent deterministic
+/// stream.
+#[derive(Debug)]
+pub struct MemFaultState {
+    injector: SiteInjector,
+    double_bit_fraction: f64,
+    retry_penalty_cycles: u64,
+    counters: FaultCounters,
+}
+
+impl MemFaultState {
+    /// Builds the fault state for controller `instance` under `plan`.
+    pub fn from_plan(plan: &FaultPlan, instance: u64) -> Self {
+        MemFaultState {
+            injector: SiteInjector::new(plan.seed, FaultSite::MemRead, instance, plan.mem_rate),
+            double_bit_fraction: plan.mem_double_bit_fraction,
+            retry_penalty_cycles: plan.mem_retry_penalty_cycles.max(1),
+            counters: FaultCounters::default(),
+        }
+    }
+
+    /// Outcome counters accumulated so far.
+    pub fn counters(&self) -> &FaultCounters {
+        &self.counters
+    }
 }
 
 /// The paper's memory-controller model: a 32-entry in-order queue over a
@@ -199,6 +245,9 @@ pub struct MemoryController {
     /// Optional telemetry probe (`None` when tracing is disabled, so
     /// instrumentation reduces to a never-taken branch).
     probe: Option<ModuleProbe>,
+    /// Optional fault injection + ECC model (`None` keeps the
+    /// controller bit-identical to the fault-free model).
+    fault: Option<MemFaultState>,
 }
 
 impl MemoryController {
@@ -210,6 +259,7 @@ impl MemoryController {
             dram_free_at: 0.0,
             stats: MemStats::default(),
             probe: None,
+            fault: None,
         }
     }
 
@@ -217,6 +267,21 @@ impl MemoryController {
     /// on every queue-full rejection.
     pub fn attach_probe(&mut self, probe: ModuleProbe) {
         self.probe = Some(probe);
+    }
+
+    /// Attaches seeded DRAM-fault injection with the SECDED protection
+    /// model. Read requests may then suffer single-bit flips (corrected
+    /// inline; data stays bit-exact) or double-bit flips (detected,
+    /// repaired by a penalised re-read). Timing is perturbed only by
+    /// retries; returned data is always correct.
+    pub fn attach_faults(&mut self, state: MemFaultState) {
+        self.fault = Some(state);
+    }
+
+    /// Fault outcome counters (`None` when fault injection is not
+    /// attached).
+    pub fn fault_counters(&self) -> Option<&FaultCounters> {
+        self.fault.as_ref().map(MemFaultState::counters)
     }
 
     /// The configuration in use.
@@ -271,7 +336,32 @@ impl MemoryController {
             MemRequestKind::Read => self.stats.read_bytes += request.bytes,
             MemRequestKind::Write => self.stats.written_bytes += request.bytes,
         }
-        self.queue.push_back(PendingRequest { request, ready_at });
+        // Seeded fault injection: a read may pick up a transient DRAM
+        // bit-flip while queued. The outcome (ECC correction or
+        // penalised re-read) is resolved at delivery time in
+        // `pop_ready`; writes are not faulted (write data is checked on
+        // its own read path).
+        let mut fault = None;
+        if request.kind == MemRequestKind::Read {
+            if let Some(fs) = self.fault.as_mut() {
+                if fs.injector.fire() {
+                    fs.counters.injected += 1;
+                    fault = Some(if fs.injector.draw_below(fs.double_bit_fraction) {
+                        PendingFault::DoubleBit
+                    } else {
+                        PendingFault::SingleBit
+                    });
+                    if let Some(p) = &self.probe {
+                        p.instant("mem_fault_inject");
+                    }
+                }
+            }
+        }
+        self.queue.push_back(PendingRequest {
+            request,
+            ready_at,
+            fault,
+        });
         Ok(())
     }
 
@@ -291,13 +381,79 @@ impl MemoryController {
         if front.ready_at > now {
             return None;
         }
-        let PendingRequest { request, ready_at } = self.queue.pop_front().expect("checked front");
+        // Double-bit fault at the head: SECDED detects but cannot
+        // correct, so the first delivery attempt converts into a
+        // penalised re-read (the retried data is clean). The request
+        // stays queued; only its timing changes.
+        if front.fault == Some(PendingFault::DoubleBit) {
+            let fs = self
+                .fault
+                .as_mut()
+                .expect("queued fault implies attached fault state");
+            fs.counters.retry_cycles += fs.retry_penalty_cycles;
+            let penalty = fs.retry_penalty_cycles;
+            let front = self.queue.front_mut().expect("checked front");
+            front.ready_at = now + penalty;
+            front.fault = Some(PendingFault::Retrying);
+            if let Some(p) = &self.probe {
+                p.instant("mem_fault_retry");
+            }
+            return None;
+        }
+        let PendingRequest {
+            request,
+            ready_at,
+            fault,
+        } = self.queue.pop_front().expect("checked front");
         let data = match request.kind {
-            MemRequestKind::Read => Some(
-                image
+            MemRequestKind::Read => {
+                let mut words = image
                     .read_words(request.addr, (request.bytes / 4) as usize)
-                    .to_vec(),
-            ),
+                    .to_vec();
+                match fault {
+                    Some(PendingFault::SingleBit) => {
+                        // Run the real (39,32) SECDED model on the first
+                        // word of the line: encode, flip one codeword
+                        // bit, decode. Single-bit flips always decode to
+                        // `Corrected(original)`, so the delivered data
+                        // stays bit-exact.
+                        let fs = self
+                            .fault
+                            .as_mut()
+                            .expect("queued fault implies attached fault state");
+                        if let Some(w) = words.first_mut() {
+                            let bit = fs.injector.draw_range(u64::from(ecc::CODE_BITS)) as u32;
+                            match ecc::decode(ecc::flip(ecc::encode(*w), bit)) {
+                                ecc::Decoded::Corrected(fixed) | ecc::Decoded::Clean(fixed) => {
+                                    *w = fixed;
+                                }
+                                ecc::Decoded::DoubleError => {
+                                    unreachable!("single flip is always correctable")
+                                }
+                            }
+                        }
+                        fs.counters.corrected += 1;
+                        if let Some(p) = &self.probe {
+                            p.instant("mem_fault_corrected");
+                        }
+                    }
+                    Some(PendingFault::Retrying) => {
+                        let fs = self
+                            .fault
+                            .as_mut()
+                            .expect("queued fault implies attached fault state");
+                        fs.counters.retried += 1;
+                        if let Some(p) = &self.probe {
+                            p.instant("mem_fault_retried");
+                        }
+                    }
+                    Some(PendingFault::DoubleBit) => {
+                        unreachable!("double-bit faults resolve before popping")
+                    }
+                    None => {}
+                }
+                Some(words)
+            }
             MemRequestKind::Write => {
                 let words = request.data.as_deref().expect("write carries data");
                 image.write_words(request.addr, words);
@@ -453,6 +609,135 @@ mod tests {
         // 4-byte read occupying a full 64 B line: 1/16 efficiency.
         ctrl.try_push(MemRequest::read(addr, 4, 0), 0).unwrap();
         assert!((ctrl.stats().efficiency() - 4.0 / 64.0).abs() < 1e-12);
+    }
+
+    /// Drains the controller to completion, returning responses in order.
+    fn drain(ctrl: &mut MemoryController, img: &mut MemImage) -> Vec<MemResponse> {
+        let mut out = Vec::new();
+        while let Some(now) = ctrl.next_ready_cycle() {
+            if let Some(r) = ctrl.pop_ready(now, img) {
+                out.push(r);
+            }
+        }
+        out
+    }
+
+    fn faulty_ctrl(rate: f64, double_fraction: f64, seed: u64) -> MemoryController {
+        let plan = FaultPlan::new(seed)
+            .with_mem_rate(rate)
+            .with_double_bit_fraction(double_fraction);
+        let mut ctrl = MemoryController::new(MemConfig::default());
+        ctrl.attach_faults(MemFaultState::from_plan(&plan, 0));
+        ctrl
+    }
+
+    #[test]
+    fn single_bit_faults_deliver_bit_exact_data() {
+        // Rate 1, all single-bit: every read is corrected inline and the
+        // delivered data must equal the image contents exactly.
+        let mut img = MemImage::new();
+        let addr = img.alloc_u32(&(0..64u32).collect::<Vec<_>>());
+        let mut ctrl = faulty_ctrl(1.0, 0.0, 7);
+        for i in 0..8u64 {
+            ctrl.try_push(MemRequest::read(addr + i * 16, 16, i), 0)
+                .unwrap();
+        }
+        let resps = drain(&mut ctrl, &mut img);
+        assert_eq!(resps.len(), 8);
+        for (i, r) in resps.iter().enumerate() {
+            let base = i as u32 * 4;
+            assert_eq!(
+                r.data.as_deref().unwrap(),
+                &[base, base + 1, base + 2, base + 3],
+                "response {i}"
+            );
+        }
+        let c = ctrl.fault_counters().unwrap();
+        assert_eq!(c.injected, 8);
+        assert_eq!(c.corrected, 8);
+        assert_eq!(c.retried, 0);
+        assert_eq!(c.retry_cycles, 0);
+        assert!(c.partition_holds());
+    }
+
+    #[test]
+    fn double_bit_faults_retry_with_penalty_and_clean_data() {
+        // Rate 1, all double-bit: first delivery attempt is refused and
+        // converts into a penalised re-read; data still arrives correct.
+        let mut img = MemImage::new();
+        let addr = img.alloc_u32(&[0xDEAD_BEEF, 0x1234_5678]);
+        let mut ctrl = faulty_ctrl(1.0, 1.0, 3);
+        ctrl.try_push(MemRequest::read(addr, 8, 0), 0).unwrap();
+        let first_ready = ctrl.next_ready_cycle().unwrap();
+        // The first attempt at the nominal ready time is refused.
+        assert!(ctrl.pop_ready(first_ready, &mut img).is_none());
+        let retry_ready = ctrl.next_ready_cycle().unwrap();
+        assert!(retry_ready > first_ready, "retry must delay delivery");
+        let resp = ctrl.pop_ready(retry_ready, &mut img).unwrap();
+        assert_eq!(resp.data.unwrap(), vec![0xDEAD_BEEF, 0x1234_5678]);
+        let c = ctrl.fault_counters().unwrap();
+        assert_eq!(c.injected, 1);
+        assert_eq!(c.corrected, 0);
+        assert_eq!(c.retried, 1);
+        assert_eq!(c.unrecoverable, 0);
+        assert!(c.retry_cycles > 0);
+        assert!(c.partition_holds());
+    }
+
+    #[test]
+    fn writes_are_never_faulted() {
+        let mut img = MemImage::new();
+        let addr = img.alloc_u32(&[0, 0]);
+        let mut ctrl = faulty_ctrl(1.0, 0.5, 11);
+        ctrl.try_push(MemRequest::write(addr, vec![5, 6], 0), 0)
+            .unwrap();
+        let resps = drain(&mut ctrl, &mut img);
+        assert_eq!(resps.len(), 1);
+        assert_eq!(ctrl.fault_counters().unwrap().injected, 0);
+        assert_eq!(img.read_u32(addr), 5);
+    }
+
+    #[test]
+    fn identical_seeds_fault_identically() {
+        let run = |seed: u64| {
+            let mut img = MemImage::new();
+            let addr = img.alloc_u32(&(0..64u32).collect::<Vec<_>>());
+            let mut ctrl = faulty_ctrl(0.5, 0.25, seed);
+            for i in 0..32u64 {
+                ctrl.try_push(MemRequest::read(addr + (i % 8) * 16, 16, i), 0)
+                    .unwrap();
+            }
+            let ready: Vec<u64> = drain(&mut ctrl, &mut img)
+                .iter()
+                .map(|r| r.ready_at)
+                .collect();
+            (*ctrl.fault_counters().unwrap(), ready)
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42).0, run(43).0, "different seeds should diverge");
+    }
+
+    #[test]
+    fn zero_rate_plan_is_identical_to_detached() {
+        let mut img_a = MemImage::new();
+        let mut img_b = MemImage::new();
+        let addr_a = img_a.alloc_u32(&(0..64u32).collect::<Vec<_>>());
+        let addr_b = img_b.alloc_u32(&(0..64u32).collect::<Vec<_>>());
+        assert_eq!(addr_a, addr_b);
+        let mut plain = MemoryController::new(MemConfig::default());
+        let mut faulted = faulty_ctrl(0.0, 0.25, 9);
+        for i in 0..16u64 {
+            plain
+                .try_push(MemRequest::read(addr_a + i * 16, 16, i), i)
+                .unwrap();
+            faulted
+                .try_push(MemRequest::read(addr_b + i * 16, 16, i), i)
+                .unwrap();
+        }
+        let ra = drain(&mut plain, &mut img_a);
+        let rb = drain(&mut faulted, &mut img_b);
+        assert_eq!(ra, rb);
+        assert_eq!(*faulted.fault_counters().unwrap(), FaultCounters::default());
     }
 
     #[test]

@@ -21,6 +21,6 @@ mod controller;
 mod image;
 
 pub use controller::{
-    MemConfig, MemRequest, MemRequestKind, MemResponse, MemStats, MemoryController,
+    MemConfig, MemFaultState, MemRequest, MemRequestKind, MemResponse, MemStats, MemoryController,
 };
 pub use image::MemImage;

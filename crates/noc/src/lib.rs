@@ -52,6 +52,6 @@ mod stats;
 
 pub use config::NocConfig;
 pub use flit::{Address, Flit, Packet};
-pub use network::Network;
+pub use network::{Network, NocFaultState};
 pub use reassembly::Reassembler;
 pub use stats::NetworkStats;

@@ -3,6 +3,7 @@ use crate::router::{
     SOUTH, WEST,
 };
 use crate::{Address, Flit, NetworkStats, NocConfig, Packet};
+use gnna_faults::{crc, FaultCounters, FaultPlan, FaultSite, SiteInjector};
 use gnna_telemetry::{HistogramSummary, MetricsRegistry, ModuleProbe};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -62,6 +63,52 @@ impl NocTelemetry {
     }
 }
 
+/// Seeded link-fault injection plus the CRC-checked retransmit
+/// protection model for one mesh.
+///
+/// A fault fires per attempted link traversal (at switch allocation):
+/// the flit is corrupted in flight or dropped outright, either way the
+/// CRC check at the link fails and the traversal is cancelled. The flit
+/// stays in its upstream input buffer and is retransmitted after an
+/// exponential per-link backoff; exhausting the per-link retry budget
+/// raises a sticky failure the embedding system must surface as a
+/// structured error. Failed attempts advance *no* hop or busy counters,
+/// so the flit-hop conservation invariant survives injection.
+#[derive(Debug)]
+pub struct NocFaultState {
+    injector: SiteInjector,
+    drop_fraction: f64,
+    retry_budget: u32,
+    backoff_cycles: u64,
+    counters: FaultCounters,
+    /// Outstanding retransmit count per `[router][input port]` (sized
+    /// when attached to a network).
+    retries: Vec<Vec<u32>>,
+    /// Set once a link exhausts its retransmit budget; injection stops
+    /// (the run is aborting) so the fabric can still drain.
+    failure: Option<String>,
+}
+
+impl NocFaultState {
+    /// Builds the fault state for mesh `instance` under `plan`.
+    pub fn from_plan(plan: &FaultPlan, instance: u64) -> Self {
+        NocFaultState {
+            injector: SiteInjector::new(plan.seed, FaultSite::NocLink, instance, plan.noc_rate),
+            drop_fraction: plan.noc_drop_fraction,
+            retry_budget: plan.noc_retry_budget,
+            backoff_cycles: plan.noc_backoff_cycles.max(1),
+            counters: FaultCounters::default(),
+            retries: Vec::new(),
+            failure: None,
+        }
+    }
+
+    /// Outcome counters accumulated so far.
+    pub fn counters(&self) -> &FaultCounters {
+        &self.counters
+    }
+}
+
 /// A packet being serialised into the network at a local port, one flit
 /// per cycle.
 #[derive(Debug)]
@@ -105,6 +152,9 @@ pub struct Network<T> {
     /// Optional deep telemetry (`None` when tracing is disabled, so
     /// instrumentation reduces to a never-taken branch).
     telemetry: Option<NocTelemetry>,
+    /// Optional link-fault injection + CRC/retransmit model (`None`
+    /// keeps the mesh bit-identical to the fault-free model).
+    fault: Option<NocFaultState>,
 }
 
 impl<T> Network<T> {
@@ -165,7 +215,35 @@ impl<T> Network<T> {
             stats: NetworkStats::default(),
             inflight_flits: 0,
             telemetry: None,
+            fault: None,
         }
+    }
+
+    /// Attaches seeded link-fault injection with the CRC-checked
+    /// retransmit protection model. Flit traversals may then be
+    /// corrupted or dropped (both caught by CRC and retransmitted after
+    /// a backoff); delivered data is always correct, only timing is
+    /// perturbed. A zero-rate plan leaves the mesh bit-identical.
+    pub fn attach_faults(&mut self, mut state: NocFaultState) {
+        state.retries = self
+            .routers
+            .iter()
+            .map(|r| vec![0; r.num_ports()])
+            .collect();
+        self.fault = Some(state);
+    }
+
+    /// Fault outcome counters (`None` when fault injection is not
+    /// attached).
+    pub fn fault_counters(&self) -> Option<&FaultCounters> {
+        self.fault.as_ref().map(NocFaultState::counters)
+    }
+
+    /// Sticky description of an unrecoverable link fault (a retransmit
+    /// budget exhausted), if one occurred. The embedding system should
+    /// check this after every step and abort with a structured error.
+    pub fn fault_failure(&self) -> Option<&str> {
+        self.fault.as_ref().and_then(|f| f.failure.as_deref())
     }
 
     /// Attaches a telemetry probe. The network then emits an instant event
@@ -518,6 +596,75 @@ impl<T> Network<T> {
         }
     }
 
+    /// Rolls the link-fault dice for the traversal of input `i` at
+    /// router `r`. Returns `true` when the attempt failed (the caller
+    /// must skip the traversal): the fault is charged to the counters,
+    /// the flit's eligibility is pushed out by an exponential backoff,
+    /// and budget exhaustion raises the sticky failure. Never fires
+    /// when fault injection is detached, the rate is zero, or a failure
+    /// has already been raised (the run is aborting; the fabric drains
+    /// so pending retries can resolve).
+    fn fault_traversal(&mut self, r: usize, i: usize, cycle: u64) -> bool {
+        let Some(fs) = self.fault.as_mut() else {
+            return false;
+        };
+        if fs.failure.is_some() || !fs.injector.fire() {
+            return false;
+        }
+        fs.counters.injected += 1;
+        let dropped = fs.injector.draw_below(fs.drop_fraction);
+        if dropped {
+            fs.counters.dropped += 1;
+        } else {
+            fs.counters.corrupted += 1;
+            // Model assumption, checked: a single-bit corruption of the
+            // flit header is always caught by the link CRC — which is
+            // what justifies treating every injected fault as detected
+            // rather than silently delivered.
+            let front = self.routers[r].inputs[i]
+                .buffer
+                .front()
+                .expect("winner has a flit");
+            let mut header = [0u8; 12];
+            header[..8].copy_from_slice(&front.flit.packet.id.to_le_bytes());
+            header[8..].copy_from_slice(&front.flit.seq.to_le_bytes());
+            let bit = fs.injector.draw_range(8 * header.len() as u64) as usize;
+            debug_assert!(crc::detects_bit_flip(&header, bit));
+            let _ = bit;
+        }
+        let attempts = &mut fs.retries[r][i];
+        *attempts += 1;
+        if *attempts > fs.retry_budget {
+            // This injection is terminally unrecoverable; the earlier
+            // retransmits of the same flit stay pending until the
+            // draining fabric finally forwards it.
+            *attempts -= 1;
+            fs.counters.unrecoverable += 1;
+            let router = &self.routers[r];
+            fs.failure = Some(format!(
+                "noc link retransmit budget ({}) exhausted at router ({},{}) input {} on cycle {}",
+                fs.retry_budget, router.x, router.y, i, cycle
+            ));
+        } else {
+            let shift = u32::min(*attempts - 1, 4);
+            let backoff = fs.backoff_cycles << shift;
+            fs.counters.retry_cycles += backoff;
+            self.routers[r].inputs[i]
+                .buffer
+                .front_mut()
+                .expect("winner has a flit")
+                .eligible_at = cycle + backoff;
+        }
+        if let Some(t) = &self.telemetry {
+            t.probe.instant(if dropped {
+                "noc_fault_drop"
+            } else {
+                "noc_fault_corrupt"
+            });
+        }
+        true
+    }
+
     /// Phase 3: route computation, switch allocation and link traversal.
     fn switch_allocation(&mut self, cycle: u64) {
         for r in 0..self.routers.len() {
@@ -584,6 +731,21 @@ impl<T> Network<T> {
                     }
                 };
                 let Some(i) = winner else { continue };
+                // Seeded link fault: the traversal is corrupted or the
+                // flit dropped; either way the link-level CRC check
+                // fails, the attempt is cancelled and the flit stays
+                // buffered upstream for retransmit after a backoff. No
+                // hop/busy counters advance for a failed attempt, so
+                // flit-hop conservation survives injection.
+                if self.fault_traversal(r, i, cycle) {
+                    continue;
+                }
+                if let Some(fs) = self.fault.as_mut() {
+                    // This traversal succeeded: any outstanding
+                    // retransmits of this flit are now repaired.
+                    let pending = std::mem::take(&mut fs.retries[r][i]);
+                    fs.counters.retried += u64::from(pending);
+                }
                 input_sent[i] = true;
                 let BufferedFlit { flit, .. } = self.routers[r].inputs[i]
                     .buffer
@@ -961,6 +1123,147 @@ mod tests {
         n.harvest_metrics(&mut reg);
         assert!(reg.is_empty());
         assert!(n.latency_histogram().is_none());
+    }
+
+    /// Drives `n` for up to `max` cycles, collecting `(cycle, payload,
+    /// seq)` for every ejected flit at every port of a `w x h` mesh with
+    /// two local ports per node.
+    fn drain_log(n: &mut Network<u32>, w: usize, h: usize, max: usize) -> Vec<(u64, u32, u32)> {
+        let mut log = Vec::new();
+        for _ in 0..max {
+            n.step();
+            for y in 0..h {
+                for x in 0..w {
+                    for p in 0..2 {
+                        while let Some(f) = n.eject(Address::new(x, y, p)) {
+                            log.push((n.cycle(), f.packet.payload, f.seq));
+                        }
+                    }
+                }
+            }
+            if n.is_idle() {
+                break;
+            }
+        }
+        log
+    }
+
+    fn inject_grid(n: &mut Network<u32>, count: u32) {
+        for i in 0..count {
+            let src = Address::new((i % 3) as usize, (i as usize / 3) % 3, 0);
+            let dst = Address::new(((i + 2) % 3) as usize, ((i + 1) % 3) as usize, 1);
+            if src != dst {
+                let _ = n.try_inject(Packet::new(src, dst, 128, i));
+            }
+        }
+    }
+
+    #[test]
+    fn faulted_links_retransmit_and_still_deliver() {
+        let plan = FaultPlan::new(11).with_noc_rate(0.2);
+        let mut clean = net(3, 3);
+        let mut faulty = net(3, 3);
+        faulty.attach_faults(NocFaultState::from_plan(&plan, 0));
+        inject_grid(&mut clean, 16);
+        inject_grid(&mut faulty, 16);
+        let clean_log = drain_log(&mut clean, 3, 3, 2000);
+        let faulty_log = drain_log(&mut faulty, 3, 3, 2000);
+        assert!(faulty.is_idle(), "faulted mesh must drain");
+        // Same flits delivered (payload/seq multiset), only timing moved.
+        let key = |log: &[(u64, u32, u32)]| {
+            let mut k: Vec<(u32, u32)> = log.iter().map(|&(_, p, s)| (p, s)).collect();
+            k.sort_unstable();
+            k
+        };
+        assert_eq!(key(&clean_log), key(&faulty_log));
+        let c = *faulty.fault_counters().unwrap();
+        assert!(c.injected > 0, "rate 0.2 over hundreds of traversals");
+        assert_eq!(c.injected, c.corrupted + c.dropped, "kind sub-counters");
+        assert_eq!(c.unrecoverable, 0);
+        assert!(c.retry_cycles > 0);
+        assert!(c.partition_holds(), "{c}");
+        assert!(faulty.fault_failure().is_none());
+    }
+
+    #[test]
+    fn zero_rate_fault_plan_is_bit_identical() {
+        let plan = FaultPlan::new(5); // all rates zero
+        let mut plain = net(3, 3);
+        let mut attached = net(3, 3);
+        attached.attach_faults(NocFaultState::from_plan(&plan, 0));
+        inject_grid(&mut plain, 16);
+        inject_grid(&mut attached, 16);
+        let a = drain_log(&mut plain, 3, 3, 500);
+        let b = drain_log(&mut attached, 3, 3, 500);
+        assert_eq!(a, b, "empty plan must not perturb timing");
+        assert_eq!(plain.stats(), attached.stats());
+        assert_eq!(
+            *attached.fault_counters().unwrap(),
+            FaultCounters::default()
+        );
+    }
+
+    #[test]
+    fn exhausted_retry_budget_raises_sticky_failure() {
+        let plan = FaultPlan::new(3)
+            .with_noc_rate(1.0)
+            .with_noc_retry_budget(2);
+        let mut n = net(2, 1);
+        n.attach_faults(NocFaultState::from_plan(&plan, 0));
+        n.try_inject(Packet::new(
+            Address::new(0, 0, 0),
+            Address::new(1, 0, 0),
+            64,
+            1,
+        ))
+        .unwrap();
+        let log = drain_log(&mut n, 2, 1, 2000);
+        let failure = n.fault_failure().expect("budget must exhaust at rate 1");
+        assert!(
+            failure.contains("retransmit budget (2) exhausted"),
+            "{failure}"
+        );
+        // Injection stops once the failure is sticky, so the fabric
+        // still drains and every injected fault resolves.
+        assert!(n.is_idle(), "fabric must drain after failure");
+        assert_eq!(log.len(), 1);
+        let c = *n.fault_counters().unwrap();
+        assert_eq!(c.unrecoverable, 1);
+        assert!(c.partition_holds(), "{c}");
+    }
+
+    #[test]
+    fn faulted_attempts_do_not_count_as_hops() {
+        use gnna_telemetry::{shared, TraceLevel, Tracer};
+        let plan = FaultPlan::new(21).with_noc_rate(0.3);
+        let mut n = net(3, 3);
+        let tracer = shared(Tracer::new(TraceLevel::Event));
+        n.attach_probe(ModuleProbe::new(tracer, "noc", "mesh"));
+        n.attach_faults(NocFaultState::from_plan(&plan, 0));
+        inject_grid(&mut n, 24);
+        let _ = drain_log(&mut n, 3, 3, 3000);
+        assert!(n.is_idle());
+        assert!(n.fault_counters().unwrap().injected > 0);
+        let total: u64 = n.link_flit_forwards().iter().map(|&(_, _, _, f)| f).sum();
+        assert_eq!(
+            total,
+            n.stats().flit_hops,
+            "failed traversals must not advance hop counters"
+        );
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let plan = FaultPlan::new(seed).with_noc_rate(0.25);
+            let mut n = net(3, 3);
+            n.attach_faults(NocFaultState::from_plan(&plan, 0));
+            inject_grid(&mut n, 16);
+            let log = drain_log(&mut n, 3, 3, 2000);
+            (log, *n.fault_counters().unwrap())
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42).1, run(43).1, "different seeds should diverge");
     }
 
     #[test]
