@@ -1,0 +1,252 @@
+//! `gnna-campaign` — parallel fault-injection campaign runner.
+//!
+//! Sweeps a `rate × seed × benchmark × mode` grid and streams one
+//! JSON-lines record per cell to `--out`. Output bytes are identical
+//! for any `--threads` value, and an interrupted campaign resumes from
+//! the partial file without recomputing finished cells:
+//!
+//! ```console
+//! $ gnna-campaign --smoke --rates 0,0.001,0.01 --seeds 1,2 --threads 4
+//! $ gnna-report --campaign campaign.jsonl
+//! ```
+
+use gnna_bench::campaign::{self, CampaignSpec, Mode};
+use gnna_bench::Scale;
+use gnna_core::config::AcceleratorConfig;
+use gnna_models::ModelKind;
+use std::io::Write as _;
+use std::process::ExitCode;
+
+struct Args {
+    spec: CampaignSpec,
+    threads: usize,
+    out: String,
+    fresh: bool,
+}
+
+const USAGE: &str = "\
+usage: gnna-campaign [options]
+  --benchmarks M:I[,M:I...]      model:input pairs, e.g. gcn:cora,mpnn:qm9
+                                 (default gcn:cora)
+  --rates R[,R...]               fault rates to sweep
+                                 (default 0,0.0001,0.001,0.01)
+  --seeds S[,S...]               fault-plan seeds (default 1,2)
+  --modes M[,M...]               protected|passthrough|degraded
+                                 (default all three)
+  --config cpu-iso-bw|gpu-iso-bw|gpu-iso-flops
+                                 Table VI configuration (default gpu-iso-bw)
+  --smoke                        scaled-down datasets for a fast sweep
+  --double-bit-fraction F        fraction of DRAM faults that are
+                                 double-bit (default 0.25)
+  --threads N                    worker threads (default 1; output bytes
+                                 are identical for every N)
+  --out PATH                     JSONL output (default campaign.jsonl);
+                                 an existing partial file is resumed
+  --fresh                        recompute everything, ignoring any
+                                 existing output file
+  --help                         this message";
+
+fn parse_model(s: &str) -> Result<ModelKind, String> {
+    match s {
+        "gcn" => Ok(ModelKind::Gcn),
+        "gat" => Ok(ModelKind::Gat),
+        "mpnn" => Ok(ModelKind::Mpnn),
+        "pgnn" => Ok(ModelKind::Pgnn),
+        other => Err(format!("unknown model {other}")),
+    }
+}
+
+fn parse_input(s: &str) -> Result<&'static str, String> {
+    match s {
+        "cora" => Ok("Cora"),
+        "citeseer" => Ok("Citeseer"),
+        "pubmed" => Ok("Pubmed"),
+        "qm9_1000" | "qm9" => Ok("QM9_1000"),
+        "dblp_1" | "dblp" => Ok("DBLP_1"),
+        other => Err(format!("unknown input {other}")),
+    }
+}
+
+fn default_input(m: ModelKind) -> &'static str {
+    match m {
+        ModelKind::Gcn | ModelKind::Gat => "Cora",
+        ModelKind::Mpnn => "QM9_1000",
+        ModelKind::Pgnn => "DBLP_1",
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut spec = CampaignSpec::new(AcceleratorConfig::gpu_iso_bandwidth(), Scale::Paper);
+    let mut threads = 1usize;
+    let mut out = "campaign.jsonl".to_string();
+    let mut fresh = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--benchmarks" => {
+                let mut pairs = Vec::new();
+                for item in value("--benchmarks")?.to_ascii_lowercase().split(',') {
+                    let (m, i) = match item.split_once(':') {
+                        Some((m, i)) => (parse_model(m)?, parse_input(i)?),
+                        None => {
+                            let m = parse_model(item)?;
+                            (m, default_input(m))
+                        }
+                    };
+                    pairs.push((m, i));
+                }
+                if pairs.is_empty() {
+                    return Err("--benchmarks needs at least one pair".into());
+                }
+                spec.benchmarks = pairs;
+            }
+            "--rates" => {
+                let mut rates = Vec::new();
+                for r in value("--rates")?.split(',') {
+                    let r: f64 = r.parse().map_err(|e| format!("bad rate {r}: {e}"))?;
+                    if !(0.0..=1.0).contains(&r) {
+                        return Err(format!("rate {r} outside [0, 1]"));
+                    }
+                    rates.push(r);
+                }
+                spec.rates = rates;
+            }
+            "--seeds" => {
+                let mut seeds = Vec::new();
+                for s in value("--seeds")?.split(',') {
+                    seeds.push(s.parse().map_err(|e| format!("bad seed {s}: {e}"))?);
+                }
+                spec.seeds = seeds;
+            }
+            "--modes" => {
+                let mut modes = Vec::new();
+                for m in value("--modes")?.to_ascii_lowercase().split(',') {
+                    modes.push(Mode::parse(m).ok_or_else(|| {
+                        format!("unknown mode {m} (protected|passthrough|degraded)")
+                    })?);
+                }
+                spec.modes = modes;
+            }
+            "--config" => {
+                spec.config = match value("--config")?.to_ascii_lowercase().as_str() {
+                    "cpu-iso-bw" => AcceleratorConfig::cpu_iso_bandwidth(),
+                    "gpu-iso-bw" => AcceleratorConfig::gpu_iso_bandwidth(),
+                    "gpu-iso-flops" => AcceleratorConfig::gpu_iso_flops(),
+                    other => return Err(format!("unknown config {other}")),
+                }
+            }
+            "--smoke" => spec.scale = Scale::Smoke,
+            "--double-bit-fraction" => {
+                let f: f64 = value("--double-bit-fraction")?
+                    .parse()
+                    .map_err(|e| format!("bad fraction: {e}"))?;
+                if !(0.0..=1.0).contains(&f) {
+                    return Err("--double-bit-fraction must be in [0, 1]".into());
+                }
+                spec.double_bit_fraction = f;
+            }
+            "--threads" => {
+                threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("bad thread count: {e}"))?;
+                if threads == 0 {
+                    threads = 1;
+                }
+            }
+            "--out" => out = value("--out")?,
+            "--fresh" => fresh = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(Args {
+        spec,
+        threads,
+        out,
+        fresh,
+    })
+}
+
+fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let cells = args.spec.cells();
+    // Resume: keep the complete-line prefix of an existing output file
+    // and recompute only the missing tail.
+    let mut start_cell = 0usize;
+    if !args.fresh {
+        if let Ok(existing) = std::fs::read_to_string(&args.out) {
+            let (lines, prefix) = campaign::resume_point(&existing);
+            campaign::validate_prefix(&existing[..prefix], &cells)?;
+            if prefix != existing.len() {
+                eprintln!(
+                    "gnna-campaign: dropping a partial trailing line in {}",
+                    args.out
+                );
+            }
+            std::fs::write(&args.out, &existing[..prefix])?;
+            start_cell = lines;
+        }
+    } else {
+        let _ = std::fs::remove_file(&args.out);
+    }
+    if start_cell >= cells.len() {
+        eprintln!(
+            "gnna-campaign: {} already holds all {} cells",
+            args.out,
+            cells.len()
+        );
+        return Ok(());
+    }
+    if start_cell > 0 {
+        eprintln!(
+            "gnna-campaign: resuming {} at cell {start_cell}/{}",
+            args.out,
+            cells.len()
+        );
+    }
+    let file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&args.out)?;
+    let mut writer = std::io::BufWriter::new(file);
+    let mut written = 0usize;
+    let ran = campaign::run(&args.spec, args.threads, start_cell, |line| {
+        writer.write_all(line.as_bytes())?;
+        writer.write_all(b"\n")?;
+        // Flush per record so an interrupted campaign leaves a clean,
+        // resumable prefix on disk.
+        writer.flush()?;
+        written += 1;
+        Ok(())
+    })?;
+    eprintln!(
+        "gnna-campaign: wrote {written} of {ran} pending cells ({} total) to {}",
+        cells.len(),
+        args.out
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!("{USAGE}");
+            return if msg.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            };
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -11,13 +11,17 @@
 //! stall-cause breakdown, the hottest mesh links as a heat-map, and
 //! packet-latency quantiles (paper Fig. 9/10 style).
 
-use gnna_bench::report::{parse_trace_json, BottleneckReport, DiffReport, MetricsSnapshot};
+use gnna_bench::report::{
+    parse_campaign_jsonl, parse_trace_json, BottleneckReport, CampaignReport, DiffReport,
+    MetricsSnapshot,
+};
 use std::process::ExitCode;
 
 struct Args {
     metrics: Option<String>,
     diff: Option<(String, String)>,
     trace: Option<String>,
+    campaign: Option<String>,
     out: Option<String>,
     format: Format,
     top_k: usize,
@@ -33,12 +37,17 @@ enum Format {
 const USAGE: &str = "\
 usage: gnna-report --metrics FILE [options]
        gnna-report --diff A B [options]
+       gnna-report --campaign FILE [options]
   --metrics FILE    metrics dump from `gnna-sim --metrics-out`
                     (.json or .csv, auto-detected)
   --diff A B        differential mode: compare two metrics dumps and
                     render cycle/stall/link/energy deltas (B - A)
   --trace FILE      optional Chrome trace from `gnna-sim --trace-out`;
                     adds a trace-inventory section (single-run mode only)
+  --campaign FILE   JSONL sweep from `gnna-campaign`; renders the
+                    `## Fault campaigns` section (accuracy vs rate,
+                    degraded-mode slowdown, SDC rate per site), either
+                    standalone or appended to a --metrics report
   --out FILE        write the report here instead of stdout
   --format md|csv   output format (default: md, or by --out extension)
   --top-k N         rows in the hottest-links/spans/deltas tables
@@ -49,6 +58,7 @@ fn parse_args() -> Result<Args, String> {
     let mut metrics = None;
     let mut diff = None;
     let mut trace = None;
+    let mut campaign = None;
     let mut out = None;
     let mut format = Format::Auto;
     let mut top_k = 8usize;
@@ -59,6 +69,7 @@ fn parse_args() -> Result<Args, String> {
             "--metrics" => metrics = Some(value("--metrics")?),
             "--diff" => diff = Some((value("--diff")?, value("--diff")?)),
             "--trace" => trace = Some(value("--trace")?),
+            "--campaign" => campaign = Some(value("--campaign")?),
             "--out" => out = Some(value("--out")?),
             "--format" => {
                 format = match value("--format")?.as_str() {
@@ -76,16 +87,20 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown option {other}")),
         }
     }
-    if metrics.is_none() && diff.is_none() {
-        return Err("either --metrics or --diff is required".to_string());
+    if metrics.is_none() && diff.is_none() && campaign.is_none() {
+        return Err("one of --metrics, --diff, or --campaign is required".to_string());
     }
     if metrics.is_some() && diff.is_some() {
         return Err("--metrics and --diff are mutually exclusive".to_string());
+    }
+    if campaign.is_some() && diff.is_some() {
+        return Err("--campaign and --diff are mutually exclusive".to_string());
     }
     Ok(Args {
         metrics,
         diff,
         trace,
+        campaign,
         out,
         format,
         top_k,
@@ -160,7 +175,49 @@ fn main() -> ExitCode {
         };
     }
 
-    let metrics_path = args.metrics.as_deref().expect("checked in parse_args");
+    // Campaign section: parsed up front so bad files fail before any
+    // output is produced; rendered standalone or appended to --metrics.
+    let campaign = match &args.campaign {
+        None => None,
+        Some(path) => match std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read campaign {path}: {e}"))
+            .and_then(|t| {
+                parse_campaign_jsonl(&t).map_err(|e| format!("cannot parse campaign {path}: {e}"))
+            }) {
+            Ok(records) => Some(CampaignReport::build(records)),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
+    // Campaign-only mode: the section is the whole report.
+    let Some(metrics_path) = args.metrics.as_deref() else {
+        let campaign = campaign.expect("checked in parse_args");
+        let body = match format {
+            Format::Csv => campaign.to_csv(),
+            _ => campaign.to_markdown(),
+        };
+        return match &args.out {
+            None => {
+                print!("{body}");
+                ExitCode::SUCCESS
+            }
+            Some(path) => {
+                if let Err(e) = std::fs::write(path, &body) {
+                    eprintln!("error: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!(
+                    "campaign report: {path} ({} cells, {} accuracy rows)",
+                    campaign.records.len(),
+                    campaign.accuracy.len()
+                );
+                ExitCode::SUCCESS
+            }
+        };
+    };
     let snap = match load_snapshot(metrics_path) {
         Ok(s) => s,
         Err(e) => {
@@ -185,10 +242,17 @@ fn main() -> ExitCode {
         },
     };
     let report = BottleneckReport::build(&snap, trace);
-    let body = match format {
+    let mut body = match format {
         Format::Csv => report.to_csv(),
         _ => report.to_markdown(args.top_k),
     };
+    if let Some(campaign) = &campaign {
+        body.push('\n');
+        body.push_str(&match format {
+            Format::Csv => campaign.to_csv(),
+            _ => campaign.to_markdown(),
+        });
+    }
     match &args.out {
         None => print!("{body}"),
         Some(path) => {

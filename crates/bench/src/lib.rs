@@ -9,6 +9,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod accuracy;
+pub mod campaign;
 pub mod report;
 
 use gnna_baselines::table7::MeasuredLatency;
@@ -47,6 +49,12 @@ pub struct BenchCase {
     pub program: CompiledProgram,
     /// Useful multiply–accumulates of one inference (for reporting).
     pub macs: u64,
+    /// Functional-reference output rows from the `gnna-models` forward
+    /// pass: one row per vertex (in instance order) for vertex-output
+    /// models, one row per graph for readout models (MPNN). The fault
+    /// campaign's accuracy harness compares simulated outputs against
+    /// these.
+    pub reference: Vec<Vec<f32>>,
 }
 
 /// The model hyper-parameters used throughout: GCN hidden 16 (Kipf),
@@ -81,16 +89,26 @@ pub fn build_case(
     };
     let f = dataset.vertex_features();
     let out = dataset.output_features;
-    let (program, macs) = match model {
+    let (program, macs, reference) = match model {
         ModelKind::Gcn => {
             let m = Gcn::for_dataset(f, 16, out, MODEL_SEED)?.with_norm(GcnNorm::Mean);
             let macs = m.inference_macs(&dataset.instances[0].graph);
-            (compile_gcn(&m)?, macs)
+            let mut reference = Vec::new();
+            for inst in &dataset.instances {
+                let r = m.forward(&inst.graph, &inst.x)?;
+                reference.extend((0..r.rows()).map(|i| r.row(i).to_vec()));
+            }
+            (compile_gcn(&m)?, macs, reference)
         }
         ModelKind::Gat => {
             let m = Gat::for_dataset(f, out, MODEL_SEED)?;
             let macs = m.inference_macs(&dataset.instances[0].graph);
-            (compile_gat(&m)?, macs)
+            let mut reference = Vec::new();
+            for inst in &dataset.instances {
+                let r = m.forward(&inst.graph, &inst.x)?;
+                reference.extend((0..r.rows()).map(|i| r.row(i).to_vec()));
+            }
+            (compile_gat(&m)?, macs, reference)
         }
         ModelKind::Mpnn => {
             let m = Mpnn::for_dataset_gilmer(f, dataset.edge_features(), 64, out, 3, MODEL_SEED)?;
@@ -99,12 +117,19 @@ pub fn build_case(
                 .iter()
                 .map(|i| m.inference_macs(&i.graph))
                 .sum();
-            (compile_mpnn(&m)?, macs)
+            let r = m.forward_dataset(&dataset.instances)?;
+            let reference = (0..r.rows()).map(|i| r.row(i).to_vec()).collect();
+            (compile_mpnn(&m)?, macs, reference)
         }
         ModelKind::Pgnn => {
             let m = Pgnn::deep(&[0, 1, 2, 4], f, 16, out, 9, MODEL_SEED)?;
             let macs = m.inference_macs(&dataset.instances[0].graph);
-            (compile_pgnn(&m)?, macs)
+            let mut reference = Vec::new();
+            for inst in &dataset.instances {
+                let r = m.forward(&inst.graph, &inst.x)?;
+                reference.extend((0..r.rows()).map(|i| r.row(i).to_vec()));
+            }
+            (compile_pgnn(&m)?, macs, reference)
         }
     };
     Ok(BenchCase {
@@ -113,6 +138,7 @@ pub fn build_case(
         dataset,
         program,
         macs,
+        reference,
     })
 }
 
@@ -197,7 +223,7 @@ pub fn simulate_traced_opts(
     });
     sys.attach_telemetry(std::rc::Rc::clone(&tracer));
     if let Some(plan) = &opts.fault_plan {
-        sys.attach_faults(plan);
+        sys.attach_faults(plan)?;
     }
     let report = sys.run()?;
     let mut metrics = MetricsRegistry::new();

@@ -1382,6 +1382,439 @@ fn fmt_pct(v: Option<f64>) -> String {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Fault campaigns (`gnna-campaign` JSONL → `## Fault campaigns` section)
+// ---------------------------------------------------------------------------
+
+/// One parsed `gnna-campaign` JSONL record.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CampaignRecord {
+    /// Cell index in the canonical grid order.
+    pub cell: u64,
+    /// Model family name (`GCN`, `GAT`, `MPNN`, `PGNN`).
+    pub model: String,
+    /// Input dataset name.
+    pub input: String,
+    /// Protection mode (`protected`, `passthrough`, `degraded`).
+    pub mode: String,
+    /// Per-event fault rate swept by the campaign.
+    pub rate: f64,
+    /// Fault-plan seed.
+    pub seed: u64,
+    /// `"ok"` or `"unrecoverable"`.
+    pub status: String,
+    /// Faulting site for unrecoverable cells (empty otherwise).
+    pub site: String,
+    /// End-to-end NoC-clock cycles of the run (0 if unrecoverable).
+    pub total_cycles: u64,
+    /// Total injected faults across all sites.
+    pub injected: u64,
+    /// Silent data corruptions (pass-through deliveries).
+    pub sdc: u64,
+    /// Memory-site injections / SDCs.
+    pub mem_injected: u64,
+    /// Memory-site SDCs.
+    pub mem_sdc: u64,
+    /// NoC-site injections.
+    pub noc_injected: u64,
+    /// NoC-site SDCs.
+    pub noc_sdc: u64,
+    /// Dead tiles configured for the cell.
+    pub dead_tiles: u64,
+    /// Dead mesh links configured for the cell.
+    pub dead_links: u64,
+    /// Vertices remapped off dead tiles.
+    pub remapped_vertices: u64,
+    /// Output rows graded by the accuracy harness.
+    pub rows: u64,
+    /// Rows whose top-1 label flipped vs the functional reference.
+    pub label_flips: u64,
+    /// Non-finite output elements.
+    pub nonfinite: u64,
+    /// Maximum per-element relative error.
+    pub max_rel_err: f64,
+    /// Mean per-element relative error.
+    pub mean_rel_err: f64,
+}
+
+impl CampaignRecord {
+    /// `model:input` benchmark label.
+    pub fn benchmark(&self) -> String {
+        format!("{}:{}", self.model, self.input)
+    }
+
+    /// Fraction of graded rows whose top-1 label flipped.
+    pub fn flip_rate(&self) -> f64 {
+        if self.rows == 0 {
+            0.0
+        } else {
+            self.label_flips as f64 / self.rows as f64
+        }
+    }
+}
+
+/// Parse a `gnna-campaign` JSONL file into records (one per line).
+///
+/// # Errors
+///
+/// Returns a `"line N: …"` message for unparsable lines or lines missing
+/// the mandatory identification fields.
+pub fn parse_campaign_jsonl(text: &str) -> Result<Vec<CampaignRecord>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc = json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        let str_field = |k: &str| {
+            doc.get(k)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("line {}: missing string field {k}", i + 1))
+        };
+        let u64_field = |k: &str| doc.get(k).and_then(JsonValue::as_u64).unwrap_or(0);
+        let f64_field = |k: &str| doc.get(k).and_then(JsonValue::as_f64).unwrap_or(0.0);
+        let rate = doc
+            .get("rate")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("line {}: missing number field rate", i + 1))?;
+        out.push(CampaignRecord {
+            cell: u64_field("cell"),
+            model: str_field("model")?,
+            input: str_field("input")?,
+            mode: str_field("mode")?,
+            rate,
+            seed: u64_field("seed"),
+            status: str_field("status")?,
+            site: str_field("site").unwrap_or_default(),
+            total_cycles: u64_field("total_cycles"),
+            injected: u64_field("injected"),
+            sdc: u64_field("sdc"),
+            mem_injected: u64_field("mem_injected"),
+            mem_sdc: u64_field("mem_sdc"),
+            noc_injected: u64_field("noc_injected"),
+            noc_sdc: u64_field("noc_sdc"),
+            dead_tiles: u64_field("dead_tiles"),
+            dead_links: u64_field("dead_links"),
+            remapped_vertices: u64_field("remapped_vertices"),
+            rows: u64_field("rows"),
+            label_flips: u64_field("label_flips"),
+            nonfinite: u64_field("nonfinite"),
+            max_rel_err: f64_field("max_rel_err"),
+            mean_rel_err: f64_field("mean_rel_err"),
+        });
+    }
+    Ok(out)
+}
+
+/// One row of the accuracy-vs-rate table: a `(benchmark, mode, rate)`
+/// group averaged over seeds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccuracyRow {
+    /// `model:input` label.
+    pub benchmark: String,
+    /// Protection mode.
+    pub mode: String,
+    /// Fault rate.
+    pub rate: f64,
+    /// Seeds aggregated into this row.
+    pub cells: u64,
+    /// Cells that died on an unrecoverable fault.
+    pub unrecoverable: u64,
+    /// Mean label-flip rate over completed cells.
+    pub flip_rate: f64,
+    /// Mean of the cells' mean relative errors.
+    pub mean_rel_err: f64,
+    /// Worst max relative error over completed cells.
+    pub max_rel_err: f64,
+    /// Mean non-finite output elements per completed cell.
+    pub nonfinite: f64,
+}
+
+/// One row of the degraded-mode slowdown table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlowdownRow {
+    /// `model:input` label.
+    pub benchmark: String,
+    /// Fault rate.
+    pub rate: f64,
+    /// Mean degraded-over-protected cycle ratio across matched seeds.
+    pub slowdown: f64,
+    /// Seed pairs matched.
+    pub pairs: u64,
+    /// Remapped vertices (identical across seeds by construction).
+    pub remapped_vertices: u64,
+    /// Dead tiles in the degraded cells.
+    pub dead_tiles: u64,
+    /// Dead links in the degraded cells.
+    pub dead_links: u64,
+}
+
+/// Aggregated view of a campaign JSONL file, ready to render as the
+/// `## Fault campaigns` report section.
+#[derive(Debug, Default)]
+pub struct CampaignReport {
+    /// Every parsed record, in file order.
+    pub records: Vec<CampaignRecord>,
+    /// Accuracy-vs-rate rows in `(benchmark, mode, rate)` order.
+    pub accuracy: Vec<AccuracyRow>,
+    /// Degraded-vs-protected slowdown rows in `(benchmark, rate)` order.
+    pub slowdowns: Vec<SlowdownRow>,
+    /// Per-site `(injected, sdc)` totals over pass-through cells, in
+    /// site order (`mem`, `noc`).
+    pub site_sdc: Vec<(String, u64, u64)>,
+}
+
+/// Sort key for a non-negative f64 (rates are validated into [0, 1]).
+fn rate_key(rate: f64) -> u64 {
+    rate.to_bits()
+}
+
+impl CampaignReport {
+    /// Aggregates parsed records into the report tables.
+    pub fn build(records: Vec<CampaignRecord>) -> Self {
+        // (benchmark, mode, rate) → member records.
+        let mut groups: BTreeMap<(String, String, u64), Vec<&CampaignRecord>> = BTreeMap::new();
+        for r in &records {
+            groups
+                .entry((r.benchmark(), r.mode.clone(), rate_key(r.rate)))
+                .or_default()
+                .push(r);
+        }
+        let mut accuracy = Vec::new();
+        for ((benchmark, mode, rate_bits), members) in &groups {
+            let completed: Vec<_> = members.iter().filter(|r| r.status == "ok").collect();
+            let n = completed.len().max(1) as f64;
+            accuracy.push(AccuracyRow {
+                benchmark: benchmark.clone(),
+                mode: mode.clone(),
+                rate: f64::from_bits(*rate_bits),
+                cells: members.len() as u64,
+                unrecoverable: (members.len() - completed.len()) as u64,
+                flip_rate: completed.iter().map(|r| r.flip_rate()).sum::<f64>() / n,
+                mean_rel_err: completed.iter().map(|r| r.mean_rel_err).sum::<f64>() / n,
+                max_rel_err: completed.iter().map(|r| r.max_rel_err).fold(0.0, f64::max),
+                nonfinite: completed.iter().map(|r| r.nonfinite as f64).sum::<f64>() / n,
+            });
+        }
+
+        // Degraded cells matched against the protected cell of the same
+        // (benchmark, rate, seed).
+        let mut protected: BTreeMap<(String, u64, u64), u64> = BTreeMap::new();
+        for r in &records {
+            if r.mode == "protected" && r.status == "ok" && r.total_cycles > 0 {
+                protected.insert((r.benchmark(), rate_key(r.rate), r.seed), r.total_cycles);
+            }
+        }
+        #[derive(Default)]
+        struct PairAcc {
+            ratio_sum: f64,
+            pairs: u64,
+            remapped: u64,
+            tiles: u64,
+            links: u64,
+        }
+        let mut pairs: BTreeMap<(String, u64), PairAcc> = BTreeMap::new();
+        for r in &records {
+            if r.mode != "degraded" || r.status != "ok" {
+                continue;
+            }
+            let Some(&base) = protected.get(&(r.benchmark(), rate_key(r.rate), r.seed)) else {
+                continue;
+            };
+            let e = pairs.entry((r.benchmark(), rate_key(r.rate))).or_default();
+            e.ratio_sum += r.total_cycles as f64 / base as f64;
+            e.pairs += 1;
+            e.remapped = r.remapped_vertices;
+            e.tiles = r.dead_tiles;
+            e.links = r.dead_links;
+        }
+        let slowdowns = pairs
+            .into_iter()
+            .map(|((benchmark, rate_bits), acc)| SlowdownRow {
+                benchmark,
+                rate: f64::from_bits(rate_bits),
+                slowdown: acc.ratio_sum / acc.pairs as f64,
+                pairs: acc.pairs,
+                remapped_vertices: acc.remapped,
+                dead_tiles: acc.tiles,
+                dead_links: acc.links,
+            })
+            .collect();
+
+        // SDC rate per site over pass-through cells (protection disabled;
+        // the other modes catch these by construction).
+        let mut mem = (0u64, 0u64);
+        let mut noc = (0u64, 0u64);
+        for r in &records {
+            if r.mode != "passthrough" {
+                continue;
+            }
+            mem.0 += r.mem_injected;
+            mem.1 += r.mem_sdc;
+            noc.0 += r.noc_injected;
+            noc.1 += r.noc_sdc;
+        }
+        let site_sdc = vec![
+            ("mem".to_string(), mem.0, mem.1),
+            ("noc".to_string(), noc.0, noc.1),
+        ];
+
+        Self {
+            records,
+            accuracy,
+            slowdowns,
+            site_sdc,
+        }
+    }
+
+    /// ASCII flip-rate-vs-rate curve for one mode, one line per swept
+    /// rate, averaged over benchmarks and seeds. Empty when the mode has
+    /// no completed cells.
+    pub fn ascii_curve(&self, mode: &str) -> String {
+        const WIDTH: usize = 40;
+        let mut by_rate: BTreeMap<u64, (f64, u64)> = BTreeMap::new();
+        for row in self.accuracy.iter().filter(|r| r.mode == mode) {
+            let e = by_rate.entry(rate_key(row.rate)).or_insert((0.0, 0));
+            e.0 += row.flip_rate;
+            e.1 += 1;
+        }
+        if by_rate.is_empty() {
+            return String::new();
+        }
+        let points: Vec<(f64, f64)> = by_rate
+            .into_iter()
+            .map(|(bits, (sum, n))| (f64::from_bits(bits), sum / n as f64))
+            .collect();
+        let peak = points.iter().map(|&(_, f)| f).fold(0.0, f64::max);
+        let mut o = String::new();
+        let _ = writeln!(o, "label-flip rate vs fault rate ({mode})");
+        for (rate, flip) in points {
+            let w = if peak > 0.0 {
+                ((flip / peak) * WIDTH as f64).round() as usize
+            } else {
+                0
+            };
+            let _ = writeln!(
+                o,
+                "  {:<9} |{:<width$}| {:.1}%",
+                json::number(rate),
+                "#".repeat(w),
+                flip * 100.0,
+                width = WIDTH
+            );
+        }
+        o
+    }
+
+    /// Render the `## Fault campaigns` markdown section.
+    pub fn to_markdown(&self) -> String {
+        let mut o = String::new();
+        let _ = writeln!(o, "## Fault campaigns\n");
+        let _ = writeln!(
+            o,
+            "{} cells ({} unrecoverable).\n",
+            self.records.len(),
+            self.records.iter().filter(|r| r.status != "ok").count()
+        );
+
+        let _ = writeln!(o, "### Accuracy vs fault rate\n");
+        let _ = writeln!(
+            o,
+            "| benchmark | mode | rate | cells | unrec | flip rate | mean rel err | max rel err | non-finite |"
+        );
+        let _ = writeln!(o, "|---|---|---|---|---|---|---|---|---|");
+        for r in &self.accuracy {
+            let _ = writeln!(
+                o,
+                "| {} | {} | {} | {} | {} | {:.2}% | {:.3e} | {:.3e} | {:.1} |",
+                r.benchmark,
+                r.mode,
+                json::number(r.rate),
+                r.cells,
+                r.unrecoverable,
+                r.flip_rate * 100.0,
+                r.mean_rel_err,
+                r.max_rel_err,
+                r.nonfinite
+            );
+        }
+
+        for mode in ["passthrough", "protected"] {
+            let curve = self.ascii_curve(mode);
+            if !curve.is_empty() {
+                let _ = writeln!(o, "\n```\n{curve}```");
+            }
+        }
+
+        let _ = writeln!(o, "\n### Degraded-mode slowdown\n");
+        if self.slowdowns.is_empty() {
+            let _ = writeln!(
+                o,
+                "_No degraded/protected cell pairs in this campaign (sweep \
+                 both modes at the same rates and seeds to populate this \
+                 table)._"
+            );
+        } else {
+            let _ = writeln!(
+                o,
+                "| benchmark | rate | slowdown | pairs | dead tiles | dead links | remapped vertices |"
+            );
+            let _ = writeln!(o, "|---|---|---|---|---|---|---|");
+            for s in &self.slowdowns {
+                let _ = writeln!(
+                    o,
+                    "| {} | {} | {:.3}× | {} | {} | {} | {} |",
+                    s.benchmark,
+                    json::number(s.rate),
+                    s.slowdown,
+                    s.pairs,
+                    s.dead_tiles,
+                    s.dead_links,
+                    s.remapped_vertices
+                );
+            }
+        }
+
+        let _ = writeln!(o, "\n### SDC rate per site (pass-through cells)\n");
+        let _ = writeln!(o, "| site | injected | sdc | sdc rate |");
+        let _ = writeln!(o, "|---|---|---|---|");
+        for (site, injected, sdc) in &self.site_sdc {
+            let rate = if *injected == 0 {
+                0.0
+            } else {
+                100.0 * *sdc as f64 / *injected as f64
+            };
+            let _ = writeln!(o, "| {site} | {injected} | {sdc} | {rate:.1}% |");
+        }
+        o
+    }
+
+    /// Render the campaign tables as CSV (accuracy rows only; the
+    /// slowdown and SDC tables are derivable from the raw JSONL).
+    pub fn to_csv(&self) -> String {
+        let mut o = String::from(
+            "section,benchmark,mode,rate,cells,unrecoverable,flip_rate,mean_rel_err,max_rel_err,nonfinite\n",
+        );
+        for r in &self.accuracy {
+            let _ = writeln!(
+                o,
+                "accuracy,{},{},{},{},{},{},{},{},{}",
+                r.benchmark,
+                r.mode,
+                json::number(r.rate),
+                r.cells,
+                r.unrecoverable,
+                json::number(r.flip_rate),
+                json::number(r.mean_rel_err),
+                json::number(r.max_rel_err),
+                json::number(r.nonfinite)
+            );
+        }
+        o
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1807,5 +2240,91 @@ noc.packet_latency,histogram,,10,100,4,30,10,8,25,29
         assert!(MetricsSnapshot::parse("{oops").is_err());
         assert!(MetricsSnapshot::parse("wrong,header\n1,2").is_err());
         assert!(parse_trace_json("{\"no\":\"events\"}").is_err());
+    }
+
+    fn campaign_line(
+        cell: u64,
+        mode: &str,
+        rate: f64,
+        seed: u64,
+        cycles: u64,
+        flips: u64,
+        sdc: u64,
+    ) -> String {
+        format!(
+            "{{\"cell\":{cell},\"model\":\"GCN\",\"input\":\"Cora\",\
+             \"config\":\"GPU iso-BW\",\"mode\":\"{mode}\",\"rate\":{rate},\
+             \"seed\":{seed},\"status\":\"ok\",\"site\":\"\",\"msg\":\"\",\
+             \"total_cycles\":{cycles},\"injected\":10,\"sdc\":{sdc},\
+             \"mem_injected\":6,\"mem_sdc\":{sdc},\"noc_injected\":4,\
+             \"noc_sdc\":0,\"dead_tiles\":0,\"dead_links\":0,\
+             \"remapped_vertices\":0,\"rows\":100,\"elements\":700,\
+             \"label_flips\":{flips},\"nonfinite\":0,\
+             \"max_rel_err\":0.5,\"mean_rel_err\":0.01}}"
+        )
+    }
+
+    #[test]
+    fn campaign_jsonl_parses_and_aggregates() {
+        let text = [
+            campaign_line(0, "protected", 0.0, 1, 1000, 0, 0),
+            campaign_line(1, "protected", 0.0, 2, 1000, 0, 0),
+            campaign_line(2, "passthrough", 0.01, 1, 990, 20, 7),
+            campaign_line(3, "passthrough", 0.01, 2, 990, 40, 9),
+            campaign_line(4, "degraded", 0.0, 1, 1500, 0, 0),
+        ]
+        .join("\n");
+        let records = parse_campaign_jsonl(&text).unwrap();
+        assert_eq!(records.len(), 5);
+        assert_eq!(records[2].label_flips, 20);
+        let report = CampaignReport::build(records);
+        // (benchmark, mode, rate) groups: degraded@0, passthrough@0.01,
+        // protected@0 — BTreeMap orders modes alphabetically.
+        assert_eq!(report.accuracy.len(), 3);
+        let pt = report
+            .accuracy
+            .iter()
+            .find(|r| r.mode == "passthrough")
+            .unwrap();
+        assert_eq!(pt.cells, 2);
+        assert!((pt.flip_rate - 0.3).abs() < 1e-12);
+        // Degraded@0 pairs with protected@0 seed 1: 1500/1000.
+        assert_eq!(report.slowdowns.len(), 1);
+        assert!((report.slowdowns[0].slowdown - 1.5).abs() < 1e-12);
+        // Pass-through SDC totals: mem 12 injected / 16 sdc? No — mem_sdc
+        // mirrors the sdc argument (7 + 9), injected 6 per cell.
+        assert_eq!(report.site_sdc[0], ("mem".to_string(), 12, 16));
+        assert_eq!(report.site_sdc[1], ("noc".to_string(), 8, 0));
+    }
+
+    #[test]
+    fn campaign_markdown_has_all_subsections() {
+        let text = [
+            campaign_line(0, "protected", 0.0, 1, 1000, 0, 0),
+            campaign_line(1, "passthrough", 0.01, 1, 990, 20, 7),
+            campaign_line(2, "degraded", 0.0, 1, 1500, 0, 0),
+        ]
+        .join("\n");
+        let report = CampaignReport::build(parse_campaign_jsonl(&text).unwrap());
+        let md = report.to_markdown();
+        assert!(md.contains("## Fault campaigns"));
+        assert!(md.contains("### Accuracy vs fault rate"));
+        assert!(md.contains("### Degraded-mode slowdown"));
+        assert!(md.contains("### SDC rate per site"));
+        assert!(md.contains("label-flip rate vs fault rate (passthrough)"));
+        assert!(md.contains("1.500×"));
+        let csv = report.to_csv();
+        assert!(csv.starts_with("section,benchmark,mode,rate"));
+        assert!(csv.contains("accuracy,GCN:Cora,passthrough,0.01"));
+    }
+
+    #[test]
+    fn campaign_jsonl_rejects_malformed_lines() {
+        assert!(parse_campaign_jsonl("{oops").is_err());
+        assert!(parse_campaign_jsonl("{\"cell\":0}")
+            .unwrap_err()
+            .contains("line 1"));
+        // Blank lines are skipped.
+        assert!(parse_campaign_jsonl("\n\n").unwrap().is_empty());
     }
 }

@@ -1,0 +1,162 @@
+//! End-to-end fault-campaign pipeline: the parallel runner's
+//! determinism golden (`--threads N` byte-identical to `--threads 1`),
+//! the resume-from-partial-file contract, zero-rate bit-exactness, and
+//! the accuracy degradation that pass-through mode is supposed to
+//! expose — all through the same library path `gnna-campaign` uses.
+
+use gnna_bench::campaign::{self, CampaignSpec, Mode};
+use gnna_bench::report::{parse_campaign_jsonl, CampaignReport};
+use gnna_bench::Scale;
+use gnna_core::config::AcceleratorConfig;
+use gnna_models::ModelKind;
+
+/// The CI-sized sweep: one benchmark, three rates, two seeds, all three
+/// modes — 18 cells.
+fn smoke_spec() -> CampaignSpec {
+    let mut spec = CampaignSpec::new(AcceleratorConfig::gpu_iso_bandwidth(), Scale::Smoke);
+    spec.benchmarks = vec![(ModelKind::Gcn, "Cora")];
+    spec.rates = vec![0.0, 0.001, 0.01];
+    spec.seeds = vec![1, 2];
+    spec.modes = Mode::ALL.to_vec();
+    spec
+}
+
+/// Runs a campaign into an in-memory buffer.
+fn run_to_string(spec: &CampaignSpec, threads: usize, start_cell: usize) -> String {
+    let mut out = String::new();
+    campaign::run(spec, threads, start_cell, |line| {
+        out.push_str(line);
+        out.push('\n');
+        Ok(())
+    })
+    .unwrap();
+    out
+}
+
+#[test]
+fn threads_do_not_change_output_bytes() {
+    let spec = smoke_spec();
+    let serial = run_to_string(&spec, 1, 0);
+    let parallel = run_to_string(&spec, 4, 0);
+    assert_eq!(serial, parallel, "campaign output depends on --threads");
+    assert_eq!(serial.lines().count(), spec.cells().len());
+}
+
+#[test]
+fn resume_recomputes_only_the_missing_tail() {
+    let spec = smoke_spec();
+    let full = run_to_string(&spec, 2, 0);
+
+    // Interrupt after 7 complete lines plus a torn partial 8th.
+    let cut: usize = full
+        .split_inclusive('\n')
+        .take(7)
+        .map(str::len)
+        .sum::<usize>()
+        + 20;
+    let interrupted = &full[..cut];
+    let (lines, prefix) = campaign::resume_point(interrupted);
+    assert_eq!(lines, 7);
+    assert!(prefix < interrupted.len(), "partial tail not detected");
+    campaign::validate_prefix(&interrupted[..prefix], &spec.cells()).unwrap();
+
+    // Re-run from the resume point and splice: byte-identical to the
+    // uninterrupted campaign.
+    let tail = run_to_string(&spec, 2, lines);
+    let resumed = format!("{}{}", &interrupted[..prefix], tail);
+    assert_eq!(resumed, full, "resume diverged from a fresh run");
+
+    // The tail really did skip the finished cells.
+    assert_eq!(tail.lines().count(), spec.cells().len() - 7);
+
+    // A foreign prefix (wrong cell ids for this grid) is rejected.
+    let foreign = full
+        .split_inclusive('\n')
+        .skip(1)
+        .take(2)
+        .collect::<String>();
+    assert!(campaign::validate_prefix(&foreign, &spec.cells()).is_err());
+}
+
+#[test]
+fn zero_rate_cells_are_bit_exact_across_modes() {
+    let mut spec = smoke_spec();
+    spec.rates = vec![0.0];
+    spec.seeds = vec![1];
+    spec.modes = vec![Mode::Protected, Mode::Passthrough];
+    let records = parse_campaign_jsonl(&run_to_string(&spec, 1, 0)).unwrap();
+    assert_eq!(records.len(), 2);
+    let (p, pt) = (&records[0], &records[1]);
+    // No faults exist at rate 0, so the protection mode is irrelevant:
+    // same cycles, same accuracy, no corruption of any kind.
+    assert_eq!(p.total_cycles, pt.total_cycles);
+    assert_eq!(p.injected, 0);
+    assert_eq!(pt.injected, 0);
+    assert_eq!(pt.sdc, 0);
+    assert_eq!(p.label_flips, pt.label_flips);
+    assert_eq!(p.max_rel_err, pt.max_rel_err);
+    assert_eq!(p.mean_rel_err, pt.mean_rel_err);
+    // The zero-rate baseline is the simulator's intrinsic float error —
+    // small, and identical for every mode.
+    assert!(p.max_rel_err < 1e-3, "baseline error too large");
+}
+
+#[test]
+fn passthrough_degrades_and_protected_does_not() {
+    let mut spec = smoke_spec();
+    spec.rates = vec![0.01];
+    spec.seeds = vec![1];
+    let records = parse_campaign_jsonl(&run_to_string(&spec, 1, 0)).unwrap();
+    let by_mode = |m: &str| records.iter().find(|r| r.mode == m).unwrap();
+
+    let protected = by_mode("protected");
+    assert_eq!(protected.status, "ok");
+    assert!(protected.injected > 0);
+    assert_eq!(protected.sdc, 0, "protected mode leaked corruption");
+    assert_eq!(protected.label_flips, 0);
+
+    let passthrough = by_mode("passthrough");
+    assert_eq!(passthrough.status, "ok");
+    assert!(passthrough.sdc > 0, "no silent corruption at 1% rate");
+    assert!(
+        passthrough.max_rel_err > protected.max_rel_err,
+        "pass-through did not degrade accuracy"
+    );
+
+    let degraded = by_mode("degraded");
+    assert_eq!(degraded.status, "ok");
+    assert_eq!(degraded.dead_tiles, 1);
+    assert_eq!(degraded.dead_links, 1);
+    assert!(
+        degraded.remapped_vertices > 0,
+        "dead tile's partition was not remapped"
+    );
+}
+
+#[test]
+fn campaign_feeds_the_report_section() {
+    let spec = smoke_spec();
+    let text = run_to_string(&spec, 2, 0);
+    let report = CampaignReport::build(parse_campaign_jsonl(&text).unwrap());
+    assert_eq!(report.records.len(), spec.cells().len());
+
+    // Accuracy rows: one per (benchmark, mode, rate) = 1 × 3 × 3.
+    assert_eq!(report.accuracy.len(), 9);
+
+    // Degraded cells pair with protected cells at every rate.
+    assert_eq!(report.slowdowns.len(), 3);
+    for s in &report.slowdowns {
+        assert!(s.pairs == 2, "expected both seeds paired at {}", s.rate);
+        assert!(s.slowdown > 0.0);
+        assert!(s.remapped_vertices > 0);
+    }
+
+    // Pass-through cells at nonzero rates produce SDCs at both sites.
+    let mem = &report.site_sdc[0];
+    assert!(mem.1 > 0 && mem.2 > 0, "mem site saw no SDCs: {mem:?}");
+
+    let md = report.to_markdown();
+    assert!(md.contains("## Fault campaigns"));
+    assert!(md.contains("### Degraded-mode slowdown"));
+    assert!(md.contains("GCN:Cora | passthrough | 0.01"));
+}

@@ -237,6 +237,7 @@ mod tests {
             num_tiles: 1,
             per_tile: vec![],
             resilience: crate::stats::ResilienceSummary::default(),
+            degraded: crate::stats::DegradedSummary::default(),
         }
     }
 

@@ -468,9 +468,15 @@ impl Gpe {
                     );
                     return StepResult::Progress;
                 }
-                // Woken: decode.
-                task.edge_base = task.recv[0];
-                task.deg = task.recv[1] - task.recv[0];
+                // Woken: decode. The address-generation path bounds-checks
+                // the fetched row pointers against the edge array (real
+                // AGUs clamp to the buffer extent), so a corrupted word
+                // delivered by fault pass-through degrades the result
+                // instead of hanging or crashing the machine. Clean words
+                // are always in range, so this is a no-op fault-free.
+                let edges = ctx.union.num_edges() as u32;
+                task.edge_base = task.recv[0].min(edges);
+                task.deg = task.recv[1].min(edges).saturating_sub(task.edge_base);
                 if layer.program.needs_structure() && task.deg > 0 {
                     task.phase = Phase::FetchNeighbors { issued: false };
                 } else {
@@ -495,7 +501,11 @@ impl Gpe {
                     );
                     return StepResult::Progress;
                 }
-                task.neighbors = task.recv.clone();
+                // Same bounds check on fetched neighbour ids: a poisoned
+                // index is clamped into the vertex space rather than
+                // driving an out-of-range feature read.
+                let max_node = (ctx.union.num_nodes() as u32).saturating_sub(1);
+                task.neighbors = task.recv.iter().map(|&u| u.min(max_node)).collect();
                 task.phase = Phase::Body(new_body(&layer.program));
                 StepResult::Progress
             }

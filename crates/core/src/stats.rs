@@ -188,6 +188,37 @@ impl fmt::Display for ResilienceSummary {
     }
 }
 
+/// Graceful-degradation outcomes: what the system did to keep running
+/// in spite of *permanent* faults (dead tiles, dead mesh links). All
+/// zeros when no permanent fault is configured, so healthy reports are
+/// bit-identical to ones predating the degradation path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DegradedSummary {
+    /// Tiles disabled by the fault plan (their partitions were remapped).
+    pub dead_tiles: u64,
+    /// Mesh links removed by the fault plan (traffic detours around them).
+    pub dead_links: u64,
+    /// Vertices whose owning tile changed versus the healthy layout.
+    pub remapped_vertices: u64,
+}
+
+impl DegradedSummary {
+    /// Whether the run executed in a degraded configuration at all.
+    pub fn any(&self) -> bool {
+        self.dead_tiles != 0 || self.dead_links != 0 || self.remapped_vertices != 0
+    }
+}
+
+impl fmt::Display for DegradedSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} dead tiles, {} dead links, {} vertices remapped",
+            self.dead_tiles, self.dead_links, self.remapped_vertices
+        )
+    }
+}
+
 /// The result of simulating one inference.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
@@ -244,6 +275,9 @@ pub struct SimReport {
     /// is attached, so fault-free reports are bit-identical to runs
     /// predating the fault subsystem).
     pub resilience: ResilienceSummary,
+    /// Graceful-degradation outcomes for permanent faults (all zeros
+    /// when the topology is healthy).
+    pub degraded: DegradedSummary,
 }
 
 impl SimReport {
@@ -334,6 +368,9 @@ impl fmt::Display for SimReport {
         if self.resilience.any() {
             writeln!(f, "  resilience: {}", self.resilience)?;
         }
+        if self.degraded.any() {
+            writeln!(f, "  degraded: {}", self.degraded)?;
+        }
         for t in &self.per_tile {
             writeln!(
                 f,
@@ -386,6 +423,7 @@ mod tests {
             num_tiles: 1,
             per_tile: vec![],
             resilience: ResilienceSummary::default(),
+            degraded: DegradedSummary::default(),
         }
     }
 
@@ -466,6 +504,21 @@ mod tests {
             assert!(c.event_name().starts_with("gpe_stall:"));
         }
         assert_eq!(StallCause::ALL.len(), StallCause::COUNT);
+    }
+
+    #[test]
+    fn degraded_summary_displays_only_when_degraded() {
+        let mut r = report();
+        assert!(!r.degraded.any());
+        assert!(!r.to_string().contains("degraded"));
+        r.degraded = DegradedSummary {
+            dead_tiles: 1,
+            dead_links: 2,
+            remapped_vertices: 40,
+        };
+        assert!(r.degraded.any());
+        let s = r.to_string();
+        assert!(s.contains("degraded: 1 dead tiles, 2 dead links, 40 vertices remapped"));
     }
 
     #[test]

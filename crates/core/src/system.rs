@@ -26,7 +26,9 @@ use crate::gpe::{Gpe, GpeCtx, TilePorts};
 use crate::layers::{CompiledProgram, Layer};
 use crate::layout::{fill_buffer, read_buffer, BufferRegion, Layout, UnionGraph};
 use crate::msg::{AddressMap, Dest, Message, Tag};
-use crate::stats::{LayerTiming, ResilienceSummary, SimReport, StallCause, TileCounters};
+use crate::stats::{
+    DegradedSummary, LayerTiming, ResilienceSummary, SimReport, StallCause, TileCounters,
+};
 use crate::CoreError;
 use gnna_faults::FaultPlan;
 use gnna_graph::GraphInstance;
@@ -140,6 +142,7 @@ pub struct System {
     instance_ranges: Vec<(usize, usize)>,
     telemetry: Option<Telemetry>,
     energy_model: EnergyModel,
+    degraded: DegradedSummary,
 }
 
 impl System {
@@ -290,6 +293,7 @@ impl System {
             instance_ranges,
             telemetry: None,
             energy_model: EnergyModel::default(),
+            degraded: DegradedSummary::default(),
         })
     }
 
@@ -362,21 +366,123 @@ impl System {
     /// independent RNG stream from `(plan.seed, site, instance)`, so runs
     /// are reproducible per seed regardless of topology.
     ///
-    /// An **empty** plan (all rates zero) attaches nothing: the run — and
-    /// its metric registry — stays bit-identical to a fault-free system.
-    pub fn attach_faults(&mut self, plan: &FaultPlan) {
+    /// Permanent faults degrade the system gracefully instead of killing
+    /// it: each dead tile's vertex partition is remapped contiguously
+    /// onto the surviving tiles (counted in the report's
+    /// [`DegradedSummary`]), and traffic detours around dead mesh links
+    /// via a deterministic BFS routing table.
+    ///
+    /// An **empty** plan (all rates zero, no permanent defects) attaches
+    /// nothing: the run — and its metric registry — stays bit-identical
+    /// to a fault-free system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if the plan fails
+    /// [`FaultPlan::validate`] (non-finite or out-of-range rates,
+    /// duplicate defects), names a dead tile outside the topology,
+    /// kills *every* tile (no survivor to remap onto), or its dead
+    /// links are invalid / disconnect the mesh.
+    pub fn attach_faults(&mut self, plan: &FaultPlan) -> Result<(), CoreError> {
+        plan.validate().map_err(|e| CoreError::InvalidConfig {
+            reason: format!("invalid fault plan: {e}"),
+        })?;
         if plan.is_empty() {
-            return;
+            return Ok(());
         }
+        self.remap_dead_tiles(&plan.dead_tiles)?;
         for (i, m) in self.mems.iter_mut().enumerate() {
             m.ctrl
                 .attach_faults(MemFaultState::from_plan(plan, i as u64));
         }
-        self.net.attach_faults(NocFaultState::from_plan(plan, 0));
+        self.net
+            .attach_faults(NocFaultState::from_plan(plan, 0))
+            .map_err(|reason| CoreError::InvalidConfig { reason })?;
         for (t, tile) in self.tiles.iter_mut().enumerate() {
             tile.dna
                 .attach_faults(DnaFaultState::from_plan(plan, t as u64));
         }
+        self.degraded.dead_tiles = plan.dead_tiles.len() as u64;
+        self.degraded.dead_links = plan.dead_links.len() as u64;
+        Ok(())
+    }
+
+    /// Rebuilds the vertex partitions so that dead tiles own nothing and
+    /// the surviving tiles split the vertex space contiguously, counting
+    /// how many vertices changed owner versus the healthy layout.
+    ///
+    /// A dead tile keeps its (idle) modules and NoC ports — only its
+    /// share of the work queue moves. Its GPE starts each layer with an
+    /// empty partition and goes straight to the barrier, which models a
+    /// tile fenced off by configuration rather than physically removed.
+    fn remap_dead_tiles(&mut self, dead: &[usize]) -> Result<(), CoreError> {
+        if dead.is_empty() {
+            return Ok(());
+        }
+        let t = self.tiles.len();
+        for &d in dead {
+            if d >= t {
+                return Err(CoreError::InvalidConfig {
+                    reason: format!("dead tile {d} is out of range for {t} tiles"),
+                });
+            }
+        }
+        let alive: Vec<usize> = (0..t).filter(|i| !dead.contains(i)).collect();
+        if alive.is_empty() {
+            return Err(CoreError::InvalidConfig {
+                reason: "every tile is marked dead; no survivor to remap work onto".into(),
+            });
+        }
+        let n = self.union.num_nodes();
+        // Healthy owner of each vertex under the original i*n/t split.
+        let mut healthy = vec![0usize; n];
+        for i in 0..t {
+            healthy[i * n / t..(i + 1) * n / t].fill(i);
+        }
+        let a = alive.len();
+        let mut partitions: Vec<Vec<u32>> = vec![Vec::new(); t];
+        let mut remapped = 0u64;
+        for (k, &tile) in alive.iter().enumerate() {
+            let lo = k * n / a;
+            let hi = (k + 1) * n / a;
+            for (v, &owner) in healthy.iter().enumerate().take(hi).skip(lo) {
+                if owner != tile {
+                    remapped += 1;
+                }
+                partitions[tile].push(v as u32);
+            }
+        }
+        self.partitions = partitions;
+        self.degraded.remapped_vertices = remapped;
+        Ok(())
+    }
+
+    /// Applies recorded pass-through NoC corruption to a reassembled
+    /// message. Each poison entry is a `(flit seq, bit-within-flit)`
+    /// pair; the bit is mapped onto the payload's data words (for
+    /// `Data` and `MemWrite` messages) modulo the data length,
+    /// modelling a flipped payload bit surviving to the consumer.
+    /// `MemRead` requests carry no data words — their headers are
+    /// modelled as protected sideband — so poison on them is a no-op.
+    fn apply_poison(msg: &mut Message, poison: &[(u32, u64)], words_per_flit: u64) {
+        let data = match msg {
+            Message::Data { data, .. } => data,
+            Message::MemWrite { data, .. } => data,
+            Message::MemRead { .. } => return,
+        };
+        if data.is_empty() {
+            return;
+        }
+        for &(seq, bit) in poison {
+            let word = ((u64::from(seq) * words_per_flit + bit / 32) % data.len() as u64) as usize;
+            data[word] ^= 1 << (bit % 32);
+        }
+    }
+
+    /// Data words per NoC flit, for mapping a poisoned flit bit onto a
+    /// payload word index.
+    fn words_per_flit(&self) -> u64 {
+        (self.cfg.flit_bytes / 4).max(1) as u64
     }
 
     /// Builds a protocol-violation error with the flight recorder's tail
@@ -639,6 +745,7 @@ impl System {
         if self.telemetry.is_some() && c.is_multiple_of(SAMPLE_EVERY) {
             self.sample_counters();
         }
+        let words_per_flit = self.words_per_flit();
 
         // --- Memory nodes ---
         for (mi, m) in self.mems.iter_mut().enumerate() {
@@ -655,10 +762,15 @@ impl System {
             // Ingest one flit per cycle, unconditionally (see `inbox`).
             if let Some(flit) = self.net.eject(m.port) {
                 if let Some(pkt) = m.rx.push(flit) {
-                    match std::sync::Arc::try_unwrap(pkt) {
-                        Ok(p) => m.inbox.push_back(p.payload),
-                        Err(p) => m.inbox.push_back(p.payload.clone()),
+                    let poison = self.net.take_poison(pkt.id);
+                    let mut payload = match std::sync::Arc::try_unwrap(pkt) {
+                        Ok(p) => p.payload,
+                        Err(p) => p.payload.clone(),
+                    };
+                    if !poison.is_empty() {
+                        Self::apply_poison(&mut payload, &poison, words_per_flit);
                     }
+                    m.inbox.push_back(payload);
                 }
             }
             // Feed the controller from the NIC buffer.
@@ -734,11 +846,19 @@ impl System {
     fn tile_ingest(&mut self, t: usize) -> Result<(), CoreError> {
         let ports = self.tiles[t].ports;
         let cycle = self.cycle;
+        let words_per_flit = self.words_per_flit();
         // GPE port: always accepts (responses land in thread state).
         if let Some(flit) = self.net.eject(ports.gpe) {
             let tile = &mut self.tiles[t];
             if let Some(pkt) = tile.gpe_rx.push(flit) {
-                let outcome = match &pkt.payload {
+                let poison = self.net.take_poison(pkt.id);
+                let poisoned = (!poison.is_empty()).then(|| {
+                    let mut p = pkt.payload.clone();
+                    Self::apply_poison(&mut p, &poison, words_per_flit);
+                    p
+                });
+                let payload = poisoned.as_ref().unwrap_or(&pkt.payload);
+                let outcome = match payload {
                     Message::Data {
                         tag: Tag::Gpe { thread, offset },
                         data,
@@ -765,7 +885,14 @@ impl System {
         } else if let Some(flit) = self.net.eject(ports.agg) {
             let tile = &mut self.tiles[t];
             if let Some(pkt) = tile.agg_rx.push(flit) {
-                let outcome = match &pkt.payload {
+                let poison = self.net.take_poison(pkt.id);
+                let poisoned = (!poison.is_empty()).then(|| {
+                    let mut p = pkt.payload.clone();
+                    Self::apply_poison(&mut p, &poison, words_per_flit);
+                    p
+                });
+                let payload = poisoned.as_ref().unwrap_or(&pkt.payload);
+                let outcome = match payload {
                     Message::Data {
                         tag:
                             Tag::Agg {
@@ -794,7 +921,14 @@ impl System {
         if let Some(flit) = self.net.eject(ports.dnq) {
             let tile = &mut self.tiles[t];
             if let Some(pkt) = tile.dnq_rx.push(flit) {
-                let outcome = match &pkt.payload {
+                let poison = self.net.take_poison(pkt.id);
+                let poisoned = (!poison.is_empty()).then(|| {
+                    let mut p = pkt.payload.clone();
+                    Self::apply_poison(&mut p, &poison, words_per_flit);
+                    p
+                });
+                let payload = poisoned.as_ref().unwrap_or(&pkt.payload);
+                let outcome = match payload {
                     Message::Data {
                         tag:
                             Tag::Dnq {
@@ -1014,6 +1148,7 @@ impl System {
             clock_divider: self.divider,
             per_tile: self.tile_counters(),
             resilience: self.resilience_summary(),
+            degraded: self.degraded,
         }
     }
 
@@ -1162,6 +1297,7 @@ impl System {
         reg.counter_set(&format!("{prefix}.corrected"), c.corrected);
         reg.counter_set(&format!("{prefix}.retried"), c.retried);
         reg.counter_set(&format!("{prefix}.unrecoverable"), c.unrecoverable);
+        reg.counter_set(&format!("{prefix}.sdc"), c.sdc);
         reg.counter_set(&format!("{prefix}.corrupted"), c.corrupted);
         reg.counter_set(&format!("{prefix}.dropped"), c.dropped);
         reg.counter_set(&format!("{prefix}.retry_cycles"), c.retry_cycles);

@@ -9,7 +9,7 @@ use gnna_core::config::AcceleratorConfig;
 use gnna_core::layers::compile_gcn;
 use gnna_core::system::System;
 use gnna_core::CoreError;
-use gnna_faults::FaultPlan;
+use gnna_faults::{FaultPlan, MeshDir};
 use gnna_graph::datasets;
 use gnna_models::{Gcn, GcnNorm};
 use gnna_telemetry::MetricsRegistry;
@@ -36,7 +36,7 @@ fn zero_fault_plan_is_bit_identical_noop() {
     // report (every counter), same output bits, and no `*.fault.*`
     // metric families in the harvested registry.
     let mut sys = gcn_system(&cfg);
-    sys.attach_faults(&FaultPlan::new(7));
+    sys.attach_faults(&FaultPlan::new(7)).unwrap();
     let report = sys.run().unwrap();
     assert_eq!(
         plain_report, report,
@@ -65,7 +65,8 @@ fn zero_fault_plan_is_bit_identical_noop() {
 fn injected_faults_emit_metric_families() {
     let cfg = AcceleratorConfig::gpu_iso_bandwidth();
     let mut sys = gcn_system(&cfg);
-    sys.attach_faults(&FaultPlan::new(11).with_rate(0.02));
+    sys.attach_faults(&FaultPlan::new(11).with_rate(0.02))
+        .unwrap();
     let report = sys.run().unwrap();
     assert!(
         report.resilience.any(),
@@ -103,7 +104,8 @@ fn unrecoverable_noc_fault_is_structured_error() {
         &FaultPlan::new(3)
             .with_noc_rate(1.0)
             .with_noc_retry_budget(2),
-    );
+    )
+    .unwrap();
     match sys.run() {
         Err(CoreError::Fault { site, msg, .. }) => {
             assert_eq!(site, "noc");
@@ -115,6 +117,116 @@ fn unrecoverable_noc_fault_is_structured_error() {
         Err(other) => panic!("expected CoreError::Fault, got: {other}"),
         Ok(_) => panic!("run with a saturating NoC fault rate succeeded"),
     }
+}
+
+#[test]
+fn dead_tile_remaps_work_onto_survivors() {
+    let cfg = AcceleratorConfig::gpu_iso_bandwidth();
+    let mut clean = gcn_system(&cfg);
+    let clean_report = clean.run().unwrap();
+    let total_vertices: u64 = clean_report
+        .per_tile
+        .iter()
+        .map(|t| t.gpe_vertices_done)
+        .sum();
+
+    let mut sys = gcn_system(&cfg);
+    sys.attach_faults(&FaultPlan::new(5).with_dead_tile(1))
+        .unwrap();
+    let report = sys.run().unwrap();
+    assert_eq!(report.degraded.dead_tiles, 1);
+    assert!(
+        report.degraded.remapped_vertices > 0,
+        "dead tile remapped no work: {:?}",
+        report.degraded
+    );
+    // The dead tile retires nothing; the survivors pick up its share so
+    // the same total work still completes.
+    assert_eq!(report.per_tile[1].gpe_vertices_done, 0);
+    let redone: u64 = report.per_tile.iter().map(|t| t.gpe_vertices_done).sum();
+    assert_eq!(redone, total_vertices, "remap lost or duplicated vertices");
+    assert!(report.to_string().contains("degraded: 1 dead tiles"));
+}
+
+#[test]
+fn dead_link_detours_and_completes() {
+    let cfg = AcceleratorConfig::gpu_iso_bandwidth();
+    let mut clean = gcn_system(&cfg);
+    let clean_report = clean.run().unwrap();
+
+    let mut sys = gcn_system(&cfg);
+    sys.attach_faults(&FaultPlan::new(5).with_dead_link(0, 0, MeshDir::East))
+        .unwrap();
+    let report = sys.run().unwrap();
+    assert_eq!(report.degraded.dead_links, 1);
+    // The detour delivers everything: same vertices retired, and the
+    // longer paths can only add hops, never remove them.
+    let clean_v: u64 = clean_report
+        .per_tile
+        .iter()
+        .map(|t| t.gpe_vertices_done)
+        .sum();
+    let v: u64 = report.per_tile.iter().map(|t| t.gpe_vertices_done).sum();
+    assert_eq!(v, clean_v);
+    assert!(report.noc_flit_hops >= clean_report.noc_flit_hops);
+}
+
+#[test]
+fn invalid_plans_are_structured_config_errors() {
+    let cfg = AcceleratorConfig::gpu_iso_bandwidth();
+    let mut sys = gcn_system(&cfg);
+    // Out-of-range rate is rejected up front.
+    let mut bad = FaultPlan::new(1);
+    bad.mem_rate = f64::NAN;
+    assert!(matches!(
+        sys.attach_faults(&bad),
+        Err(CoreError::InvalidConfig { .. })
+    ));
+    // Dead tile outside the topology.
+    assert!(matches!(
+        sys.attach_faults(&FaultPlan::new(1).with_dead_tile(usize::MAX)),
+        Err(CoreError::InvalidConfig { .. })
+    ));
+    // A dead link that would disconnect a mesh corner.
+    let plan = FaultPlan::new(1)
+        .with_dead_link(0, 0, MeshDir::East)
+        .with_dead_link(0, 0, MeshDir::South)
+        .with_dead_link(0, 0, MeshDir::North);
+    assert!(matches!(
+        sys.attach_faults(&plan),
+        Err(CoreError::InvalidConfig { .. })
+    ));
+}
+
+#[test]
+fn passthrough_high_rate_reports_silent_corruption() {
+    let cfg = AcceleratorConfig::gpu_iso_bandwidth();
+    let plan = FaultPlan::new(13)
+        .with_mem_rate(0.05)
+        .with_double_bit_fraction(0.5)
+        .with_noc_rate(0.01)
+        .with_passthrough(true);
+    let mut sys = gcn_system(&cfg);
+    sys.attach_faults(&plan).unwrap();
+    // Pass-through never returns CoreError::Fault: corrupted words are
+    // delivered instead of retried to exhaustion.
+    let report = sys.run().unwrap();
+    let total = report.resilience.total();
+    assert!(
+        total.sdc > 0,
+        "high-rate pass-through produced no silent corruption: {total:?}"
+    );
+    assert_eq!(total.unrecoverable, 0);
+    assert!(report.resilience.partition_holds());
+    // The sdc counter surfaces in the metric registry.
+    let mut reg = MetricsRegistry::new();
+    sys.harvest_metrics(&mut reg);
+    let sdc_sum: u64 = reg
+        .iter()
+        .filter(|(name, _)| name.ends_with(".fault.sdc"))
+        .filter_map(|(name, _)| reg.get_counter(name))
+        .sum();
+    assert_eq!(sdc_sum, total.sdc);
 }
 
 /// Strategy over small fault plans: per-site rates up to 2% with
@@ -139,10 +251,10 @@ proptest! {
     fn prop_identical_seeds_replay_bit_identically(plan in plan_strategy()) {
         let cfg = AcceleratorConfig::gpu_iso_bandwidth();
         let mut a = gcn_system(&cfg);
-        a.attach_faults(&plan);
+        a.attach_faults(&plan).unwrap();
         let ra = a.run().unwrap();
         let mut b = gcn_system(&cfg);
-        b.attach_faults(&plan);
+        b.attach_faults(&plan).unwrap();
         let rb = b.run().unwrap();
         prop_assert_eq!(&ra, &rb);
         prop_assert_eq!(a.full_output().into_vec(), b.full_output().into_vec());
@@ -154,7 +266,7 @@ proptest! {
     fn prop_fault_counters_partition_exactly(plan in plan_strategy()) {
         let cfg = AcceleratorConfig::gpu_iso_bandwidth();
         let mut sys = gcn_system(&cfg);
-        sys.attach_faults(&plan);
+        sys.attach_faults(&plan).unwrap();
         let report = sys.run().unwrap();
         let r = &report.resilience;
         for (site, c) in [("mem", r.mem), ("noc", r.noc), ("dna", r.dna)] {
@@ -182,7 +294,7 @@ proptest! {
             .with_stall_rate(0.02)
             .with_double_bit_fraction(0.0); // single-bit only: no retries
         let mut faulty = gcn_system(&cfg);
-        faulty.attach_faults(&plan);
+        faulty.attach_faults(&plan).unwrap();
         let report = faulty.run().unwrap();
 
         prop_assert_eq!(

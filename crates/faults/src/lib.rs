@@ -30,14 +30,28 @@
 //! [`FaultCounters::partition_holds`]:
 //!
 //! ```text
-//! injected == corrected + retried + unrecoverable      (when drained)
+//! injected == corrected + retried + unrecoverable + sdc   (when drained)
 //! ```
+//!
+//! Beyond transient faults, a plan can also describe **permanent**
+//! defects — stuck-at bit lines in DRAM words ([`StuckLineModel`],
+//! applied on *every* access to an afflicted address rather than
+//! sampled per event), dead mesh links (their CRC budget is permanently
+//! exhausted, so the router must detour around them), and disabled
+//! tiles (their vertex partition is remapped onto survivors) — and an
+//! **error pass-through mode** ([`FaultPlan::passthrough`]) in which
+//! double-bit ECC and CRC failures deliver the corrupted word into the
+//! dataflow (counted as `sdc`, silent data corruption) instead of
+//! paying a retry.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod crc;
 pub mod ecc;
+pub mod stuck;
+
+pub use stuck::{StuckBit, StuckLineModel};
 
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
@@ -80,6 +94,104 @@ impl fmt::Display for FaultSite {
     }
 }
 
+/// A mesh link direction, as seen from the router that owns the
+/// outgoing link. The numeric [`index`](MeshDir::index) matches the NoC
+/// router port constants (N=0, E=1, S=2, W=3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MeshDir {
+    /// Towards `y - 1`.
+    North,
+    /// Towards `x + 1`.
+    East,
+    /// Towards `y + 1`.
+    South,
+    /// Towards `x - 1`.
+    West,
+}
+
+impl MeshDir {
+    /// Router output-port index for this direction (N=0, E=1, S=2, W=3).
+    pub const fn index(self) -> usize {
+        match self {
+            MeshDir::North => 0,
+            MeshDir::East => 1,
+            MeshDir::South => 2,
+            MeshDir::West => 3,
+        }
+    }
+
+    /// Compass letter used in metric keys and error messages.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            MeshDir::North => "N",
+            MeshDir::East => "E",
+            MeshDir::South => "S",
+            MeshDir::West => "W",
+        }
+    }
+}
+
+impl fmt::Display for MeshDir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A permanently dead mesh link: the outgoing link of router `(x, y)`
+/// in direction `dir`. Its retransmit budget is treated as permanently
+/// exhausted, so routing must detour around it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DeadLink {
+    /// Router x coordinate.
+    pub x: usize,
+    /// Router y coordinate.
+    pub y: usize,
+    /// Outgoing direction of the dead link.
+    pub dir: MeshDir,
+}
+
+impl fmt::Display for DeadLink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{}).{}", self.x, self.y, self.dir)
+    }
+}
+
+/// A structured validation error for a [`FaultPlan`]. Rates must be
+/// finite and within `[0, 1]`; out-of-range knobs are *rejected*, never
+/// silently clamped.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FaultPlanError {
+    /// A probability knob was NaN, negative, or greater than one.
+    InvalidRate {
+        /// Name of the offending `FaultPlan` field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The same dead link (or dead tile) was listed twice.
+    Duplicate {
+        /// Description of the duplicated entry.
+        entry: String,
+    },
+}
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultPlanError::InvalidRate { field, value } => write!(
+                f,
+                "fault plan field `{field}` must be a probability in [0, 1], got {value}"
+            ),
+            FaultPlanError::Duplicate { entry } => {
+                write!(f, "fault plan lists {entry} more than once")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
 /// A deterministic fault schedule: per-site rates plus protection-model
 /// parameters. Constructed with [`FaultPlan::new`] and the `with_*`
 /// builders; an all-zero-rate plan ([`FaultPlan::is_empty`]) must leave
@@ -110,6 +222,19 @@ pub struct FaultPlan {
     pub noc_backoff_cycles: u64,
     /// Bubble length in core cycles injected into a faulted DNA job.
     pub dna_bubble_cycles: u64,
+    /// Probability a DRAM *word address* has a permanently stuck bit
+    /// line (deterministic per address; applied on every access).
+    pub mem_stuck_rate: f64,
+    /// Permanently dead mesh links; routing detours around them.
+    pub dead_links: Vec<DeadLink>,
+    /// Permanently disabled tiles; their vertex partitions are remapped
+    /// onto surviving tiles.
+    pub dead_tiles: Vec<usize>,
+    /// Error pass-through: double-bit ECC and CRC failures deliver the
+    /// corrupted data into the dataflow (counted as `sdc`) instead of
+    /// paying a retry. Dropped flits still retransmit — a lost flit
+    /// cannot pass through.
+    pub passthrough: bool,
 }
 
 impl FaultPlan {
@@ -127,6 +252,10 @@ impl FaultPlan {
             noc_retry_budget: 8,
             noc_backoff_cycles: 4,
             dna_bubble_cycles: 32,
+            mem_stuck_rate: 0.0,
+            dead_links: Vec::new(),
+            dead_tiles: Vec::new(),
+            passthrough: false,
         }
     }
 
@@ -169,10 +298,80 @@ impl FaultPlan {
         self
     }
 
-    /// Whether the plan injects nothing (all rates zero). Attaching an
-    /// empty plan must be bit-identical to attaching none.
+    /// Sets the permanent stuck-bit-line rate over DRAM word addresses.
+    pub fn with_mem_stuck_rate(mut self, rate: f64) -> Self {
+        self.mem_stuck_rate = rate;
+        self
+    }
+
+    /// Marks the outgoing link of router `(x, y)` in direction `dir` as
+    /// permanently dead.
+    pub fn with_dead_link(mut self, x: usize, y: usize, dir: MeshDir) -> Self {
+        self.dead_links.push(DeadLink { x, y, dir });
+        self
+    }
+
+    /// Marks tile `t` as permanently disabled; its vertex partition is
+    /// remapped onto surviving tiles.
+    pub fn with_dead_tile(mut self, t: usize) -> Self {
+        self.dead_tiles.push(t);
+        self
+    }
+
+    /// Enables error pass-through: uncorrectable errors are delivered
+    /// into the dataflow (silent data corruption) instead of retried.
+    pub fn with_passthrough(mut self, on: bool) -> Self {
+        self.passthrough = on;
+        self
+    }
+
+    /// Validates every probability knob: each must be finite and within
+    /// `[0, 1]`, and dead-link / dead-tile lists must be duplicate-free.
+    /// Out-of-range values are rejected with a structured
+    /// [`FaultPlanError`] — never silently clamped.
+    pub fn validate(&self) -> Result<(), FaultPlanError> {
+        let rates = [
+            ("mem_rate", self.mem_rate),
+            ("noc_rate", self.noc_rate),
+            ("stall_rate", self.stall_rate),
+            ("mem_double_bit_fraction", self.mem_double_bit_fraction),
+            ("noc_drop_fraction", self.noc_drop_fraction),
+            ("mem_stuck_rate", self.mem_stuck_rate),
+        ];
+        for (field, value) in rates {
+            if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+                return Err(FaultPlanError::InvalidRate { field, value });
+            }
+        }
+        for (i, link) in self.dead_links.iter().enumerate() {
+            if self.dead_links[..i].contains(link) {
+                return Err(FaultPlanError::Duplicate {
+                    entry: format!("dead link {link}"),
+                });
+            }
+        }
+        for (i, tile) in self.dead_tiles.iter().enumerate() {
+            if self.dead_tiles[..i].contains(tile) {
+                return Err(FaultPlanError::Duplicate {
+                    entry: format!("dead tile {tile}"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the plan injects nothing (all transient rates zero and no
+    /// permanent defects). Attaching an empty plan must be bit-identical
+    /// to attaching none. `passthrough` alone does not make a plan
+    /// non-empty: with nothing injected there is nothing to pass
+    /// through.
     pub fn is_empty(&self) -> bool {
-        self.mem_rate <= 0.0 && self.noc_rate <= 0.0 && self.stall_rate <= 0.0
+        self.mem_rate <= 0.0
+            && self.noc_rate <= 0.0
+            && self.stall_rate <= 0.0
+            && self.mem_stuck_rate <= 0.0
+            && self.dead_links.is_empty()
+            && self.dead_tiles.is_empty()
     }
 }
 
@@ -234,9 +433,10 @@ impl SiteInjector {
 ///
 /// Every *injected* fault ends in exactly one terminal bucket —
 /// `corrected` (absorbed with no retry traffic: ECC single-bit fix, DNA
-/// bubble), `retried` (repaired by retransmit/re-read), or
-/// `unrecoverable` (protection exhausted). `corrupted`/`dropped` are
-/// *kind* sub-counters of NoC injections, and `retry_cycles` is the
+/// bubble), `retried` (repaired by retransmit/re-read),
+/// `unrecoverable` (protection exhausted), or `sdc` (pass-through mode
+/// delivered the corruption into the dataflow). `corrupted`/`dropped`
+/// are *kind* sub-counters of NoC injections, and `retry_cycles` is the
 /// cumulative latency overhead charged by retries and backoff.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct FaultCounters {
@@ -249,6 +449,9 @@ pub struct FaultCounters {
     pub retried: u64,
     /// Faults whose protection budget was exhausted.
     pub unrecoverable: u64,
+    /// Silent data corruptions: uncorrectable errors delivered into the
+    /// dataflow under pass-through mode.
+    pub sdc: u64,
     /// NoC faults that corrupted a flit in flight (kind sub-counter).
     pub corrupted: u64,
     /// NoC faults that dropped a flit outright (kind sub-counter).
@@ -260,7 +463,7 @@ pub struct FaultCounters {
 impl FaultCounters {
     /// Faults that reached a terminal outcome.
     pub fn resolved(&self) -> u64 {
-        self.corrected + self.retried + self.unrecoverable
+        self.corrected + self.retried + self.unrecoverable + self.sdc
     }
 
     /// Injected faults still awaiting their outcome (in-flight
@@ -281,6 +484,7 @@ impl FaultCounters {
         self.corrected += other.corrected;
         self.retried += other.retried;
         self.unrecoverable += other.unrecoverable;
+        self.sdc += other.sdc;
         self.corrupted += other.corrupted;
         self.dropped += other.dropped;
         self.retry_cycles += other.retry_cycles;
@@ -296,8 +500,16 @@ impl fmt::Display for FaultCounters {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "injected {} (corrected {}, retried {}, unrecoverable {}; {} retry cycles)",
-            self.injected, self.corrected, self.retried, self.unrecoverable, self.retry_cycles
+            "injected {} (corrected {}, retried {}, unrecoverable {}, sdc {}; \
+             corrupted {}, dropped {}; {} retry cycles)",
+            self.injected,
+            self.corrected,
+            self.retried,
+            self.unrecoverable,
+            self.sdc,
+            self.corrupted,
+            self.dropped,
+            self.retry_cycles
         )
     }
 }
@@ -313,7 +525,86 @@ mod tests {
         assert!(!p.clone().with_rate(0.1).is_empty());
         assert!(!p.clone().with_mem_rate(0.5).is_empty());
         assert!(!p.clone().with_noc_rate(0.5).is_empty());
+        assert!(!p.clone().with_mem_stuck_rate(0.01).is_empty());
+        assert!(!p.clone().with_dead_link(0, 0, MeshDir::East).is_empty());
+        assert!(!p.clone().with_dead_tile(1).is_empty());
+        // Pass-through alone injects nothing, so the plan stays empty.
+        assert!(p.clone().with_passthrough(true).is_empty());
         assert!(!p.with_stall_rate(0.5).is_empty());
+    }
+
+    #[test]
+    fn validate_rejects_bad_rates() {
+        assert!(FaultPlan::new(1).validate().is_ok());
+        assert!(FaultPlan::new(1).with_rate(1.0).validate().is_ok());
+        for bad in [f64::NAN, -0.1, 1.5, f64::INFINITY] {
+            let err = FaultPlan::new(1).with_mem_rate(bad).validate().unwrap_err();
+            match err {
+                FaultPlanError::InvalidRate { field, .. } => assert_eq!(field, "mem_rate"),
+                other => panic!("unexpected error {other:?}"),
+            }
+        }
+        let err = FaultPlan::new(1)
+            .with_mem_stuck_rate(2.0)
+            .validate()
+            .unwrap_err();
+        assert!(err.to_string().contains("mem_stuck_rate"));
+        let err = FaultPlan::new(1)
+            .with_double_bit_fraction(f64::NAN)
+            .validate()
+            .unwrap_err();
+        assert!(err.to_string().contains("mem_double_bit_fraction"));
+    }
+
+    #[test]
+    fn validate_rejects_duplicates() {
+        let err = FaultPlan::new(1)
+            .with_dead_link(1, 0, MeshDir::East)
+            .with_dead_link(1, 0, MeshDir::East)
+            .validate()
+            .unwrap_err();
+        assert!(err.to_string().contains("dead link (1,0).E"));
+        let err = FaultPlan::new(1)
+            .with_dead_tile(2)
+            .with_dead_tile(2)
+            .validate()
+            .unwrap_err();
+        assert!(err.to_string().contains("dead tile 2"));
+        assert!(FaultPlan::new(1)
+            .with_dead_link(1, 0, MeshDir::East)
+            .with_dead_link(1, 0, MeshDir::West)
+            .with_dead_tile(1)
+            .with_dead_tile(2)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn mesh_dir_indices_match_port_constants() {
+        assert_eq!(MeshDir::North.index(), 0);
+        assert_eq!(MeshDir::East.index(), 1);
+        assert_eq!(MeshDir::South.index(), 2);
+        assert_eq!(MeshDir::West.index(), 3);
+        assert_eq!(MeshDir::North.to_string(), "N");
+    }
+
+    #[test]
+    fn sdc_counts_toward_partition_and_display() {
+        let c = FaultCounters {
+            injected: 4,
+            corrected: 1,
+            retried: 1,
+            unrecoverable: 1,
+            sdc: 1,
+            corrupted: 2,
+            dropped: 1,
+            retry_cycles: 9,
+        };
+        assert!(c.partition_holds());
+        let s = c.to_string();
+        assert!(s.contains("sdc 1"), "{s}");
+        assert!(s.contains("corrupted 2"), "{s}");
+        assert!(s.contains("dropped 1"), "{s}");
     }
 
     #[test]

@@ -1,0 +1,220 @@
+//! Permanent stuck-at bit-line model for DRAM/scratchpad words.
+//!
+//! Unlike the transient [`SiteInjector`](crate::SiteInjector) streams —
+//! which sample one Bernoulli draw *per event* — a stuck bit line is a
+//! property of the *address*: every access to an afflicted word sees
+//! the same bit forced to the same value, forever. The model is a pure
+//! function of `(plan seed, instance, word address)`, so it needs no
+//! mutable state, costs one integer hash per lookup, and two runs with
+//! the same seed agree on the defect map bit-for-bit regardless of
+//! access order.
+//!
+//! Interaction with SECDED: a stuck line is a *single-bit* error on
+//! every read of that word, so the inline ECC corrects it (when the
+//! stored bit differs from the stuck value) at zero latency — but each
+//! such read still counts as an injected+corrected fault, which is what
+//! makes stuck-line campaigns visible in the counters. Under
+//! pass-through mode the corrupted word is delivered as-is and counted
+//! as `sdc`.
+
+use std::fmt;
+
+/// A permanently stuck bit in a 32-bit word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StuckBit {
+    /// Bit position in the word, `0..32`.
+    pub bit: u32,
+    /// The value the line is stuck at (`true` = stuck-at-1).
+    pub value: bool,
+}
+
+impl fmt::Display for StuckBit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bit {} stuck-at-{}",
+            self.bit,
+            if self.value { 1 } else { 0 }
+        )
+    }
+}
+
+impl StuckBit {
+    /// Applies the stuck line to a stored word, returning what a read
+    /// of that word actually observes.
+    pub const fn apply(self, word: u32) -> u32 {
+        if self.value {
+            word | (1 << self.bit)
+        } else {
+            word & !(1 << self.bit)
+        }
+    }
+
+    /// Whether a read of `word` through this stuck line is corrupted
+    /// (i.e. the stored bit differs from the stuck value).
+    pub const fn corrupts(self, word: u32) -> bool {
+        self.apply(word) != word
+    }
+}
+
+/// Deterministic map from word addresses to stuck bit lines.
+///
+/// Each word address is hashed (SplitMix64 finalizer over the plan
+/// seed, the instance index and the address); the low bits decide
+/// whether the address is afflicted at the configured rate, and the
+/// high bits pick the stuck bit position and polarity. A zero rate
+/// never afflicts any address.
+#[derive(Debug, Clone)]
+pub struct StuckLineModel {
+    seed: u64,
+    /// Affliction threshold in full `u64` space: an address is stuck
+    /// iff `hash < threshold`.
+    threshold: u64,
+    rate: f64,
+}
+
+impl StuckLineModel {
+    /// Builds the defect map for `instance` (one memory controller)
+    /// under `plan_seed` at the given per-address rate.
+    pub fn new(plan_seed: u64, instance: u64, rate: f64) -> Self {
+        debug_assert!((0.0..=1.0).contains(&rate));
+        let seed = plan_seed
+            ^ 0x94D0_49BB_1331_11EBu64.wrapping_mul(instance.wrapping_add(1))
+            ^ 0xD6E8_FEB8_6659_FD93;
+        let threshold = if rate >= 1.0 {
+            u64::MAX
+        } else if rate <= 0.0 {
+            0
+        } else {
+            // Exact within f64 precision; rate < 1 keeps this below MAX.
+            (rate * (u64::MAX as f64)) as u64
+        };
+        StuckLineModel {
+            seed,
+            threshold,
+            rate,
+        }
+    }
+
+    /// The configured per-address affliction rate.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Whether the model can ever afflict an address.
+    pub fn is_empty(&self) -> bool {
+        self.threshold == 0
+    }
+
+    fn hash(&self, word_addr: u64) -> u64 {
+        // SplitMix64 finalizer over seed ⊕ address.
+        let mut z = self
+            .seed
+            .wrapping_add(word_addr.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The stuck bit line afflicting `word_addr`, if any. Pure: the
+    /// same address always returns the same answer.
+    pub fn stuck_at(&self, word_addr: u64) -> Option<StuckBit> {
+        if self.threshold == 0 {
+            return None;
+        }
+        let h = self.hash(word_addr);
+        if h >= self.threshold {
+            return None;
+        }
+        // Decide bit/polarity from an independent re-hash so they are
+        // uncorrelated with the affliction decision.
+        let d = self.hash(word_addr ^ 0xA5A5_A5A5_A5A5_A5A5);
+        Some(StuckBit {
+            bit: (d >> 8) as u32 % 32,
+            value: (d >> 40) & 1 == 1,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_never_afflicts() {
+        let m = StuckLineModel::new(42, 0, 0.0);
+        assert!(m.is_empty());
+        for a in 0..4096u64 {
+            assert!(m.stuck_at(a).is_none());
+        }
+    }
+
+    #[test]
+    fn full_rate_afflicts_everything() {
+        let m = StuckLineModel::new(42, 0, 1.0);
+        for a in 0..256u64 {
+            assert!(m.stuck_at(a).is_some());
+        }
+    }
+
+    #[test]
+    fn deterministic_per_address_and_seed() {
+        let m1 = StuckLineModel::new(7, 1, 0.1);
+        let m2 = StuckLineModel::new(7, 1, 0.1);
+        let m3 = StuckLineModel::new(8, 1, 0.1);
+        let hits1: Vec<_> = (0..10_000u64).filter_map(|a| m1.stuck_at(a)).collect();
+        let hits2: Vec<_> = (0..10_000u64).filter_map(|a| m2.stuck_at(a)).collect();
+        let hits3: Vec<_> = (0..10_000u64).filter_map(|a| m3.stuck_at(a)).collect();
+        assert_eq!(hits1, hits2);
+        assert_ne!(hits1, hits3);
+        // Repeated queries of the same address agree.
+        assert_eq!(m1.stuck_at(123), m1.stuck_at(123));
+    }
+
+    #[test]
+    fn rate_is_roughly_calibrated() {
+        let m = StuckLineModel::new(99, 0, 0.05);
+        let hits = (0..20_000u64).filter(|&a| m.stuck_at(a).is_some()).count();
+        assert!((600..1400).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn instances_get_distinct_defect_maps() {
+        let a = StuckLineModel::new(5, 0, 0.2);
+        let b = StuckLineModel::new(5, 1, 0.2);
+        let map_a: Vec<_> = (0..2048u64).map(|x| a.stuck_at(x)).collect();
+        let map_b: Vec<_> = (0..2048u64).map(|x| b.stuck_at(x)).collect();
+        assert_ne!(map_a, map_b);
+    }
+
+    #[test]
+    fn apply_and_corrupts() {
+        let s1 = StuckBit {
+            bit: 3,
+            value: true,
+        };
+        assert_eq!(s1.apply(0), 0b1000);
+        assert!(!s1.corrupts(0b1000));
+        assert!(s1.corrupts(0));
+        let s0 = StuckBit {
+            bit: 3,
+            value: false,
+        };
+        assert_eq!(s0.apply(0b1111), 0b0111);
+        assert!(s0.corrupts(0b1000));
+        assert!(!s0.corrupts(0));
+        assert!(s1.to_string().contains("stuck-at-1"));
+    }
+
+    #[test]
+    fn bit_positions_cover_the_word() {
+        let m = StuckLineModel::new(0xDEAD, 0, 1.0);
+        let mut seen = [false; 32];
+        for a in 0..4096u64 {
+            let s = m.stuck_at(a).unwrap();
+            assert!(s.bit < 32);
+            seen[s.bit as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "all 32 bit lines reachable");
+    }
+}

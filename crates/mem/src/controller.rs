@@ -1,5 +1,5 @@
 use crate::MemImage;
-use gnna_faults::{ecc, FaultCounters, FaultPlan, FaultSite, SiteInjector};
+use gnna_faults::{ecc, FaultCounters, FaultPlan, FaultSite, SiteInjector, StuckLineModel};
 use gnna_telemetry::{CostClass, ModuleProbe};
 use std::collections::VecDeque;
 use std::fmt;
@@ -183,11 +183,21 @@ struct PendingRequest {
 /// controller. Built from a [`FaultPlan`] with a per-controller
 /// instance index so every controller owns an independent deterministic
 /// stream.
+///
+/// Besides the transient per-request stream, the state can carry a
+/// permanent [`StuckLineModel`]: a deterministic map of word addresses
+/// with stuck bit lines, consulted on *every* read of an afflicted
+/// address (no RNG draws — permanent defects are a property of the
+/// address, not of the access). In pass-through mode uncorrectable
+/// errors (double-bit transients, stuck lines) are delivered into the
+/// returned data and counted as `sdc` instead of being repaired.
 #[derive(Debug)]
 pub struct MemFaultState {
     injector: SiteInjector,
     double_bit_fraction: f64,
     retry_penalty_cycles: u64,
+    stuck: Option<StuckLineModel>,
+    passthrough: bool,
     counters: FaultCounters,
 }
 
@@ -198,6 +208,16 @@ impl MemFaultState {
             injector: SiteInjector::new(plan.seed, FaultSite::MemRead, instance, plan.mem_rate),
             double_bit_fraction: plan.mem_double_bit_fraction,
             retry_penalty_cycles: plan.mem_retry_penalty_cycles.max(1),
+            stuck: if plan.mem_stuck_rate > 0.0 {
+                Some(StuckLineModel::new(
+                    plan.seed,
+                    instance,
+                    plan.mem_stuck_rate,
+                ))
+            } else {
+                None
+            },
+            passthrough: plan.passthrough,
             counters: FaultCounters::default(),
         }
     }
@@ -384,21 +404,25 @@ impl MemoryController {
         // Double-bit fault at the head: SECDED detects but cannot
         // correct, so the first delivery attempt converts into a
         // penalised re-read (the retried data is clean). The request
-        // stays queued; only its timing changes.
+        // stays queued; only its timing changes. Under pass-through the
+        // re-read is skipped: the corrupted line is delivered as-is
+        // (counted as `sdc` below) with no timing penalty.
         if front.fault == Some(PendingFault::DoubleBit) {
             let fs = self
                 .fault
                 .as_mut()
                 .expect("queued fault implies attached fault state");
-            fs.counters.retry_cycles += fs.retry_penalty_cycles;
-            let penalty = fs.retry_penalty_cycles;
-            let front = self.queue.front_mut().expect("checked front");
-            front.ready_at = now + penalty;
-            front.fault = Some(PendingFault::Retrying);
-            if let Some(p) = &self.probe {
-                p.instant("mem_fault_retry");
+            if !fs.passthrough {
+                fs.counters.retry_cycles += fs.retry_penalty_cycles;
+                let penalty = fs.retry_penalty_cycles;
+                let front = self.queue.front_mut().expect("checked front");
+                front.ready_at = now + penalty;
+                front.fault = Some(PendingFault::Retrying);
+                if let Some(p) = &self.probe {
+                    p.instant("mem_fault_retry");
+                }
+                return None;
             }
-            return None;
         }
         let PendingRequest {
             request,
@@ -448,9 +472,61 @@ impl MemoryController {
                         }
                     }
                     Some(PendingFault::DoubleBit) => {
-                        unreachable!("double-bit faults resolve before popping")
+                        // Pass-through: the double-bit error escapes
+                        // the controller as silent data corruption.
+                        // Flip two distinct bits of the first data word
+                        // (the decode failed, so the raw corrupted line
+                        // is what leaves the controller).
+                        let fs = self
+                            .fault
+                            .as_mut()
+                            .expect("queued fault implies attached fault state");
+                        debug_assert!(fs.passthrough, "double-bit only pops in pass-through");
+                        if let Some(w) = words.first_mut() {
+                            let a = fs.injector.draw_range(32) as u32;
+                            let b = (a + 1 + fs.injector.draw_range(31) as u32) % 32;
+                            debug_assert_ne!(a, b);
+                            *w ^= (1 << a) | (1 << b);
+                        }
+                        fs.counters.sdc += 1;
+                        if let Some(p) = &self.probe {
+                            p.instant("mem_fault_sdc");
+                        }
                     }
                     None => {}
+                }
+                // Permanent stuck bit lines: consulted on every read of
+                // an afflicted word address (pure hash, no RNG draws).
+                // Protected mode corrects each corrupting line inline
+                // via SECDED (data stays bit-exact); pass-through
+                // delivers the stuck value as silent data corruption.
+                if let Some(fs) = self.fault.as_mut() {
+                    if let Some(stuck) = &fs.stuck {
+                        let base_word = request.addr / 4;
+                        for (i, w) in words.iter_mut().enumerate() {
+                            let Some(line) = stuck.stuck_at(base_word + i as u64) else {
+                                continue;
+                            };
+                            if !line.corrupts(*w) {
+                                continue; // masked: stored bit matches the stuck value
+                            }
+                            fs.counters.injected += 1;
+                            if fs.passthrough {
+                                *w = line.apply(*w);
+                                fs.counters.sdc += 1;
+                                if let Some(p) = &self.probe {
+                                    p.instant("mem_fault_sdc");
+                                }
+                            } else {
+                                // A stuck line is a single-bit error on
+                                // this word; SECDED corrects it inline.
+                                fs.counters.corrected += 1;
+                                if let Some(p) = &self.probe {
+                                    p.instant("mem_fault_corrected");
+                                }
+                            }
+                        }
+                    }
                 }
                 Some(words)
             }
@@ -749,5 +825,111 @@ mod tests {
         let now = ctrl.next_ready_cycle().unwrap();
         ctrl.pop_ready(now, &mut img).unwrap();
         assert!(ctrl.is_idle());
+    }
+
+    #[test]
+    fn passthrough_double_bit_skips_retry_and_corrupts() {
+        // Rate 1, all double-bit, pass-through: the first delivery
+        // attempt succeeds immediately (no penalty) but the data leaves
+        // the controller corrupted, counted as sdc.
+        let mut img = MemImage::new();
+        let addr = img.alloc_u32(&[0xDEAD_BEEF, 0x1234_5678]);
+        let plan = FaultPlan::new(3)
+            .with_mem_rate(1.0)
+            .with_double_bit_fraction(1.0)
+            .with_passthrough(true);
+        let mut ctrl = MemoryController::new(MemConfig::default());
+        ctrl.attach_faults(MemFaultState::from_plan(&plan, 0));
+        ctrl.try_push(MemRequest::read(addr, 8, 0), 0).unwrap();
+        let first_ready = ctrl.next_ready_cycle().unwrap();
+        let resp = ctrl
+            .pop_ready(first_ready, &mut img)
+            .expect("pass-through delivers at the nominal ready time");
+        let data = resp.data.unwrap();
+        assert_ne!(data[0], 0xDEAD_BEEF, "first word must be corrupted");
+        assert_eq!(
+            (data[0] ^ 0xDEAD_BEEF).count_ones(),
+            2,
+            "exactly two bits flipped"
+        );
+        assert_eq!(data[1], 0x1234_5678, "other words untouched");
+        let c = ctrl.fault_counters().unwrap();
+        assert_eq!(c.injected, 1);
+        assert_eq!(c.sdc, 1);
+        assert_eq!(c.retried, 0);
+        assert_eq!(c.retry_cycles, 0);
+        assert!(c.partition_holds());
+        // The image itself is unharmed: a later fault-free re-read of
+        // the same address through a clean controller sees the truth.
+        assert_eq!(img.read_u32(addr), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn stuck_lines_apply_on_every_access_deterministically() {
+        // Rate 1.0: every word address is afflicted. Protected mode
+        // corrects each corrupting line inline (data bit-exact).
+        let mut img = MemImage::new();
+        let words: Vec<u32> = (100..116u32).collect();
+        let addr = img.alloc_u32(&words);
+        let plan = FaultPlan::new(21).with_mem_stuck_rate(1.0);
+        let mut ctrl = MemoryController::new(MemConfig::default());
+        ctrl.attach_faults(MemFaultState::from_plan(&plan, 0));
+        // Read the same line twice: the stuck lines re-fire each time.
+        for tag in 0..2u64 {
+            ctrl.try_push(MemRequest::read(addr, 64, tag), 0).unwrap();
+        }
+        let resps = drain(&mut ctrl, &mut img);
+        assert_eq!(resps.len(), 2);
+        for r in &resps {
+            assert_eq!(
+                r.data.as_deref().unwrap(),
+                &words[..],
+                "ECC keeps data exact"
+            );
+        }
+        let c = *ctrl.fault_counters().unwrap();
+        assert!(c.injected > 0, "some stuck lines must corrupt");
+        assert_eq!(c.corrected, c.injected);
+        assert_eq!(c.sdc, 0);
+        assert!(c.partition_holds());
+        // Same events on both accesses: injected count is even.
+        assert_eq!(c.injected % 2, 0);
+    }
+
+    #[test]
+    fn stuck_lines_pass_through_as_sdc() {
+        let mut img = MemImage::new();
+        let words: Vec<u32> = (0..16u32).map(|i| i * 0x0101_0101).collect();
+        let addr = img.alloc_u32(&words);
+        let plan = FaultPlan::new(21)
+            .with_mem_stuck_rate(1.0)
+            .with_passthrough(true);
+        let mut ctrl = MemoryController::new(MemConfig::default());
+        ctrl.attach_faults(MemFaultState::from_plan(&plan, 0));
+        ctrl.try_push(MemRequest::read(addr, 64, 0), 0).unwrap();
+        let resps = drain(&mut ctrl, &mut img);
+        let data = resps[0].data.as_deref().unwrap().to_vec();
+        let differing = data
+            .iter()
+            .zip(&words)
+            .filter(|(got, want)| got != want)
+            .count();
+        let c = *ctrl.fault_counters().unwrap();
+        assert!(c.sdc > 0, "pass-through must corrupt some words");
+        assert_eq!(c.sdc, c.injected);
+        assert_eq!(differing as u64, c.sdc, "one corrupted word per sdc");
+        for (got, want) in data.iter().zip(&words) {
+            if got != want {
+                assert_eq!((got ^ want).count_ones(), 1, "stuck line flips one bit");
+            }
+        }
+        assert!(c.partition_holds());
+    }
+
+    #[test]
+    fn zero_stuck_rate_keeps_controller_exact() {
+        let plan = FaultPlan::new(5).with_mem_stuck_rate(0.0);
+        let state = MemFaultState::from_plan(&plan, 0);
+        assert!(state.stuck.is_none());
     }
 }

@@ -3,7 +3,7 @@ use crate::router::{
     SOUTH, WEST,
 };
 use crate::{Address, Flit, NetworkStats, NocConfig, Packet};
-use gnna_faults::{crc, FaultCounters, FaultPlan, FaultSite, SiteInjector};
+use gnna_faults::{crc, DeadLink, FaultCounters, FaultPlan, FaultSite, SiteInjector};
 use gnna_telemetry::{HistogramSummary, MetricsRegistry, ModuleProbe};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -87,6 +87,17 @@ pub struct NocFaultState {
     /// Set once a link exhausts its retransmit budget; injection stops
     /// (the run is aborting) so the fabric can still drain.
     failure: Option<String>,
+    /// Error pass-through: corrupted flits sail on (recorded in
+    /// `poison`, counted as `sdc`) instead of retransmitting. Dropped
+    /// flits still retransmit — a lost flit cannot pass through.
+    passthrough: bool,
+    /// Permanently dead links from the plan (routing detours around
+    /// them via the network's detour table).
+    dead: Vec<DeadLink>,
+    /// Poison ledger for pass-through corruption: packet id → list of
+    /// `(flit seq, corrupted payload bit)` events. Drained by the
+    /// embedding system at reassembly via [`Network::take_poison`].
+    poison: HashMap<u64, Vec<(u32, u64)>>,
 }
 
 impl NocFaultState {
@@ -100,6 +111,9 @@ impl NocFaultState {
             counters: FaultCounters::default(),
             retries: Vec::new(),
             failure: None,
+            passthrough: plan.passthrough,
+            dead: plan.dead_links.clone(),
+            poison: HashMap::new(),
         }
     }
 
@@ -155,6 +169,11 @@ pub struct Network<T> {
     /// Optional link-fault injection + CRC/retransmit model (`None`
     /// keeps the mesh bit-identical to the fault-free model).
     fault: Option<NocFaultState>,
+    /// Detour routing table built when the fault plan names dead links:
+    /// `detour[router][dst_router]` is the output direction towards the
+    /// destination over the surviving links. `None` (the common case)
+    /// keeps the untouched XY hot path.
+    detour: Option<Vec<Vec<usize>>>,
 }
 
 impl<T> Network<T> {
@@ -216,6 +235,7 @@ impl<T> Network<T> {
             inflight_flits: 0,
             telemetry: None,
             fault: None,
+            detour: None,
         }
     }
 
@@ -224,13 +244,141 @@ impl<T> Network<T> {
     /// corrupted or dropped (both caught by CRC and retransmitted after
     /// a backoff); delivered data is always correct, only timing is
     /// perturbed. A zero-rate plan leaves the mesh bit-identical.
-    pub fn attach_faults(&mut self, mut state: NocFaultState) {
+    ///
+    /// If the plan names dead links, a deterministic detour routing
+    /// table over the surviving links replaces XY routing (graceful
+    /// degradation: traffic reroutes instead of erroring). Routes that
+    /// coincide with XY stay identical; only paths crossing a dead link
+    /// deviate. Minimal-but-non-XY detours can in principle form
+    /// wormhole cycles; the embedding system's progress watchdog is the
+    /// backstop for that pathological case.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if a dead link names a mesh edge that does
+    /// not exist or the dead links disconnect the mesh.
+    pub fn attach_faults(&mut self, mut state: NocFaultState) -> Result<(), String> {
         state.retries = self
             .routers
             .iter()
             .map(|r| vec![0; r.num_ports()])
             .collect();
+        self.detour = if state.dead.is_empty() {
+            None
+        } else {
+            Some(self.build_detour_table(&state.dead)?)
+        };
         self.fault = Some(state);
+        Ok(())
+    }
+
+    /// Builds `table[router][dst_router] -> direction` over the mesh
+    /// minus the dead links: a BFS from every destination across the
+    /// surviving links, preferring the XY direction wherever it lies on
+    /// a shortest surviving path (so fault-free routes are unchanged)
+    /// and falling back to the first shortest direction in fixed
+    /// N/E/S/W order otherwise — fully deterministic.
+    fn build_detour_table(&self, dead: &[DeadLink]) -> Result<Vec<Vec<usize>>, String> {
+        let n = self.routers.len();
+        let mut dead_out = vec![[false; LOCAL_BASE]; n];
+        for link in dead {
+            if link.x >= self.width || link.y >= self.height {
+                return Err(format!(
+                    "dead link {link} lies outside the {}x{} mesh",
+                    self.width, self.height
+                ));
+            }
+            let r = link.y * self.width + link.x;
+            let d = link.dir.index();
+            if !self.routers[r].outputs[d].connected {
+                return Err(format!(
+                    "dead link {link} names a mesh edge that does not exist"
+                ));
+            }
+            dead_out[r][d] = true;
+        }
+        let neighbor = |r: usize, d: usize| -> Option<usize> {
+            let (x, y) = (self.routers[r].x, self.routers[r].y);
+            match d {
+                NORTH if y > 0 => Some(r - self.width),
+                SOUTH if y + 1 < self.height => Some(r + self.width),
+                EAST if x + 1 < self.width => Some(r + 1),
+                WEST if x > 0 => Some(r - 1),
+                _ => None,
+            }
+        };
+        let mut table = vec![vec![0usize; n]; n];
+        let mut dist = vec![u32::MAX; n];
+        let mut queue = VecDeque::new();
+        for dst in 0..n {
+            dist.fill(u32::MAX);
+            dist[dst] = 0;
+            queue.clear();
+            queue.push_back(dst);
+            while let Some(v) = queue.pop_front() {
+                for d in [NORTH, EAST, SOUTH, WEST] {
+                    // `u` is v's neighbour in direction d; the edge
+                    // u -> v leaves u in the opposite direction.
+                    let Some(u) = neighbor(v, d) else { continue };
+                    if dead_out[u][opposite(d)] || dist[u] != u32::MAX {
+                        continue;
+                    }
+                    dist[u] = dist[v] + 1;
+                    queue.push_back(u);
+                }
+            }
+            for u in 0..n {
+                if u == dst {
+                    continue;
+                }
+                if dist[u] == u32::MAX {
+                    return Err(format!(
+                        "dead links disconnect the mesh: router ({},{}) cannot reach ({},{})",
+                        self.routers[u].x,
+                        self.routers[u].y,
+                        self.routers[dst].x,
+                        self.routers[dst].y
+                    ));
+                }
+                let xy = self.routers[u].route_for(self.routers[dst].x, self.routers[dst].y, 0);
+                let mut pick = None;
+                for d in [NORTH, EAST, SOUTH, WEST] {
+                    if dead_out[u][d] {
+                        continue;
+                    }
+                    let Some(v) = neighbor(u, d) else { continue };
+                    if dist[v] + 1 == dist[u] {
+                        if d == xy {
+                            pick = Some(d);
+                            break;
+                        }
+                        if pick.is_none() {
+                            pick = Some(d);
+                        }
+                    }
+                }
+                table[u][dst] = pick.expect("reachable router has a next hop");
+            }
+        }
+        Ok(table)
+    }
+
+    /// Drains the pass-through poison events recorded against a packet:
+    /// `(flit seq, corrupted payload bit)` pairs, in injection order.
+    /// Empty unless pass-through corruption hit this packet. The
+    /// embedding system calls this at packet reassembly and applies the
+    /// flips to the payload it rebuilds.
+    pub fn take_poison(&mut self, packet_id: u64) -> Vec<(u32, u64)> {
+        self.fault
+            .as_mut()
+            .and_then(|f| {
+                if f.poison.is_empty() {
+                    None
+                } else {
+                    f.poison.remove(&packet_id)
+                }
+            })
+            .unwrap_or_default()
     }
 
     /// Fault outcome counters (`None` when fault injection is not
@@ -617,14 +765,31 @@ impl<T> Network<T> {
             fs.counters.dropped += 1;
         } else {
             fs.counters.corrupted += 1;
-            // Model assumption, checked: a single-bit corruption of the
-            // flit header is always caught by the link CRC — which is
-            // what justifies treating every injected fault as detected
-            // rather than silently delivered.
             let front = self.routers[r].inputs[i]
                 .buffer
                 .front()
                 .expect("winner has a flit");
+            if fs.passthrough {
+                // Pass-through: the CRC failure is ignored and the
+                // corrupted flit sails on. Record which payload bit
+                // flipped so the embedding system can apply it at
+                // packet reassembly; the corruption is terminal here —
+                // silent data corruption, no retry traffic.
+                let bit = fs.injector.draw_range(8 * self.cfg.flit_bytes as u64);
+                fs.poison
+                    .entry(front.flit.packet.id)
+                    .or_default()
+                    .push((front.flit.seq, bit));
+                fs.counters.sdc += 1;
+                if let Some(t) = &self.telemetry {
+                    t.probe.instant("noc_fault_sdc");
+                }
+                return false;
+            }
+            // Model assumption, checked: a single-bit corruption of the
+            // flit header is always caught by the link CRC — which is
+            // what justifies treating every injected fault as detected
+            // rather than silently delivered.
             let mut header = [0u8; 12];
             header[..8].copy_from_slice(&front.flit.packet.id.to_le_bytes());
             header[8..].copy_from_slice(&front.flit.seq.to_le_bytes());
@@ -686,10 +851,18 @@ impl<T> Network<T> {
                         .expect("checked")
                         .flit
                         .dst();
-                    let route = self.routers[r].route_for(dst.x, dst.y, dst.port);
+                    let route = match &self.detour {
+                        // Dead links present: consult the detour table
+                        // for inter-router hops (local delivery is
+                        // unaffected — ejection ports cannot die).
+                        Some(table) if (dst.x, dst.y) != (rx, ry) => {
+                            table[r][dst.y * self.width + dst.x]
+                        }
+                        _ => self.routers[r].route_for(dst.x, dst.y, dst.port),
+                    };
                     debug_assert!(
                         route >= LOCAL_BASE || self.routers[r].outputs[route].connected,
-                        "XY route uses a disconnected port at ({rx},{ry}) -> {dst}"
+                        "route uses a disconnected port at ({rx},{ry}) -> {dst}"
                     );
                     self.routers[r].inputs[i].route = Some(route);
                 }
@@ -1163,7 +1336,9 @@ mod tests {
         let plan = FaultPlan::new(11).with_noc_rate(0.2);
         let mut clean = net(3, 3);
         let mut faulty = net(3, 3);
-        faulty.attach_faults(NocFaultState::from_plan(&plan, 0));
+        faulty
+            .attach_faults(NocFaultState::from_plan(&plan, 0))
+            .unwrap();
         inject_grid(&mut clean, 16);
         inject_grid(&mut faulty, 16);
         let clean_log = drain_log(&mut clean, 3, 3, 2000);
@@ -1190,7 +1365,9 @@ mod tests {
         let plan = FaultPlan::new(5); // all rates zero
         let mut plain = net(3, 3);
         let mut attached = net(3, 3);
-        attached.attach_faults(NocFaultState::from_plan(&plan, 0));
+        attached
+            .attach_faults(NocFaultState::from_plan(&plan, 0))
+            .unwrap();
         inject_grid(&mut plain, 16);
         inject_grid(&mut attached, 16);
         let a = drain_log(&mut plain, 3, 3, 500);
@@ -1209,7 +1386,7 @@ mod tests {
             .with_noc_rate(1.0)
             .with_noc_retry_budget(2);
         let mut n = net(2, 1);
-        n.attach_faults(NocFaultState::from_plan(&plan, 0));
+        n.attach_faults(NocFaultState::from_plan(&plan, 0)).unwrap();
         n.try_inject(Packet::new(
             Address::new(0, 0, 0),
             Address::new(1, 0, 0),
@@ -1239,7 +1416,7 @@ mod tests {
         let mut n = net(3, 3);
         let tracer = shared(Tracer::new(TraceLevel::Event));
         n.attach_probe(ModuleProbe::new(tracer, "noc", "mesh"));
-        n.attach_faults(NocFaultState::from_plan(&plan, 0));
+        n.attach_faults(NocFaultState::from_plan(&plan, 0)).unwrap();
         inject_grid(&mut n, 24);
         let _ = drain_log(&mut n, 3, 3, 3000);
         assert!(n.is_idle());
@@ -1257,13 +1434,151 @@ mod tests {
         let run = |seed: u64| {
             let plan = FaultPlan::new(seed).with_noc_rate(0.25);
             let mut n = net(3, 3);
-            n.attach_faults(NocFaultState::from_plan(&plan, 0));
+            n.attach_faults(NocFaultState::from_plan(&plan, 0)).unwrap();
             inject_grid(&mut n, 16);
             let log = drain_log(&mut n, 3, 3, 2000);
             (log, *n.fault_counters().unwrap())
         };
         assert_eq!(run(42), run(42));
         assert_ne!(run(42).1, run(43).1, "different seeds should diverge");
+    }
+
+    #[test]
+    fn dead_link_detours_and_still_delivers() {
+        use gnna_faults::MeshDir;
+        // Kill the (0,0)->E link: XY traffic from (0,0) to (2,0) must
+        // detour around it yet still arrive intact.
+        let plan = FaultPlan::new(1).with_dead_link(0, 0, MeshDir::East);
+        let mut clean = net(3, 3);
+        let mut degraded = net(3, 3);
+        degraded
+            .attach_faults(NocFaultState::from_plan(&plan, 0))
+            .unwrap();
+        inject_grid(&mut clean, 16);
+        inject_grid(&mut degraded, 16);
+        let clean_log = drain_log(&mut clean, 3, 3, 3000);
+        let degraded_log = drain_log(&mut degraded, 3, 3, 3000);
+        assert!(degraded.is_idle(), "degraded mesh must drain");
+        let key = |log: &[(u64, u32, u32)]| {
+            let mut k: Vec<(u32, u32)> = log.iter().map(|&(_, p, s)| (p, s)).collect();
+            k.sort_unstable();
+            k
+        };
+        assert_eq!(key(&clean_log), key(&degraded_log), "same flits delivered");
+        // Nothing crossed the dead link.
+        use gnna_telemetry::{shared, TraceLevel, Tracer};
+        let mut traced = net(3, 3);
+        let tracer = shared(Tracer::new(TraceLevel::Event));
+        traced.attach_probe(ModuleProbe::new(tracer.clone(), "noc", "mesh"));
+        traced
+            .attach_faults(NocFaultState::from_plan(&plan, 0))
+            .unwrap();
+        inject_grid(&mut traced, 16);
+        let _ = drain_log(&mut traced, 3, 3, 3000);
+        assert!(traced.is_idle());
+        assert_eq!(
+            tracer.borrow().count_named("hop (0,0)->E"),
+            0,
+            "dead link must carry no traffic"
+        );
+    }
+
+    #[test]
+    fn dead_link_attach_rejects_bad_edges() {
+        use gnna_faults::MeshDir;
+        // North out of row 0 does not exist.
+        let mut n = net(3, 3);
+        let err = n
+            .attach_faults(NocFaultState::from_plan(
+                &FaultPlan::new(1).with_dead_link(1, 0, MeshDir::North),
+                0,
+            ))
+            .unwrap_err();
+        assert!(err.contains("does not exist"), "{err}");
+        // Coordinates outside the mesh.
+        let mut n = net(3, 3);
+        let err = n
+            .attach_faults(NocFaultState::from_plan(
+                &FaultPlan::new(1).with_dead_link(7, 0, MeshDir::East),
+                0,
+            ))
+            .unwrap_err();
+        assert!(err.contains("outside"), "{err}");
+    }
+
+    #[test]
+    fn dead_links_that_disconnect_the_mesh_are_rejected() {
+        use gnna_faults::MeshDir;
+        let plan = FaultPlan::new(1)
+            .with_dead_link(0, 0, MeshDir::East)
+            .with_dead_link(1, 0, MeshDir::West);
+        let mut n = net(2, 1);
+        let err = n
+            .attach_faults(NocFaultState::from_plan(&plan, 0))
+            .unwrap_err();
+        assert!(err.contains("disconnect"), "{err}");
+    }
+
+    #[test]
+    fn passthrough_corruption_delivers_on_time_and_records_poison() {
+        // Pure corruption (no drops) in pass-through: timing must be
+        // bit-identical to the fault-free mesh — the corruption rides
+        // along as poison records instead of retransmit traffic.
+        let plan = FaultPlan::new(17).with_noc_rate(0.3).with_passthrough(true);
+        let plan = FaultPlan {
+            noc_drop_fraction: 0.0,
+            ..plan
+        };
+        let mut clean = net(3, 3);
+        let mut faulty = net(3, 3);
+        faulty
+            .attach_faults(NocFaultState::from_plan(&plan, 0))
+            .unwrap();
+        inject_grid(&mut clean, 16);
+        inject_grid(&mut faulty, 16);
+        let clean_log = drain_log(&mut clean, 3, 3, 2000);
+        let faulty_log = drain_log(&mut faulty, 3, 3, 2000);
+        assert_eq!(
+            clean_log, faulty_log,
+            "pass-through corruption must not perturb timing"
+        );
+        let c = *faulty.fault_counters().unwrap();
+        assert!(c.injected > 0);
+        assert_eq!(c.sdc, c.injected, "every corruption passed through");
+        assert_eq!(c.corrupted, c.injected);
+        assert_eq!(c.dropped + c.retried + c.unrecoverable, 0);
+        assert_eq!(c.retry_cycles, 0);
+        assert!(c.partition_holds(), "{c}");
+        // The poison ledger holds exactly one record per sdc event.
+        let total: usize = (0..faulty.next_packet_id)
+            .map(|id| faulty.take_poison(id).len())
+            .sum();
+        assert_eq!(total as u64, c.sdc);
+        // Drained: a second take returns nothing.
+        assert!((0..faulty.next_packet_id).all(|id| faulty.take_poison(id).is_empty()));
+    }
+
+    #[test]
+    fn passthrough_drops_still_retransmit() {
+        // A dropped flit cannot pass through: drops retransmit exactly
+        // as in protected mode, contributing zero sdc.
+        let plan = FaultPlan::new(23).with_noc_rate(0.2).with_passthrough(true);
+        let plan = FaultPlan {
+            noc_drop_fraction: 1.0,
+            ..plan
+        };
+        let mut n = net(3, 3);
+        n.attach_faults(NocFaultState::from_plan(&plan, 0)).unwrap();
+        inject_grid(&mut n, 16);
+        let log = drain_log(&mut n, 3, 3, 3000);
+        assert!(n.is_idle());
+        assert!(!log.is_empty());
+        let c = *n.fault_counters().unwrap();
+        assert!(c.injected > 0);
+        assert_eq!(c.dropped, c.injected);
+        assert_eq!(c.sdc, 0);
+        assert!(c.retry_cycles > 0);
+        assert!(c.partition_holds(), "{c}");
     }
 
     #[test]
