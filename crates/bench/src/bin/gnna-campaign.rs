@@ -44,6 +44,7 @@ usage: gnna-campaign [options]
                                  an existing partial file is resumed
   --fresh                        recompute everything, ignoring any
                                  existing output file
+  --version                      print the workspace version
   --help                         this message";
 
 fn parse_model(s: &str) -> Result<ModelKind, String> {
@@ -156,6 +157,10 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => out = value("--out")?,
             "--fresh" => fresh = true,
+            "--version" | "-V" => {
+                println!("gnna-campaign {}", env!("CARGO_PKG_VERSION"));
+                std::process::exit(0);
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown option {other}")),
         }

@@ -52,6 +52,7 @@ usage: gnna-report --metrics FILE [options]
   --format md|csv   output format (default: md, or by --out extension)
   --top-k N         rows in the hottest-links/spans/deltas tables
                     (default 8)
+  --version         print the workspace version
   --help            this message";
 
 fn parse_args() -> Result<Args, String> {
@@ -82,6 +83,10 @@ fn parse_args() -> Result<Args, String> {
                 top_k = value("--top-k")?
                     .parse()
                     .map_err(|e| format!("bad --top-k: {e}"))?
+            }
+            "--version" | "-V" => {
+                println!("gnna-report {}", env!("CARGO_PKG_VERSION"));
+                std::process::exit(0);
             }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown option {other}")),
@@ -177,12 +182,25 @@ fn main() -> ExitCode {
 
     // Campaign section: parsed up front so bad files fail before any
     // output is produced; rendered standalone or appended to --metrics.
+    // An empty or whitespace-only file parses to zero records — that is
+    // a truncated or never-started sweep, not a report, so it fails
+    // here instead of rendering an empty section.
     let campaign = match &args.campaign {
         None => None,
         Some(path) => match std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read campaign {path}: {e}"))
             .and_then(|t| {
                 parse_campaign_jsonl(&t).map_err(|e| format!("cannot parse campaign {path}: {e}"))
+            })
+            .and_then(|records| {
+                if records.is_empty() {
+                    Err(format!(
+                        "campaign {path} holds no records (empty or truncated sweep); \
+                         re-run gnna-campaign or pass its --out file"
+                    ))
+                } else {
+                    Ok(records)
+                }
             }) {
             Ok(records) => Some(CampaignReport::build(records)),
             Err(e) => {

@@ -68,6 +68,7 @@ usage: gnna-sim [options]
   --stall-window N               master cycles without progress before
                                  the watchdog reports a stall
                                  (default 2000000)
+  --version                      print the workspace version
   --help                         this message";
 
 fn parse_args() -> Result<Args, String> {
@@ -182,6 +183,10 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--stall-window must be positive".to_string());
                 }
                 stall_window = Some(w);
+            }
+            "--version" | "-V" => {
+                println!("gnna-sim {}", env!("CARGO_PKG_VERSION"));
+                std::process::exit(0);
             }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown option {other}")),

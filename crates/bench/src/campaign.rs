@@ -15,21 +15,22 @@
 //!   only the missing tail, and the final file is byte-identical to an
 //!   uninterrupted run.
 //!
-//! The pool is a std-only work-stealing loop: workers pull the next cell
-//! index from a shared atomic counter (cheap dynamic load balancing —
-//! passthrough cells at high rates run much longer than protected cells
-//! at rate zero) and push finished lines over an `mpsc` channel; the
-//! caller's thread reorders them.
+//! The pool is the shared [`gnna_executor::Executor`]: a std-only
+//! work-stealing loop (cheap dynamic load balancing — passthrough cells
+//! at high rates run much longer than protected cells at rate zero)
+//! whose in-order emission contract is exactly the byte-identity
+//! guarantee the campaign golden rests on. The pool used to live in
+//! this module; it was lifted out so the `gnna-serve` daemon and future
+//! sweep tools ride the same scheduler.
 
 use crate::accuracy::{run_with_faults, Accuracy, FaultRun};
 use crate::{build_case, BenchCase, BenchError, Scale};
 use gnna_core::config::AcceleratorConfig;
+use gnna_executor::{Executor, ExecutorError};
 use gnna_faults::{FaultPlan, MeshDir};
 use gnna_models::ModelKind;
 use gnna_telemetry::json;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
 
 /// Protection mode of a campaign cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -355,63 +356,25 @@ pub fn run(
             .1
     };
 
-    if threads <= 1 {
-        for cell in &cells[start_cell..] {
-            sink(&render_cell(spec, case_for(cell), cell)?)?;
-        }
-        return Ok(cells.len() - start_cell);
-    }
-
-    let next = AtomicUsize::new(start_cell);
-    let (tx, rx) = mpsc::channel::<(usize, Result<String, String>)>();
-    let mut result: Result<usize, BenchError> = Ok(cells.len() - start_cell);
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(cells.len() - start_cell) {
-            let tx = tx.clone();
-            let cells = &cells;
-            let next = &next;
-            let spec = &spec;
-            let case_for = &case_for;
-            scope.spawn(move || loop {
-                let idx = next.fetch_add(1, Ordering::Relaxed);
-                if idx >= cells.len() {
-                    return;
-                }
+    let executor = Executor::new(threads);
+    executor
+        .run_ordered(
+            cells.len(),
+            start_cell,
+            |idx| {
                 let cell = &cells[idx];
-                let line = render_cell(spec, case_for(cell), cell).map_err(|e| e.to_string());
-                if tx.send((idx, line)).is_err() {
-                    return;
-                }
-            });
-        }
-        drop(tx);
-        // Reorder: emit strictly in cell order.
-        let mut pending: std::collections::BTreeMap<usize, Result<String, String>> =
-            std::collections::BTreeMap::new();
-        let mut emit_next = start_cell;
-        'recv: for (idx, line) in &rx {
-            pending.insert(idx, line);
-            while let Some(line) = pending.remove(&emit_next) {
-                match line {
-                    Ok(l) => {
-                        if let Err(e) = sink(&l) {
-                            result = Err(e);
-                            break 'recv;
-                        }
-                    }
-                    Err(e) => {
-                        result = Err(e.into());
-                        break 'recv;
-                    }
-                }
-                emit_next += 1;
+                render_cell(spec, case_for(cell), cell).map_err(|e| e.to_string())
+            },
+            |_, line| sink(&line).map_err(|e| e.to_string()),
+        )
+        .map_err(|e| match e {
+            // Sink errors are the caller's own I/O failures; strip the
+            // executor framing so messages read as before the extraction.
+            ExecutorError::Sink { message, .. } | ExecutorError::Worker { message, .. } => {
+                BenchError::from(message)
             }
-        }
-        // On error, drain the channel so workers can finish sending and
-        // exit; scope join happens on exit either way.
-        for _ in rx {}
-    });
-    result
+            panic @ ExecutorError::Panic { .. } => BenchError::from(panic.to_string()),
+        })
 }
 
 #[cfg(test)]

@@ -1,0 +1,130 @@
+//! Command-line conformance for the bench binaries.
+//!
+//! Every binary in the workspace answers `--help` and `--version` with
+//! exit code 0 — `--help` prints the usage text to stderr, `--version`
+//! prints `<bin> <workspace version>` to stdout — and `gnna-report
+//! --campaign` fails with a structured error (not a panic or an empty
+//! section) on an empty or truncated sweep file.
+
+use std::process::Command;
+
+const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+fn bins() -> [(&'static str, &'static str); 3] {
+    [
+        ("gnna-sim", env!("CARGO_BIN_EXE_gnna-sim")),
+        ("gnna-report", env!("CARGO_BIN_EXE_gnna-report")),
+        ("gnna-campaign", env!("CARGO_BIN_EXE_gnna-campaign")),
+    ]
+}
+
+fn run(exe: &str, args: &[&str]) -> std::process::Output {
+    Command::new(exe)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("cannot spawn {exe}: {e}"))
+}
+
+#[test]
+fn help_exits_zero_and_prints_usage() {
+    for (name, exe) in bins() {
+        for flag in ["--help", "-h"] {
+            let out = run(exe, &[flag]);
+            assert!(out.status.success(), "{name} {flag} exited nonzero");
+            let err = String::from_utf8_lossy(&out.stderr);
+            assert!(
+                err.contains(&format!("usage: {name}")),
+                "{name} {flag} usage text missing: {err}"
+            );
+        }
+    }
+}
+
+#[test]
+fn version_exits_zero_and_prints_the_workspace_version() {
+    for (name, exe) in bins() {
+        for flag in ["--version", "-V"] {
+            let out = run(exe, &[flag]);
+            assert!(out.status.success(), "{name} {flag} exited nonzero");
+            let stdout = String::from_utf8_lossy(&out.stdout);
+            assert_eq!(stdout, format!("{name} {VERSION}\n"), "{name} {flag}");
+        }
+    }
+}
+
+#[test]
+fn unknown_options_exit_nonzero_with_usage() {
+    for (name, exe) in bins() {
+        let out = run(exe, &["--no-such-flag"]);
+        assert!(!out.status.success(), "{name} accepted an unknown flag");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains("unknown option --no-such-flag"),
+            "{name}: {err}"
+        );
+        assert!(err.contains(&format!("usage: {name}")), "{name}: {err}");
+    }
+}
+
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("gnna-cli-{tag}-{}.jsonl", std::process::id()))
+}
+
+#[test]
+fn report_rejects_an_empty_campaign_file_with_a_structured_error() {
+    let path = temp_path("empty-campaign");
+    std::fs::write(&path, "\n\n").unwrap();
+    let out = run(
+        env!("CARGO_BIN_EXE_gnna-report"),
+        &["--campaign", path.to_str().unwrap()],
+    );
+    std::fs::remove_file(&path).ok();
+    assert!(!out.status.success(), "empty campaign file was accepted");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.starts_with("error:"), "unstructured failure: {err}");
+    assert!(err.contains("holds no records"), "wrong message: {err}");
+    assert!(
+        out.stdout.is_empty(),
+        "empty campaign still produced output"
+    );
+}
+
+#[test]
+fn report_rejects_a_truncated_campaign_file_with_a_structured_error() {
+    let path = temp_path("truncated-campaign");
+    // A write cut off mid-record: the opening half of a JSON object.
+    std::fs::write(&path, "{\"cell\":0,\"model\":\"GCN\",\"ra").unwrap();
+    let out = run(
+        env!("CARGO_BIN_EXE_gnna-report"),
+        &["--campaign", path.to_str().unwrap()],
+    );
+    std::fs::remove_file(&path).ok();
+    assert!(
+        !out.status.success(),
+        "truncated campaign file was accepted"
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.starts_with("error:"), "unstructured failure: {err}");
+    assert!(
+        err.contains("cannot parse campaign"),
+        "wrong message: {err}"
+    );
+    assert!(err.contains("line 1"), "no line context: {err}");
+    assert!(
+        out.stdout.is_empty(),
+        "truncated campaign still produced output"
+    );
+}
+
+#[test]
+fn report_rejects_a_missing_campaign_file_with_a_structured_error() {
+    let path = temp_path("no-such-campaign");
+    std::fs::remove_file(&path).ok();
+    let out = run(
+        env!("CARGO_BIN_EXE_gnna-report"),
+        &["--campaign", path.to_str().unwrap()],
+    );
+    assert!(!out.status.success(), "missing campaign file was accepted");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot read campaign"), "wrong message: {err}");
+}

@@ -1,0 +1,367 @@
+//! Std-only work-stealing executor with deterministic in-order emission.
+//!
+//! Lifted out of the fault-campaign runner (`gnna-bench`) so every
+//! multi-worker consumer in the workspace — campaign sweeps, the
+//! `gnna-serve` inference daemon, future autotuner grids — rides one
+//! scheduling implementation with one determinism contract:
+//!
+//! * **Work stealing**: workers pull the next job index from a shared
+//!   atomic counter. Load balancing is dynamic (long jobs don't block
+//!   short ones behind a static partition) and allocation-free.
+//! * **In-order emission**: finished results are re-ordered and handed
+//!   to the caller's sink strictly in index order, whatever order the
+//!   workers finish in. The sink observes *byte-identical* sequences
+//!   for every thread count — the property the campaign runner's
+//!   `--threads N` golden rests on.
+//! * **Structured failure**: a worker returning `Err` or panicking
+//!   surfaces as an [`ExecutorError`] carrying the job index and
+//!   message; emission stops at the first failed index so everything
+//!   already sunk remains valid (e.g. resumable campaign prefixes).
+//! * **Shared budget**: concurrent [`Executor::run_ordered`] calls on
+//!   one executor share its thread budget instead of multiplying it;
+//!   late callers fall back to inline execution when the pool is
+//!   saturated. The `gnna-serve` daemon leans on this: several
+//!   accelerator-instance workers submit batches to one executor sized
+//!   for the machine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// How one job failed inside [`Executor::run_ordered`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecutorError {
+    /// The worker closure returned `Err` for this index.
+    Worker {
+        /// Job index that failed.
+        index: usize,
+        /// The worker's error message.
+        message: String,
+    },
+    /// The worker closure panicked for this index. The panic is caught
+    /// and converted — a campaign or serving batch never aborts the
+    /// process because one cell misbehaved.
+    Panic {
+        /// Job index whose worker panicked.
+        index: usize,
+        /// Panic payload rendered to text (`&str`/`String` payloads are
+        /// preserved verbatim).
+        message: String,
+    },
+    /// The caller's sink returned `Err` while consuming this index.
+    Sink {
+        /// Job index whose emission failed.
+        index: usize,
+        /// The sink's error message.
+        message: String,
+    },
+}
+
+impl ExecutorError {
+    /// The job index the error is attached to.
+    pub fn index(&self) -> usize {
+        match self {
+            ExecutorError::Worker { index, .. }
+            | ExecutorError::Panic { index, .. }
+            | ExecutorError::Sink { index, .. } => *index,
+        }
+    }
+
+    /// The failure message (worker error, panic payload, or sink error).
+    pub fn message(&self) -> &str {
+        match self {
+            ExecutorError::Worker { message, .. }
+            | ExecutorError::Panic { message, .. }
+            | ExecutorError::Sink { message, .. } => message,
+        }
+    }
+}
+
+impl fmt::Display for ExecutorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecutorError::Worker { index, message } => {
+                write!(f, "job {index} failed: {message}")
+            }
+            ExecutorError::Panic { index, message } => {
+                write!(f, "job {index} panicked: {message}")
+            }
+            ExecutorError::Sink { index, message } => {
+                write!(f, "sink failed at job {index}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecutorError {}
+
+/// Renders a caught panic payload as text.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked (non-string payload)".to_string()
+    }
+}
+
+/// Runs one job with panic containment.
+fn run_one<T>(
+    worker: &(impl Fn(usize) -> Result<T, String> + Sync),
+    index: usize,
+) -> Result<T, ExecutorError> {
+    match catch_unwind(AssertUnwindSafe(|| worker(index))) {
+        Ok(Ok(v)) => Ok(v),
+        Ok(Err(message)) => Err(ExecutorError::Worker { index, message }),
+        Err(payload) => Err(ExecutorError::Panic {
+            index,
+            message: panic_message(payload.as_ref()),
+        }),
+    }
+}
+
+/// A sized pool of worker threads with a shared budget.
+///
+/// The executor itself holds no threads between calls — each
+/// [`run_ordered`](Executor::run_ordered) spawns scoped workers so
+/// borrowed job data needs no `'static` bound and no `unsafe`. What *is*
+/// shared is the budget: concurrent calls split `threads()` between
+/// them, so an executor sized for the machine never oversubscribes it.
+#[derive(Debug)]
+pub struct Executor {
+    threads: usize,
+    in_flight: AtomicUsize,
+}
+
+impl Executor {
+    /// An executor that runs at most `threads` workers at once
+    /// (`0` is clamped to `1`).
+    pub fn new(threads: usize) -> Self {
+        Executor {
+            threads: threads.max(1),
+            in_flight: AtomicUsize::new(0),
+        }
+    }
+
+    /// The configured thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Claims up to `want` worker slots from the shared budget; returns
+    /// how many were granted (possibly 0 when saturated).
+    fn claim(&self, want: usize) -> usize {
+        let mut used = self.in_flight.load(Ordering::Relaxed);
+        loop {
+            let grant = self.threads.saturating_sub(used).min(want);
+            if grant == 0 {
+                return 0;
+            }
+            match self.in_flight.compare_exchange_weak(
+                used,
+                used + grant,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return grant,
+                Err(now) => used = now,
+            }
+        }
+    }
+
+    fn release(&self, n: usize) {
+        self.in_flight.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Runs `worker` over the index range `start..total` and feeds each
+    /// result to `sink` **strictly in index order**. Returns the number
+    /// of results sunk.
+    ///
+    /// Jobs are distributed by work stealing, so any worker may compute
+    /// any index — `worker` must be a pure function of the index for
+    /// the output to be deterministic (every caller in this workspace
+    /// holds to that). The sink sees the same sequence for every thread
+    /// budget, including 1.
+    ///
+    /// # Errors
+    ///
+    /// The first failing index (worker error, worker panic, or sink
+    /// error) is returned after every earlier index has been sunk;
+    /// later indices are abandoned.
+    pub fn run_ordered<T: Send>(
+        &self,
+        total: usize,
+        start: usize,
+        worker: impl Fn(usize) -> Result<T, String> + Sync,
+        mut sink: impl FnMut(usize, T) -> Result<(), String>,
+    ) -> Result<usize, ExecutorError> {
+        if start >= total {
+            return Ok(0);
+        }
+        let pending = total - start;
+        // The caller's thread reorders and sinks; worker slots come from
+        // the shared budget. A single-thread budget or a saturated pool
+        // degrades to inline execution on the caller's thread.
+        let extra = if self.threads == 1 {
+            0
+        } else {
+            self.claim(self.threads.min(pending))
+        };
+        if extra == 0 {
+            for index in start..total {
+                let v = run_one(&worker, index)?;
+                sink(index, v).map_err(|message| ExecutorError::Sink { index, message })?;
+            }
+            return Ok(pending);
+        }
+
+        let next = AtomicUsize::new(start);
+        let stop = AtomicBool::new(false);
+        let (tx, rx) = mpsc::channel::<(usize, Result<T, ExecutorError>)>();
+        let mut sunk = 0usize;
+        let mut result: Result<usize, ExecutorError> = Ok(pending);
+        std::thread::scope(|scope| {
+            // `extra` background workers pull from the shared counter;
+            // the caller's thread reorders and sinks.
+            for _ in 0..extra {
+                let tx = tx.clone();
+                let next = &next;
+                let stop = &stop;
+                let worker = &worker;
+                scope.spawn(move || loop {
+                    if stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= total {
+                        return;
+                    }
+                    if tx.send((index, run_one(worker, index))).is_err() {
+                        return;
+                    }
+                });
+            }
+            drop(tx);
+            // Reorder: emit strictly in index order.
+            let mut held: BTreeMap<usize, Result<T, ExecutorError>> = BTreeMap::new();
+            let mut emit_next = start;
+            'recv: for (index, outcome) in &rx {
+                held.insert(index, outcome);
+                while let Some(outcome) = held.remove(&emit_next) {
+                    match outcome {
+                        Ok(v) => {
+                            if let Err(message) = sink(emit_next, v) {
+                                result = Err(ExecutorError::Sink {
+                                    index: emit_next,
+                                    message,
+                                });
+                                stop.store(true, Ordering::Relaxed);
+                                break 'recv;
+                            }
+                            sunk += 1;
+                        }
+                        Err(e) => {
+                            result = Err(e);
+                            stop.store(true, Ordering::Relaxed);
+                            break 'recv;
+                        }
+                    }
+                    emit_next += 1;
+                }
+            }
+            // Drain so workers finish sending and exit; the scope joins
+            // them on the way out either way.
+            for _ in rx {}
+        });
+        self.release(extra);
+        // On success every pending index was sunk exactly once.
+        result.map(|_| sunk)
+    }
+
+    /// [`run_ordered`](Executor::run_ordered) collecting results into a
+    /// `Vec` (index order).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`ExecutorError`].
+    pub fn map_ordered<T: Send>(
+        &self,
+        total: usize,
+        worker: impl Fn(usize) -> Result<T, String> + Sync,
+    ) -> Result<Vec<T>, ExecutorError> {
+        let mut out = Vec::with_capacity(total);
+        self.run_ordered(total, 0, worker, |_, v| {
+            out.push(v);
+            Ok(())
+        })?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_exhausted_ranges_are_noops() {
+        let ex = Executor::new(4);
+        let n = ex
+            .run_ordered(0, 0, |_| Ok::<_, String>(0u32), |_, _| Ok(()))
+            .unwrap();
+        assert_eq!(n, 0);
+        let n = ex
+            .run_ordered(3, 3, |_| Ok::<_, String>(0u32), |_, _| Ok(()))
+            .unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let ex = Executor::new(0);
+        assert_eq!(ex.threads(), 1);
+        let v = ex.map_ordered(3, |i| Ok(i * 2)).unwrap();
+        assert_eq!(v, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn sink_error_is_structured() {
+        let ex = Executor::new(2);
+        let err = ex
+            .run_ordered(4, 0, Ok::<_, String>, |i, _| {
+                if i == 2 {
+                    Err("disk full".into())
+                } else {
+                    Ok(())
+                }
+            })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ExecutorError::Sink {
+                index: 2,
+                message: "disk full".into()
+            }
+        );
+    }
+
+    #[test]
+    fn budget_is_shared_between_nested_calls() {
+        // A saturated executor still completes nested calls inline.
+        let ex = Executor::new(2);
+        let outer = ex
+            .map_ordered(3, |i| {
+                let inner = ex
+                    .map_ordered(2, |j| Ok(10 * i + j))
+                    .map_err(|e| e.to_string())?;
+                Ok(inner.iter().sum::<usize>())
+            })
+            .unwrap();
+        assert_eq!(outer, vec![1, 21, 41]);
+    }
+}

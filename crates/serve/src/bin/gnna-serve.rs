@@ -1,0 +1,212 @@
+//! `gnna-serve` — batched multi-tenant GNN inference daemon.
+//!
+//! ```console
+//! $ gnna-serve --smoke --addr 127.0.0.1:7878 &
+//! $ curl -s localhost:7878/healthz
+//! $ curl -s -d '{"model":"gcn","input":"cora","mode":"cycle"}' localhost:7878/v1/infer
+//! $ curl -s localhost:7878/stats
+//! $ curl -s -X POST localhost:7878/shutdown
+//! ```
+//!
+//! `--load` switches to the perf-baseline harness: boot an in-process
+//! daemon, drive the fixed-seed load schedule batched and unbatched,
+//! verify functional bit-identity, and write
+//! `BENCH_serve_baseline.json`.
+
+use gnna_bench::Scale;
+use gnna_core::config::AcceleratorConfig;
+use gnna_serve::loadgen::{run_baseline, BaselineOptions};
+use gnna_serve::server::{serve, ServeConfig};
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "\
+usage: gnna-serve [options]
+  --addr HOST:PORT               bind address (default 127.0.0.1:7878)
+  --instances N                  accelerator instances / batch queues
+                                 (default 4)
+  --max-batch N                  largest coalesced batch (default 16;
+                                 1 disables batching)
+  --flush-us N                   bounded-latency flush window in
+                                 microseconds (default 1000)
+  --queue-cap N                  per-instance queue bound; a full queue
+                                 answers 429 + Retry-After (default 256)
+  --threads N                    shared executor budget for response
+                                 assembly (default 1)
+  --config cpu-iso-bw|gpu-iso-bw|gpu-iso-flops
+                                 Table VI configuration (default gpu-iso-bw)
+  --smoke                        scaled-down datasets (CI-speed)
+  --load                         run the fixed-seed perf baseline
+                                 instead of serving
+  --load-jobs N                  baseline jobs per phase (default 64)
+  --load-concurrency N           baseline client connections (default 64)
+  --min-speedup X                fail the baseline when batched/unbatched
+                                 throughput is below X (default 2.0)
+  --baseline-out PATH            baseline JSON path
+                                 (default BENCH_serve_baseline.json)
+  --version                      print the workspace version
+  --help                         this message";
+
+struct Args {
+    cfg: ServeConfig,
+    load: bool,
+    load_jobs: usize,
+    load_concurrency: usize,
+    min_speedup: f64,
+    baseline_out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut cfg = ServeConfig {
+        addr: "127.0.0.1:7878".to_string(),
+        scale: Scale::Paper,
+        ..ServeConfig::default()
+    };
+    let mut load = false;
+    let mut load_jobs = 64usize;
+    let mut load_concurrency = 64usize;
+    let mut min_speedup = 2.0f64;
+    let mut baseline_out = "BENCH_serve_baseline.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--addr" => cfg.addr = value("--addr")?,
+            "--instances" => {
+                cfg.instances = value("--instances")?
+                    .parse()
+                    .map_err(|e| format!("bad instance count: {e}"))?;
+                if cfg.instances == 0 {
+                    return Err("--instances must be positive".into());
+                }
+            }
+            "--max-batch" => {
+                cfg.max_batch = value("--max-batch")?
+                    .parse()
+                    .map_err(|e| format!("bad batch size: {e}"))?;
+                if cfg.max_batch == 0 {
+                    return Err("--max-batch must be positive".into());
+                }
+            }
+            "--flush-us" => {
+                let us: u64 = value("--flush-us")?
+                    .parse()
+                    .map_err(|e| format!("bad flush window: {e}"))?;
+                cfg.flush = Duration::from_micros(us);
+            }
+            "--queue-cap" => {
+                cfg.queue_cap = value("--queue-cap")?
+                    .parse()
+                    .map_err(|e| format!("bad queue capacity: {e}"))?;
+                if cfg.queue_cap == 0 {
+                    return Err("--queue-cap must be positive".into());
+                }
+            }
+            "--threads" => {
+                cfg.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("bad thread count: {e}"))?;
+            }
+            "--config" => {
+                cfg.accel = match value("--config")?.to_ascii_lowercase().as_str() {
+                    "cpu-iso-bw" => AcceleratorConfig::cpu_iso_bandwidth(),
+                    "gpu-iso-bw" => AcceleratorConfig::gpu_iso_bandwidth(),
+                    "gpu-iso-flops" => AcceleratorConfig::gpu_iso_flops(),
+                    other => return Err(format!("unknown config {other}")),
+                }
+            }
+            "--smoke" => cfg.scale = Scale::Smoke,
+            "--load" => load = true,
+            "--load-jobs" => {
+                load_jobs = value("--load-jobs")?
+                    .parse()
+                    .map_err(|e| format!("bad job count: {e}"))?;
+            }
+            "--load-concurrency" => {
+                load_concurrency = value("--load-concurrency")?
+                    .parse()
+                    .map_err(|e| format!("bad concurrency: {e}"))?;
+            }
+            "--min-speedup" => {
+                min_speedup = value("--min-speedup")?
+                    .parse()
+                    .map_err(|e| format!("bad speedup: {e}"))?;
+            }
+            "--baseline-out" => baseline_out = value("--baseline-out")?,
+            "--version" | "-V" => {
+                println!("gnna-serve {}", env!("CARGO_PKG_VERSION"));
+                std::process::exit(0);
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(Args {
+        cfg,
+        load,
+        load_jobs,
+        load_concurrency,
+        min_speedup,
+        baseline_out,
+    })
+}
+
+fn run(args: Args) -> Result<(), String> {
+    if args.load {
+        let opts = BaselineOptions {
+            jobs: args.load_jobs,
+            concurrency: args.load_concurrency,
+            instances: args.cfg.instances,
+            max_batch: args.cfg.max_batch,
+            accel: args.cfg.accel.clone(),
+            scale: args.cfg.scale,
+            min_speedup: args.min_speedup,
+        };
+        eprintln!(
+            "gnna-serve: baseline load — {} jobs × {} clients on {} instances (max batch {})",
+            opts.jobs, opts.concurrency, opts.instances, opts.max_batch
+        );
+        let doc = run_baseline(&opts)?;
+        std::fs::write(&args.baseline_out, format!("{doc}\n")).map_err(|e| e.to_string())?;
+        eprintln!("gnna-serve: wrote {}", args.baseline_out);
+        println!("{doc}");
+        return Ok(());
+    }
+    let handle = serve(args.cfg.clone()).map_err(|e| e.to_string())?;
+    eprintln!(
+        "gnna-serve: listening on {} — {} instances, max batch {}, flush {:?}, queue cap {} \
+         (POST /shutdown to stop)",
+        handle.addr(),
+        args.cfg.instances,
+        args.cfg.max_batch,
+        args.cfg.flush,
+        args.cfg.queue_cap
+    );
+    handle.join();
+    eprintln!("gnna-serve: drained, bye");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!("{USAGE}");
+            return if msg.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            };
+        }
+    };
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

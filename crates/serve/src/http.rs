@@ -1,0 +1,286 @@
+//! Minimal std-only HTTP/1.1 framing: enough of the protocol for a
+//! JSON job API (request line + headers + `Content-Length` bodies,
+//! keep-alive by default) without pulling a web framework into an
+//! offline workspace. Both directions live here — the daemon parses
+//! requests and the load generator parses responses over the same
+//! framing rules.
+
+use std::io::{self, BufRead, Write};
+
+/// Cap on request bodies (16 MiB) so a malformed `Content-Length`
+/// cannot make the daemon allocate unbounded memory.
+pub const MAX_BODY_BYTES: usize = 16 << 20;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method (upper-case as sent: `GET`, `POST`, ...).
+    pub method: String,
+    /// Request path including any query string.
+    pub path: String,
+    /// Headers as (lower-cased name, value) pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty when no `Content-Length` was sent).
+    pub body: String,
+}
+
+impl Request {
+    /// First value of a header (name compared case-insensitively).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close the connection after this
+    /// exchange (`Connection: close`).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+fn read_line(reader: &mut impl BufRead) -> io::Result<Option<String>> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None); // clean EOF between requests
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(Some(line))
+}
+
+/// Reads one request off a keep-alive connection. Returns `Ok(None)` on
+/// a clean EOF (peer closed between requests).
+///
+/// # Errors
+///
+/// I/O errors, or `InvalidData` for malformed framing.
+pub fn read_request(reader: &mut impl BufRead) -> io::Result<Option<Request>> {
+    let Some(start) = read_line(reader)? else {
+        return Ok(None);
+    };
+    let mut parts = start.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) if v.starts_with("HTTP/1.") => (m.to_string(), p.to_string()),
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad request line: {start:?}"),
+            ))
+        }
+    };
+    let mut headers = Vec::new();
+    loop {
+        let Some(line) = read_line(reader)? else {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "EOF inside headers",
+            ));
+        };
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad header line: {line:?}"),
+            ));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let mut req = Request {
+        method,
+        path,
+        headers,
+        body: String::new(),
+    };
+    if let Some(len) = req.header("content-length") {
+        let len: usize = len
+            .parse()
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad content-length"))?;
+        if len > MAX_BODY_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "request body too large",
+            ));
+        }
+        let mut body = vec![0u8; len];
+        io::Read::read_exact(reader, &mut body)?;
+        req.body = String::from_utf8(body)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "body is not UTF-8"))?;
+    }
+    Ok(Some(req))
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one response (JSON body, explicit `Content-Length`, connection
+/// kept open unless `close`).
+///
+/// # Errors
+///
+/// I/O errors from the underlying stream.
+pub fn write_response(
+    writer: &mut impl Write,
+    status: u16,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+    close: bool,
+) -> io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+        reason(status),
+        body.len()
+    )?;
+    for (name, value) in extra_headers {
+        write!(writer, "{name}: {value}\r\n")?;
+    }
+    if close {
+        writer.write_all(b"Connection: close\r\n")?;
+    }
+    writer.write_all(b"\r\n")?;
+    writer.write_all(body.as_bytes())?;
+    writer.flush()
+}
+
+/// One parsed HTTP response (client side — used by the load generator
+/// and the smoke tests).
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Headers as (lower-cased name, value) pairs.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// First value of a header (name compared case-insensitively).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Reads one response off a keep-alive connection. Returns `Ok(None)`
+/// on clean EOF.
+///
+/// # Errors
+///
+/// I/O errors, or `InvalidData` for malformed framing.
+pub fn read_response(reader: &mut impl BufRead) -> io::Result<Option<Response>> {
+    let Some(start) = read_line(reader)? else {
+        return Ok(None);
+    };
+    let mut parts = start.split_whitespace();
+    let status = match (parts.next(), parts.next()) {
+        (Some(v), Some(code)) if v.starts_with("HTTP/1.") => code.parse::<u16>().map_err(|_| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("bad status: {start:?}"))
+        })?,
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad status line: {start:?}"),
+            ))
+        }
+    };
+    let mut headers = Vec::new();
+    loop {
+        let Some(line) = read_line(reader)? else {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "EOF inside headers",
+            ));
+        };
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    let len: usize = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .and_then(|(_, v)| v.parse().ok())
+        .unwrap_or(0);
+    if len > MAX_BODY_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "response body too large",
+        ));
+    }
+    let mut body = vec![0u8; len];
+    io::Read::read_exact(reader, &mut body)?;
+    let body = String::from_utf8(body)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "body is not UTF-8"))?;
+    Ok(Some(Response {
+        status,
+        headers,
+        body,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn parses_request_with_body() {
+        let raw = "POST /v1/infer HTTP/1.1\r\nHost: x\r\nContent-Length: 7\r\n\r\n{\"a\":1}";
+        let req = read_request(&mut BufReader::new(raw.as_bytes()))
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/infer");
+        assert_eq!(req.body, "{\"a\":1}");
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn eof_between_requests_is_none() {
+        assert!(read_request(&mut BufReader::new(&b""[..]))
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let mut wire = Vec::new();
+        write_response(&mut wire, 429, &[("Retry-After", "1")], "{}", false).unwrap();
+        let resp = read_response(&mut BufReader::new(&wire[..]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(resp.status, 429);
+        assert_eq!(resp.header("retry-after"), Some("1"));
+        assert_eq!(resp.body, "{}");
+    }
+
+    #[test]
+    fn rejects_malformed_request_line() {
+        let raw = "garbage\r\n\r\n";
+        assert!(read_request(&mut BufReader::new(raw.as_bytes())).is_err());
+    }
+}

@@ -1,0 +1,38 @@
+//! `gnna-serve`: a batched multi-tenant GNN inference daemon.
+//!
+//! This crate is the ROADMAP's serving front end over the repo's two
+//! execution engines — the cycle-accurate accelerator simulator
+//! (`gnna-core`) and the functional reference (`gnna-models`). A
+//! std-only HTTP/1.1 server accepts JSON inference jobs, coalesces
+//! concurrent requests into per-accelerator-instance batches under a
+//! bounded-latency flush, executes them on the shared work-stealing
+//! executor ([`gnna_executor`]), and answers with output rows plus
+//! per-job telemetry (cycles, energy pJ, stall summary, accuracy
+//! grade).
+//!
+//! Layering:
+//!
+//! * [`http`] — request/response framing (no external deps);
+//! * [`protocol`] — the JSON job schema and bit-exact row serialization;
+//! * [`queue`] — bounded per-instance batch queues with opportunistic
+//!   coalescing and 429 backpressure;
+//! * [`engine`] — batch execution: one union-graph `System` per
+//!   cycle-accurate batch, reference rows for functional jobs, exact
+//!   energy attribution;
+//! * [`stats`] — the `/stats` surface (req/s, latency quantiles,
+//!   batch-size histogram, queue depth) on `gnna-telemetry` metrics;
+//! * [`server`] — acceptor, connection handlers, instance workers,
+//!   graceful drain;
+//! * [`loadgen`] — the fixed-seed load harness behind
+//!   `BENCH_serve_baseline.json`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod http;
+pub mod loadgen;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+pub mod stats;

@@ -1,0 +1,450 @@
+//! Fixed-seed load harness: drives a running daemon with a
+//! deterministic job schedule, measures sustained throughput and
+//! latency quantiles client-side, and captures the raw `rows` bytes of
+//! every response so callers can assert bit-identity (batched vs
+//! unbatched vs the functional reference).
+//!
+//! [`run_baseline`] is the perf-trajectory entry point behind
+//! `gnna-serve --load`: a batched phase and a batch-size-1 phase over
+//! the same schedule, a functional bit-identity check, a backpressure
+//! probe, and a `simulate_traced_opts` cycles/sec measurement — all
+//! rendered into the `BENCH_serve_baseline.json` document.
+
+use crate::http::{read_response, Response};
+use crate::protocol::{push_rows, ExecMode};
+use crate::server::{serve, ServeConfig};
+use gnna_bench::{build_case, simulate_traced_opts, Scale, TraceOptions};
+use gnna_core::config::AcceleratorConfig;
+use gnna_models::ModelKind;
+use gnna_telemetry::json::{self, JsonValue};
+use gnna_telemetry::TraceLevel;
+use std::collections::BTreeMap;
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// A deterministic load schedule.
+#[derive(Debug, Clone)]
+pub struct LoadSpec {
+    /// Total jobs to submit.
+    pub jobs: usize,
+    /// Concurrent client connections (job `j` goes to client `j %
+    /// concurrency` — fixed, so every run submits the same schedule).
+    pub concurrency: usize,
+    /// Model for every job.
+    pub model: ModelKind,
+    /// Dataset name for every job (canonical, e.g. `"QM9_1000"`).
+    pub input: &'static str,
+    /// Dataset instance count to cycle through (job `j` uses instance
+    /// `j % dataset_instances`).
+    pub dataset_instances: usize,
+    /// Execution mode for every job.
+    pub mode: ExecMode,
+}
+
+/// Client-side measurements of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Jobs submitted.
+    pub jobs: usize,
+    /// Jobs answered 200.
+    pub ok: usize,
+    /// 429 rejections observed (each is retried until accepted).
+    pub rejected: usize,
+    /// Wall-clock seconds for the whole run.
+    pub wall_s: f64,
+    /// Sustained completed requests per second.
+    pub req_per_s: f64,
+    /// Client-observed latency quantiles, microseconds.
+    pub p50_us: u64,
+    /// 95th percentile latency, microseconds.
+    pub p95_us: u64,
+    /// 99th percentile latency, microseconds.
+    pub p99_us: u64,
+}
+
+/// A load run's outcome: the measurements plus the raw `rows` bytes of
+/// each response keyed by job id (for bit-identity assertions).
+#[derive(Debug)]
+pub struct LoadOutcome {
+    /// Measurements.
+    pub report: LoadReport,
+    /// `job id → raw "rows" JSON substring` from each 200 response.
+    pub rows_by_id: BTreeMap<String, String>,
+}
+
+/// Sends one request over an open connection and reads the response.
+///
+/// # Errors
+///
+/// I/O and framing errors.
+pub fn roundtrip(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> io::Result<Response> {
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: gnna-serve\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()?;
+    read_response(reader)?
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "connection closed"))
+}
+
+/// Extracts the raw `"rows":[...]` value bytes from a response body
+/// without reparsing floats (reparsing would destroy bit-identity).
+pub fn raw_rows(body: &str) -> Option<&str> {
+    let start = body.find("\"rows\":")? + "\"rows\":".len();
+    let bytes = body.as_bytes();
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(start) {
+        match b {
+            b'[' => depth += 1,
+            b']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&body[start..=i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn job_body(spec: &LoadSpec, j: usize) -> String {
+    format!(
+        "{{\"id\":\"job{j}\",\"model\":\"{}\",\"input\":\"{}\",\"instance\":{},\"mode\":\"{}\"}}",
+        spec.model.name().to_ascii_lowercase(),
+        spec.input.to_ascii_lowercase(),
+        j % spec.dataset_instances.max(1),
+        spec.mode.as_str()
+    )
+}
+
+fn quantile(sorted_us: &[u64], q: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * q).round() as usize;
+    sorted_us[idx.min(sorted_us.len() - 1)]
+}
+
+/// One client thread's takings: (id, raw rows) pairs, per-job
+/// latencies in µs, and the 429-retry count.
+type ClientTake = (Vec<(String, String)>, Vec<u64>, usize);
+
+/// Runs the load schedule against a daemon at `addr`. 429 responses are
+/// retried after the advertised `Retry-After` (counted, not failed).
+///
+/// # Errors
+///
+/// The first client I/O error or non-(200|429) response.
+pub fn run_load(addr: SocketAddr, spec: &LoadSpec) -> Result<LoadOutcome, String> {
+    let concurrency = spec.concurrency.max(1);
+    let started = Instant::now();
+    let results: Vec<Result<ClientTake, String>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(concurrency);
+        for c in 0..concurrency {
+            let spec = &spec;
+            handles.push(scope.spawn(move || {
+                let mut stream = TcpStream::connect(addr).map_err(|e| e.to_string())?;
+                let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+                let mut rows = Vec::new();
+                let mut latencies = Vec::new();
+                let mut rejected = 0usize;
+                let mut j = c;
+                while j < spec.jobs {
+                    let body = job_body(spec, j);
+                    let sent = Instant::now();
+                    let resp = roundtrip(&mut stream, &mut reader, "POST", "/v1/infer", &body)
+                        .map_err(|e| e.to_string())?;
+                    match resp.status {
+                        200 => {
+                            latencies.push(sent.elapsed().as_micros() as u64);
+                            let r = raw_rows(&resp.body)
+                                .ok_or_else(|| format!("no rows in: {}", resp.body))?;
+                            rows.push((format!("job{j}"), r.to_string()));
+                            j += concurrency;
+                        }
+                        429 => {
+                            rejected += 1;
+                            let wait = resp
+                                .header("retry-after")
+                                .and_then(|v| v.parse::<u64>().ok())
+                                .unwrap_or(1)
+                                .min(1);
+                            std::thread::sleep(Duration::from_millis(wait * 20));
+                        }
+                        other => return Err(format!("job{j}: HTTP {other}: {}", resp.body)),
+                    }
+                }
+                Ok((rows, latencies, rejected))
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client panicked"))
+            .collect()
+    });
+    let wall_s = started.elapsed().as_secs_f64().max(1e-9);
+
+    let mut rows_by_id = BTreeMap::new();
+    let mut latencies = Vec::with_capacity(spec.jobs);
+    let mut rejected = 0usize;
+    for r in results {
+        let (rows, lat, rej) = r?;
+        rows_by_id.extend(rows);
+        latencies.extend(lat);
+        rejected += rej;
+    }
+    latencies.sort_unstable();
+    let ok = latencies.len();
+    Ok(LoadOutcome {
+        report: LoadReport {
+            jobs: spec.jobs,
+            ok,
+            rejected,
+            wall_s,
+            req_per_s: ok as f64 / wall_s,
+            p50_us: quantile(&latencies, 0.50),
+            p95_us: quantile(&latencies, 0.95),
+            p99_us: quantile(&latencies, 0.99),
+        },
+        rows_by_id,
+    })
+}
+
+/// Fetches and parses `/stats` from a running daemon.
+///
+/// # Errors
+///
+/// I/O or JSON errors.
+pub fn fetch_stats(addr: SocketAddr) -> Result<JsonValue, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let resp =
+        roundtrip(&mut stream, &mut reader, "GET", "/stats", "").map_err(|e| e.to_string())?;
+    json::parse(&resp.body)
+}
+
+/// Asks a daemon to shut down and waits for its threads to exit.
+pub fn shutdown_and_join(handle: crate::server::ServerHandle) {
+    handle.shutdown();
+    handle.join();
+}
+
+/// Knobs for the perf-baseline run.
+#[derive(Debug, Clone)]
+pub struct BaselineOptions {
+    /// Jobs per phase (acceptance floor: 64).
+    pub jobs: usize,
+    /// Concurrent clients (acceptance floor: 64).
+    pub concurrency: usize,
+    /// Accelerator instances the daemon runs (acceptance floor: 4).
+    pub instances: usize,
+    /// Batched phase's max batch.
+    pub max_batch: usize,
+    /// Accelerator configuration.
+    pub accel: AcceleratorConfig,
+    /// Dataset scale.
+    pub scale: Scale,
+    /// Fail the run when batched/unbatched throughput falls below this.
+    pub min_speedup: f64,
+}
+
+impl Default for BaselineOptions {
+    fn default() -> Self {
+        BaselineOptions {
+            jobs: 64,
+            concurrency: 64,
+            instances: 4,
+            max_batch: 16,
+            accel: AcceleratorConfig::gpu_iso_bandwidth(),
+            scale: Scale::Smoke,
+            min_speedup: 2.0,
+        }
+    }
+}
+
+fn boot(opts: &BaselineOptions, max_batch: usize) -> Result<crate::server::ServerHandle, String> {
+    serve(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        instances: opts.instances,
+        max_batch,
+        flush: Duration::from_millis(1),
+        queue_cap: 256,
+        threads: 1,
+        accel: opts.accel.clone(),
+        scale: opts.scale,
+    })
+    .map_err(|e| e.to_string())
+}
+
+fn phase_json(name: &str, r: &LoadReport, batches: u64, max_batch_observed: u64) -> String {
+    format!(
+        "\"{name}\":{{\"jobs\":{},\"ok\":{},\"rejected_429\":{},\"wall_s\":{},\
+         \"req_per_s\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\
+         \"batches\":{batches},\"max_batch_observed\":{max_batch_observed}}}",
+        r.jobs,
+        r.ok,
+        r.rejected,
+        json::number(r.wall_s),
+        json::number(r.req_per_s),
+        r.p50_us,
+        r.p95_us,
+        r.p99_us
+    )
+}
+
+fn stat_u64(stats: &JsonValue, name: &str) -> u64 {
+    stats.get(name).and_then(JsonValue::as_u64).unwrap_or(0)
+}
+
+/// The full baseline campaign. The workload is the batching-friendliest
+/// benchmark pair (MPNN over the QM9 molecule set: many small graphs,
+/// per-run fixed cost dominates), cycle-accurate for the throughput
+/// phases and functional for the bit-identity phase.
+///
+/// # Errors
+///
+/// Any phase failure, a bit-identity violation, or a speedup below
+/// `min_speedup`.
+pub fn run_baseline(opts: &BaselineOptions) -> Result<String, String> {
+    let case = build_case(ModelKind::Mpnn, "QM9_1000", opts.scale).map_err(|e| e.to_string())?;
+    let dataset_instances = case.dataset.instances.len();
+
+    // Phase 1 — functional bit-identity: every served row must be the
+    // exact reference bytes, batched or not.
+    let functional = LoadSpec {
+        jobs: opts.jobs,
+        concurrency: opts.concurrency,
+        model: ModelKind::Mpnn,
+        input: "QM9_1000",
+        dataset_instances,
+        mode: ExecMode::Functional,
+    };
+    let batched_server = boot(opts, opts.max_batch)?;
+    let f_batched = run_load(batched_server.addr(), &functional)?;
+    shutdown_and_join(batched_server);
+    for (id, rows) in &f_batched.rows_by_id {
+        let j: usize = id
+            .trim_start_matches("job")
+            .parse()
+            .map_err(|e| format!("{e}"))?;
+        let inst = j % dataset_instances;
+        let mut expect = String::new();
+        // MPNN is a readout model: one reference row per molecule.
+        push_rows(&mut expect, &[case.reference[inst].clone()]);
+        if *rows != expect {
+            return Err(format!(
+                "functional response for {id} is not bit-identical to the reference"
+            ));
+        }
+    }
+
+    // Phase 2 — batched cycle-accurate throughput.
+    let cycle = LoadSpec {
+        mode: ExecMode::CycleAccurate,
+        ..functional.clone()
+    };
+    let server = boot(opts, opts.max_batch)?;
+    let c_batched = run_load(server.addr(), &cycle)?;
+    let batched_stats = fetch_stats(server.addr())?;
+    shutdown_and_join(server);
+
+    // Phase 3 — batch-size-1 cycle-accurate throughput (the control).
+    let server = boot(opts, 1)?;
+    let c_serial = run_load(server.addr(), &cycle)?;
+    let serial_stats = fetch_stats(server.addr())?;
+    shutdown_and_join(server);
+
+    let speedup = c_batched.report.req_per_s / c_serial.report.req_per_s.max(1e-9);
+    if speedup < opts.min_speedup {
+        return Err(format!(
+            "batching speedup {speedup:.2}x is below the required {:.2}x \
+             (batched {:.1} req/s vs serial {:.1} req/s)",
+            opts.min_speedup, c_batched.report.req_per_s, c_serial.report.req_per_s
+        ));
+    }
+
+    // Phase 4 — raw simulator cycles/sec on the reference config, so
+    // the serving numbers sit next to a simulator-only baseline.
+    let sim_case = build_case(ModelKind::Gcn, "Cora", opts.scale).map_err(|e| e.to_string())?;
+    let sim_start = Instant::now();
+    let traced = simulate_traced_opts(
+        &sim_case,
+        &opts.accel,
+        &TraceOptions::at_level(TraceLevel::Off),
+    )
+    .map_err(|e| e.to_string())?;
+    let sim_wall = sim_start.elapsed().as_secs_f64().max(1e-9);
+
+    Ok(format!(
+        "{{\n  \"workload\":{{\"model\":\"MPNN\",\"input\":\"QM9_1000\",\"scale\":\"smoke\",\
+         \"jobs\":{},\"concurrency\":{},\"instances\":{},\"max_batch\":{}}},\n  {},\n  {},\n  \
+         \"batching_speedup\":{},\n  \"functional_bit_identity\":\"verified\",\n  \
+         \"simulator\":{{\"model\":\"GCN\",\"input\":\"Cora\",\"config\":\"{}\",\
+         \"total_cycles\":{},\"wall_s\":{},\"cycles_per_s\":{}}}\n}}",
+        opts.jobs,
+        opts.concurrency,
+        opts.instances,
+        opts.max_batch,
+        phase_json(
+            "batched",
+            &c_batched.report,
+            stat_u64(&batched_stats, "serve.batches"),
+            stat_u64(&batched_stats, "serve.max_batch_observed"),
+        ),
+        phase_json(
+            "unbatched",
+            &c_serial.report,
+            stat_u64(&serial_stats, "serve.batches"),
+            stat_u64(&serial_stats, "serve.max_batch_observed"),
+        ),
+        json::number(speedup),
+        opts.accel.name,
+        traced.report.total_cycles,
+        json::number(sim_wall),
+        json::number(traced.report.total_cycles as f64 / sim_wall),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_rows_extracts_exact_bytes() {
+        let body = r#"{"id":"x","rows":[[1.25,-3e-7],[0.1]],"telemetry":{"a":[1]}}"#;
+        assert_eq!(raw_rows(body), Some("[[1.25,-3e-7],[0.1]]"));
+        assert_eq!(raw_rows("{}"), None);
+    }
+
+    #[test]
+    fn quantiles_pick_sorted_ranks() {
+        let lat: Vec<u64> = (1..=100).collect();
+        assert_eq!(quantile(&lat, 0.50), 51); // rank 49.5 rounds up
+        assert_eq!(quantile(&lat, 0.99), 99);
+        assert_eq!(quantile(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn job_schedule_is_deterministic() {
+        let spec = LoadSpec {
+            jobs: 8,
+            concurrency: 4,
+            model: ModelKind::Mpnn,
+            input: "QM9_1000",
+            dataset_instances: 20,
+            mode: ExecMode::CycleAccurate,
+        };
+        assert_eq!(job_body(&spec, 3), job_body(&spec, 3));
+        assert!(job_body(&spec, 3).contains("\"instance\":3"));
+        assert!(job_body(&spec, 21).contains("\"instance\":1"));
+    }
+}

@@ -1,0 +1,276 @@
+//! Per-accelerator-instance batch queues.
+//!
+//! Each simulated accelerator instance owns one bounded queue. A
+//! connection handler pushes a job and blocks on its private response
+//! channel; the instance's worker thread pops *batches*: it takes the
+//! oldest job, then opportunistically coalesces every queued job with a
+//! compatible batch key, waiting up to the flush window for stragglers.
+//! Compatible means the jobs can share one `System` — same model, same
+//! source dataset (or same inline feature/output widths), same mode —
+//! so a batch becomes a single union-graph simulation whose fixed
+//! per-run cost (config phase, layout, program issue) is paid once.
+//!
+//! The bound is the backpressure mechanism: a full queue rejects the
+//! push and the handler answers HTTP 429 with `Retry-After`, instead of
+//! queueing unboundedly and timing everyone out.
+
+use crate::protocol::{ExecMode, JobInput, JobRequest};
+use gnna_models::ModelKind;
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Identifies jobs that may share one simulation batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BatchKey {
+    /// Jobs over the same built-in dataset.
+    Named(ModelKind, &'static str, ExecMode),
+    /// Inline-graph jobs with the same feature/output widths (uniform
+    /// widths are what lets one compiled program serve the whole batch).
+    Inline(ModelKind, usize, usize, ExecMode),
+}
+
+impl BatchKey {
+    /// The batch key of a job.
+    pub fn of(req: &JobRequest) -> BatchKey {
+        match &req.input {
+            JobInput::Named { input, .. } => BatchKey::Named(req.model, input, req.mode),
+            JobInput::Inline(g) => BatchKey::Inline(
+                req.model,
+                g.features.first().map_or(0, Vec::len),
+                g.out_features,
+                req.mode,
+            ),
+        }
+    }
+}
+
+/// The worker's verdict on one job, sent back to the waiting connection
+/// handler: pre-rendered response body plus HTTP status.
+#[derive(Debug)]
+pub struct JobOutcome {
+    /// HTTP status code (200, 400, 500).
+    pub status: u16,
+    /// Response body (JSON).
+    pub body: String,
+}
+
+/// One admitted job: the parsed request, its response channel, and the
+/// admission timestamp (for queue-latency telemetry).
+#[derive(Debug)]
+pub struct Job {
+    /// Parsed request.
+    pub request: JobRequest,
+    /// Where the worker sends the outcome.
+    pub respond: mpsc::Sender<JobOutcome>,
+    /// When the job entered the queue.
+    pub enqueued: Instant,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// A bounded MPSC batch queue (many connection handlers, one instance
+/// worker).
+#[derive(Debug)]
+pub struct BatchQueue {
+    state: Mutex<State>,
+    nonempty: Condvar,
+    capacity: usize,
+}
+
+impl BatchQueue {
+    /// A queue admitting at most `capacity` jobs (`0` is clamped to 1).
+    pub fn new(capacity: usize) -> Self {
+        BatchQueue {
+            state: Mutex::new(State::default()),
+            nonempty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Current depth (for `/stats`).
+    pub fn depth(&self) -> usize {
+        self.state.lock().expect("queue poisoned").jobs.len()
+    }
+
+    /// Admits a job. Returns it unchanged when the queue is full
+    /// (backpressure → 429) or closed (shutdown → 503).
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] and [`PushError::Closed`] carry the job back.
+    // The large Err variant is the point: a rejected job returns to the
+    // caller intact so the 429/503 response can answer on its channel.
+    #[allow(clippy::result_large_err)]
+    pub fn push(&self, job: Job) -> Result<(), PushError> {
+        let mut st = self.state.lock().expect("queue poisoned");
+        if st.closed {
+            return Err(PushError::Closed(job));
+        }
+        if st.jobs.len() >= self.capacity {
+            return Err(PushError::Full(job));
+        }
+        st.jobs.push_back(job);
+        drop(st);
+        self.nonempty.notify_one();
+        Ok(())
+    }
+
+    /// Closes the queue: further pushes fail, and once the backlog
+    /// drains [`pop_batch`](Self::pop_batch) returns `None` so the
+    /// worker exits. Jobs already queued are still served — this is the
+    /// graceful-shutdown drain.
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.nonempty.notify_all();
+    }
+
+    /// Pops the next batch: blocks for the first job, then coalesces
+    /// queued jobs with the same [`BatchKey`] until `max_batch` is
+    /// reached or the flush window expires. Jobs with other keys keep
+    /// their queue order. Returns `None` when the queue is closed and
+    /// empty.
+    pub fn pop_batch(&self, max_batch: usize, flush: Duration) -> Option<Vec<Job>> {
+        let max_batch = max_batch.max(1);
+        let mut st = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(first) = st.jobs.pop_front() {
+                let key = BatchKey::of(&first.request);
+                let mut batch = vec![first];
+                let deadline = Instant::now() + flush;
+                loop {
+                    // Pull every compatible job currently queued.
+                    let mut rest = VecDeque::with_capacity(st.jobs.len());
+                    while let Some(job) = st.jobs.pop_front() {
+                        if batch.len() < max_batch && BatchKey::of(&job.request) == key {
+                            batch.push(job);
+                        } else {
+                            rest.push_back(job);
+                        }
+                    }
+                    st.jobs = rest;
+                    if batch.len() >= max_batch || st.closed {
+                        break;
+                    }
+                    // Bounded-latency flush: wait for stragglers only
+                    // up to the deadline.
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let (next, timeout) = self
+                        .nonempty
+                        .wait_timeout(st, deadline - now)
+                        .expect("queue poisoned");
+                    st = next;
+                    if timeout.timed_out() && st.jobs.is_empty() {
+                        break;
+                    }
+                }
+                return Some(batch);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.nonempty.wait(st).expect("queue poisoned");
+        }
+    }
+}
+
+/// Why a push was refused; carries the job back to the handler.
+#[derive(Debug)]
+pub enum PushError {
+    /// Queue at capacity — answer 429 + `Retry-After`.
+    Full(Job),
+    /// Queue closed — daemon is shutting down, answer 503.
+    Closed(Job),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::parse_job;
+
+    fn job(body: &str) -> (Job, mpsc::Receiver<JobOutcome>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Job {
+                request: parse_job(body).unwrap(),
+                respond: tx,
+                enqueued: Instant::now(),
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn coalesces_compatible_jobs_and_keeps_others_queued() {
+        let q = BatchQueue::new(16);
+        let (a, _ra) = job(r#"{"model":"gcn","input":"cora"}"#);
+        let (b, _rb) = job(r#"{"model":"gat","input":"cora"}"#);
+        let (c, _rc) = job(r#"{"model":"gcn","input":"cora","instance":0}"#);
+        q.push(a).unwrap();
+        q.push(b).unwrap();
+        q.push(c).unwrap();
+        let batch = q.pop_batch(8, Duration::from_millis(1)).unwrap();
+        assert_eq!(batch.len(), 2, "gcn jobs should coalesce around gat");
+        assert!(batch.iter().all(|j| j.request.model == ModelKind::Gcn));
+        let batch = q.pop_batch(8, Duration::from_millis(1)).unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].request.model, ModelKind::Gat);
+    }
+
+    #[test]
+    fn mode_splits_batches() {
+        let q = BatchQueue::new(16);
+        let (a, _ra) = job(r#"{"model":"gcn","input":"cora","mode":"functional"}"#);
+        let (b, _rb) = job(r#"{"model":"gcn","input":"cora","mode":"cycle"}"#);
+        q.push(a).unwrap();
+        q.push(b).unwrap();
+        assert_eq!(q.pop_batch(8, Duration::from_millis(1)).unwrap().len(), 1);
+        assert_eq!(q.pop_batch(8, Duration::from_millis(1)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn full_queue_rejects_with_the_job_back() {
+        let q = BatchQueue::new(1);
+        let (a, _ra) = job(r#"{"model":"gcn","input":"cora"}"#);
+        let (b, _rb) = job(r#"{"model":"gcn","input":"cora"}"#);
+        q.push(a).unwrap();
+        match q.push(b) {
+            Err(PushError::Full(j)) => assert_eq!(j.request.model, ModelKind::Gcn),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(q.depth(), 1);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BatchQueue::new(4);
+        let (a, _ra) = job(r#"{"model":"gcn","input":"cora"}"#);
+        q.push(a).unwrap();
+        q.close();
+        let (b, _rb) = job(r#"{"model":"gcn","input":"cora"}"#);
+        assert!(matches!(q.push(b), Err(PushError::Closed(_))));
+        // The queued job is still served before the worker is told to exit.
+        assert_eq!(q.pop_batch(8, Duration::from_millis(1)).unwrap().len(), 1);
+        assert!(q.pop_batch(8, Duration::from_millis(1)).is_none());
+    }
+
+    #[test]
+    fn max_batch_one_disables_coalescing() {
+        let q = BatchQueue::new(16);
+        for _ in 0..3 {
+            let (a, _r) = job(r#"{"model":"gcn","input":"cora"}"#);
+            q.push(a).unwrap();
+        }
+        for _ in 0..3 {
+            assert_eq!(q.pop_batch(1, Duration::ZERO).unwrap().len(), 1);
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! The daemon: TCP acceptor, per-connection handlers, per-instance
+//! batch workers, routing, backpressure, and graceful shutdown.
+//!
+//! Threading model (std-only): one acceptor thread, one handler thread
+//! per live connection (blocking I/O), and one worker thread per
+//! simulated accelerator instance. A handler parses a job, routes it to
+//! an instance queue by batch-key affinity (jobs that can batch land on
+//! the same instance), and blocks on the job's private response
+//! channel; workers pop coalesced batches and execute them on the
+//! shared engine. A full queue answers HTTP 429 with `Retry-After`
+//! instead of admitting unbounded work.
+//!
+//! Shutdown (`POST /shutdown` — there is no portable std signal hook)
+//! closes every queue so workers drain their backlog and exit, then
+//! wakes the acceptor with a loopback connect; jobs admitted before the
+//! close are all answered.
+
+use crate::engine::Engine;
+use crate::http::{read_request, write_response, Request};
+use crate::protocol::{error_body, parse_job, JobInput};
+use crate::queue::{BatchKey, BatchQueue, Job, PushError};
+use crate::stats::ServeStats;
+use gnna_bench::Scale;
+use gnna_core::config::AcceleratorConfig;
+use gnna_executor::Executor;
+use std::hash::{Hash, Hasher};
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Simulated accelerator instances (one batch queue + worker each).
+    pub instances: usize,
+    /// Largest batch one instance coalesces.
+    pub max_batch: usize,
+    /// Bounded-latency flush window: how long a worker holds a partial
+    /// batch open for stragglers.
+    pub flush: Duration,
+    /// Per-instance queue bound (admission control → HTTP 429).
+    pub queue_cap: usize,
+    /// Shared executor thread budget for response assembly.
+    pub threads: usize,
+    /// Accelerator configuration cycle-accurate jobs simulate on.
+    pub accel: AcceleratorConfig,
+    /// Dataset scale for named benchmark inputs.
+    pub scale: Scale,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            instances: 4,
+            max_batch: 16,
+            flush: Duration::from_millis(1),
+            queue_cap: 256,
+            threads: 1,
+            accel: AcceleratorConfig::gpu_iso_bandwidth(),
+            scale: Scale::Smoke,
+        }
+    }
+}
+
+struct Shared {
+    engine: Engine,
+    queues: Vec<Arc<BatchQueue>>,
+    stats: ServeStats,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    /// Idempotent shutdown trigger: close the queues (workers drain and
+    /// exit) and wake the acceptor.
+    fn trigger_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            for q in &self.queues {
+                q.close();
+            }
+            // The acceptor blocks in accept(); a loopback connect wakes
+            // it to observe the flag.
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+
+    fn queue_depths(&self) -> Vec<usize> {
+        self.queues.iter().map(|q| q.depth()).collect()
+    }
+}
+
+/// A running daemon: its bound address plus join/shutdown handles.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the daemon actually bound (resolves `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Triggers a graceful shutdown (same path as `POST /shutdown`).
+    pub fn shutdown(&self) {
+        self.shared.trigger_shutdown();
+    }
+
+    /// Waits for the acceptor and every instance worker to exit.
+    /// In-flight batches finish first — that is the drain guarantee.
+    pub fn join(self) {
+        let _ = self.acceptor.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Routes a job to an instance queue: batch-key affinity (so
+/// coalescible jobs meet in one queue) spread by dataset-instance index
+/// (so multi-graph datasets use every accelerator instance).
+fn route(request_key: &BatchKey, input: &JobInput, instances: usize) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    request_key.hash(&mut h);
+    if let JobInput::Named { instance, .. } = input {
+        (instance / 8).hash(&mut h); // groups of 8 keep batches dense
+    }
+    (h.finish() % instances as u64) as usize
+}
+
+fn handle_infer(shared: &Shared, body: &str) -> (u16, String, Vec<(&'static str, String)>) {
+    let admitted = Instant::now();
+    let request = match parse_job(body) {
+        Ok(r) => r,
+        Err(msg) => {
+            shared
+                .stats
+                .record_request(400, admitted.elapsed().as_micros() as u64);
+            return (400, error_body(&msg), Vec::new());
+        }
+    };
+    let key = BatchKey::of(&request);
+    let qi = route(&key, &request.input, shared.queues.len());
+    let (tx, rx) = std::sync::mpsc::channel();
+    let job = Job {
+        request,
+        respond: tx,
+        enqueued: admitted,
+    };
+    match shared.queues[qi].push(job) {
+        Ok(()) => {}
+        Err(PushError::Full(_)) => {
+            shared
+                .stats
+                .record_request(429, admitted.elapsed().as_micros() as u64);
+            return (
+                429,
+                error_body("queue full, retry later"),
+                vec![("Retry-After", "1".to_string())],
+            );
+        }
+        Err(PushError::Closed(_)) => {
+            shared
+                .stats
+                .record_request(503, admitted.elapsed().as_micros() as u64);
+            return (503, error_body("server is shutting down"), Vec::new());
+        }
+    }
+    // The worker owns the job now; its outcome (or a dropped channel on
+    // a worker bug) ends the wait.
+    let outcome = rx.recv();
+    let latency_us = admitted.elapsed().as_micros() as u64;
+    match outcome {
+        Ok(o) => {
+            shared.stats.record_request(o.status, latency_us);
+            (o.status, o.body, Vec::new())
+        }
+        Err(_) => {
+            shared.stats.record_request(500, latency_us);
+            (500, error_body("worker dropped the job"), Vec::new())
+        }
+    }
+}
+
+fn handle_request(shared: &Shared, req: &Request) -> (u16, String, Vec<(&'static str, String)>) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => (200, "{\"status\":\"ok\"}".to_string(), Vec::new()),
+        ("GET", "/stats") => (
+            200,
+            shared.stats.snapshot_json(&shared.queue_depths()),
+            Vec::new(),
+        ),
+        ("POST", "/v1/infer") => handle_infer(shared, &req.body),
+        ("POST", "/shutdown") => {
+            shared.trigger_shutdown();
+            (200, "{\"status\":\"draining\"}".to_string(), Vec::new())
+        }
+        ("GET" | "POST", _) => (404, error_body("no such endpoint"), Vec::new()),
+        _ => (405, error_body("method not allowed"), Vec::new()),
+    }
+}
+
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    while let Some(req) = read_request(&mut reader)? {
+        let close = req.wants_close() || shared.shutdown.load(Ordering::SeqCst);
+        let (status, body, extra) = handle_request(shared, &req);
+        let headers: Vec<(&str, &str)> = extra.iter().map(|(n, v)| (*n, v.as_str())).collect();
+        write_response(&mut writer, status, &headers, &body, close)?;
+        if close {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Binds and starts the daemon; returns once it is accepting.
+///
+/// # Errors
+///
+/// Propagates the bind failure.
+pub fn serve(cfg: ServeConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let instances = cfg.instances.max(1);
+    let queues: Vec<Arc<BatchQueue>> = (0..instances)
+        .map(|_| Arc::new(BatchQueue::new(cfg.queue_cap)))
+        .collect();
+    let shared = Arc::new(Shared {
+        engine: Engine::new(cfg.accel.clone(), cfg.scale, Executor::new(cfg.threads)),
+        queues,
+        stats: ServeStats::new(),
+        shutdown: AtomicBool::new(false),
+        addr,
+    });
+
+    let mut workers = Vec::with_capacity(instances);
+    for qi in 0..instances {
+        let shared = Arc::clone(&shared);
+        let max_batch = cfg.max_batch;
+        let flush = cfg.flush;
+        workers.push(std::thread::spawn(move || {
+            let queue = Arc::clone(&shared.queues[qi]);
+            while let Some(batch) = queue.pop_batch(max_batch, flush) {
+                shared.stats.record_batch(batch.len());
+                shared.engine.execute_batch(batch);
+            }
+        }));
+    }
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    let _ = handle_connection(&shared, stream);
+                });
+            }
+        })
+    };
+
+    Ok(ServerHandle {
+        shared,
+        acceptor,
+        workers,
+    })
+}

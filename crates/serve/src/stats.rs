@@ -1,0 +1,149 @@
+//! Serving telemetry: request counters, latency quantiles, and the
+//! batch-size histogram behind `GET /stats`, built on the
+//! `gnna-telemetry` metrics registry so the snapshot format matches the
+//! simulator's other telemetry surfaces.
+
+use gnna_telemetry::{HistogramSummary, MetricsRegistry};
+use std::sync::Mutex;
+use std::time::Instant;
+
+#[derive(Debug)]
+struct Inner {
+    started: Instant,
+    requests: u64,
+    ok: u64,
+    client_errors: u64,
+    server_errors: u64,
+    rejected: u64,
+    batches: u64,
+    batched_jobs: u64,
+    max_batch_observed: u64,
+    latency_us: HistogramSummary,
+    batch_size: HistogramSummary,
+}
+
+/// Shared serving counters (one per daemon).
+#[derive(Debug)]
+pub struct ServeStats {
+    inner: Mutex<Inner>,
+}
+
+impl Default for ServeStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServeStats {
+    /// Fresh counters; the req/s clock starts now.
+    pub fn new() -> Self {
+        ServeStats {
+            inner: Mutex::new(Inner {
+                started: Instant::now(),
+                requests: 0,
+                ok: 0,
+                client_errors: 0,
+                server_errors: 0,
+                rejected: 0,
+                batches: 0,
+                batched_jobs: 0,
+                max_batch_observed: 0,
+                latency_us: HistogramSummary::default(),
+                batch_size: HistogramSummary::default(),
+            }),
+        }
+    }
+
+    /// Records one finished inference request and its end-to-end
+    /// latency (admission to response) in microseconds.
+    pub fn record_request(&self, status: u16, latency_us: u64) {
+        let mut s = self.inner.lock().expect("stats poisoned");
+        s.requests += 1;
+        match status {
+            200 => s.ok += 1,
+            429 => s.rejected += 1,
+            400..=499 => s.client_errors += 1,
+            _ => s.server_errors += 1,
+        }
+        s.latency_us.observe(latency_us as f64);
+    }
+
+    /// Records one executed batch.
+    pub fn record_batch(&self, size: usize) {
+        let mut s = self.inner.lock().expect("stats poisoned");
+        s.batches += 1;
+        s.batched_jobs += size as u64;
+        s.max_batch_observed = s.max_batch_observed.max(size as u64);
+        s.batch_size.observe(size as f64);
+    }
+
+    /// Renders the `/stats` snapshot as the metrics-registry JSON,
+    /// including the current per-instance queue depths.
+    pub fn snapshot_json(&self, queue_depths: &[usize]) -> String {
+        let s = self.inner.lock().expect("stats poisoned");
+        let mut reg = MetricsRegistry::new();
+        reg.counter_set("serve.requests", s.requests);
+        reg.counter_set("serve.ok", s.ok);
+        reg.counter_set("serve.client_errors", s.client_errors);
+        reg.counter_set("serve.server_errors", s.server_errors);
+        reg.counter_set("serve.rejected_429", s.rejected);
+        reg.counter_set("serve.batches", s.batches);
+        reg.counter_set("serve.batched_jobs", s.batched_jobs);
+        reg.counter_set("serve.max_batch_observed", s.max_batch_observed);
+        let elapsed = s.started.elapsed().as_secs_f64().max(1e-9);
+        reg.gauge_set("serve.uptime_s", elapsed);
+        reg.gauge_set("serve.req_per_s", s.requests as f64 / elapsed);
+        reg.gauge_set("serve.latency_p50_us", s.latency_us.p50());
+        reg.gauge_set("serve.latency_p95_us", s.latency_us.p95());
+        reg.gauge_set("serve.latency_p99_us", s.latency_us.p99());
+        reg.gauge_set("serve.latency_mean_us", s.latency_us.mean());
+        reg.histogram_set("serve.latency_us", s.latency_us);
+        reg.histogram_set("serve.batch_size", s.batch_size);
+        let total_depth: usize = queue_depths.iter().sum();
+        reg.gauge_set("serve.queue_depth", total_depth as f64);
+        for (i, d) in queue_depths.iter().enumerate() {
+            reg.gauge_set(&format!("serve.queue_depth.instance{i}"), *d as f64);
+        }
+        reg.to_json_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnna_telemetry::json;
+
+    #[test]
+    fn snapshot_carries_the_serving_metrics() {
+        let stats = ServeStats::new();
+        stats.record_request(200, 1_500);
+        stats.record_request(200, 2_500);
+        stats.record_request(429, 10);
+        stats.record_batch(2);
+        let snap = stats.snapshot_json(&[1, 0]);
+        let v = json::parse(&snap).unwrap();
+        let find = |name: &str| {
+            v.as_array()
+                .into_iter()
+                .flatten()
+                .find(|m| m.get("name").and_then(|n| n.as_str()) == Some(name))
+                .cloned()
+                .or_else(|| v.get(name).cloned())
+        };
+        // Whatever the registry's JSON shape, the snapshot must mention
+        // the core serving metrics.
+        for name in [
+            "serve.requests",
+            "serve.rejected_429",
+            "serve.req_per_s",
+            "serve.latency_p99_us",
+            "serve.batch_size",
+            "serve.queue_depth",
+        ] {
+            assert!(
+                find(name).is_some() || snap.contains(name),
+                "snapshot missing {name}: {snap}"
+            );
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Command-line conformance for the serve binary — same contract the
+//! bench binaries are held to in `crates/bench/tests/cli.rs`.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_gnna-serve"))
+        .args(args)
+        .output()
+        .expect("cannot spawn gnna-serve")
+}
+
+#[test]
+fn help_exits_zero_and_prints_usage() {
+    for flag in ["--help", "-h"] {
+        let out = run(&[flag]);
+        assert!(out.status.success(), "gnna-serve {flag} exited nonzero");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("usage: gnna-serve"), "{flag}: {err}");
+    }
+}
+
+#[test]
+fn version_exits_zero_and_prints_the_workspace_version() {
+    for flag in ["--version", "-V"] {
+        let out = run(&[flag]);
+        assert!(out.status.success(), "gnna-serve {flag} exited nonzero");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert_eq!(
+            stdout,
+            format!("gnna-serve {}\n", env!("CARGO_PKG_VERSION"))
+        );
+    }
+}
+
+#[test]
+fn unknown_options_exit_nonzero_with_usage() {
+    let out = run(&["--no-such-flag"]);
+    assert!(!out.status.success(), "gnna-serve accepted an unknown flag");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown option --no-such-flag"), "{err}");
+    assert!(err.contains("usage: gnna-serve"), "{err}");
+}

@@ -1,0 +1,344 @@
+//! End-to-end daemon tests over real sockets: functional bit-identity,
+//! cycle-accurate telemetry, batching coalescence, 429 backpressure,
+//! graceful drain, and the `/stats` surface.
+
+use gnna_bench::{build_case, Scale};
+use gnna_models::ModelKind;
+use gnna_serve::loadgen::{fetch_stats, raw_rows, roundtrip, run_load, LoadSpec};
+use gnna_serve::protocol::{push_rows, ExecMode};
+use gnna_serve::server::{serve, ServeConfig, ServerHandle};
+use gnna_telemetry::json::{self, JsonValue};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+fn boot(mutate: impl FnOnce(&mut ServeConfig)) -> ServerHandle {
+    let mut cfg = ServeConfig {
+        instances: 2,
+        threads: 2,
+        ..ServeConfig::default()
+    };
+    mutate(&mut cfg);
+    serve(cfg).expect("daemon boots")
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let resp = roundtrip(&mut stream, &mut reader, "POST", path, body).unwrap();
+    (resp.status, resp.body)
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let resp = roundtrip(&mut stream, &mut reader, "GET", path, "").unwrap();
+    (resp.status, resp.body)
+}
+
+#[test]
+fn healthz_and_unknown_routes() {
+    let h = boot(|_| {});
+    let (status, body) = get(h.addr(), "/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(body, "{\"status\":\"ok\"}");
+    let (status, _) = get(h.addr(), "/nope");
+    assert_eq!(status, 404);
+    let (status, _) = post(h.addr(), "/v1/infer", "this is not json");
+    assert_eq!(status, 400);
+    h.shutdown();
+    h.join();
+}
+
+#[test]
+fn functional_rows_are_bit_identical_to_the_reference() {
+    let h = boot(|_| {});
+    let (status, body) = post(
+        h.addr(),
+        "/v1/infer",
+        r#"{"id":"f1","model":"gcn","input":"cora","mode":"functional"}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    let case = build_case(ModelKind::Gcn, "Cora", Scale::Smoke).unwrap();
+    let mut expect = String::new();
+    push_rows(&mut expect, &case.reference);
+    assert_eq!(
+        raw_rows(&body).unwrap(),
+        expect,
+        "served rows differ from the gnna-models reference bytes"
+    );
+    let v = json::parse(&body).unwrap();
+    assert_eq!(v.get("id").and_then(JsonValue::as_str), Some("f1"));
+    assert_eq!(
+        v.get("mode").and_then(JsonValue::as_str),
+        Some("functional")
+    );
+    h.shutdown();
+    h.join();
+}
+
+#[test]
+fn cycle_mode_returns_rows_telemetry_and_accuracy() {
+    let h = boot(|_| {});
+    let (status, body) = post(
+        h.addr(),
+        "/v1/infer",
+        r#"{"id":"c1","model":"gcn","input":"cora","mode":"cycle"}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    let v = json::parse(&body).unwrap();
+    let tel = v.get("telemetry").expect("telemetry present");
+    assert!(tel.get("total_cycles").and_then(JsonValue::as_u64).unwrap() > 0);
+    assert!(tel.get("energy_pj").and_then(JsonValue::as_u64).unwrap() > 0);
+    assert_eq!(tel.get("batch_size").and_then(JsonValue::as_u64), Some(1));
+    let stalls = tel.get("stalls").expect("stall summary present");
+    assert!(stalls.get("waiting_mem").is_some());
+    assert!(stalls.get("no_work").is_some());
+    let acc = v.get("accuracy").expect("accuracy grade present");
+    let max_rel = acc.get("max_rel_err").and_then(JsonValue::as_f64).unwrap();
+    assert!(
+        max_rel < 1e-3,
+        "simulated rows off the reference: {max_rel}"
+    );
+    assert_eq!(acc.get("label_flips").and_then(JsonValue::as_u64), Some(0));
+    h.shutdown();
+    h.join();
+}
+
+#[test]
+fn inline_graph_jobs_run_in_both_modes() {
+    let h = boot(|_| {});
+    let job = r#"{"id":"g1","model":"gcn","mode":"functional","graph":{
+        "num_vertices":4,"edges":[[0,1],[1,2],[2,3],[3,0]],
+        "features":[[1,0,0],[0,1,0],[0,0,1],[1,1,0]],"out_features":2}}"#;
+    let (status, body) = post(h.addr(), "/v1/infer", job);
+    assert_eq!(status, 200, "{body}");
+    let functional_rows = raw_rows(&body).unwrap().to_string();
+    assert!(functional_rows.starts_with("[["));
+
+    let cycle_job = job
+        .replace("\"functional\"", "\"cycle\"")
+        .replace("g1", "g2");
+    let (status, body) = post(h.addr(), "/v1/infer", &cycle_job);
+    assert_eq!(status, 200, "{body}");
+    let v = json::parse(&body).unwrap();
+    assert!(
+        v.get("telemetry")
+            .and_then(|t| t.get("total_cycles"))
+            .and_then(JsonValue::as_u64)
+            .unwrap()
+            > 0
+    );
+    let acc = v.get("accuracy").unwrap();
+    assert!(acc.get("max_rel_err").and_then(JsonValue::as_f64).unwrap() < 1e-3);
+
+    // Out-of-range instance on a named dataset → 400, not a crash.
+    let (status, _) = post(
+        h.addr(),
+        "/v1/infer",
+        r#"{"model":"gcn","input":"cora","instance":99}"#,
+    );
+    assert_eq!(status, 400);
+    h.shutdown();
+    h.join();
+}
+
+#[test]
+fn concurrent_functional_jobs_coalesce_into_batches() {
+    // One instance, generous flush: 8 concurrent jobs for the same
+    // dataset must meet in a batch while the first executes.
+    let h = boot(|cfg| {
+        cfg.instances = 1;
+        cfg.max_batch = 8;
+        cfg.flush = Duration::from_millis(150);
+    });
+    let spec = LoadSpec {
+        jobs: 8,
+        concurrency: 8,
+        model: ModelKind::Gcn,
+        input: "Cora",
+        dataset_instances: 1,
+        mode: ExecMode::Functional,
+    };
+    let outcome = run_load(h.addr(), &spec).unwrap();
+    assert_eq!(outcome.report.ok, 8);
+    // All 8 answered the same reference bytes.
+    let first = outcome.rows_by_id.values().next().unwrap();
+    assert!(outcome.rows_by_id.values().all(|r| r == first));
+    let stats = fetch_stats(h.addr()).unwrap();
+    let max_batch = stats
+        .get("serve.max_batch_observed")
+        .and_then(JsonValue::as_u64)
+        .unwrap();
+    assert!(max_batch >= 2, "no coalescing observed: {max_batch}");
+    h.shutdown();
+    h.join();
+}
+
+#[test]
+fn full_queue_answers_429_with_retry_after() {
+    // Tiny system: one instance, no batching, one queue slot. Slow
+    // cycle jobs guarantee the queue is still busy when the burst hits.
+    let h = boot(|cfg| {
+        cfg.instances = 1;
+        cfg.max_batch = 1;
+        cfg.queue_cap = 1;
+        cfg.flush = Duration::ZERO;
+    });
+    let body = r#"{"model":"gcn","input":"cora","mode":"cycle"}"#;
+    let statuses: Vec<u16> = std::thread::scope(|scope| {
+        let addr = h.addr();
+        let handles: Vec<_> = (0..6)
+            .map(|_| scope.spawn(move || post(addr, "/v1/infer", body).0))
+            .collect();
+        handles.into_iter().map(|t| t.join().unwrap()).collect()
+    });
+    assert!(
+        statuses.contains(&429),
+        "burst of 6 on a 1-slot queue produced no 429: {statuses:?}"
+    );
+    assert!(statuses.contains(&200), "{statuses:?}");
+    // The handler advertises Retry-After on the 429 path.
+    let mut saw_retry_after = false;
+    for _ in 0..6 {
+        let mut stream = TcpStream::connect(h.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let resp = roundtrip(&mut stream, &mut reader, "POST", "/v1/infer", body).unwrap();
+        if resp.status == 429 {
+            assert_eq!(resp.header("retry-after"), Some("1"));
+            saw_retry_after = true;
+            break;
+        }
+    }
+    let stats = fetch_stats(h.addr()).unwrap();
+    let rejected = stats
+        .get("serve.rejected_429")
+        .and_then(JsonValue::as_u64)
+        .unwrap();
+    assert!(rejected >= 1, "stats missed the rejections");
+    assert!(saw_retry_after || rejected >= 1);
+    h.shutdown();
+    h.join();
+}
+
+#[test]
+fn stats_surface_reports_throughput_latency_and_queues() {
+    let h = boot(|_| {});
+    for i in 0..3 {
+        let (status, _) = post(
+            h.addr(),
+            "/v1/infer",
+            &format!(r#"{{"id":"s{i}","model":"gcn","input":"cora","mode":"functional"}}"#),
+        );
+        assert_eq!(status, 200);
+    }
+    let stats = fetch_stats(h.addr()).unwrap();
+    assert!(
+        stats
+            .get("serve.requests")
+            .and_then(JsonValue::as_u64)
+            .unwrap()
+            >= 3
+    );
+    assert!(stats.get("serve.ok").and_then(JsonValue::as_u64).unwrap() >= 3);
+    assert!(
+        stats
+            .get("serve.req_per_s")
+            .and_then(JsonValue::as_f64)
+            .unwrap()
+            > 0.0
+    );
+    assert!(
+        stats
+            .get("serve.latency_p99_us")
+            .and_then(JsonValue::as_f64)
+            .unwrap()
+            > 0.0
+    );
+    let hist = stats.get("serve.latency_us").expect("latency histogram");
+    assert!(hist.get("count").and_then(JsonValue::as_u64).unwrap() >= 3);
+    assert!(stats.get("serve.batch_size").is_some());
+    // Queue depth gauges exist for the whole daemon and per instance.
+    assert!(stats.get("serve.queue_depth").is_some());
+    assert!(stats.get("serve.queue_depth.instance0").is_some());
+    assert!(stats.get("serve.queue_depth.instance1").is_some());
+    h.shutdown();
+    h.join();
+}
+
+#[test]
+fn shutdown_drains_in_flight_jobs_then_refuses() {
+    let h = boot(|cfg| {
+        cfg.instances = 1;
+        cfg.max_batch = 1;
+        cfg.queue_cap = 8;
+        cfg.flush = Duration::ZERO;
+    });
+    let addr = h.addr();
+    // Park a couple of slow jobs, then trigger shutdown while they run.
+    let workers: Vec<_> = (0..2)
+        .map(|i| {
+            std::thread::spawn(move || {
+                post(
+                    addr,
+                    "/v1/infer",
+                    &format!(r#"{{"id":"d{i}","model":"gcn","input":"cora","mode":"cycle"}}"#),
+                )
+            })
+        })
+        .collect();
+    // Give the jobs time to enter the queue before draining.
+    std::thread::sleep(Duration::from_millis(100));
+    let (status, body) = post(addr, "/shutdown", "");
+    assert_eq!(status, 200, "{body}");
+    for w in workers {
+        let (status, body) = w.join().unwrap();
+        assert_eq!(status, 200, "in-flight job dropped during drain: {body}");
+    }
+    h.join();
+    // The daemon is gone: new connections fail or are refused.
+    match TcpStream::connect(addr) {
+        Err(_) => {}
+        Ok(mut s) => {
+            let mut reader = BufReader::new(s.try_clone().unwrap());
+            assert!(
+                roundtrip(&mut s, &mut reader, "GET", "/healthz", "").is_err(),
+                "daemon still answering after drain"
+            );
+        }
+    }
+}
+
+#[test]
+fn mixed_mode_and_model_jobs_share_the_daemon() {
+    let h = boot(|_| {});
+    let jobs = [
+        r#"{"id":"m0","model":"gcn","input":"cora","mode":"functional"}"#,
+        r#"{"id":"m1","model":"gcn","input":"cora","mode":"cycle"}"#,
+        r#"{"id":"m2","model":"gat","input":"cora","mode":"functional"}"#,
+        r#"{"id":"m3","model":"mpnn","input":"qm9","instance":3,"mode":"functional"}"#,
+    ];
+    let bodies: Vec<(u16, String)> = std::thread::scope(|scope| {
+        let addr = h.addr();
+        let handles: Vec<_> = jobs
+            .iter()
+            .map(|j| scope.spawn(move || post(addr, "/v1/infer", j)))
+            .collect();
+        handles.into_iter().map(|t| t.join().unwrap()).collect()
+    });
+    for (i, (status, body)) in bodies.iter().enumerate() {
+        assert_eq!(*status, 200, "job {i}: {body}");
+        let v = json::parse(body).unwrap();
+        assert_eq!(
+            v.get("id").and_then(JsonValue::as_str),
+            Some(format!("m{i}").as_str())
+        );
+    }
+    // MPNN molecule 3's functional answer is its exact reference row.
+    let case = build_case(ModelKind::Mpnn, "QM9_1000", Scale::Smoke).unwrap();
+    let mut expect = String::new();
+    push_rows(&mut expect, &[case.reference[3].clone()]);
+    assert_eq!(raw_rows(&bodies[3].1).unwrap(), expect);
+    h.shutdown();
+    h.join();
+}
