@@ -15,7 +15,7 @@ use gnna_core::config::AcceleratorConfig;
 use gnna_core::energy::EnergyModel;
 use gnna_faults::FaultPlan;
 use gnna_models::ModelKind;
-use gnna_telemetry::TraceLevel;
+use gnna_telemetry::{Metric, MetricsRegistry, TraceLevel};
 use std::process::ExitCode;
 
 struct Args {
@@ -35,6 +35,9 @@ struct Args {
     fault_seed: Option<u64>,
     fault_rate: Option<f64>,
     stall_window: Option<u64>,
+    profile_out: Option<String>,
+    profile_json: Option<String>,
+    profile_sample_every: Option<u64>,
 }
 
 const USAGE: &str = "\
@@ -68,6 +71,12 @@ usage: gnna-sim [options]
   --stall-window N               master cycles without progress before
                                  the watchdog reports a stall
                                  (default 2000000)
+  --profile-out PATH             write a collapsed-stack host profile
+                                 (flamegraph.pl / inferno input)
+  --profile-json PATH            write the host.profile.* metrics as JSON
+                                 (the BENCH_profile_baseline.json format)
+  --profile-sample-every N       time one cycle in N inside the cycle
+                                 loop (default 64; implies profiling)
   --version                      print the workspace version
   --help                         this message";
 
@@ -88,6 +97,9 @@ fn parse_args() -> Result<Args, String> {
     let mut fault_seed = None;
     let mut fault_rate = None;
     let mut stall_window = None;
+    let mut profile_out = None;
+    let mut profile_json = None;
+    let mut profile_sample_every = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
@@ -184,6 +196,17 @@ fn parse_args() -> Result<Args, String> {
                 }
                 stall_window = Some(w);
             }
+            "--profile-out" => profile_out = Some(value("--profile-out")?),
+            "--profile-json" => profile_json = Some(value("--profile-json")?),
+            "--profile-sample-every" => {
+                let n: u64 = value("--profile-sample-every")?
+                    .parse()
+                    .map_err(|e| format!("bad sampling period: {e}"))?;
+                if n == 0 {
+                    return Err("--profile-sample-every must be positive".to_string());
+                }
+                profile_sample_every = Some(n);
+            }
             "--version" | "-V" => {
                 println!("gnna-sim {}", env!("CARGO_PKG_VERSION"));
                 std::process::exit(0);
@@ -214,6 +237,9 @@ fn parse_args() -> Result<Args, String> {
         fault_seed,
         fault_rate,
         stall_window,
+        profile_out,
+        profile_json,
+        profile_sample_every,
     })
 }
 
@@ -283,8 +309,20 @@ fn main() -> ExitCode {
             TraceLevel::Off
         }
     });
+    // Host profiling is wanted when any --profile-* flag is present.
+    let profile_sample_every = if args.profile_out.is_some() || args.profile_json.is_some() {
+        Some(
+            args.profile_sample_every
+                .unwrap_or(gnna_telemetry::profile::DEFAULT_SAMPLE_EVERY),
+        )
+    } else {
+        args.profile_sample_every
+    };
     let wall = std::time::Instant::now();
-    let report = if level == TraceLevel::Off && fault_plan.is_none() {
+    let report = if level == TraceLevel::Off
+        && fault_plan.is_none()
+        && profile_sample_every.is_none()
+    {
         match simulate(&case, &config) {
             Ok(r) => r,
             Err(e) => {
@@ -297,6 +335,7 @@ fn main() -> ExitCode {
             level,
             flight_capacity: args.flight_capacity,
             fault_plan,
+            profile_sample_every,
         };
         let run = match simulate_traced_opts(&case, &config, &opts) {
             Ok(r) => r,
@@ -329,6 +368,38 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
             println!("metrics: {} ({} series)", path, run.metrics.len());
+        }
+        if let Some(profiler) = &run.profiler {
+            let prof = profiler.borrow();
+            if let Some(path) = &args.profile_out {
+                if let Err(e) = std::fs::write(path, prof.collapsed()) {
+                    eprintln!("error: cannot write profile {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("host profile: {path} (collapsed stacks — feed to flamegraph tooling)");
+            }
+            if let Some(path) = &args.profile_json {
+                let mut sub = MetricsRegistry::new();
+                for (name, m) in run.metrics.iter() {
+                    if name.starts_with("host.profile.") {
+                        match m {
+                            Metric::Counter(v) => sub.counter_set(name, *v),
+                            Metric::Gauge(v) => sub.gauge_set(name, *v),
+                            Metric::Histogram(h) => sub.histogram_set(name, *h),
+                        }
+                    }
+                }
+                if let Err(e) = std::fs::write(path, sub.to_json_string()) {
+                    eprintln!("error: cannot write profile metrics {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("host profile metrics: {path} ({} series)", sub.len());
+            }
+            println!(
+                "host profile: {:.0} cycles/sec (sampled 1 in {})",
+                prof.cycles_per_sec(),
+                prof.sample_every()
+            );
         }
         run.report
     };

@@ -21,6 +21,7 @@ use gnna_core::system::System;
 use gnna_faults::FaultPlan;
 use gnna_graph::{datasets, Dataset};
 use gnna_models::{Gat, Gcn, GcnNorm, ModelKind, Mpnn, Pgnn};
+use gnna_telemetry::profile::{shared_profiler, SharedProfiler};
 use gnna_telemetry::{shared, MetricsRegistry, SharedTracer, TraceLevel, Tracer};
 use std::error::Error;
 
@@ -159,8 +160,14 @@ pub struct TracedRun {
     pub report: SimReport,
     /// The tracer holding the Chrome-trace event stream.
     pub tracer: SharedTracer,
-    /// Module counters harvested after the run.
+    /// Module counters harvested after the run. When host profiling is
+    /// enabled the `host.profile.*` family is merged in here too.
     pub metrics: MetricsRegistry,
+    /// The host-phase profiler (`Some` only when
+    /// [`TraceOptions::profile_sample_every`] asked for one); use
+    /// [`HostProfiler::collapsed`](gnna_telemetry::HostProfiler::collapsed)
+    /// for the flamegraph export.
+    pub profiler: Option<SharedProfiler>,
 }
 
 /// Simulates `case` on `config` with a tracer attached at `level`; the
@@ -192,6 +199,11 @@ pub struct TraceOptions {
     /// Deterministic fault-injection plan (`None` — and empty plans —
     /// leave the run bit-identical to a fault-free simulation).
     pub fault_plan: Option<FaultPlan>,
+    /// Host-phase profiling: `Some(n)` attaches a
+    /// [`HostProfiler`](gnna_telemetry::HostProfiler) sampling one cycle
+    /// in `n`. `None` (the default) attaches nothing and leaves the run
+    /// bit-identical to an unprofiled simulation.
+    pub profile_sample_every: Option<u64>,
 }
 
 impl TraceOptions {
@@ -201,7 +213,15 @@ impl TraceOptions {
             level,
             flight_capacity: None,
             fault_plan: None,
+            profile_sample_every: None,
         }
+    }
+
+    /// Same options with host profiling at the given sampling period.
+    #[must_use]
+    pub fn with_profile(mut self, sample_every: u64) -> Self {
+        self.profile_sample_every = Some(sample_every);
+        self
     }
 }
 
@@ -225,13 +245,21 @@ pub fn simulate_traced_opts(
     if let Some(plan) = &opts.fault_plan {
         sys.attach_faults(plan)?;
     }
+    let profiler = opts.profile_sample_every.map(shared_profiler);
+    if let Some(p) = &profiler {
+        sys.attach_profiler(std::rc::Rc::clone(p));
+    }
     let report = sys.run()?;
     let mut metrics = MetricsRegistry::new();
     sys.harvest_metrics(&mut metrics);
+    if let Some(p) = &profiler {
+        p.borrow().export_metrics(&mut metrics);
+    }
     Ok(TracedRun {
         report,
         tracer,
         metrics,
+        profiler,
     })
 }
 

@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Flat summary of one histogram metric as serialized by the registry
-/// (`count/sum/min/max/mean/p50/p95/p99`).
+/// (`count/sum/min/max/mean/p50/p95/p99/p999`).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct HistStats {
     /// Number of samples observed.
@@ -31,6 +31,8 @@ pub struct HistStats {
     pub p95: f64,
     /// 99th-percentile estimate.
     pub p99: f64,
+    /// 99.9th-percentile estimate (0.0 when parsing a pre-p999 dump).
+    pub p999: f64,
 }
 
 /// One parsed metric: scalar (counter or gauge — the JSON form does not
@@ -78,6 +80,7 @@ impl MetricsSnapshot {
                     p50: field(v, "p50"),
                     p95: field(v, "p95"),
                     p99: field(v, "p99"),
+                    p999: field(v, "p999"),
                 }),
                 other => return Err(format!("metric '{name}' has unexpected value {other:?}")),
             };
@@ -87,7 +90,9 @@ impl MetricsSnapshot {
     }
 
     /// Parse the CSV form written by `MetricsRegistry::to_csv_string`
-    /// (header `metric,kind,value,count,sum,min,max,mean,p50,p95,p99`).
+    /// (header `metric,kind,value,count,sum,min,max,mean,p50,p95,p99,p999`;
+    /// the trailing `p999` column is optional so pre-p999 dumps still
+    /// parse).
     pub fn parse_csv(text: &str) -> Result<Self, String> {
         let mut lines = text.lines();
         let header = lines.next().ok_or("empty metrics CSV")?;
@@ -115,6 +120,7 @@ impl MetricsSnapshot {
                     p50: num(8),
                     p95: num(9),
                     p99: num(10),
+                    p999: if cols.len() > 11 { num(11) } else { 0.0 },
                 }),
                 other => return Err(format!("unknown metric kind '{other}' in CSV")),
             };
@@ -521,8 +527,79 @@ pub struct BottleneckReport {
     pub resilience: Vec<(String, SiteFaults)>,
     /// Energy attribution, when the run was traced at event level.
     pub energy: Option<EnergyBreakdown>,
+    /// Host-phase wall-clock profile, when the run was profiled
+    /// (`gnna-sim --profile-out`/`--profile-json`).
+    pub host_profile: Option<HostProfile>,
     /// Optional trace-file inventory.
     pub trace: Option<TraceSummary>,
+}
+
+/// One host-profile phase row parsed from `host.profile.*` counters.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct HostPhaseRow {
+    /// `;`-joined phase path (e.g. `run;layer:0;cycles;gpe`).
+    pub path: String,
+    /// Wall-clock nanoseconds spent in this phase excluding children.
+    pub self_ns: u64,
+    /// Wall-clock nanoseconds including children.
+    pub total_ns: u64,
+    /// Times the phase was entered (0 for sampled hot phases).
+    pub calls: u64,
+}
+
+/// Host-phase wall-clock profile (`host.profile.*` metric family).
+#[derive(Debug, Default, Clone)]
+pub struct HostProfile {
+    /// Phase rows sorted by self time descending.
+    pub phases: Vec<HostPhaseRow>,
+    /// Wall-clock nanoseconds covered by the profiler.
+    pub wall_ns: u64,
+    /// Simulated compute cycles observed by the hot loop.
+    pub cycles_total: u64,
+    /// Cycles that paid for hot-loop lap timing.
+    pub cycles_sampled: u64,
+    /// Hot-loop sampling stride (1 in N cycles timed).
+    pub sample_every: u64,
+    /// Host throughput: simulated cycles per wall-clock second.
+    pub cycles_per_sec: f64,
+}
+
+fn parse_host_profile(snap: &MetricsSnapshot) -> Option<HostProfile> {
+    let mut rows: BTreeMap<String, HostPhaseRow> = BTreeMap::new();
+    for (rest, v) in snap.with_prefix("host.profile.") {
+        let MetricValue::Number(n) = v else { continue };
+        // Phase counters are `host.profile.<field>.<path>`; run-level
+        // gauges (`wall_ns`, ...) have no second dot and are skipped here.
+        let Some((field, path)) = rest.split_once('.') else {
+            continue;
+        };
+        let row = rows
+            .entry(path.to_string())
+            .or_insert_with(|| HostPhaseRow {
+                path: path.to_string(),
+                ..Default::default()
+            });
+        match field {
+            "self_ns" => row.self_ns = *n as u64,
+            "total_ns" => row.total_ns = *n as u64,
+            "calls" => row.calls = *n as u64,
+            _ => {}
+        }
+    }
+    let wall_ns = snap.number("host.profile.wall_ns");
+    if rows.is_empty() && wall_ns.is_none() {
+        return None;
+    }
+    let mut phases: Vec<_> = rows.into_values().collect();
+    phases.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.path.cmp(&b.path)));
+    Some(HostProfile {
+        phases,
+        wall_ns: wall_ns.unwrap_or(0.0) as u64,
+        cycles_total: snap.number("host.profile.cycles_total").unwrap_or(0.0) as u64,
+        cycles_sampled: snap.number("host.profile.cycles_sampled").unwrap_or(0.0) as u64,
+        sample_every: snap.number("host.profile.sample_every").unwrap_or(0.0) as u64,
+        cycles_per_sec: snap.number("host.profile.cycles_per_sec").unwrap_or(0.0),
+    })
 }
 
 impl BottleneckReport {
@@ -619,6 +696,7 @@ impl BottleneckReport {
         }
         r.resilience = parse_faults(snap);
         r.energy = parse_energy(snap);
+        r.host_profile = parse_host_profile(snap);
         r
     }
 
@@ -741,8 +819,8 @@ impl BottleneckReport {
                 let _ = writeln!(
                     o,
                     "\n{name} ({} packets): p50 {:.0}, p95 {:.0}, p99 {:.0}, \
-                     mean {:.1}, max {:.0} cycles",
-                    h.count, h.p50, h.p95, h.p99, h.mean, h.max
+                     p99.9 {:.0}, mean {:.1}, max {:.0} cycles",
+                    h.count, h.p50, h.p95, h.p99, h.p999, h.mean, h.max
                 );
             }
         }
@@ -885,6 +963,42 @@ impl BottleneckReport {
             );
         }
 
+        if let Some(hp) = &self.host_profile {
+            let _ = writeln!(o, "\n## Host profile\n");
+            let _ = writeln!(
+                o,
+                "Wall clock {:.3} s for {} compute cycles — **{:.0} cycles/sec** \
+                 (hot loop sampled 1 in {}, {} cycles timed).\n",
+                hp.wall_ns as f64 / 1e9,
+                hp.cycles_total,
+                hp.cycles_per_sec,
+                hp.sample_every.max(1),
+                hp.cycles_sampled
+            );
+            let shown = top_k.max(16);
+            let _ = writeln!(o, "| phase | self (ms) | self % | total (ms) | calls |");
+            let _ = writeln!(o, "|---|---|---|---|---|");
+            let wall = hp.wall_ns.max(1);
+            for p in hp.phases.iter().take(shown) {
+                let _ = writeln!(
+                    o,
+                    "| {} | {:.3} | {:.1}% | {:.3} | {} |",
+                    p.path,
+                    p.self_ns as f64 / 1e6,
+                    pct(p.self_ns, wall),
+                    p.total_ns as f64 / 1e6,
+                    p.calls
+                );
+            }
+            if hp.phases.len() > shown {
+                let _ = writeln!(
+                    o,
+                    "\n_{} more phase(s) below the top {shown} by self time._",
+                    hp.phases.len() - shown
+                );
+            }
+        }
+
         if let Some(t) = &self.trace {
             let _ = writeln!(o, "\n## Trace inventory\n");
             let _ = writeln!(
@@ -958,6 +1072,7 @@ impl BottleneckReport {
                 row("noc", &format!("{name}.p50"), format!("{:.3}", h.p50));
                 row("noc", &format!("{name}.p95"), format!("{:.3}", h.p95));
                 row("noc", &format!("{name}.p99"), format!("{:.3}", h.p99));
+                row("noc", &format!("{name}.p999"), format!("{:.3}", h.p999));
             }
         }
         for (i, req, bytes, eff) in &self.mems {
@@ -996,6 +1111,22 @@ impl BottleneckReport {
             }
             for (k, pj) in e.layers.iter().enumerate() {
                 row("energy", &format!("layer{k}_pj"), pj.to_string());
+            }
+        }
+        if let Some(hp) = &self.host_profile {
+            row("host", "wall_ns", hp.wall_ns.to_string());
+            row("host", "cycles_total", hp.cycles_total.to_string());
+            row(
+                "host",
+                "cycles_per_sec",
+                format!("{:.1}", hp.cycles_per_sec),
+            );
+            for p in &hp.phases {
+                row(
+                    "host.profile",
+                    &format!("{}.self_ns", p.path),
+                    p.self_ns.to_string(),
+                );
             }
         }
         if let Some(t) = &self.trace {
@@ -1841,7 +1972,7 @@ mod tests {
             "\"noc.link.0_0.E.busy_cycles\":90,",
             "\"noc.link.1_0.W.busy_cycles\":30,",
             "\"noc.packet_latency\":{\"count\":10,\"sum\":100,\"min\":4,",
-            "\"max\":30,\"mean\":10,\"p50\":8,\"p95\":25,\"p99\":29}",
+            "\"max\":30,\"mean\":10,\"p50\":8,\"p95\":25,\"p99\":29,\"p999\":30}",
             "}"
         )
         .to_string()
@@ -2163,7 +2294,7 @@ mod tests {
             "## NoC",
             "## Memory controllers",
             "waiting_mem",
-            "p50 8, p95 25, p99 29",
+            "p50 8, p95 25, p99 29, p99.9 30",
         ] {
             assert!(md.contains(section), "missing {section:?} in:\n{md}");
         }
@@ -2187,6 +2318,59 @@ noc.packet_latency,histogram,,10,100,4,30,10,8,25,29
         let h = snap.histogram("noc.packet_latency").unwrap();
         assert_eq!(h.count, 10);
         assert_eq!(h.p99, 29.0);
+        // Pre-p999 11-column dumps parse with the new quantile zeroed.
+        assert_eq!(h.p999, 0.0);
+    }
+
+    #[test]
+    fn host_profile_parses_and_renders() {
+        let base = sample_metrics_json();
+        let profile = concat!(
+            "\"host.profile.wall_ns\":2000000000,",
+            "\"host.profile.cycles_total\":1000,",
+            "\"host.profile.cycles_sampled\":16,",
+            "\"host.profile.sample_every\":64,",
+            "\"host.profile.cycles_per_sec\":500,",
+            "\"host.profile.self_ns.run\":100000000,",
+            "\"host.profile.total_ns.run\":2000000000,",
+            "\"host.profile.calls.run\":1,",
+            "\"host.profile.self_ns.run;layer:0;cycles;gpe\":900000000,",
+            "\"host.profile.total_ns.run;layer:0;cycles;gpe\":900000000,",
+            "\"host.profile.calls.run;layer:0;cycles;gpe\":0,"
+        );
+        let text = base.replacen('{', &format!("{{{profile}"), 1);
+        let snap = MetricsSnapshot::parse(&text).unwrap();
+        let r = BottleneckReport::build(&snap, None);
+        let hp = r.host_profile.as_ref().expect("host profile parsed");
+        assert_eq!(hp.wall_ns, 2_000_000_000);
+        assert_eq!(hp.cycles_total, 1000);
+        assert_eq!(hp.sample_every, 64);
+        assert_eq!(hp.cycles_per_sec, 500.0);
+        // Sorted by self time descending: the hot gpe phase leads.
+        assert_eq!(hp.phases[0].path, "run;layer:0;cycles;gpe");
+        assert_eq!(hp.phases[0].self_ns, 900_000_000);
+        assert_eq!(hp.phases[1].calls, 1);
+
+        let md = r.to_markdown(4);
+        assert!(md.contains("## Host profile"), "{md}");
+        assert!(md.contains("**500 cycles/sec**"), "{md}");
+        assert!(
+            md.contains("| run;layer:0;cycles;gpe | 900.000 | 45.0% |"),
+            "{md}"
+        );
+
+        let csv = r.to_csv();
+        assert!(csv.lines().skip(1).all(|l| l.split(',').count() == 3));
+        assert!(csv.contains("host,cycles_per_sec,500.0"));
+        assert!(csv.contains("host.profile,run;layer:0;cycles;gpe.self_ns,900000000"));
+    }
+
+    #[test]
+    fn report_without_profile_omits_the_section() {
+        let snap = MetricsSnapshot::parse(&sample_metrics_json()).unwrap();
+        let r = BottleneckReport::build(&snap, None);
+        assert!(r.host_profile.is_none());
+        assert!(!r.to_markdown(4).contains("## Host profile"));
     }
 
     #[test]

@@ -219,6 +219,7 @@ fn flight_capacity_is_honoured() {
         level: TraceLevel::Event,
         flight_capacity: Some(7),
         fault_plan: None,
+        profile_sample_every: None,
     };
     let run = simulate_traced_opts(&case, &cfg, &opts).unwrap();
     assert_eq!(run.tracer.borrow().flight_capacity(), 7);
@@ -234,6 +235,7 @@ fn flight_capacity_is_honoured() {
         level: TraceLevel::Event,
         flight_capacity: Some(0),
         fault_plan: None,
+        profile_sample_every: None,
     };
     let run0 = simulate_traced_opts(&case, &cfg, &opts).unwrap();
     assert_eq!(run0.report.total_cycles, run.report.total_cycles);

@@ -35,7 +35,8 @@ use gnna_graph::GraphInstance;
 use gnna_mem::{MemFaultState, MemImage, MemRequest, MemoryController};
 use gnna_noc::NocFaultState;
 use gnna_noc::{Address, Network, NocConfig, Packet, Reassembler};
-use gnna_telemetry::energy::{apportion_pj, CostClass, EnergyLedger, EnergyRates};
+use gnna_telemetry::energy::{apportion_pj, CostClass, EnergyLedger, EnergyRates, FJ_PER_PJ};
+use gnna_telemetry::profile::{self, HotPhase, SharedProfiler};
 use gnna_telemetry::{MetricsRegistry, ModuleProbe, SharedTracer, TraceLevel};
 use gnna_tensor::Matrix;
 use std::collections::{HashMap, VecDeque};
@@ -76,6 +77,11 @@ struct Telemetry {
     noc: Option<ModuleProbe>,
     /// Per-layer energy snapshots (`Some` at event level only).
     energy: Option<EnergyAttribution>,
+    /// Counter track for cumulative-energy timelines (`Some` at event
+    /// level only): one counter per [`CostClass`] plus the total, emitted
+    /// at every layer boundary so Perfetto renders energy-over-cycles
+    /// next to the stall/link tracks.
+    energy_track: Option<ModuleProbe>,
 }
 
 impl std::fmt::Debug for Telemetry {
@@ -141,6 +147,9 @@ pub struct System {
     layer_timings: Vec<LayerTiming>,
     instance_ranges: Vec<(usize, usize)>,
     telemetry: Option<Telemetry>,
+    /// Host-phase profiler (absent by default; the hot loop then pays a
+    /// single never-taken branch, same contract as `telemetry`).
+    profiler: Option<SharedProfiler>,
     energy_model: EnergyModel,
     degraded: DegradedSummary,
 }
@@ -292,6 +301,7 @@ impl System {
             layer_timings: Vec::new(),
             instance_ranges,
             telemetry: None,
+            profiler: None,
             energy_model: EnergyModel::default(),
             degraded: DegradedSummary::default(),
         })
@@ -349,6 +359,8 @@ impl System {
             noc = Some(p);
         }
         let energy = (level >= TraceLevel::Event).then(EnergyAttribution::default);
+        let energy_track = (level >= TraceLevel::Event)
+            .then(|| ModuleProbe::new(Rc::clone(&tracer), "system", "energy"));
         self.telemetry = Some(Telemetry {
             tracer,
             system,
@@ -356,7 +368,17 @@ impl System {
             mems,
             noc,
             energy,
+            energy_track,
         });
+    }
+
+    /// Attaches a host-phase profiler before [`System::run`]: scoped
+    /// wall-clock phases (config / cycle loop / barrier per layer) plus
+    /// sampled per-module laps inside the cycle loop. Purely a host-side
+    /// observer — it reads no simulation state and charges no simulated
+    /// cycles, so the `SimReport` stays bit-identical with or without it.
+    pub fn attach_profiler(&mut self, profiler: SharedProfiler) {
+        self.profiler = Some(profiler);
     }
 
     /// Attaches deterministic fault injection to every protected site:
@@ -531,29 +553,41 @@ impl System {
     /// Returns [`CoreError::Stalled`] if the simulation deadlocks (a
     /// resource sized too small for the workload).
     pub fn run(&mut self) -> Result<SimReport, CoreError> {
+        let _run_scope = self.profiler.as_ref().map(|p| profile::scope(p, "run"));
         let layers: Vec<Rc<Layer>> = self.program.layers.iter().cloned().map(Rc::new).collect();
         for layer in layers {
             self.run_layer(layer)?;
         }
+        let _report_scope = self.profiler.as_ref().map(|p| profile::scope(p, "report"));
         Ok(self.report())
     }
 
     fn run_layer(&mut self, layer: Rc<Layer>) -> Result<(), CoreError> {
+        let phase_name = format!("layer:{}", layer.name);
+        let _layer_scope = self
+            .profiler
+            .as_ref()
+            .map(|p| profile::scope(p, &phase_name));
         // CONFIG: set up modules and charge the weight broadcast.
+        let config_scope = self.profiler.as_ref().map(|p| profile::scope(p, "config"));
         let config_start = self.cycle;
         let config_cost = self.configure_layer(&layer);
         self.phase_event(config_start, |p| p.begin("config"));
         self.cycle += config_cost;
         self.config_cycles += config_cost;
         self.phase_event(self.cycle, |p| p.end("config"));
+        drop(config_scope);
         self.board.iter_mut().for_each(|b| *b = None);
         let start = self.cycle;
-        let phase_name = format!("layer:{}", layer.name);
         self.phase_event(start, |p| p.begin(&phase_name));
         for (t, part) in self.partitions.clone().into_iter().enumerate() {
             self.tiles[t].gpe.start_layer(Rc::clone(&layer), part);
         }
         // Execute until the global barrier (everything idle).
+        let cycles_scope = self
+            .profiler
+            .as_ref()
+            .map(|p| profile::scope(p, profile::CYCLES_SCOPE));
         let stall_window = self.cfg.stall_window;
         let mut last_progress_marker = self.progress_marker();
         let mut last_progress_cycle = self.cycle;
@@ -602,14 +636,24 @@ impl System {
                 last_progress_marker = marker;
                 last_progress_cycle = self.cycle;
             }
+            // Charge the fault-failure check + watchdog to the `faults`
+            // hot phase and close this cycle's lap window.
+            if let Some(p) = &self.profiler {
+                let mut p = p.borrow_mut();
+                p.lap(HotPhase::Faults);
+                p.end_cycle();
+            }
         }
+        drop(cycles_scope);
         self.phase_event(self.cycle, |p| p.end(&phase_name));
         // Closing barrier cost.
+        let barrier_scope = self.profiler.as_ref().map(|p| profile::scope(p, "barrier"));
         let barrier = 64 * self.divider;
         self.phase_event(self.cycle, |p| p.begin("barrier"));
         self.cycle += barrier;
         self.config_cycles += barrier;
         self.phase_event(self.cycle, |p| p.end("barrier"));
+        drop(barrier_scope);
         self.layer_timings.push(LayerTiming {
             name: layer.name.clone(),
             cycles: self.cycle - start,
@@ -633,6 +677,25 @@ impl System {
                 }
                 e.layers.push(delta);
                 e.prev = counts;
+            }
+            // Cumulative-energy counter tracks: Perfetto renders these
+            // as step charts, one per cost class plus the total, so the
+            // energy timeline sits next to the stall/link tracks.
+            if let Some(tele) = &self.telemetry {
+                if let Some(track) = &tele.energy_track {
+                    let rates = self.energy_model.rates();
+                    tele.tracer.borrow_mut().set_now(self.cycle);
+                    let mut total_fj = 0u64;
+                    for &c in CostClass::ALL.iter() {
+                        let fj = rates.charge_fj(c, counts[c.index()]);
+                        total_fj = total_fj.saturating_add(fj);
+                        track.counter(
+                            &format!("energy.{}_pj", c.as_str()),
+                            (fj / FJ_PER_PJ) as f64,
+                        );
+                    }
+                    track.counter("energy.total_pj", (total_fj / FJ_PER_PJ) as f64);
+                }
             }
         }
         Ok(())
@@ -739,11 +802,21 @@ impl System {
         let core_tick = c.is_multiple_of(self.divider);
         let core_now = c / self.divider;
 
+        // Host profiling: clone the handle so laps inside the tile loop
+        // don't fight the borrow checker. `None` (the default) keeps the
+        // whole mechanism to one branch per lap site.
+        let prof = self.profiler.clone();
+        if let Some(p) = &prof {
+            p.borrow_mut().begin_cycle();
+        }
         if let Some(tele) = &self.telemetry {
             tele.tracer.borrow_mut().set_now(c);
         }
         if self.telemetry.is_some() && c.is_multiple_of(SAMPLE_EVERY) {
             self.sample_counters();
+        }
+        if let Some(p) = &prof {
+            p.borrow_mut().lap(HotPhase::Sample);
         }
         let words_per_flit = self.words_per_flit();
 
@@ -820,16 +893,26 @@ impl System {
             }
         }
 
+        if let Some(p) = &prof {
+            p.borrow_mut().lap(HotPhase::Mem);
+        }
+
         // --- Tiles ---
         for t in 0..self.tiles.len() {
             self.tile_ingest(t)?;
             self.tile_inject(t);
+            if let Some(p) = &prof {
+                p.borrow_mut().lap(HotPhase::TileComms);
+            }
             if core_tick {
                 self.tile_core_tick(t, core_now);
             }
         }
 
         self.net.step();
+        if let Some(p) = &prof {
+            p.borrow_mut().lap(HotPhase::Noc);
+        }
         self.cycle += 1;
         Ok(())
     }
@@ -989,6 +1072,7 @@ impl System {
     }
 
     fn tile_core_tick(&mut self, t: usize, core_now: u64) {
+        let prof = self.profiler.clone();
         // Split borrows: GPE ctx needs agg+dnq of the same tile.
         let tile = &mut self.tiles[t];
         {
@@ -1004,6 +1088,9 @@ impl System {
             };
             tile.gpe.tick(&mut ctx);
         }
+        if let Some(p) = &prof {
+            p.borrow_mut().lap(HotPhase::Gpe);
+        }
         // AGG: results stage into the pending queue (bounded by the 2 kB
         // flit buffer inside the module).
         if tile.agg_pending.len() < 8 {
@@ -1013,11 +1100,17 @@ impl System {
                 }
             }
         }
+        if let Some(p) = &prof {
+            p.borrow_mut().lap(HotPhase::Agg);
+        }
         // DNQ → DNA handoff (single dequeue interface, lazy switching).
         let accepting = tile.dna.can_accept();
         if let Some(entry) = tile.dnq.dequeue_for_dna(accepting) {
             tile.dna
                 .accept(entry.kernel, &entry.data, entry.dest, core_now);
+        }
+        if let Some(p) = &prof {
+            p.borrow_mut().lap(HotPhase::Dnq);
         }
         // DNA completion.
         if tile.dna_pending.len() < 8 {
@@ -1026,6 +1119,9 @@ impl System {
                     tile.dna_pending.push_back(m);
                 }
             }
+        }
+        if let Some(p) = &prof {
+            p.borrow_mut().lap(HotPhase::Dna);
         }
     }
 

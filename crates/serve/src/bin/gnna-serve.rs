@@ -33,6 +33,12 @@ usage: gnna-serve [options]
                                  answers 429 + Retry-After (default 256)
   --threads N                    shared executor budget for response
                                  assembly (default 1)
+  --read-timeout-ms N            per-connection read timeout; an idle
+                                 connection is closed after N ms
+                                 (default 5000; 0 disables)
+  --trace-out PATH               record request/batch spans and write
+                                 Chrome trace JSON here on drain
+                                 (open in ui.perfetto.dev)
   --config cpu-iso-bw|gpu-iso-bw|gpu-iso-flops
                                  Table VI configuration (default gpu-iso-bw)
   --smoke                        scaled-down datasets (CI-speed)
@@ -107,6 +113,13 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad thread count: {e}"))?;
             }
+            "--read-timeout-ms" => {
+                let ms: u64 = value("--read-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad read timeout: {e}"))?;
+                cfg.read_timeout = Duration::from_millis(ms);
+            }
+            "--trace-out" => cfg.trace_out = Some(value("--trace-out")?),
             "--config" => {
                 cfg.accel = match value("--config")?.to_ascii_lowercase().as_str() {
                     "cpu-iso-bw" => AcceleratorConfig::cpu_iso_bandwidth(),

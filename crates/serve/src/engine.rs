@@ -19,6 +19,7 @@
 use crate::protocol::{error_body, push_rows};
 use crate::protocol::{ExecMode, InlineGraph, JobInput, JobRequest};
 use crate::queue::{BatchKey, Job, JobOutcome};
+use crate::trace::{format_span_id, JobSpan, SpanTracer};
 use gnna_bench::accuracy::compare_rows;
 use gnna_bench::{build_case, BenchCase, Scale, MODEL_SEED};
 use gnna_core::config::AcceleratorConfig;
@@ -119,6 +120,7 @@ pub struct Engine {
     config: AcceleratorConfig,
     scale: Scale,
     executor: Executor,
+    tracer: Option<Arc<SpanTracer>>,
     named: Mutex<HashMap<(ModelKind, &'static str), Arc<NamedCase>>>,
     inline: Mutex<HashMap<(ModelKind, usize, usize), Arc<InlineCase>>>,
 }
@@ -126,7 +128,11 @@ pub struct Engine {
 /// Everything known about one job after execution, before serialization.
 struct Slot {
     request: JobRequest,
+    span_id: u64,
+    enqueued: Instant,
+    batched: Instant,
     queue_us: u64,
+    coalesce_us: u64,
     rows: Vec<Vec<f32>>,
     reference: Vec<Vec<f32>>,
     energy_pj: u64,
@@ -140,9 +146,18 @@ impl Engine {
             config,
             scale,
             executor,
+            tracer: None,
             named: Mutex::new(HashMap::new()),
             inline: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Attaches a request-span tracer: every executed batch records a
+    /// batch span plus per-job stage spans. `None` (the default) keeps
+    /// the execution path free of tracer locks.
+    pub fn with_tracer(mut self, tracer: Option<Arc<SpanTracer>>) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// The accelerator configuration jobs simulate on.
@@ -229,9 +244,10 @@ impl Engine {
         })
     }
 
-    /// Executes one batch (all jobs share a [`BatchKey`]) and sends each
-    /// job its outcome over its response channel.
-    pub fn execute_batch(&self, batch: Vec<Job>) {
+    /// Executes one batch (all jobs share a [`BatchKey`]) on accelerator
+    /// `instance` and sends each job its outcome over its response
+    /// channel.
+    pub fn execute_batch(&self, instance: usize, batch: Vec<Job>) {
         if batch.is_empty() {
             return;
         }
@@ -270,7 +286,12 @@ impl Engine {
         let mut responders = Vec::with_capacity(batch.len());
         let mut instances: Vec<GraphInstance> = Vec::with_capacity(batch.len());
         for job in batch {
-            let queue_us = exec_start.duration_since(job.enqueued).as_micros() as u64;
+            // Stage boundaries: queue wait ends when the worker adopted
+            // the job into the batch; the coalesce window runs from
+            // there to execution start.
+            let batched = job.batched.unwrap_or(exec_start);
+            let queue_us = batched.duration_since(job.enqueued).as_micros() as u64;
+            let coalesce_us = exec_start.saturating_duration_since(batched).as_micros() as u64;
             let prepared = match (&case, &job.request.input) {
                 (Case::Named(nc), JobInput::Named { instance, .. }) => {
                     match nc.ranges.get(*instance) {
@@ -302,7 +323,11 @@ impl Engine {
                     responders.push(job.respond);
                     slots.push(Slot {
                         request: job.request,
+                        span_id: job.span_id,
+                        enqueued: job.enqueued,
+                        batched,
                         queue_us,
+                        coalesce_us,
                         rows: Vec::new(),
                         reference,
                         energy_pj: 0,
@@ -387,7 +412,8 @@ impl Engine {
             }
         }
 
-        let exec_us = exec_start.elapsed().as_micros() as u64;
+        let sim_done = Instant::now();
+        let exec_us = sim_done.duration_since(exec_start).as_micros() as u64;
         let stalls = report.as_ref().map(stall_totals);
         let (total_cycles, config_cycles) = report
             .as_ref()
@@ -397,6 +423,7 @@ impl Engine {
         // on the shared executor; in-order emission keeps slot order.
         let assembled = self.executor.map_ordered(slots.len(), |i| {
             let slot = &slots[i];
+            let respond_us = sim_done.elapsed().as_micros() as u64;
             let mut body = String::with_capacity(256 + slot.rows.len() * 64);
             body.push_str("{\"id\":\"");
             json::escape_into(&mut body, &slot.request.id);
@@ -415,9 +442,14 @@ impl Engine {
             body.push_str("\",\"rows\":");
             push_rows(&mut body, &slot.rows);
             body.push_str(&format!(
-                ",\"telemetry\":{{\"batch_size\":{batch_size},\"queue_us\":{},\"exec_us\":{exec_us},\
+                ",\"telemetry\":{{\"batch_size\":{batch_size},\"span_id\":\"{}\",\
+                 \"queue_us\":{},\"coalesce_us\":{},\"simulate_us\":{exec_us},\
+                 \"respond_us\":{respond_us},\"exec_us\":{exec_us},\
                  \"total_cycles\":{total_cycles},\"config_cycles\":{config_cycles},\"energy_pj\":{}",
-                slot.queue_us, slot.energy_pj
+                format_span_id(slot.span_id),
+                slot.queue_us,
+                slot.coalesce_us,
+                slot.energy_pj
             ));
             if let Some(stalls) = &stalls {
                 body.push_str(",\"stalls\":{");
@@ -461,6 +493,22 @@ impl Engine {
                     });
                 }
             }
+        }
+
+        if let Some(tracer) = &self.tracer {
+            let responded = Instant::now();
+            let spans: Vec<JobSpan> = slots
+                .iter()
+                .map(|s| JobSpan {
+                    span_id: s.span_id,
+                    enqueued: s.enqueued,
+                    batched: s.batched,
+                    exec_start,
+                    sim_done,
+                    responded,
+                })
+                .collect();
+            tracer.record_batch(instance, exec_start, responded, &spans);
         }
     }
 }

@@ -19,8 +19,12 @@
 //! * [`engine`] — batch execution: one union-graph `System` per
 //!   cycle-accurate batch, reference rows for functional jobs, exact
 //!   energy attribution;
-//! * [`stats`] — the `/stats` surface (req/s, latency quantiles,
-//!   batch-size histogram, queue depth) on `gnna-telemetry` metrics;
+//! * [`stats`] — the `/stats` surface (req/s, latency quantiles up to
+//!   p99.9, batch-size histogram, queue depth) on `gnna-telemetry`
+//!   metrics;
+//! * [`trace`] — request-span tracing: wall-clock Chrome-trace spans
+//!   (queue wait → coalesce → simulate → respond per job, plus batch
+//!   spans linking their member span ids);
 //! * [`server`] — acceptor, connection handlers, instance workers,
 //!   graceful drain;
 //! * [`loadgen`] — the fixed-seed load harness behind
@@ -36,3 +40,4 @@ pub mod protocol;
 pub mod queue;
 pub mod server;
 pub mod stats;
+pub mod trace;

@@ -281,6 +281,7 @@ fn boot(opts: &BaselineOptions, max_batch: usize) -> Result<crate::server::Serve
         threads: 1,
         accel: opts.accel.clone(),
         scale: opts.scale,
+        ..ServeConfig::default()
     })
     .map_err(|e| e.to_string())
 }

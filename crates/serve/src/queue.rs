@@ -66,6 +66,14 @@ pub struct Job {
     pub respond: mpsc::Sender<JobOutcome>,
     /// When the job entered the queue.
     pub enqueued: Instant,
+    /// Request span id, assigned at admission (rendered in hex in the
+    /// response `telemetry` and in the span trace).
+    pub span_id: u64,
+    /// When a worker adopted the job into a batch; `None` until
+    /// [`BatchQueue::pop_batch`] stamps it. Queue wait is
+    /// `batched - enqueued`; the rest of the pre-execution gap is the
+    /// coalesce window.
+    pub batched: Option<Instant>,
 }
 
 #[derive(Debug, Default)]
@@ -139,15 +147,18 @@ impl BatchQueue {
         let max_batch = max_batch.max(1);
         let mut st = self.state.lock().expect("queue poisoned");
         loop {
-            if let Some(first) = st.jobs.pop_front() {
+            if let Some(mut first) = st.jobs.pop_front() {
                 let key = BatchKey::of(&first.request);
+                let popped = Instant::now();
+                first.batched = Some(popped);
                 let mut batch = vec![first];
-                let deadline = Instant::now() + flush;
+                let deadline = popped + flush;
                 loop {
                     // Pull every compatible job currently queued.
                     let mut rest = VecDeque::with_capacity(st.jobs.len());
-                    while let Some(job) = st.jobs.pop_front() {
+                    while let Some(mut job) = st.jobs.pop_front() {
                         if batch.len() < max_batch && BatchKey::of(&job.request) == key {
+                            job.batched = Some(Instant::now());
                             batch.push(job);
                         } else {
                             rest.push_back(job);
@@ -203,6 +214,8 @@ mod tests {
                 request: parse_job(body).unwrap(),
                 respond: tx,
                 enqueued: Instant::now(),
+                span_id: 0,
+                batched: None,
             },
             rx,
         )
@@ -272,5 +285,16 @@ mod tests {
         for _ in 0..3 {
             assert_eq!(q.pop_batch(1, Duration::ZERO).unwrap().len(), 1);
         }
+    }
+
+    #[test]
+    fn pop_batch_stamps_the_batched_instant() {
+        let q = BatchQueue::new(4);
+        let (a, _r) = job(r#"{"model":"gcn","input":"cora"}"#);
+        assert!(a.batched.is_none());
+        q.push(a).unwrap();
+        let batch = q.pop_batch(8, Duration::ZERO).unwrap();
+        let j = &batch[0];
+        assert!(j.batched.expect("pop_batch stamps batched") >= j.enqueued);
     }
 }

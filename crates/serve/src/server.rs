@@ -20,6 +20,7 @@ use crate::http::{read_request, write_response, Request};
 use crate::protocol::{error_body, parse_job, JobInput};
 use crate::queue::{BatchKey, BatchQueue, Job, PushError};
 use crate::stats::ServeStats;
+use crate::trace::{next_span_id, SpanTracer};
 use gnna_bench::Scale;
 use gnna_core::config::AcceleratorConfig;
 use gnna_executor::Executor;
@@ -51,6 +52,13 @@ pub struct ServeConfig {
     pub accel: AcceleratorConfig,
     /// Dataset scale for named benchmark inputs.
     pub scale: Scale,
+    /// Per-connection read timeout: a connection that sends no complete
+    /// request within this window is closed (slowloris defence).
+    /// `Duration::ZERO` disables the timeout.
+    pub read_timeout: Duration,
+    /// When set, record request/batch spans and write the Chrome trace
+    /// JSON here once the daemon drains.
+    pub trace_out: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -64,6 +72,8 @@ impl Default for ServeConfig {
             threads: 1,
             accel: AcceleratorConfig::gpu_iso_bandwidth(),
             scale: Scale::Smoke,
+            read_timeout: Duration::from_millis(5000),
+            trace_out: None,
         }
     }
 }
@@ -74,6 +84,8 @@ struct Shared {
     stats: ServeStats,
     shutdown: AtomicBool,
     addr: SocketAddr,
+    read_timeout: Duration,
+    tracer: Option<Arc<SpanTracer>>,
 }
 
 impl Shared {
@@ -100,6 +112,7 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     acceptor: JoinHandle<()>,
     workers: Vec<JoinHandle<()>>,
+    trace_out: Option<String>,
 }
 
 impl ServerHandle {
@@ -115,10 +128,17 @@ impl ServerHandle {
 
     /// Waits for the acceptor and every instance worker to exit.
     /// In-flight batches finish first — that is the drain guarantee.
+    /// With `trace_out` configured, the request-span Chrome trace is
+    /// written once the workers are done.
     pub fn join(self) {
         let _ = self.acceptor.join();
         for w in self.workers {
             let _ = w.join();
+        }
+        if let (Some(path), Some(tracer)) = (&self.trace_out, &self.shared.tracer) {
+            if let Err(e) = tracer.write_to(path) {
+                eprintln!("gnna-serve: failed to write trace {path}: {e}");
+            }
         }
     }
 }
@@ -153,6 +173,8 @@ fn handle_infer(shared: &Shared, body: &str) -> (u16, String, Vec<(&'static str,
         request,
         respond: tx,
         enqueued: admitted,
+        span_id: next_span_id(),
+        batched: None,
     };
     match shared.queues[qi].push(job) {
         Ok(()) => {}
@@ -208,9 +230,27 @@ fn handle_request(shared: &Shared, req: &Request) -> (u16, String, Vec<(&'static
 }
 
 fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) -> io::Result<()> {
+    if shared.read_timeout > Duration::ZERO {
+        stream.set_read_timeout(Some(shared.read_timeout))?;
+    }
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
-    while let Some(req) = read_request(&mut reader)? {
+    loop {
+        let req = match read_request(&mut reader) {
+            Ok(Some(req)) => req,
+            Ok(None) => break,
+            // A connection idling past the read timeout is closed
+            // without tearing anything down — the slowloris defence.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                break;
+            }
+            Err(e) => return Err(e),
+        };
         let close = req.wants_close() || shared.shutdown.load(Ordering::SeqCst);
         let (status, body, extra) = handle_request(shared, &req);
         let headers: Vec<(&str, &str)> = extra.iter().map(|(n, v)| (*n, v.as_str())).collect();
@@ -234,12 +274,16 @@ pub fn serve(cfg: ServeConfig) -> io::Result<ServerHandle> {
     let queues: Vec<Arc<BatchQueue>> = (0..instances)
         .map(|_| Arc::new(BatchQueue::new(cfg.queue_cap)))
         .collect();
+    let tracer = cfg.trace_out.as_ref().map(|_| Arc::new(SpanTracer::new()));
     let shared = Arc::new(Shared {
-        engine: Engine::new(cfg.accel.clone(), cfg.scale, Executor::new(cfg.threads)),
+        engine: Engine::new(cfg.accel.clone(), cfg.scale, Executor::new(cfg.threads))
+            .with_tracer(tracer.clone()),
         queues,
         stats: ServeStats::new(),
         shutdown: AtomicBool::new(false),
         addr,
+        read_timeout: cfg.read_timeout,
+        tracer,
     });
 
     let mut workers = Vec::with_capacity(instances);
@@ -251,7 +295,7 @@ pub fn serve(cfg: ServeConfig) -> io::Result<ServerHandle> {
             let queue = Arc::clone(&shared.queues[qi]);
             while let Some(batch) = queue.pop_batch(max_batch, flush) {
                 shared.stats.record_batch(batch.len());
-                shared.engine.execute_batch(batch);
+                shared.engine.execute_batch(qi, batch);
             }
         }));
     }
@@ -276,5 +320,6 @@ pub fn serve(cfg: ServeConfig) -> io::Result<ServerHandle> {
         shared,
         acceptor,
         workers,
+        trace_out: cfg.trace_out.clone(),
     })
 }

@@ -96,6 +96,7 @@ impl ServeStats {
         reg.gauge_set("serve.latency_p50_us", s.latency_us.p50());
         reg.gauge_set("serve.latency_p95_us", s.latency_us.p95());
         reg.gauge_set("serve.latency_p99_us", s.latency_us.p99());
+        reg.gauge_set("serve.latency_p999_us", s.latency_us.p999());
         reg.gauge_set("serve.latency_mean_us", s.latency_us.mean());
         reg.histogram_set("serve.latency_us", s.latency_us);
         reg.histogram_set("serve.batch_size", s.batch_size);
@@ -137,6 +138,7 @@ mod tests {
             "serve.rejected_429",
             "serve.req_per_s",
             "serve.latency_p99_us",
+            "serve.latency_p999_us",
             "serve.batch_size",
             "serve.queue_depth",
         ] {

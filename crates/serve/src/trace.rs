@@ -1,0 +1,215 @@
+//! Request-span tracing: wall-clock Chrome-trace spans for every job
+//! that flows through the daemon.
+//!
+//! The simulator's [`gnna_telemetry::Tracer`] is single-threaded by
+//! design (cycle timestamps, `Rc<RefCell<_>>` sharing); the daemon is
+//! not. [`SpanTracer`] wraps one `Tracer` in a `Mutex` and stamps
+//! events with **microseconds since daemon start**, so the same Chrome
+//! `trace_event` JSON loads in Perfetto with real time on the axis.
+//!
+//! Track layout:
+//!
+//! * process `requests`, one thread per job (`job <span id>`): a
+//!   `request` span with `queue_wait` → `coalesce` → `simulate` →
+//!   `respond` child spans — the same stage boundaries the response's
+//!   `telemetry` object reports in microseconds.
+//! * process `instances`, one thread per accelerator instance
+//!   (`instance N`): one span per executed batch, named
+//!   `batch[<size>] spans=<id>,<id>,...` so a batch links the member
+//!   jobs it coalesced.
+
+use gnna_telemetry::{TraceLevel, Tracer};
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Allocates request span ids (process-wide, monotonically increasing).
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A fresh span id for an admitted job. Ids are rendered in hex
+/// (`format_span_id`) wherever they reach users.
+pub fn next_span_id() -> u64 {
+    NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The user-facing form of a span id (hex, as carried in responses).
+pub fn format_span_id(id: u64) -> String {
+    format!("{id:x}")
+}
+
+/// Stage boundaries of one completed job, all on the same monotonic
+/// clock.
+#[derive(Debug, Clone, Copy)]
+pub struct JobSpan {
+    /// Span id assigned at admission.
+    pub span_id: u64,
+    /// When the job entered its batch queue.
+    pub enqueued: Instant,
+    /// When a worker adopted the job into a batch.
+    pub batched: Instant,
+    /// When the batch began executing.
+    pub exec_start: Instant,
+    /// When simulation (or the functional answer) finished.
+    pub sim_done: Instant,
+    /// When the job's response body was assembled.
+    pub responded: Instant,
+}
+
+/// Thread-safe wall-clock span tracer (see module docs).
+pub struct SpanTracer {
+    inner: Mutex<Tracer>,
+    instance_tracks: Mutex<HashMap<usize, gnna_telemetry::TrackId>>,
+    started: Instant,
+}
+
+impl std::fmt::Debug for SpanTracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanTracer").finish_non_exhaustive()
+    }
+}
+
+impl Default for SpanTracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SpanTracer {
+    /// A tracer whose timestamps start at 0 µs now.
+    pub fn new() -> Self {
+        SpanTracer {
+            inner: Mutex::new(Tracer::new(TraceLevel::Event)),
+            instance_tracks: Mutex::new(HashMap::new()),
+            started: Instant::now(),
+        }
+    }
+
+    fn micros(&self, t: Instant) -> u64 {
+        t.saturating_duration_since(self.started).as_micros() as u64
+    }
+
+    /// Records one batch execution and the per-job stage spans of every
+    /// member. One lock acquisition per batch keeps the tracer off the
+    /// per-request fast path.
+    pub fn record_batch(&self, instance: usize, begin: Instant, end: Instant, jobs: &[JobSpan]) {
+        let mut tracer = self.inner.lock().expect("tracer poisoned");
+        let instance_track = *self
+            .instance_tracks
+            .lock()
+            .expect("tracks poisoned")
+            .entry(instance)
+            .or_insert_with(|| tracer.register_track("instances", &format!("instance {instance}")));
+        let mut name = String::with_capacity(24 + jobs.len() * 8);
+        name.push_str(&format!("batch[{}] spans=", jobs.len()));
+        for (i, j) in jobs.iter().enumerate() {
+            if i > 0 {
+                name.push(',');
+            }
+            name.push_str(&format_span_id(j.span_id));
+        }
+        tracer.set_now(self.micros(begin));
+        tracer.begin(instance_track, &name);
+        tracer.set_now(self.micros(end));
+        tracer.end(instance_track, &name);
+
+        for j in jobs {
+            let track =
+                tracer.register_track("requests", &format!("job {}", format_span_id(j.span_id)));
+            let stages = [
+                ("queue_wait", j.enqueued, j.batched),
+                ("coalesce", j.batched, j.exec_start),
+                ("simulate", j.exec_start, j.sim_done),
+                ("respond", j.sim_done, j.responded),
+            ];
+            tracer.set_now(self.micros(j.enqueued));
+            tracer.begin(track, "request");
+            for (name, from, to) in stages {
+                tracer.set_now(self.micros(from));
+                tracer.begin(track, name);
+                tracer.set_now(self.micros(to));
+                tracer.end(track, name);
+            }
+            tracer.set_now(self.micros(j.responded));
+            tracer.end(track, "request");
+        }
+    }
+
+    /// Number of events recorded so far (tests).
+    pub fn event_count(&self) -> usize {
+        self.inner.lock().expect("tracer poisoned").event_count()
+    }
+
+    /// Serializes the trace as Chrome `trace_event` JSON.
+    pub fn to_chrome_json_string(&self) -> String {
+        self.inner
+            .lock()
+            .expect("tracer poisoned")
+            .to_chrome_json_string()
+    }
+
+    /// Writes the Chrome trace JSON to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying file I/O failure.
+    pub fn write_to(&self, path: &str) -> io::Result<()> {
+        std::fs::write(path, self.to_chrome_json_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnna_telemetry::json::{self, JsonValue};
+    use std::time::Duration;
+
+    #[test]
+    fn span_ids_are_unique_and_hex() {
+        let a = next_span_id();
+        let b = next_span_id();
+        assert_ne!(a, b);
+        assert_eq!(format_span_id(255), "ff");
+    }
+
+    #[test]
+    fn batch_and_job_spans_render_as_chrome_json() {
+        let t = SpanTracer::new();
+        let t0 = t.started;
+        let step = |n: u64| t0 + Duration::from_micros(n);
+        let job = JobSpan {
+            span_id: 0x2a,
+            enqueued: step(10),
+            batched: step(20),
+            exec_start: step(30),
+            sim_done: step(90),
+            responded: step(100),
+        };
+        t.record_batch(1, step(30), step(100), &[job]);
+
+        let doc = json::parse(&t.to_chrome_json_string()).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let named = |n: &str| {
+            events
+                .iter()
+                .filter(|e| e.get("name").and_then(JsonValue::as_str) == Some(n))
+                .count()
+        };
+        // Each stage opens and closes once.
+        for stage in ["request", "queue_wait", "coalesce", "simulate", "respond"] {
+            assert_eq!(named(stage), 2, "{stage}");
+        }
+        // The batch span names its member span ids.
+        assert_eq!(named("batch[1] spans=2a"), 2);
+        // Timestamps are µs offsets on the shared clock.
+        let sim_begin = events
+            .iter()
+            .find(|e| {
+                e.get("name").and_then(JsonValue::as_str) == Some("simulate")
+                    && e.get("ph").and_then(JsonValue::as_str) == Some("B")
+            })
+            .unwrap();
+        assert_eq!(sim_begin.get("ts").and_then(JsonValue::as_u64), Some(30));
+    }
+}

@@ -8,9 +8,9 @@ use gnna_serve::loadgen::{fetch_stats, raw_rows, roundtrip, run_load, LoadSpec};
 use gnna_serve::protocol::{push_rows, ExecMode};
 use gnna_serve::server::{serve, ServeConfig, ServerHandle};
 use gnna_telemetry::json::{self, JsonValue};
-use std::io::BufReader;
+use std::io::{self, BufReader, Read};
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn boot(mutate: impl FnOnce(&mut ServeConfig)) -> ServerHandle {
     let mut cfg = ServeConfig {
@@ -103,6 +103,139 @@ fn cycle_mode_returns_rows_telemetry_and_accuracy() {
     assert_eq!(acc.get("label_flips").and_then(JsonValue::as_u64), Some(0));
     h.shutdown();
     h.join();
+}
+
+#[test]
+fn cycle_response_stage_timings_decompose_the_latency() {
+    let h = boot(|_| {});
+    let t0 = Instant::now();
+    let (status, body) = post(
+        h.addr(),
+        "/v1/infer",
+        r#"{"id":"t1","model":"gcn","input":"cora","mode":"cycle"}"#,
+    );
+    let e2e_us = t0.elapsed().as_micros() as u64;
+    assert_eq!(status, 200, "{body}");
+    let v = json::parse(&body).unwrap();
+    let tel = v.get("telemetry").expect("telemetry present");
+    let span = tel
+        .get("span_id")
+        .and_then(JsonValue::as_str)
+        .expect("span_id present");
+    assert!(
+        !span.is_empty() && span.chars().all(|c| c.is_ascii_hexdigit()),
+        "span id should be hex: {span:?}"
+    );
+    let stage = |name: &str| {
+        tel.get(name)
+            .and_then(JsonValue::as_u64)
+            .unwrap_or_else(|| panic!("missing stage {name}: {body}"))
+    };
+    let sum = stage("queue_us") + stage("coalesce_us") + stage("simulate_us") + stage("respond_us");
+    // The stage micros decompose the end-to-end latency: their sum must
+    // land within 5% of the client-measured wall time (the simulate
+    // stage dominates a cycle-accurate job, so connection overhead is
+    // in the noise).
+    assert!(sum <= e2e_us, "stage sum {sum}µs exceeds e2e {e2e_us}µs");
+    assert!(
+        sum as f64 >= e2e_us as f64 * 0.95,
+        "stage sum {sum}µs attributes less than 95% of the {e2e_us}µs end-to-end latency"
+    );
+
+    // Span ids are per-request: a second job gets a different one.
+    let (status, body2) = post(
+        h.addr(),
+        "/v1/infer",
+        r#"{"id":"t2","model":"gcn","input":"cora","mode":"functional"}"#,
+    );
+    assert_eq!(status, 200, "{body2}");
+    let v2 = json::parse(&body2).unwrap();
+    let span2 = v2
+        .get("telemetry")
+        .and_then(|t| t.get("span_id"))
+        .and_then(JsonValue::as_str)
+        .unwrap();
+    assert_ne!(span, span2);
+    h.shutdown();
+    h.join();
+}
+
+#[test]
+fn idle_connections_are_closed_after_the_read_timeout() {
+    let h = boot(|cfg| cfg.read_timeout = Duration::from_millis(100));
+    let mut stream = TcpStream::connect(h.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // Send nothing: the daemon must hang up, not hold the handler
+    // thread forever (slowloris defence).
+    let start = Instant::now();
+    let mut buf = [0u8; 16];
+    match stream.read(&mut buf) {
+        Ok(0) => {}
+        Ok(n) => panic!("unexpected {n} bytes from an idle connection"),
+        Err(e)
+            if matches!(
+                e.kind(),
+                io::ErrorKind::ConnectionReset | io::ErrorKind::BrokenPipe
+            ) => {}
+        Err(e) => panic!("connection not closed by the read timeout: {e}"),
+    }
+    assert!(
+        start.elapsed() < Duration::from_secs(8),
+        "close took {:?}",
+        start.elapsed()
+    );
+    // Fresh connections still serve.
+    let (status, _) = get(h.addr(), "/healthz");
+    assert_eq!(status, 200);
+    h.shutdown();
+    h.join();
+}
+
+#[test]
+fn trace_out_writes_request_and_batch_spans() {
+    let path = std::env::temp_dir().join(format!(
+        "gnna_serve_trace_{}_{:?}.json",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let path_s = path.to_str().unwrap().to_string();
+    let h = boot(|cfg| cfg.trace_out = Some(path_s));
+    let (status, body) = post(
+        h.addr(),
+        "/v1/infer",
+        r#"{"id":"tr1","model":"gcn","input":"cora","mode":"functional"}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    let span = json::parse(&body)
+        .unwrap()
+        .get("telemetry")
+        .and_then(|t| t.get("span_id"))
+        .and_then(JsonValue::as_str)
+        .unwrap()
+        .to_string();
+    h.shutdown();
+    h.join();
+
+    let text = std::fs::read_to_string(&path).expect("trace written on drain");
+    std::fs::remove_file(&path).ok();
+    let doc = json::parse(&text).expect("trace is valid JSON");
+    let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(JsonValue::as_str))
+        .collect();
+    for needle in ["request", "queue_wait", "coalesce", "simulate", "respond"] {
+        assert!(names.contains(&needle), "missing span {needle}: {names:?}");
+    }
+    // The batch span links its member job span ids by name.
+    assert!(
+        names
+            .iter()
+            .any(|n| n.starts_with("batch[") && n.contains(&span)),
+        "no batch span linking job {span}: {names:?}"
+    );
 }
 
 #[test]
@@ -248,13 +381,16 @@ fn stats_surface_reports_throughput_latency_and_queues() {
             .unwrap()
             > 0.0
     );
-    assert!(
-        stats
-            .get("serve.latency_p99_us")
-            .and_then(JsonValue::as_f64)
-            .unwrap()
-            > 0.0
-    );
+    let p99 = stats
+        .get("serve.latency_p99_us")
+        .and_then(JsonValue::as_f64)
+        .unwrap();
+    assert!(p99 > 0.0);
+    let p999 = stats
+        .get("serve.latency_p999_us")
+        .and_then(JsonValue::as_f64)
+        .unwrap();
+    assert!(p999 >= p99, "p99.9 ({p999}) below p99 ({p99})");
     let hist = stats.get("serve.latency_us").expect("latency histogram");
     assert!(hist.get("count").and_then(JsonValue::as_u64).unwrap() >= 3);
     assert!(stats.get("serve.batch_size").is_some());

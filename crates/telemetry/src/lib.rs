@@ -16,6 +16,11 @@
 //!   [`EnergyLedger`], and the largest-remainder [`apportion_pj`]
 //!   export that keeps `*.energy.*_pj` counters summing to the total
 //!   exactly (the conservation invariant).
+//! - [`profile`] — a host-phase [`HostProfiler`](profile::HostProfiler):
+//!   scoped [`PhaseTimer`](profile::PhaseTimer) guards plus sampled
+//!   cycle-loop laps measuring where *wall-clock* time goes, exported as
+//!   a collapsed-stack file (flamegraph input) and `host.profile.*`
+//!   metrics.
 //! - [`json`] — the std-only JSON writer/parser backing both, exposed so
 //!   tests can reconcile emitted files against simulator counters.
 //!
@@ -32,8 +37,10 @@
 pub mod energy;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod trace;
 
 pub use energy::{apportion_pj, CostClass, EnergyLedger, EnergyRates};
 pub use metrics::{HistogramSummary, Metric, MetricsRegistry};
+pub use profile::{scope, shared_profiler, HostProfiler, HotPhase, PhaseTimer, SharedProfiler};
 pub use trace::{shared, ModuleProbe, SharedTracer, TraceLevel, Tracer, TrackId};

@@ -133,6 +133,10 @@ impl HistogramSummary {
     pub fn p99(&self) -> f64 {
         self.quantile(0.99)
     }
+
+    pub fn p999(&self) -> f64 {
+        self.quantile(0.999)
+    }
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -289,7 +293,7 @@ impl MetricsRegistry {
                 Metric::Gauge(v) => write!(w, "\"{key}\":{}", crate::json::number(*v))?,
                 Metric::Histogram(h) => write!(
                     w,
-                    "\"{key}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                    "\"{key}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"p999\":{}}}",
                     h.count,
                     crate::json::number(h.sum),
                     crate::json::number(h.min),
@@ -297,7 +301,8 @@ impl MetricsRegistry {
                     crate::json::number(h.mean()),
                     crate::json::number(h.p50()),
                     crate::json::number(h.p95()),
-                    crate::json::number(h.p99())
+                    crate::json::number(h.p99()),
+                    crate::json::number(h.p999())
                 )?,
             }
         }
@@ -311,20 +316,24 @@ impl MetricsRegistry {
         String::from_utf8(buf).expect("metrics JSON is UTF-8")
     }
 
-    /// CSV with header `metric,kind,value,count,sum,min,max,mean,p50,p95,p99`.
+    /// CSV with header
+    /// `metric,kind,value,count,sum,min,max,mean,p50,p95,p99,p999`.
     /// Counters/gauges fill `value`; histograms fill the summary + quantile
     /// columns.
     pub fn write_csv<W: Write>(&self, w: &mut W) -> io::Result<()> {
-        writeln!(w, "metric,kind,value,count,sum,min,max,mean,p50,p95,p99")?;
+        writeln!(
+            w,
+            "metric,kind,value,count,sum,min,max,mean,p50,p95,p99,p999"
+        )?;
         for (name, metric) in &self.metrics {
             match metric {
-                Metric::Counter(v) => writeln!(w, "{name},counter,{v},,,,,,,,")?,
+                Metric::Counter(v) => writeln!(w, "{name},counter,{v},,,,,,,,,")?,
                 Metric::Gauge(v) => {
-                    writeln!(w, "{name},gauge,{},,,,,,,,", crate::json::number(*v))?
+                    writeln!(w, "{name},gauge,{},,,,,,,,,", crate::json::number(*v))?
                 }
                 Metric::Histogram(h) => writeln!(
                     w,
-                    "{name},histogram,,{},{},{},{},{},{},{},{}",
+                    "{name},histogram,,{},{},{},{},{},{},{},{},{}",
                     h.count,
                     crate::json::number(h.sum),
                     crate::json::number(h.min),
@@ -332,7 +341,8 @@ impl MetricsRegistry {
                     crate::json::number(h.mean()),
                     crate::json::number(h.p50()),
                     crate::json::number(h.p95()),
-                    crate::json::number(h.p99())
+                    crate::json::number(h.p99()),
+                    crate::json::number(h.p999())
                 )?,
             }
         }
@@ -407,14 +417,14 @@ mod tests {
         assert_eq!(lines.len(), 4);
         assert_eq!(
             lines[0],
-            "metric,kind,value,count,sum,min,max,mean,p50,p95,p99"
+            "metric,kind,value,count,sum,min,max,mean,p50,p95,p99,p999"
         );
         assert!(lines
             .iter()
             .any(|l| l.starts_with("noc.flit_hops,counter,42")));
         // Every row has the same number of columns as the header.
         for l in &lines {
-            assert_eq!(l.split(',').count(), 11, "row {l:?}");
+            assert_eq!(l.split(',').count(), 12, "row {l:?}");
         }
     }
 
@@ -433,9 +443,11 @@ mod tests {
         assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
         // p50's true value is 50, which lives in bucket [32, 64).
         assert!((32.0..64.0).contains(&p50), "p50 = {p50}");
-        // p95/p99 are in [64, 100].
+        // p95/p99/p99.9 are in [64, 100] and ordered.
         assert!((64.0..=100.0).contains(&p95), "p95 = {p95}");
         assert!((64.0..=100.0).contains(&p99), "p99 = {p99}");
+        let p999 = h.p999();
+        assert!(p99 <= p999 && p999 <= 100.0, "p999 = {p999}");
         // Clamped to observed range.
         assert!(h.quantile(1.0) <= 100.0);
         assert_eq!(h.quantile(0.0), 1.0);

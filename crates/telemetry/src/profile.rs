@@ -1,0 +1,587 @@
+//! Host-phase profiler: where does *wall-clock* time go while the
+//! simulator runs?
+//!
+//! The [`Tracer`](crate::trace::Tracer) answers "what is the simulated
+//! hardware doing at cycle N"; this module answers the orthogonal
+//! question "what is the *host* doing" — how many nanoseconds the
+//! process spends in the config phase, the cycle loop, each module's
+//! tick, the NoC step, the watchdog — so hot-path work can be aimed at
+//! the phases that actually dominate.
+//!
+//! Two complementary clocks:
+//!
+//! - **Scoped phases** — [`PhaseTimer`] RAII guards opened with
+//!   [`scope`] build a hierarchical phase tree (`run` → `layer:conv1` →
+//!   `config`/`cycles`/`barrier` → …). Each guard costs two
+//!   monotonic-clock reads, fine for per-layer granularity.
+//! - **Sampled cycle laps** — inside the cycle loop two clock reads per
+//!   module per cycle would dwarf the work being measured, so the hot
+//!   breakdown (GPE/AGG/DNQ/DNA/NoC/mem/fault hooks) is *sampled*: one
+//!   cycle in [`HostProfiler::sample_every`] is timed with
+//!   [`lap`](HostProfiler::lap) calls between module steps, the rest pay
+//!   a single branch. Sampled totals are scaled by the sampling ratio at
+//!   export time.
+//!
+//! Exports: a collapsed-stack file (`path;to;phase <ns>` lines —
+//! `flamegraph.pl` / `inferno-flamegraph` ingest it directly) and
+//! `host.profile.*` entries merged into the run's
+//! [`MetricsRegistry`](crate::metrics::MetricsRegistry) so `gnna-report`
+//! renders the `## Host profile` section from the ordinary metrics
+//! pipeline.
+//!
+//! Like the rest of the crate this is std-only and **zero-cost when
+//! detached**: the simulator holds an `Option<SharedProfiler>` that
+//! stays `None` unless explicitly attached, so the disabled path is a
+//! never-taken branch and the simulation is bit-identical.
+
+use crate::metrics::MetricsRegistry;
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// Default sampling period for the cycle-loop laps: one cycle in 64 is
+/// timed. Keeps steady-state overhead around the cost of one branch per
+/// lap site while converging on the same breakdown as exhaustive timing.
+pub const DEFAULT_SAMPLE_EVERY: u64 = 64;
+
+/// Scope name the simulator uses for the cycle loop inside each layer.
+/// Collapsed-stack export replaces these scopes with the sampled
+/// per-module breakdown (under `run;cycles;*`) so the loop's time is
+/// not double-counted.
+pub const CYCLES_SCOPE: &str = "cycles";
+
+/// Hot phases timed (by sampling) inside the cycle loop. Order is the
+/// order laps occur within one cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HotPhase {
+    /// Periodic counter sampling + tracer bookkeeping.
+    Sample,
+    /// Memory-controller nodes: retire, eject, feed, inject.
+    Mem,
+    /// Tile NoC endpoints: flit ejection/reassembly and injection.
+    TileComms,
+    /// GPE tick (vertex programs, work-queue scheduling).
+    Gpe,
+    /// Aggregator tick.
+    Agg,
+    /// DNQ dequeue → DNA accept handoff.
+    Dnq,
+    /// DNA pipeline tick.
+    Dna,
+    /// Mesh step (routing, link traversal, CRC fault hooks).
+    Noc,
+    /// Post-cycle fault-failure check and progress watchdog.
+    Faults,
+}
+
+impl HotPhase {
+    /// Every phase, in lap order.
+    pub const ALL: [HotPhase; 9] = [
+        HotPhase::Sample,
+        HotPhase::Mem,
+        HotPhase::TileComms,
+        HotPhase::Gpe,
+        HotPhase::Agg,
+        HotPhase::Dnq,
+        HotPhase::Dna,
+        HotPhase::Noc,
+        HotPhase::Faults,
+    ];
+
+    /// Number of hot phases.
+    pub const COUNT: usize = Self::ALL.len();
+
+    fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable lower-case name used in collapsed stacks and metric keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            HotPhase::Sample => "sample",
+            HotPhase::Mem => "mem",
+            HotPhase::TileComms => "tile_comms",
+            HotPhase::Gpe => "gpe",
+            HotPhase::Agg => "agg",
+            HotPhase::Dnq => "dnq",
+            HotPhase::Dna => "dna",
+            HotPhase::Noc => "noc",
+            HotPhase::Faults => "faults",
+        }
+    }
+}
+
+/// One node of the scoped phase tree.
+#[derive(Debug)]
+struct Node {
+    name: String,
+    parent: Option<usize>,
+    total_ns: u64,
+    child_ns: u64,
+    calls: u64,
+}
+
+/// The host-phase profiler. Usually handled through a [`SharedProfiler`]
+/// so [`PhaseTimer`] guards can outlive the borrow that opened them.
+#[derive(Debug)]
+pub struct HostProfiler {
+    started: Instant,
+    nodes: Vec<Node>,
+    stack: Vec<usize>,
+    sample_every: u64,
+    sampling: bool,
+    lap_start: Option<Instant>,
+    hot_ns: [u64; HotPhase::COUNT],
+    hot_laps: [u64; HotPhase::COUNT],
+    cycles_total: u64,
+    cycles_sampled: u64,
+}
+
+/// Shared handle: `Rc<RefCell<_>>`, mirroring
+/// [`SharedTracer`](crate::trace::SharedTracer).
+pub type SharedProfiler = Rc<RefCell<HostProfiler>>;
+
+/// A new shared profiler sampling one cycle in `sample_every`.
+pub fn shared_profiler(sample_every: u64) -> SharedProfiler {
+    Rc::new(RefCell::new(HostProfiler::new(sample_every)))
+}
+
+/// Opens a scoped phase: the returned guard attributes the elapsed wall
+/// time to `name` (nested under the currently open scope) when dropped.
+pub fn scope(profiler: &SharedProfiler, name: &str) -> PhaseTimer {
+    let node = profiler.borrow_mut().enter(name);
+    PhaseTimer {
+        profiler: Rc::clone(profiler),
+        node,
+        start: Instant::now(),
+    }
+}
+
+/// RAII guard for one scoped phase; see [`scope`].
+#[derive(Debug)]
+pub struct PhaseTimer {
+    profiler: SharedProfiler,
+    node: usize,
+    start: Instant,
+}
+
+impl Drop for PhaseTimer {
+    fn drop(&mut self) {
+        let elapsed = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.profiler.borrow_mut().exit(self.node, elapsed);
+    }
+}
+
+impl Default for HostProfiler {
+    fn default() -> Self {
+        Self::new(DEFAULT_SAMPLE_EVERY)
+    }
+}
+
+impl HostProfiler {
+    /// A profiler sampling one cycle in `sample_every` (clamped to ≥ 1).
+    pub fn new(sample_every: u64) -> Self {
+        HostProfiler {
+            started: Instant::now(),
+            nodes: Vec::new(),
+            stack: Vec::new(),
+            sample_every: sample_every.max(1),
+            sampling: false,
+            lap_start: None,
+            hot_ns: [0; HotPhase::COUNT],
+            hot_laps: [0; HotPhase::COUNT],
+            cycles_total: 0,
+            cycles_sampled: 0,
+        }
+    }
+
+    /// The configured sampling period.
+    pub fn sample_every(&self) -> u64 {
+        self.sample_every
+    }
+
+    /// Cycles seen by [`begin_cycle`](Self::begin_cycle) so far.
+    pub fn cycles_total(&self) -> u64 {
+        self.cycles_total
+    }
+
+    /// Find-or-create a child of the current stack top; pushes it.
+    fn enter(&mut self, name: &str) -> usize {
+        let parent = self.stack.last().copied();
+        let found = self
+            .nodes
+            .iter()
+            .position(|n| n.parent == parent && n.name == name);
+        let idx = found.unwrap_or_else(|| {
+            self.nodes.push(Node {
+                name: name.to_string(),
+                parent,
+                total_ns: 0,
+                child_ns: 0,
+                calls: 0,
+            });
+            self.nodes.len() - 1
+        });
+        self.stack.push(idx);
+        idx
+    }
+
+    /// Closes a scope opened by [`enter`](Self::enter), attributing
+    /// `elapsed_ns` to it (and to its parent's child time).
+    fn exit(&mut self, node: usize, elapsed_ns: u64) {
+        // Guards drop in LIFO order; tolerate (rather than corrupt on) a
+        // leaked guard by searching down the stack.
+        if let Some(pos) = self.stack.iter().rposition(|&n| n == node) {
+            self.stack.truncate(pos);
+        }
+        let n = &mut self.nodes[node];
+        n.total_ns += elapsed_ns;
+        n.calls += 1;
+        if let Some(p) = n.parent {
+            self.nodes[p].child_ns += elapsed_ns;
+        }
+    }
+
+    /// Marks the start of one simulated cycle. One cycle in
+    /// `sample_every` arms the lap clock; the rest make this (and every
+    /// [`lap`](Self::lap)) a branch.
+    #[inline]
+    pub fn begin_cycle(&mut self) {
+        self.sampling = self.cycles_total.is_multiple_of(self.sample_every);
+        self.cycles_total += 1;
+        if self.sampling {
+            self.cycles_sampled += 1;
+            self.lap_start = Some(Instant::now());
+        }
+    }
+
+    /// Attributes the time since the previous lap (or
+    /// [`begin_cycle`](Self::begin_cycle)) to `phase`. No-op on
+    /// unsampled cycles.
+    #[inline]
+    pub fn lap(&mut self, phase: HotPhase) {
+        if !self.sampling {
+            return;
+        }
+        let now = Instant::now();
+        if let Some(start) = self.lap_start {
+            let d = u64::try_from(now.duration_since(start).as_nanos()).unwrap_or(u64::MAX);
+            self.hot_ns[phase.index()] += d;
+            self.hot_laps[phase.index()] += 1;
+        }
+        self.lap_start = Some(now);
+    }
+
+    /// Ends the current cycle's lap window.
+    #[inline]
+    pub fn end_cycle(&mut self) {
+        self.sampling = false;
+        self.lap_start = None;
+    }
+
+    /// Wall time since the profiler was created, in nanoseconds.
+    pub fn wall_ns(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Sampling scale factor: total cycles per sampled cycle.
+    fn hot_scale(&self) -> f64 {
+        if self.cycles_sampled == 0 {
+            0.0
+        } else {
+            self.cycles_total as f64 / self.cycles_sampled as f64
+        }
+    }
+
+    /// Estimated full-run nanoseconds per hot phase: sampled ns scaled
+    /// by the sampling ratio, then — when the scoped cycle-loop time is
+    /// known — normalized so the breakdown never exceeds the measured
+    /// loop wall time. (Sampled cycles pay the lap-timer reads, so the
+    /// raw extrapolation systematically overshoots; the *shares* are
+    /// unbiased, so they are reallocated over the measured total.)
+    fn hot_estimates(&self) -> [u64; HotPhase::COUNT] {
+        let scale = self.hot_scale();
+        let mut est = [0f64; HotPhase::COUNT];
+        let mut raw_total = 0f64;
+        for (i, &ns) in self.hot_ns.iter().enumerate() {
+            est[i] = ns as f64 * scale;
+            raw_total += est[i];
+        }
+        let measured = self.cycles_scope_ns();
+        if measured > 0 && raw_total > measured as f64 {
+            let norm = measured as f64 / raw_total;
+            for e in &mut est {
+                *e *= norm;
+            }
+        }
+        est.map(|e| e as u64)
+    }
+
+    /// Estimated full-run nanoseconds spent in `phase`; see
+    /// [`hot_estimates`](Self::hot_estimates) for the scaling rules.
+    pub fn hot_estimate_ns(&self, phase: HotPhase) -> u64 {
+        self.hot_estimates()[phase.index()]
+    }
+
+    /// `phase;sub;leaf` path of a tree node.
+    fn node_path(&self, mut idx: usize) -> String {
+        let mut parts = vec![self.nodes[idx].name.as_str()];
+        while let Some(p) = self.nodes[idx].parent {
+            parts.push(self.nodes[p].name.as_str());
+            idx = p;
+        }
+        parts.reverse();
+        parts.join(";")
+    }
+
+    /// Name of the root scope the cycle breakdown hangs under (`run`
+    /// when the simulator opened one; empty for a bare profiler).
+    fn root_prefix(&self) -> String {
+        self.nodes
+            .iter()
+            .find(|n| n.parent.is_none())
+            .map(|n| format!("{};", n.name))
+            .unwrap_or_default()
+    }
+
+    /// Total measured wall time of every [`CYCLES_SCOPE`] scope.
+    fn cycles_scope_ns(&self) -> u64 {
+        self.nodes
+            .iter()
+            .filter(|n| n.name == CYCLES_SCOPE)
+            .map(|n| n.total_ns)
+            .sum()
+    }
+
+    /// Simulated cycles per host second, measured over the cycle-loop
+    /// scopes only (config/report phases excluded).
+    pub fn cycles_per_sec(&self) -> f64 {
+        let ns = self.cycles_scope_ns();
+        if ns == 0 {
+            0.0
+        } else {
+            self.cycles_total as f64 / (ns as f64 / 1e9)
+        }
+    }
+
+    /// Collapsed-stack export (`stack;frames <ns>` per line, flamegraph
+    /// input format). Scoped phases contribute their *self* time;
+    /// [`CYCLES_SCOPE`] scopes are replaced by the sampled per-module
+    /// breakdown under `<root>;cycles;*`, with the unsampled remainder
+    /// as `cycles;untimed`.
+    pub fn collapsed(&self) -> String {
+        let mut out = String::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.name == CYCLES_SCOPE {
+                continue;
+            }
+            let self_ns = n.total_ns.saturating_sub(n.child_ns);
+            if self_ns > 0 {
+                let _ = writeln!(out, "{} {}", self.node_path(i), self_ns);
+            }
+        }
+        let root = self.root_prefix();
+        let estimates = self.hot_estimates();
+        let mut hot_total = 0u64;
+        for phase in HotPhase::ALL {
+            let est = estimates[phase.index()];
+            hot_total += est;
+            if est > 0 {
+                let _ = writeln!(out, "{root}{CYCLES_SCOPE};{} {est}", phase.name());
+            }
+        }
+        let untimed = self.cycles_scope_ns().saturating_sub(hot_total);
+        // Each estimate truncates down, so up to COUNT ns of remainder
+        // is rounding, not unattributed time.
+        if untimed > HotPhase::COUNT as u64 {
+            let _ = writeln!(out, "{root}{CYCLES_SCOPE};untimed {untimed}");
+        }
+        out
+    }
+
+    /// Merges the profile into `reg` as `host.profile.*` metrics:
+    /// per-phase `self_ns.<path>` / `total_ns.<path>` / `calls.<path>`
+    /// counters plus run-level gauges (`wall_ns`, `cycles_total`,
+    /// `cycles_sampled`, `sample_every`, `cycles_per_sec`).
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        for (i, n) in self.nodes.iter().enumerate() {
+            let path = self.node_path(i);
+            // Cycle-loop scopes keep their total (the report's
+            // wall-per-layer column) but claim no self time: that
+            // belongs to the sampled per-module rows below.
+            let self_ns = if n.name == CYCLES_SCOPE {
+                0
+            } else {
+                n.total_ns.saturating_sub(n.child_ns)
+            };
+            reg.counter_set(&format!("host.profile.self_ns.{path}"), self_ns);
+            reg.counter_set(&format!("host.profile.total_ns.{path}"), n.total_ns);
+            reg.counter_set(&format!("host.profile.calls.{path}"), n.calls);
+        }
+        let root = self.root_prefix();
+        let estimates = self.hot_estimates();
+        let mut hot_total = 0u64;
+        for phase in HotPhase::ALL {
+            let est = estimates[phase.index()];
+            hot_total += est;
+            if est == 0 {
+                continue;
+            }
+            let path = format!("{root}{CYCLES_SCOPE};{}", phase.name());
+            reg.counter_set(&format!("host.profile.self_ns.{path}"), est);
+            reg.counter_set(&format!("host.profile.total_ns.{path}"), est);
+            reg.counter_set(
+                &format!("host.profile.calls.{path}"),
+                self.hot_laps[phase.index()],
+            );
+        }
+        let untimed = self.cycles_scope_ns().saturating_sub(hot_total);
+        if untimed > HotPhase::COUNT as u64 {
+            let path = format!("{root}{CYCLES_SCOPE};untimed");
+            reg.counter_set(&format!("host.profile.self_ns.{path}"), untimed);
+            reg.counter_set(&format!("host.profile.total_ns.{path}"), untimed);
+        }
+        reg.gauge_set("host.profile.wall_ns", self.wall_ns() as f64);
+        reg.gauge_set("host.profile.cycles_total", self.cycles_total as f64);
+        reg.gauge_set("host.profile.cycles_sampled", self.cycles_sampled as f64);
+        reg.gauge_set("host.profile.sample_every", self.sample_every as f64);
+        reg.gauge_set("host.profile.cycles_per_sec", self.cycles_per_sec());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scopes_nest_into_a_tree_with_self_time() {
+        let p = shared_profiler(1);
+        {
+            let _run = scope(&p, "run");
+            {
+                let _layer = scope(&p, "layer:l0");
+                let _inner = scope(&p, "barrier");
+            }
+        }
+        let prof = p.borrow();
+        let collapsed = prof.collapsed();
+        assert!(
+            collapsed.contains("run;layer:l0;barrier "),
+            "missing nested path: {collapsed}"
+        );
+        // Parents carry only self time, never their children's.
+        let mut reg = MetricsRegistry::new();
+        prof.export_metrics(&mut reg);
+        let total = reg
+            .get_counter("host.profile.total_ns.run")
+            .expect("root total");
+        let self_ns = reg
+            .get_counter("host.profile.self_ns.run")
+            .expect("root self");
+        assert!(self_ns <= total);
+        assert_eq!(reg.get_counter("host.profile.calls.run"), Some(1));
+    }
+
+    #[test]
+    fn repeated_scopes_accumulate_calls() {
+        let p = shared_profiler(1);
+        for _ in 0..3 {
+            let _g = scope(&p, "config");
+        }
+        let mut reg = MetricsRegistry::new();
+        p.borrow().export_metrics(&mut reg);
+        assert_eq!(reg.get_counter("host.profile.calls.config"), Some(3));
+    }
+
+    #[test]
+    fn sampled_laps_scale_to_the_full_run() {
+        let mut prof = HostProfiler::new(4);
+        for _ in 0..16 {
+            prof.begin_cycle();
+            prof.lap(HotPhase::Gpe);
+            prof.end_cycle();
+        }
+        assert_eq!(prof.cycles_total(), 16);
+        assert_eq!(prof.cycles_sampled, 4);
+        // The estimate scales the sampled time by 4×.
+        assert_eq!(prof.hot_estimate_ns(HotPhase::Gpe), prof.hot_ns[3] * 4);
+        // Unsampled cycles record nothing.
+        assert_eq!(prof.hot_laps[HotPhase::Gpe.index()], 4);
+    }
+
+    #[test]
+    fn cycle_scopes_are_replaced_by_the_hot_breakdown() {
+        let p = shared_profiler(1);
+        {
+            let _run = scope(&p, "run");
+            let _cycles = scope(&p, CYCLES_SCOPE);
+            let mut prof = p.borrow_mut();
+            prof.begin_cycle();
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            prof.lap(HotPhase::Noc);
+            prof.end_cycle();
+        }
+        let prof = p.borrow();
+        let collapsed = prof.collapsed();
+        assert!(
+            collapsed.contains("run;cycles;noc "),
+            "hot phase missing: {collapsed}"
+        );
+        // The raw `cycles` scope line must not appear as a leaf of its
+        // own (it would double-count the hot rows).
+        assert!(
+            !collapsed.lines().any(|l| l.starts_with("run;cycles ")),
+            "cycles scope leaked: {collapsed}"
+        );
+        assert!(prof.cycles_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn hot_breakdown_is_bounded_by_the_cycle_scope() {
+        let p = shared_profiler(1);
+        {
+            let _run = scope(&p, "run");
+            let _cycles = scope(&p, CYCLES_SCOPE);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let mut prof = p.borrow_mut();
+        // Force a raw extrapolation far above the measured loop time:
+        // the export must reallocate the shares over the measured total
+        // instead of reporting more than 100% of the wall clock.
+        prof.cycles_total = 1000;
+        prof.cycles_sampled = 1;
+        prof.hot_ns[HotPhase::Gpe.index()] = 3_000_000;
+        prof.hot_ns[HotPhase::Noc.index()] = 1_000_000;
+        let measured = prof.cycles_scope_ns();
+        let total: u64 = HotPhase::ALL
+            .iter()
+            .map(|&ph| prof.hot_estimate_ns(ph))
+            .sum();
+        assert!(total <= measured, "breakdown {total} > measured {measured}");
+        // Shares survive the normalization (3:1 within rounding).
+        let gpe = prof.hot_estimate_ns(HotPhase::Gpe);
+        let noc = prof.hot_estimate_ns(HotPhase::Noc);
+        assert!(gpe > 2 * noc, "shares distorted: gpe {gpe}, noc {noc}");
+        let collapsed = prof.collapsed();
+        assert!(
+            !collapsed.contains(";untimed "),
+            "normalized breakdown should cover the loop: {collapsed}"
+        );
+    }
+
+    #[test]
+    fn export_carries_run_level_gauges() {
+        let prof = HostProfiler::default();
+        let mut reg = MetricsRegistry::new();
+        prof.export_metrics(&mut reg);
+        for g in [
+            "host.profile.wall_ns",
+            "host.profile.cycles_total",
+            "host.profile.sample_every",
+            "host.profile.cycles_per_sec",
+        ] {
+            assert!(reg.get(g).is_some(), "missing gauge {g}");
+        }
+    }
+}
