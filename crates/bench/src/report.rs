@@ -1121,7 +1121,12 @@ impl BottleneckReport {
                 "cycles_per_sec",
                 format!("{:.1}", hp.cycles_per_sec),
             );
-            for p in &hp.phases {
+            // Emit phase rows in path order, not self-time order: wall
+            // timings differ every run, and goldens diffing this CSV
+            // must not flap on row order when near-equal phases swap.
+            let mut by_path: Vec<&HostPhaseRow> = hp.phases.iter().collect();
+            by_path.sort_by(|a, b| a.path.cmp(&b.path));
+            for p in by_path {
                 row(
                     "host.profile",
                     &format!("{}.self_ns", p.path),
@@ -2363,6 +2368,48 @@ noc.packet_latency,histogram,,10,100,4,30,10,8,25,29
         assert!(csv.lines().skip(1).all(|l| l.split(',').count() == 3));
         assert!(csv.contains("host,cycles_per_sec,500.0"));
         assert!(csv.contains("host.profile,run;layer:0;cycles;gpe.self_ns,900000000"));
+    }
+
+    #[test]
+    fn host_profile_table_order_is_deterministic() {
+        // Three phases, two tied on self time: the table must order the
+        // tie alphabetically, and CSV rows must come out path-sorted
+        // regardless of self time so cross-run golden diffs don't flap.
+        let base = sample_metrics_json();
+        let profile = concat!(
+            "\"host.profile.wall_ns\":2000000000,",
+            "\"host.profile.self_ns.run;cycles;noc\":500000000,",
+            "\"host.profile.self_ns.run;cycles;gpe\":500000000,",
+            "\"host.profile.self_ns.run;cycles;agg\":700000000,"
+        );
+        let text = base.replacen('{', &format!("{{{profile}"), 1);
+        let snap = MetricsSnapshot::parse(&text).unwrap();
+        let r = BottleneckReport::build(&snap, None);
+        let hp = r.host_profile.as_ref().unwrap();
+        let order: Vec<&str> = hp.phases.iter().map(|p| p.path.as_str()).collect();
+        assert_eq!(
+            order,
+            [
+                "run;cycles;agg", // hottest first
+                "run;cycles;gpe", // 500 ms tie: alphabetical
+                "run;cycles;noc",
+            ]
+        );
+
+        let csv = r.to_csv();
+        let rows: Vec<&str> = csv
+            .lines()
+            .filter(|l| l.starts_with("host.profile,"))
+            .collect();
+        assert_eq!(
+            rows,
+            [
+                "host.profile,run;cycles;agg.self_ns,700000000",
+                "host.profile,run;cycles;gpe.self_ns,500000000",
+                "host.profile,run;cycles;noc.self_ns,500000000",
+            ],
+            "CSV phase rows must be path-sorted"
+        );
     }
 
     #[test]

@@ -401,6 +401,16 @@ impl Dna {
         self.idle_cycles
     }
 
+    /// Batch-equivalent of `n` [`Dna::tick`]s of a drained array (no
+    /// job, no pending output): the configured-but-unoccupied idle
+    /// attribution, settled in bulk by the system's event wheel.
+    pub(crate) fn note_idle_ticks(&mut self, n: u64) {
+        debug_assert!(self.is_idle(), "batch idle accounting on a busy DNA");
+        if !self.kernels.is_empty() {
+            self.idle_cycles += n;
+        }
+    }
+
     /// Cycles a completed output was re-staged because the NoC could not
     /// take it (injection backpressure on the result path).
     pub fn output_stall_cycles(&self) -> u64 {

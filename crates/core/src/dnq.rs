@@ -253,6 +253,21 @@ impl Dnq {
         None
     }
 
+    /// Batch-equivalent of `n` [`Dnq::dequeue_for_dna`] calls on an
+    /// empty queue pair: the DNA-idle streak advances (or resets, when
+    /// the DNA cannot accept) with no dequeue, head-wait charge, or
+    /// switch — exactly as `n` single calls would, since an empty pair
+    /// never satisfies the lazy-switch's head-ready check. Settled in
+    /// bulk by the system's event wheel.
+    pub(crate) fn note_idle_ticks(&mut self, n: u64, dna_accepting: bool) {
+        debug_assert!(self.is_idle(), "batch idle accounting on a busy DNQ");
+        if dna_accepting {
+            self.dna_idle_streak += n;
+        } else if n > 0 {
+            self.dna_idle_streak = 0;
+        }
+    }
+
     fn head_ready(&self, q: usize) -> bool {
         let ring = &self.rings[q];
         ring.len > 0 && ring.entries[ring.head].as_ref().is_some_and(|e| e.ready)

@@ -247,6 +247,17 @@ impl Gpe {
         &self.stats
     }
 
+    /// Batch-equivalent of `n` [`Gpe::tick`]s of a fully idle GPE (no
+    /// work, no outbox, every thread idle): `n` idle cycles attributed
+    /// to [`StallCause::NoWork`], exactly as `n` single ticks would.
+    /// Used by the system's event wheel to settle skipped cycles; any
+    /// other state would misattribute the stall cause.
+    pub(crate) fn note_idle_ticks(&mut self, n: u64) {
+        debug_assert!(self.is_idle(), "batch idle accounting on a busy GPE");
+        self.stats.idle_cycles += n;
+        self.stats.stall_by_cause[StallCause::NoWork.index()] += n;
+    }
+
     /// Countable events this module charges to the energy ledger: one
     /// [`CostClass::GpeOp`] per cycle of useful control work.
     pub fn energy_events(&self) -> [(CostClass, u64); 1] {

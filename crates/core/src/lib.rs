@@ -57,5 +57,6 @@ pub mod layout;
 pub mod msg;
 pub mod stats;
 pub mod system;
+mod wheel;
 
 pub use error::CoreError;

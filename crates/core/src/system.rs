@@ -29,6 +29,7 @@ use crate::msg::{AddressMap, Dest, Message, Tag};
 use crate::stats::{
     DegradedSummary, LayerTiming, ResilienceSummary, SimReport, StallCause, TileCounters,
 };
+use crate::wheel::EventWheel;
 use crate::CoreError;
 use gnna_faults::FaultPlan;
 use gnna_graph::GraphInstance;
@@ -152,6 +153,20 @@ pub struct System {
     profiler: Option<SharedProfiler>,
     energy_model: EnergyModel,
     degraded: DegradedSummary,
+    /// Idle-module event wheel: quiescent nodes sleep and are skipped
+    /// by [`System::step_cycle`] until a NoC delivery or a scheduled
+    /// timer (a memory controller's next-ready cycle) wakes them.
+    /// Skipped core ticks are settled exactly on wake via the modules'
+    /// `note_idle_ticks` batch hooks, so the wheel is bit-identical to
+    /// the exhaustive sweep (the golden corpus enforces this).
+    wheel: EventWheel,
+    /// Dense node-occupancy maps for the wheel: mesh node (row-major)
+    /// per tile / per memory node, and tile index per mesh node.
+    tile_node: Vec<usize>,
+    mem_node: Vec<usize>,
+    node_tile: Vec<Option<u32>>,
+    /// Scratch for due timer wakes (kept to avoid per-cycle allocation).
+    due_scratch: Vec<u32>,
 }
 
 impl System {
@@ -283,6 +298,23 @@ impl System {
             })
             .collect();
         let num_graphs = union.num_graphs();
+        // Event-wheel node maps (mesh nodes are row-major `y * w + x`).
+        let width = topo.width();
+        let num_nodes = width * topo.height();
+        let tile_node: Vec<usize> = topo
+            .tile_coords()
+            .iter()
+            .map(|&(x, y)| y * width + x)
+            .collect();
+        let mem_node: Vec<usize> = topo
+            .mem_coords()
+            .iter()
+            .map(|&(x, y)| y * width + x)
+            .collect();
+        let mut node_tile = vec![None; num_nodes];
+        for (t, &node) in tile_node.iter().enumerate() {
+            node_tile[node] = Some(t as u32);
+        }
         Ok(System {
             cfg: cfg.clone(),
             divider,
@@ -304,6 +336,11 @@ impl System {
             profiler: None,
             energy_model: EnergyModel::default(),
             degraded: DegradedSummary::default(),
+            wheel: EventWheel::new(num_nodes),
+            tile_node,
+            mem_node,
+            node_tile,
+            due_scratch: Vec::new(),
         })
     }
 
@@ -596,7 +633,11 @@ impl System {
             // An exhausted NoC protection model (retransmit budget) is an
             // unrecoverable fault: stop cleanly with the failure detail
             // instead of spinning until the watchdog fires.
-            if let Some(fail) = self.net.fault_failure() {
+            if self.net.fault_failure().is_some() {
+                // Settle sleeping nodes first so the error's counters
+                // and diagnostics cover the full cycle count.
+                self.settle_sleepers();
+                let fail = self.net.fault_failure().expect("checked above");
                 let mut msg = fail.to_string();
                 if let Some(tele) = &self.telemetry {
                     let snap = tele.tracer.borrow().flight_snapshot();
@@ -614,6 +655,9 @@ impl System {
             if self.cycle - last_progress_cycle >= stall_window {
                 let marker = self.progress_marker();
                 if marker == last_progress_marker {
+                    // Settle sleeping nodes so the stall diagnostic
+                    // reports fully accounted per-module counters.
+                    self.settle_sleepers();
                     let mut detail = format!(
                         "layer {} made no progress in {stall_window} cycles (configured stall window); {}",
                         layer.name,
@@ -644,6 +688,10 @@ impl System {
                 p.end_cycle();
             }
         }
+        // Barrier: wake everything and charge the idle ticks the
+        // sleeping windows owe, so per-module counters match a fully
+        // polled run bit-for-bit.
+        self.settle_sleepers();
         drop(cycles_scope);
         self.phase_event(self.cycle, |p| p.end(&phase_name));
         // Closing barrier cost.
@@ -770,6 +818,59 @@ impl System {
                 .all(|m| m.ctrl.is_idle() && m.out.is_empty() && m.inbox.is_empty())
     }
 
+    /// Whether tile `t` provably has nothing to do this cycle or any
+    /// future cycle until a new flit reaches one of its ports: every
+    /// module drained, no staged outgoing traffic, nothing waiting at
+    /// its ejection buffers. Such a tile's per-cycle processing reduces
+    /// to the batch idle accounting [`Self::settle_tile`] performs.
+    fn tile_quiescent(&self, t: usize) -> bool {
+        let tile = &self.tiles[t];
+        tile.agg_pending.is_empty()
+            && tile.dna_pending.is_empty()
+            && tile.gpe.is_idle()
+            && tile.agg.is_idle()
+            && tile.dnq.is_idle()
+            && tile.dna.is_idle()
+            && self.net.ejection_pending(tile.ports.gpe) == 0
+            && self.net.ejection_pending(tile.ports.agg) == 0
+            && self.net.ejection_pending(tile.ports.dnq) == 0
+    }
+
+    /// Charges a freshly woken tile the idle ticks it owes for the
+    /// skipped window `[from, now)`: one batch tick per core tick in the
+    /// window, exactly what per-cycle stepping would have recorded for a
+    /// quiescent tile (GPE idle + no-work stall, DNQ drought streak, DNA
+    /// inter-batch gap; AGG's idle tick is a pure no-op).
+    fn settle_tile(tile: &mut Tile, from: u64, now: u64, divider: u64) {
+        // Core ticks in [from, now) = multiples of `divider` in range.
+        let ticks = now.div_ceil(divider) - from.div_ceil(divider);
+        if ticks == 0 {
+            return;
+        }
+        tile.gpe.note_idle_ticks(ticks);
+        // `dna.can_accept()` is constant across a quiescent window (no
+        // batch in flight, queue membership frozen), so the per-tick
+        // dequeue-order evaluation collapses to one probe.
+        let dna_accepting = tile.dna.can_accept();
+        tile.dnq.note_idle_ticks(ticks, dna_accepting);
+        tile.dna.note_idle_ticks(ticks);
+    }
+
+    /// Wakes every sleeping node and settles the idle ticks it owes.
+    /// Called at the layer barrier and before building stall/fault
+    /// diagnostics so counters reflect the full cycle count.
+    fn settle_sleepers(&mut self) {
+        let now = self.cycle;
+        for t in 0..self.tiles.len() {
+            if let Some(from) = self.wheel.wake(self.tile_node[t]) {
+                Self::settle_tile(&mut self.tiles[t], from, now, self.divider);
+            }
+        }
+        for &node in &self.mem_node {
+            self.wheel.wake(node);
+        }
+    }
+
     /// Converts a result destination into NoC messages.
     fn dest_messages(map: &AddressMap, dest: Dest, data: Vec<f32>) -> Vec<(Address, Message)> {
         match dest {
@@ -820,8 +921,38 @@ impl System {
         }
         let words_per_flit = self.words_per_flit();
 
+        // --- Event wheel ---
+        // Deliveries completed by the previous cycle's NoC step wake
+        // their destination nodes (settling the idle ticks the skipped
+        // window owes), then due memory-controller timers fire.
+        {
+            let wheel = &mut self.wheel;
+            let tiles = &mut self.tiles;
+            let node_tile = &self.node_tile;
+            let divider = self.divider;
+            self.net.drain_delivered(|node| {
+                if let Some(from) = wheel.wake(node) {
+                    if let Some(t) = node_tile[node] {
+                        Self::settle_tile(&mut tiles[t as usize], from, c, divider);
+                    }
+                }
+            });
+            let mut due = std::mem::take(&mut self.due_scratch);
+            wheel.due(c, &mut due);
+            for node in due.drain(..) {
+                // Memory timers: the skipped window was counter-neutral
+                // (an empty node touches nothing), so waking is all
+                // there is to settle.
+                wheel.wake(node as usize);
+            }
+            self.due_scratch = due;
+        }
+
         // --- Memory nodes ---
         for (mi, m) in self.mems.iter_mut().enumerate() {
+            if self.wheel.is_asleep(self.mem_node[mi]) {
+                continue;
+            }
             // Retire at most one response per cycle.
             if m.out.len() < 4 {
                 if let Some(resp) = m.ctrl.pop_ready(c, &mut self.image) {
@@ -891,6 +1022,21 @@ impl System {
                     m.out.push_front((dst, msg));
                 }
             }
+            // Event wheel: a fully drained node sleeps until a delivery
+            // wakes it; with requests still queued (none retiring before
+            // `ready_at`) a calendar timer wakes it exactly when the
+            // front becomes ready. An awake empty node's per-cycle body
+            // is a provable no-op, so skipping it changes nothing.
+            if m.out.is_empty() && m.inbox.is_empty() && self.net.ejection_pending(m.port) == 0 {
+                match m.ctrl.next_ready_cycle() {
+                    None => self.wheel.sleep(self.mem_node[mi], c + 1),
+                    Some(ready_at) if ready_at > c => {
+                        self.wheel.sleep(self.mem_node[mi], c + 1);
+                        self.wheel.schedule(self.mem_node[mi], ready_at);
+                    }
+                    Some(_) => {}
+                }
+            }
         }
 
         if let Some(p) = &prof {
@@ -899,6 +1045,9 @@ impl System {
 
         // --- Tiles ---
         for t in 0..self.tiles.len() {
+            if self.wheel.is_asleep(self.tile_node[t]) {
+                continue;
+            }
             self.tile_ingest(t)?;
             self.tile_inject(t);
             if let Some(p) = &prof {
@@ -906,6 +1055,13 @@ impl System {
             }
             if core_tick {
                 self.tile_core_tick(t, core_now);
+            }
+            // Event wheel: a quiescent tile's ingest/inject are no-ops
+            // and its core ticks reduce to the batch idle accounting
+            // `settle_tile` charges on wake, so it sleeps until the NoC
+            // delivers it a flit.
+            if self.tile_quiescent(t) {
+                self.wheel.sleep(self.tile_node[t], c + 1);
             }
         }
 

@@ -1,0 +1,159 @@
+//! Calendar-queue event wheel: sleep/wake bookkeeping for quiescent
+//! mesh nodes.
+//!
+//! The cycle loop used to poll every tile and memory node every master
+//! cycle, even though on real workloads most modules spend the bulk of
+//! a layer drained — finished with their vertex partition, or waiting
+//! on traffic that is still crossing the mesh. The system now puts a
+//! node whose modules are all provably quiescent to sleep and skips it
+//! entirely; it wakes on exactly two event kinds:
+//!
+//! * a **delivery**: the network reports that a flit landed in one of
+//!   the node's ejection buffers ([`gnna_noc::Network::drain_delivered`]);
+//! * a **timer**: a future cycle scheduled into the calendar queue when
+//!   the node went to sleep (a memory controller's next-ready cycle).
+//!
+//! Timers live in a classic timing wheel: `BUCKETS` slots indexed by
+//! `cycle % BUCKETS`, each holding `(wake_cycle, node)` entries. The
+//! per-cycle cost is draining one (almost always empty) bucket; entries
+//! scheduled more than a full rotation out simply stay in their slot
+//! until the rotation that matches their cycle.
+//!
+//! Sleeping is *exactly* accounted: the wheel records the first skipped
+//! cycle, and on wake the system settles the owed idle ticks through
+//! the modules' `note_idle_ticks` batch hooks — each a proven
+//! batch-equivalent of the ticks the module would have executed while
+//! drained — so every `SimReport` counter stays bit-identical to the
+//! exhaustive per-cycle sweep (the golden corpus enforces this).
+
+/// Timer slots; a power of two so the modulo compiles to a mask.
+const BUCKETS: usize = 256;
+
+/// Sleep/wake state for every mesh node plus the timer calendar.
+#[derive(Debug)]
+pub(crate) struct EventWheel {
+    asleep: Vec<bool>,
+    /// First skipped cycle, per sleeping node.
+    slept_from: Vec<u64>,
+    /// `(wake_cycle, node)` entries, filed under `wake_cycle % BUCKETS`.
+    buckets: Vec<Vec<(u64, u32)>>,
+}
+
+impl EventWheel {
+    pub fn new(num_nodes: usize) -> Self {
+        EventWheel {
+            asleep: vec![false; num_nodes],
+            slept_from: vec![0; num_nodes],
+            buckets: (0..BUCKETS).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Whether `node` is currently being skipped.
+    pub fn is_asleep(&self, node: usize) -> bool {
+        self.asleep[node]
+    }
+
+    /// Puts `node` to sleep; `from_cycle` is the first cycle it will
+    /// skip (used to settle owed idle ticks on wake).
+    pub fn sleep(&mut self, node: usize, from_cycle: u64) {
+        debug_assert!(!self.asleep[node], "node {node} already asleep");
+        self.asleep[node] = true;
+        self.slept_from[node] = from_cycle;
+    }
+
+    /// Wakes `node`. Returns the first cycle it skipped if it was
+    /// asleep, `None` (a no-op) if it was already awake — so stale
+    /// timers and duplicate wake events are harmless.
+    pub fn wake(&mut self, node: usize) -> Option<u64> {
+        if !self.asleep[node] {
+            return None;
+        }
+        self.asleep[node] = false;
+        Some(self.slept_from[node])
+    }
+
+    /// Schedules a timer wake for `node` at cycle `at`.
+    pub fn schedule(&mut self, node: usize, at: u64) {
+        self.buckets[(at as usize) % BUCKETS].push((at, node as u32));
+    }
+
+    /// Collects the nodes whose timers are due at `cycle` into `out`
+    /// (callers keep the scratch vector to avoid per-cycle allocation).
+    /// Entries filed in this bucket for a later rotation are retained.
+    pub fn due(&mut self, cycle: u64, out: &mut Vec<u32>) {
+        let bucket = &mut self.buckets[(cycle as usize) % BUCKETS];
+        if bucket.is_empty() {
+            return;
+        }
+        bucket.retain(|&(at, node)| {
+            if at <= cycle {
+                out.push(node);
+                false
+            } else {
+                true
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sleep_wake_roundtrip_reports_first_skipped_cycle() {
+        let mut w = EventWheel::new(4);
+        assert!(!w.is_asleep(2));
+        w.sleep(2, 100);
+        assert!(w.is_asleep(2));
+        assert_eq!(w.wake(2), Some(100));
+        assert!(!w.is_asleep(2));
+        // Waking an awake node is a no-op.
+        assert_eq!(w.wake(2), None);
+    }
+
+    #[test]
+    fn timer_fires_at_its_exact_cycle() {
+        let mut w = EventWheel::new(2);
+        w.schedule(1, 42);
+        let mut due = Vec::new();
+        w.due(41, &mut due);
+        assert!(due.is_empty(), "timer must not fire early");
+        // Nothing in unrelated buckets.
+        w.due(43, &mut due);
+        assert!(due.is_empty());
+        w.due(42, &mut due);
+        assert_eq!(due, vec![1]);
+        // One-shot: drained on fire.
+        due.clear();
+        w.due(42, &mut due);
+        assert!(due.is_empty());
+    }
+
+    #[test]
+    fn far_timer_survives_a_full_rotation() {
+        let mut w = EventWheel::new(1);
+        // Same bucket as cycle 10, but two rotations out.
+        let far = 10 + 2 * BUCKETS as u64;
+        w.schedule(0, far);
+        let mut due = Vec::new();
+        w.due(10, &mut due);
+        assert!(due.is_empty(), "entry a rotation out must stay filed");
+        w.due(10 + BUCKETS as u64, &mut due);
+        assert!(due.is_empty());
+        w.due(far, &mut due);
+        assert_eq!(due, vec![0]);
+    }
+
+    #[test]
+    fn late_drain_fires_overdue_timers() {
+        // If a bucket is visited past the scheduled cycle (e.g. the node
+        // was woken by a delivery and re-slept), the overdue entry still
+        // fires instead of lingering forever.
+        let mut w = EventWheel::new(1);
+        w.schedule(0, 7);
+        let mut due = Vec::new();
+        w.due(7 + BUCKETS as u64, &mut due);
+        assert_eq!(due, vec![0]);
+    }
+}

@@ -1,0 +1,220 @@
+//! Slab allocation for in-flight packets and `Copy` flit references.
+//!
+//! The original hot path moved `Flit<T>` values — each holding an
+//! `Arc<Packet<T>>` — through every input buffer, link register and
+//! ejection queue, paying an atomic refcount bump/drop per flit per hop.
+//! This module replaces that with a free-list slab: the `Arc` is stored
+//! **once** per packet in [`PacketSlab`] at injection, and everything
+//! that moves through the fabric is a 16-byte `Copy` [`FlitRef`] carrying
+//! the slot index, the flit sequence numbers, and a denormalised copy of
+//! the destination (so XY route computation never touches the slab).
+//! The slot is recycled when the tail flit leaves the network, so a
+//! steady-state simulation reuses the same handful of slots forever —
+//! no allocator traffic at all on the per-flit path.
+//!
+//! The public [`crate::Flit`]/[`crate::Packet`] API is unchanged:
+//! [`crate::Network::eject`] rebuilds a `Flit<T>` (one `Arc` clone) at
+//! the fabric boundary.
+
+use crate::Packet;
+use std::sync::Arc;
+
+/// A `Copy` reference to one flit of a slab-resident packet.
+///
+/// `seq` runs from 0 (head) to `num_flits - 1` (tail); the destination
+/// fields duplicate `Packet::dst` so the router pipeline routes without
+/// dereferencing the slab.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FlitRef {
+    /// Slot of the owning packet in the [`PacketSlab`].
+    pub slot: u32,
+    /// Flit index within the packet.
+    pub seq: u32,
+    /// Total flits in the packet.
+    pub num_flits: u32,
+    /// Destination mesh column.
+    pub dst_x: u16,
+    /// Destination mesh row.
+    pub dst_y: u16,
+    /// Destination local port.
+    pub dst_port: u16,
+}
+
+impl FlitRef {
+    /// Whether this is the head flit (carries routing info).
+    pub fn is_head(self) -> bool {
+        self.seq == 0
+    }
+
+    /// Whether this is the tail flit (releases the wormhole channel and
+    /// the packet's slab slot).
+    pub fn is_tail(self) -> bool {
+        self.seq + 1 == self.num_flits
+    }
+}
+
+/// A flit waiting in an input buffer, eligible for switch allocation at
+/// `eligible_at` (arrival cycle + routing delay, pushed out further by
+/// fault-retransmit backoffs).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BufFlit {
+    pub fr: FlitRef,
+    pub eligible_at: u64,
+}
+
+/// A flit in flight on a link, arriving downstream at `arrive_at`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LinkFlit {
+    pub fr: FlitRef,
+    pub arrive_at: u64,
+}
+
+/// Free-list slab of in-flight packets.
+///
+/// `alloc` pops a recycled slot when one exists and only grows the
+/// backing `Vec` when the live-packet high-water mark rises; `free`
+/// drops the `Arc` and recycles the slot. Slots are recycled LIFO, which
+/// keeps the working set dense and cache-warm.
+#[derive(Debug)]
+pub(crate) struct PacketSlab<T> {
+    entries: Vec<Option<Arc<Packet<T>>>>,
+    free: Vec<u32>,
+}
+
+impl<T> PacketSlab<T> {
+    pub fn new() -> Self {
+        PacketSlab {
+            entries: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Stores a packet, returning its slot.
+    pub fn alloc(&mut self, packet: Arc<Packet<T>>) -> u32 {
+        match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(self.entries[slot as usize].is_none(), "slot double-alloc");
+                self.entries[slot as usize] = Some(packet);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.entries.len()).expect("slab overflow");
+                self.entries.push(Some(packet));
+                slot
+            }
+        }
+    }
+
+    /// The packet at `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is vacant (a freed flit reference was used).
+    pub fn get(&self, slot: u32) -> &Arc<Packet<T>> {
+        self.entries[slot as usize]
+            .as_ref()
+            .expect("stale flit reference: slab slot already freed")
+    }
+
+    /// Releases `slot` for reuse, dropping the slab's reference to the
+    /// packet.
+    pub fn free(&mut self, slot: u32) {
+        let e = self.entries[slot as usize]
+            .take()
+            .expect("double free of slab slot");
+        drop(e);
+        self.free.push(slot);
+    }
+
+    /// Number of live (allocated) packets, for tests and invariants.
+    #[cfg(test)]
+    pub fn live(&self) -> usize {
+        self.entries.len() - self.free.len()
+    }
+
+    /// Capacity high-water mark, for tests.
+    #[cfg(test)]
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Address;
+
+    fn pkt(payload: u32) -> Arc<Packet<u32>> {
+        Arc::new(Packet::new(
+            Address::new(0, 0, 0),
+            Address::new(1, 0, 0),
+            64,
+            payload,
+        ))
+    }
+
+    #[test]
+    fn alloc_get_free_roundtrip() {
+        let mut slab = PacketSlab::new();
+        let a = slab.alloc(pkt(7));
+        let b = slab.alloc(pkt(9));
+        assert_ne!(a, b);
+        assert_eq!(slab.get(a).payload, 7);
+        assert_eq!(slab.get(b).payload, 9);
+        assert_eq!(slab.live(), 2);
+        slab.free(a);
+        assert_eq!(slab.live(), 1);
+        assert_eq!(slab.get(b).payload, 9);
+    }
+
+    #[test]
+    fn freed_slots_are_recycled_not_grown() {
+        let mut slab = PacketSlab::new();
+        let slots: Vec<u32> = (0..4).map(|i| slab.alloc(pkt(i))).collect();
+        for &s in &slots {
+            slab.free(s);
+        }
+        // Steady-state churn reuses the same 4 slots forever.
+        for round in 0..8u32 {
+            let s = slab.alloc(pkt(round));
+            assert!(slots.contains(&s), "slot {s} not recycled");
+            slab.free(s);
+        }
+        assert_eq!(slab.capacity(), 4, "slab grew despite free slots");
+        assert_eq!(slab.live(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already freed")]
+    fn stale_reference_is_caught() {
+        let mut slab = PacketSlab::new();
+        let a = slab.alloc(pkt(1));
+        slab.free(a);
+        let _ = slab.get(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_is_caught() {
+        let mut slab = PacketSlab::new();
+        let a = slab.alloc(pkt(1));
+        slab.free(a);
+        slab.free(a);
+    }
+
+    #[test]
+    fn flit_ref_head_tail() {
+        let fr = |seq, n| FlitRef {
+            slot: 0,
+            seq,
+            num_flits: n,
+            dst_x: 0,
+            dst_y: 0,
+            dst_port: 0,
+        };
+        assert!(fr(0, 1).is_head() && fr(0, 1).is_tail());
+        assert!(fr(0, 4).is_head() && !fr(0, 4).is_tail());
+        assert!(!fr(2, 4).is_head() && !fr(2, 4).is_tail());
+        assert!(!fr(3, 4).is_head() && fr(3, 4).is_tail());
+    }
+}

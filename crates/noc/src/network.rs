@@ -1,7 +1,5 @@
-use crate::router::{
-    opposite, BufferedFlit, InFlightFlit, InputPort, OutputPort, Router, EAST, LOCAL_BASE, NORTH,
-    SOUTH, WEST,
-};
+use crate::arena::{BufFlit, FlitRef, LinkFlit, PacketSlab};
+use crate::router::{opposite, xy_route, EAST, LOCAL_BASE, NORTH, SOUTH, WEST};
 use crate::{Address, Flit, NetworkStats, NocConfig, Packet};
 use gnna_faults::{crc, DeadLink, FaultCounters, FaultPlan, FaultSite, SiteInjector};
 use gnna_telemetry::{HistogramSummary, MetricsRegistry, ModuleProbe};
@@ -10,6 +8,11 @@ use std::sync::Arc;
 
 /// Short names for the four mesh directions, indexed by port constant.
 const DIR_NAMES: [&str; 4] = ["N", "E", "S", "W"];
+
+/// Sentinel for "no route held" in the per-input route array.
+const NO_ROUTE: u8 = u8::MAX;
+/// Sentinel for "no wormhole owner" in the per-output owner array.
+const NO_OWNER: u8 = u8::MAX;
 
 /// Deep-attribution telemetry for the mesh: per-link busy accounting,
 /// hop-by-hop head-flit tracing, and end-to-end packet latency / hop-count
@@ -41,13 +44,12 @@ struct NocTelemetry {
 }
 
 impl NocTelemetry {
-    fn new(probe: ModuleProbe, routers: &[Router<impl Sized>]) -> Self {
-        let link_busy: Vec<Vec<u64>> = routers.iter().map(|r| vec![0; r.num_ports()]).collect();
-        let hop_names = routers
+    fn new(probe: ModuleProbe, ports_per_router: &[usize], coords: &[(usize, usize)]) -> Self {
+        let link_busy: Vec<Vec<u64>> = ports_per_router.iter().map(|&n| vec![0; n]).collect();
+        let hop_names = coords
             .iter()
-            .map(|r| {
-                [NORTH, EAST, SOUTH, WEST]
-                    .map(|d| format!("hop ({},{})->{}", r.x, r.y, DIR_NAMES[d]))
+            .map(|&(x, y)| {
+                [NORTH, EAST, SOUTH, WEST].map(|d| format!("hop ({x},{y})->{}", DIR_NAMES[d]))
             })
             .collect();
         NocTelemetry {
@@ -124,12 +126,16 @@ impl NocFaultState {
 }
 
 /// A packet being serialised into the network at a local port, one flit
-/// per cycle.
-#[derive(Debug)]
-struct InjectionState<T> {
-    packet: Arc<Packet<T>>,
+/// per cycle. The packet itself lives in the slab; staging holds only
+/// the `Copy` fields every serialised flit needs.
+#[derive(Debug, Clone, Copy)]
+struct InjectionState {
+    slot: u32,
     next_seq: u32,
     num_flits: u32,
+    dst_x: u16,
+    dst_y: u16,
+    dst_port: u16,
 }
 
 /// The cycle-level mesh network.
@@ -151,14 +157,64 @@ struct InjectionState<T> {
 /// * Delivered flits queue at the destination's bounded ejection buffer;
 ///   the attached module must drain via [`Network::eject`], providing
 ///   end-to-end backpressure.
+///
+/// # Hot-path layout
+///
+/// Router state is struct-of-arrays: one dense vector per field
+/// (`in_route`, `out_credits`, `out_owner`, …) indexed by a global port
+/// id (`port_base[router] + port`), so the switch-allocation sweep walks
+/// contiguous memory instead of chasing per-router structs. Flits move
+/// as 16-byte `Copy` references into a free-list packet slab
+/// ([`crate::arena`]); the only `Arc` traffic is one clone at
+/// [`Network::eject`]. Per-router occupancy counters (`buffered_flits`,
+/// `link_flits`, `staging`) let each phase of [`Network::step`] skip
+/// routers with no work — skipped routers perform no state changes and
+/// draw no fault RNG, so the schedule is bit-identical to the exhaustive
+/// sweep.
 #[derive(Debug)]
 pub struct Network<T> {
     cfg: NocConfig,
     width: usize,
     height: usize,
-    routers: Vec<Router<T>>,
-    injection: Vec<Vec<Option<InjectionState<T>>>>,
-    ejection: Vec<Vec<VecDeque<Flit<T>>>>,
+    /// Router coordinates (`coord_x[r], coord_y[r]`), row-major.
+    coord_x: Vec<u16>,
+    coord_y: Vec<u16>,
+    /// Local-port count per router.
+    locals: Vec<u8>,
+    /// First global port id of each router (ports are `4 + locals[r]`).
+    port_base: Vec<u32>,
+    /// Input state, per global port: buffered flits and the wormhole
+    /// route held by the in-progress packet (`NO_ROUTE` when idle).
+    in_buf: Vec<VecDeque<BufFlit>>,
+    in_route: Vec<u8>,
+    /// Output state, per global port: downstream credits, wormhole
+    /// owner (`NO_OWNER` when free), round-robin pointer, link register,
+    /// and whether the port is wired (mesh edges are not).
+    out_credits: Vec<u32>,
+    out_owner: Vec<u8>,
+    out_rr: Vec<u8>,
+    out_connected: Vec<bool>,
+    out_link: Vec<VecDeque<LinkFlit>>,
+    /// Occupancy counters per router: flits in input buffers, flits on
+    /// output links, packets staging at local ports. A router with all
+    /// three at zero is skipped by every phase of [`Network::step`].
+    buffered_flits: Vec<u32>,
+    link_flits: Vec<u32>,
+    staging: Vec<u32>,
+    /// Delivery-event queue for the embedding system's event wheel:
+    /// nodes whose ejection buffers received flits since the last
+    /// [`Network::drain_delivered`], each listed once (`delivered_flag`
+    /// dedups).
+    delivered_nodes: Vec<u32>,
+    delivered_flag: Vec<bool>,
+    /// Persistent per-input "sent this cycle" scratch (sized to the
+    /// widest router, cleared after each router's arbitration) — the
+    /// allocation the old per-cycle `vec![false; num_ports]` paid.
+    sent_scratch: Vec<bool>,
+    /// Free-list slab of in-flight packets; flits reference slots.
+    slab: PacketSlab<T>,
+    injection: Vec<Vec<Option<InjectionState>>>,
+    ejection: Vec<Vec<VecDeque<FlitRef>>>,
     cycle: u64,
     next_packet_id: u64,
     stats: NetworkStats,
@@ -191,34 +247,51 @@ impl<T> Network<T> {
         locals: impl Fn(usize, usize) -> usize,
     ) -> Self {
         assert!(width > 0 && height > 0, "mesh must be at least 1x1");
-        let mut routers = Vec::with_capacity(width * height);
-        let mut injection = Vec::with_capacity(width * height);
-        let mut ejection = Vec::with_capacity(width * height);
+        let n = width * height;
+        let mut coord_x = Vec::with_capacity(n);
+        let mut coord_y = Vec::with_capacity(n);
+        let mut locals_v = Vec::with_capacity(n);
+        let mut port_base = Vec::with_capacity(n);
+        let mut in_buf = Vec::new();
+        let mut in_route = Vec::new();
+        let mut out_credits = Vec::new();
+        let mut out_owner = Vec::new();
+        let mut out_rr = Vec::new();
+        let mut out_connected = Vec::new();
+        let mut out_link = Vec::new();
+        let mut injection = Vec::with_capacity(n);
+        let mut ejection = Vec::with_capacity(n);
+        let mut max_ports = 0usize;
         for y in 0..height {
             for x in 0..width {
                 let num_locals = locals(x, y);
                 let num_ports = LOCAL_BASE + num_locals;
-                let inputs = (0..num_ports).map(|_| InputPort::new()).collect();
-                let outputs = (0..num_ports)
-                    .map(|p| {
-                        let connected = match p {
-                            NORTH => y > 0,
-                            SOUTH => y + 1 < height,
-                            EAST => x + 1 < width,
-                            WEST => x > 0,
-                            _ => true, // local ports always connected
-                        };
-                        OutputPort::new(cfg.input_buffer_flits, connected)
-                    })
-                    .collect();
-                routers.push(Router {
-                    x,
-                    y,
-                    inputs,
-                    outputs,
-                    num_locals,
-                });
-                injection.push((0..num_locals).map(|_| None).collect());
+                assert!(
+                    num_ports < NO_ROUTE as usize,
+                    "router ({x},{y}) has too many ports"
+                );
+                max_ports = max_ports.max(num_ports);
+                coord_x.push(u16::try_from(x).expect("mesh too wide"));
+                coord_y.push(u16::try_from(y).expect("mesh too tall"));
+                locals_v.push(num_locals as u8);
+                port_base.push(u32::try_from(in_buf.len()).expect("port id overflow"));
+                for p in 0..num_ports {
+                    in_buf.push(VecDeque::new());
+                    in_route.push(NO_ROUTE);
+                    let connected = match p {
+                        NORTH => y > 0,
+                        SOUTH => y + 1 < height,
+                        EAST => x + 1 < width,
+                        WEST => x > 0,
+                        _ => true, // local ports always connected
+                    };
+                    out_credits.push(cfg.input_buffer_flits as u32);
+                    out_owner.push(NO_OWNER);
+                    out_rr.push(0);
+                    out_connected.push(connected);
+                    out_link.push(VecDeque::new());
+                }
+                injection.push(vec![None; num_locals]);
                 ejection.push((0..num_locals).map(|_| VecDeque::new()).collect());
             }
         }
@@ -226,7 +299,24 @@ impl<T> Network<T> {
             cfg,
             width,
             height,
-            routers,
+            coord_x,
+            coord_y,
+            locals: locals_v,
+            port_base,
+            in_buf,
+            in_route,
+            out_credits,
+            out_owner,
+            out_rr,
+            out_connected,
+            out_link,
+            buffered_flits: vec![0; n],
+            link_flits: vec![0; n],
+            staging: vec![0; n],
+            delivered_nodes: Vec::new(),
+            delivered_flag: vec![false; n],
+            sent_scratch: vec![false; max_ports],
+            slab: PacketSlab::new(),
             injection,
             ejection,
             cycle: 0,
@@ -236,6 +326,33 @@ impl<T> Network<T> {
             telemetry: None,
             fault: None,
             detour: None,
+        }
+    }
+
+    /// Number of routers in the mesh.
+    fn num_routers(&self) -> usize {
+        self.coord_x.len()
+    }
+
+    /// Number of ports (4 directions + locals) at router `r`.
+    fn num_ports(&self, r: usize) -> usize {
+        LOCAL_BASE + self.locals[r] as usize
+    }
+
+    /// First global port id of router `r`.
+    fn pb(&self, r: usize) -> usize {
+        self.port_base[r] as usize
+    }
+
+    /// Neighbouring router index in mesh direction `dir` (caller
+    /// guarantees the edge exists).
+    fn neighbor(&self, r: usize, dir: usize) -> usize {
+        match dir {
+            NORTH => r - self.width,
+            SOUTH => r + self.width,
+            EAST => r + 1,
+            WEST => r - 1,
+            _ => unreachable!("neighbor() on local port {dir}"),
         }
     }
 
@@ -258,10 +375,8 @@ impl<T> Network<T> {
     /// Returns a description if a dead link names a mesh edge that does
     /// not exist or the dead links disconnect the mesh.
     pub fn attach_faults(&mut self, mut state: NocFaultState) -> Result<(), String> {
-        state.retries = self
-            .routers
-            .iter()
-            .map(|r| vec![0; r.num_ports()])
+        state.retries = (0..self.num_routers())
+            .map(|r| vec![0; self.num_ports(r)])
             .collect();
         self.detour = if state.dead.is_empty() {
             None
@@ -279,7 +394,7 @@ impl<T> Network<T> {
     /// and falling back to the first shortest direction in fixed
     /// N/E/S/W order otherwise — fully deterministic.
     fn build_detour_table(&self, dead: &[DeadLink]) -> Result<Vec<Vec<usize>>, String> {
-        let n = self.routers.len();
+        let n = self.num_routers();
         let mut dead_out = vec![[false; LOCAL_BASE]; n];
         for link in dead {
             if link.x >= self.width || link.y >= self.height {
@@ -290,7 +405,7 @@ impl<T> Network<T> {
             }
             let r = link.y * self.width + link.x;
             let d = link.dir.index();
-            if !self.routers[r].outputs[d].connected {
+            if !self.out_connected[self.pb(r) + d] {
                 return Err(format!(
                     "dead link {link} names a mesh edge that does not exist"
                 ));
@@ -298,7 +413,7 @@ impl<T> Network<T> {
             dead_out[r][d] = true;
         }
         let neighbor = |r: usize, d: usize| -> Option<usize> {
-            let (x, y) = (self.routers[r].x, self.routers[r].y);
+            let (x, y) = (self.coord_x[r] as usize, self.coord_y[r] as usize);
             match d {
                 NORTH if y > 0 => Some(r - self.width),
                 SOUTH if y + 1 < self.height => Some(r + self.width),
@@ -334,13 +449,16 @@ impl<T> Network<T> {
                 if dist[u] == u32::MAX {
                     return Err(format!(
                         "dead links disconnect the mesh: router ({},{}) cannot reach ({},{})",
-                        self.routers[u].x,
-                        self.routers[u].y,
-                        self.routers[dst].x,
-                        self.routers[dst].y
+                        self.coord_x[u], self.coord_y[u], self.coord_x[dst], self.coord_y[dst]
                     ));
                 }
-                let xy = self.routers[u].route_for(self.routers[dst].x, self.routers[dst].y, 0);
+                let xy = xy_route(
+                    self.coord_x[u] as usize,
+                    self.coord_y[u] as usize,
+                    self.coord_x[dst] as usize,
+                    self.coord_y[dst] as usize,
+                    0,
+                );
                 let mut pick = None;
                 for d in [NORTH, EAST, SOUTH, WEST] {
                     if dead_out[u][d] {
@@ -400,7 +518,11 @@ impl<T> Network<T> {
     /// traversal, and accumulates per-link busy cycles plus end-to-end
     /// packet latency / hop-count histograms.
     pub fn attach_probe(&mut self, probe: ModuleProbe) {
-        self.telemetry = Some(NocTelemetry::new(probe, &self.routers));
+        let ports: Vec<usize> = (0..self.num_routers()).map(|r| self.num_ports(r)).collect();
+        let coords: Vec<(usize, usize)> = (0..self.num_routers())
+            .map(|r| (self.coord_x[r] as usize, self.coord_y[r] as usize))
+            .collect();
+        self.telemetry = Some(NocTelemetry::new(probe, &ports, &coords));
     }
 
     /// Attaches one probe per router (row-major order, `y * width + x`) for
@@ -412,15 +534,12 @@ impl<T> Network<T> {
     /// Panics if [`Network::attach_probe`] has not been called first or if
     /// the probe count does not match the router count.
     pub fn attach_router_probes(&mut self, probes: Vec<ModuleProbe>) {
+        let n = self.num_routers();
         let tele = self
             .telemetry
             .as_mut()
             .expect("attach_probe must be called before attach_router_probes");
-        assert_eq!(
-            probes.len(),
-            self.routers.len(),
-            "one probe per router required"
-        );
+        assert_eq!(probes.len(), n, "one probe per router required");
         tele.router_probes = probes;
     }
 
@@ -440,8 +559,9 @@ impl<T> Network<T> {
             return;
         }
         for (r, probe) in tele.router_probes.iter().enumerate() {
+            let base = self.port_base[r] as usize;
             for d in [NORTH, EAST, SOUTH, WEST] {
-                if !self.routers[r].outputs[d].connected {
+                if !self.out_connected[base + d] {
                     continue;
                 }
                 let busy = tele.link_busy[r][d];
@@ -468,15 +588,16 @@ impl<T> Network<T> {
         let Some(tele) = &self.telemetry else {
             return;
         };
-        for (r, router) in self.routers.iter().enumerate() {
+        for r in 0..self.num_routers() {
+            let base = self.pb(r);
             for d in [NORTH, EAST, SOUTH, WEST] {
-                if !router.outputs[d].connected {
+                if !self.out_connected[base + d] {
                     continue;
                 }
                 reg.counter_set(
                     &format!(
                         "noc.link.{}_{}.{}.busy_cycles",
-                        router.x, router.y, DIR_NAMES[d]
+                        self.coord_x[r], self.coord_y[r], DIR_NAMES[d]
                     ),
                     tele.link_busy[r][d],
                 );
@@ -511,15 +632,17 @@ impl<T> Network<T> {
             return Vec::new();
         };
         let mut out = Vec::new();
-        for (r, router) in self.routers.iter().enumerate() {
+        for r in 0..self.num_routers() {
+            let base = self.pb(r);
+            let (x, y) = (self.coord_x[r] as usize, self.coord_y[r] as usize);
             for d in [NORTH, EAST, SOUTH, WEST] {
-                if router.outputs[d].connected {
-                    out.push((router.x, router.y, DIR_NAMES[d], tele.link_busy[r][d]));
+                if self.out_connected[base + d] {
+                    out.push((x, y, DIR_NAMES[d], tele.link_busy[r][d]));
                 }
             }
-            if router.num_locals > 0 {
+            if self.locals[r] > 0 {
                 let local: u64 = tele.link_busy[r][LOCAL_BASE..].iter().sum();
-                out.push((router.x, router.y, "L", local));
+                out.push((x, y, "L", local));
             }
         }
         out
@@ -528,6 +651,21 @@ impl<T> Network<T> {
     /// Flits currently inside the fabric or waiting at ejection buffers.
     pub fn inflight_flits(&self) -> u64 {
         self.inflight_flits
+    }
+
+    /// Invokes `f` once per node (row-major index `y * width + x`) whose
+    /// ejection buffers received flits since the previous drain, then
+    /// clears the event queue. This is the wake-event source for an
+    /// embedding system's idle-module event wheel: a node that reported
+    /// no delivery since it went quiescent provably has nothing to
+    /// eject. Purely observational — draining (or never calling this)
+    /// does not affect the simulation.
+    pub fn drain_delivered(&mut self, mut f: impl FnMut(usize)) {
+        for &r in &self.delivered_nodes {
+            self.delivered_flag[r as usize] = false;
+            f(r as usize);
+        }
+        self.delivered_nodes.clear();
     }
 
     /// Mesh width.
@@ -561,7 +699,7 @@ impl<T> Network<T> {
     ///
     /// Panics if the coordinates are out of range.
     pub fn num_locals(&self, x: usize, y: usize) -> usize {
-        self.routers[self.index(x, y)].num_locals
+        self.locals[self.index(x, y)] as usize
     }
 
     fn index(&self, x: usize, y: usize) -> usize {
@@ -575,7 +713,7 @@ impl<T> Network<T> {
     fn validate(&self, a: Address) -> bool {
         a.x < self.width
             && a.y < self.height
-            && a.port < self.routers[self.index(a.x, a.y)].num_locals
+            && a.port < self.locals[a.y * self.width + a.x] as usize
     }
 
     /// Injects a packet at its `src` address. The packet is serialised one
@@ -610,11 +748,21 @@ impl<T> Network<T> {
         }
         let num_flits = self.cfg.flits_for_bytes(packet.size_bytes);
         self.stats.packets_injected += 1;
+        let (dst_x, dst_y, dst_port) = (
+            packet.dst.x as u16,
+            packet.dst.y as u16,
+            packet.dst.port as u16,
+        );
+        let slot = self.slab.alloc(Arc::new(packet));
         self.injection[node][port] = Some(InjectionState {
-            packet: Arc::new(packet),
+            slot,
             next_seq: 0,
             num_flits,
+            dst_x,
+            dst_y,
+            dst_port,
         });
+        self.staging[node] += 1;
         Ok(())
     }
 
@@ -628,28 +776,38 @@ impl<T> Network<T> {
     /// any. Draining frees ejection-buffer space (credit return), so
     /// modules should call this every cycle they can accept data.
     ///
+    /// The returned [`Flit`] is rebuilt from the packet slab (one `Arc`
+    /// clone); the tail flit's departure recycles the packet's slot.
+    ///
     /// # Panics
     ///
     /// Panics if `at` is not a valid address in this mesh.
     pub fn eject(&mut self, at: Address) -> Option<Flit<T>> {
         assert!(self.validate(at), "invalid address {}", at);
         let node = self.index(at.x, at.y);
-        let flit = self.ejection[node][at.port].pop_front()?;
+        let fr = self.ejection[node][at.port].pop_front()?;
         // Credit return for the freed ejection slot.
-        self.routers[node].outputs[LOCAL_BASE + at.port].credits += 1;
+        let gp = self.pb(node) + LOCAL_BASE + at.port;
+        self.out_credits[gp] += 1;
         self.stats.flits_ejected += 1;
         self.inflight_flits -= 1;
-        if flit.is_tail() {
+        let packet = Arc::clone(self.slab.get(fr.slot));
+        if fr.is_tail() {
+            // The last reference the fabric holds: recycle the slot.
+            self.slab.free(fr.slot);
             self.stats.packets_delivered += 1;
-            self.stats.total_packet_latency += self.cycle - flit.packet.injected_at;
+            self.stats.total_packet_latency += self.cycle - packet.injected_at;
             if let Some(t) = self.telemetry.as_mut() {
-                t.latency
-                    .observe((self.cycle - flit.packet.injected_at) as f64);
-                let hops = t.hops.remove(&flit.packet.id).unwrap_or(0);
+                t.latency.observe((self.cycle - packet.injected_at) as f64);
+                let hops = t.hops.remove(&packet.id).unwrap_or(0);
                 t.hop_hist.observe(hops as f64);
             }
         }
-        Some(flit)
+        Some(Flit {
+            packet,
+            seq: fr.seq,
+            num_flits: fr.num_flits,
+        })
     }
 
     /// Number of flits waiting at a local ejection port.
@@ -665,7 +823,7 @@ impl<T> Network<T> {
     /// Whether the network has no flits in flight, staging, or awaiting
     /// ejection.
     pub fn is_idle(&self) -> bool {
-        self.inflight_flits == 0 && self.injection.iter().flatten().all(Option::is_none)
+        self.inflight_flits == 0 && self.staging.iter().all(|&s| s == 0)
     }
 
     /// Advances the network by one cycle.
@@ -678,36 +836,34 @@ impl<T> Network<T> {
     }
 
     /// Phase 1: flits whose link traversal completes this cycle enter the
-    /// downstream input buffer or the ejection queue.
+    /// downstream input buffer or the ejection queue. Routers with no
+    /// flits on their output links are skipped.
     fn deliver_link_arrivals(&mut self, cycle: u64) {
         let eligible_at = cycle + self.cfg.routing_delay;
-        for r in 0..self.routers.len() {
-            let (x, y) = (self.routers[r].x, self.routers[r].y);
-            for o in 0..self.routers[r].num_ports() {
-                while self.routers[r].outputs[o]
-                    .link
+        for r in 0..self.num_routers() {
+            if self.link_flits[r] == 0 {
+                continue;
+            }
+            let base = self.pb(r);
+            for o in 0..self.num_ports(r) {
+                while self.out_link[base + o]
                     .front()
                     .is_some_and(|f| f.arrive_at <= cycle)
                 {
-                    let InFlightFlit { flit, .. } = self.routers[r].outputs[o]
-                        .link
-                        .pop_front()
-                        .expect("checked front");
+                    let LinkFlit { fr, .. } =
+                        self.out_link[base + o].pop_front().expect("checked front");
+                    self.link_flits[r] -= 1;
                     if o >= LOCAL_BASE {
-                        self.ejection[r][o - LOCAL_BASE].push_back(flit);
+                        self.ejection[r][o - LOCAL_BASE].push_back(fr);
+                        if !self.delivered_flag[r] {
+                            self.delivered_flag[r] = true;
+                            self.delivered_nodes.push(r as u32);
+                        }
                     } else {
-                        let (nx, ny) = match o {
-                            NORTH => (x, y - 1),
-                            SOUTH => (x, y + 1),
-                            EAST => (x + 1, y),
-                            WEST => (x - 1, y),
-                            _ => unreachable!(),
-                        };
-                        let n = self.index(nx, ny);
-                        let in_port = opposite(o);
-                        self.routers[n].inputs[in_port]
-                            .buffer
-                            .push_back(BufferedFlit { flit, eligible_at });
+                        let n = self.neighbor(r, o);
+                        let gp = self.pb(n) + opposite(o);
+                        self.in_buf[gp].push_back(BufFlit { fr, eligible_at });
+                        self.buffered_flits[n] += 1;
                     }
                 }
             }
@@ -715,30 +871,39 @@ impl<T> Network<T> {
     }
 
     /// Phase 2: staging packets trickle into local input buffers, one flit
-    /// per port per cycle.
+    /// per port per cycle. Routers with no staging packet are skipped.
     fn stage_injections(&mut self, cycle: u64) {
         let eligible_at = cycle + self.cfg.routing_delay;
-        for r in 0..self.routers.len() {
-            for port in 0..self.routers[r].num_locals {
+        for r in 0..self.num_routers() {
+            if self.staging[r] == 0 {
+                continue;
+            }
+            let base = self.pb(r);
+            for port in 0..self.locals[r] as usize {
                 let Some(state) = self.injection[r][port].as_mut() else {
                     continue;
                 };
-                let input = &mut self.routers[r].inputs[LOCAL_BASE + port];
-                if input.buffer.len() >= self.cfg.input_buffer_flits {
+                let gp = base + LOCAL_BASE + port;
+                if self.in_buf[gp].len() >= self.cfg.input_buffer_flits {
                     continue;
                 }
-                let flit = Flit {
-                    packet: Arc::clone(&state.packet),
+                let fr = FlitRef {
+                    slot: state.slot,
                     seq: state.next_seq,
                     num_flits: state.num_flits,
+                    dst_x: state.dst_x,
+                    dst_y: state.dst_y,
+                    dst_port: state.dst_port,
                 };
                 state.next_seq += 1;
                 let done = state.next_seq == state.num_flits;
-                input.buffer.push_back(BufferedFlit { flit, eligible_at });
+                self.in_buf[gp].push_back(BufFlit { fr, eligible_at });
+                self.buffered_flits[r] += 1;
                 self.stats.flits_injected += 1;
                 self.inflight_flits += 1;
                 if done {
                     self.injection[r][port] = None;
+                    self.staging[r] -= 1;
                 }
             }
         }
@@ -760,15 +925,14 @@ impl<T> Network<T> {
             return false;
         }
         fs.counters.injected += 1;
+        let gp = self.port_base[r] as usize + i;
         let dropped = fs.injector.draw_below(fs.drop_fraction);
         if dropped {
             fs.counters.dropped += 1;
         } else {
             fs.counters.corrupted += 1;
-            let front = self.routers[r].inputs[i]
-                .buffer
-                .front()
-                .expect("winner has a flit");
+            let front = self.in_buf[gp].front().expect("winner has a flit");
+            let packet = self.slab.get(front.fr.slot);
             if fs.passthrough {
                 // Pass-through: the CRC failure is ignored and the
                 // corrupted flit sails on. Record which payload bit
@@ -777,9 +941,9 @@ impl<T> Network<T> {
                 // silent data corruption, no retry traffic.
                 let bit = fs.injector.draw_range(8 * self.cfg.flit_bytes as u64);
                 fs.poison
-                    .entry(front.flit.packet.id)
+                    .entry(packet.id)
                     .or_default()
-                    .push((front.flit.seq, bit));
+                    .push((front.fr.seq, bit));
                 fs.counters.sdc += 1;
                 if let Some(t) = &self.telemetry {
                     t.probe.instant("noc_fault_sdc");
@@ -791,8 +955,8 @@ impl<T> Network<T> {
             // what justifies treating every injected fault as detected
             // rather than silently delivered.
             let mut header = [0u8; 12];
-            header[..8].copy_from_slice(&front.flit.packet.id.to_le_bytes());
-            header[8..].copy_from_slice(&front.flit.seq.to_le_bytes());
+            header[..8].copy_from_slice(&packet.id.to_le_bytes());
+            header[8..].copy_from_slice(&front.fr.seq.to_le_bytes());
             let bit = fs.injector.draw_range(8 * header.len() as u64) as usize;
             debug_assert!(crc::detects_bit_flip(&header, bit));
             let _ = bit;
@@ -805,17 +969,15 @@ impl<T> Network<T> {
             // draining fabric finally forwards it.
             *attempts -= 1;
             fs.counters.unrecoverable += 1;
-            let router = &self.routers[r];
             fs.failure = Some(format!(
                 "noc link retransmit budget ({}) exhausted at router ({},{}) input {} on cycle {}",
-                fs.retry_budget, router.x, router.y, i, cycle
+                fs.retry_budget, self.coord_x[r], self.coord_y[r], i, cycle
             ));
         } else {
             let shift = u32::min(*attempts - 1, 4);
             let backoff = fs.backoff_cycles << shift;
             fs.counters.retry_cycles += backoff;
-            self.routers[r].inputs[i]
-                .buffer
+            self.in_buf[gp]
                 .front_mut()
                 .expect("winner has a flit")
                 .eligible_at = cycle + backoff;
@@ -831,77 +993,76 @@ impl<T> Network<T> {
     }
 
     /// Phase 3: route computation, switch allocation and link traversal.
+    /// Routers with no buffered flits are skipped — they can produce no
+    /// winner, so skipping changes no state and draws no fault RNG.
     fn switch_allocation(&mut self, cycle: u64) {
-        for r in 0..self.routers.len() {
+        for r in 0..self.num_routers() {
+            if self.buffered_flits[r] == 0 {
+                continue;
+            }
+            let base = self.pb(r);
+            let num_ports = self.num_ports(r);
+            let (rx, ry) = (self.coord_x[r] as usize, self.coord_y[r] as usize);
             // Route computation for head flits at buffer fronts.
-            let (rx, ry) = (self.routers[r].x, self.routers[r].y);
-            for i in 0..self.routers[r].num_ports() {
-                let needs_route = {
-                    let input = &self.routers[r].inputs[i];
-                    input.route.is_none()
-                        && input
-                            .buffer
-                            .front()
-                            .is_some_and(|b| b.flit.is_head() && b.eligible_at <= cycle)
-                };
-                if needs_route {
-                    let dst = self.routers[r].inputs[i]
-                        .buffer
-                        .front()
-                        .expect("checked")
-                        .flit
-                        .dst();
-                    let route = match &self.detour {
-                        // Dead links present: consult the detour table
-                        // for inter-router hops (local delivery is
-                        // unaffected — ejection ports cannot die).
-                        Some(table) if (dst.x, dst.y) != (rx, ry) => {
-                            table[r][dst.y * self.width + dst.x]
-                        }
-                        _ => self.routers[r].route_for(dst.x, dst.y, dst.port),
-                    };
-                    debug_assert!(
-                        route >= LOCAL_BASE || self.routers[r].outputs[route].connected,
-                        "route uses a disconnected port at ({rx},{ry}) -> {dst}"
-                    );
-                    self.routers[r].inputs[i].route = Some(route);
+            for i in 0..num_ports {
+                let gp = base + i;
+                if self.in_route[gp] != NO_ROUTE {
+                    continue;
                 }
+                let Some(front) = self.in_buf[gp].front() else {
+                    continue;
+                };
+                if !front.fr.is_head() || front.eligible_at > cycle {
+                    continue;
+                }
+                let (dx, dy, dp) = (
+                    front.fr.dst_x as usize,
+                    front.fr.dst_y as usize,
+                    front.fr.dst_port as usize,
+                );
+                let route = match &self.detour {
+                    // Dead links present: consult the detour table
+                    // for inter-router hops (local delivery is
+                    // unaffected — ejection ports cannot die).
+                    Some(table) if (dx, dy) != (rx, ry) => table[r][dy * self.width + dx],
+                    _ => xy_route(rx, ry, dx, dy, dp),
+                };
+                debug_assert!(
+                    route >= LOCAL_BASE || self.out_connected[base + route],
+                    "route uses a disconnected port at ({rx},{ry}) -> ({dx},{dy}).{dp}"
+                );
+                self.in_route[gp] = route as u8;
             }
             // Per-output arbitration: one flit per output and per input.
-            let num_ports = self.routers[r].num_ports();
-            let mut input_sent = vec![false; num_ports];
             for o in 0..num_ports {
-                let winner = {
-                    let router = &self.routers[r];
-                    let out = &router.outputs[o];
-                    if out.credits == 0 {
-                        None
-                    } else if let Some(owner) = out.owner {
-                        let input = &router.inputs[owner];
-                        let sendable = !input_sent[owner]
-                            && input.route == Some(o)
-                            && input.buffer.front().is_some_and(|b| b.eligible_at <= cycle);
-                        sendable.then_some(owner)
-                    } else {
-                        // Round-robin over head flits requesting this output.
-                        let mut found = None;
-                        for k in 0..num_ports {
-                            let i = (out.rr_next + k) % num_ports;
-                            let input = &router.inputs[i];
-                            if input_sent[i] || input.route != Some(o) {
-                                continue;
-                            }
-                            let head_ready = input
-                                .buffer
-                                .front()
-                                .is_some_and(|b| b.flit.is_head() && b.eligible_at <= cycle);
-                            if head_ready {
-                                found = Some(i);
-                                break;
-                            }
+                let gpo = base + o;
+                let winner = if self.out_credits[gpo] == 0 {
+                    None
+                } else if self.out_owner[gpo] != NO_OWNER {
+                    let owner = self.out_owner[gpo] as usize;
+                    let sendable = !self.sent_scratch[owner]
+                        && self.in_route[base + owner] == o as u8
+                        && self.in_buf[base + owner]
+                            .front()
+                            .is_some_and(|b| b.eligible_at <= cycle);
+                    sendable.then_some(owner)
+                } else {
+                    // Round-robin over head flits requesting this output.
+                    let mut found = None;
+                    for k in 0..num_ports {
+                        let i = (self.out_rr[gpo] as usize + k) % num_ports;
+                        if self.sent_scratch[i] || self.in_route[base + i] != o as u8 {
+                            continue;
                         }
-                        found
+                        let head_ready = self.in_buf[base + i]
+                            .front()
+                            .is_some_and(|b| b.fr.is_head() && b.eligible_at <= cycle);
+                        if head_ready {
+                            found = Some(i);
+                            break;
+                        }
                     }
+                    found
                 };
                 let Some(i) = winner else { continue };
                 // Seeded link fault: the traversal is corrupted or the
@@ -919,46 +1080,37 @@ impl<T> Network<T> {
                     let pending = std::mem::take(&mut fs.retries[r][i]);
                     fs.counters.retried += u64::from(pending);
                 }
-                input_sent[i] = true;
-                let BufferedFlit { flit, .. } = self.routers[r].inputs[i]
-                    .buffer
+                self.sent_scratch[i] = true;
+                let BufFlit { fr, .. } = self.in_buf[base + i]
                     .pop_front()
                     .expect("winner has a flit");
-                let is_tail = flit.is_tail();
-                let is_head = flit.is_head();
-                {
-                    let out = &mut self.routers[r].outputs[o];
-                    if is_head {
-                        out.owner = Some(i);
-                        out.rr_next = (i + 1) % num_ports;
-                    }
-                    if is_tail {
-                        out.owner = None;
-                        self.routers[r].inputs[i].route = None;
-                    }
+                self.buffered_flits[r] -= 1;
+                let is_tail = fr.is_tail();
+                let is_head = fr.is_head();
+                if is_head {
+                    self.out_owner[gpo] = i as u8;
+                    self.out_rr[gpo] = ((i + 1) % num_ports) as u8;
+                }
+                if is_tail {
+                    self.out_owner[gpo] = NO_OWNER;
+                    self.in_route[base + i] = NO_ROUTE;
                 }
                 // Credit return upstream for the freed input slot.
                 if i < LOCAL_BASE {
-                    let (ux, uy) = match i {
-                        NORTH => (rx, ry - 1),
-                        SOUTH => (rx, ry + 1),
-                        EAST => (rx + 1, ry),
-                        WEST => (rx - 1, ry),
-                        _ => unreachable!(),
-                    };
-                    let u = self.index(ux, uy);
-                    self.routers[u].outputs[opposite(i)].credits += 1;
+                    let u = self.neighbor(r, i);
+                    let gpu = self.pb(u) + opposite(i);
+                    self.out_credits[gpu] += 1;
                 }
-                let out = &mut self.routers[r].outputs[o];
-                out.credits -= 1;
-                let packet_id = flit.packet.id;
-                out.link.push_back(InFlightFlit {
-                    flit,
+                self.out_credits[gpo] -= 1;
+                self.out_link[gpo].push_back(LinkFlit {
+                    fr,
                     arrive_at: cycle + self.cfg.link_delay,
                 });
+                self.link_flits[r] += 1;
                 self.stats.flit_hops += 1;
                 self.stats.link_busy_cycles += 1;
                 if let Some(t) = self.telemetry.as_mut() {
+                    let packet_id = self.slab.get(fr.slot).id;
                     t.link_busy[r][o] += 1;
                     if is_head && o < LOCAL_BASE {
                         // Route tracing: one interned instant per head-flit
@@ -970,6 +1122,8 @@ impl<T> Network<T> {
                     }
                 }
             }
+            // Reset the persistent scratch for the next router.
+            self.sent_scratch[..num_ports].fill(false);
         }
     }
 }
@@ -1174,6 +1328,28 @@ mod tests {
     }
 
     #[test]
+    fn slab_slots_recycle_after_delivery() {
+        // Steady-state churn must not grow the packet slab: every
+        // delivered tail recycles its slot.
+        let mut n = net(2, 1);
+        let src = Address::new(0, 0, 0);
+        let dst = Address::new(1, 0, 0);
+        for round in 0..16u32 {
+            n.try_inject(Packet::new(src, dst, 64 * 3, round)).unwrap();
+            let flits = run_until_delivery(&mut n, dst, 64);
+            assert_eq!(flits.len(), 3);
+            assert_eq!(flits[0].packet.payload, round);
+        }
+        assert!(n.is_idle());
+        assert_eq!(n.slab.live(), 0, "delivered packets must free their slots");
+        assert_eq!(
+            n.slab.capacity(),
+            1,
+            "serial traffic should reuse one slot, not grow the slab"
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "invalid dst")]
     fn inject_validates_destination() {
         let mut n = net(2, 1);
@@ -1276,6 +1452,34 @@ mod tests {
         );
         // Detached network exposes nothing.
         assert!(net(2, 2).link_flit_forwards().is_empty());
+    }
+
+    #[test]
+    fn delivery_events_fire_once_per_node_per_drain() {
+        let mut n = net(2, 1);
+        let dst = Address::new(1, 0, 0);
+        // No traffic: no events.
+        let mut hits = Vec::new();
+        n.drain_delivered(|r| hits.push(r));
+        assert!(hits.is_empty());
+        // A 3-flit packet: the destination node fires exactly once per
+        // drain even when several flits land between drains.
+        n.try_inject(Packet::new(Address::new(0, 0, 0), dst, 64 * 3, 1))
+            .unwrap();
+        let mut fired = 0;
+        for _ in 0..32 {
+            n.step();
+            n.drain_delivered(|r| {
+                assert_eq!(r, 1, "row-major node index of (1,0)");
+                fired += 1;
+            });
+            while n.eject(dst).is_some() {}
+        }
+        assert!(n.is_idle());
+        // 3 flits arrive on 3 consecutive cycles → 3 single-node drains.
+        assert_eq!(fired, 3);
+        // Drained queue stays empty afterwards.
+        n.drain_delivered(|_| panic!("no further deliveries"));
     }
 
     #[test]

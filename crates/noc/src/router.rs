@@ -1,11 +1,10 @@
-//! Router data structures: input-queued wormhole router state.
+//! Router constants and routing helpers.
 //!
-//! The behavioural logic (arbitration, traversal, credits) lives in
-//! [`crate::Network::step`]; this module holds the per-router state it
-//! operates on.
-
-use crate::Flit;
-use std::collections::VecDeque;
+//! The router *state* lives in [`crate::Network`] as struct-of-arrays
+//! (dense per-port credit/owner/route vectors shared across the whole
+//! mesh) so the per-cycle sweep walks contiguous memory; this module
+//! holds the port-numbering convention and the XY route function the
+//! sweep calls.
 
 /// Direction port indices (locals follow at `LOCAL_BASE..`).
 pub(crate) const NORTH: usize = 0;
@@ -29,113 +28,26 @@ pub(crate) fn opposite(dir: usize) -> usize {
     }
 }
 
-/// A flit waiting in an input buffer, eligible for switch allocation at
-/// `eligible_at` (arrival cycle + routing delay).
-#[derive(Debug)]
-pub(crate) struct BufferedFlit<T> {
-    pub flit: Flit<T>,
-    pub eligible_at: u64,
-}
-
-/// A flit in flight on a link, arriving downstream at `arrive_at`.
-#[derive(Debug)]
-pub(crate) struct InFlightFlit<T> {
-    pub flit: Flit<T>,
-    pub arrive_at: u64,
-}
-
-/// One input port: a bounded flit FIFO plus the wormhole route of the
-/// packet currently traversing it.
-#[derive(Debug)]
-pub(crate) struct InputPort<T> {
-    pub buffer: VecDeque<BufferedFlit<T>>,
-    /// Output port held by the in-progress packet (set when the head flit
-    /// reaches the buffer front, cleared when the tail is sent).
-    pub route: Option<usize>,
-}
-
-impl<T> InputPort<T> {
-    pub fn new() -> Self {
-        InputPort {
-            buffer: VecDeque::new(),
-            route: None,
-        }
-    }
-}
-
-/// One output port: downstream credits, the wormhole channel owner, a
-/// round-robin arbitration pointer, and the link register.
-#[derive(Debug)]
-pub(crate) struct OutputPort<T> {
-    /// Free buffer slots at the downstream input (or ejection queue).
-    pub credits: usize,
-    /// Input port currently holding this output (wormhole), if any.
-    pub owner: Option<usize>,
-    /// Round-robin pointer for head-flit arbitration.
-    pub rr_next: usize,
-    /// Flits in flight on the link.
-    pub link: VecDeque<InFlightFlit<T>>,
-    /// Whether this output is wired (direction ports on mesh edges are
-    /// not).
-    pub connected: bool,
-}
-
-impl<T> OutputPort<T> {
-    pub fn new(credits: usize, connected: bool) -> Self {
-        OutputPort {
-            credits,
-            owner: None,
-            rr_next: 0,
-            link: VecDeque::new(),
-            connected,
-        }
-    }
-}
-
-/// One mesh router: 4 direction ports plus `num_locals` local ports.
-#[derive(Debug)]
-pub(crate) struct Router<T> {
-    pub x: usize,
-    pub y: usize,
-    pub inputs: Vec<InputPort<T>>,
-    pub outputs: Vec<OutputPort<T>>,
-    pub num_locals: usize,
-}
-
-impl<T> Router<T> {
-    pub fn num_ports(&self) -> usize {
-        LOCAL_BASE + self.num_locals
-    }
-
-    /// XY dimension-order route for a destination.
-    pub fn route_for(&self, dst_x: usize, dst_y: usize, dst_port: usize) -> usize {
-        if dst_x > self.x {
-            EAST
-        } else if dst_x < self.x {
-            WEST
-        } else if dst_y > self.y {
-            SOUTH
-        } else if dst_y < self.y {
-            NORTH
-        } else {
-            LOCAL_BASE + dst_port
-        }
+/// XY dimension-order route from router `(x, y)` towards
+/// `(dst_x, dst_y)` local port `dst_port`: correct X first, then Y,
+/// then deliver locally.
+pub(crate) fn xy_route(x: usize, y: usize, dst_x: usize, dst_y: usize, dst_port: usize) -> usize {
+    if dst_x > x {
+        EAST
+    } else if dst_x < x {
+        WEST
+    } else if dst_y > y {
+        SOUTH
+    } else if dst_y < y {
+        NORTH
+    } else {
+        LOCAL_BASE + dst_port
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn router(x: usize, y: usize) -> Router<()> {
-        Router {
-            x,
-            y,
-            inputs: (0..6).map(|_| InputPort::new()).collect(),
-            outputs: (0..6).map(|_| OutputPort::new(4, true)).collect(),
-            num_locals: 2,
-        }
-    }
 
     #[test]
     fn opposite_pairs() {
@@ -152,16 +64,10 @@ mod tests {
 
     #[test]
     fn xy_routing_x_first() {
-        let r = router(1, 1);
-        assert_eq!(r.route_for(2, 0, 0), EAST); // x before y
-        assert_eq!(r.route_for(0, 2, 0), WEST);
-        assert_eq!(r.route_for(1, 2, 0), SOUTH);
-        assert_eq!(r.route_for(1, 0, 0), NORTH);
-        assert_eq!(r.route_for(1, 1, 1), LOCAL_BASE + 1);
-    }
-
-    #[test]
-    fn port_count() {
-        assert_eq!(router(0, 0).num_ports(), 6);
+        assert_eq!(xy_route(1, 1, 2, 0, 0), EAST); // x before y
+        assert_eq!(xy_route(1, 1, 0, 2, 0), WEST);
+        assert_eq!(xy_route(1, 1, 1, 2, 0), SOUTH);
+        assert_eq!(xy_route(1, 1, 1, 0, 0), NORTH);
+        assert_eq!(xy_route(1, 1, 1, 1, 1), LOCAL_BASE + 1);
     }
 }

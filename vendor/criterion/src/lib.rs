@@ -1,20 +1,35 @@
 //! Offline, std-only shim of the `criterion` API surface this workspace uses.
 //!
 //! Provides `Criterion`, `Bencher`, `criterion_group!`, and `criterion_main!`
-//! so `cargo bench` compiles and produces simple wall-clock timings (median of
-//! `sample_size` samples, each auto-scaled to ≥ ~5 ms). No statistical
-//! analysis, HTML reports, or regression detection — swap back to the real
-//! crate when registry access is restored.
+//! so `cargo bench` compiles and produces simple wall-clock timings. Each
+//! benchmark runs in three phases:
+//!
+//! 1. **calibration** — the iteration count doubles until one sample takes
+//!    at least ~5 ms (or a cap is hit), so short benchmarks aren't pure
+//!    timer noise;
+//! 2. **warm-up** — the workload runs untimed for [`Criterion::warm_up_time`]
+//!    (default 500 ms) so caches, branch predictors, and the allocator reach
+//!    steady state before anything is recorded;
+//! 3. **measurement** — `sample_size` timed samples; the median is reported
+//!    together with the min→max spread so noisy runs are visible at a glance.
+//!
+//! No statistical analysis, HTML reports, or regression detection — see
+//! `vendor/README.md` for the caveats, and swap back to the real crate when
+//! registry access is restored.
 
 use std::time::{Duration, Instant};
 
 pub struct Criterion {
     sample_size: usize,
+    warm_up_time: Duration,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 10 }
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(500),
+        }
     }
 }
 
@@ -22,6 +37,13 @@ impl Criterion {
     pub fn sample_size(mut self, n: usize) -> Self {
         assert!(n >= 2, "sample_size must be >= 2");
         self.sample_size = n;
+        self
+    }
+
+    /// How long to run the workload untimed before sampling begins.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        assert!(d > Duration::ZERO, "warm_up_time must be positive");
+        self.warm_up_time = d;
         self
     }
 
@@ -34,9 +56,8 @@ impl Criterion {
             elapsed: Duration::ZERO,
         };
 
-        // Warm-up / calibration: grow iteration count until one sample takes
-        // at least ~5 ms (or we hit a cap), so short benchmarks aren't pure
-        // timer noise.
+        // Phase 1: calibration — grow the iteration count until one sample
+        // takes at least ~5 ms (or we hit a cap).
         loop {
             b.elapsed = Duration::ZERO;
             f(&mut b);
@@ -46,6 +67,15 @@ impl Criterion {
             b.iters = (b.iters * 2).min(1 << 20);
         }
 
+        // Phase 2: warm-up — run untimed until the budget is spent, so the
+        // first measured sample isn't paying cold-cache/JIT-page costs.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up_time {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+        }
+
+        // Phase 3: measurement.
         let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
         for _ in 0..self.sample_size {
             b.elapsed = Duration::ZERO;
@@ -55,9 +85,17 @@ impl Criterion {
         samples.sort_unstable();
         let median = samples[samples.len() / 2];
         let per_iter = median.as_nanos() as f64 / b.iters as f64;
+        // Min→max spread as a fraction of the median: a cheap noise
+        // indicator (large spread ⇒ don't trust small deltas).
+        let spread_pct = if median.as_nanos() > 0 {
+            (samples[samples.len() - 1] - samples[0]).as_nanos() as f64 * 100.0
+                / median.as_nanos() as f64
+        } else {
+            0.0
+        };
         println!(
-            "{name:<40} {:>12.1} ns/iter (median of {} samples x {} iters)",
-            per_iter, self.sample_size, b.iters
+            "{name:<40} {:>12.1} ns/iter (median of {} samples x {} iters, spread {:.1}%)",
+            per_iter, self.sample_size, b.iters, spread_pct
         );
         self
     }
@@ -105,4 +143,30 @@ macro_rules! criterion_main {
             $($group();)+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_all_three_phases() {
+        let mut calls = std::rc::Rc::new(std::cell::Cell::new(0u32));
+        let counter = std::rc::Rc::clone(&calls);
+        Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .bench_function("phase-smoke", move |b| {
+                counter.set(counter.get() + 1);
+                b.iter(|| black_box(1u64 + 1));
+            });
+        // At least one calibration call, one warm-up call, and the three
+        // measurement samples.
+        assert!(std::rc::Rc::get_mut(&mut calls).is_some());
+        assert!(
+            calls.get() >= 5,
+            "expected >=5 phase calls, got {}",
+            calls.get()
+        );
+    }
 }

@@ -9,8 +9,15 @@
 //!
 //! Differences from the real crate (acceptable for these tests, recorded in
 //! ROADMAP.md):
-//! - **no shrinking** — a failing case panics with the generated inputs via
-//!   the normal assert message rather than a minimized counterexample;
+//! - **value-level shrinking only** — when a case fails and every generated
+//!   value implements [`shrink::Shrink`] (integers, bools, vectors and tuples
+//!   of those), the runner greedily halves/binary-searches toward a minimal
+//!   failing input and prints it before re-raising the panic. Unlike real
+//!   proptest there is no value tree: shrinking mutates raw values, so a
+//!   minimized case can violate cross-parameter invariants the *strategy*
+//!   upheld (e.g. "all edge endpoints < n") — treat it as a debugging hint,
+//!   not a guaranteed in-domain counterexample. Values outside the `Shrink`
+//!   impls (custom structs, floats) fail exactly as before, unshrunk;
 //! - deterministic per-test RNG streams (no `proptest-regressions` replay);
 //! - default case count is 64 rather than 256 to keep CI fast.
 
@@ -315,6 +322,211 @@ pub mod test_runner {
     }
 }
 
+pub mod shrink {
+    //! Minimal value-level shrinking: halving/binary search toward a small
+    //! failing input. See the crate docs for the in-domain caveat.
+    use std::fmt::Debug;
+
+    /// Types the runner knows how to simplify. `Debug` is a supertrait so
+    /// the minimized counterexample can always be printed.
+    pub trait Shrink: Sized + Clone + Debug {
+        /// Candidate simpler values, largest simplification first. An empty
+        /// list means the value is already minimal.
+        fn shrink_candidates(&self) -> Vec<Self>;
+    }
+
+    macro_rules! impl_shrink_int {
+        ($($t:ty),*) => {$(
+            impl Shrink for $t {
+                /// Halving toward zero: `0, v/2, 3v/4, …, v-1`. Driven
+                /// greedily by [`minimize`] this is a binary search for the
+                /// smallest failing magnitude.
+                fn shrink_candidates(&self) -> Vec<Self> {
+                    let v = *self;
+                    if v == 0 {
+                        return Vec::new();
+                    }
+                    let mut out = vec![0];
+                    let mut d = v / 2;
+                    while d != 0 {
+                        let c = v - d;
+                        if c != 0 {
+                            out.push(c);
+                        }
+                        d /= 2;
+                    }
+                    out
+                }
+            }
+        )*};
+    }
+    impl_shrink_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Shrink for bool {
+        fn shrink_candidates(&self) -> Vec<Self> {
+            if *self {
+                vec![false]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+
+    // Floats participate in containers/tuples but are not themselves
+    // simplified (no robust total order over NaN/infinities to search).
+    macro_rules! impl_shrink_terminal {
+        ($($t:ty),*) => {$(
+            impl Shrink for $t {
+                fn shrink_candidates(&self) -> Vec<Self> {
+                    Vec::new()
+                }
+            }
+        )*};
+    }
+    impl_shrink_terminal!(f32, f64, char, ());
+
+    impl<T: Shrink> Shrink for Vec<T> {
+        /// Structural halving first (drop the whole vector, then
+        /// contiguous chunks of len/2, len/4, …, 1), then element-wise
+        /// shrinking with the other elements held fixed.
+        fn shrink_candidates(&self) -> Vec<Self> {
+            let n = self.len();
+            if n == 0 {
+                return Vec::new();
+            }
+            let mut out = vec![Vec::new()];
+            let mut chunk = n / 2;
+            while chunk > 0 {
+                let mut start = 0;
+                while start < n {
+                    let end = (start + chunk).min(n);
+                    let mut c = Vec::with_capacity(n - (end - start));
+                    c.extend_from_slice(&self[..start]);
+                    c.extend_from_slice(&self[end..]);
+                    if !c.is_empty() {
+                        out.push(c);
+                    }
+                    start += chunk;
+                }
+                chunk /= 2;
+            }
+            for i in 0..n {
+                for cand in self[i].shrink_candidates() {
+                    let mut c = self.clone();
+                    c[i] = cand;
+                    out.push(c);
+                }
+            }
+            out
+        }
+    }
+
+    /// Tuples shrink one component at a time, the rest held fixed.
+    macro_rules! impl_shrink_tuple {
+        ($(($($name:ident . $idx:tt),+))*) => {$(
+            impl<$($name: Shrink),+> Shrink for ($($name,)+) {
+                fn shrink_candidates(&self) -> Vec<Self> {
+                    let mut out = Vec::new();
+                    $(
+                        for cand in self.$idx.shrink_candidates() {
+                            let mut c = self.clone();
+                            c.$idx = cand;
+                            out.push(c);
+                        }
+                    )+
+                    out
+                }
+            }
+        )*};
+    }
+    impl_shrink_tuple! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    }
+
+    /// Greedy first-improvement descent: repeatedly move to the first
+    /// candidate that still fails, until no candidate fails or the probe
+    /// budget runs out. Returns the minimized value and the number of
+    /// accepted shrink steps.
+    pub fn minimize<T: Shrink>(start: T, still_fails: &mut dyn FnMut(&T) -> bool) -> (T, u32) {
+        let mut cur = start;
+        let mut steps = 0u32;
+        let mut budget = 1_000u32;
+        'outer: loop {
+            for cand in cur.shrink_candidates() {
+                if budget == 0 {
+                    break 'outer;
+                }
+                budget -= 1;
+                if still_fails(&cand) {
+                    cur = cand;
+                    steps += 1;
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        (cur, steps)
+    }
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    //! Runner plumbing for the `proptest!` macro. Autoref specialization
+    //! picks [`RunShrink`] when the tuple of generated values implements
+    //! [`Shrink`](crate::shrink::Shrink) and falls back to [`RunPlain`]
+    //! (the old direct-panic behaviour) otherwise.
+    use crate::shrink::{minimize, Shrink};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    pub struct Tag<T>(core::marker::PhantomData<T>);
+
+    /// Pins the tag's type parameter to the generated-values tuple so
+    /// method probing sees a concrete `T`.
+    pub fn tag_of<T>(_: &T) -> Tag<T> {
+        Tag(core::marker::PhantomData)
+    }
+
+    pub trait RunShrink<T> {
+        fn run_case<F: Fn(T)>(&self, case: u32, value: T, body: F);
+    }
+
+    impl<T: Shrink> RunShrink<T> for Tag<T> {
+        fn run_case<F: Fn(T)>(&self, case: u32, value: T, body: F) {
+            if catch_unwind(AssertUnwindSafe(|| body(value.clone()))).is_ok() {
+                return;
+            }
+            let mut still_fails =
+                |v: &T| catch_unwind(AssertUnwindSafe(|| body(v.clone()))).is_err();
+            let (min, steps) = minimize(value, &mut still_fails);
+            eprintln!(
+                "proptest shim: case #{case} failed; \
+                 minimized in {steps} shrink steps to: {min:?}"
+            );
+            // Re-run the minimized case uncaught so the harness reports
+            // the real assertion message.
+            body(min);
+            unreachable!("minimized case no longer fails; property is flaky");
+        }
+    }
+
+    pub trait RunPlain<T> {
+        fn run_case<F: Fn(T)>(&self, case: u32, value: T, body: F);
+    }
+
+    impl<T> RunPlain<T> for &Tag<T> {
+        fn run_case<F: Fn(T)>(&self, _case: u32, value: T, body: F) {
+            body(value);
+        }
+    }
+}
+
 pub mod prelude {
     pub use crate::arbitrary::{any, Arbitrary};
     pub use crate::strategy::{BoxedStrategy, Just, Strategy};
@@ -353,13 +565,21 @@ macro_rules! __proptest_items {
             let __pt_runner = $crate::test_runner::TestRunner::new($cfg);
             for __pt_case in 0..__pt_runner.cases() {
                 let mut __pt_rng = __pt_runner.rng_for(__pt_case);
-                $(
-                    let $parm = $crate::strategy::Strategy::generate(
-                        &($strat),
-                        &mut __pt_rng,
-                    );
-                )+
-                $body
+                let __pt_vals = ($(
+                    $crate::strategy::Strategy::generate(&($strat), &mut __pt_rng),
+                )+);
+                // Autoref specialization: one `&` reaches the shrinking
+                // runner when the value tuple implements `Shrink`, two
+                // reach the plain runner otherwise.
+                let __pt_tag = $crate::__rt::tag_of(&__pt_vals);
+                {
+                    #[allow(unused_imports)]
+                    use $crate::__rt::{RunPlain, RunShrink};
+                    (&__pt_tag).run_case(__pt_case, __pt_vals, |__pt_vals| {
+                        let ($($parm,)+) = __pt_vals;
+                        $body
+                    });
+                }
             }
         }
         $crate::__proptest_items! { @cfg($cfg) $($rest)* }
@@ -435,5 +655,86 @@ mod tests {
         let s = (0u64..1000).generate(&mut r.rng_for(0));
         let s2 = (0u64..1000).generate(&mut r.rng_for(0));
         assert_eq!(s, s2);
+    }
+
+    mod shrink {
+        use crate::shrink::{minimize, Shrink};
+
+        #[test]
+        fn int_minimize_finds_exact_boundary() {
+            // "Fails iff >= 37": binary search from 1000 must land on 37.
+            let (min, steps) = minimize(1000u32, &mut |&v| v >= 37);
+            assert_eq!(min, 37);
+            assert!(steps > 0);
+        }
+
+        #[test]
+        fn signed_minimize_moves_toward_zero() {
+            let (min, _) = minimize(-900i32, &mut |&v| v <= -250);
+            assert_eq!(min, -250);
+        }
+
+        #[test]
+        fn already_minimal_values_have_no_candidates() {
+            assert!(0u64.shrink_candidates().is_empty());
+            assert!(false.shrink_candidates().is_empty());
+            assert!(Vec::<u8>::new().shrink_candidates().is_empty());
+            let (min, steps) = minimize(0u8, &mut |_| true);
+            assert_eq!((min, steps), (0, 0));
+        }
+
+        #[test]
+        fn vec_minimize_isolates_offending_element() {
+            // "Fails iff some element >= 50": structural halving should
+            // strip the passing elements, element-wise shrinking should
+            // then pull the survivor down to exactly 50.
+            let start = vec![3u32, 17, 200, 8, 4, 9, 1, 12];
+            let (min, _) = minimize(start, &mut |v| v.iter().any(|&x| x >= 50));
+            assert_eq!(min, vec![50]);
+        }
+
+        #[test]
+        fn vec_minimize_preserves_required_length() {
+            // "Fails iff len >= 3": element values don't matter, so the
+            // minimum is any 3-element vector of zeros.
+            let start = vec![9u8, 9, 9, 9, 9, 9, 9];
+            let (min, _) = minimize(start, &mut |v| v.len() >= 3);
+            assert_eq!(min, vec![0, 0, 0]);
+        }
+
+        #[test]
+        fn tuple_minimize_shrinks_components_independently() {
+            let (min, _) = minimize((640u32, vec![80u8, 2, 3]), &mut |(a, v)| {
+                *a >= 10 && v.iter().any(|&x| x >= 5)
+            });
+            assert_eq!(min, (10, vec![5]));
+        }
+
+        #[test]
+        fn minimize_result_still_fails_under_budget_exhaustion() {
+            // A deliberately slow-to-converge predicate: every probe
+            // counts against the budget; the result must still fail.
+            let mut probes = 0u32;
+            let (min, _) = minimize(u64::MAX, &mut |&v| {
+                probes += 1;
+                v >= 3
+            });
+            assert!(min >= 3);
+        }
+    }
+
+    /// End-to-end: a failing property over shrinkable values panics (the
+    /// harness sees the real assert) after the runner minimizes it.
+    #[test]
+    #[should_panic(expected = "assertion failed")]
+    fn failing_property_is_shrunk_then_reraised() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            #[allow(dead_code)]
+            fn inner(x in 0u32..1_000_000) {
+                prop_assert!(x < 5);
+            }
+        }
+        inner();
     }
 }
