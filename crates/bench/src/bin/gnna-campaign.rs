@@ -10,9 +10,10 @@
 //! $ gnna-report --campaign campaign.jsonl
 //! ```
 
-use gnna_bench::campaign::{self, CampaignSpec, Mode};
+use gnna_bench::campaign::{self, CampaignSpec, Mode, RateUnit};
 use gnna_bench::Scale;
 use gnna_core::config::AcceleratorConfig;
+use gnna_faults::{CrcDomain, EccDomain};
 use gnna_models::ModelKind;
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -30,9 +31,21 @@ usage: gnna-campaign [options]
                                  (default gcn:cora)
   --rates R[,R...]               fault rates to sweep
                                  (default 0,0.0001,0.001,0.01)
+  --rate-unit event|fit          unit of --rates: per-event probability
+                                 (default) or physical FIT / upsets per
+                                 Gbit-hour, converted per-event at the
+                                 2.4 GHz master clock
+  --acceleration F               multiply physically calibrated rates by
+                                 F to observe faults in bounded sim time
+                                 (default 1; --rate-unit fit only)
   --seeds S[,S...]               fault-plan seeds (default 1,2)
-  --modes M[,M...]               protected|passthrough|degraded
-                                 (default all three)
+  --modes M[,M...]               protected|passthrough|degraded|rollback
+                                 (default the first three; rollback is
+                                 opt-in)
+  --domains E:C[,E:C...]         selective protection domains to sweep
+                                 as ECC:CRC pairs, ECC in
+                                 both|weights|acts and CRC in
+                                 all|data|ctrl (default both:all)
   --config cpu-iso-bw|gpu-iso-bw|gpu-iso-flops
                                  Table VI configuration (default gpu-iso-bw)
   --smoke                        scaled-down datasets for a fast sweep
@@ -106,12 +119,41 @@ fn parse_args() -> Result<Args, String> {
                 let mut rates = Vec::new();
                 for r in value("--rates")?.split(',') {
                     let r: f64 = r.parse().map_err(|e| format!("bad rate {r}: {e}"))?;
-                    if !(0.0..=1.0).contains(&r) {
-                        return Err(format!("rate {r} outside [0, 1]"));
+                    if !r.is_finite() || r < 0.0 {
+                        return Err(format!("rate {r} must be finite and non-negative"));
                     }
                     rates.push(r);
                 }
                 spec.rates = rates;
+            }
+            "--rate-unit" => {
+                let s = value("--rate-unit")?.to_ascii_lowercase();
+                spec.rate_unit = RateUnit::parse(&s)
+                    .ok_or_else(|| format!("unknown rate unit {s} (event|fit)"))?;
+            }
+            "--acceleration" => {
+                let f: f64 = value("--acceleration")?
+                    .parse()
+                    .map_err(|e| format!("bad acceleration: {e}"))?;
+                if !f.is_finite() || f <= 0.0 {
+                    return Err("--acceleration must be finite and positive".into());
+                }
+                spec.acceleration = f;
+            }
+            "--domains" => {
+                let mut domains = Vec::new();
+                for item in value("--domains")?.to_ascii_lowercase().split(',') {
+                    let (e, c) = item.split_once(':').unwrap_or((item, "all"));
+                    let ecc = EccDomain::parse(e)
+                        .ok_or_else(|| format!("unknown ECC domain {e} (both|weights|acts)"))?;
+                    let crc = CrcDomain::parse(c)
+                        .ok_or_else(|| format!("unknown CRC domain {c} (all|data|ctrl)"))?;
+                    domains.push((ecc, crc));
+                }
+                if domains.is_empty() {
+                    return Err("--domains needs at least one pair".into());
+                }
+                spec.domains = domains;
             }
             "--seeds" => {
                 let mut seeds = Vec::new();
@@ -124,7 +166,7 @@ fn parse_args() -> Result<Args, String> {
                 let mut modes = Vec::new();
                 for m in value("--modes")?.to_ascii_lowercase().split(',') {
                     modes.push(Mode::parse(m).ok_or_else(|| {
-                        format!("unknown mode {m} (protected|passthrough|degraded)")
+                        format!("unknown mode {m} (protected|passthrough|degraded|rollback)")
                     })?);
                 }
                 spec.modes = modes;
@@ -163,6 +205,13 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown option {other}")),
+        }
+    }
+    // Per-event probabilities live in [0, 1]; physical FIT / upset
+    // rates are unbounded, so the check waits until the unit is known.
+    if spec.rate_unit == RateUnit::PerEvent {
+        if let Some(r) = spec.rates.iter().find(|r| !(0.0..=1.0).contains(*r)) {
+            return Err(format!("rate {r} outside [0, 1] (use --rate-unit fit for physical rates)"));
         }
     }
     Ok(Args {

@@ -13,7 +13,7 @@
 use gnna_bench::{build_case, simulate, simulate_traced_opts, Scale, TraceOptions};
 use gnna_core::config::AcceleratorConfig;
 use gnna_core::energy::EnergyModel;
-use gnna_faults::FaultPlan;
+use gnna_faults::{CrcDomain, EccDomain, FaultPlan, PhysicalRates, RecoveryMode};
 use gnna_models::ModelKind;
 use gnna_telemetry::{Metric, MetricsRegistry, TraceLevel};
 use std::process::ExitCode;
@@ -34,6 +34,14 @@ struct Args {
     flight_capacity: Option<usize>,
     fault_seed: Option<u64>,
     fault_rate: Option<f64>,
+    fault_fit: Option<f64>,
+    fault_acceleration: f64,
+    fault_recovery: Option<RecoveryMode>,
+    ecc_domain: Option<EccDomain>,
+    crc_domain: Option<CrcDomain>,
+    checkpoint_interval: Option<u64>,
+    rollback_budget: Option<u64>,
+    mem_retry_budget: Option<u32>,
     stall_window: Option<u64>,
     profile_out: Option<String>,
     profile_json: Option<String>,
@@ -68,6 +76,32 @@ usage: gnna-sim [options]
                                  with 0 are bit-identical to no flag)
   --fault-seed N                 fault-injection RNG seed (default 1;
                                  identical seeds replay identical faults)
+  --fault-fit F                  physically calibrated fault rate: F is
+                                 read as both a link FIT and a DRAM
+                                 upsets/Gbit-hour rate and converted to
+                                 per-event probabilities at the 2.4 GHz
+                                 master clock (alternative to
+                                 --fault-rate)
+  --fault-acceleration F         multiply --fault-fit rates by F so
+                                 faults are observable in bounded sim
+                                 time (default 1)
+  --fault-recovery retry|passthrough|rollback
+                                 what to do when a protection budget is
+                                 exhausted (default retry; rollback
+                                 snapshots layer-boundary checkpoints
+                                 and replays)
+  --ecc-domain both|weights|acts DRAM region SECDED protects; faults
+                                 outside it are silent corruption
+                                 (default both)
+  --crc-domain all|data|ctrl     flit traffic link CRC protects; faults
+                                 outside it are silent corruption
+                                 (default all)
+  --checkpoint-interval N        layers between checkpoints under
+                                 rollback recovery (default 1)
+  --rollback-budget N            rollbacks allowed before the fault
+                                 degrades to an error (default 8)
+  --mem-retry-budget N           DRAM double-bit re-reads allowed per
+                                 error (default unlimited)
   --stall-window N               master cycles without progress before
                                  the watchdog reports a stall
                                  (default 2000000)
@@ -96,6 +130,14 @@ fn parse_args() -> Result<Args, String> {
     let mut flight_capacity = None;
     let mut fault_seed = None;
     let mut fault_rate = None;
+    let mut fault_fit = None;
+    let mut fault_acceleration = 1.0f64;
+    let mut fault_recovery = None;
+    let mut ecc_domain = None;
+    let mut crc_domain = None;
+    let mut checkpoint_interval = None;
+    let mut rollback_budget = None;
+    let mut mem_retry_budget = None;
     let mut stall_window = None;
     let mut profile_out = None;
     let mut profile_json = None;
@@ -187,6 +229,67 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("bad fault seed: {e}"))?,
                 )
             }
+            "--fault-fit" => {
+                let f: f64 = value("--fault-fit")?
+                    .parse()
+                    .map_err(|e| format!("bad FIT rate: {e}"))?;
+                if !f.is_finite() || f < 0.0 {
+                    return Err("--fault-fit must be finite and non-negative".to_string());
+                }
+                fault_fit = Some(f);
+            }
+            "--fault-acceleration" => {
+                let f: f64 = value("--fault-acceleration")?
+                    .parse()
+                    .map_err(|e| format!("bad acceleration: {e}"))?;
+                if !f.is_finite() || f <= 0.0 {
+                    return Err("--fault-acceleration must be finite and positive".to_string());
+                }
+                fault_acceleration = f;
+            }
+            "--fault-recovery" => {
+                let s = value("--fault-recovery")?.to_ascii_lowercase();
+                fault_recovery = Some(RecoveryMode::parse(&s).ok_or_else(|| {
+                    format!("unknown recovery mode {s} (retry|passthrough|rollback)")
+                })?);
+            }
+            "--ecc-domain" => {
+                let s = value("--ecc-domain")?.to_ascii_lowercase();
+                ecc_domain = Some(
+                    EccDomain::parse(&s)
+                        .ok_or_else(|| format!("unknown ECC domain {s} (both|weights|acts)"))?,
+                );
+            }
+            "--crc-domain" => {
+                let s = value("--crc-domain")?.to_ascii_lowercase();
+                crc_domain = Some(
+                    CrcDomain::parse(&s)
+                        .ok_or_else(|| format!("unknown CRC domain {s} (all|data|ctrl)"))?,
+                );
+            }
+            "--checkpoint-interval" => {
+                let n: u64 = value("--checkpoint-interval")?
+                    .parse()
+                    .map_err(|e| format!("bad checkpoint interval: {e}"))?;
+                if n == 0 {
+                    return Err("--checkpoint-interval must be positive".to_string());
+                }
+                checkpoint_interval = Some(n);
+            }
+            "--rollback-budget" => {
+                rollback_budget = Some(
+                    value("--rollback-budget")?
+                        .parse()
+                        .map_err(|e| format!("bad rollback budget: {e}"))?,
+                )
+            }
+            "--mem-retry-budget" => {
+                mem_retry_budget = Some(
+                    value("--mem-retry-budget")?
+                        .parse()
+                        .map_err(|e| format!("bad re-read budget: {e}"))?,
+                )
+            }
             "--stall-window" => {
                 let w: u64 = value("--stall-window")?
                     .parse()
@@ -236,6 +339,14 @@ fn parse_args() -> Result<Args, String> {
         flight_capacity,
         fault_seed,
         fault_rate,
+        fault_fit,
+        fault_acceleration,
+        fault_recovery,
+        ecc_domain,
+        crc_domain,
+        checkpoint_interval,
+        rollback_budget,
+        mem_retry_budget,
         stall_window,
         profile_out,
         profile_json,
@@ -277,17 +388,51 @@ fn main() -> ExitCode {
     }
     // A fault plan is built only when a nonzero rate is requested, so a
     // plain run (or `--fault-rate 0`) stays bit-identical to the
-    // pre-fault-subsystem simulator.
-    let fault_plan = args
-        .fault_rate
-        .filter(|&r| r > 0.0)
-        .map(|r| FaultPlan::new(args.fault_seed.unwrap_or(1)).with_rate(r));
-    if let Some(plan) = &fault_plan {
+    // pre-fault-subsystem simulator. `--fault-fit` is the physically
+    // calibrated alternative; the protection knobs below only bite when
+    // one of the two rates built a plan.
+    let seed = args.fault_seed.unwrap_or(1);
+    let mut fault_plan = match (
+        args.fault_rate.filter(|&r| r > 0.0),
+        args.fault_fit.filter(|&f| f > 0.0),
+    ) {
+        (Some(r), _) => Some(FaultPlan::new(seed).with_rate(r)),
+        (None, Some(fit)) => Some(FaultPlan::from_physical(
+            seed,
+            &PhysicalRates {
+                dram_upsets_per_gbit_hour: fit,
+                link_fit: fit,
+                acceleration: args.fault_acceleration,
+                ..PhysicalRates::default()
+            },
+        )),
+        (None, None) => None,
+    };
+    if let Some(mut plan) = fault_plan.take() {
+        if let Some(mode) = args.fault_recovery {
+            plan = plan.with_recovery(mode);
+        }
+        if let Some(d) = args.ecc_domain {
+            plan = plan.with_ecc_domain(d);
+        }
+        if let Some(d) = args.crc_domain {
+            plan = plan.with_crc_domain(d);
+        }
+        if let Some(n) = args.checkpoint_interval {
+            plan = plan.with_checkpoint_interval(n);
+        }
+        if let Some(n) = args.rollback_budget {
+            plan = plan.with_rollback_budget(n);
+        }
+        if let Some(n) = args.mem_retry_budget {
+            plan = plan.with_mem_retry_budget(n);
+        }
         println!(
-            "fault injection: rate {} seed {} (SECDED mem, CRC+retransmit noc, DNA bubbles)",
-            args.fault_rate.unwrap_or(0.0),
-            plan.seed
+            "fault injection: mem rate {} noc rate {} seed {} recovery {} \
+             (SECDED mem [{}], CRC+retransmit noc [{}], DNA bubbles)",
+            plan.mem_rate, plan.noc_rate, plan.seed, plan.recovery, plan.ecc_domain, plan.crc_domain
         );
+        fault_plan = Some(plan);
     }
     println!(
         "{} on {} ({} vertices, {} MMACs), {} @ {:.1} GHz, {} GPE threads",

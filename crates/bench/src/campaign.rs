@@ -26,9 +26,12 @@
 use crate::accuracy::{run_with_faults, Accuracy, FaultRun};
 use crate::{build_case, BenchCase, BenchError, Scale};
 use gnna_core::config::AcceleratorConfig;
+use gnna_core::energy::EnergyModel;
+use gnna_core::stats::RecoverySummary;
 use gnna_executor::{Executor, ExecutorError};
-use gnna_faults::{FaultPlan, MeshDir};
+use gnna_faults::{CrcDomain, EccDomain, FaultPlan, MeshDir, PhysicalRates, RecoveryMode};
 use gnna_models::ModelKind;
+use gnna_telemetry::energy::CostClass;
 use gnna_telemetry::json;
 use std::fmt;
 
@@ -44,10 +47,16 @@ pub enum Mode {
     /// mesh link when the mesh is at least 2×2), exercising the
     /// graceful-degradation remap/detour paths.
     Degraded,
+    /// Protected, with checkpoint/rollback recovery: layer-boundary
+    /// state is snapshotted and an exhausted protection budget (finite
+    /// DRAM re-read budget in this mode) rolls back and replays instead
+    /// of killing the cell.
+    Rollback,
 }
 
 impl Mode {
-    /// All modes in canonical grid order.
+    /// The classic protection modes in canonical grid order (the
+    /// default sweep; opt into [`Mode::Rollback`] explicitly).
     pub const ALL: [Mode; 3] = [Mode::Protected, Mode::Passthrough, Mode::Degraded];
 
     /// Stable lower-case name (JSONL `mode` field, CLI value).
@@ -56,6 +65,7 @@ impl Mode {
             Mode::Protected => "protected",
             Mode::Passthrough => "passthrough",
             Mode::Degraded => "degraded",
+            Mode::Rollback => "rollback",
         }
     }
 
@@ -65,12 +75,53 @@ impl Mode {
             "protected" => Some(Mode::Protected),
             "passthrough" => Some(Mode::Passthrough),
             "degraded" => Some(Mode::Degraded),
+            "rollback" => Some(Mode::Rollback),
             _ => None,
         }
     }
 }
 
 impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Unit of the swept `rates` axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RateUnit {
+    /// Raw per-event probabilities, applied to every transient site
+    /// (the default; rates must lie in `[0, 1]`).
+    #[default]
+    PerEvent,
+    /// Physical units: each rate is read as both a link FIT (failures
+    /// per 10⁹ link-hours) and a DRAM upset rate in upsets/Gbit·h, and
+    /// converted to per-event probabilities with
+    /// [`FaultPlan::from_physical`] (scaled by
+    /// [`CampaignSpec::acceleration`]).
+    Fit,
+}
+
+impl RateUnit {
+    /// Stable lower-case name (JSONL `rate_unit` field, CLI value).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RateUnit::PerEvent => "event",
+            RateUnit::Fit => "fit",
+        }
+    }
+
+    /// Parses a CLI/JSON rate-unit name.
+    pub fn parse(s: &str) -> Option<RateUnit> {
+        match s {
+            "event" => Some(RateUnit::PerEvent),
+            "fit" => Some(RateUnit::Fit),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RateUnit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.as_str())
     }
@@ -96,6 +147,15 @@ pub struct CampaignSpec {
     /// errors — the knob that separates protected retries from
     /// pass-through silent corruption.
     pub double_bit_fraction: f64,
+    /// Selective protection domains to sweep as `(ECC, CRC)` pairs.
+    /// The default single `(Both, All)` entry reproduces the legacy
+    /// grid exactly (same cell count, same indices, same bytes).
+    pub domains: Vec<(EccDomain, CrcDomain)>,
+    /// Unit the `rates` axis is expressed in.
+    pub rate_unit: RateUnit,
+    /// Acceleration factor applied to physically calibrated rates
+    /// (ignored for [`RateUnit::PerEvent`]).
+    pub acceleration: f64,
 }
 
 impl CampaignSpec {
@@ -109,26 +169,35 @@ impl CampaignSpec {
             seeds: vec![1, 2],
             modes: Mode::ALL.to_vec(),
             double_bit_fraction: 0.25,
+            domains: vec![(EccDomain::Both, CrcDomain::All)],
+            rate_unit: RateUnit::PerEvent,
+            acceleration: 1.0,
         }
     }
 
     /// Enumerates every cell in canonical order (benchmark → mode →
-    /// rate → seed). The position in this vector is the cell index that
-    /// appears in the JSONL record.
+    /// domain → rate → seed). The position in this vector is the cell
+    /// index that appears in the JSONL record. With the default
+    /// single-domain axis the enumeration is identical to the legacy
+    /// benchmark → mode → rate → seed order.
     pub fn cells(&self) -> Vec<Cell> {
         let mut out = Vec::new();
         for &(model, input) in &self.benchmarks {
             for &mode in &self.modes {
-                for &rate in &self.rates {
-                    for &seed in &self.seeds {
-                        out.push(Cell {
-                            index: out.len(),
-                            model,
-                            input,
-                            mode,
-                            rate,
-                            seed,
-                        });
+                for &(ecc, crc) in &self.domains {
+                    for &rate in &self.rates {
+                        for &seed in &self.seeds {
+                            out.push(Cell {
+                                index: out.len(),
+                                model,
+                                input,
+                                mode,
+                                ecc,
+                                crc,
+                                rate,
+                                seed,
+                            });
+                        }
                     }
                 }
             }
@@ -139,11 +208,28 @@ impl CampaignSpec {
     /// The fault plan for one cell. Pure: the same cell always maps to
     /// the same plan.
     pub fn plan_for(&self, cell: &Cell) -> FaultPlan {
-        let mut plan = FaultPlan::new(cell.seed)
-            .with_mem_rate(cell.rate)
-            .with_noc_rate(cell.rate)
-            .with_mem_stuck_rate(cell.rate)
-            .with_double_bit_fraction(self.double_bit_fraction);
+        let mut plan = match self.rate_unit {
+            RateUnit::PerEvent => FaultPlan::new(cell.seed)
+                .with_mem_rate(cell.rate)
+                .with_noc_rate(cell.rate)
+                .with_mem_stuck_rate(cell.rate),
+            // Physical calibration: the swept number is read in
+            // deployment units for both transient sites (stuck lines
+            // are a manufacturing defect, not a rate, and stay off).
+            RateUnit::Fit => FaultPlan::from_physical(
+                cell.seed,
+                &PhysicalRates {
+                    dram_upsets_per_gbit_hour: cell.rate,
+                    link_fit: cell.rate,
+                    acceleration: self.acceleration,
+                    ..PhysicalRates::default()
+                },
+            ),
+        };
+        plan = plan
+            .with_double_bit_fraction(self.double_bit_fraction)
+            .with_ecc_domain(cell.ecc)
+            .with_crc_domain(cell.crc);
         match cell.mode {
             Mode::Protected => {}
             Mode::Passthrough => plan = plan.with_passthrough(true),
@@ -153,6 +239,14 @@ impl CampaignSpec {
                 if topo.width() >= 2 && topo.height() >= 2 {
                     plan = plan.with_dead_link(0, 0, MeshDir::East);
                 }
+            }
+            // A finite re-read budget gives rollback something to
+            // recover from: with the default infinite budget no DRAM
+            // error can ever exhaust, so the mode would never roll back.
+            Mode::Rollback => {
+                plan = plan
+                    .with_recovery(RecoveryMode::Rollback)
+                    .with_mem_retry_budget(1);
             }
         }
         plan
@@ -170,10 +264,38 @@ pub struct Cell {
     pub input: &'static str,
     /// Protection mode.
     pub mode: Mode,
-    /// Swept fault rate.
+    /// DRAM region ECC protects in this cell.
+    pub ecc: EccDomain,
+    /// Flit traffic link CRC protects in this cell.
+    pub crc: CrcDomain,
+    /// Swept fault rate (in [`CampaignSpec::rate_unit`] units).
     pub rate: f64,
     /// Fault-plan seed.
     pub seed: u64,
+}
+
+impl Cell {
+    /// `ecc/crc` protection-domain label, or `None` for the default
+    /// fully protected pair (which is omitted from the JSONL record).
+    pub fn domain_label(&self) -> Option<String> {
+        if self.ecc == EccDomain::Both && self.crc == CrcDomain::All {
+            None
+        } else {
+            Some(format!("{}/{}", self.ecc, self.crc))
+        }
+    }
+}
+
+/// Energy of the checkpoint/rollback traffic in integer picojoules,
+/// priced with the default [`EnergyModel`] — the same figure the live
+/// system charges into its `system.energy.checkpoint_pj` ledger site.
+pub fn checkpoint_pj(rec: &RecoverySummary) -> u64 {
+    let rates = EnergyModel::default().rates();
+    let fj = rates
+        .charge_fj(CostClass::SramWord, rec.checkpoint_sram_words)
+        .saturating_add(rates.charge_fj(CostClass::NocByteHop, rec.checkpoint_noc_byte_hops))
+        .saturating_add(rates.charge_fj(CostClass::DramByte, rec.checkpoint_dram_bytes));
+    fj / 1000
 }
 
 fn push_kv_str(out: &mut String, key: &str, v: &str) {
@@ -263,6 +385,22 @@ pub fn render_cell(
     push_kv_u64(&mut out, "nonfinite", accuracy.nonfinite);
     push_kv_f64(&mut out, "max_rel_err", accuracy.max_rel_err);
     push_kv_f64(&mut out, "mean_rel_err", accuracy.mean_rel_err);
+    // Extension keys are emitted only when they differ from their
+    // defaults, so legacy grids (fully protected domains, per-event
+    // rates, no recovery) keep producing byte-identical records.
+    if let Some(domain) = cell.domain_label() {
+        push_kv_str(&mut out, "domain", &domain);
+    }
+    if spec.rate_unit != RateUnit::PerEvent {
+        push_kv_str(&mut out, "rate_unit", spec.rate_unit.as_str());
+    }
+    let rec = report.map(|r| r.recovery).unwrap_or_default();
+    if rec.any() {
+        push_kv_u64(&mut out, "checkpoints", rec.checkpoints);
+        push_kv_u64(&mut out, "rollbacks", rec.rollbacks);
+        push_kv_u64(&mut out, "replayed_cycles", rec.replayed_cycles);
+        push_kv_u64(&mut out, "checkpoint_pj", checkpoint_pj(&rec));
+    }
     // Replace the trailing comma with the closing brace.
     out.pop();
     out.push('}');
@@ -424,10 +562,55 @@ mod tests {
 
     #[test]
     fn mode_names_round_trip() {
-        for m in Mode::ALL {
+        for m in [
+            Mode::Protected,
+            Mode::Passthrough,
+            Mode::Degraded,
+            Mode::Rollback,
+        ] {
             assert_eq!(Mode::parse(m.as_str()), Some(m));
         }
         assert_eq!(Mode::parse("bogus"), None);
+        for u in [RateUnit::PerEvent, RateUnit::Fit] {
+            assert_eq!(RateUnit::parse(u.as_str()), Some(u));
+        }
+        assert_eq!(RateUnit::parse("bogus"), None);
+    }
+
+    #[test]
+    fn rollback_and_domain_axes_extend_the_grid() {
+        let mut s = spec();
+        s.modes = vec![Mode::Rollback];
+        s.domains = vec![
+            (EccDomain::Both, CrcDomain::All),
+            (EccDomain::WeightsOnly, CrcDomain::DataOnly),
+        ];
+        let cells = s.cells();
+        assert_eq!(cells.len(), 8); // 1 benchmark × 1 mode × 2 domains × 2 rates × 2 seeds
+        assert_eq!(cells[0].domain_label(), None);
+        assert_eq!(cells[4].domain_label().as_deref(), Some("weights/data"));
+        let plan = s.plan_for(&cells[6]);
+        assert_eq!(plan.recovery, RecoveryMode::Rollback);
+        assert_eq!(plan.mem_retry_budget, 1);
+        assert_eq!(plan.ecc_domain, EccDomain::WeightsOnly);
+        assert_eq!(plan.crc_domain, CrcDomain::DataOnly);
+        assert!(plan.validate().is_ok());
+    }
+
+    #[test]
+    fn fit_rates_convert_through_physical_calibration() {
+        let mut s = spec();
+        s.rate_unit = RateUnit::Fit;
+        s.acceleration = 1e15;
+        s.rates = vec![1000.0];
+        let plan = s.plan_for(&s.cells()[0]);
+        // 1000 FIT / 1000 upsets per Gbit·h at the 2.4 GHz default
+        // clock are astronomically small per event; the acceleration
+        // factor lifts them into observable-but-valid territory.
+        assert!(plan.noc_rate > 0.0 && plan.noc_rate < 1.0, "{}", plan.noc_rate);
+        assert!(plan.mem_rate > 0.0 && plan.mem_rate < 1.0, "{}", plan.mem_rate);
+        assert_eq!(plan.mem_stuck_rate, 0.0);
+        assert!(plan.validate().is_ok());
     }
 
     #[test]

@@ -1571,12 +1571,37 @@ pub struct CampaignRecord {
     pub max_rel_err: f64,
     /// Mean per-element relative error.
     pub mean_rel_err: f64,
+    /// Selective protection domain (`ecc/crc` label; empty for the
+    /// fully protected default, which the runner omits from the JSONL).
+    pub domain: String,
+    /// Unit of the `rate` field (empty for per-event probabilities;
+    /// `"fit"` for physically calibrated sweeps).
+    pub rate_unit: String,
+    /// Checkpoints taken under rollback recovery.
+    pub checkpoints: u64,
+    /// Rollbacks performed under rollback recovery.
+    pub rollbacks: u64,
+    /// Cycles discarded and re-executed by rollbacks.
+    pub replayed_cycles: u64,
+    /// Checkpoint/rollback traffic energy in integer picojoules.
+    pub checkpoint_pj: u64,
 }
 
 impl CampaignRecord {
     /// `model:input` benchmark label.
     pub fn benchmark(&self) -> String {
         format!("{}:{}", self.model, self.input)
+    }
+
+    /// Mode label with the protection domain folded in (`passthrough`,
+    /// or `passthrough[weights/all]` for a non-default domain), so
+    /// domain sweeps don't collapse into one aggregation group.
+    pub fn mode_label(&self) -> String {
+        if self.domain.is_empty() {
+            self.mode.clone()
+        } else {
+            format!("{}[{}]", self.mode, self.domain)
+        }
     }
 
     /// Fraction of graded rows whose top-1 label flipped.
@@ -1638,6 +1663,12 @@ pub fn parse_campaign_jsonl(text: &str) -> Result<Vec<CampaignRecord>, String> {
             nonfinite: u64_field("nonfinite"),
             max_rel_err: f64_field("max_rel_err"),
             mean_rel_err: f64_field("mean_rel_err"),
+            domain: str_field("domain").unwrap_or_default(),
+            rate_unit: str_field("rate_unit").unwrap_or_default(),
+            checkpoints: u64_field("checkpoints"),
+            rollbacks: u64_field("rollbacks"),
+            replayed_cycles: u64_field("replayed_cycles"),
+            checkpoint_pj: u64_field("checkpoint_pj"),
         });
     }
     Ok(out)
@@ -1686,6 +1717,28 @@ pub struct SlowdownRow {
     pub dead_links: u64,
 }
 
+/// One row of the recovery-cost table: rollback-mode cells of a
+/// `(benchmark, rate)` group summed over seeds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryRow {
+    /// `model:input` label.
+    pub benchmark: String,
+    /// Fault rate.
+    pub rate: f64,
+    /// Rollback-mode cells in the group.
+    pub cells: u64,
+    /// Cells that exhausted the rollback budget and died anyway.
+    pub unrecoverable: u64,
+    /// Checkpoints taken across the group.
+    pub checkpoints: u64,
+    /// Rollbacks performed across the group.
+    pub rollbacks: u64,
+    /// Cycles discarded and re-executed across the group.
+    pub replayed_cycles: u64,
+    /// Checkpoint/rollback traffic energy across the group, pJ.
+    pub checkpoint_pj: u64,
+}
+
 /// Aggregated view of a campaign JSONL file, ready to render as the
 /// `## Fault campaigns` report section.
 #[derive(Debug, Default)]
@@ -1699,6 +1752,10 @@ pub struct CampaignReport {
     /// Per-site `(injected, sdc)` totals over pass-through cells, in
     /// site order (`mem`, `noc`).
     pub site_sdc: Vec<(String, u64, u64)>,
+    /// Recovery-cost rows over rollback-mode cells, in
+    /// `(benchmark, rate)` order (empty when the campaign swept no
+    /// rollback cells).
+    pub recovery: Vec<RecoveryRow>,
 }
 
 /// Sort key for a non-negative f64 (rates are validated into [0, 1]).
@@ -1713,7 +1770,7 @@ impl CampaignReport {
         let mut groups: BTreeMap<(String, String, u64), Vec<&CampaignRecord>> = BTreeMap::new();
         for r in &records {
             groups
-                .entry((r.benchmark(), r.mode.clone(), rate_key(r.rate)))
+                .entry((r.benchmark(), r.mode_label(), rate_key(r.rate)))
                 .or_default()
                 .push(r);
         }
@@ -1796,11 +1853,64 @@ impl CampaignReport {
             ("noc".to_string(), noc.0, noc.1),
         ];
 
+        // Recovery cost over rollback cells, summed per (benchmark,
+        // rate): how many rollbacks the group paid, how many cycles it
+        // replayed, and what the checkpoint traffic cost in energy.
+        #[derive(Default)]
+        struct RecAcc {
+            cells: u64,
+            unrecoverable: u64,
+            checkpoints: u64,
+            rollbacks: u64,
+            replayed_cycles: u64,
+            checkpoint_pj: u64,
+        }
+        let mut rec_groups: BTreeMap<(String, u64), RecAcc> = BTreeMap::new();
+        for r in &records {
+            if r.mode != "rollback" {
+                continue;
+            }
+            let e = rec_groups
+                .entry((r.benchmark(), rate_key(r.rate)))
+                .or_default();
+            e.cells += 1;
+            e.unrecoverable += u64::from(r.status != "ok");
+            e.checkpoints += r.checkpoints;
+            e.rollbacks += r.rollbacks;
+            e.replayed_cycles += r.replayed_cycles;
+            e.checkpoint_pj += r.checkpoint_pj;
+        }
+        let recovery = rec_groups
+            .into_iter()
+            .map(|((benchmark, rate_bits), acc)| RecoveryRow {
+                benchmark,
+                rate: f64::from_bits(rate_bits),
+                cells: acc.cells,
+                unrecoverable: acc.unrecoverable,
+                checkpoints: acc.checkpoints,
+                rollbacks: acc.rollbacks,
+                replayed_cycles: acc.replayed_cycles,
+                checkpoint_pj: acc.checkpoint_pj,
+            })
+            .collect();
+
         Self {
             records,
             accuracy,
             slowdowns,
             site_sdc,
+            recovery,
+        }
+    }
+
+    /// Label for the swept-rate axis: physically calibrated campaigns
+    /// sweep FIT (failures per 10⁹ device-hours), legacy ones sweep raw
+    /// per-event probabilities.
+    pub fn rate_label(&self) -> &'static str {
+        if self.records.iter().any(|r| r.rate_unit == "fit") {
+            "rate (FIT)"
+        } else {
+            "rate"
         }
     }
 
@@ -1823,8 +1933,13 @@ impl CampaignReport {
             .map(|(bits, (sum, n))| (f64::from_bits(bits), sum / n as f64))
             .collect();
         let peak = points.iter().map(|&(_, f)| f).fold(0.0, f64::max);
+        let axis = if self.rate_label() == "rate (FIT)" {
+            "fault rate (FIT)"
+        } else {
+            "fault rate"
+        };
         let mut o = String::new();
-        let _ = writeln!(o, "label-flip rate vs fault rate ({mode})");
+        let _ = writeln!(o, "label-flip rate vs {axis} ({mode})");
         for (rate, flip) in points {
             let w = if peak > 0.0 {
                 ((flip / peak) * WIDTH as f64).round() as usize
@@ -1857,7 +1972,8 @@ impl CampaignReport {
         let _ = writeln!(o, "### Accuracy vs fault rate\n");
         let _ = writeln!(
             o,
-            "| benchmark | mode | rate | cells | unrec | flip rate | mean rel err | max rel err | non-finite |"
+            "| benchmark | mode | {} | cells | unrec | flip rate | mean rel err | max rel err | non-finite |",
+            self.rate_label()
         );
         let _ = writeln!(o, "|---|---|---|---|---|---|---|---|---|");
         for r in &self.accuracy {
@@ -1922,6 +2038,30 @@ impl CampaignReport {
                 100.0 * *sdc as f64 / *injected as f64
             };
             let _ = writeln!(o, "| {site} | {injected} | {sdc} | {rate:.1}% |");
+        }
+
+        if !self.recovery.is_empty() {
+            let _ = writeln!(o, "\n### Recovery cost (rollback cells)\n");
+            let _ = writeln!(
+                o,
+                "| benchmark | {} | cells | unrec | checkpoints | rollbacks | replayed cycles | checkpoint pJ |",
+                self.rate_label()
+            );
+            let _ = writeln!(o, "|---|---|---|---|---|---|---|---|");
+            for r in &self.recovery {
+                let _ = writeln!(
+                    o,
+                    "| {} | {} | {} | {} | {} | {} | {} | {} |",
+                    r.benchmark,
+                    json::number(r.rate),
+                    r.cells,
+                    r.unrecoverable,
+                    r.checkpoints,
+                    r.rollbacks,
+                    r.replayed_cycles,
+                    r.checkpoint_pj
+                );
+            }
         }
         o
     }
@@ -2547,6 +2687,50 @@ noc.packet_latency,histogram,,10,100,4,30,10,8,25,29
         let csv = report.to_csv();
         assert!(csv.starts_with("section,benchmark,mode,rate"));
         assert!(csv.contains("accuracy,GCN:Cora,passthrough,0.01"));
+    }
+
+    #[test]
+    fn campaign_recovery_cells_feed_the_recovery_table() {
+        // A rollback cell carries the conditional extension keys; a
+        // legacy line omits them and parses with zero defaults.
+        let rollback = "{\"cell\":0,\"model\":\"GCN\",\"input\":\"Cora\",\
+             \"config\":\"GPU iso-BW\",\"mode\":\"rollback\",\"rate\":1000,\
+             \"seed\":1,\"status\":\"ok\",\"site\":\"\",\"msg\":\"\",\
+             \"total_cycles\":1200,\"injected\":10,\"sdc\":0,\
+             \"mem_injected\":6,\"mem_sdc\":0,\"noc_injected\":4,\
+             \"noc_sdc\":0,\"dead_tiles\":0,\"dead_links\":0,\
+             \"remapped_vertices\":0,\"rows\":100,\"elements\":700,\
+             \"label_flips\":0,\"nonfinite\":0,\
+             \"max_rel_err\":0,\"mean_rel_err\":0,\
+             \"domain\":\"weights/all\",\"rate_unit\":\"fit\",\
+             \"checkpoints\":3,\"rollbacks\":2,\"replayed_cycles\":400,\
+             \"checkpoint_pj\":5000}";
+        let text = format!("{}\n{rollback}", campaign_line(1, "protected", 0.0, 1, 1000, 0, 0));
+        let records = parse_campaign_jsonl(&text).unwrap();
+        assert_eq!(records[0].rollbacks, 0);
+        assert_eq!(records[0].domain, "");
+        assert_eq!(records[1].rollbacks, 2);
+        assert_eq!(records[1].checkpoint_pj, 5000);
+        assert_eq!(records[1].mode_label(), "rollback[weights/all]");
+
+        let report = CampaignReport::build(records);
+        assert_eq!(report.recovery.len(), 1);
+        let r = &report.recovery[0];
+        assert_eq!(r.cells, 1);
+        assert_eq!(r.rollbacks, 2);
+        assert_eq!(r.replayed_cycles, 400);
+        assert_eq!(r.checkpoint_pj, 5000);
+        let md = report.to_markdown();
+        assert!(md.contains("### Recovery cost (rollback cells)"));
+        assert!(md.contains("| GCN:Cora | 1000 | 1 | 0 | 3 | 2 | 400 | 5000 |"));
+        // A FIT-calibrated record relabels the rate axis everywhere.
+        assert!(md.contains("| benchmark | mode | rate (FIT) |"));
+        // A campaign without rollback cells renders no recovery table.
+        let legacy = CampaignReport::build(
+            parse_campaign_jsonl(&campaign_line(0, "protected", 0.0, 1, 1000, 0, 0)).unwrap(),
+        );
+        assert!(legacy.recovery.is_empty());
+        assert!(!legacy.to_markdown().contains("Recovery cost"));
     }
 
     #[test]

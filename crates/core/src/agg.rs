@@ -148,6 +148,20 @@ impl Aggregator {
         self.free = (0..self.max_slots as u32).rev().collect();
     }
 
+    /// Discards all live aggregation state (slots, ALU jobs, staged and
+    /// queued outputs) while keeping accumulated statistics and the
+    /// current configuration. Used by checkpoint rollback so the next
+    /// `configure` call sees an idle module.
+    pub(crate) fn reset_for_replay(&mut self) {
+        self.slots.iter_mut().for_each(|s| *s = None);
+        self.free = (0..self.max_slots as u32).rev().collect();
+        self.jobs.clear();
+        self.busy_until = 0;
+        self.finishing = None;
+        self.outbox.clear();
+        self.outbox_bytes = 0;
+    }
+
     /// The configured entry size in words.
     pub fn entry_words(&self) -> usize {
         self.entry_words

@@ -300,6 +300,14 @@ impl Dna {
         self.kernels = kernels;
     }
 
+    /// Discards the in-flight job and any staged output while keeping
+    /// accumulated statistics, configuration, and the fault-injection
+    /// stream position. Used by checkpoint rollback.
+    pub(crate) fn reset_for_replay(&mut self) {
+        self.job = None;
+        self.pending_output = None;
+    }
+
     /// The configured kernels.
     pub fn kernels(&self) -> &[DnaKernel] {
         &self.kernels

@@ -134,6 +134,19 @@ impl Dnq {
         self.dna_idle_streak = 0;
     }
 
+    /// Discards all queued entries while keeping accumulated statistics
+    /// and the ring geometry. Used by checkpoint rollback so the next
+    /// `configure` call sees an idle queue.
+    pub(crate) fn reset_for_replay(&mut self) {
+        for ring in &mut self.rings {
+            ring.entries.iter_mut().for_each(|e| *e = None);
+            ring.head = 0;
+            ring.tail = 0;
+            ring.len = 0;
+        }
+        self.dna_idle_streak = 0;
+    }
+
     /// Entry capacity of queue `q`.
     pub fn capacity(&self, q: usize) -> usize {
         self.rings[q].capacity()

@@ -164,6 +164,13 @@ impl EnergyModel {
         counts[CostClass::NocByteHop.index()] = report.noc_flit_hops * report.noc_flit_bytes;
         counts[CostClass::DramByte.index()] = report.dram_bytes;
         counts[CostClass::GpeOp.index()] = report.gpe_op_cycles;
+        // Checkpoint/rollback traffic (all zeros outside rollback
+        // recovery): the same counts the live system charges into its
+        // ledger, so registry and report totals agree for recovery
+        // runs too.
+        counts[CostClass::SramWord.index()] += report.recovery.checkpoint_sram_words;
+        counts[CostClass::NocByteHop.index()] += report.recovery.checkpoint_noc_byte_hops;
+        counts[CostClass::DramByte.index()] += report.recovery.checkpoint_dram_bytes;
         counts
     }
 
@@ -238,7 +245,31 @@ mod tests {
             per_tile: vec![],
             resilience: crate::stats::ResilienceSummary::default(),
             degraded: crate::stats::DegradedSummary::default(),
+            recovery: crate::stats::RecoverySummary::default(),
         }
+    }
+
+    #[test]
+    fn checkpoint_traffic_charges_into_class_counts() {
+        let mut r = report();
+        let base = EnergyModel::class_counts(&r);
+        r.recovery.checkpoint_sram_words = 1000;
+        r.recovery.checkpoint_dram_bytes = 8000;
+        r.recovery.checkpoint_noc_byte_hops = 4000;
+        let with = EnergyModel::class_counts(&r);
+        assert_eq!(
+            with[CostClass::SramWord.index()],
+            base[CostClass::SramWord.index()] + 1000
+        );
+        assert_eq!(
+            with[CostClass::DramByte.index()],
+            base[CostClass::DramByte.index()] + 8000
+        );
+        assert_eq!(
+            with[CostClass::NocByteHop.index()],
+            base[CostClass::NocByteHop.index()] + 4000
+        );
+        assert!(EnergyModel::default().total_fj(&r) > EnergyModel::default().total_fj(&report()));
     }
 
     #[test]

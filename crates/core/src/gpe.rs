@@ -234,6 +234,20 @@ impl Gpe {
         self.last_executed = None;
     }
 
+    /// Discards all in-flight execution state (threads, work queue,
+    /// outbox, layer binding) while keeping accumulated statistics and
+    /// configuration. Used by checkpoint rollback: the replayed layer is
+    /// restarted from scratch via [`Gpe::start_layer`], and work already
+    /// performed stays charged in the counters as replay overhead.
+    pub(crate) fn reset_for_replay(&mut self) {
+        self.threads.iter_mut().for_each(|t| *t = TState::Idle);
+        self.work.clear();
+        self.outbox.clear();
+        self.layer = None;
+        self.last_executed = None;
+        self.rr = 0;
+    }
+
     /// Whether all threads are idle, the work queue is drained, and no
     /// outgoing messages are pending.
     pub fn is_idle(&self) -> bool {

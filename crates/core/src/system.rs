@@ -27,15 +27,16 @@ use crate::layers::{CompiledProgram, Layer};
 use crate::layout::{fill_buffer, read_buffer, BufferRegion, Layout, UnionGraph};
 use crate::msg::{AddressMap, Dest, Message, Tag};
 use crate::stats::{
-    DegradedSummary, LayerTiming, ResilienceSummary, SimReport, StallCause, TileCounters,
+    DegradedSummary, LayerTiming, RecoverySummary, ResilienceSummary, SimReport, StallCause,
+    TileCounters,
 };
 use crate::wheel::EventWheel;
 use crate::CoreError;
-use gnna_faults::FaultPlan;
+use gnna_faults::{FaultPlan, RecoveryMode};
 use gnna_graph::GraphInstance;
 use gnna_mem::{MemFaultState, MemImage, MemRequest, MemoryController};
 use gnna_noc::NocFaultState;
-use gnna_noc::{Address, Network, NocConfig, Packet, Reassembler};
+use gnna_noc::{Address, Network, NocConfig, Packet, PacketKind, Reassembler};
 use gnna_telemetry::energy::{apportion_pj, CostClass, EnergyLedger, EnergyRates, FJ_PER_PJ};
 use gnna_telemetry::profile::{self, HotPhase, SharedProfiler};
 use gnna_telemetry::{MetricsRegistry, ModuleProbe, SharedTracer, TraceLevel};
@@ -128,6 +129,43 @@ struct MemNode {
     out: VecDeque<(Address, Message)>,
 }
 
+/// A layer-boundary snapshot of the architectural state rollback
+/// recovery restores: the simulated memory image (activations and
+/// outputs; scratchpads are drained at the barrier) plus the layer to
+/// restart from. The cycle stamp marks where the current forward
+/// attempt began, so a rollback knows how much progress it discards.
+#[derive(Debug)]
+struct Checkpoint {
+    /// First layer to (re)execute when restoring this checkpoint.
+    layer_index: usize,
+    /// Deep copy of simulated DRAM at the layer boundary.
+    image: MemImage,
+    /// Master cycle when the forward attempt from this checkpoint
+    /// started (refreshed after each rollback so replayed-cycle
+    /// accounting stays per-attempt).
+    cycle: u64,
+}
+
+/// Checkpoint/rollback recovery state (attached only when the fault
+/// plan selects [`RecoveryMode::Rollback`]; absent otherwise, so the
+/// legacy retry/pass-through paths stay untouched).
+#[derive(Debug)]
+struct RecoveryState {
+    /// Layers between charged checkpoints.
+    interval_layers: u64,
+    /// Rollbacks allowed before degrading to [`CoreError::Fault`].
+    budget: u64,
+    /// Layers completed since the last checkpoint.
+    layers_since: u64,
+    /// The live checkpoint (always present while running: a free
+    /// snapshot of the pristine inputs is taken at run start).
+    checkpoint: Option<Checkpoint>,
+    /// Countable checkpoint-traffic events per [`CostClass`], charged
+    /// into the energy ledger and class counts alongside module events.
+    events: [u64; CostClass::COUNT],
+    summary: RecoverySummary,
+}
+
 /// The simulated accelerator system.
 #[derive(Debug)]
 pub struct System {
@@ -167,6 +205,13 @@ pub struct System {
     node_tile: Vec<Option<u32>>,
     /// Scratch for due timer wakes (kept to avoid per-cycle allocation).
     due_scratch: Vec<u32>,
+    /// Checkpoint/rollback recovery (attached by [`System::attach_faults`]
+    /// when the plan selects [`RecoveryMode::Rollback`]).
+    recovery: Option<RecoveryState>,
+    /// Whether any memory controller can raise a sticky fault failure
+    /// (finite re-read budget); gates the per-cycle failure poll so the
+    /// legacy hot loop pays nothing.
+    mem_can_fail: bool,
 }
 
 impl System {
@@ -341,6 +386,8 @@ impl System {
             mem_node,
             node_tile,
             due_scratch: Vec::new(),
+            recovery: None,
+            mem_can_fail: false,
         })
     }
 
@@ -450,10 +497,20 @@ impl System {
             return Ok(());
         }
         self.remap_dead_tiles(&plan.dead_tiles)?;
+        // Boundary between static state (graph structure + input
+        // features, laid out first) and the mutable activation buffers:
+        // the address split selective ECC domains protect on.
+        let static_boundary = self
+            .layout
+            .buffers
+            .get(1)
+            .map_or(self.image.size_bytes(), |b| b.addr);
         for (i, m) in self.mems.iter_mut().enumerate() {
             m.ctrl
                 .attach_faults(MemFaultState::from_plan(plan, i as u64));
+            m.ctrl.set_static_boundary(static_boundary);
         }
+        self.mem_can_fail = plan.mem_rate > 0.0 && plan.mem_retry_budget != u32::MAX;
         self.net
             .attach_faults(NocFaultState::from_plan(plan, 0))
             .map_err(|reason| CoreError::InvalidConfig { reason })?;
@@ -463,6 +520,16 @@ impl System {
         }
         self.degraded.dead_tiles = plan.dead_tiles.len() as u64;
         self.degraded.dead_links = plan.dead_links.len() as u64;
+        if plan.recovery == RecoveryMode::Rollback {
+            self.recovery = Some(RecoveryState {
+                interval_layers: plan.checkpoint_interval_layers.max(1),
+                budget: plan.rollback_budget,
+                layers_since: 0,
+                checkpoint: None,
+                events: [0; CostClass::COUNT],
+                summary: RecoverySummary::default(),
+            });
+        }
         Ok(())
     }
 
@@ -592,11 +659,178 @@ impl System {
     pub fn run(&mut self) -> Result<SimReport, CoreError> {
         let _run_scope = self.profiler.as_ref().map(|p| profile::scope(p, "run"));
         let layers: Vec<Rc<Layer>> = self.program.layers.iter().cloned().map(Rc::new).collect();
-        for layer in layers {
-            self.run_layer(layer)?;
+        if self.recovery.is_none() {
+            // Legacy path: no checkpoint state, no extra branches.
+            for layer in layers {
+                self.run_layer(layer)?;
+            }
+        } else {
+            // Free initial checkpoint: the inputs are still pristine in
+            // host memory at run start, so snapshotting them moves no
+            // simulated traffic.
+            let image = self.image.clone();
+            let cycle = self.cycle;
+            if let Some(rec) = self.recovery.as_mut() {
+                rec.checkpoint = Some(Checkpoint {
+                    layer_index: 0,
+                    image,
+                    cycle,
+                });
+            }
+            let mut li = 0usize;
+            while li < layers.len() {
+                match self.run_layer(Rc::clone(&layers[li])) {
+                    Ok(()) => {
+                        li += 1;
+                        self.maybe_checkpoint(li, layers.len());
+                    }
+                    // Detected unrecoverable faults (exhausted ECC
+                    // re-read or CRC retransmit budgets) and protocol
+                    // violations from corrupted payloads roll back to
+                    // the last checkpoint while budget remains.
+                    Err(err @ (CoreError::Fault { .. } | CoreError::Protocol { .. })) => {
+                        match self.try_rollback() {
+                            Some(restart) => li = restart,
+                            None => return Err(err),
+                        }
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
         }
         let _report_scope = self.profiler.as_ref().map(|p| profile::scope(p, "report"));
         Ok(self.report())
+    }
+
+    /// Takes a charged checkpoint after an interval's worth of layers.
+    /// `next` is the index of the next layer to execute; a checkpoint
+    /// after the final layer would never be restored, so it is skipped.
+    fn maybe_checkpoint(&mut self, next: usize, num_layers: usize) {
+        let Some(rec) = self.recovery.as_mut() else {
+            return;
+        };
+        rec.layers_since += 1;
+        if rec.layers_since < rec.interval_layers || next >= num_layers {
+            return;
+        }
+        rec.layers_since = 0;
+        // Cost model: the mutable activation region (everything past
+        // the static graph/feature segment) is staged through the tile
+        // scratchpads, crosses the mesh to its home controller (one
+        // byte-hop per byte, first order), and is both read from and
+        // written back to DRAM (source row + spare checkpoint row).
+        let static_boundary = self
+            .layout
+            .buffers
+            .get(1)
+            .map_or(self.image.size_bytes(), |b| b.addr);
+        let bytes = self.image.size_bytes().saturating_sub(static_boundary);
+        rec.events[CostClass::SramWord.index()] += bytes / 4;
+        rec.events[CostClass::NocByteHop.index()] += bytes;
+        rec.events[CostClass::DramByte.index()] += 2 * bytes;
+        rec.summary.checkpoint_sram_words += bytes / 4;
+        rec.summary.checkpoint_noc_byte_hops += bytes;
+        rec.summary.checkpoint_dram_bytes += 2 * bytes;
+        // Drain time at the aggregate memory bandwidth plus a barrier,
+        // the same analytic shape as the CONFIG weight broadcast.
+        let bw = self.cfg.total_mem_bandwidth();
+        let drain = ((2 * bytes) as f64 / bw * self.cfg.noc_clock_hz).ceil() as u64;
+        let cost = drain + 64 * self.divider;
+        rec.summary.checkpoints += 1;
+        rec.summary.checkpoint_bytes += bytes;
+        rec.summary.checkpoint_cycles += cost;
+        let start = self.cycle;
+        self.cycle += cost;
+        let image = self.image.clone();
+        let cycle = self.cycle;
+        if let Some(rec) = self.recovery.as_mut() {
+            rec.checkpoint = Some(Checkpoint {
+                layer_index: next,
+                image,
+                cycle,
+            });
+        }
+        self.phase_event(start, |p| p.begin("checkpoint"));
+        self.phase_event(self.cycle, |p| p.end("checkpoint"));
+    }
+
+    /// Rolls the system back to the last checkpoint after a detected
+    /// unrecoverable fault: reclassifies the sticky failure, discards
+    /// all in-flight state (fault-RNG streams keep their positions so
+    /// the replay does not re-draw the same fault), restores the memory
+    /// image, and charges the restore traffic. Returns the layer index
+    /// to restart from, or `None` when the rollback budget is spent
+    /// (the caller then surfaces the original [`CoreError::Fault`]).
+    fn try_rollback(&mut self) -> Option<usize> {
+        let budget = {
+            let rec = self.recovery.as_ref()?;
+            rec.checkpoint.as_ref()?;
+            rec.budget
+        };
+        if self.recovery.as_ref().is_some_and(|r| r.summary.rollbacks >= u64::from(budget)) {
+            return None;
+        }
+        // Settle any still-sleeping nodes (the fault paths do this
+        // before erroring; protocol errors from poisoned payloads do
+        // not) so idle accounting is complete, then reclassify the
+        // sticky failure that tripped the error and clear in-flight
+        // state everywhere while keeping counters and RNG positions.
+        self.settle_sleepers();
+        self.net.clear_fault_failure_for_rollback();
+        self.net.reset_for_replay();
+        for m in &mut self.mems {
+            m.ctrl.clear_fault_failure_for_rollback();
+            m.ctrl.reset_for_replay();
+            m.inbox.clear();
+            m.meta.clear();
+            m.out.clear();
+        }
+        for t in &mut self.tiles {
+            t.gpe.reset_for_replay();
+            t.agg.reset_for_replay();
+            t.dnq.reset_for_replay();
+            t.dna.reset_for_replay();
+            t.gpe_rx = Reassembler::new();
+            t.agg_rx = Reassembler::new();
+            t.dnq_rx = Reassembler::new();
+            t.agg_pending.clear();
+            t.dna_pending.clear();
+        }
+        self.board.iter_mut().for_each(|b| *b = None);
+        let noc_clock_hz = self.cfg.noc_clock_hz;
+        let bw = self.cfg.total_mem_bandwidth();
+        let divider = self.divider;
+        let now = self.cycle;
+        let rec = self.recovery.as_mut().expect("checked above");
+        let ckpt = rec.checkpoint.as_mut().expect("checked above");
+        self.image = ckpt.image.clone();
+        rec.summary.rollbacks += 1;
+        rec.summary.replayed_cycles += now - ckpt.cycle;
+        rec.layers_since = 0;
+        // Restore traffic: the checkpointed region streams back from
+        // its spare DRAM row (read + write + mesh crossing).
+        let bytes = ckpt.image.size_bytes().saturating_sub(
+            self.layout
+                .buffers
+                .get(1)
+                .map_or(ckpt.image.size_bytes(), |b| b.addr),
+        );
+        rec.events[CostClass::NocByteHop.index()] += bytes;
+        rec.events[CostClass::DramByte.index()] += 2 * bytes;
+        rec.summary.checkpoint_noc_byte_hops += bytes;
+        rec.summary.checkpoint_dram_bytes += 2 * bytes;
+        let drain = ((2 * bytes) as f64 / bw * noc_clock_hz).ceil() as u64;
+        let cost = drain + 64 * divider;
+        rec.summary.checkpoint_cycles += cost;
+        self.cycle += cost;
+        // The next forward attempt starts now; a later rollback only
+        // discards progress made after this point.
+        let restart = ckpt.layer_index;
+        ckpt.cycle = self.cycle;
+        let start = now;
+        self.phase_event(start, |p| p.begin("rollback"));
+        self.phase_event(self.cycle, |p| p.end("rollback"));
+        Some(restart)
     }
 
     fn run_layer(&mut self, layer: Rc<Layer>) -> Result<(), CoreError> {
@@ -651,6 +885,32 @@ impl System {
                     site: "noc".into(),
                     msg,
                 });
+            }
+            // Same for an exhausted DRAM re-read budget (only possible
+            // when a finite budget is configured, so the poll is gated
+            // off the legacy hot path entirely).
+            if self.mem_can_fail {
+                if let Some(mi) = self
+                    .mems
+                    .iter()
+                    .position(|m| m.ctrl.fault_failure().is_some())
+                {
+                    self.settle_sleepers();
+                    let fail = self.mems[mi].ctrl.fault_failure().expect("checked above");
+                    let mut msg = fail.to_string();
+                    if let Some(tele) = &self.telemetry {
+                        let snap = tele.tracer.borrow().flight_snapshot();
+                        if !snap.is_empty() {
+                            msg.push('\n');
+                            msg.push_str(&snap);
+                        }
+                    }
+                    return Err(CoreError::Fault {
+                        cycle: self.cycle,
+                        site: format!("mem{mi}"),
+                        msg,
+                    });
+                }
             }
             if self.cycle - last_progress_cycle >= stall_window {
                 let marker = self.progress_marker();
@@ -769,6 +1029,11 @@ impl System {
         }
         counts[CostClass::NocByteHop.index()] +=
             self.net.stats().flit_hops * self.cfg.flit_bytes as u64;
+        if let Some(rec) = &self.recovery {
+            for (count, &n) in counts.iter_mut().zip(rec.events.iter()) {
+                *count += n;
+            }
+        }
         counts
     }
 
@@ -1198,10 +1463,17 @@ impl System {
     /// Injects up to one staged message per tile port.
     fn tile_inject(&mut self, t: usize) {
         let ports = self.tiles[t].ports;
-        // GPE outbox → port 0.
+        // GPE outbox → port 0. Read requests are small control
+        // messages; a selective CRC domain can protect them separately
+        // from bulk data traffic.
         if self.net.can_inject(ports.gpe) {
             if let Some((dst, msg)) = self.tiles[t].gpe.pop_outgoing() {
-                let pkt = Packet::new(ports.gpe, dst, msg.wire_bytes(), msg);
+                let kind = if matches!(msg, Message::MemRead { .. }) {
+                    PacketKind::Control
+                } else {
+                    PacketKind::Data
+                };
+                let pkt = Packet::new(ports.gpe, dst, msg.wire_bytes(), msg).with_kind(kind);
                 if let Err(p) = self.net.try_inject(pkt) {
                     self.tiles[t].gpe.push_back_outgoing(p.dst, p.payload);
                 }
@@ -1401,6 +1673,10 @@ impl System {
             per_tile: self.tile_counters(),
             resilience: self.resilience_summary(),
             degraded: self.degraded,
+            recovery: self
+                .recovery
+                .as_ref()
+                .map_or_else(RecoverySummary::default, |r| r.summary),
         }
     }
 
@@ -1530,6 +1806,16 @@ impl System {
         if let Some(c) = self.net.fault_counters() {
             Self::harvest_fault_counters(reg, "noc.fault", c);
         }
+        // Recovery counters: present only when rollback is configured,
+        // so legacy registries keep their exact key set.
+        if let Some(rec) = &self.recovery {
+            let s = &rec.summary;
+            reg.counter_set("system.recovery.checkpoints", s.checkpoints);
+            reg.counter_set("system.recovery.checkpoint_bytes", s.checkpoint_bytes);
+            reg.counter_set("system.recovery.checkpoint_cycles", s.checkpoint_cycles);
+            reg.counter_set("system.recovery.rollbacks", s.rollbacks);
+            reg.counter_set("system.recovery.replayed_cycles", s.replayed_cycles);
+        }
         // Deep NoC telemetry (per-link busy counters, latency/hop
         // histograms) — no-op when probes are detached.
         self.net.harvest_metrics(reg);
@@ -1550,6 +1836,11 @@ impl System {
         reg.counter_set(&format!("{prefix}.retried"), c.retried);
         reg.counter_set(&format!("{prefix}.unrecoverable"), c.unrecoverable);
         reg.counter_set(&format!("{prefix}.sdc"), c.sdc);
+        // Emitted only when rollbacks actually reclassified faults, so
+        // registries from retry/pass-through runs keep their key set.
+        if c.rolled_back != 0 {
+            reg.counter_set(&format!("{prefix}.rolled_back"), c.rolled_back);
+        }
         reg.counter_set(&format!("{prefix}.corrupted"), c.corrupted);
         reg.counter_set(&format!("{prefix}.dropped"), c.dropped);
         reg.counter_set(&format!("{prefix}.retry_cycles"), c.retry_cycles);
@@ -1590,6 +1881,17 @@ impl System {
                 CostClass::NocByteHop,
                 rates.charge_fj(CostClass::NocByteHop, flits * self.cfg.flit_bytes as u64),
             );
+        }
+        // Checkpoint/rollback traffic gets its own attribution site so
+        // the recovery-cost overhead is visible in the ledger while the
+        // per-site partition of the total stays exact.
+        if let Some(rec) = &self.recovery {
+            for &c in CostClass::ALL.iter() {
+                let n = rec.events[c.index()];
+                if n != 0 {
+                    ledger.charge("system.energy.checkpoint_pj", c, rates.charge_fj(c, n));
+                }
+            }
         }
         ledger
     }

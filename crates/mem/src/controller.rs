@@ -1,5 +1,5 @@
 use crate::MemImage;
-use gnna_faults::{ecc, FaultCounters, FaultPlan, FaultSite, SiteInjector, StuckLineModel};
+use gnna_faults::{ecc, EccDomain, FaultCounters, FaultPlan, FaultSite, SiteInjector, StuckLineModel};
 use gnna_telemetry::{CostClass, ModuleProbe};
 use std::collections::VecDeque;
 use std::fmt;
@@ -167,9 +167,17 @@ enum PendingFault {
     /// Two bits flipped; SECDED detects but cannot correct, so the
     /// first delivery attempt schedules a penalised re-read.
     DoubleBit,
-    /// The re-read of a double-bit fault is in flight; the retried data
-    /// is clean.
-    Retrying,
+    /// The re-read of a double-bit fault is in flight; the carried
+    /// count is re-read attempts so far (compared against the plan's
+    /// `mem_retry_budget` when it is finite).
+    Retrying(u32),
+    /// The fault landed outside the configured [`EccDomain`]: nothing
+    /// detects it, so the corrupted line is delivered as silent data
+    /// corruption. `double` records whether one or two bits flipped.
+    Undetected {
+        /// Two bits flipped (vs one).
+        double: bool,
+    },
 }
 
 #[derive(Debug)]
@@ -199,6 +207,24 @@ pub struct MemFaultState {
     stuck: Option<StuckLineModel>,
     passthrough: bool,
     counters: FaultCounters,
+    /// SECDED protection domain; faults outside it go undetected.
+    ecc_domain: EccDomain,
+    /// First address of the activation region: the static/weights
+    /// region is `addr < static_boundary`. Set by the system once the
+    /// memory layout is known (via
+    /// [`MemoryController::set_static_boundary`]); irrelevant under
+    /// [`EccDomain::Both`].
+    static_boundary: u64,
+    /// Re-read attempts allowed per double-bit error; `u32::MAX` models
+    /// the legacy always-successful re-read.
+    retry_budget: u32,
+    /// Dedicated Bernoulli stream deciding whether a re-read itself
+    /// re-faults (finite budgets only, so the main injector's draw
+    /// order — and every legacy golden — is unperturbed).
+    retry_rng: Option<SiteInjector>,
+    /// Sticky failure raised when a re-read budget exhausts; the
+    /// controller wedges until the system aborts or rolls back.
+    failure: Option<String>,
 }
 
 impl MemFaultState {
@@ -219,12 +245,40 @@ impl MemFaultState {
             },
             passthrough: plan.passthrough,
             counters: FaultCounters::default(),
+            ecc_domain: plan.ecc_domain,
+            static_boundary: 0,
+            retry_budget: plan.mem_retry_budget,
+            retry_rng: if plan.mem_retry_budget != u32::MAX {
+                // The re-read re-faults at the same double-bit-event
+                // rate as a first read; a distinct instance index keeps
+                // the stream independent of every controller's main
+                // stream (controller counts are small, so the offset
+                // cannot collide).
+                Some(SiteInjector::new(
+                    plan.seed,
+                    FaultSite::MemRead,
+                    instance.wrapping_add(1 << 32),
+                    plan.mem_rate * plan.mem_double_bit_fraction,
+                ))
+            } else {
+                None
+            },
+            failure: None,
         }
     }
 
     /// Outcome counters accumulated so far.
     pub fn counters(&self) -> &FaultCounters {
         &self.counters
+    }
+
+    /// Whether SECDED covers `addr` under the configured domain.
+    fn protects(&self, addr: u64) -> bool {
+        match self.ecc_domain {
+            EccDomain::Both => true,
+            EccDomain::WeightsOnly => addr < self.static_boundary,
+            EccDomain::ActivationsOnly => addr >= self.static_boundary,
+        }
     }
 }
 
@@ -304,6 +358,58 @@ impl MemoryController {
         self.fault.as_ref().map(MemFaultState::counters)
     }
 
+    /// Sets the static/activation address boundary for selective ECC
+    /// domains (no-op when faults are not attached). Addresses below
+    /// the boundary form the static/weights region.
+    pub fn set_static_boundary(&mut self, addr: u64) {
+        if let Some(fs) = self.fault.as_mut() {
+            fs.static_boundary = addr;
+        }
+    }
+
+    /// Sticky unrecoverable-fault message, set when a double-bit
+    /// re-read budget exhausts. The controller wedges (no further
+    /// deliveries) until the system aborts the run or rolls back.
+    pub fn fault_failure(&self) -> Option<&str> {
+        self.fault.as_ref().and_then(|fs| fs.failure.as_deref())
+    }
+
+    /// Clears the sticky failure as part of a rollback rescue,
+    /// reclassifying the exhausted fault from `unrecoverable` to
+    /// `rolled_back`. No-op if no failure is pending.
+    pub fn clear_fault_failure_for_rollback(&mut self) {
+        if let Some(fs) = self.fault.as_mut() {
+            if fs.failure.take().is_some() {
+                fs.counters.unrecoverable -= 1;
+                fs.counters.rolled_back += 1;
+                // The exhausted fault sits at the queue head as a
+                // `Retrying` marker; drop it so a subsequent
+                // `reset_for_replay` does not count the same injected
+                // fault twice.
+                if let Some(front) = self.queue.front_mut() {
+                    front.fault = None;
+                }
+            }
+        }
+    }
+
+    /// Discards all in-flight requests for a checkpoint-rollback
+    /// replay, keeping cumulative statistics, fault counters, and RNG
+    /// stream positions (replay draws the continuation of the seeded
+    /// streams, so the whole run stays seed-stable). Injected faults
+    /// still pending in the discarded queue are reclassified as
+    /// `rolled_back` so the outcome partition stays exact.
+    pub fn reset_for_replay(&mut self) {
+        if let Some(fs) = self.fault.as_mut() {
+            for p in &self.queue {
+                if p.fault.is_some() {
+                    fs.counters.rolled_back += 1;
+                }
+            }
+        }
+        self.queue.clear();
+    }
+
     /// The configuration in use.
     pub fn config(&self) -> &MemConfig {
         &self.cfg
@@ -366,10 +472,19 @@ impl MemoryController {
             if let Some(fs) = self.fault.as_mut() {
                 if fs.injector.fire() {
                     fs.counters.injected += 1;
-                    fault = Some(if fs.injector.draw_below(fs.double_bit_fraction) {
-                        PendingFault::DoubleBit
+                    // The double-bit sub-draw happens before the domain
+                    // check so the stream consumption is identical for
+                    // every `EccDomain` (and bit-identical to the
+                    // pre-domain model under `EccDomain::Both`).
+                    let double = fs.injector.draw_below(fs.double_bit_fraction);
+                    fault = Some(if fs.protects(request.addr) {
+                        if double {
+                            PendingFault::DoubleBit
+                        } else {
+                            PendingFault::SingleBit
+                        }
                     } else {
-                        PendingFault::SingleBit
+                        PendingFault::Undetected { double }
                     });
                     if let Some(p) = &self.probe {
                         p.instant("mem_fault_inject");
@@ -401,13 +516,19 @@ impl MemoryController {
         if front.ready_at > now {
             return None;
         }
+        let (front_fault, front_addr) = (front.fault, front.request.addr);
+        // A wedged controller (re-read budget exhausted) delivers
+        // nothing until the system aborts the run or rolls back.
+        if self.fault.as_ref().is_some_and(|fs| fs.failure.is_some()) {
+            return None;
+        }
         // Double-bit fault at the head: SECDED detects but cannot
         // correct, so the first delivery attempt converts into a
         // penalised re-read (the retried data is clean). The request
         // stays queued; only its timing changes. Under pass-through the
         // re-read is skipped: the corrupted line is delivered as-is
         // (counted as `sdc` below) with no timing penalty.
-        if front.fault == Some(PendingFault::DoubleBit) {
+        if front_fault == Some(PendingFault::DoubleBit) {
             let fs = self
                 .fault
                 .as_mut()
@@ -417,11 +538,46 @@ impl MemoryController {
                 let penalty = fs.retry_penalty_cycles;
                 let front = self.queue.front_mut().expect("checked front");
                 front.ready_at = now + penalty;
-                front.fault = Some(PendingFault::Retrying);
+                front.fault = Some(PendingFault::Retrying(1));
                 if let Some(p) = &self.probe {
                     p.instant("mem_fault_retry");
                 }
                 return None;
+            }
+        }
+        // Under a finite re-read budget the re-read itself may suffer
+        // another double-bit upset, drawn from the dedicated retry
+        // stream (the default infinite budget has no stream and takes
+        // the legacy always-clean path with zero draws).
+        if let Some(PendingFault::Retrying(attempts)) = front_fault {
+            let fs = self
+                .fault
+                .as_mut()
+                .expect("queued fault implies attached fault state");
+            if let Some(rng) = fs.retry_rng.as_mut() {
+                if rng.fire() {
+                    if attempts >= fs.retry_budget {
+                        fs.counters.unrecoverable += 1;
+                        fs.failure = Some(format!(
+                            "DRAM double-bit re-read budget ({}) exhausted at \
+                             address {front_addr:#x} on cycle {now}",
+                            fs.retry_budget
+                        ));
+                        if let Some(p) = &self.probe {
+                            p.instant("mem_fault_unrecoverable");
+                        }
+                    } else {
+                        fs.counters.retry_cycles += fs.retry_penalty_cycles;
+                        let penalty = fs.retry_penalty_cycles;
+                        let front = self.queue.front_mut().expect("checked front");
+                        front.ready_at = now + penalty;
+                        front.fault = Some(PendingFault::Retrying(attempts + 1));
+                        if let Some(p) = &self.probe {
+                            p.instant("mem_fault_retry");
+                        }
+                    }
+                    return None;
+                }
             }
         }
         let PendingRequest {
@@ -461,7 +617,7 @@ impl MemoryController {
                             p.instant("mem_fault_corrected");
                         }
                     }
-                    Some(PendingFault::Retrying) => {
+                    Some(PendingFault::Retrying(_)) => {
                         let fs = self
                             .fault
                             .as_mut()
@@ -469,6 +625,30 @@ impl MemoryController {
                         fs.counters.retried += 1;
                         if let Some(p) = &self.probe {
                             p.instant("mem_fault_retried");
+                        }
+                    }
+                    Some(PendingFault::Undetected { double }) => {
+                        // The upset landed outside the configured ECC
+                        // protection domain: no code word exists for
+                        // this line, so the raw corrupted data leaves
+                        // the controller as silent data corruption.
+                        let fs = self
+                            .fault
+                            .as_mut()
+                            .expect("queued fault implies attached fault state");
+                        if let Some(w) = words.first_mut() {
+                            let a = fs.injector.draw_range(32) as u32;
+                            if double {
+                                let b = (a + 1 + fs.injector.draw_range(31) as u32) % 32;
+                                debug_assert_ne!(a, b);
+                                *w ^= (1 << a) | (1 << b);
+                            } else {
+                                *w ^= 1 << a;
+                            }
+                        }
+                        fs.counters.sdc += 1;
+                        if let Some(p) = &self.probe {
+                            p.instant("mem_fault_sdc");
                         }
                     }
                     Some(PendingFault::DoubleBit) => {
@@ -511,7 +691,7 @@ impl MemoryController {
                                 continue; // masked: stored bit matches the stuck value
                             }
                             fs.counters.injected += 1;
-                            if fs.passthrough {
+                            if fs.passthrough || !fs.protects((base_word + i as u64) * 4) {
                                 *w = line.apply(*w);
                                 fs.counters.sdc += 1;
                                 if let Some(p) = &self.probe {
@@ -931,5 +1111,162 @@ mod tests {
         let plan = FaultPlan::new(5).with_mem_stuck_rate(0.0);
         let state = MemFaultState::from_plan(&plan, 0);
         assert!(state.stuck.is_none());
+    }
+
+    #[test]
+    fn infinite_retry_budget_attaches_no_retry_stream() {
+        let plan = FaultPlan::new(5).with_mem_rate(0.5);
+        let state = MemFaultState::from_plan(&plan, 0);
+        assert!(state.retry_rng.is_none(), "legacy path must draw nothing");
+    }
+
+    #[test]
+    fn exhausted_retry_budget_wedges_with_sticky_failure() {
+        // Rate 1, all double-bit, budget 2, and the dedicated retry
+        // stream also fires on every re-read (rate 1 × fraction 1): the
+        // first delivery converts to a re-read, re-reads 1 and 2 fault
+        // again, and the third attempt exceeds the budget.
+        let mut img = MemImage::new();
+        let addr = img.alloc_u32(&[1, 2]);
+        let plan = FaultPlan::new(7)
+            .with_mem_rate(1.0)
+            .with_double_bit_fraction(1.0)
+            .with_mem_retry_budget(2);
+        let mut ctrl = MemoryController::new(MemConfig::default());
+        ctrl.attach_faults(MemFaultState::from_plan(&plan, 0));
+        ctrl.try_push(MemRequest::read(addr, 8, 0), 0).unwrap();
+        for _ in 0..8 {
+            if ctrl.fault_failure().is_some() {
+                break;
+            }
+            let now = ctrl.next_ready_cycle().unwrap();
+            assert!(ctrl.pop_ready(now, &mut img).is_none());
+        }
+        let msg = ctrl.fault_failure().expect("budget must exhaust");
+        assert!(msg.contains("re-read budget (2) exhausted"), "{msg}");
+        // Wedged: nothing delivers even far in the future.
+        assert!(ctrl.pop_ready(u64::MAX, &mut img).is_none());
+        let c = *ctrl.fault_counters().unwrap();
+        assert_eq!(c.unrecoverable, 1);
+        assert!(c.partition_holds());
+    }
+
+    #[test]
+    fn rollback_rescue_reclassifies_and_replays_clean() {
+        let mut img = MemImage::new();
+        let addr = img.alloc_u32(&[10, 20]);
+        let plan = FaultPlan::new(7)
+            .with_mem_rate(1.0)
+            .with_double_bit_fraction(1.0)
+            .with_mem_retry_budget(2);
+        let mut ctrl = MemoryController::new(MemConfig::default());
+        ctrl.attach_faults(MemFaultState::from_plan(&plan, 0));
+        ctrl.try_push(MemRequest::read(addr, 8, 0), 0).unwrap();
+        while ctrl.fault_failure().is_none() {
+            let now = ctrl.next_ready_cycle().unwrap();
+            assert!(ctrl.pop_ready(now, &mut img).is_none());
+        }
+        ctrl.clear_fault_failure_for_rollback();
+        ctrl.reset_for_replay();
+        assert!(ctrl.fault_failure().is_none());
+        assert!(ctrl.is_idle());
+        let c = *ctrl.fault_counters().unwrap();
+        // The exhausted fault was reclassified exactly once (the
+        // queued `Retrying` marker for the same fault is dropped, not
+        // double-counted).
+        assert_eq!(c.unrecoverable, 0);
+        assert_eq!(c.rolled_back, 1);
+        assert_eq!(c.injected, 1);
+        assert!(c.partition_holds());
+    }
+
+    #[test]
+    fn unprotected_domain_delivers_silent_corruption() {
+        // All addresses are "activations" (boundary 0) but ECC covers
+        // weights only, so every injected fault goes undetected and the
+        // corrupted line leaves the controller without a retry penalty.
+        let mut img = MemImage::new();
+        let addr = img.alloc_u32(&[0xAAAA_AAAA, 0x5555_5555]);
+        let plan = FaultPlan::new(13)
+            .with_mem_rate(1.0)
+            .with_double_bit_fraction(0.0)
+            .with_ecc_domain(EccDomain::WeightsOnly);
+        let mut ctrl = MemoryController::new(MemConfig::default());
+        ctrl.attach_faults(MemFaultState::from_plan(&plan, 0));
+        ctrl.set_static_boundary(0);
+        ctrl.try_push(MemRequest::read(addr, 8, 0), 0).unwrap();
+        let now = ctrl.next_ready_cycle().unwrap();
+        let resp = ctrl
+            .pop_ready(now, &mut img)
+            .expect("undetected faults add no delay");
+        let data = resp.data.unwrap();
+        assert_eq!(
+            (data[0] ^ 0xAAAA_AAAA).count_ones(),
+            1,
+            "single undetected flip"
+        );
+        let c = *ctrl.fault_counters().unwrap();
+        assert_eq!(c.sdc, 1);
+        assert_eq!(c.corrected, 0);
+        assert!(c.partition_holds());
+    }
+
+    #[test]
+    fn protected_domain_still_corrects_inside_boundary() {
+        // Same plan, but the boundary is pushed above our address: the
+        // fault lands inside the protected weights region and ECC
+        // corrects it exactly as under `EccDomain::Both`.
+        let mut img = MemImage::new();
+        let addr = img.alloc_u32(&[0xAAAA_AAAA, 0x5555_5555]);
+        let plan = FaultPlan::new(13)
+            .with_mem_rate(1.0)
+            .with_double_bit_fraction(0.0)
+            .with_ecc_domain(EccDomain::WeightsOnly);
+        let mut ctrl = MemoryController::new(MemConfig::default());
+        ctrl.attach_faults(MemFaultState::from_plan(&plan, 0));
+        ctrl.set_static_boundary(addr + 64);
+        ctrl.try_push(MemRequest::read(addr, 8, 0), 0).unwrap();
+        let now = ctrl.next_ready_cycle().unwrap();
+        let resp = ctrl.pop_ready(now, &mut img).unwrap();
+        assert_eq!(resp.data.unwrap(), vec![0xAAAA_AAAA, 0x5555_5555]);
+        let c = *ctrl.fault_counters().unwrap();
+        assert_eq!(c.corrected, 1);
+        assert_eq!(c.sdc, 0);
+        assert!(c.partition_holds());
+    }
+
+    #[test]
+    fn domain_split_consumes_identical_stream() {
+        // The double-bit sub-draw happens before the domain check, so
+        // the injector stream position after N requests is identical
+        // across domains: counters differ only in classification.
+        let run = |domain: EccDomain| {
+            let mut img = MemImage::new();
+            let addr = img.alloc_u32(&(0..64u32).collect::<Vec<_>>());
+            let plan = FaultPlan::new(99)
+                .with_mem_rate(0.5)
+                .with_double_bit_fraction(0.25)
+                .with_ecc_domain(domain);
+            let mut ctrl = MemoryController::new(MemConfig::default());
+            ctrl.attach_faults(MemFaultState::from_plan(&plan, 0));
+            ctrl.set_static_boundary(0);
+            for i in 0..16u64 {
+                ctrl.try_push(MemRequest::read(addr + i * 16, 16, i), 0)
+                    .unwrap();
+            }
+            let mut ctrl2 = ctrl;
+            let _ = drain(&mut ctrl2, &mut img);
+            *ctrl2.fault_counters().unwrap()
+        };
+        let both = run(EccDomain::Both);
+        let acts = run(EccDomain::ActivationsOnly);
+        let weights = run(EccDomain::WeightsOnly);
+        assert_eq!(both.injected, acts.injected);
+        assert_eq!(both.injected, weights.injected);
+        // Boundary 0 ⇒ everything is activations: acts == both
+        // classification-wise, weights-only sees pure sdc.
+        assert_eq!(both.corrected + both.retried, acts.corrected + acts.retried);
+        assert_eq!(weights.sdc, weights.injected);
+        assert!(both.partition_holds() && acts.partition_holds() && weights.partition_holds());
     }
 }

@@ -29,6 +29,20 @@ impl fmt::Display for Address {
     }
 }
 
+/// Coarse traffic class a selective CRC protection domain can select
+/// on: bulk data movement vs small control/request messages. The tag
+/// has no timing effect; it only decides whether the link-level CRC
+/// model covers the packet's flits under a restricted
+/// `gnna_faults::CrcDomain`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PacketKind {
+    /// Bulk payload traffic (feature rows, partial results, DMA writes).
+    #[default]
+    Data,
+    /// Control traffic (read requests, configuration messages).
+    Control,
+}
+
 /// A message travelling through the network.
 ///
 /// `size_bytes` determines how many 64 B flits the packet occupies on
@@ -47,6 +61,9 @@ pub struct Packet<T> {
     pub size_bytes: usize,
     /// Cycle at which the packet entered the network (set at injection).
     pub injected_at: u64,
+    /// Traffic class for selective CRC protection (defaults to
+    /// [`PacketKind::Data`]).
+    pub kind: PacketKind,
     /// Functional payload.
     pub payload: T,
 }
@@ -61,8 +78,15 @@ impl<T> Packet<T> {
             dst,
             size_bytes,
             injected_at: 0,
+            kind: PacketKind::Data,
             payload,
         }
+    }
+
+    /// Tags the packet with a traffic class for selective CRC domains.
+    pub fn with_kind(mut self, kind: PacketKind) -> Self {
+        self.kind = kind;
+        self
     }
 }
 

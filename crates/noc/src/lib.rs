@@ -52,7 +52,7 @@ mod router;
 mod stats;
 
 pub use config::NocConfig;
-pub use flit::{Address, Flit, Packet};
+pub use flit::{Address, Flit, Packet, PacketKind};
 pub use network::{Network, NocFaultState};
 pub use reassembly::Reassembler;
 pub use stats::NetworkStats;

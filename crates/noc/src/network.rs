@@ -1,7 +1,7 @@
 use crate::arena::{BufFlit, FlitRef, LinkFlit, PacketSlab};
 use crate::router::{opposite, xy_route, EAST, LOCAL_BASE, NORTH, SOUTH, WEST};
-use crate::{Address, Flit, NetworkStats, NocConfig, Packet};
-use gnna_faults::{crc, DeadLink, FaultCounters, FaultPlan, FaultSite, SiteInjector};
+use crate::{Address, Flit, NetworkStats, NocConfig, Packet, PacketKind};
+use gnna_faults::{crc, CrcDomain, DeadLink, FaultCounters, FaultPlan, FaultSite, SiteInjector};
 use gnna_telemetry::{HistogramSummary, MetricsRegistry, ModuleProbe};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -93,6 +93,12 @@ pub struct NocFaultState {
     /// `poison`, counted as `sdc`) instead of retransmitting. Dropped
     /// flits still retransmit — a lost flit cannot pass through.
     passthrough: bool,
+    /// Selective CRC protection: flits of packets outside the domain
+    /// behave as in pass-through when corrupted (no CRC word exists to
+    /// catch the flip, so it sails on as poison/`sdc`). Drops are
+    /// detected by the wormhole sequence/timeout mechanism, not the
+    /// CRC, so they retransmit under every domain.
+    crc_domain: CrcDomain,
     /// Permanently dead links from the plan (routing detours around
     /// them via the network's detour table).
     dead: Vec<DeadLink>,
@@ -114,6 +120,7 @@ impl NocFaultState {
             retries: Vec::new(),
             failure: None,
             passthrough: plan.passthrough,
+            crc_domain: plan.crc_domain,
             dead: plan.dead_links.clone(),
             poison: HashMap::new(),
         }
@@ -510,6 +517,69 @@ impl<T> Network<T> {
     /// check this after every step and abort with a structured error.
     pub fn fault_failure(&self) -> Option<&str> {
         self.fault.as_ref().and_then(|f| f.failure.as_deref())
+    }
+
+    /// Clears the sticky failure as part of a checkpoint-rollback
+    /// rescue, reclassifying the exhausted fault from `unrecoverable`
+    /// to `rolled_back`. No-op if no failure is pending.
+    pub fn clear_fault_failure_for_rollback(&mut self) {
+        if let Some(fs) = self.fault.as_mut() {
+            if fs.failure.take().is_some() {
+                fs.counters.unrecoverable -= 1;
+                fs.counters.rolled_back += 1;
+            }
+        }
+    }
+
+    /// Discards every in-flight flit, staging packet, and pending
+    /// ejection for a checkpoint-rollback replay, restoring the fabric
+    /// to its quiescent post-construction state while keeping the
+    /// monotonic cycle counter, cumulative statistics, fault counters,
+    /// and RNG stream positions (replay draws the continuation of the
+    /// seeded streams). Pending retransmit attempts for discarded flits
+    /// are reclassified as `rolled_back` so the outcome partition stays
+    /// exact; the pass-through poison ledger of discarded packets is
+    /// dropped (their `sdc` charge remains).
+    pub fn reset_for_replay(&mut self) {
+        if let Some(fs) = self.fault.as_mut() {
+            let mut pending = 0u64;
+            for per_router in &mut fs.retries {
+                for a in per_router.iter_mut() {
+                    pending += u64::from(std::mem::take(a));
+                }
+            }
+            fs.counters.rolled_back += pending;
+            fs.poison.clear();
+        }
+        for b in &mut self.in_buf {
+            b.clear();
+        }
+        self.in_route.fill(NO_ROUTE);
+        for link in &mut self.out_link {
+            link.clear();
+        }
+        self.out_credits
+            .fill(self.cfg.input_buffer_flits as u32);
+        self.out_owner.fill(NO_OWNER);
+        self.out_rr.fill(0);
+        self.buffered_flits.fill(0);
+        self.link_flits.fill(0);
+        self.staging.fill(0);
+        self.delivered_nodes.clear();
+        self.delivered_flag.fill(false);
+        for inj in &mut self.injection {
+            inj.fill(None);
+        }
+        for ej in &mut self.ejection {
+            for q in ej {
+                q.clear();
+            }
+        }
+        self.slab = PacketSlab::new();
+        self.inflight_flits = 0;
+        if let Some(t) = self.telemetry.as_mut() {
+            t.hops.clear();
+        }
     }
 
     /// Attaches a telemetry probe. The network then emits an instant event
@@ -933,12 +1003,18 @@ impl<T> Network<T> {
             fs.counters.corrupted += 1;
             let front = self.in_buf[gp].front().expect("winner has a flit");
             let packet = self.slab.get(front.fr.slot);
-            if fs.passthrough {
-                // Pass-through: the CRC failure is ignored and the
-                // corrupted flit sails on. Record which payload bit
-                // flipped so the embedding system can apply it at
-                // packet reassembly; the corruption is terminal here —
-                // silent data corruption, no retry traffic.
+            let protected = match fs.crc_domain {
+                CrcDomain::All => true,
+                CrcDomain::DataOnly => packet.kind == PacketKind::Data,
+                CrcDomain::ControlOnly => packet.kind == PacketKind::Control,
+            };
+            if fs.passthrough || !protected {
+                // Pass-through (or the packet class carries no CRC
+                // under the selective domain): the corruption is not
+                // caught and the corrupted flit sails on. Record which
+                // payload bit flipped so the embedding system can apply
+                // it at packet reassembly; the corruption is terminal
+                // here — silent data corruption, no retry traffic.
                 let bit = fs.injector.draw_range(8 * self.cfg.flit_bytes as u64);
                 fs.poison
                     .entry(packet.id)
@@ -1783,6 +1859,135 @@ mod tests {
         assert_eq!(c.sdc, 0);
         assert!(c.retry_cycles > 0);
         assert!(c.partition_holds(), "{c}");
+    }
+
+    #[test]
+    fn unprotected_crc_domain_poisons_instead_of_retrying() {
+        // CRC covers control flits only; plain `Data` packets corrupt
+        // silently (poison + sdc) exactly like pass-through, with no
+        // retransmit traffic and no timing perturbation.
+        use gnna_faults::CrcDomain;
+        let plan = FaultPlan::new(17)
+            .with_noc_rate(0.3)
+            .with_crc_domain(CrcDomain::ControlOnly);
+        let plan = FaultPlan {
+            noc_drop_fraction: 0.0,
+            ..plan
+        };
+        let mut clean = net(3, 3);
+        let mut faulty = net(3, 3);
+        faulty
+            .attach_faults(NocFaultState::from_plan(&plan, 0))
+            .unwrap();
+        inject_grid(&mut clean, 16);
+        inject_grid(&mut faulty, 16);
+        let clean_log = drain_log(&mut clean, 3, 3, 2000);
+        let faulty_log = drain_log(&mut faulty, 3, 3, 2000);
+        assert_eq!(clean_log, faulty_log, "undetected corruption is free");
+        let c = *faulty.fault_counters().unwrap();
+        assert!(c.injected > 0);
+        assert_eq!(c.sdc, c.injected, "nothing was protected");
+        assert_eq!(c.retried + c.unrecoverable, 0);
+        let total: usize = (0..faulty.next_packet_id)
+            .map(|id| faulty.take_poison(id).len())
+            .sum();
+        assert_eq!(total as u64, c.sdc);
+    }
+
+    #[test]
+    fn matching_crc_domain_behaves_like_full_protection() {
+        // Data-only CRC over all-Data traffic must be bit-identical to
+        // the default full-coverage domain (same RNG draw order).
+        use gnna_faults::CrcDomain;
+        let run = |domain: CrcDomain| {
+            let plan = FaultPlan::new(11)
+                .with_noc_rate(0.2)
+                .with_crc_domain(domain);
+            let mut n = net(3, 3);
+            n.attach_faults(NocFaultState::from_plan(&plan, 0)).unwrap();
+            inject_grid(&mut n, 16);
+            let log = drain_log(&mut n, 3, 3, 3000);
+            (log, *n.fault_counters().unwrap())
+        };
+        assert_eq!(run(CrcDomain::All), run(CrcDomain::DataOnly));
+    }
+
+    #[test]
+    fn control_tagged_packets_use_the_control_domain() {
+        use gnna_faults::CrcDomain;
+        let plan = FaultPlan::new(3)
+            .with_noc_rate(1.0)
+            .with_crc_domain(CrcDomain::ControlOnly)
+            .with_noc_retry_budget(2);
+        let plan = FaultPlan {
+            noc_drop_fraction: 0.0,
+            ..plan
+        };
+        let mut n = net(2, 1);
+        n.attach_faults(NocFaultState::from_plan(&plan, 0)).unwrap();
+        n.try_inject(
+            Packet::new(Address::new(0, 0, 0), Address::new(1, 0, 0), 64, 1)
+                .with_kind(PacketKind::Control),
+        )
+        .unwrap();
+        let _ = drain_log(&mut n, 2, 1, 2000);
+        // A control packet under ControlOnly IS protected: rate-1.0
+        // corruption exhausts the retransmit budget just as under All.
+        assert!(n.fault_failure().is_some(), "control flits carry CRC");
+    }
+
+    #[test]
+    fn reset_for_replay_quiesces_and_reclassifies_pending_retries() {
+        let plan = FaultPlan::new(3)
+            .with_noc_rate(1.0)
+            .with_noc_retry_budget(2);
+        let mut n = net(2, 1);
+        n.attach_faults(NocFaultState::from_plan(&plan, 0)).unwrap();
+        n.try_inject(Packet::new(
+            Address::new(0, 0, 0),
+            Address::new(1, 0, 0),
+            256,
+            1,
+        ))
+        .unwrap();
+        // Step until the sticky failure fires, leaving retransmits and
+        // flits wedged mid-fabric (do NOT drain).
+        while n.fault_failure().is_none() {
+            n.step();
+        }
+        n.clear_fault_failure_for_rollback();
+        n.reset_for_replay();
+        assert!(n.fault_failure().is_none());
+        assert!(n.is_idle(), "fabric must be quiescent after reset");
+        let c = *n.fault_counters().unwrap();
+        assert!(c.rolled_back > 0);
+        assert_eq!(c.unrecoverable, 0);
+        assert!(c.partition_holds(), "{c}");
+        // The fabric is usable again: a fresh fault-free-equivalent
+        // injection delivers (failure cleared, budget counters zeroed).
+        let cycle_before = n.cycle();
+        n.try_inject(Packet::new(
+            Address::new(1, 0, 0),
+            Address::new(0, 0, 0),
+            64,
+            7,
+        ))
+        .unwrap();
+        let mut delivered = false;
+        for _ in 0..2000 {
+            n.step();
+            if n.eject(Address::new(0, 0, 0)).is_some() {
+                delivered = true;
+                break;
+            }
+            if n.fault_failure().is_some() {
+                break;
+            }
+        }
+        assert!(
+            delivered || n.fault_failure().is_some(),
+            "post-reset fabric must make progress (cycle {cycle_before})"
+        );
     }
 
     #[test]

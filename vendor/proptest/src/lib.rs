@@ -12,12 +12,17 @@
 //! - **value-level shrinking only** — when a case fails and every generated
 //!   value implements [`shrink::Shrink`] (integers, bools, vectors and tuples
 //!   of those), the runner greedily halves/binary-searches toward a minimal
-//!   failing input and prints it before re-raising the panic. Unlike real
-//!   proptest there is no value tree: shrinking mutates raw values, so a
-//!   minimized case can violate cross-parameter invariants the *strategy*
-//!   upheld (e.g. "all edge endpoints < n") — treat it as a debugging hint,
-//!   not a guaranteed in-domain counterexample. Values outside the `Shrink`
-//!   impls (custom structs, floats) fail exactly as before, unshrunk;
+//!   failing input and prints it before re-raising the panic. Every shrink
+//!   candidate is pulled back into the originating strategy's domain through
+//!   [`strategy::Strategy::clamp`] before it is probed, so a case drawn from
+//!   `5u32..10` minimizes to 5, never 0. Clamping is per-parameter: range
+//!   strategies restore their bounds, `Just` pins its constant, tuples and
+//!   `collection::vec` clamp element-wise. Cross-parameter invariants the
+//!   strategy upheld through `prop_map`/`prop_flat_map` (e.g. "all edge
+//!   endpoints < n") are still *not* re-established — there is no value
+//!   tree, so treat combinator-derived counterexamples as debugging hints.
+//!   Values outside the `Shrink` impls (custom structs, floats) fail
+//!   exactly as before, unshrunk;
 //! - deterministic per-test RNG streams (no `proptest-regressions` replay);
 //! - default case count is 64 rather than 256 to keep CI fast.
 
@@ -44,6 +49,19 @@ pub mod strategy {
         type Value;
 
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Pull a (possibly shrunk) value back into this strategy's domain.
+        ///
+        /// The shrinker halves raw values toward zero with no knowledge of
+        /// where they came from; the runner routes every candidate through
+        /// the originating strategy's `clamp` so minimized counterexamples
+        /// stay inside the range the property was quantified over. The
+        /// default is the identity — combinators like `prop_map` cannot
+        /// invert their closure, so only structural strategies (ranges,
+        /// tuples, `Just`, `collection::vec`) override it.
+        fn clamp(&self, value: Self::Value) -> Self::Value {
+            value
+        }
 
         fn prop_map<O, F>(self, f: F) -> Map<Self, F>
         where
@@ -78,6 +96,9 @@ pub mod strategy {
         fn generate(&self, rng: &mut TestRng) -> T {
             self.0.generate(rng)
         }
+        fn clamp(&self, value: T) -> T {
+            self.0.clamp(value)
+        }
     }
 
     /// Strategy that always yields a clone of its payload.
@@ -87,6 +108,10 @@ pub mod strategy {
     impl<T: Clone> Strategy for Just<T> {
         type Value = T;
         fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+        /// The only in-domain value is the constant itself.
+        fn clamp(&self, _value: T) -> T {
             self.0.clone()
         }
     }
@@ -116,8 +141,37 @@ pub mod strategy {
         }
     }
 
-    /// Ranges of ints/floats are strategies (uniform sampling).
-    macro_rules! impl_range_strategy {
+    /// Integer ranges are strategies (uniform sampling) that clamp shrunk
+    /// values back into their bounds.
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.0.random_range(self.clone())
+                }
+                fn clamp(&self, value: $t) -> $t {
+                    // A non-empty half-open range spans start..=end-1;
+                    // generate panics on an empty one before clamp can run.
+                    value.clamp(self.start, self.end - 1)
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.0.random_range(self.clone())
+                }
+                fn clamp(&self, value: $t) -> $t {
+                    value.clamp(*self.start(), *self.end())
+                }
+            }
+        )*};
+    }
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Float ranges keep the identity clamp: floats are shrink-terminal
+    /// (see `shrink`), so no out-of-range candidate is ever produced.
+    macro_rules! impl_float_range_strategy {
         ($($t:ty),*) => {$(
             impl Strategy for core::ops::Range<$t> {
                 type Value = $t;
@@ -133,29 +187,32 @@ pub mod strategy {
             }
         )*};
     }
-    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+    impl_float_range_strategy!(f32, f64);
 
-    /// Tuple strategies up to arity 8.
+    /// Tuple strategies up to arity 8; clamping is component-wise.
     macro_rules! impl_tuple_strategy {
-        ($($name:ident),+) => {
+        ($(($($name:ident . $idx:tt),+))*) => {$(
             impl<$($name: Strategy),+> Strategy for ($($name,)+) {
                 type Value = ($($name::Value,)+);
-                #[allow(non_snake_case)]
                 fn generate(&self, rng: &mut TestRng) -> Self::Value {
-                    let ($($name,)+) = self;
-                    ($($name.generate(rng),)+)
+                    ($(self.$idx.generate(rng),)+)
+                }
+                fn clamp(&self, value: Self::Value) -> Self::Value {
+                    ($(self.$idx.clamp(value.$idx),)+)
                 }
             }
-        };
+        )*};
     }
-    impl_tuple_strategy!(A);
-    impl_tuple_strategy!(A, B);
-    impl_tuple_strategy!(A, B, C);
-    impl_tuple_strategy!(A, B, C, D);
-    impl_tuple_strategy!(A, B, C, D, E);
-    impl_tuple_strategy!(A, B, C, D, E, F);
-    impl_tuple_strategy!(A, B, C, D, E, F, G);
-    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    }
 
     /// Weighted choice over boxed alternatives (`prop_oneof!`).
     pub struct WeightedUnion<T> {
@@ -267,6 +324,12 @@ pub mod collection {
             let len = self.size.pick_len(rng);
             (0..len).map(|_| self.elem.generate(rng)).collect()
         }
+        /// Elements are clamped into the element strategy's domain; the
+        /// length is left alone — structural shrinking may drop below the
+        /// size range's minimum (restoring it would need fresh generation).
+        fn clamp(&self, value: Vec<S::Value>) -> Vec<S::Value> {
+            value.into_iter().map(|v| self.elem.clamp(v)).collect()
+        }
     }
 
     /// `proptest::collection::vec(elem_strategy, size)`.
@@ -328,8 +391,10 @@ pub mod shrink {
     use std::fmt::Debug;
 
     /// Types the runner knows how to simplify. `Debug` is a supertrait so
-    /// the minimized counterexample can always be printed.
-    pub trait Shrink: Sized + Clone + Debug {
+    /// the minimized counterexample can always be printed; `PartialEq` lets
+    /// [`minimize_in`] skip candidates the domain clamp maps back onto the
+    /// current value.
+    pub trait Shrink: Sized + Clone + Debug + PartialEq {
         /// Candidate simpler values, largest simplification first. An empty
         /// list means the value is already minimal.
         fn shrink_candidates(&self) -> Vec<Self>;
@@ -455,11 +520,31 @@ pub mod shrink {
     /// budget runs out. Returns the minimized value and the number of
     /// accepted shrink steps.
     pub fn minimize<T: Shrink>(start: T, still_fails: &mut dyn FnMut(&T) -> bool) -> (T, u32) {
+        minimize_in(start, &|v| v, still_fails)
+    }
+
+    /// [`minimize`] with a domain: every candidate is pulled back through
+    /// `clamp` (the originating strategy's
+    /// [`clamp`](crate::strategy::Strategy::clamp)) before it is probed, so
+    /// the counterexample never leaves the range the property was
+    /// quantified over. Candidates the clamp maps back onto the current
+    /// value are skipped without spending probe budget — once a range
+    /// strategy's value sits on its lower bound, every halving candidate
+    /// clamps to that same bound and descent terminates.
+    pub fn minimize_in<T: Shrink>(
+        start: T,
+        clamp: &dyn Fn(T) -> T,
+        still_fails: &mut dyn FnMut(&T) -> bool,
+    ) -> (T, u32) {
         let mut cur = start;
         let mut steps = 0u32;
         let mut budget = 1_000u32;
         'outer: loop {
             for cand in cur.shrink_candidates() {
+                let cand = clamp(cand);
+                if cand == cur {
+                    continue;
+                }
                 if budget == 0 {
                     break 'outer;
                 }
@@ -482,7 +567,7 @@ pub mod __rt {
     //! picks [`RunShrink`] when the tuple of generated values implements
     //! [`Shrink`](crate::shrink::Shrink) and falls back to [`RunPlain`]
     //! (the old direct-panic behaviour) otherwise.
-    use crate::shrink::{minimize, Shrink};
+    use crate::shrink::{minimize_in, Shrink};
     use std::panic::{catch_unwind, AssertUnwindSafe};
 
     pub struct Tag<T>(core::marker::PhantomData<T>);
@@ -494,17 +579,17 @@ pub mod __rt {
     }
 
     pub trait RunShrink<T> {
-        fn run_case<F: Fn(T)>(&self, case: u32, value: T, body: F);
+        fn run_case<F: Fn(T), C: Fn(T) -> T>(&self, case: u32, value: T, clamp: C, body: F);
     }
 
     impl<T: Shrink> RunShrink<T> for Tag<T> {
-        fn run_case<F: Fn(T)>(&self, case: u32, value: T, body: F) {
+        fn run_case<F: Fn(T), C: Fn(T) -> T>(&self, case: u32, value: T, clamp: C, body: F) {
             if catch_unwind(AssertUnwindSafe(|| body(value.clone()))).is_ok() {
                 return;
             }
             let mut still_fails =
                 |v: &T| catch_unwind(AssertUnwindSafe(|| body(v.clone()))).is_err();
-            let (min, steps) = minimize(value, &mut still_fails);
+            let (min, steps) = minimize_in(value, &|v| clamp(v), &mut still_fails);
             eprintln!(
                 "proptest shim: case #{case} failed; \
                  minimized in {steps} shrink steps to: {min:?}"
@@ -517,11 +602,11 @@ pub mod __rt {
     }
 
     pub trait RunPlain<T> {
-        fn run_case<F: Fn(T)>(&self, case: u32, value: T, body: F);
+        fn run_case<F: Fn(T), C: Fn(T) -> T>(&self, case: u32, value: T, clamp: C, body: F);
     }
 
     impl<T> RunPlain<T> for &Tag<T> {
-        fn run_case<F: Fn(T)>(&self, _case: u32, value: T, body: F) {
+        fn run_case<F: Fn(T), C: Fn(T) -> T>(&self, _case: u32, value: T, _clamp: C, body: F) {
             body(value);
         }
     }
@@ -565,9 +650,13 @@ macro_rules! __proptest_items {
             let __pt_runner = $crate::test_runner::TestRunner::new($cfg);
             for __pt_case in 0..__pt_runner.cases() {
                 let mut __pt_rng = __pt_runner.rng_for(__pt_case);
-                let __pt_vals = ($(
-                    $crate::strategy::Strategy::generate(&($strat), &mut __pt_rng),
-                )+);
+                // The strategies live as a tuple (itself a strategy) so the
+                // shrinking runner can clamp candidates back into their
+                // domains; generation order through the tuple impl matches
+                // the old per-argument order, keeping values byte-stable.
+                let __pt_strats = ($(($strat),)+);
+                let __pt_vals =
+                    $crate::strategy::Strategy::generate(&__pt_strats, &mut __pt_rng);
                 // Autoref specialization: one `&` reaches the shrinking
                 // runner when the value tuple implements `Shrink`, two
                 // reach the plain runner otherwise.
@@ -575,10 +664,15 @@ macro_rules! __proptest_items {
                 {
                     #[allow(unused_imports)]
                     use $crate::__rt::{RunPlain, RunShrink};
-                    (&__pt_tag).run_case(__pt_case, __pt_vals, |__pt_vals| {
-                        let ($($parm,)+) = __pt_vals;
-                        $body
-                    });
+                    (&__pt_tag).run_case(
+                        __pt_case,
+                        __pt_vals,
+                        |__pt_c| $crate::strategy::Strategy::clamp(&__pt_strats, __pt_c),
+                        |__pt_vals| {
+                            let ($($parm,)+) = __pt_vals;
+                            $body
+                        },
+                    );
                 }
             }
         }
@@ -658,7 +752,7 @@ mod tests {
     }
 
     mod shrink {
-        use crate::shrink::{minimize, Shrink};
+        use crate::shrink::{minimize, minimize_in, Shrink};
 
         #[test]
         fn int_minimize_finds_exact_boundary() {
@@ -721,6 +815,46 @@ mod tests {
             });
             assert!(min >= 3);
         }
+
+        #[test]
+        fn minimize_in_descends_only_within_the_clamped_domain() {
+            // Always-failing predicate over a domain floored at 5: the
+            // halving candidates (0, v/2, …) all clamp back to 5, so the
+            // descent lands on the floor and terminates there instead of
+            // re-probing the same value forever.
+            let mut probed = Vec::new();
+            let (min, _) = minimize_in(9u32, &|v| v.max(5), &mut |&v| {
+                probed.push(v);
+                true
+            });
+            assert_eq!(min, 5);
+            assert!(probed.iter().all(|&v| v >= 5), "probed below the domain");
+        }
+    }
+
+    mod clamp {
+        use crate::strategy::Strategy;
+
+        #[test]
+        fn ranges_restore_their_bounds() {
+            let s = 5u32..10;
+            assert_eq!(s.clamp(0), 5);
+            assert_eq!(s.clamp(7), 7);
+            assert_eq!(s.clamp(99), 9, "half-open range must exclude end");
+            let si = -3i32..=3;
+            assert_eq!(si.clamp(-10), -3);
+            assert_eq!(si.clamp(10), 3);
+            assert_eq!(si.clamp(0), 0);
+        }
+
+        #[test]
+        fn structural_strategies_clamp_through() {
+            use crate::strategy::Just;
+            assert_eq!((Just(7u8), 5u32..10).clamp((0, 0)), (7, 5));
+            assert_eq!((2u16..=4).boxed().clamp(100), 4);
+            let v = crate::collection::vec(5u32..10, 3);
+            assert_eq!(v.clamp(vec![0, 7, 99]), vec![5, 7, 9]);
+        }
     }
 
     /// End-to-end: a failing property over shrinkable values panics (the
@@ -736,5 +870,33 @@ mod tests {
             }
         }
         inner();
+    }
+
+    /// Regression: value-level shrinking used to halve toward zero with no
+    /// knowledge of the originating strategy, so this always-failing
+    /// property over `5u32..10` was "minimized" to 0 — a counterexample
+    /// outside the range it was quantified over. The clamp hook must keep
+    /// every probed value in-range and pin the minimum at the lower bound.
+    #[test]
+    fn shrunk_integers_stay_inside_the_range_strategy() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        static MIN_SEEN: AtomicU32 = AtomicU32::new(u32::MAX);
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(1))]
+            #[allow(dead_code)]
+            fn inner(x in 5u32..10) {
+                MIN_SEEN.fetch_min(x, Ordering::SeqCst);
+                prop_assert!(false, "always fails so the runner must shrink");
+            }
+        }
+        assert!(
+            std::panic::catch_unwind(inner).is_err(),
+            "property must fail"
+        );
+        assert_eq!(
+            MIN_SEEN.load(Ordering::SeqCst),
+            5,
+            "shrinking probed a value below the range strategy's lower bound"
+        );
     }
 }
