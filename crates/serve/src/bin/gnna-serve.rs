@@ -15,7 +15,8 @@
 
 use gnna_bench::Scale;
 use gnna_core::config::AcceleratorConfig;
-use gnna_serve::loadgen::{run_baseline, BaselineOptions};
+use gnna_serve::loadgen::{run_baseline, run_soak, BaselineOptions, SoakOptions};
+use gnna_serve::queue::parse_quota_flag;
 use gnna_serve::server::{serve, ServeConfig};
 use std::process::ExitCode;
 use std::time::Duration;
@@ -39,6 +40,18 @@ usage: gnna-serve [options]
   --trace-out PATH               record request/batch spans and write
                                  Chrome trace JSON here on drain
                                  (open in ui.perfetto.dev)
+  --tenant-quota [T=]RATE[:BURST[:WEIGHT]]
+                                 admission quota: RATE jobs/s with BURST
+                                 allowance and DRR WEIGHT for tenant T
+                                 (no T= sets the default bucket; RATE 0
+                                 = unlimited; repeatable)
+  --max-conns N                  live-connection limit; past it new
+                                 connections get an immediate 503
+                                 (default 0 = unlimited)
+  --degrade-watermark N          answer cycle-mode jobs in functional
+                                 mode (flagged degraded) when a queue's
+                                 backlog is at or past N
+                                 (default 0 = off)
   --config cpu-iso-bw|gpu-iso-bw|gpu-iso-flops
                                  Table VI configuration (default gpu-iso-bw)
   --smoke                        scaled-down datasets (CI-speed)
@@ -50,6 +63,20 @@ usage: gnna-serve [options]
                                  throughput is below X (default 2.0)
   --baseline-out PATH            baseline JSON path
                                  (default BENCH_serve_baseline.json)
+  --soak-secs N                  run the sustained mixed-tenant soak for
+                                 N seconds instead of serving
+  --soak-out PATH                soak JSON path
+                                 (default BENCH_serve_soak.json)
+  --soak-light-rate X            light tenant arrival rate, jobs/s
+                                 (default 8)
+  --soak-flood-rate X            flooding tenant attempted rate, jobs/s
+                                 (default 60; its quota stays 20/s)
+  --soak-max-fairness X          fail when the light tenant's p99 under
+                                 flood exceeds X times its isolated p99
+                                 (default 2.0)
+  --soak-max-rss-growth X        fail when the late-run RSS ceiling
+                                 exceeds X times the early-run ceiling
+                                 (default 1.25)
   --version                      print the workspace version
   --help                         this message";
 
@@ -60,6 +87,8 @@ struct Args {
     load_concurrency: usize,
     min_speedup: f64,
     baseline_out: String,
+    soak: Option<SoakOptions>,
+    soak_out: String,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -73,6 +102,9 @@ fn parse_args() -> Result<Args, String> {
     let mut load_concurrency = 64usize;
     let mut min_speedup = 2.0f64;
     let mut baseline_out = "BENCH_serve_baseline.json".to_string();
+    let mut soak_secs: Option<u64> = None;
+    let mut soak_opts = SoakOptions::default();
+    let mut soak_out = "BENCH_serve_soak.json".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
@@ -146,6 +178,53 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad speedup: {e}"))?;
             }
             "--baseline-out" => baseline_out = value("--baseline-out")?,
+            "--tenant-quota" => {
+                let (tenant, spec) = parse_quota_flag(&value("--tenant-quota")?)?;
+                match tenant {
+                    Some(t) => cfg.policy.tenants.push((t, spec)),
+                    None => cfg.policy.default_spec = spec,
+                }
+            }
+            "--max-conns" => {
+                cfg.max_conns = value("--max-conns")?
+                    .parse()
+                    .map_err(|e| format!("bad connection limit: {e}"))?;
+            }
+            "--degrade-watermark" => {
+                cfg.degrade_watermark = value("--degrade-watermark")?
+                    .parse()
+                    .map_err(|e| format!("bad degrade watermark: {e}"))?;
+            }
+            "--soak-secs" => {
+                let secs: u64 = value("--soak-secs")?
+                    .parse()
+                    .map_err(|e| format!("bad soak duration: {e}"))?;
+                if secs == 0 {
+                    return Err("--soak-secs must be positive".into());
+                }
+                soak_secs = Some(secs);
+            }
+            "--soak-out" => soak_out = value("--soak-out")?,
+            "--soak-light-rate" => {
+                soak_opts.light_rate = value("--soak-light-rate")?
+                    .parse()
+                    .map_err(|e| format!("bad light rate: {e}"))?;
+            }
+            "--soak-flood-rate" => {
+                soak_opts.flood_rate = value("--soak-flood-rate")?
+                    .parse()
+                    .map_err(|e| format!("bad flood rate: {e}"))?;
+            }
+            "--soak-max-fairness" => {
+                soak_opts.max_fairness = value("--soak-max-fairness")?
+                    .parse()
+                    .map_err(|e| format!("bad fairness bound: {e}"))?;
+            }
+            "--soak-max-rss-growth" => {
+                soak_opts.max_rss_growth = value("--soak-max-rss-growth")?
+                    .parse()
+                    .map_err(|e| format!("bad rss growth bound: {e}"))?;
+            }
             "--version" | "-V" => {
                 println!("gnna-serve {}", env!("CARGO_PKG_VERSION"));
                 std::process::exit(0);
@@ -154,6 +233,12 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown option {other}")),
         }
     }
+    let soak = soak_secs.map(|secs| SoakOptions {
+        secs,
+        accel: cfg.accel.clone(),
+        scale: cfg.scale,
+        ..soak_opts
+    });
     Ok(Args {
         cfg,
         load,
@@ -161,10 +246,23 @@ fn parse_args() -> Result<Args, String> {
         load_concurrency,
         min_speedup,
         baseline_out,
+        soak,
+        soak_out,
     })
 }
 
 fn run(args: Args) -> Result<(), String> {
+    if let Some(opts) = &args.soak {
+        eprintln!(
+            "gnna-serve: soak — {} s mixed-tenant (light {}/s + flood {}/s under a {}/s quota)",
+            opts.secs, opts.light_rate, opts.flood_rate, opts.flood_quota
+        );
+        let doc = run_soak(opts)?;
+        std::fs::write(&args.soak_out, format!("{doc}\n")).map_err(|e| e.to_string())?;
+        eprintln!("gnna-serve: wrote {}", args.soak_out);
+        println!("{doc}");
+        return Ok(());
+    }
     if args.load {
         let opts = BaselineOptions {
             jobs: args.load_jobs,

@@ -136,6 +136,9 @@ struct Slot {
     rows: Vec<Vec<f32>>,
     reference: Vec<Vec<f32>>,
     energy_pj: u64,
+    /// The degrade watermark flipped this cycle job to functional
+    /// execution; the response is flagged `"degraded":true`.
+    degraded: bool,
 }
 
 impl Engine {
@@ -252,9 +255,13 @@ impl Engine {
             return;
         }
         let exec_start = Instant::now();
-        let key = BatchKey::of(&batch[0].request);
-        let mode = batch[0].request.mode;
-        debug_assert!(batch.iter().all(|j| BatchKey::of(&j.request) == key));
+        // The batch shares an *effective* key: a degraded cycle job
+        // batches — and executes — as a functional one.
+        let key = BatchKey::effective(&batch[0]);
+        let mode = match key {
+            BatchKey::Named(.., m) | BatchKey::Inline(.., m) => m,
+        };
+        debug_assert!(batch.iter().all(|j| BatchKey::effective(j) == key));
 
         // Resolve the shared case; a failure here fails the whole batch.
         enum Case {
@@ -331,6 +338,7 @@ impl Engine {
                         rows: Vec::new(),
                         reference,
                         energy_pj: 0,
+                        degraded: job.degraded,
                     });
                 }
                 Err(msg) => {
@@ -437,9 +445,16 @@ impl Engine {
                 }
                 JobInput::Inline(_) => body.push_str("inline\","),
             }
+            // A degraded job reports the mode it actually executed in
+            // (functional) and is flagged; every other job's body is
+            // byte-identical to the pre-degradation wire format.
             body.push_str("\"mode\":\"");
-            body.push_str(slot.request.mode.as_str());
-            body.push_str("\",\"rows\":");
+            body.push_str(mode.as_str());
+            body.push('"');
+            if slot.degraded {
+                body.push_str(",\"degraded\":true");
+            }
+            body.push_str(",\"rows\":");
             push_rows(&mut body, &slot.rows);
             body.push_str(&format!(
                 ",\"telemetry\":{{\"batch_size\":{batch_size},\"span_id\":\"{}\",\
@@ -462,7 +477,7 @@ impl Engine {
                 body.push('}');
             }
             body.push('}');
-            if slot.request.mode == ExecMode::CycleAccurate {
+            if slot.request.mode == ExecMode::CycleAccurate && !slot.degraded {
                 let acc = compare_rows(&slot.reference, &slot.rows)
                     .map_err(|e| e.to_string())?;
                 body.push_str(&format!(

@@ -13,22 +13,29 @@
 //! Layering:
 //!
 //! * [`http`] — request/response framing (no external deps);
-//! * [`protocol`] — the JSON job schema and bit-exact row serialization;
-//! * [`queue`] — bounded per-instance batch queues with opportunistic
-//!   coalescing and 429 backpressure;
+//! * [`protocol`] — the JSON job schema (including `tenant` and
+//!   `deadline_ms`) and bit-exact row serialization;
+//! * [`queue`] — bounded per-instance batch queues with multi-tenant
+//!   admission control: per-tenant token-bucket quotas, weighted
+//!   deficit-round-robin dequeue, deadline-aware shedding with a
+//!   pressure-derived `Retry-After`, graceful cycle→functional
+//!   degradation past a watermark, and cooperative cancel;
 //! * [`engine`] — batch execution: one union-graph `System` per
 //!   cycle-accurate batch, reference rows for functional jobs, exact
 //!   energy attribution;
 //! * [`stats`] — the `/stats` surface (req/s, latency quantiles up to
-//!   p99.9, batch-size histogram, queue depth) on `gnna-telemetry`
-//!   metrics;
+//!   p99.9, batch-size histogram, queue depth, per-tenant
+//!   admitted/shed/throttled/deadline-missed counters, RSS gauge) on
+//!   `gnna-telemetry` metrics;
 //! * [`trace`] — request-span tracing: wall-clock Chrome-trace spans
 //!   (queue wait → coalesce → simulate → respond per job, plus batch
 //!   spans linking their member span ids);
-//! * [`server`] — acceptor, connection handlers, instance workers,
-//!   graceful drain;
+//! * [`server`] — acceptor (with `--max-conns` overload refusal),
+//!   connection handlers (with client-disconnect cancellation),
+//!   instance workers, graceful drain;
 //! * [`loadgen`] — the fixed-seed load harness behind
-//!   `BENCH_serve_baseline.json`.
+//!   `BENCH_serve_baseline.json` and the mixed-tenant soak harness
+//!   behind `BENCH_serve_soak.json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

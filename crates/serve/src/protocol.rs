@@ -83,6 +83,12 @@ pub struct JobRequest {
     pub input: JobInput,
     /// Execution mode.
     pub mode: ExecMode,
+    /// Tenant the job is billed to (admission quota + scheduling lane);
+    /// `"default"` when the request carries no `"tenant"` field.
+    pub tenant: String,
+    /// Optional client deadline in milliseconds: the job is shed at
+    /// admission when the queue's wait estimate already exceeds it.
+    pub deadline_ms: Option<u64>,
 }
 
 fn parse_model(s: &str) -> Result<ModelKind, String> {
@@ -212,6 +218,23 @@ pub fn parse_job(body: &str) -> Result<JobRequest, String> {
         .and_then(JsonValue::as_str)
         .unwrap_or("")
         .to_string();
+    let tenant = match v.get("tenant") {
+        None => "default".to_string(),
+        Some(t) => {
+            let t = t.as_str().ok_or("\"tenant\" must be a string")?;
+            if t.is_empty() || t.len() > 64 {
+                return Err("\"tenant\" must be 1..=64 characters".into());
+            }
+            t.to_string()
+        }
+    };
+    let deadline_ms = v
+        .get("deadline_ms")
+        .map(|d| d.as_u64().ok_or("\"deadline_ms\" must be a number"))
+        .transpose()?;
+    if deadline_ms == Some(0) {
+        return Err("\"deadline_ms\" must be positive".into());
+    }
     let input = match (v.get("input"), v.get("graph")) {
         (Some(_), Some(_)) => return Err("give \"input\" or \"graph\", not both".into()),
         (Some(name), None) => {
@@ -242,6 +265,8 @@ pub fn parse_job(body: &str) -> Result<JobRequest, String> {
         model,
         input,
         mode,
+        tenant,
+        deadline_ms,
     })
 }
 
@@ -352,6 +377,27 @@ mod tests {
         assert!(parse_job(
             r#"{"model":"gcn","graph":{"num_vertices":2,"edges":[[0,5]],"features":[[1],[1]],"out_features":1}}"#
         )
+        .is_err());
+    }
+
+    #[test]
+    fn tenant_and_deadline_parse_with_defaults() {
+        let j = parse_job(r#"{"model":"gcn","input":"cora"}"#).unwrap();
+        assert_eq!(j.tenant, "default");
+        assert_eq!(j.deadline_ms, None);
+        let j = parse_job(r#"{"model":"gcn","input":"cora","tenant":"acme","deadline_ms":250}"#)
+            .unwrap();
+        assert_eq!(j.tenant, "acme");
+        assert_eq!(j.deadline_ms, Some(250));
+        // Invalid forms are client errors, not silently defaulted.
+        assert!(parse_job(r#"{"model":"gcn","input":"cora","tenant":""}"#).is_err());
+        assert!(parse_job(r#"{"model":"gcn","input":"cora","tenant":7}"#).is_err());
+        assert!(parse_job(r#"{"model":"gcn","input":"cora","deadline_ms":0}"#).is_err());
+        assert!(parse_job(r#"{"model":"gcn","input":"cora","deadline_ms":"soon"}"#).is_err());
+        let long = "x".repeat(65);
+        assert!(parse_job(&format!(
+            r#"{{"model":"gcn","input":"cora","tenant":"{long}"}}"#
+        ))
         .is_err());
     }
 

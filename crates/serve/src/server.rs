@@ -7,8 +7,18 @@
 //! an instance queue by batch-key affinity (jobs that can batch land on
 //! the same instance), and blocks on the job's private response
 //! channel; workers pop coalesced batches and execute them on the
-//! shared engine. A full queue answers HTTP 429 with `Retry-After`
-//! instead of admitting unbounded work.
+//! shared engine.
+//!
+//! Overload protection is layered: `--max-conns` refuses connections
+//! past the limit with an immediate 503; per-tenant token buckets
+//! throttle floods at admission (HTTP 429 with a refill-derived
+//! `Retry-After`); a full queue answers 429 with a pressure-derived
+//! `Retry-After`; jobs whose `deadline_ms` the backlog cannot meet are
+//! shed at accept time; and past the degrade watermark, cycle-mode
+//! jobs are answered in functional mode (flagged in the response)
+//! instead of rejected. While a handler waits for its worker it polls
+//! the socket, so a disconnected client's job is cancelled before it
+//! burns simulator time.
 //!
 //! Shutdown (`POST /shutdown` — there is no portable std signal hook)
 //! closes every queue so workers drain their backlog and exit, then
@@ -18,16 +28,17 @@
 use crate::engine::Engine;
 use crate::http::{read_request, write_response, Request};
 use crate::protocol::{error_body, parse_job, JobInput};
-use crate::queue::{BatchKey, BatchQueue, Job, PushError};
+use crate::queue::{BatchKey, BatchQueue, Job, PushError, TenantPolicy};
 use crate::stats::ServeStats;
 use crate::trace::{next_span_id, SpanTracer};
 use gnna_bench::Scale;
 use gnna_core::config::AcceleratorConfig;
 use gnna_executor::Executor;
 use std::hash::{Hash, Hasher};
-use std::io::{self, BufReader, BufWriter};
+use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::RecvTimeoutError;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -59,6 +70,15 @@ pub struct ServeConfig {
     /// When set, record request/batch spans and write the Chrome trace
     /// JSON here once the daemon drains.
     pub trace_out: Option<String>,
+    /// Tenant admission policy (token buckets + DRR weights).
+    pub policy: TenantPolicy,
+    /// Live-connection limit; past it new connections get an immediate
+    /// 503. `0` disables the limit.
+    pub max_conns: usize,
+    /// Graceful-degradation watermark: cycle-mode jobs admitted while a
+    /// queue's backlog is at or past this depth run in functional mode
+    /// (flagged `"degraded":true`). `0` disables degradation.
+    pub degrade_watermark: usize,
 }
 
 impl Default for ServeConfig {
@@ -74,6 +94,9 @@ impl Default for ServeConfig {
             scale: Scale::Smoke,
             read_timeout: Duration::from_millis(5000),
             trace_out: None,
+            policy: TenantPolicy::default(),
+            max_conns: 0,
+            degrade_watermark: 0,
         }
     }
 }
@@ -86,6 +109,8 @@ struct Shared {
     addr: SocketAddr,
     read_timeout: Duration,
     tracer: Option<Arc<SpanTracer>>,
+    conns: AtomicUsize,
+    max_conns: usize,
 }
 
 impl Shared {
@@ -155,7 +180,32 @@ fn route(request_key: &BatchKey, input: &JobInput, instances: usize) -> usize {
     (h.finish() % instances as u64) as usize
 }
 
-fn handle_infer(shared: &Shared, body: &str) -> (u16, String, Vec<(&'static str, String)>) {
+/// Whether the client hung up: a non-blocking peek returning EOF (or a
+/// hard error) on the connection's socket. `WouldBlock` — or pending
+/// bytes — mean the client is still there.
+fn client_gone(probe: &TcpStream) -> bool {
+    if probe.set_nonblocking(true).is_err() {
+        return false;
+    }
+    let mut buf = [0u8; 1];
+    let gone = match probe.peek(&mut buf) {
+        Ok(0) => true,
+        Ok(_) => false,
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock => false,
+        Err(_) => true,
+    };
+    let _ = probe.set_nonblocking(false);
+    gone
+}
+
+/// How often the waiting handler polls the socket for a disconnect.
+const CANCEL_POLL: Duration = Duration::from_millis(25);
+
+fn handle_infer(
+    shared: &Shared,
+    body: &str,
+    probe: Option<&TcpStream>,
+) -> (u16, String, Vec<(&'static str, String)>) {
     let admitted = Instant::now();
     let request = match parse_job(body) {
         Ok(r) => r,
@@ -166,26 +216,54 @@ fn handle_infer(shared: &Shared, body: &str) -> (u16, String, Vec<(&'static str,
             return (400, error_body(&msg), Vec::new());
         }
     };
+    let tenant = request.tenant.clone();
+    let deadline_ms = request.deadline_ms;
     let key = BatchKey::of(&request);
     let qi = route(&key, &request.input, shared.queues.len());
     let (tx, rx) = std::sync::mpsc::channel();
-    let job = Job {
-        request,
-        respond: tx,
-        enqueued: admitted,
-        span_id: next_span_id(),
-        batched: None,
-    };
+    let job = Job::new(request, tx, next_span_id());
+    let cancel = Arc::clone(&job.cancelled);
     match shared.queues[qi].push(job) {
-        Ok(()) => {}
-        Err(PushError::Full(_)) => {
+        Ok(admission) => {
+            shared.stats.record_admitted(&tenant, admission.degraded);
+        }
+        Err(PushError::Full { retry_after_s, .. }) => {
+            shared.stats.record_rejected(&tenant);
             shared
                 .stats
                 .record_request(429, admitted.elapsed().as_micros() as u64);
             return (
                 429,
                 error_body("queue full, retry later"),
-                vec![("Retry-After", "1".to_string())],
+                vec![("Retry-After", retry_after_s.to_string())],
+            );
+        }
+        Err(PushError::Throttled { retry_after_s, .. }) => {
+            shared.stats.record_throttled(&tenant);
+            shared
+                .stats
+                .record_request(429, admitted.elapsed().as_micros() as u64);
+            return (
+                429,
+                error_body("tenant over quota, retry later"),
+                vec![("Retry-After", retry_after_s.to_string())],
+            );
+        }
+        Err(PushError::DeadlineUnmeetable {
+            estimated_wait_ms,
+            retry_after_s,
+            ..
+        }) => {
+            shared.stats.record_shed_deadline(&tenant);
+            shared
+                .stats
+                .record_request(429, admitted.elapsed().as_micros() as u64);
+            return (
+                429,
+                error_body(&format!(
+                    "deadline unmeetable: estimated wait {estimated_wait_ms} ms"
+                )),
+                vec![("Retry-After", retry_after_s.to_string())],
             );
         }
         Err(PushError::Closed(_)) => {
@@ -195,23 +273,52 @@ fn handle_infer(shared: &Shared, body: &str) -> (u16, String, Vec<(&'static str,
             return (503, error_body("server is shutting down"), Vec::new());
         }
     }
-    // The worker owns the job now; its outcome (or a dropped channel on
-    // a worker bug) ends the wait.
-    let outcome = rx.recv();
+    // The worker owns the job now; while waiting, poll the socket so a
+    // vanished client cancels the job instead of burning simulator
+    // time. The recv_err path (dropped channel on a worker bug) ends
+    // the wait too.
+    let outcome = loop {
+        match rx.recv_timeout(CANCEL_POLL) {
+            Ok(o) => break Ok(o),
+            Err(RecvTimeoutError::Disconnected) => break Err(()),
+            Err(RecvTimeoutError::Timeout) => {
+                if let Some(probe) = probe {
+                    if client_gone(probe) {
+                        cancel.store(true, Ordering::Relaxed);
+                        // Nobody is listening; count it and give up. If
+                        // the worker already adopted the job, its
+                        // outcome is discarded with the channel.
+                        shared
+                            .stats
+                            .record_request(499, admitted.elapsed().as_micros() as u64);
+                        return (499, String::new(), Vec::new());
+                    }
+                }
+            }
+        }
+    };
     let latency_us = admitted.elapsed().as_micros() as u64;
     match outcome {
         Ok(o) => {
             shared.stats.record_request(o.status, latency_us);
+            if o.status == 200 {
+                let missed = deadline_ms.is_some_and(|d| latency_us > d.saturating_mul(1_000));
+                shared.stats.record_tenant_ok(&tenant, missed);
+            }
             (o.status, o.body, Vec::new())
         }
-        Err(_) => {
+        Err(()) => {
             shared.stats.record_request(500, latency_us);
             (500, error_body("worker dropped the job"), Vec::new())
         }
     }
 }
 
-fn handle_request(shared: &Shared, req: &Request) -> (u16, String, Vec<(&'static str, String)>) {
+fn handle_request(
+    shared: &Shared,
+    req: &Request,
+    probe: Option<&TcpStream>,
+) -> (u16, String, Vec<(&'static str, String)>) {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => (200, "{\"status\":\"ok\"}".to_string(), Vec::new()),
         ("GET", "/stats") => (
@@ -219,7 +326,7 @@ fn handle_request(shared: &Shared, req: &Request) -> (u16, String, Vec<(&'static
             shared.stats.snapshot_json(&shared.queue_depths()),
             Vec::new(),
         ),
-        ("POST", "/v1/infer") => handle_infer(shared, &req.body),
+        ("POST", "/v1/infer") => handle_infer(shared, &req.body, probe),
         ("POST", "/shutdown") => {
             shared.trigger_shutdown();
             (200, "{\"status\":\"draining\"}".to_string(), Vec::new())
@@ -233,6 +340,9 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) -> io::Result<()> 
     if shared.read_timeout > Duration::ZERO {
         stream.set_read_timeout(Some(shared.read_timeout))?;
     }
+    // One clone feeds the reader, another probes for disconnects while
+    // a job waits in the queue (same fd; this thread owns both uses).
+    let probe = stream.try_clone()?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     loop {
@@ -252,7 +362,12 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) -> io::Result<()> 
             Err(e) => return Err(e),
         };
         let close = req.wants_close() || shared.shutdown.load(Ordering::SeqCst);
-        let (status, body, extra) = handle_request(shared, &req);
+        let (status, body, extra) = handle_request(shared, &req, Some(&probe));
+        if status == 499 {
+            // Client disconnected while its job was queued — nothing to
+            // write to.
+            break;
+        }
         let headers: Vec<(&str, &str)> = extra.iter().map(|(n, v)| (*n, v.as_str())).collect();
         write_response(&mut writer, status, &headers, &body, close)?;
         if close {
@@ -260,6 +375,29 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) -> io::Result<()> 
         }
     }
     Ok(())
+}
+
+/// Decrements the live-connection gauge when a handler exits, however
+/// it exits.
+struct ConnGuard(Arc<Shared>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.conns.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Refuses a connection past `--max-conns`: minimal 503 with
+/// `Retry-After`, then close. Written raw (no BufWriter) so the
+/// acceptor never blocks on a slow client.
+fn refuse_connection(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let body = error_body("connection limit reached, retry later");
+    let resp = format!(
+        "HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\nContent-Length: {}\r\nRetry-After: 1\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(resp.as_bytes());
 }
 
 /// Binds and starts the daemon; returns once it is accepting.
@@ -272,7 +410,13 @@ pub fn serve(cfg: ServeConfig) -> io::Result<ServerHandle> {
     let addr = listener.local_addr()?;
     let instances = cfg.instances.max(1);
     let queues: Vec<Arc<BatchQueue>> = (0..instances)
-        .map(|_| Arc::new(BatchQueue::new(cfg.queue_cap)))
+        .map(|_| {
+            Arc::new(BatchQueue::with_policy(
+                cfg.queue_cap,
+                cfg.policy.clone(),
+                cfg.degrade_watermark,
+            ))
+        })
         .collect();
     let tracer = cfg.trace_out.as_ref().map(|_| Arc::new(SpanTracer::new()));
     let shared = Arc::new(Shared {
@@ -284,6 +428,8 @@ pub fn serve(cfg: ServeConfig) -> io::Result<ServerHandle> {
         addr,
         read_timeout: cfg.read_timeout,
         tracer,
+        conns: AtomicUsize::new(0),
+        max_conns: cfg.max_conns,
     });
 
     let mut workers = Vec::with_capacity(instances);
@@ -295,8 +441,16 @@ pub fn serve(cfg: ServeConfig) -> io::Result<ServerHandle> {
             let queue = Arc::clone(&shared.queues[qi]);
             while let Some(batch) = queue.pop_batch(max_batch, flush) {
                 shared.stats.record_batch(batch.len());
+                let started = Instant::now();
+                let executed = batch.len() as u64;
                 shared.engine.execute_batch(qi, batch);
+                // Feed the admission-control wait estimator and flush
+                // cancel/RSS accounting between batches.
+                queue.note_service(started.elapsed().as_micros() as u64 / executed.max(1));
+                shared.stats.record_cancelled(queue.take_cancelled());
+                shared.stats.sample_rss();
             }
+            shared.stats.record_cancelled(queue.take_cancelled());
         }));
     }
 
@@ -308,9 +462,21 @@ pub fn serve(cfg: ServeConfig) -> io::Result<ServerHandle> {
                     break;
                 }
                 let Ok(stream) = stream else { continue };
+                if shared.max_conns > 0
+                    && shared.conns.load(Ordering::SeqCst) >= shared.max_conns
+                {
+                    shared.stats.record_conn_rejected();
+                    // Refuse on a short-lived thread so one slow client
+                    // cannot stall the acceptor.
+                    std::thread::spawn(move || refuse_connection(stream));
+                    continue;
+                }
+                shared.conns.fetch_add(1, Ordering::SeqCst);
                 let shared = Arc::clone(&shared);
                 std::thread::spawn(move || {
+                    let guard = ConnGuard(Arc::clone(&shared));
                     let _ = handle_connection(&shared, stream);
+                    drop(guard);
                 });
             }
         })

@@ -4,8 +4,52 @@
 //! simulator's other telemetry surfaces.
 
 use gnna_telemetry::{HistogramSummary, MetricsRegistry};
+use std::collections::BTreeMap;
 use std::sync::Mutex;
 use std::time::Instant;
+
+/// Tenants tracked individually before overflow folds into `"other"`
+/// (keeps `/stats` bounded against tenant-id cardinality).
+const MAX_TRACKED_TENANTS: usize = 64;
+
+/// Per-tenant admission and outcome counters, exported as
+/// `serve.tenant.<name>.<counter>`.
+#[derive(Debug, Default, Clone)]
+pub struct TenantCounters {
+    /// Jobs accepted into a queue.
+    pub admitted: u64,
+    /// Jobs answered 200.
+    pub ok: u64,
+    /// Jobs rejected 429 on queue capacity.
+    pub rejected_429: u64,
+    /// Jobs rejected 429 by the tenant's token bucket.
+    pub throttled: u64,
+    /// Jobs shed at admission because the wait estimate exceeded their
+    /// deadline.
+    pub shed_deadline: u64,
+    /// Admitted jobs whose response landed after their deadline.
+    pub deadline_missed: u64,
+    /// Cycle jobs answered in functional mode past the degrade
+    /// watermark.
+    pub degraded: u64,
+}
+
+/// Best-effort resident-set size in bytes (`/proc/self/statm` resident
+/// pages × 4096 on linux, 0 elsewhere) — the soak harness samples this
+/// to assert a flat memory ceiling.
+pub fn mem_rss_bytes() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(statm) = std::fs::read_to_string("/proc/self/statm") {
+            if let Some(resident) = statm.split_whitespace().nth(1) {
+                if let Ok(pages) = resident.parse::<u64>() {
+                    return pages * 4096;
+                }
+            }
+        }
+    }
+    0
+}
 
 #[derive(Debug)]
 struct Inner {
@@ -15,11 +59,28 @@ struct Inner {
     client_errors: u64,
     server_errors: u64,
     rejected: u64,
+    throttled: u64,
+    shed_deadline: u64,
+    deadline_missed: u64,
+    degraded: u64,
+    cancelled: u64,
+    conn_rejected: u64,
     batches: u64,
     batched_jobs: u64,
     max_batch_observed: u64,
+    rss_peak_bytes: u64,
     latency_us: HistogramSummary,
     batch_size: HistogramSummary,
+    tenants: BTreeMap<String, TenantCounters>,
+}
+
+impl Inner {
+    fn tenant(&mut self, name: &str) -> &mut TenantCounters {
+        if !self.tenants.contains_key(name) && self.tenants.len() >= MAX_TRACKED_TENANTS {
+            return self.tenants.entry("other".to_string()).or_default();
+        }
+        self.tenants.entry(name.to_string()).or_default()
+    }
 }
 
 /// Shared serving counters (one per daemon).
@@ -45,11 +106,19 @@ impl ServeStats {
                 client_errors: 0,
                 server_errors: 0,
                 rejected: 0,
+                throttled: 0,
+                shed_deadline: 0,
+                deadline_missed: 0,
+                degraded: 0,
+                cancelled: 0,
+                conn_rejected: 0,
                 batches: 0,
                 batched_jobs: 0,
                 max_batch_observed: 0,
+                rss_peak_bytes: 0,
                 latency_us: HistogramSummary::default(),
                 batch_size: HistogramSummary::default(),
+                tenants: BTreeMap::new(),
             }),
         }
     }
@@ -77,19 +146,124 @@ impl ServeStats {
         s.batch_size.observe(size as f64);
     }
 
+    /// Records one admitted job for `tenant`; `degraded` when the
+    /// degrade watermark flipped it to functional execution.
+    pub fn record_admitted(&self, tenant: &str, degraded: bool) {
+        let mut s = self.inner.lock().expect("stats poisoned");
+        if degraded {
+            s.degraded += 1;
+        }
+        let t = s.tenant(tenant);
+        t.admitted += 1;
+        if degraded {
+            t.degraded += 1;
+        }
+    }
+
+    /// Records one 200 outcome for `tenant`; `missed_deadline` when
+    /// the response landed after the job's `deadline_ms`.
+    pub fn record_tenant_ok(&self, tenant: &str, missed_deadline: bool) {
+        let mut s = self.inner.lock().expect("stats poisoned");
+        if missed_deadline {
+            s.deadline_missed += 1;
+        }
+        let t = s.tenant(tenant);
+        t.ok += 1;
+        if missed_deadline {
+            t.deadline_missed += 1;
+        }
+    }
+
+    /// Records one queue-capacity 429 for `tenant`.
+    pub fn record_rejected(&self, tenant: &str) {
+        let mut s = self.inner.lock().expect("stats poisoned");
+        s.tenant(tenant).rejected_429 += 1;
+    }
+
+    /// Records one token-bucket 429 for `tenant`.
+    pub fn record_throttled(&self, tenant: &str) {
+        let mut s = self.inner.lock().expect("stats poisoned");
+        s.throttled += 1;
+        s.tenant(tenant).throttled += 1;
+    }
+
+    /// Records one deadline-shed admission rejection for `tenant`.
+    pub fn record_shed_deadline(&self, tenant: &str) {
+        let mut s = self.inner.lock().expect("stats poisoned");
+        s.shed_deadline += 1;
+        s.tenant(tenant).shed_deadline += 1;
+    }
+
+    /// Records `n` jobs dropped at dequeue because their client
+    /// disconnected.
+    pub fn record_cancelled(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.inner.lock().expect("stats poisoned").cancelled += n;
+    }
+
+    /// Records one connection refused by `--max-conns`.
+    pub fn record_conn_rejected(&self) {
+        self.inner.lock().expect("stats poisoned").conn_rejected += 1;
+    }
+
+    /// Samples the current RSS into the peak gauge (called from the
+    /// `/stats` path and the instance workers).
+    pub fn sample_rss(&self) {
+        let rss = mem_rss_bytes();
+        let mut s = self.inner.lock().expect("stats poisoned");
+        s.rss_peak_bytes = s.rss_peak_bytes.max(rss);
+    }
+
+    /// Per-tenant counter snapshot (for the soak harness).
+    pub fn tenant_snapshot(&self) -> Vec<(String, TenantCounters)> {
+        let s = self.inner.lock().expect("stats poisoned");
+        s.tenants
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
     /// Renders the `/stats` snapshot as the metrics-registry JSON,
     /// including the current per-instance queue depths.
     pub fn snapshot_json(&self, queue_depths: &[usize]) -> String {
-        let s = self.inner.lock().expect("stats poisoned");
+        let rss_now = mem_rss_bytes();
+        let mut s = self.inner.lock().expect("stats poisoned");
+        s.rss_peak_bytes = s.rss_peak_bytes.max(rss_now);
+        let s = &*s;
         let mut reg = MetricsRegistry::new();
         reg.counter_set("serve.requests", s.requests);
         reg.counter_set("serve.ok", s.ok);
         reg.counter_set("serve.client_errors", s.client_errors);
         reg.counter_set("serve.server_errors", s.server_errors);
         reg.counter_set("serve.rejected_429", s.rejected);
+        reg.counter_set("serve.throttled_429", s.throttled);
+        reg.counter_set("serve.shed_deadline", s.shed_deadline);
+        reg.counter_set("serve.deadline_missed", s.deadline_missed);
+        reg.counter_set("serve.degraded", s.degraded);
+        reg.counter_set("serve.cancelled", s.cancelled);
+        reg.counter_set("serve.conn_rejected", s.conn_rejected);
         reg.counter_set("serve.batches", s.batches);
         reg.counter_set("serve.batched_jobs", s.batched_jobs);
         reg.counter_set("serve.max_batch_observed", s.max_batch_observed);
+        reg.gauge_set("serve.mem_rss_bytes", rss_now as f64);
+        reg.gauge_set("serve.mem_rss_peak_bytes", s.rss_peak_bytes as f64);
+        for (name, t) in &s.tenants {
+            reg.counter_set(&format!("serve.tenant.{name}.admitted"), t.admitted);
+            reg.counter_set(&format!("serve.tenant.{name}.ok"), t.ok);
+            reg.counter_set(&format!("serve.tenant.{name}.rejected_429"), t.rejected_429);
+            reg.counter_set(&format!("serve.tenant.{name}.throttled"), t.throttled);
+            reg.counter_set(
+                &format!("serve.tenant.{name}.shed_deadline"),
+                t.shed_deadline,
+            );
+            reg.counter_set(
+                &format!("serve.tenant.{name}.deadline_missed"),
+                t.deadline_missed,
+            );
+            reg.counter_set(&format!("serve.tenant.{name}.degraded"), t.degraded);
+        }
         let elapsed = s.started.elapsed().as_secs_f64().max(1e-9);
         reg.gauge_set("serve.uptime_s", elapsed);
         reg.gauge_set("serve.req_per_s", s.requests as f64 / elapsed);
@@ -136,16 +310,73 @@ mod tests {
         for name in [
             "serve.requests",
             "serve.rejected_429",
+            "serve.throttled_429",
+            "serve.shed_deadline",
+            "serve.deadline_missed",
+            "serve.degraded",
+            "serve.cancelled",
+            "serve.conn_rejected",
             "serve.req_per_s",
             "serve.latency_p99_us",
             "serve.latency_p999_us",
             "serve.batch_size",
             "serve.queue_depth",
+            "serve.mem_rss_bytes",
+            "serve.mem_rss_peak_bytes",
         ] {
             assert!(
                 find(name).is_some() || snap.contains(name),
                 "snapshot missing {name}: {snap}"
             );
         }
+    }
+
+    #[test]
+    fn tenant_counters_flow_into_the_snapshot() {
+        let stats = ServeStats::new();
+        stats.record_admitted("acme", false);
+        stats.record_admitted("acme", true);
+        stats.record_tenant_ok("acme", true);
+        stats.record_throttled("flood");
+        stats.record_shed_deadline("flood");
+        stats.record_rejected("flood");
+        let snap = stats.snapshot_json(&[0]);
+        for name in [
+            "serve.tenant.acme.admitted",
+            "serve.tenant.acme.degraded",
+            "serve.tenant.acme.deadline_missed",
+            "serve.tenant.flood.throttled",
+            "serve.tenant.flood.shed_deadline",
+            "serve.tenant.flood.rejected_429",
+        ] {
+            assert!(snap.contains(name), "snapshot missing {name}: {snap}");
+        }
+        let tenants = stats.tenant_snapshot();
+        let acme = &tenants.iter().find(|(n, _)| n == "acme").unwrap().1;
+        assert_eq!(acme.admitted, 2);
+        assert_eq!(acme.degraded, 1);
+        assert_eq!(acme.deadline_missed, 1);
+    }
+
+    #[test]
+    fn tenant_cardinality_folds_into_other() {
+        let stats = ServeStats::new();
+        for i in 0..200 {
+            stats.record_admitted(&format!("t{i}"), false);
+        }
+        let tenants = stats.tenant_snapshot();
+        assert!(tenants.len() <= 65, "unbounded tenant counters");
+        let overflow: u64 = tenants
+            .iter()
+            .filter(|(n, _)| n == "other")
+            .map(|(_, t)| t.admitted)
+            .sum();
+        assert!(overflow > 0, "overflow tenants must land in \"other\"");
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn rss_gauge_reads_nonzero_on_linux() {
+        assert!(mem_rss_bytes() > 0);
     }
 }

@@ -21,6 +21,46 @@ fn help_exits_zero_and_prints_usage() {
 }
 
 #[test]
+fn help_documents_the_overload_and_soak_flags() {
+    let out = run(&["--help"]);
+    let err = String::from_utf8_lossy(&out.stderr);
+    for flag in [
+        "--tenant-quota",
+        "--max-conns",
+        "--degrade-watermark",
+        "--soak-secs",
+        "--soak-out",
+        "--soak-light-rate",
+        "--soak-flood-rate",
+        "--soak-max-fairness",
+        "--soak-max-rss-growth",
+    ] {
+        assert!(err.contains(flag), "usage is missing {flag}:\n{err}");
+    }
+}
+
+#[test]
+fn malformed_tenant_quota_is_rejected_with_a_reason() {
+    for bad in ["=5", "a=1:0", "a=1:2:0", "a=-3", "a=1:2:3:4"] {
+        let out = run(&["--tenant-quota", bad]);
+        assert!(
+            !out.status.success(),
+            "gnna-serve accepted bad quota {bad:?}"
+        );
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("quota"), "{bad}: {err}");
+    }
+}
+
+#[test]
+fn zero_soak_secs_is_rejected() {
+    let out = run(&["--soak-secs", "0"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--soak-secs must be positive"), "{err}");
+}
+
+#[test]
 fn version_exits_zero_and_prints_the_workspace_version() {
     for flag in ["--version", "-V"] {
         let out = run(&[flag]);
